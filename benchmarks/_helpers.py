@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness (imported by bench modules)."""
+
+from __future__ import annotations
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.evaluation.runner import evaluate_pipeline
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+
+__all__ = ["run_pipeline"]
+
+
+def run_pipeline(benchmark_data, examples, config, skill=GPT_4O, seed=0, name=None):
+    """Build and evaluate one pipeline configuration."""
+    pipeline = OpenSearchSQL(benchmark_data, SimulatedLLM(skill, seed=seed), config)
+    return evaluate_pipeline(pipeline, examples, name=name)

@@ -1,0 +1,49 @@
+"""Ablation bench — number of few-shot examples N ∈ {0, 3, 5, 7, 9}.
+
+The paper's implementation details (§4.1) state the few-shot count was
+selected from this grid.  The mechanism: more shots raise the chance that
+a same-family exemplar is in the prompt (MQs retrieval), which is where
+most of the few-shot benefit comes from; returns diminish after ~5.
+"""
+
+from _helpers import run_pipeline
+from repro.core.config import PipelineConfig
+from repro.evaluation.report import format_table
+
+COUNTS = (0, 3, 5, 7, 9)
+
+
+def _compute(bird, bird_mini):
+    curve = {}
+    for k in COUNTS:
+        config = PipelineConfig(
+            n_candidates=21,
+            n_few_shot=max(k, 1),
+            fewshot_style="none" if k == 0 else "query_cot_sql",
+        )
+        curve[k] = run_pipeline(bird, bird_mini, config)
+    return curve
+
+
+def test_fewshot_count_sweep(benchmark, bird, bird_mini):
+    curve = benchmark.pedantic(
+        _compute, args=(bird, bird_mini), rounds=1, iterations=1
+    )
+    rows = [[f"N={k}", curve[k].ex_g, curve[k].ex] for k in COUNTS]
+    print()
+    print(
+        format_table(
+            ["Few-shot count", "EX_G", "EX"],
+            rows,
+            title="Ablation: number of dynamic few-shot examples (paper grid §4.1)",
+        )
+    )
+
+    slack = 2.0
+    # Zero shots is the weakest configuration.
+    assert curve[0].ex_g <= min(curve[k].ex_g for k in COUNTS[1:]) + 1
+    # The grid's interior (the paper picked 5) is at or near the optimum.
+    best = max(curve[k].ex for k in COUNTS)
+    assert curve[5].ex >= best - slack
+    # Returns flatten: 9 shots are not materially better than 5.
+    assert curve[9].ex <= curve[5].ex + slack

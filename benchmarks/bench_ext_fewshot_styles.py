@@ -1,0 +1,61 @@
+"""Extension bench (paper §3.8) — alternative few-shot formats.
+
+The paper's Optimization section notes that "few-shot approaches are not
+limited to Query-CoT-SQL pairs; there are other options available".  This
+bench adds the Query-Skeleton-SQL format (DAIL-SQL's skeleton view of the
+gold query) to the Table 5 comparison and checks where it lands: better
+than plain Query-SQL pairs (the skeleton carries structural information)
+but below Query-CoT-SQL (which carries the full reasoning chain).
+"""
+
+from _helpers import run_pipeline
+from repro.core.config import PipelineConfig
+from repro.evaluation.report import format_table
+
+STYLES = [
+    ("none", "none"),
+    ("Query-SQL", "query_sql"),
+    ("Query-Skeleton-SQL (ext)", "query_skeleton_sql"),
+    ("Query-CoT-SQL", "query_cot_sql"),
+]
+
+
+def _compute(bird, bird_mini):
+    results = {}
+    for name, style in STYLES:
+        config = PipelineConfig(n_candidates=21, fewshot_style=style)
+        results[name] = run_pipeline(bird, bird_mini, config, name=name)
+    return results
+
+
+def test_ext_fewshot_style_ladder(benchmark, bird, bird_mini):
+    results = benchmark.pedantic(
+        _compute, args=(bird, bird_mini), rounds=1, iterations=1
+    )
+    rows = [
+        [name, report.ex_g, report.ex_r, report.ex]
+        for name, report in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Few-shot format", "EX_G", "EX_R", "EX"],
+            rows,
+            title="Extension (§3.8): few-shot format ladder on MINI-DEV",
+        )
+    )
+
+    slack = 2.0
+    none = results["none"]
+    plain = results["Query-SQL"]
+    skeleton = results["Query-Skeleton-SQL (ext)"]
+    cot = results["Query-CoT-SQL"]
+
+    # The ladder at the generation stage: none <= plain <= skeleton <= cot.
+    assert none.ex_g <= plain.ex_g + slack
+    assert plain.ex_g <= skeleton.ex_g + slack
+    assert skeleton.ex_g <= cot.ex_g + slack
+
+    # CoT keeps the top spot end to end.
+    assert cot.ex >= skeleton.ex - slack
+    assert cot.ex >= none.ex

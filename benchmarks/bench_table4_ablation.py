@@ -1,0 +1,95 @@
+"""Table 4 — modular ablation: EX_G / EX_R / EX with each module removed,
+on the MINI-DEV analogue.
+
+Paper (full pipeline 65.8 / 68.2 / 70.6) reports that every removal hurts,
+with few-shot the largest single factor (EX -4.6) and the pipeline's EX
+increasing monotonically across stages.  The bench regenerates all rows
+and asserts those shapes.
+"""
+
+from _helpers import run_pipeline
+from repro.core.config import PipelineConfig
+from repro.evaluation.report import format_table
+
+ABLATIONS = [
+    ("Full pipeline", {}),
+    ("w/o Extraction", {"use_extraction": False}),
+    ("w/o Values Retrieval", {"use_values_retrieval": False}),
+    ("w/o Column Filtering", {"use_column_filtering": False}),
+    ("w/o Info Alignment", {"use_info_alignment": False}),
+    ("w/o Few-shot", {"fewshot_style": "none"}),
+    ("w/o CoT", {"cot_mode": "none"}),
+    ("w/o Alignments", {"use_alignments": False}),
+    ("w/o Refinement", {"use_refinement": False}),
+    ("w/o Correction", {"use_correction": False}),
+    ("w/o Self-Consistency & Vote", {"use_self_consistency": False}),
+]
+
+
+def _compute(bird, bird_mini):
+    base = PipelineConfig(n_candidates=21)
+    results = {}
+    for name, changes in ABLATIONS:
+        report = run_pipeline(bird, bird_mini, base.with_(**changes), name=name)
+        results[name] = report
+    return results
+
+
+def test_table4_modular_ablation(benchmark, bird, bird_mini):
+    results = benchmark.pedantic(
+        _compute, args=(bird, bird_mini), rounds=1, iterations=1
+    )
+    full = results["Full pipeline"]
+    rows = []
+    for name, _changes in ABLATIONS:
+        report = results[name]
+        rows.append(
+            [
+                name,
+                report.ex_g,
+                report.ex_g - full.ex_g,
+                report.ex_r,
+                report.ex_r - full.ex_r,
+                report.ex,
+                report.ex - full.ex,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Pipeline Setup", "EX_G", "dG", "EX_R", "dR", "EX", "dEX"],
+            rows,
+            title=(
+                "Table 4: ablation on MINI-DEV "
+                "(paper full pipeline: EX_G 65.8, EX_R 68.2, EX 70.6)"
+            ),
+        )
+    )
+
+    slack = 2.5  # percentage points (150-example sample)
+
+    # EX increases monotonically across the pipeline stages.
+    assert full.ex_g <= full.ex_r + 1
+    assert full.ex_r <= full.ex + 1
+
+    # Every ablation is at most slack better than the full pipeline.
+    for name, _ in ABLATIONS[1:]:
+        assert results[name].ex <= full.ex + slack, name
+
+    # Generation-stage modules show up at EX_G.
+    for name in ("w/o Extraction", "w/o Few-shot", "w/o CoT", "w/o Values Retrieval"):
+        assert results[name].ex_g <= full.ex_g + 1, name
+
+    # Few-shot is the largest single EX factor (paper: -4.6).
+    fewshot_drop = full.ex - results["w/o Few-shot"].ex
+    other_drops = [
+        full.ex - results[name].ex
+        for name, _ in ABLATIONS[1:]
+        if name not in ("w/o Few-shot", "w/o Extraction")
+    ]
+    assert fewshot_drop >= max(other_drops) - slack
+
+    # Refinement-only modules leave EX_G untouched (they act after it).
+    for name in ("w/o Alignments", "w/o Refinement", "w/o Correction",
+                 "w/o Self-Consistency & Vote"):
+        assert abs(results[name].ex_g - full.ex_g) < 0.01, name

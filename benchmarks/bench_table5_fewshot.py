@@ -1,0 +1,82 @@
+"""Table 5 — few-shot strategy comparison.
+
+Paper rows (EX_G / EX_R / EX): Query-CoT-SQL 65.8/68.2/70.6; w/o
+generation few-shot 59.6/63.0/66.0; Query-SQL generation few-shot
+63.0/66.2/69.2; w/o refinement few-shot 65.8/67.6/69.4; w/o both
+59.6/62.8/66.0.  Shape: Query-CoT-SQL > Query-SQL > none at every stage;
+refinement few-shot contributes a small extra margin.
+"""
+
+from _helpers import run_pipeline
+from repro.core.config import PipelineConfig
+from repro.evaluation.report import format_table
+
+VARIANTS = [
+    ("Query-CoT-SQL pair Few-shot", {}),
+    ("w/o Few-shot of Generation", {"fewshot_style": "none"}),
+    ("w Query-SQL pair Few-shot of Generation", {"fewshot_style": "query_sql"}),
+    ("w/o Few-shot of Refinement", {"refinement_fewshot": False}),
+    (
+        "w/o Few-shot of Generation & Refinement",
+        {"fewshot_style": "none", "refinement_fewshot": False},
+    ),
+]
+
+
+def _compute(bird, bird_mini):
+    base = PipelineConfig(n_candidates=21)
+    return {
+        name: run_pipeline(bird, bird_mini, base.with_(**changes), name=name)
+        for name, changes in VARIANTS
+    }
+
+
+def test_table5_fewshot_comparison(benchmark, bird, bird_mini):
+    results = benchmark.pedantic(
+        _compute, args=(bird, bird_mini), rounds=1, iterations=1
+    )
+    full = results["Query-CoT-SQL pair Few-shot"]
+    rows = [
+        [
+            name,
+            report.ex_g,
+            report.ex_g - full.ex_g,
+            report.ex_r,
+            report.ex_r - full.ex_r,
+            report.ex,
+            report.ex - full.ex,
+        ]
+        for name, report in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Method", "EX_G", "dG", "EX_R", "dR", "EX", "dEX"],
+            rows,
+            title="Table 5: few-shot performance comparison on MINI-DEV",
+        )
+    )
+
+    slack = 2.0
+    cot = results["Query-CoT-SQL pair Few-shot"]
+    plain = results["w Query-SQL pair Few-shot of Generation"]
+    none = results["w/o Few-shot of Generation"]
+    both_off = results["w/o Few-shot of Generation & Refinement"]
+    refine_off = results["w/o Few-shot of Refinement"]
+
+    # Query-CoT-SQL > Query-SQL > none at the generation stage.
+    assert none.ex_g <= plain.ex_g + slack <= cot.ex_g + 2 * slack
+    assert cot.ex_g >= none.ex_g
+
+    # Final EX follows the same ordering.
+    assert none.ex <= cot.ex + slack
+    assert plain.ex <= cot.ex + slack
+
+    # Refinement few-shot matters less than generation few-shot.
+    assert (cot.ex - refine_off.ex) <= (cot.ex - none.ex) + slack
+
+    # Removing both is at least as bad as removing generation few-shot.
+    assert both_off.ex <= none.ex + slack
+
+    # Refinement few-shot does not change EX_G (it acts after generation).
+    assert abs(refine_off.ex_g - cot.ex_g) < 0.01

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures: benchmarks are built once per session, and
+every bench prints the paper-table it regenerates."""
+
+from __future__ import annotations
+
+import pytest
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.core.config import PipelineConfig
+from repro.datasets.bird import build_bird_like, mini_dev
+from repro.datasets.spider import build_spider_like
+
+
+@pytest.fixture(scope="session")
+def bird():
+    return build_bird_like()
+
+
+@pytest.fixture(scope="session")
+def spider():
+    return build_spider_like()
+
+
+@pytest.fixture(scope="session")
+def bird_mini(bird):
+    """The MINI-DEV analogue used for ablation benches (paper §4.1)."""
+    return mini_dev(bird, size=200)
+
+
+@pytest.fixture(scope="session")
+def run_config():
+    """The paper's submitted configuration (21-candidate vote)."""
+    return PipelineConfig(n_candidates=21)
+

@@ -1,0 +1,42 @@
+"""Compare OpenSearch-SQL against the paper's baselines on one workload.
+
+A fast version of the Table 2 bench: every baseline plus our pipeline on a
+stratified mini-dev subset, printed as a leaderboard.
+
+Run with:  python examples/baseline_comparison.py
+"""
+
+from repro.baselines.systems import all_baselines
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.datasets.bird import build_bird_like, mini_dev
+from repro.evaluation.report import format_table
+from repro.evaluation.runner import evaluate_pipeline, evaluate_system
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+
+
+def main() -> None:
+    benchmark = build_bird_like()
+    examples = mini_dev(benchmark, size=100)
+    print(f"Evaluating on {len(examples)} stratified mini-dev questions...\n")
+
+    rows = []
+    for system in all_baselines(benchmark):
+        report = evaluate_system(system, benchmark, examples)
+        rows.append([system.name, report.ex, report.r_ves])
+        print(f"  done: {system.name}")
+
+    pipeline = OpenSearchSQL(
+        benchmark, SimulatedLLM(GPT_4O, seed=0), PipelineConfig(n_candidates=21)
+    )
+    ours = evaluate_pipeline(pipeline, examples, name="OpenSearch-SQL + GPT-4o")
+    rows.append([ours.system, ours.ex, ours.r_ves])
+    print(f"  done: {ours.system}\n")
+
+    rows.sort(key=lambda row: row[1])
+    print(format_table(["Method", "EX", "R-VES"], rows, title="Leaderboard"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Failure analysis: run the pipeline over the dev split and break the
+errors down by execution status, difficulty, trait and question family —
+the view the paper's discussion sections reason from.
+
+Run with:  python examples/error_analysis.py
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.datasets.bird import build_bird_like, mini_dev
+from repro.evaluation.analysis import analyze_failures
+from repro.evaluation.runner import evaluate_pipeline
+from repro.llm.simulated import SimulatedLLM
+
+
+def main() -> None:
+    benchmark = build_bird_like()
+    examples = mini_dev(benchmark, size=150)
+    pipeline = OpenSearchSQL(
+        benchmark, SimulatedLLM(seed=0), PipelineConfig(n_candidates=15)
+    )
+    print(f"Evaluating {len(examples)} questions...")
+    report = evaluate_pipeline(pipeline, examples)
+    print(f"EX {report.ex:.1f}  (EX_G {report.ex_g:.1f}, EX_R {report.ex_r:.1f})\n")
+
+    breakdown = analyze_failures(examples, report.scores)
+    print(breakdown.render())
+
+    print("\nFirst three failing questions:")
+    failed = set(breakdown.failed_question_ids[:3])
+    for example in examples:
+        if example.question_id in failed:
+            print(f"  [{example.difficulty}] {example.question}")
+
+
+if __name__ == "__main__":
+    main()

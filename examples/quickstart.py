@@ -1,0 +1,53 @@
+"""Quickstart: build the BIRD-like benchmark, run OpenSearch-SQL on a few
+dev questions, and print what the pipeline produced.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    GPT_4O,
+    OpenSearchSQL,
+    PipelineConfig,
+    SimulatedLLM,
+    build_bird_like,
+    evaluate_pipeline,
+)
+
+
+def main() -> None:
+    print("Building the BIRD-like benchmark (8 domains)...")
+    benchmark = build_bird_like()
+    stats = benchmark.statistics
+    print(
+        f"  {stats['databases']} databases, {stats['tables']} tables, "
+        f"{stats['train']}/{stats['dev']}/{stats['test']} train/dev/test questions"
+    )
+
+    print("Preprocessing (value indexes + self-taught few-shot library)...")
+    pipeline = OpenSearchSQL(
+        benchmark,
+        SimulatedLLM(GPT_4O, seed=0),
+        PipelineConfig(n_candidates=9),
+    )
+
+    print("\nAnswering five dev questions:\n")
+    for example in benchmark.dev[:5]:
+        result = pipeline.answer(example)
+        gold = pipeline.executor(example.db_id).execute(example.gold_sql)
+        predicted = pipeline.executor(example.db_id).execute(result.final_sql)
+        status = "CORRECT" if predicted.rows == gold.rows else "different result"
+        print(f"Q: {example.question}")
+        if example.evidence:
+            print(f"   evidence: {example.evidence}")
+        print(f"   -> {result.final_sql}")
+        print(f"   [{status}]\n")
+
+    print("Scoring 40 dev questions (EX / R-VES)...")
+    report = evaluate_pipeline(pipeline, benchmark.dev[:40])
+    print(f"  EX   : {report.ex:.1f}")
+    print(f"  R-VES: {report.r_ves:.1f}")
+    print(f"  by difficulty: {report.ex_by_difficulty()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Legacy setup shim so `pip install -e .` works on environments without
+the `wheel` package (PEP 660 editable builds need it; `setup.py develop`
+does not)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of OpenSearch-SQL: Enhancing Text-to-SQL with "
+        "Dynamic Few-shot and Consistency Alignment (SIGMOD 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

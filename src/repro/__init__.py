@@ -1,0 +1,48 @@
+"""OpenSearch-SQL reproduction.
+
+A full offline reproduction of "OpenSearch-SQL: Enhancing Text-to-SQL with
+Dynamic Few-shot and Consistency Alignment" (SIGMOD 2025): the four-stage
+pipeline with consistency alignment, self-taught Query-CoT-SQL few-shot,
+the SQL-Like intermediate language, self-consistency & vote — plus every
+substrate it needs (SQL parsing, vector retrieval, SQLite execution,
+synthetic BIRD/Spider-like benchmarks, a simulated LLM) and the baseline
+systems the paper compares against.
+
+Quickstart::
+
+    from repro import (
+        OpenSearchSQL, PipelineConfig, SimulatedLLM, build_bird_like,
+        evaluate_pipeline,
+    )
+
+    benchmark = build_bird_like()
+    pipeline = OpenSearchSQL(benchmark, SimulatedLLM(), PipelineConfig())
+    report = evaluate_pipeline(pipeline, benchmark.dev[:20])
+    print(report.ex, report.r_ves)
+"""
+
+from repro.core import OpenSearchSQL, PipelineConfig, PipelineResult
+from repro.datasets import Benchmark, Example, build_bird_like, build_spider_like
+from repro.evaluation import EvalReport, evaluate_pipeline, evaluate_system
+from repro.llm import GPT_4, GPT_4O, GPT_4O_MINI, SimulatedLLM, SkillProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Benchmark",
+    "EvalReport",
+    "Example",
+    "GPT_4",
+    "GPT_4O",
+    "GPT_4O_MINI",
+    "OpenSearchSQL",
+    "PipelineConfig",
+    "PipelineResult",
+    "SimulatedLLM",
+    "SkillProfile",
+    "build_bird_like",
+    "build_spider_like",
+    "evaluate_pipeline",
+    "evaluate_system",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Baseline text-to-SQL systems the paper compares against (Table 2/3).
+
+Each baseline is a faithful-in-structure reimplementation of the published
+pipeline, built from the same substrates (simulated LLM, retrieval,
+execution) so the comparison isolates the architectural differences — the
+same methodology as the paper, which runs every method on GPT-4-family
+models.  Docstrings state the mapping from the original system's stages to
+our configuration.
+"""
+
+from repro.baselines.base import BaselineSystem, build_baseline
+from repro.baselines.systems import (
+    C3SQL,
+    CHESS,
+    DAILSQL,
+    DINSQL,
+    Distillery,
+    MACSQL,
+    MCSSQL,
+    ZeroShotGPT4,
+    all_baselines,
+)
+
+__all__ = [
+    "BaselineSystem",
+    "C3SQL",
+    "CHESS",
+    "DAILSQL",
+    "DINSQL",
+    "Distillery",
+    "MACSQL",
+    "MCSSQL",
+    "ZeroShotGPT4",
+    "all_baselines",
+    "build_baseline",
+]

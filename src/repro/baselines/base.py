@@ -1,0 +1,48 @@
+"""Shared machinery for baseline systems.
+
+A baseline is an :class:`OpenSearchSQL`-compatible pipeline restricted to
+the modules the original system actually has.  ``BaselineSystem`` wraps the
+shared stage implementations with a baseline-specific
+:class:`~repro.core.config.PipelineConfig` and (optionally) a different
+skill profile — e.g. Distillery's fine-tuned GPT-4o.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.datasets.build import Benchmark
+from repro.datasets.types import Example
+from repro.llm.base import LLMClient
+
+__all__ = ["BaselineSystem", "build_baseline"]
+
+
+@dataclass
+class BaselineSystem:
+    """A named baseline: a configured pipeline plus its identity."""
+
+    name: str
+    pipeline: OpenSearchSQL
+    description: str = ""
+
+    def answer(self, example: Example) -> str:
+        """Return the final SQL for ``example``."""
+        return self.pipeline.answer(example).final_sql
+
+
+def build_baseline(
+    name: str,
+    benchmark: Benchmark,
+    llm: LLMClient,
+    config: PipelineConfig,
+    description: str = "",
+) -> BaselineSystem:
+    """Construct a baseline from a config over shared substrates."""
+    return BaselineSystem(
+        name=name,
+        pipeline=OpenSearchSQL(benchmark, llm, config),
+        description=description,
+    )

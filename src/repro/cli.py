@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro stats                      # dataset statistics (Table 1)
+    python -m repro run --question-id <id>     # answer one benchmark question
+    python -m repro evaluate --split dev       # EX / R-VES over a split
+    python -m repro ablate                     # quick Table-4-style sweep
+    python -m repro baselines                  # Table-2-style leaderboard
+
+Every subcommand accepts ``--benchmark {bird,spider}``, ``--model
+{gpt-4o,gpt-4,gpt-4o-mini}``, ``--candidates N`` and ``--seed N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines.systems import all_baselines
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.datasets.bird import build_bird_like, mini_dev
+from repro.datasets.build import Benchmark
+from repro.datasets.spider import build_spider_like
+from repro.evaluation.report import format_table
+from repro.evaluation.runner import evaluate_pipeline, evaluate_system
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import skill_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OpenSearch-SQL reproduction command-line interface",
+    )
+    parser.add_argument(
+        "--benchmark", choices=("bird", "spider"), default="bird",
+        help="which synthetic suite to use (default: bird)",
+    )
+    parser.add_argument(
+        "--model",
+        choices=("gpt-4o", "gpt-4", "gpt-4o-mini"),
+        default="gpt-4o",
+        help="simulated model skill profile (default: gpt-4o)",
+    )
+    parser.add_argument("--candidates", type=int, default=21, metavar="N",
+                        help="self-consistency vote size (default: 21)")
+    parser.add_argument("--seed", type=int, default=0)
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stats", help="print dataset statistics")
+
+    run = sub.add_parser("run", help="answer one benchmark question")
+    run.add_argument("--question-id", help="question id (default: first dev)")
+    run.add_argument("--split", choices=("dev", "test", "train"), default="dev")
+
+    ev = sub.add_parser("evaluate", help="score the pipeline over a split")
+    ev.add_argument("--split", choices=("dev", "test"), default="dev")
+    ev.add_argument("--limit", type=int, default=0, metavar="N",
+                    help="evaluate only the first N examples (0 = all)")
+
+    ab = sub.add_parser("ablate", help="module ablation sweep (Table 4 style)")
+    ab.add_argument("--size", type=int, default=150,
+                    help="mini-dev sample size (default: 150)")
+
+    sub.add_parser("baselines", help="baseline leaderboard (Table 2 style)")
+    return parser
+
+
+def _build_benchmark(name: str) -> Benchmark:
+    return build_bird_like() if name == "bird" else build_spider_like()
+
+
+def _build_pipeline(benchmark: Benchmark, args) -> OpenSearchSQL:
+    config = PipelineConfig(n_candidates=args.candidates, seed=args.seed)
+    llm = SimulatedLLM(skill_by_name(args.model), seed=args.seed)
+    return OpenSearchSQL(benchmark, llm, config)
+
+
+def _cmd_stats(args, out) -> int:
+    rows = []
+    for name in ("bird", "spider"):
+        stats = _build_benchmark(name).statistics
+        rows.append(
+            [stats["name"], stats["train"], stats["dev"], stats["test"],
+             stats["databases"], stats["tables"], stats["columns"]]
+        )
+    out.write(
+        format_table(
+            ["Dataset", "train", "dev", "test", "databases", "tables", "columns"],
+            rows,
+        )
+        + "\n"
+    )
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    benchmark = _build_benchmark(args.benchmark)
+    examples = benchmark.split(args.split)
+    if args.question_id:
+        matches = [e for e in examples if e.question_id == args.question_id]
+        if not matches:
+            out.write(f"error: no question {args.question_id!r} in {args.split}\n")
+            return 2
+        example = matches[0]
+    else:
+        example = examples[0]
+    pipeline = _build_pipeline(benchmark, args)
+    result = pipeline.answer(example)
+    out.write(f"question : {example.question}\n")
+    if example.evidence:
+        out.write(f"evidence : {example.evidence}\n")
+    out.write(f"sql      : {result.final_sql}\n")
+    outcome = pipeline.executor(example.db_id).execute(result.final_sql)
+    gold = pipeline.executor(example.db_id).execute(example.gold_sql)
+    verdict = "correct" if outcome.rows == gold.rows else "different-result"
+    out.write(f"rows     : {outcome.rows[:5]}\n")
+    out.write(f"verdict  : {verdict}\n")
+    return 0
+
+
+def _cmd_evaluate(args, out) -> int:
+    benchmark = _build_benchmark(args.benchmark)
+    examples = benchmark.split(args.split)
+    if args.limit:
+        examples = examples[: args.limit]
+    pipeline = _build_pipeline(benchmark, args)
+    report = evaluate_pipeline(pipeline, examples)
+    out.write(f"examples : {report.count}\n")
+    out.write(f"EX       : {report.ex:.1f}\n")
+    out.write(f"EX_G     : {report.ex_g:.1f}\n")
+    out.write(f"EX_R     : {report.ex_r:.1f}\n")
+    out.write(f"R-VES    : {report.r_ves:.1f}\n")
+    for difficulty, value in report.ex_by_difficulty().items():
+        out.write(f"  {difficulty:12s} {value:.1f}\n")
+    return 0
+
+
+_ABLATIONS = [
+    ("full", {}),
+    ("w/o extraction", {"use_extraction": False}),
+    ("w/o few-shot", {"fewshot_style": "none"}),
+    ("w/o CoT", {"cot_mode": "none"}),
+    ("w/o alignments", {"use_alignments": False}),
+    ("w/o refinement", {"use_refinement": False}),
+    ("w/o SC & vote", {"use_self_consistency": False}),
+]
+
+
+def _cmd_ablate(args, out) -> int:
+    benchmark = _build_benchmark(args.benchmark)
+    examples = mini_dev(benchmark, size=args.size) if args.benchmark == "bird" else benchmark.dev
+    rows = []
+    for name, changes in _ABLATIONS:
+        config = PipelineConfig(
+            n_candidates=args.candidates, seed=args.seed
+        ).with_(**changes)
+        llm = SimulatedLLM(skill_by_name(args.model), seed=args.seed)
+        pipeline = OpenSearchSQL(benchmark, llm, config)
+        report = evaluate_pipeline(pipeline, examples)
+        rows.append([name, report.ex_g, report.ex_r, report.ex])
+    out.write(format_table(["Setup", "EX_G", "EX_R", "EX"], rows) + "\n")
+    return 0
+
+
+def _cmd_baselines(args, out) -> int:
+    benchmark = _build_benchmark(args.benchmark)
+    examples = (
+        mini_dev(benchmark, size=150)
+        if args.benchmark == "bird"
+        else benchmark.dev
+    )
+    rows = []
+    for system in all_baselines(benchmark, seed=args.seed):
+        report = evaluate_system(system, benchmark, examples)
+        rows.append([system.name, report.ex, report.r_ves])
+    pipeline = _build_pipeline(benchmark, args)
+    ours = evaluate_pipeline(pipeline, examples, name="OpenSearch-SQL")
+    rows.append([ours.system, ours.ex, ours.r_ves])
+    rows.sort(key=lambda row: row[1])
+    out.write(format_table(["Method", "EX", "R-VES"], rows) + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "run": _cmd_run,
+    "evaluate": _cmd_evaluate,
+    "ablate": _cmd_ablate,
+    "baselines": _cmd_baselines,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the OpenSearch-SQL pipeline.
+
+Four stages — Preprocessing, Extraction, Generation, Refinement — plus the
+consistency Alignment module between them (paper Figure 1 / Algorithm 1).
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.cost import CostTracker, StageCost
+from repro.core.fewshot import FewShotExample, FewShotLibrary, mask_question
+from repro.core.preprocessing import PreprocessedDatabase, Preprocessor
+from repro.core.extraction import ExtractionResult, Extractor
+from repro.core.alignment import (
+    agent_alignment,
+    function_alignment,
+    style_alignment,
+)
+from repro.core.generation import Candidate, GenerationResult, Generator
+from repro.core.refinement import RefinementResult, Refiner
+from repro.core.pipeline import OpenSearchSQL, PipelineResult
+
+__all__ = [
+    "Candidate",
+    "CostTracker",
+    "ExtractionResult",
+    "Extractor",
+    "FewShotExample",
+    "FewShotLibrary",
+    "GenerationResult",
+    "Generator",
+    "OpenSearchSQL",
+    "PipelineConfig",
+    "PipelineResult",
+    "PreprocessedDatabase",
+    "Preprocessor",
+    "RefinementResult",
+    "Refiner",
+    "StageCost",
+    "agent_alignment",
+    "function_alignment",
+    "mask_question",
+    "style_alignment",
+]

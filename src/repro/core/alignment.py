@@ -1,0 +1,232 @@
+"""Post-generation Alignments (paper §3.5 "Alignments", Listing 6).
+
+Three rule-based AST rewrites applied to every candidate SQL:
+
+* **Agent Alignment** — literals compared against text columns must exist
+  in the database; mismatches are replaced by the nearest stored value
+  (vector search over the value index, same-column hits preferred).
+* **Function Alignment** — strips aggregate wrappers from ORDER BY items
+  of non-grouped queries (``ORDER BY MAX(score)`` → ``ORDER BY score``).
+* **Style Alignment** — enforces dataset style around superlatives:
+  ``ORDER BY col LIMIT 1`` on a nullable column gains ``col IS NOT NULL``,
+  and duplicate SELECT items are removed.
+
+These are real algorithms operating on real database state — nothing here
+consults the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.preprocessing import PreprocessedDatabase, ValueEntry
+from repro.embedding.vectorizer import HashingVectorizer
+from repro.execution.executor import SQLExecutor
+from repro.sqlkit.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+)
+from repro.sqlkit.transform import map_expressions
+
+__all__ = ["agent_alignment", "function_alignment", "style_alignment", "apply_alignments"]
+
+
+def _binding_table(select: Select, binding: Optional[str]) -> Optional[str]:
+    """Resolve an alias or bare table binding to the real table name."""
+    if binding is None:
+        return None
+    for table in select.tables():
+        if table.binding.lower() == binding.lower():
+            return table.name or None
+    return binding
+
+
+def agent_alignment(
+    select: Select,
+    pre: PreprocessedDatabase,
+    executor: SQLExecutor,
+    vectorizer: HashingVectorizer,
+    threshold: float = 0.65,
+) -> Select:
+    """Replace text literals that do not exist in their column with the
+    nearest stored value (paper's 'John' → 'JOHN' example)."""
+
+    def check_exists(table: str, column: str, value: str) -> Optional[bool]:
+        if not pre.schema.has_table(table):
+            return None
+        real = pre.schema.table(table)
+        if not real.has_column(column):
+            return None
+        if not real.column(column).is_text:
+            return None
+        outcome = executor.execute(
+            f'SELECT 1 FROM "{real.name}" WHERE "{real.column(column).name}" = '
+            f"'{value.replace(chr(39), chr(39) * 2)}' LIMIT 1"
+        )
+        if outcome.status.is_error:
+            return None
+        return outcome.row_count > 0
+
+    def nearest_value(value: str, table: str, column: str) -> Optional[ValueEntry]:
+        vector = vectorizer.embed(value)
+        hits = pre.value_index.search(vector, k=8)
+        same_column = [
+            h
+            for h in hits
+            if isinstance(h.payload, ValueEntry)
+            and h.payload.table.lower() == table.lower()
+            and h.payload.column.lower() == column.lower()
+            and h.score >= threshold
+        ]
+        if same_column:
+            return same_column[0].payload  # type: ignore[return-value]
+        general = [h for h in hits if h.score >= threshold]
+        if general:
+            return general[0].payload  # type: ignore[return-value]
+        return None
+
+    def fix(expr: Expr) -> Optional[Expr]:
+        if not isinstance(expr, BinaryOp) or expr.op != "=":
+            return None
+        column_side, literal_side = expr.left, expr.right
+        if isinstance(column_side, Literal) and isinstance(literal_side, ColumnRef):
+            column_side, literal_side = literal_side, column_side
+        if not isinstance(column_side, ColumnRef) or not isinstance(literal_side, Literal):
+            return None
+        if literal_side.kind != "string":
+            return None
+        table = _binding_table(select, column_side.table)
+        if table is None:
+            return None
+        exists = check_exists(table, column_side.column, str(literal_side.value))
+        if exists is not False:
+            return None
+        entry = nearest_value(str(literal_side.value), table, column_side.column)
+        if entry is None:
+            return None
+        return BinaryOp("=", column_side, Literal.string(entry.value))
+
+    return map_expressions(select, fix)  # type: ignore[return-value]
+
+
+def function_alignment(select: Select) -> Select:
+    """Strip aggregates out of ORDER BY when the query has no GROUP BY."""
+    if select.group_by or not select.order_by:
+        return select
+    changed = False
+    items: list[OrderItem] = []
+    for item in select.order_by:
+        expr = item.expr
+        if isinstance(expr, FuncCall) and expr.is_aggregate and len(expr.args) == 1:
+            inner = expr.args[0]
+            if isinstance(inner, ColumnRef):
+                items.append(OrderItem(expr=inner, desc=item.desc))
+                changed = True
+                continue
+        items.append(item)
+    return select.with_(order_by=tuple(items)) if changed else select
+
+
+def style_alignment(select: Select, pre: PreprocessedDatabase) -> Select:
+    """Dataset-style fixes around superlative queries."""
+    out = _limitify_aggregate(select)
+
+    # Deduplicate SELECT items (keeps first occurrence).
+    seen: list[Expr] = []
+    items: list[SelectItem] = []
+    for item in out.items:
+        if any(item.expr == other for other in seen):
+            continue
+        seen.append(item.expr)
+        items.append(item)
+    if len(items) != len(out.items):
+        out = out.with_(items=tuple(items))
+
+    # IS NOT NULL guard on nullable ORDER BY columns of LIMIT queries.
+    if out.limit is not None and out.order_by:
+        guards: list[Expr] = []
+        for item in out.order_by:
+            expr = item.expr
+            if not isinstance(expr, ColumnRef):
+                continue
+            table = _binding_table(out, expr.table)
+            if table is None or not pre.schema.has_table(table):
+                continue
+            real_table = pre.schema.table(table)
+            if not real_table.has_column(expr.column):
+                continue
+            column = real_table.column(expr.column)
+            if column.is_primary or column.not_null:
+                continue
+            if _has_not_null_guard(out.where, expr):
+                continue
+            guards.append(IsNull(expr, negated=True))
+        if guards:
+            where = out.where
+            for guard in guards:
+                where = guard if where is None else BinaryOp("AND", where, guard)
+            out = out.with_(where=where)
+    return out
+
+
+def _limitify_aggregate(select: Select) -> Select:
+    """The MAX-vs-LIMIT style rule: ``SELECT col, MAX(x)`` (no GROUP BY)
+    becomes ``SELECT col ORDER BY x DESC LIMIT 1`` — the dataset's
+    canonical superlative form (paper Listing 6, Style Alignment)."""
+    if select.group_by or select.order_by or select.limit is not None:
+        return select
+    if len(select.items) < 2:
+        return select
+    agg_positions = [
+        (index, item)
+        for index, item in enumerate(select.items)
+        if isinstance(item.expr, FuncCall)
+        and item.expr.name in ("MAX", "MIN")
+        and len(item.expr.args) == 1
+        and isinstance(item.expr.args[0], ColumnRef)
+    ]
+    plain = [item for item in select.items if not isinstance(item.expr, FuncCall)]
+    if len(agg_positions) != 1 or len(plain) != len(select.items) - 1:
+        return select
+    index, agg_item = agg_positions[0]
+    func: FuncCall = agg_item.expr  # type: ignore[assignment]
+    order_col = func.args[0]
+    remaining = tuple(item for i, item in enumerate(select.items) if i != index)
+    return select.with_(
+        items=remaining,
+        order_by=(OrderItem(expr=order_col, desc=func.name == "MAX"),),
+        limit=1,
+    )
+
+
+def _has_not_null_guard(where: Optional[Expr], column: ColumnRef) -> bool:
+    if where is None:
+        return False
+    if isinstance(where, IsNull) and where.negated and where.expr == column:
+        return True
+    if isinstance(where, BinaryOp) and where.op == "AND":
+        return _has_not_null_guard(where.left, column) or _has_not_null_guard(
+            where.right, column
+        )
+    return False
+
+
+def apply_alignments(
+    select: Select,
+    pre: PreprocessedDatabase,
+    executor: SQLExecutor,
+    vectorizer: HashingVectorizer,
+    threshold: float = 0.65,
+) -> Select:
+    """Agent → Function → Style alignment, in the paper's order."""
+    aligned = agent_alignment(select, pre, executor, vectorizer, threshold)
+    aligned = function_alignment(aligned)
+    aligned = style_alignment(aligned, pre)
+    return aligned

@@ -1,0 +1,86 @@
+"""Pipeline configuration.
+
+Every knob from the paper's §4.1 implementation details is here, plus one
+boolean per module so the Table 4/5/7 ablations are configuration changes,
+not code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """All OpenSearch-SQL knobs.
+
+    Defaults reproduce the paper's submitted configuration: temperature 0
+    extraction, temperature 0.7 generation with 21 candidates, 5 dynamic
+    Query-CoT-SQL few-shots selected by masked-question similarity with a
+    0.65 retrieval threshold, structured CoT, and the full alignment +
+    refinement stack.
+    """
+
+    # ---- sampling (paper §4.1)
+    n_candidates: int = 21
+    generation_temperature: float = 0.7
+    extraction_temperature: float = 0.0
+
+    # ---- dynamic few-shot
+    n_few_shot: int = 5
+    #: none | query_sql | query_cot_sql | query_skeleton_sql (the last is
+    #: the §3.8 "other few-shot options" extension)
+    fewshot_style: str = "query_cot_sql"
+    refinement_fewshot: bool = True
+
+    # ---- CoT
+    cot_mode: str = "structured"  # none | unstructured | structured
+
+    # ---- retrieval
+    similarity_threshold: float = 0.65
+    retrieval_top_k: int = 5
+    vector_index: str = "flat"  # flat | hnsw
+
+    # ---- module switches (Table 4 ablations)
+    use_extraction: bool = True
+    use_values_retrieval: bool = True
+    use_column_filtering: bool = True
+    use_info_alignment: bool = True
+    use_alignments: bool = True
+    use_refinement: bool = True
+    use_correction: bool = True
+    use_self_consistency: bool = True
+
+    # ---- refinement details
+    max_correction_rounds: int = 1
+    execution_timeout: float = 5.0
+
+    # ---- misc
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_candidates < 1:
+            raise ValueError("n_candidates must be >= 1")
+        if self.fewshot_style not in (
+            "none", "query_sql", "query_cot_sql", "query_skeleton_sql"
+        ):
+            raise ValueError(f"unknown fewshot_style {self.fewshot_style!r}")
+        if self.cot_mode not in ("none", "unstructured", "structured"):
+            raise ValueError(f"unknown cot_mode {self.cot_mode!r}")
+        if self.vector_index not in ("flat", "hnsw"):
+            raise ValueError(f"unknown vector_index {self.vector_index!r}")
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+
+    def with_(self, **changes) -> "PipelineConfig":
+        """Return a copy with fields replaced (ablation helper)."""
+        return replace(self, **changes)
+
+    @property
+    def effective_fewshot_style(self) -> str:
+        """Few-shot style after the Extraction switch: without Extraction
+        the pipeline still retrieves few-shots (they are preprocessing
+        artifacts), so this is just ``fewshot_style``."""
+        return self.fewshot_style

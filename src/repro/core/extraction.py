@@ -1,0 +1,272 @@
+"""Extraction stage (paper §3.4): entity extraction, values retrieval,
+column filtering and the Info Alignment that closes the stage.
+
+Everything here is real retrieval machinery — the only LLM involvement is
+the entity-extraction and column-selection calls; values retrieval runs on
+the preprocessed vector indexes, and the multi-path column recall unions
+the LLM's picks with embedding hits, exactly as §3.4 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.cost import CostTracker
+from repro.core.preprocessing import PreprocessedDatabase, ValueEntry
+from repro.datasets.types import Example
+from repro.embedding.vectorizer import HashingVectorizer
+from repro.llm.base import LLMClient
+from repro.llm.prompts import (
+    column_selection_prompt,
+    entity_extraction_prompt,
+    select_alignment_prompt,
+)
+from repro.llm.tasks import (
+    ColumnSelectionTask,
+    EntityExtractionTask,
+    SelectAlignmentTask,
+)
+from repro.schema.model import Database
+
+__all__ = ["RetrievedValue", "ExtractionResult", "Extractor"]
+
+
+@dataclass(frozen=True)
+class RetrievedValue:
+    """A stored value retrieved for the question, with its similarity."""
+
+    table: str
+    column: str
+    value: str
+    score: float
+
+    def render(self) -> str:
+        """Prompt form: ``table.column = 'value'``."""
+        return f"{self.table}.{self.column} = '{self.value}'"
+
+
+@dataclass
+class ExtractionResult:
+    """Everything the Extraction stage hands to Generation."""
+
+    entities: list[str] = field(default_factory=list)
+    values: list[RetrievedValue] = field(default_factory=list)
+    schema: Optional[Database] = None
+    schema_prompt: str = ""
+    select_hints: list[str] = field(default_factory=list)
+    schema_filtered: bool = False
+
+    @property
+    def provided_values(self) -> tuple[str, ...]:
+        """Rendered value strings exactly as the prompt will carry them."""
+        return tuple(value.render() for value in self.values)
+
+
+class Extractor:
+    """Runs the Extraction stage for one question."""
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        config: Optional[PipelineConfig] = None,
+        vectorizer: Optional[HashingVectorizer] = None,
+    ):
+        self.llm = llm
+        self.config = config or PipelineConfig()
+        self.vectorizer = vectorizer or HashingVectorizer()
+
+    # -------------------------------------------------------------- pieces
+
+    def extract_entities(
+        self,
+        example: Example,
+        pre: PreprocessedDatabase,
+        cost: Optional[CostTracker] = None,
+    ) -> list[str]:
+        """LLM entity extraction (plus predefined terms from the evidence)."""
+        prompt = entity_extraction_prompt(
+            example.question, example.evidence, pre.schema_prompt
+        )
+        responses = self.llm.complete(
+            prompt,
+            temperature=self.config.extraction_temperature,
+            n=1,
+            task=EntityExtractionTask(example=example, schema=pre.schema),
+        )
+        if cost is not None:
+            cost.record_responses("extraction", responses)
+        return [line.strip() for line in responses[0].text.splitlines() if line.strip()]
+
+    def retrieve_values(
+        self, entities: list[str], pre: PreprocessedDatabase
+    ) -> list[RetrievedValue]:
+        """Vector retrieval of stored values for each entity.
+
+        Long phrases are additionally split and retrieved piecewise (the
+        paper's split retrieval) to survive storage-format differences.
+        Hits below the similarity threshold are dropped.
+        """
+        queries: list[str] = []
+        for entity in entities:
+            queries.append(entity)
+            words = entity.split()
+            if len(words) >= 4:
+                half = len(words) // 2
+                queries.append(" ".join(words[:half]))
+                queries.append(" ".join(words[half:]))
+            if len(words) >= 3:
+                # Word-level split retrieval: long phrases often contain the
+                # stored value as a single word buried in question prose.
+                queries.extend(word for word in words if len(word) >= 4)
+        best: dict[tuple[str, str, str], float] = {}
+        for query in queries:
+            vector = self.vectorizer.embed(query)
+            for hit in pre.value_index.search(vector, k=self.config.retrieval_top_k):
+                if hit.score < self.config.similarity_threshold:
+                    continue
+                entry: ValueEntry = hit.payload  # type: ignore[assignment]
+                key = (entry.table, entry.column, entry.value)
+                if hit.score > best.get(key, 0.0):
+                    best[key] = hit.score
+        ordered = sorted(best.items(), key=lambda kv: -kv[1])
+        return [
+            RetrievedValue(table=t, column=c, value=v, score=score)
+            for (t, c, v), score in ordered
+        ]
+
+    def select_columns(
+        self,
+        example: Example,
+        pre: PreprocessedDatabase,
+        entities: list[str],
+        cost: Optional[CostTracker] = None,
+    ) -> dict[str, set[str]]:
+        """Multi-path column recall: LLM selection ∪ embedding retrieval."""
+        keep: dict[str, set[str]] = {}
+
+        prompt = column_selection_prompt(
+            example.question, example.evidence, pre.schema_prompt
+        )
+        responses = self.llm.complete(
+            prompt,
+            temperature=self.config.extraction_temperature,
+            n=1,
+            task=ColumnSelectionTask(example=example, schema=pre.schema),
+        )
+        if cost is not None:
+            cost.record_responses("extraction", responses)
+        for line in responses[0].text.splitlines():
+            line = line.strip()
+            if "." not in line:
+                continue
+            table, _dot, column = line.partition(".")
+            if pre.schema.has_table(table) and pre.schema.table(table).has_column(column):
+                keep.setdefault(pre.schema.table(table).name, set()).add(column)
+
+        # Embedding path: columns similar to any extracted entity.
+        for entity in entities:
+            vector = self.vectorizer.embed(entity)
+            for hit in pre.column_index.search(vector, k=3):
+                if hit.score < self.config.similarity_threshold:
+                    continue
+                table, column = hit.payload  # type: ignore[misc]
+                keep.setdefault(table, set()).add(column)
+        return keep
+
+    def info_alignment(
+        self,
+        example: Example,
+        pre: PreprocessedDatabase,
+        keep: dict[str, set[str]],
+        values: list[RetrievedValue],
+        cost: Optional[CostTracker] = None,
+    ) -> tuple[dict[str, set[str]], list[str]]:
+        """Info Alignment (paper §3.4 closing step).
+
+        Expands the schema subset with (a) the columns of every retrieved
+        value, (b) every same-name twin of a selected column — the guard
+        against same-name mix-ups — and asks the LLM for SELECT-style
+        hints matching NLQ phrases 1:1 with outputs.
+        """
+        expanded = {table: set(columns) for table, columns in keep.items()}
+        for value in values:
+            expanded.setdefault(value.table, set()).add(value.column)
+        for _table, columns in list(expanded.items()):
+            for column in list(columns):
+                for twin_table, twin_column in pre.schema.same_name_columns(column):
+                    expanded.setdefault(twin_table, set()).add(twin_column)
+
+        prompt = select_alignment_prompt(example.question, sorted(
+            {c for cols in expanded.values() for c in cols}
+        ))
+        responses = self.llm.complete(
+            prompt,
+            temperature=self.config.extraction_temperature,
+            n=1,
+            task=SelectAlignmentTask(oracle=example, schema=pre.schema),
+        )
+        if cost is not None:
+            cost.record_responses("alignments", responses)
+        hints = [
+            line.strip() for line in responses[0].text.splitlines() if line.strip()
+        ]
+        return expanded, hints
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        example: Example,
+        pre: PreprocessedDatabase,
+        cost: Optional[CostTracker] = None,
+    ) -> ExtractionResult:
+        """Run the configured extraction pipeline for one question."""
+        config = self.config
+        result = ExtractionResult()
+
+        if not config.use_extraction:
+            # Bypass: the full schema goes to generation, no values.
+            result.schema = pre.schema
+            result.schema_prompt = pre.schema_prompt
+            return result
+
+        result.entities = self.extract_entities(example, pre, cost)
+
+        if config.use_values_retrieval:
+            result.values = self.retrieve_values(result.entities, pre)
+
+        if config.use_column_filtering:
+            keep = self.select_columns(example, pre, result.entities, cost)
+        else:
+            keep = {
+                table.name: {c.name for c in table.columns}
+                for table in pre.schema.tables
+            }
+
+        if config.use_info_alignment:
+            keep, result.select_hints = self.info_alignment(
+                example, pre, keep, result.values, cost
+            )
+        # Without Info Alignment the retrieved values' columns are still
+        # known to generation via the values list, but the schema subset is
+        # not expanded for them.
+
+        if config.use_column_filtering:
+            subset = pre.schema.subset(keep)
+            if not subset.tables:
+                subset = pre.schema
+            result.schema = subset
+            result.schema_filtered = True
+        else:
+            result.schema = pre.schema
+
+        from repro.schema.serialize import schema_to_prompt
+
+        result.schema_prompt = (
+            schema_to_prompt(result.schema)
+            if result.schema_filtered
+            else pre.schema_prompt
+        )
+        return result

@@ -1,0 +1,150 @@
+"""Generation stage (paper §3.5): progressive structured-CoT generation of
+candidate SQLs through the SQL-Like intermediate language.
+
+The generator renders the full prompt (schema subset, retrieved values,
+dynamic Query-CoT-SQL few-shots, CoT rules, SELECT hints), samples
+``n_candidates`` completions at the configured temperature, and parses the
+``#SQL:`` payload out of each structured completion.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.cost import CostTracker
+from repro.core.extraction import ExtractionResult
+from repro.core.fewshot import FewShotLibrary
+from repro.datasets.types import Example
+from repro.llm.base import LLMClient
+from repro.llm.prompts import generation_prompt
+from repro.llm.tasks import GenerationTask, PromptFeatures
+
+__all__ = ["Candidate", "GenerationResult", "Generator", "parse_sql_from_completion"]
+
+_SQL_LINE = re.compile(r"^#SQL:\s*(.+)$", re.MULTILINE)
+
+
+def parse_sql_from_completion(text: str) -> Optional[str]:
+    """Extract the SQL payload from a structured completion.
+
+    The last ``#SQL:`` line wins (correction completions may quote the
+    failed SQL earlier in the text).  Falls back to the last line that
+    starts with SELECT when the model ignored the format.
+    """
+    matches = _SQL_LINE.findall(text)
+    if matches:
+        return matches[-1].strip()
+    for line in reversed(text.splitlines()):
+        stripped = line.strip()
+        if stripped.upper().startswith("SELECT"):
+            return stripped
+    return None
+
+
+@dataclass
+class Candidate:
+    """One generated candidate: raw completion plus the parsed SQL."""
+
+    completion: str
+    sql: Optional[str]
+
+
+@dataclass
+class GenerationResult:
+    """All candidates for one question plus the features the prompt had."""
+
+    candidates: list[Candidate] = field(default_factory=list)
+    features: Optional[PromptFeatures] = None
+    prompt: str = ""
+
+    @property
+    def sqls(self) -> list[str]:
+        """Parsed SQL of every candidate that produced one."""
+        return [c.sql for c in self.candidates if c.sql]
+
+
+class Generator:
+    """Runs the Generation stage for one question."""
+
+    def __init__(self, llm: LLMClient, config: Optional[PipelineConfig] = None):
+        self.llm = llm
+        self.config = config or PipelineConfig()
+
+    def build_features(
+        self,
+        extraction: ExtractionResult,
+        few_shot_templates: tuple[str, ...],
+        few_shot_count: int = 0,
+    ) -> PromptFeatures:
+        """Describe the prompt honestly for the simulated model.
+
+        ``fewshot_kind`` reports the configured style only when examples
+        actually made it into the prompt — an empty library must not claim
+        few-shot support.
+        """
+        config = self.config
+        schema = extraction.schema
+        fewshot_kind = (
+            config.fewshot_style if few_shot_count > 0 else "none"
+        )
+        return PromptFeatures(
+            provided_values=extraction.provided_values,
+            schema_column_count=schema.column_count() if schema else 0,
+            schema_table_count=len(schema.tables) if schema else 0,
+            fewshot_kind=fewshot_kind,
+            fewshot_template_ids=few_shot_templates,
+            cot_mode=config.cot_mode,
+            select_hints=bool(extraction.select_hints),
+            schema_filtered=extraction.schema_filtered,
+        )
+
+    def run(
+        self,
+        example: Example,
+        extraction: ExtractionResult,
+        library: Optional[FewShotLibrary] = None,
+        cost: Optional[CostTracker] = None,
+        n_candidates: Optional[int] = None,
+    ) -> GenerationResult:
+        """Generate candidates for ``example`` given extraction output."""
+        config = self.config
+        few_shots: list[str] = []
+        few_shot_templates: list[str] = []
+        if config.fewshot_style != "none" and library is not None:
+            surfaces = tuple(m.surface for m in example.value_mentions)
+            entries = library.search(
+                example.question, surfaces=surfaces, k=config.n_few_shot
+            )
+            for entry in entries:
+                few_shots.append(entry.render(config.fewshot_style))
+                few_shot_templates.append(entry.example.template_id)
+
+        features = self.build_features(
+            extraction, tuple(few_shot_templates), few_shot_count=len(few_shots)
+        )
+        prompt = generation_prompt(
+            question=example.question,
+            evidence=example.evidence,
+            schema_text=extraction.schema_prompt,
+            values=extraction.provided_values,
+            few_shots=few_shots,
+            cot_mode=config.cot_mode,
+            select_hints=extraction.select_hints,
+        )
+        n = n_candidates if n_candidates is not None else config.n_candidates
+        responses = self.llm.complete(
+            prompt,
+            temperature=config.generation_temperature,
+            n=n,
+            task=GenerationTask(oracle=example, schema=extraction.schema, features=features),
+        )
+        if cost is not None:
+            cost.record_responses("generation", responses)
+        candidates = [
+            Candidate(completion=r.text, sql=parse_sql_from_completion(r.text))
+            for r in responses
+        ]
+        return GenerationResult(candidates=candidates, features=features, prompt=prompt)

@@ -1,0 +1,131 @@
+"""The OpenSearch-SQL orchestrator (paper Algorithm 1).
+
+``OpenSearchSQL`` wires the four stages plus alignments over a benchmark:
+preprocessing runs once at construction, then :meth:`answer` executes the
+per-question main process and returns a :class:`PipelineResult` carrying
+the three observables the paper's ablations track — the first generated
+SQL (EX_G), the first refined SQL before voting (EX_R), and the final
+voted SQL (EX) — together with per-stage costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.cost import CostTracker
+from repro.core.extraction import ExtractionResult, Extractor
+from repro.core.generation import Generator
+from repro.core.preprocessing import PreprocessedDatabase, Preprocessor
+from repro.core.refinement import RefinementResult, Refiner
+from repro.datasets.build import Benchmark
+from repro.datasets.types import Example
+from repro.embedding.vectorizer import HashingVectorizer
+from repro.execution.executor import SQLExecutor
+from repro.llm.base import LLMClient
+
+__all__ = ["PipelineResult", "OpenSearchSQL"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced for one question."""
+
+    question_id: str
+    final_sql: str
+    #: first candidate straight out of Generation (paper's EX_G observable)
+    generation_sql: Optional[str] = None
+    #: first candidate after alignment+correction, before vote (EX_R)
+    refined_sql: Optional[str] = None
+    extraction: Optional[ExtractionResult] = None
+    refinement: Optional[RefinementResult] = None
+    cost: CostTracker = field(default_factory=CostTracker)
+
+
+class OpenSearchSQL:
+    """The full OpenSearch-SQL system bound to one benchmark.
+
+    Construction runs Preprocessing (value/column indexes per database and
+    the self-taught few-shot library over the train split); ``answer``
+    runs Extraction → Generation → Refinement with alignments for a single
+    question.
+    """
+
+    def __init__(
+        self,
+        benchmark: Benchmark,
+        llm: LLMClient,
+        config: Optional[PipelineConfig] = None,
+    ):
+        self.benchmark = benchmark
+        self.llm = llm
+        self.config = config or PipelineConfig()
+        self.vectorizer = HashingVectorizer()
+        self.preprocessing_cost = CostTracker()
+
+        preprocessor = Preprocessor(llm, self.config, self.vectorizer)
+        with self.preprocessing_cost.timed("preprocessing"):
+            self.databases, self.library = preprocessor.preprocess_benchmark(
+                benchmark, self.preprocessing_cost
+            )
+
+        self.extractor = Extractor(llm, self.config, self.vectorizer)
+        self.generator = Generator(llm, self.config)
+        self.refiner = Refiner(llm, self.config, self.vectorizer)
+        self._executors: dict[str, SQLExecutor] = {}
+
+    # -------------------------------------------------------------- pieces
+
+    def executor(self, db_id: str) -> SQLExecutor:
+        """The cached executor for one benchmark database."""
+        if db_id not in self._executors:
+            built = self.benchmark.database(db_id)
+            self._executors[db_id] = SQLExecutor(
+                built.connection, timeout_seconds=self.config.execution_timeout
+            )
+        return self._executors[db_id]
+
+    def preprocessed(self, db_id: str) -> PreprocessedDatabase:
+        """The preprocessing artifacts for one benchmark database."""
+        return self.databases[db_id]
+
+    # ----------------------------------------------------------------- run
+
+    def answer(self, example: Example) -> PipelineResult:
+        """Run the main process (Algorithm 1 lines 17–25) for one NLQ."""
+        cost = CostTracker()
+        pre = self.preprocessed(example.db_id)
+        executor = self.executor(example.db_id)
+
+        with cost.timed("extraction"):
+            extraction = self.extractor.run(example, pre, cost)
+
+        n = self.config.n_candidates if self.config.use_self_consistency else 1
+        with cost.timed("generation"):
+            generation = self.generator.run(
+                example, extraction, self.library, cost, n_candidates=n
+            )
+
+        sqls = generation.sqls
+        if not sqls:
+            sqls = ["SELECT 1"]
+
+        with cost.timed("refinement"):
+            refinement = self.refiner.run(
+                example, sqls, pre, extraction, executor, cost
+            )
+
+        return PipelineResult(
+            question_id=example.question_id,
+            final_sql=refinement.final_sql,
+            generation_sql=sqls[0],
+            refined_sql=refinement.first_refined_sql,
+            extraction=extraction,
+            refinement=refinement,
+            cost=cost,
+        )
+
+    def answer_many(self, examples: list[Example]) -> list[PipelineResult]:
+        """Answer a batch of questions."""
+        return [self.answer(example) for example in examples]

@@ -1,0 +1,226 @@
+"""Preprocessing stage (paper §3.3, Algorithm 1 lines 2–15).
+
+NLQ-independent work done once per database / train set:
+
+* index every stored string value (string-typed columns only — exactly the
+  paper's space-saving choice) into a vector index for values retrieval;
+* index column names+descriptions for the multi-path column recall;
+* render the database schema prompt block;
+* upgrade every train Query-SQL pair to Query-CoT-SQL via the LLM
+  (self-taught few-shot) and index it by masked-question similarity;
+* prepare error-typed correction few-shots (paper Listing 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import PipelineConfig
+from repro.core.cost import CostTracker
+from repro.core.fewshot import FewShotExample, FewShotLibrary, mask_question
+from repro.datasets.build import Benchmark, BuiltDatabase
+from repro.datasets.types import Example
+from repro.embedding.hnsw import HNSWIndex
+from repro.embedding.index import FlatIndex, VectorIndex
+from repro.embedding.vectorizer import HashingVectorizer
+from repro.llm.base import LLMClient
+from repro.llm.prompts import cot_augment_prompt
+from repro.llm.tasks import CoTAugmentTask
+from repro.schema.model import Database
+from repro.schema.serialize import schema_to_prompt
+
+__all__ = ["ValueEntry", "PreprocessedDatabase", "Preprocessor", "CORRECTION_FEWSHOTS"]
+
+
+#: Error-typed correction few-shots (paper Listing 3): one worked example
+#: per execution-error kind, showing the model what kind of fix applies.
+CORRECTION_FEWSHOTS: dict[str, str] = {
+    "empty": (
+        "/* Fix the SQL and answer the question */\n"
+        "#question: How many clients are called John?\n"
+        "#Error SQL: SELECT COUNT(*) FROM Client WHERE Client.Name = 'John'\n"
+        "Error: Result: None\n"
+        "#values: Client.Name = 'JOHN'\n"
+        "#Change Ambiguity: the database stores names upper-case; use the "
+        "stored value\n"
+        "#SQL: SELECT COUNT(*) FROM Client WHERE Client.Name = 'JOHN'"
+    ),
+    "syntax_error": (
+        "/* Fix the SQL and answer the question */\n"
+        "#question: List the products.\n"
+        "#Error SQL: SELECT SELECT Name FROM Product\n"
+        "Error: syntax error near SELECT\n"
+        "#Change Ambiguity: remove the duplicated keyword\n"
+        "#SQL: SELECT Name FROM Product"
+    ),
+    "missing_column": (
+        "/* Fix the SQL and answer the question */\n"
+        "#question: Count the orders.\n"
+        "#Error SQL: SELECT COUNT(Orders.order_identifier) FROM Orders\n"
+        "Error: no such column: Orders.order_identifier\n"
+        "#Change Ambiguity: use the real column name from the schema\n"
+        "#SQL: SELECT COUNT(Orders.OrderID) FROM Orders"
+    ),
+    "missing_table": (
+        "/* Fix the SQL and answer the question */\n"
+        "#question: Count the rows.\n"
+        "#Error SQL: SELECT COUNT(*) FROM Bookings\n"
+        "Error: no such table: Bookings\n"
+        "#Change Ambiguity: the table is named Orders in this database\n"
+        "#SQL: SELECT COUNT(*) FROM Orders"
+    ),
+    "other_error": (
+        "/* Fix the SQL and answer the question */\n"
+        "#question: Count patients who arrived after 1990.\n"
+        "#Error SQL: SELECT COUNT(*) FROM Patient WHERE YEAR(Patient.Date) >= 1990\n"
+        "Error: no such function: YEAR\n"
+        "#Change Ambiguity: SQLite uses strftime('%Y', column)\n"
+        "#SQL: SELECT COUNT(*) FROM Patient WHERE STRFTIME('%Y', Patient.Date) >= '1990'"
+    ),
+    "timeout": (
+        "/* Fix the SQL and answer the question */\n"
+        "#question: Join the tables.\n"
+        "#Error SQL: SELECT * FROM A, B WHERE A.x > B.y\n"
+        "Error: timeout\n"
+        "#Change Ambiguity: replace the cross join with the foreign-key join\n"
+        "#SQL: SELECT * FROM A INNER JOIN B ON A.bid = B.id"
+    ),
+    "ambiguous_column": (
+        "/* Fix the SQL and answer the question */\n"
+        "#question: List names.\n"
+        "#Error SQL: SELECT Name FROM A INNER JOIN B ON A.id = B.aid\n"
+        "Error: ambiguous column name: Name\n"
+        "#Change Ambiguity: qualify the column with its table\n"
+        "#SQL: SELECT A.Name FROM A INNER JOIN B ON A.id = B.aid"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ValueEntry:
+    """One indexed stored value."""
+
+    table: str
+    column: str
+    value: str
+
+
+@dataclass
+class PreprocessedDatabase:
+    """Per-database preprocessing artifacts."""
+
+    schema: Database
+    value_index: VectorIndex
+    column_index: VectorIndex
+    schema_prompt: str
+    value_count: int = 0
+
+
+class Preprocessor:
+    """Builds all preprocessing artifacts for a benchmark."""
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        config: Optional[PipelineConfig] = None,
+        vectorizer: Optional[HashingVectorizer] = None,
+    ):
+        self.llm = llm
+        self.config = config or PipelineConfig()
+        self.vectorizer = vectorizer or HashingVectorizer()
+
+    def _new_index(self) -> VectorIndex:
+        if self.config.vector_index == "hnsw":
+            return HNSWIndex(self.vectorizer.dimensions, seed=self.config.seed)
+        return FlatIndex(self.vectorizer.dimensions)
+
+    # ------------------------------------------------------------ database
+
+    def preprocess_database(self, built: BuiltDatabase) -> PreprocessedDatabase:
+        """Index values (string columns only) and columns of one database."""
+        value_index = self._new_index()
+        column_index = self._new_index()
+        count = 0
+        cursor = built.connection.cursor()
+        for table in built.schema.tables:
+            for column in table.columns:
+                doc = f"{table.name} {column.name} {column.description}"
+                column_index.add(
+                    f"{table.name}.{column.name}",
+                    self.vectorizer.embed(doc),
+                    payload=(table.name, column.name),
+                )
+                if not column.is_text:
+                    continue
+                cursor.execute(
+                    f'SELECT DISTINCT "{column.name}" FROM "{table.name}" '
+                    f'WHERE "{column.name}" IS NOT NULL'
+                )
+                for (value,) in cursor.fetchall():
+                    text = str(value)
+                    value_index.add(
+                        f"{table.name}.{column.name}={text}",
+                        self.vectorizer.embed(text),
+                        payload=ValueEntry(table.name, column.name, text),
+                    )
+                    count += 1
+        return PreprocessedDatabase(
+            schema=built.schema,
+            value_index=value_index,
+            column_index=column_index,
+            schema_prompt=schema_to_prompt(built.schema),
+            value_count=count,
+        )
+
+    # ------------------------------------------------------------ few-shot
+
+    def build_fewshot_library(
+        self,
+        train: list[Example],
+        schemas: dict[str, Database],
+        cost: Optional[CostTracker] = None,
+    ) -> FewShotLibrary:
+        """Self-taught upgrade of the train set (Algorithm 1 lines 12–15):
+        each Query-SQL pair gains LLM-generated CoT text."""
+        library = FewShotLibrary(
+            vectorizer=self.vectorizer,
+            index_kind=self.config.vector_index,
+            seed=self.config.seed,
+        )
+        for example in train:
+            schema = schemas[example.db_id]
+            prompt = cot_augment_prompt(
+                example.question, example.gold_sql, schema.name
+            )
+            responses = self.llm.complete(
+                prompt,
+                temperature=0.0,
+                n=1,
+                task=CoTAugmentTask(example=example, schema=schema),
+            )
+            if cost is not None:
+                cost.record_responses("preprocessing", responses)
+            surfaces = tuple(m.surface for m in example.value_mentions)
+            library.add(
+                FewShotExample(
+                    example=example,
+                    cot_text=responses[0].text,
+                    masked_question=mask_question(example.question, surfaces),
+                )
+            )
+        return library
+
+    # ----------------------------------------------------------- benchmark
+
+    def preprocess_benchmark(
+        self, benchmark: Benchmark, cost: Optional[CostTracker] = None
+    ) -> tuple[dict[str, PreprocessedDatabase], FewShotLibrary]:
+        """Preprocess every database plus the train set of ``benchmark``."""
+        databases = {
+            db_id: self.preprocess_database(built)
+            for db_id, built in benchmark.databases.items()
+        }
+        schemas = {db_id: pre.schema for db_id, pre in databases.items()}
+        library = self.build_fewshot_library(benchmark.train, schemas, cost)
+        return databases, library

@@ -1,0 +1,236 @@
+"""Refinement stage (paper §3.6, Figure 2): alignment → correction →
+self-consistency & vote.
+
+Each candidate SQL is (optionally) aligned, executed, and — on execution
+errors or empty results — corrected by an LLM call armed with the matching
+error-typed few-shot (paper Listing 3).  The final SQL is selected by
+Equation 3: majority execution result first, shortest execution time as
+the tie-break; error/empty candidates are excluded from the vote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.alignment import apply_alignments
+from repro.core.config import PipelineConfig
+from repro.core.cost import CostTracker
+from repro.core.extraction import ExtractionResult
+from repro.core.generation import parse_sql_from_completion
+from repro.core.preprocessing import CORRECTION_FEWSHOTS, PreprocessedDatabase
+from repro.datasets.types import Example
+from repro.embedding.vectorizer import HashingVectorizer
+from repro.execution.executor import ExecutionOutcome, ExecutionStatus, SQLExecutor
+from repro.llm.base import LLMClient
+from repro.llm.prompts import correction_prompt
+from repro.llm.tasks import CorrectionTask, PromptFeatures
+from repro.sqlkit.parser import ParseError, parse_select
+from repro.sqlkit.render import render
+from repro.sqlkit.tokenizer import TokenizeError
+
+__all__ = ["RefinedCandidate", "RefinementResult", "Refiner", "vote"]
+
+
+@dataclass
+class RefinedCandidate:
+    """One candidate's journey through refinement."""
+
+    raw_sql: str
+    aligned_sql: str
+    final_sql: str
+    outcome: Optional[ExecutionOutcome] = None
+    corrected: bool = False
+
+
+@dataclass
+class RefinementResult:
+    """Refinement output: the chosen SQL plus per-candidate traces."""
+
+    final_sql: str
+    candidates: list[RefinedCandidate] = field(default_factory=list)
+
+    @property
+    def first_refined_sql(self) -> Optional[str]:
+        """The first candidate's post-refinement SQL (the paper's EX_R
+        observable: a single SQL before self-consistency & vote)."""
+        return self.candidates[0].final_sql if self.candidates else None
+
+
+def _result_key(outcome: ExecutionOutcome) -> tuple:
+    """Hashable execution-result identity used for vote grouping.
+
+    Row order is ignored (BIRD's comparison is order-insensitive unless
+    the query orders), which keeps equivalent candidates in one bucket.
+    """
+    return tuple(sorted(
+        tuple((cell is None, str(cell)) for cell in row) for row in outcome.rows
+    ))
+
+
+def vote(candidates: list[RefinedCandidate]) -> Optional[RefinedCandidate]:
+    """Self-consistency & vote (paper Eq. 3).
+
+    Excludes candidates that errored or returned empty results, groups the
+    rest by execution result, picks the largest group, and within it the
+    candidate with the shortest execution time.
+    """
+    valid = [
+        c
+        for c in candidates
+        if c.outcome is not None and c.outcome.status is ExecutionStatus.OK
+    ]
+    if not valid:
+        return None
+    groups: dict[tuple, list[RefinedCandidate]] = {}
+    order: list[tuple] = []
+    for candidate in valid:
+        key = _result_key(candidate.outcome)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(candidate)
+    best_key = max(order, key=lambda key: len(groups[key]))
+    bucket = groups[best_key]
+    return min(bucket, key=lambda c: c.outcome.elapsed_seconds)
+
+
+class Refiner:
+    """Runs the Refinement stage for one question's candidate set."""
+
+    def __init__(
+        self,
+        llm: LLMClient,
+        config: Optional[PipelineConfig] = None,
+        vectorizer: Optional[HashingVectorizer] = None,
+    ):
+        self.llm = llm
+        self.config = config or PipelineConfig()
+        self.vectorizer = vectorizer or HashingVectorizer()
+
+    # ----------------------------------------------------------- alignment
+
+    def align(self, sql: str, pre: PreprocessedDatabase, executor: SQLExecutor) -> str:
+        """Apply the post-generation alignments; unparseable SQL passes
+        through untouched (the correction step will deal with it)."""
+        if not self.config.use_alignments:
+            return sql
+        try:
+            select = parse_select(sql)
+        except (ParseError, TokenizeError):
+            return sql
+        aligned = apply_alignments(
+            select, pre, executor, self.vectorizer, self.config.similarity_threshold
+        )
+        return render(aligned)
+
+    # ---------------------------------------------------------- correction
+
+    def correct(
+        self,
+        example: Example,
+        sql: str,
+        outcome: ExecutionOutcome,
+        pre: PreprocessedDatabase,
+        extraction: ExtractionResult,
+        cost: Optional[CostTracker] = None,
+    ) -> Optional[str]:
+        """One correction round for a failed/empty candidate."""
+        error_kind = (
+            "empty" if outcome.status is ExecutionStatus.EMPTY else outcome.status.value
+        )
+        few_shots: list[str] = []
+        fewshot_kind = "none"
+        if self.config.refinement_fewshot:
+            shot = CORRECTION_FEWSHOTS.get(error_kind)
+            if shot:
+                few_shots.append(shot)
+                fewshot_kind = "query_sql"
+        features = PromptFeatures(
+            provided_values=extraction.provided_values,
+            schema_column_count=extraction.schema.column_count() if extraction.schema else 0,
+            schema_table_count=len(extraction.schema.tables) if extraction.schema else 0,
+            fewshot_kind=fewshot_kind,
+            cot_mode="none",
+        )
+        prompt = correction_prompt(
+            question=example.question,
+            failed_sql=sql,
+            error_kind=error_kind,
+            error_message=outcome.error or "Result: None",
+            schema_text=extraction.schema_prompt,
+            values=extraction.provided_values,
+            few_shots=few_shots,
+        )
+        responses = self.llm.complete(
+            prompt,
+            temperature=self.config.generation_temperature,
+            n=1,
+            task=CorrectionTask(
+                oracle=example,
+                schema=extraction.schema or pre.schema,
+                features=features,
+                failed_sql=sql,
+                error_kind=error_kind,
+                error_message=outcome.error or "",
+            ),
+        )
+        if cost is not None:
+            cost.record_responses("refinement", responses)
+        fixed = parse_sql_from_completion(responses[0].text)
+        if fixed and fixed.strip() != sql.strip():
+            return fixed
+        return None
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        example: Example,
+        sqls: list[str],
+        pre: PreprocessedDatabase,
+        extraction: ExtractionResult,
+        executor: SQLExecutor,
+        cost: Optional[CostTracker] = None,
+    ) -> RefinementResult:
+        """Refine all candidates and select the final SQL."""
+        config = self.config
+        refined: list[RefinedCandidate] = []
+        for sql in sqls:
+            aligned = self.align(sql, pre, executor)
+            candidate = RefinedCandidate(raw_sql=sql, aligned_sql=aligned, final_sql=aligned)
+            outcome = executor.execute(aligned)
+            if (
+                config.use_refinement
+                and config.use_correction
+                and outcome.status is not ExecutionStatus.OK
+            ):
+                current_sql, current = aligned, outcome
+                for _round in range(config.max_correction_rounds):
+                    fixed = self.correct(
+                        example, current_sql, current, pre, extraction, cost
+                    )
+                    if fixed is None:
+                        break
+                    fixed = self.align(fixed, pre, executor)
+                    fixed_outcome = executor.execute(fixed)
+                    if fixed_outcome.status is ExecutionStatus.OK or (
+                        not fixed_outcome.status.is_error and current.status.is_error
+                    ):
+                        candidate.corrected = True
+                        current_sql, current = fixed, fixed_outcome
+                        break
+                    current_sql, current = fixed, fixed_outcome
+                candidate.final_sql, outcome = current_sql, current
+            candidate.outcome = outcome
+            refined.append(candidate)
+
+        winner = None
+        if config.use_refinement and config.use_self_consistency and len(refined) > 1:
+            winner = vote(refined)
+        if winner is None and refined:
+            # Without self-consistency (or when every candidate failed) the
+            # paper's single-SQL setting applies: take the first candidate.
+            winner = refined[0]
+        final_sql = winner.final_sql if winner else ""
+        return RefinementResult(final_sql=final_sql, candidates=refined)

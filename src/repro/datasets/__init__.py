@@ -1,0 +1,37 @@
+"""Synthetic benchmark datasets.
+
+Offline substitutes for BIRD and Spider: multi-domain SQLite databases with
+seeded synthetic data, plus question templates that produce (NLQ, evidence,
+gold SQL, difficulty) tuples carrying BIRD's characteristic pitfalls
+(dirty values, same-name columns, nullable sort keys, date-format tricks).
+"""
+
+from repro.datasets.types import DIFFICULTIES, Example, ValueMention
+from repro.datasets.build import (
+    Benchmark,
+    BuiltDatabase,
+    DomainSpec,
+    QuestionDraft,
+    TemplateSpec,
+    build_benchmark,
+)
+from repro.datasets.bird import build_bird_like, mini_dev
+from repro.datasets.persist import load_benchmark, save_benchmark
+from repro.datasets.spider import build_spider_like
+
+__all__ = [
+    "Benchmark",
+    "BuiltDatabase",
+    "DIFFICULTIES",
+    "DomainSpec",
+    "Example",
+    "QuestionDraft",
+    "TemplateSpec",
+    "ValueMention",
+    "build_benchmark",
+    "build_bird_like",
+    "build_spider_like",
+    "load_benchmark",
+    "mini_dev",
+    "save_benchmark",
+]

@@ -1,0 +1,76 @@
+"""The BIRD-like benchmark: 10 domains with big-ish dirty-value databases.
+
+``build_bird_like`` assembles the full suite; ``mini_dev`` mirrors the
+MINI-DEV subset BIRD publishes for cheap ablations (the paper runs its
+Table 4/5/7 ablations there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import Benchmark, build_benchmark
+from repro.datasets.domains.blockchain import DOMAIN as BLOCKCHAIN
+from repro.datasets.domains.education import DOMAIN as EDUCATION
+from repro.datasets.domains.energy import DOMAIN as ENERGY
+from repro.datasets.domains.finance import DOMAIN as FINANCE
+from repro.datasets.domains.healthcare import DOMAIN as HEALTHCARE
+from repro.datasets.domains.hockey import DOMAIN as HOCKEY
+from repro.datasets.domains.library import DOMAIN as LIBRARY
+from repro.datasets.domains.music import DOMAIN as MUSIC
+from repro.datasets.domains.realestate import DOMAIN as REALESTATE
+from repro.datasets.domains.retail import DOMAIN as RETAIL
+from repro.datasets.types import Example
+
+__all__ = ["BIRD_DOMAINS", "build_bird_like", "mini_dev"]
+
+BIRD_DOMAINS = [
+    HEALTHCARE,
+    EDUCATION,
+    FINANCE,
+    HOCKEY,
+    RETAIL,
+    MUSIC,
+    LIBRARY,
+    BLOCKCHAIN,
+    ENERGY,
+    REALESTATE,
+]
+
+
+def build_bird_like(
+    seed: int = 7,
+    per_template_train: int = 4,
+    per_template_dev: int = 3,
+    per_template_test: int = 3,
+) -> Benchmark:
+    """Build the BIRD-like suite (10 domains, dirty values, evidence)."""
+    return build_benchmark(
+        name="bird-like",
+        domains=BIRD_DOMAINS,
+        per_template_train=per_template_train,
+        per_template_dev=per_template_dev,
+        per_template_test=per_template_test,
+        seed=seed,
+    )
+
+
+def mini_dev(benchmark: Benchmark, size: int = 120, seed: int = 11) -> list[Example]:
+    """A difficulty-stratified subsample of the dev split (BIRD MINI-DEV).
+
+    Sampling preserves the dev split's difficulty mix so ablation deltas on
+    the mini set track the full set.
+    """
+    rng = np.random.default_rng(seed)
+    by_difficulty: dict[str, list[Example]] = {}
+    for example in benchmark.dev:
+        by_difficulty.setdefault(example.difficulty, []).append(example)
+    total = len(benchmark.dev)
+    if size >= total:
+        return list(benchmark.dev)
+    chosen: list[Example] = []
+    for difficulty, bucket in sorted(by_difficulty.items()):
+        quota = max(1, round(size * len(bucket) / total))
+        indexes = rng.permutation(len(bucket))[:quota]
+        chosen.extend(bucket[i] for i in sorted(indexes))
+    return chosen[:size] if len(chosen) > size else chosen

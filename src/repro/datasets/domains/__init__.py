@@ -1,0 +1,10 @@
+"""Synthetic benchmark domains.
+
+Each module defines one :class:`~repro.datasets.build.DomainSpec`: a schema
+with foreign keys and descriptions, a seeded data population, and question
+templates instantiated from the shared factories in ``common.py``.
+"""
+
+from repro.datasets.domains import common
+
+__all__ = ["common"]

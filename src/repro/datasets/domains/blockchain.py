@@ -1,0 +1,176 @@
+"""Blockchain domain — wallets, blocks and transactions (BIRD's intro
+names blockchain among its professional domains)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="blockchain",
+    description="A toy ledger: wallets, mined blocks and transfers.",
+    tables=(
+        Table(
+            name="Wallet",
+            description="Wallets holding funds.",
+            columns=(
+                Column("WalletID", "INTEGER", "wallet id", is_primary=True),
+                Column("Owner", "TEXT", "registered owner name, stored upper-case"),
+                Column("Network", "TEXT", "chain network",
+                       value_examples=("MAINNET ALPHA", "MAINNET BETA", "TESTNET")),
+                Column("Created", "DATE", "wallet creation date"),
+                Column("Balance", "REAL", "current balance in coins"),
+            ),
+        ),
+        Table(
+            name="Block",
+            description="Mined blocks.",
+            columns=(
+                Column("BlockID", "INTEGER", "block height", is_primary=True),
+                Column("MinedAt", "DATE", "mining date"),
+                Column("Miner", "TEXT", "mining pool name"),
+                Column("SizeKb", "REAL", "block size in kilobytes"),
+            ),
+        ),
+        Table(
+            name="Transfer",
+            description="On-chain transfers, included in blocks.",
+            columns=(
+                Column("TransferID", "INTEGER", "transfer id", is_primary=True),
+                Column("BlockID", "INTEGER", "containing block"),
+                Column("WalletID", "INTEGER", "sending wallet"),
+                Column("Amount", "REAL", "coins moved"),
+                Column("Fee", "REAL", "fee paid (nullable: sponsored)"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Transfer", "BlockID", "Block", "BlockID"),
+        ForeignKey("Transfer", "WalletID", "Wallet", "WalletID"),
+    ),
+)
+
+_NETWORKS = ("MAINNET ALPHA", "MAINNET BETA", "TESTNET")
+_POOLS = ("POLAR POOL", "EMBER COLLECTIVE", "QUANTUM MINERS", "SOLO RIG")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    owners = common.person_names(rng, 120)
+    created = common.random_dates(rng, 120, 2016, 2023)
+    wallets = [
+        (wid, owners[wid - 1], common.pick(rng, _NETWORKS), created[wid - 1],
+         round(float(rng.uniform(0, 2500)), 4))
+        for wid in range(1, 121)
+    ]
+    mined = common.random_dates(rng, 300, 2016, 2023)
+    blocks = [
+        (height, mined[height - 1], common.pick(rng, _POOLS),
+         round(float(rng.uniform(1, 1800)), 1))
+        for height in range(1, 301)
+    ]
+    transfers = []
+    tid = 1
+    for _ in range(1600):
+        transfers.append(
+            (tid, int(rng.integers(1, 301)), int(rng.integers(1, 121)),
+             round(float(rng.uniform(0.01, 400)), 4),
+             round(float(rng.uniform(0.0001, 0.4)), 4) if rng.random() < 0.9 else None)
+        )
+        tid += 1
+    return {"Wallet": wallets, "Block": blocks, "Transfer": transfers}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_network", "Wallet", "Network",
+        "How many wallets exist on {value}?",
+    ),
+    common.list_where_dirty(
+        "owners_on_network", "Wallet", "Owner", "Network",
+        "List the owners of wallets on {value}.",
+    ),
+    common.numeric_agg_where(
+        "avg_balance_network", "Wallet", "AVG", "Balance", "Network",
+        "What is the average balance of wallets on {value}?",
+    ),
+    common.count_join_distinct(
+        "wallets_by_miner", "Wallet", "WalletID", "Block", "Miner",
+        "How many different wallets sent a transfer included in a block "
+        "mined by {value}?",
+    ),
+    common.date_year_count(
+        "blocks_since", "Block", "MinedAt",
+        "How many blocks were mined in {year} or {direction}?",
+        year_pool=(2017, 2018, 2019, 2020, 2021, 2022),
+    ),
+    common.superlative_nullable(
+        "highest_fee", "Transfer", "TransferID", "Fee",
+        "Which transfer paid the {rank}highest fee?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.min_nullable(
+        "lowest_fee", "Transfer", "TransferID", "Fee",
+        "Which transfer paid the {rank}lowest non-sponsored fee?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.group_top(
+        "busiest_miner", "Block", "Miner",
+        "Which mining pool mined the {rank}most blocks?",
+        ranks=(1, 2, 3, 4),
+    ),
+    common.evidence_formula_count(
+        "whale_transfers", "Transfer", "Amount", "a whale transfer",
+        250, 400,
+        "How many transfers qualify as {term}?",
+    ),
+    common.multi_select_where(
+        "owner_and_balance", "Wallet", ("Owner", "Balance"), "Network",
+        "Show the owner and balance of every wallet on {value}.",
+    ),
+    common.join_list_dirty(
+        "miners_for_network", "Block", "Miner", "Wallet", "Network",
+        "List the distinct mining pools whose blocks include transfers from "
+        "{value} wallets.",
+    ),
+    common.join_superlative_dirty(
+        "largest_transfer_network", "Transfer", "Amount", "Wallet", "Network",
+        "Transfer", "Amount",
+        "Among transfers from {value} wallets, what is the amount of the largest?",
+    ),
+    common.group_having_count(
+        "busy_pools", "Block", "Miner",
+        "Which mining pools mined at least {n} blocks?",
+        thresholds=(50, 60, 70, 80),
+    ),
+    common.date_between_count(
+        "mined_between", "Block", "MinedAt",
+        "How many blocks were mined between {lo} and {hi}?",
+        year_pairs=((2016, 2018), (2017, 2019), (2018, 2020), (2019, 2021),
+                    (2020, 2022), (2016, 2020), (2017, 2021), (2018, 2022),
+                    (2016, 2019), (2019, 2022)),
+    ),
+    common.top_k_list(
+        "largest_transfers", "Transfer", "TransferID", "Amount",
+        "List the {k} largest transfers by amount.",
+    ),
+    common.count_not_equal(
+        "not_network", "Wallet", "Network",
+        "How many wallets are not on {value}?",
+    ),
+    common.join_avg_dirty(
+        "avg_amount_by_network", "Transfer", "Amount", "Wallet", "Network",
+        "What is the average transfer amount sent from {value} wallets?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="blockchain",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

@@ -1,0 +1,745 @@
+"""Shared question-template factories and data-generation helpers.
+
+The factories return :class:`~repro.datasets.build.TemplateSpec` makers
+covering the question archetypes BIRD evaluates: filtered counts over dirty
+values, joins with DISTINCT tricks, date-format questions, superlatives
+over nullable columns, evidence-formula thresholds, grouped top-k and
+multi-output selections.  Domains instantiate them with their own tables
+and phrasing so questions read naturally per domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.build import DomainContext, QuestionDraft, TemplateSpec, surface_variant
+from repro.datasets.types import ValueMention
+from repro.sqlkit.render import quote_identifier
+
+__all__ = [
+    "count_where_dirty",
+    "list_where_dirty",
+    "numeric_agg_where",
+    "count_join_distinct",
+    "date_year_count",
+    "superlative_nullable",
+    "min_nullable",
+    "group_top",
+    "evidence_formula_count",
+    "multi_select_where",
+    "join_list_dirty",
+    "join_superlative_dirty",
+    "group_having_count",
+    "date_between_count",
+    "top_k_list",
+    "count_not_equal",
+    "count_two_filters",
+    "count_in_two",
+    "join_avg_dirty",
+    "random_dates",
+    "person_names",
+    "pick",
+]
+
+_FIRST = (
+    "ALICE", "BRUNO", "CARMEN", "DEVIN", "ELENA", "FARID", "GRETA", "HUGO",
+    "INGRID", "JAMAL", "KEIKO", "LARS", "MIRA", "NOEL", "OLGA", "PABLO",
+    "QUINN", "ROSA", "STEFAN", "TARA", "UMA", "VICTOR", "WANDA", "XAVIER",
+    "YUSUF", "ZELDA",
+)
+_LAST = (
+    "ANDERSEN", "BLACKWOOD", "CASTILLO", "DUBOIS", "EKLUND", "FERRARI",
+    "GONZALES", "HOLLOWAY", "IVANOV", "JENSEN", "KOVACS", "LINDQVIST",
+    "MORALES", "NAKAMURA", "OKAFOR", "PETROV", "QUIROGA", "ROSSI",
+    "SCHNEIDER", "TREMBLAY",
+)
+
+
+_ORDINALS = {
+    1: "", 2: "second ", 3: "third ", 4: "fourth ", 5: "fifth ",
+    6: "sixth ", 7: "seventh ",
+}
+
+
+def qcol(table: str, column: str) -> str:
+    """Render a fully qualified, properly quoted column reference."""
+    return f"{quote_identifier(table)}.{quote_identifier(column)}"
+
+def pick(rng: np.random.Generator, pool: Sequence):
+    """Uniformly pick one element of ``pool``."""
+    return pool[int(rng.integers(len(pool)))]
+
+
+def person_names(rng: np.random.Generator, count: int) -> list[str]:
+    """Distinct upper-case person names (BIRD-style shouty storage)."""
+    names: dict[str, None] = {}
+    while len(names) < count:
+        names[f"{pick(rng, _FIRST)} {pick(rng, _LAST)}"] = None
+    return list(names)
+
+
+def random_dates(
+    rng: np.random.Generator, count: int, year_lo: int = 1980, year_hi: int = 2020
+) -> list[str]:
+    """ISO dates spread over [year_lo, year_hi]."""
+    dates = []
+    for _ in range(count):
+        year = int(rng.integers(year_lo, year_hi + 1))
+        month = int(rng.integers(1, 13))
+        day = int(rng.integers(1, 29))
+        dates.append(f"{year:04d}-{month:02d}-{day:02d}")
+    return dates
+
+
+def _mention(
+    ctx_value: str,
+    rng: np.random.Generator,
+    table: str,
+    column: str,
+    clean: bool = False,
+) -> ValueMention:
+    """Build a value mention; ``clean`` keeps the surface identical to the
+    stored value (Spider-style datasets have no dirty values)."""
+    stored = str(ctx_value)
+    surface = stored if clean else surface_variant(stored, rng)
+    return ValueMention(surface=surface, stored=stored, table=table, column=column)
+
+
+# -------------------------------------------------------------- factories
+
+
+def count_where_dirty(
+    template_id: str,
+    table: str,
+    column: str,
+    question_fmt: str,
+    difficulty: str = "simple",
+    clean: bool = False,
+) -> TemplateSpec:
+    """"How many <noun> ... {value}?" → SELECT COUNT(*) WHERE col = value.
+
+    The value mention is dirty: the question spells it differently from
+    storage, exercising values retrieval + agent alignment.
+    """
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(table, column, rng))
+        mention = _mention(value, rng, table, column, clean)
+        sql = f"SELECT COUNT(*) FROM {quote_identifier(table)} WHERE {qcol(table, column)} = '{value}'"
+        return QuestionDraft(
+            question=question_fmt.format(value=mention.surface),
+            sql=sql,
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def list_where_dirty(
+    template_id: str,
+    table: str,
+    out_column: str,
+    filter_column: str,
+    question_fmt: str,
+    difficulty: str = "simple",
+    clean: bool = False,
+) -> TemplateSpec:
+    """"List the <out> of <noun> with <filter> {value}"."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(table, filter_column, rng))
+        mention = _mention(value, rng, table, filter_column, clean)
+        sql = (
+            f"SELECT {qcol(table, out_column)} FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, filter_column)} = '{value}'"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(value=mention.surface),
+            sql=sql,
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def numeric_agg_where(
+    template_id: str,
+    table: str,
+    agg: str,
+    agg_column: str,
+    filter_column: str,
+    question_fmt: str,
+    difficulty: str = "simple",
+    clean: bool = False,
+) -> TemplateSpec:
+    """"What is the average/total <x> of rows with <filter> {value}?"."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(table, filter_column, rng))
+        mention = _mention(value, rng, table, filter_column, clean)
+        sql = (
+            f"SELECT {agg}({qcol(table, agg_column)}) FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, filter_column)} = '{value}'"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(value=mention.surface),
+            sql=sql,
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def count_join_distinct(
+    template_id: str,
+    count_table: str,
+    count_column: str,
+    filter_table: str,
+    filter_column: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    clean: bool = False,
+) -> TemplateSpec:
+    """Join + COUNT(DISTINCT ...) — carries the ``needs_distinct`` trick."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(filter_table, filter_column, rng))
+        mention = _mention(value, rng, filter_table, filter_column, clean)
+        return _assembled_draft(
+            ctx,
+            rng,
+            question_fmt.format(value=mention.surface),
+            select=f"COUNT(DISTINCT {qcol(count_table, count_column)})",
+            where=f"{qcol(filter_table, filter_column)} = '{value}'",
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=("needs_distinct",))
+
+
+def _assembled_draft(
+    ctx: DomainContext,
+    rng: np.random.Generator,
+    question: str,
+    select: str,
+    where: str = "",
+    group_by: str = "",
+    having: str = "",
+    order_by: str = "",
+    limit: Optional[int] = None,
+    mentions: tuple[ValueMention, ...] = (),
+    evidence: str = "",
+) -> Optional[QuestionDraft]:
+    """Build gold SQL by assembling a SQL-Like skeleton through the domain's
+    FK graph — exactly the mechanism the pipeline itself uses, so golds are
+    guaranteed consistent with the schema."""
+    from repro.schema.joins import assemble_select
+    from repro.sqlkit.render import render
+    from repro.sqlkit.sql_like import parse_sql_like
+
+    text = f"Show {select}"
+    if where:
+        text += f" WHERE {where}"
+    if group_by:
+        text += f" GROUP BY {group_by}"
+    if having:
+        text += f" HAVING {having}"
+    if order_by:
+        text += f" ORDER BY {order_by}"
+    if limit is not None:
+        text += f" LIMIT {limit}"
+    try:
+        sql_like = parse_sql_like(text)
+        select_ast = assemble_select(ctx.schema, sql_like)
+    except Exception as exc:
+        raise ValueError(f"template produced bad skeleton {text!r}: {exc}") from exc
+    return QuestionDraft(
+        question=question,
+        sql=render(select_ast),
+        evidence=evidence,
+        mentions=mentions,
+    )
+
+
+def date_year_count(
+    template_id: str,
+    table: str,
+    date_column: str,
+    question_fmt: str,
+    comparator: str = ">=",
+    difficulty: str = "moderate",
+    year_pool: tuple[int, ...] = (1990, 1995, 2000, 2005, 2010),
+) -> TemplateSpec:
+    """Count rows by year bound via strftime — the ``date_format`` trick."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        year = int(pick(rng, year_pool))
+        direction = "after" if comparator in (">=", ">") else "before"
+        sql = (
+            f"SELECT COUNT(*) FROM {quote_identifier(table)} "
+            f"WHERE STRFTIME('%Y', {qcol(table, date_column)}) {comparator} '{year}'"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(year=year, direction=direction),
+            sql=sql,
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=("date_format",))
+
+
+def superlative_nullable(
+    template_id: str,
+    table: str,
+    out_column: str,
+    order_column: str,
+    question_fmt: str,
+    desc: bool = True,
+    difficulty: str = "moderate",
+    filter_column: Optional[str] = None,
+    clean: bool = False,
+    ranks: tuple[int, ...] = (1,),
+) -> TemplateSpec:
+    """"Which <noun> has the highest <x>?" — BIRD style mandates
+    ``ORDER BY ... LIMIT 1`` with an ``IS NOT NULL`` guard
+    (traits ``max_vs_limit`` + ``nullable_min``).
+
+    Parameter variety (so every split gets distinct questions) comes from
+    ``filter_column`` (restrict to a sampled value, "{value}" in the
+    format) and/or ``ranks`` ("{rank}" in the format: "second highest" →
+    ``LIMIT 1 OFFSET 1``).
+    """
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        direction = "DESC" if desc else "ASC"
+        where = f"{qcol(table, order_column)} IS NOT NULL"
+        mentions: tuple[ValueMention, ...] = ()
+        fields: dict[str, str] = {}
+        if filter_column is not None:
+            value = str(ctx.sample_value(table, filter_column, rng))
+            mention = _mention(value, rng, table, filter_column, clean)
+            where = f"{qcol(table, filter_column)} = '{value}' AND " + where
+            mentions = (mention,)
+            fields["value"] = mention.surface
+        rank = int(pick(rng, ranks))
+        if "{rank}" in question_fmt:
+            fields["rank"] = _ORDINALS[rank]
+        offset = f" OFFSET {rank - 1}" if rank > 1 else ""
+        question = question_fmt.format(**fields) if fields else question_fmt
+        sql = (
+            f"SELECT {qcol(table, out_column)} FROM {quote_identifier(table)} "
+            f"WHERE {where} "
+            f"ORDER BY {qcol(table, order_column)} {direction} LIMIT 1{offset}"
+        )
+        return QuestionDraft(question=question, sql=sql, mentions=mentions)
+
+    return TemplateSpec(
+        template_id, difficulty, maker, traits=("max_vs_limit", "nullable_min")
+    )
+
+
+def min_nullable(
+    template_id: str,
+    table: str,
+    out_column: str,
+    order_column: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    filter_column: Optional[str] = None,
+    clean: bool = False,
+    ranks: tuple[int, ...] = (1,),
+) -> TemplateSpec:
+    """Lowest-value superlative over a nullable column (``nullable_min``)."""
+    return superlative_nullable(
+        template_id, table, out_column, order_column, question_fmt,
+        desc=False, difficulty=difficulty, filter_column=filter_column,
+        clean=clean, ranks=ranks,
+    )
+
+
+def group_top(
+    template_id: str,
+    table: str,
+    group_column: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    filter_column: Optional[str] = None,
+    clean: bool = False,
+    ranks: tuple[int, ...] = (1,),
+) -> TemplateSpec:
+    """"Which <group> has the most rows?" → GROUP BY + ORDER BY COUNT(*).
+
+    ``filter_column`` and/or ``ranks`` ("{rank}" placeholder → LIMIT 1
+    OFFSET k) give the template distinct questions per split.
+    """
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        where = ""
+        mentions: tuple[ValueMention, ...] = ()
+        fields: dict[str, str] = {}
+        if filter_column is not None:
+            value = str(ctx.sample_value(table, filter_column, rng))
+            mention = _mention(value, rng, table, filter_column, clean)
+            where = f"WHERE {qcol(table, filter_column)} = '{value}' "
+            mentions = (mention,)
+            fields["value"] = mention.surface
+        rank = int(pick(rng, ranks))
+        if "{rank}" in question_fmt:
+            fields["rank"] = _ORDINALS[rank]
+        offset = f" OFFSET {rank - 1}" if rank > 1 else ""
+        question = question_fmt.format(**fields) if fields else question_fmt
+        sql = (
+            f"SELECT {qcol(table, group_column)} FROM {quote_identifier(table)} "
+            f"{where}"
+            f"GROUP BY {qcol(table, group_column)} "
+            f"ORDER BY COUNT(*) DESC LIMIT 1{offset}"
+        )
+        return QuestionDraft(question=question, sql=sql, mentions=mentions)
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def evidence_formula_count(
+    template_id: str,
+    table: str,
+    column: str,
+    term: str,
+    lo: float,
+    hi: float,
+    question_fmt: str,
+    difficulty: str = "challenging",
+) -> TemplateSpec:
+    """Counting rows matching a domain term defined by an evidence formula
+    ("normal X refers to col > lo AND col < hi") — ``evidence_formula``.
+
+    The bounds are jittered per draw (the evidence states the exact
+    formula, so every variant stays well-defined) to yield distinct
+    parameterizations for every split.
+    """
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        scale = float(pick(rng, (0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3)))
+        lo_v, hi_v = lo * scale, hi * scale
+        lo_text = int(lo_v) if float(lo_v).is_integer() or abs(lo_v) >= 10 else round(lo_v, 2)
+        hi_text = int(hi_v) if float(hi_v).is_integer() or abs(hi_v) >= 10 else round(hi_v, 2)
+        if isinstance(lo_text, int):
+            lo_text = int(lo_v)
+        if isinstance(hi_text, int):
+            hi_text = int(hi_v)
+        sql = (
+            f"SELECT COUNT(*) FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, column)} > {lo_text} AND {qcol(table, column)} < {hi_text}"
+        )
+        evidence = (
+            f"{term} refers to {column} > {lo_text} AND {column} < {hi_text}"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(term=term),
+            sql=sql,
+            evidence=evidence,
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=("evidence_formula",))
+
+
+def multi_select_where(
+    template_id: str,
+    table: str,
+    out_columns: Sequence[str],
+    filter_column: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    clean: bool = False,
+) -> TemplateSpec:
+    """Multiple output columns — exercises the SELECT-shape channel and
+    Info Alignment's SELECT-style hints."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(table, filter_column, rng))
+        mention = _mention(value, rng, table, filter_column, clean)
+        outs = ", ".join(qcol(table, column) for column in out_columns)
+        sql = (
+            f"SELECT {outs} FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, filter_column)} = '{value}'"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(value=mention.surface),
+            sql=sql,
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def join_list_dirty(
+    template_id: str,
+    out_table: str,
+    out_column: str,
+    filter_table: str,
+    filter_column: str,
+    question_fmt: str,
+    distinct: bool = True,
+    difficulty: str = "challenging",
+    clean: bool = False,
+) -> TemplateSpec:
+    """Cross-table listing with a dirty filter value; DISTINCT when the
+    join fans out (traits: ``needs_distinct`` when distinct)."""
+
+    traits = ("needs_distinct",) if distinct else ()
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(filter_table, filter_column, rng))
+        mention = _mention(value, rng, filter_table, filter_column, clean)
+        head = "DISTINCT " if distinct else ""
+        return _assembled_draft(
+            ctx,
+            rng,
+            question_fmt.format(value=mention.surface),
+            select=f"{head}{qcol(out_table, out_column)}",
+            where=f"{qcol(filter_table, filter_column)} = '{value}'",
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=traits)
+
+
+def join_superlative_dirty(
+    template_id: str,
+    out_table: str,
+    out_column: str,
+    filter_table: str,
+    filter_column: str,
+    order_table: str,
+    order_column: str,
+    question_fmt: str,
+    desc: bool = True,
+    difficulty: str = "challenging",
+    clean: bool = False,
+) -> TemplateSpec:
+    """Join + dirty filter + nullable superlative: the challenging-bucket
+    archetype combining three pitfalls at once."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(filter_table, filter_column, rng))
+        mention = _mention(value, rng, filter_table, filter_column, clean)
+        direction = "DESC" if desc else "ASC"
+        return _assembled_draft(
+            ctx,
+            rng,
+            question_fmt.format(value=mention.surface),
+            select=f"{qcol(out_table, out_column)}",
+            where=(
+                f"{qcol(filter_table, filter_column)} = '{value}' "
+                f"AND {qcol(order_table, order_column)} IS NOT NULL"
+            ),
+            order_by=f"{qcol(order_table, order_column)} {direction}",
+            limit=1,
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(
+        template_id,
+        difficulty,
+        maker,
+        traits=("max_vs_limit", "nullable_min"),
+    )
+
+
+def group_having_count(
+    template_id: str,
+    table: str,
+    group_column: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    thresholds: Sequence[int] = (2, 3, 4, 5),
+) -> TemplateSpec:
+    """"Which <groups> appear at least {n} times?" → GROUP BY + HAVING."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        threshold = int(pick(rng, thresholds))
+        sql = (
+            f"SELECT {qcol(table, group_column)} FROM {quote_identifier(table)} "
+            f"GROUP BY {qcol(table, group_column)} "
+            f"HAVING COUNT(*) >= {threshold}"
+        )
+        return QuestionDraft(question=question_fmt.format(n=threshold), sql=sql)
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def date_between_count(
+    template_id: str,
+    table: str,
+    date_column: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    year_pairs: Sequence[tuple[int, int]] = (
+        (1990, 2000), (1995, 2005), (2000, 2010), (1985, 1995), (2005, 2015),
+        (1992, 1998), (2002, 2012), (1988, 2004), (1996, 2014), (2008, 2016),
+    ),
+) -> TemplateSpec:
+    """Count rows in a year range via two strftime bounds
+    (``date_format`` trick, doubled)."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        lo, hi = pick(rng, year_pairs)
+        sql = (
+            f"SELECT COUNT(*) FROM {quote_identifier(table)} "
+            f"WHERE STRFTIME('%Y', {qcol(table, date_column)}) >= '{lo}' "
+            f"AND STRFTIME('%Y', {qcol(table, date_column)}) <= '{hi}'"
+        )
+        return QuestionDraft(question=question_fmt.format(lo=lo, hi=hi), sql=sql)
+
+    return TemplateSpec(template_id, difficulty, maker, traits=("date_format",))
+
+
+def top_k_list(
+    template_id: str,
+    table: str,
+    out_column: str,
+    order_column: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    ks: Sequence[int] = (2, 3, 5, 8, 10),
+    desc: bool = True,
+) -> TemplateSpec:
+    """"List the top {k} <noun> by <x>" → ORDER BY ... LIMIT k with the
+    IS NOT NULL guard (style traits)."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        k = int(pick(rng, ks))
+        direction = "DESC" if desc else "ASC"
+        sql = (
+            f"SELECT {qcol(table, out_column)} FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, order_column)} IS NOT NULL "
+            f"ORDER BY {qcol(table, order_column)} {direction} LIMIT {k}"
+        )
+        return QuestionDraft(question=question_fmt.format(k=k), sql=sql)
+
+    return TemplateSpec(
+        template_id, difficulty, maker, traits=("max_vs_limit", "nullable_min")
+    )
+
+
+def count_not_equal(
+    template_id: str,
+    table: str,
+    column: str,
+    question_fmt: str,
+    difficulty: str = "simple",
+    clean: bool = False,
+) -> TemplateSpec:
+    """"How many <noun> are NOT {value}?" → WHERE col <> value (dirty)."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(table, column, rng))
+        mention = _mention(value, rng, table, column, clean)
+        sql = (
+            f"SELECT COUNT(*) FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, column)} <> '{value}'"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(value=mention.surface),
+            sql=sql,
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def count_two_filters(
+    template_id: str,
+    table: str,
+    column_a: str,
+    column_b: str,
+    question_fmt: str,
+    difficulty: str = "moderate",
+    clean: bool = False,
+) -> TemplateSpec:
+    """Count with a conjunction of two (potentially dirty) value filters —
+    two independent value mentions stress values retrieval."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value_a = str(ctx.sample_value(table, column_a, rng))
+        value_b = str(ctx.sample_value(table, column_b, rng))
+        mention_a = _mention(value_a, rng, table, column_a, clean)
+        mention_b = _mention(value_b, rng, table, column_b, clean)
+        sql = (
+            f"SELECT COUNT(*) FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, column_a)} = '{value_a}' "
+            f"AND {qcol(table, column_b)} = '{value_b}'"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(
+                value_a=mention_a.surface, value_b=mention_b.surface
+            ),
+            sql=sql,
+            mentions=(mention_a, mention_b),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def join_avg_dirty(
+    template_id: str,
+    agg_table: str,
+    agg_column: str,
+    filter_table: str,
+    filter_column: str,
+    question_fmt: str,
+    difficulty: str = "challenging",
+    clean: bool = False,
+) -> TemplateSpec:
+    """Cross-table average with a dirty filter value — join + value
+    retrieval in one question."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        value = str(ctx.sample_value(filter_table, filter_column, rng))
+        mention = _mention(value, rng, filter_table, filter_column, clean)
+        return _assembled_draft(
+            ctx,
+            rng,
+            question_fmt.format(value=mention.surface),
+            select=f"AVG({qcol(agg_table, agg_column)})",
+            where=f"{qcol(filter_table, filter_column)} = '{value}'",
+            mentions=(mention,),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())
+
+
+def count_in_two(
+    template_id: str,
+    table: str,
+    column: str,
+    question_fmt: str,
+    difficulty: str = "simple",
+    clean: bool = False,
+) -> TemplateSpec:
+    """"How many <noun> are {a} or {b}?" → WHERE col IN (a, b) with two
+    value mentions."""
+
+    def maker(ctx: DomainContext, rng: np.random.Generator) -> Optional[QuestionDraft]:
+        values = ctx.column_values(table, column)
+        if len(values) < 2:
+            return None
+        first = str(values[int(rng.integers(len(values)))])
+        second = str(values[int(rng.integers(len(values)))])
+        if first == second:
+            return None
+        mention_a = _mention(first, rng, table, column, clean)
+        mention_b = _mention(second, rng, table, column, clean)
+        sql = (
+            f"SELECT COUNT(*) FROM {quote_identifier(table)} "
+            f"WHERE {qcol(table, column)} IN ('{first}', '{second}')"
+        )
+        return QuestionDraft(
+            question=question_fmt.format(
+                value_a=mention_a.surface, value_b=mention_b.surface
+            ),
+            sql=sql,
+            mentions=(mention_a, mention_b),
+        )
+
+    return TemplateSpec(template_id, difficulty, maker, traits=())

@@ -1,0 +1,207 @@
+"""Education domain — schools, SAT-style score reports and districts
+(modelled after BIRD's california_schools database)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="education",
+    description="Schools, their districts and standardized score reports.",
+    tables=(
+        Table(
+            name="District",
+            description="School districts.",
+            columns=(
+                Column("DistrictID", "INTEGER", "district identifier", is_primary=True),
+                Column("Name", "TEXT", "district name"),
+                Column("County", "TEXT", "county the district belongs to"),
+                Column("Type", "TEXT", "district type", value_examples=("UNIFIED", "ELEMENTARY", "HIGH")),
+            ),
+        ),
+        Table(
+            name="School",
+            description="One row per school.",
+            columns=(
+                Column("SchoolID", "INTEGER", "school identifier", is_primary=True),
+                Column("DistrictID", "INTEGER", "owning district"),
+                Column("Name", "TEXT", "school name"),
+                Column("City", "TEXT", "city of the school"),
+                Column("Charter", "INTEGER", "1 if a charter school else 0"),
+                Column("OpenDate", "DATE", "date the school opened"),
+                Column("Enrollment", "INTEGER", "number of enrolled students"),
+            ),
+        ),
+        Table(
+            name="Scores",
+            description="Yearly aggregate test scores per school.",
+            columns=(
+                Column("ScoreID", "INTEGER", "report identifier", is_primary=True),
+                Column("SchoolID", "INTEGER", "reporting school"),
+                Column("Year", "INTEGER", "report year"),
+                Column("AvgMath", "REAL", "average math score (nullable: small cohorts suppressed)"),
+                Column("AvgReading", "REAL", "average reading score (nullable)"),
+                Column("NumTakers", "INTEGER", "number of test takers"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("School", "DistrictID", "District", "DistrictID"),
+        ForeignKey("Scores", "SchoolID", "School", "SchoolID"),
+    ),
+)
+
+_COUNTIES = ("ALAMEDA", "FRESNO", "KERN", "LOS ANGELES", "ORANGE", "SACRAMENTO")
+_CITIES = (
+    "OAKWOOD", "RIVERSIDE FALLS", "EAST MADERA", "PORT LINDEN",
+    "NORTH SELMA", "GREENFIELD PARK", "SANTA VERA", "WESTBROOK",
+)
+_SCHOOL_WORDS = ("LINCOLN", "JEFFERSON", "SIERRA", "PACIFIC", "VALLEY", "SUNSET", "MONROE", "HARBOR")
+_SCHOOL_KINDS = ("ELEMENTARY", "MIDDLE", "HIGH", "ACADEMY")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    districts = []
+    for did in range(1, 21):
+        districts.append(
+            (
+                did,
+                f"{common.pick(rng, _COUNTIES)} DISTRICT {did}",
+                common.pick(rng, _COUNTIES),
+                common.pick(rng, ("UNIFIED", "ELEMENTARY", "HIGH")),
+            )
+        )
+    schools = []
+    names: dict[str, None] = {}
+    open_dates = common.random_dates(rng, 400, 1950, 2015)
+    sid = 1
+    while sid <= 180:
+        name = f"{common.pick(rng, _SCHOOL_WORDS)} {common.pick(rng, _SCHOOL_KINDS)} {sid}"
+        if name in names:
+            continue
+        names[name] = None
+        schools.append(
+            (
+                sid,
+                int(rng.integers(1, 21)),
+                name,
+                common.pick(rng, _CITIES),
+                1 if rng.random() < 0.25 else 0,
+                open_dates[sid],
+                int(rng.integers(120, 3500)),
+            )
+        )
+        sid += 1
+    scores = []
+    score_id = 1
+    for school_id in range(1, 181):
+        for year in (2018, 2019, 2020):
+            if rng.random() < 0.15:
+                continue
+            scores.append(
+                (
+                    score_id,
+                    school_id,
+                    year,
+                    round(float(rng.uniform(380, 720)), 1) if rng.random() < 0.85 else None,
+                    round(float(rng.uniform(390, 710)), 1) if rng.random() < 0.85 else None,
+                    int(rng.integers(15, 600)),
+                )
+            )
+            score_id += 1
+    return {"District": districts, "School": schools, "Scores": scores}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_city", "School", "City",
+        "How many schools are located in {value}?",
+    ),
+    common.list_where_dirty(
+        "schools_in_county_district", "District", "Name", "County",
+        "List the names of districts in {value} county.",
+    ),
+    common.numeric_agg_where(
+        "avg_enrollment_city", "School", "AVG", "Enrollment", "City",
+        "What is the average enrollment of schools in {value}?",
+    ),
+    common.count_join_distinct(
+        "schools_in_county", "School", "SchoolID", "District", "County",
+        "How many different schools belong to districts in {value} county?",
+    ),
+    common.date_year_count(
+        "opened_after", "School", "OpenDate",
+        "How many schools opened in {year} or {direction}?",
+        year_pool=(1960, 1965, 1970, 1975, 1980, 1985, 1990, 1995, 2000, 2005),
+    ),
+    common.superlative_nullable(
+        "best_math", "Scores", "SchoolID", "AvgMath",
+        "In {value}, which school posted the report with the highest "
+        "average math score?",
+        filter_column="Year", clean=True,
+    ),
+    common.min_nullable(
+        "worst_reading", "Scores", "SchoolID", "AvgReading",
+        "In {value}, which school posted the report with the lowest "
+        "average reading score?",
+        filter_column="Year", clean=True,
+    ),
+    common.group_top(
+        "city_most_schools", "School", "City",
+        "Which city has the {rank}most schools?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.evidence_formula_count(
+        "competitive_math", "Scores", "AvgMath", "a competitive math average",
+        560, 700,
+        "How many score reports show {term}?",
+    ),
+    common.multi_select_where(
+        "name_and_enrollment", "School", ("Name", "Enrollment"), "City",
+        "Show the name and enrollment of each school in {value}.",
+    ),
+    common.join_list_dirty(
+        "charter_counties", "School", "Name", "District", "County",
+        "List the distinct names of schools in districts of {value} county.",
+    ),
+    common.join_superlative_dirty(
+        "top_school_in_county", "School", "Name", "District", "County",
+        "Scores", "AvgMath",
+        "Among schools in {value} county districts, which school has the "
+        "report with the highest average math score?",
+    ),
+    common.group_having_count(
+        "cities_many_schools", "School", "City",
+        "Which cities have at least {n} schools?",
+    ),
+    common.date_between_count(
+        "opened_between", "School", "OpenDate",
+        "How many schools opened between {lo} and {hi}?",
+    ),
+    common.top_k_list(
+        "top_math_reports", "Scores", "SchoolID", "AvgMath",
+        "List the schools behind the {k} best average math scores.",
+    ),
+    common.count_not_equal(
+        "not_in_city", "School", "City",
+        "How many schools are located outside {value}?",
+    ),
+    common.join_avg_dirty(
+        "avg_math_in_county", "Scores", "AvgMath", "District", "County",
+        "What is the average math score across reports of schools in "
+        "{value} county?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="education",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

@@ -1,0 +1,182 @@
+"""Energy domain — power plants, meters and readings (utility-grid data is
+one of BIRD's professional domains)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="energy",
+    description="A regional power grid: plants, feeders and meter readings.",
+    tables=(
+        Table(
+            name="Plant",
+            description="Generation plants.",
+            columns=(
+                Column("PlantID", "INTEGER", "plant id", is_primary=True),
+                Column("Name", "TEXT", "plant name"),
+                Column("FuelType", "TEXT", "primary fuel",
+                       value_examples=("WIND ONSHORE", "SOLAR PV", "NATURAL GAS", "HYDRO RUN OF RIVER")),
+                Column("Commissioned", "DATE", "commissioning date"),
+                Column("CapacityMW", "REAL", "nameplate capacity in MW"),
+            ),
+        ),
+        Table(
+            name="Feeder",
+            description="Distribution feeders attached to plants.",
+            columns=(
+                Column("FeederID", "INTEGER", "feeder id", is_primary=True),
+                Column("PlantID", "INTEGER", "supplying plant"),
+                Column("Region", "TEXT", "served region"),
+                Column("VoltageKV", "INTEGER", "nominal voltage in kV"),
+            ),
+        ),
+        Table(
+            name="Reading",
+            description="Hourly aggregate output readings per feeder.",
+            columns=(
+                Column("ReadingID", "INTEGER", "reading id", is_primary=True),
+                Column("FeederID", "INTEGER", "measured feeder"),
+                Column("Day", "DATE", "reading day"),
+                Column("OutputMWh", "REAL", "energy delivered (nullable: telemetry gap)"),
+                Column("PeakLoadMW", "REAL", "peak load during the day"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Feeder", "PlantID", "Plant", "PlantID"),
+        ForeignKey("Reading", "FeederID", "Feeder", "FeederID"),
+    ),
+)
+
+_FUELS = ("WIND ONSHORE", "SOLAR PV", "NATURAL GAS", "HYDRO RUN OF RIVER", "BIOMASS")
+_REGIONS = ("NORTH VALLEY", "EAST MESA", "PORT DISTRICT", "HIGH PLAINS", "LAKESHORE")
+_PLANT_WORDS = ("REDROCK", "BLUEWATER", "IRONWOOD", "SANDPIPER", "GRANITE",
+                "FALCON RIDGE", "MIRROR LAKE", "COPPER CREEK")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    commissioned = common.random_dates(rng, 60, 1975, 2022)
+    plants = [
+        (pid, f"{common.pick(rng, _PLANT_WORDS)} STATION {pid}",
+         common.pick(rng, _FUELS), commissioned[pid - 1],
+         round(float(rng.uniform(5, 1400)), 1))
+        for pid in range(1, 61)
+    ]
+    feeders = []
+    fid = 1
+    for pid in range(1, 61):
+        for _ in range(int(rng.integers(1, 4))):
+            feeders.append(
+                (fid, pid, common.pick(rng, _REGIONS),
+                 int(common.pick(rng, (11, 33, 66, 110))))
+            )
+            fid += 1
+    readings = []
+    days = common.random_dates(rng, 900, 2019, 2023)
+    rid = 1
+    for feeder in feeders:
+        for _ in range(int(rng.integers(3, 10))):
+            readings.append(
+                (rid, feeder[0], days[rid % len(days)],
+                 round(float(rng.uniform(1, 900)), 2) if rng.random() < 0.88 else None,
+                 round(float(rng.uniform(0.5, 120)), 2))
+            )
+            rid += 1
+    return {"Plant": plants, "Feeder": feeders, "Reading": readings}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_fuel", "Plant", "FuelType",
+        "How many plants run on {value}?",
+    ),
+    common.list_where_dirty(
+        "plants_by_fuel", "Plant", "Name", "FuelType",
+        "List the names of {value} plants.",
+    ),
+    common.numeric_agg_where(
+        "avg_capacity_fuel", "Plant", "AVG", "CapacityMW", "FuelType",
+        "What is the average nameplate capacity of {value} plants?",
+    ),
+    common.count_join_distinct(
+        "plants_serving_region", "Plant", "PlantID", "Feeder", "Region",
+        "How many different plants supply feeders in {value}?",
+    ),
+    common.date_year_count(
+        "commissioned_since", "Plant", "Commissioned",
+        "How many plants were commissioned in {year} or {direction}?",
+        year_pool=(1980, 1985, 1990, 1995, 2000, 2005, 2010, 2015, 2018),
+    ),
+    common.superlative_nullable(
+        "highest_output", "Reading", "FeederID", "OutputMWh",
+        "Which feeder recorded the {rank}highest daily energy output?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.min_nullable(
+        "lowest_output", "Reading", "FeederID", "OutputMWh",
+        "Which feeder recorded the {rank}lowest measured daily output?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.group_top(
+        "region_most_feeders", "Feeder", "Region",
+        "Which region has the {rank}most feeders?",
+        ranks=(1, 2, 3, 4),
+    ),
+    common.evidence_formula_count(
+        "utility_scale", "Plant", "CapacityMW", "a utility-scale plant",
+        100, 1000,
+        "How many plants count as {term}?",
+    ),
+    common.multi_select_where(
+        "name_and_capacity", "Plant", ("Name", "CapacityMW"), "FuelType",
+        "Show the name and capacity of every {value} plant.",
+    ),
+    common.join_list_dirty(
+        "fuels_by_region", "Plant", "FuelType", "Feeder", "Region",
+        "List the distinct fuel types of plants supplying {value}.",
+    ),
+    common.join_superlative_dirty(
+        "biggest_plant_region", "Plant", "Name", "Feeder", "Region",
+        "Plant", "CapacityMW",
+        "Among plants supplying {value}, which has the largest capacity?",
+    ),
+    common.group_having_count(
+        "regions_many_feeders", "Feeder", "Region",
+        "Which regions have at least {n} feeders?",
+        thresholds=(15, 20, 25, 30),
+    ),
+    common.date_between_count(
+        "commissioned_between", "Plant", "Commissioned",
+        "How many plants were commissioned between {lo} and {hi}?",
+    ),
+    common.top_k_list(
+        "top_outputs", "Reading", "FeederID", "OutputMWh",
+        "List the feeders behind the {k} highest daily outputs.",
+    ),
+    common.count_not_equal(
+        "not_fuel", "Plant", "FuelType",
+        "How many plants do not run on {value}?",
+    ),
+    common.join_avg_dirty(
+        "avg_output_by_region", "Reading", "OutputMWh", "Feeder", "Region",
+        "What is the average daily energy output of feeders in {value}?",
+    ),
+    common.count_in_two(
+        "count_two_fuels", "Plant", "FuelType",
+        "How many plants run on either {value_a} or {value_b}?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="energy",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

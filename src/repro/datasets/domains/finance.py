@@ -1,0 +1,218 @@
+"""Finance domain — clients, accounts, loans and card transactions
+(modelled after BIRD's financial database)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="finance",
+    description="Bank clients, their accounts, loans and card transactions.",
+    tables=(
+        Table(
+            name="Client",
+            description="Bank clients.",
+            columns=(
+                Column("ClientID", "INTEGER", "client identifier", is_primary=True),
+                Column("Name", "TEXT", "client full name, stored upper-case"),
+                Column("Gender", "TEXT", "F or M"),
+                Column("BirthDate", "DATE", "client date of birth"),
+                Column("Region", "TEXT", "home region"),
+            ),
+        ),
+        Table(
+            name="Account",
+            description="Accounts, each owned by one client.",
+            columns=(
+                Column("AccountID", "INTEGER", "account identifier", is_primary=True),
+                Column("ClientID", "INTEGER", "owning client"),
+                Column("Opened", "DATE", "account opening date"),
+                Column("Frequency", "TEXT", "statement frequency",
+                       value_examples=("MONTHLY ISSUANCE", "WEEKLY ISSUANCE", "AFTER TRANSACTION")),
+                Column("Balance", "REAL", "current balance"),
+            ),
+        ),
+        Table(
+            name="Loan",
+            description="Loans granted against accounts.",
+            columns=(
+                Column("LoanID", "INTEGER", "loan identifier", is_primary=True),
+                Column("AccountID", "INTEGER", "backing account"),
+                Column("Granted", "DATE", "grant date"),
+                Column("Amount", "REAL", "loan principal"),
+                Column("Duration", "INTEGER", "months to maturity"),
+                Column("Status", "TEXT", "repayment status",
+                       value_examples=("RUNNING OK", "RUNNING DEBT", "FINISHED OK", "FINISHED DEBT")),
+            ),
+        ),
+        Table(
+            name="CardTransaction",
+            description="Card transactions on accounts.",
+            columns=(
+                Column("TransactionID", "INTEGER", "transaction id", is_primary=True),
+                Column("AccountID", "INTEGER", "charged account"),
+                Column("Date", "DATE", "transaction date"),
+                Column("Amount", "REAL", "transaction amount (nullable: pending)"),
+                Column("Merchant", "TEXT", "merchant category"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Account", "ClientID", "Client", "ClientID"),
+        ForeignKey("Loan", "AccountID", "Account", "AccountID"),
+        ForeignKey("CardTransaction", "AccountID", "Account", "AccountID"),
+    ),
+)
+
+_REGIONS = ("NORTH BOHEMIA", "SOUTH MORAVIA", "CENTRAL PLAINS", "EAST HIGHLANDS", "WEST COAST")
+_MERCHANTS = ("GROCERY", "FUEL", "RESTAURANT", "TRAVEL", "ELECTRONICS", "PHARMACY")
+_FREQUENCIES = ("MONTHLY ISSUANCE", "WEEKLY ISSUANCE", "AFTER TRANSACTION")
+_STATUSES = ("RUNNING OK", "RUNNING DEBT", "FINISHED OK", "FINISHED DEBT")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    names = common.person_names(rng, 200)
+    births = common.random_dates(rng, 200, 1940, 2002)
+    clients = [
+        (cid, names[cid - 1], "F" if rng.random() < 0.5 else "M",
+         births[cid - 1], common.pick(rng, _REGIONS))
+        for cid in range(1, 201)
+    ]
+    accounts = []
+    opened = common.random_dates(rng, 400, 1993, 2020)
+    aid = 1
+    for cid in range(1, 201):
+        for _ in range(int(rng.integers(1, 4))):
+            accounts.append(
+                (aid, cid, opened[aid % len(opened)],
+                 common.pick(rng, _FREQUENCIES),
+                 round(float(rng.uniform(-2000, 90000)), 2))
+            )
+            aid += 1
+    loans = []
+    granted = common.random_dates(rng, 300, 1995, 2020)
+    lid = 1
+    for account in accounts:
+        if rng.random() < 0.35:
+            loans.append(
+                (lid, account[0], granted[lid % len(granted)],
+                 round(float(rng.uniform(5000, 500000)), 0),
+                 int(common.pick(rng, (12, 24, 36, 48, 60))),
+                 common.pick(rng, _STATUSES))
+            )
+            lid += 1
+    transactions = []
+    tdates = common.random_dates(rng, 1000, 2015, 2021)
+    tid = 1
+    for account in accounts:
+        for _ in range(int(rng.integers(0, 8))):
+            transactions.append(
+                (tid, account[0], tdates[tid % len(tdates)],
+                 round(float(rng.uniform(2, 4000)), 2) if rng.random() < 0.93 else None,
+                 common.pick(rng, _MERCHANTS))
+            )
+            tid += 1
+    return {
+        "Client": clients,
+        "Account": accounts,
+        "Loan": loans,
+        "CardTransaction": transactions,
+    }
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_status", "Loan", "Status",
+        "How many loans have the status {value}?",
+    ),
+    common.list_where_dirty(
+        "clients_in_region", "Client", "Name", "Region",
+        "List the names of clients living in {value}.",
+    ),
+    common.numeric_agg_where(
+        "avg_loan_by_status", "Loan", "AVG", "Amount", "Status",
+        "What is the average principal of loans with status {value}?",
+    ),
+    common.count_join_distinct(
+        "clients_with_frequency", "Client", "ClientID", "Account", "Frequency",
+        "How many different clients hold an account with {value} statements?",
+    ),
+    common.date_year_count(
+        "accounts_opened", "Account", "Opened",
+        "How many accounts were opened in {year} or {direction}?",
+        year_pool=(1995, 1997, 1999, 2001, 2003, 2005, 2007, 2009, 2011, 2013, 2015),
+    ),
+    common.superlative_nullable(
+        "largest_transaction", "CardTransaction", "AccountID", "Amount",
+        "Which account made the largest card transaction at a {value} merchant?",
+        filter_column="Merchant",
+    ),
+    common.min_nullable(
+        "smallest_transaction", "CardTransaction", "AccountID", "Amount",
+        "Which account made the smallest settled card transaction at a "
+        "{value} merchant?",
+        filter_column="Merchant",
+    ),
+    common.group_top(
+        "region_most_clients", "Client", "Region",
+        "Which region has the {rank}most clients?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.evidence_formula_count(
+        "large_loans", "Loan", "Amount", "a large loan",
+        200000, 450000,
+        "How many loans count as {term}?",
+    ),
+    common.multi_select_where(
+        "name_and_birth", "Client", ("Name", "BirthDate"), "Region",
+        "Give the name and birth date of every client in {value}.",
+    ),
+    common.join_list_dirty(
+        "regions_with_status", "Client", "Region", "Loan", "Status",
+        "List the distinct regions of clients holding a loan with status {value}.",
+    ),
+    common.join_superlative_dirty(
+        "richest_by_frequency", "Client", "Name", "Account", "Frequency",
+        "Account", "Balance",
+        "Among accounts with {value} statements, which client owns the one "
+        "with the highest balance?",
+    ),
+    common.group_having_count(
+        "regions_many_clients", "Client", "Region",
+        "Which regions have at least {n} clients?",
+    ),
+    common.date_between_count(
+        "opened_between", "Account", "Opened",
+        "How many accounts were opened between {lo} and {hi}?",
+    ),
+    common.top_k_list(
+        "top_balances", "Account", "AccountID", "Balance",
+        "List the {k} accounts with the highest balance.",
+    ),
+    common.count_not_equal(
+        "not_status", "Loan", "Status",
+        "How many loans do not have the status {value}?",
+    ),
+    common.count_two_filters(
+        "gender_and_region", "Client", "Gender", "Region",
+        "How many clients have gender {value_a} and live in {value_b}?",
+    ),
+    common.join_avg_dirty(
+        "avg_txn_by_frequency", "CardTransaction", "Amount", "Account", "Frequency",
+        "What is the average card transaction amount on accounts with "
+        "{value} statements?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="finance",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

@@ -1,0 +1,232 @@
+"""Healthcare domain — mirrors the paper's running example (Patient /
+Laboratory / Examination), including the IGA "normal level" evidence
+formula and `First Date` (a column name that needs quoting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec, QuestionDraft, TemplateSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="healthcare",
+    description="Hospital patients, laboratory results and examinations.",
+    tables=(
+        Table(
+            name="Patient",
+            description="One row per registered patient.",
+            columns=(
+                Column("ID", "INTEGER", "patient identifier", is_primary=True),
+                Column("SEX", "TEXT", "patient sex: F or M"),
+                Column("Birthday", "DATE", "date of birth"),
+                Column("First Date", "DATE", "date the patient first came to the hospital"),
+                Column("Admission", "TEXT", "admission status", value_examples=("+", "-")),
+                Column("Diagnosis", "TEXT", "primary diagnosis label"),
+            ),
+        ),
+        Table(
+            name="Laboratory",
+            description="Laboratory measurements, many per patient.",
+            columns=(
+                Column("LabID", "INTEGER", "lab record id", is_primary=True),
+                Column("ID", "INTEGER", "patient identifier"),
+                Column("Date", "DATE", "measurement date"),
+                Column("IGA", "REAL", "immunoglobulin A level"),
+                Column("IGG", "REAL", "immunoglobulin G level"),
+                Column("GLU", "REAL", "blood glucose (nullable: not always measured)"),
+            ),
+        ),
+        Table(
+            name="Examination",
+            description="Clinical examinations, many per patient.",
+            columns=(
+                Column("ExamID", "INTEGER", "examination id", is_primary=True),
+                Column("ID", "INTEGER", "patient identifier"),
+                Column("Examination Date", "DATE", "date of the examination"),
+                Column("Diagnosis", "TEXT", "diagnosis recorded at the examination"),
+                Column("Symptoms", "TEXT", "free-text symptoms (nullable)"),
+                Column("Thrombosis", "INTEGER", "degree of thrombosis, 0 none"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Laboratory", "ID", "Patient", "ID"),
+        ForeignKey("Examination", "ID", "Patient", "ID"),
+    ),
+)
+
+_DIAGNOSES = ("SLE", "APS", "PSS", "RA", "BEHCET", "MCTD", "SJS")
+_SYMPTOMS = ("FEVER", "RASH", "ARTHRALGIA", "HEADACHE", "FATIGUE", None)
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    patients = []
+    birthdays = common.random_dates(rng, 240, 1930, 2000)
+    first_dates = common.random_dates(rng, 240, 1975, 2015)
+    for pid in range(1, 241):
+        patients.append(
+            (
+                pid,
+                "F" if rng.random() < 0.6 else "M",
+                birthdays[pid - 1],
+                first_dates[pid - 1],
+                "+" if rng.random() < 0.45 else "-",
+                common.pick(rng, _DIAGNOSES),
+            )
+        )
+    labs = []
+    lab_id = 1
+    lab_dates = common.random_dates(rng, 2000, 1980, 2018)
+    for pid in range(1, 241):
+        for _ in range(int(rng.integers(1, 8))):
+            labs.append(
+                (
+                    lab_id,
+                    pid,
+                    lab_dates[lab_id % len(lab_dates)],
+                    round(float(rng.uniform(20, 900)), 1),
+                    round(float(rng.uniform(200, 2500)), 1),
+                    round(float(rng.uniform(50, 300)), 1) if rng.random() < 0.7 else None,
+                )
+            )
+            lab_id += 1
+    exams = []
+    exam_id = 1
+    exam_dates = common.random_dates(rng, 1200, 1985, 2018)
+    for pid in range(1, 241):
+        for _ in range(int(rng.integers(0, 5))):
+            exams.append(
+                (
+                    exam_id,
+                    pid,
+                    exam_dates[exam_id % len(exam_dates)],
+                    common.pick(rng, _DIAGNOSES),
+                    common.pick(rng, _SYMPTOMS),
+                    int(rng.integers(0, 4)),
+                )
+            )
+            exam_id += 1
+    return {"Patient": patients, "Laboratory": labs, "Examination": exams}
+
+
+def _iga_formula(ctx, rng) -> QuestionDraft:
+    sql = (
+        "SELECT COUNT(DISTINCT T1.ID) FROM Patient AS T1 "
+        "INNER JOIN Laboratory AS T2 ON T2.ID = T1.ID "
+        "WHERE T2.IGA > 80 AND T2.IGA < 500 "
+        "AND STRFTIME('%Y', T1.`First Date`) >= '1990'"
+    )
+    return QuestionDraft(
+        question=(
+            "How many patients with a normal level of IgA came to the "
+            "hospital after 1990?"
+        ),
+        sql=sql,
+        evidence="normal level of IgA refers to IGA > 80 AND IGA < 500",
+    )
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_diagnosis", "Patient", "Diagnosis",
+        "How many patients were diagnosed with {value}?",
+    ),
+    common.list_where_dirty(
+        "list_birthday", "Patient", "Birthday", "Diagnosis",
+        "List the birthdays of patients diagnosed with {value}.",
+    ),
+    common.numeric_agg_where(
+        "avg_thrombosis", "Examination", "AVG", "Thrombosis", "Diagnosis",
+        "What is the average thrombosis degree among examinations with a "
+        "diagnosis of {value}?",
+    ),
+    common.count_join_distinct(
+        "patients_with_symptom", "Patient", "ID", "Examination", "Symptoms",
+        "How many different patients showed the symptom {value}?",
+    ),
+    common.date_year_count(
+        "arrived_after", "Patient", "First Date",
+        "How many patients first came to the hospital in {year} or {direction}?",
+        year_pool=(1980, 1983, 1986, 1989, 1992, 1995, 1998, 2001, 2004, 2007, 2010),
+    ),
+    common.superlative_nullable(
+        "highest_glu", "Laboratory", "ID", "GLU",
+        "Which patient has the laboratory record with the {rank}highest blood glucose?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.min_nullable(
+        "lowest_glu", "Laboratory", "ID", "GLU",
+        "Which patient has the laboratory record with the {rank}lowest "
+        "measured blood glucose?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.group_top(
+        "most_common_diagnosis", "Patient", "Diagnosis",
+        "Which diagnosis is the {rank}most common among patients?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    TemplateSpec(
+        "normal_iga_after", "challenging", _iga_formula,
+        traits=("evidence_formula", "date_format", "needs_distinct"),
+    ),
+    common.evidence_formula_count(
+        "normal_igg", "Laboratory", "IGG", "a normal level of IgG",
+        900, 2000,
+        "How many laboratory records show {term}?",
+    ),
+    common.multi_select_where(
+        "sex_and_birthday", "Patient", ("SEX", "Birthday"), "Diagnosis",
+        "Give the sex and birthday of every patient diagnosed with {value}.",
+    ),
+    common.join_list_dirty(
+        "patients_by_exam_diag", "Patient", "Birthday", "Examination", "Diagnosis",
+        "List the distinct birthdays of patients whose examination "
+        "diagnosis was {value}.",
+    ),
+    common.join_superlative_dirty(
+        "earliest_high_glu", "Patient", "First Date", "Patient", "Diagnosis",
+        "Laboratory", "GLU",
+        "Among patients diagnosed with {value}, what is the first-visit "
+        "date of the one with the highest blood glucose record?",
+    ),
+    common.group_having_count(
+        "busy_diagnoses", "Patient", "Diagnosis",
+        "Which diagnoses were given to at least {n} patients?",
+    ),
+    common.date_between_count(
+        "arrived_between", "Patient", "First Date",
+        "How many patients first came to the hospital between {lo} and {hi}?",
+    ),
+    common.top_k_list(
+        "top_iga_records", "Laboratory", "ID", "IGA",
+        "List the patients behind the {k} highest IgA measurements.",
+    ),
+    common.count_not_equal(
+        "count_not_diagnosis", "Patient", "Diagnosis",
+        "How many patients have a diagnosis other than {value}?",
+    ),
+    common.count_two_filters(
+        "sex_and_admission", "Patient", "SEX", "Admission",
+        "How many patients have sex {value_a} and admission status {value_b}?",
+    ),
+    common.join_avg_dirty(
+        "avg_iga_by_diagnosis", "Laboratory", "IGA", "Patient", "Diagnosis",
+        "What is the average IgA level over lab records of patients "
+        "diagnosed with {value}?",
+    ),
+    common.count_in_two(
+        "count_two_diagnoses", "Patient", "Diagnosis",
+        "How many patients were diagnosed with either {value_a} or {value_b}?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="healthcare",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

@@ -1,0 +1,198 @@
+"""Hockey domain — teams, players and game appearances (BIRD covers
+professional hockey among its 37 domains)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="hockey",
+    description="Ice-hockey teams, rosters and per-season player statistics.",
+    tables=(
+        Table(
+            name="Team",
+            description="Franchises.",
+            columns=(
+                Column("TeamID", "INTEGER", "team identifier", is_primary=True),
+                Column("Name", "TEXT", "franchise name"),
+                Column("City", "TEXT", "home city"),
+                Column("Conference", "TEXT", "conference", value_examples=("EASTERN", "WESTERN")),
+                Column("Founded", "DATE", "foundation date"),
+            ),
+        ),
+        Table(
+            name="Player",
+            description="Players currently on a roster.",
+            columns=(
+                Column("PlayerID", "INTEGER", "player identifier", is_primary=True),
+                Column("TeamID", "INTEGER", "current team"),
+                Column("Name", "TEXT", "player name, stored upper-case"),
+                Column("Position", "TEXT", "playing position",
+                       value_examples=("CENTER", "GOALIE", "DEFENSEMAN", "LEFT WING", "RIGHT WING")),
+                Column("BirthDate", "DATE", "date of birth"),
+                Column("HeightCm", "INTEGER", "height in centimetres"),
+            ),
+        ),
+        Table(
+            name="SeasonStats",
+            description="Per-player season statistics.",
+            columns=(
+                Column("StatID", "INTEGER", "stat row id", is_primary=True),
+                Column("PlayerID", "INTEGER", "player"),
+                Column("Season", "INTEGER", "season start year"),
+                Column("Games", "INTEGER", "games played"),
+                Column("Goals", "INTEGER", "goals scored"),
+                Column("Assists", "INTEGER", "assists"),
+                Column("PlusMinus", "INTEGER", "plus-minus (nullable for goalies)"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Player", "TeamID", "Team", "TeamID"),
+        ForeignKey("SeasonStats", "PlayerID", "Player", "PlayerID"),
+    ),
+)
+
+_TEAM_WORDS = ("GLACIER KINGS", "STEEL WOLVES", "NORTH STARS", "HARBOR HAWKS",
+               "IRON BEARS", "SUMMIT EAGLES", "RIVER OTTERS", "FROST GIANTS",
+               "THUNDER ELKS", "COAL MINERS", "PINE RANGERS", "BAY RAIDERS")
+_CITIES = ("DULUTH", "HALIFAX", "SPOKANE", "QUEBEC CITY", "MILWAUKEE",
+           "PORTLAND", "HARTFORD", "SASKATOON")
+_POSITIONS = ("CENTER", "GOALIE", "DEFENSEMAN", "LEFT WING", "RIGHT WING")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    founded = common.random_dates(rng, 12, 1920, 1995)
+    teams = [
+        (tid, _TEAM_WORDS[tid - 1], common.pick(rng, _CITIES),
+         "EASTERN" if tid % 2 else "WESTERN", founded[tid - 1])
+        for tid in range(1, 13)
+    ]
+    names = common.person_names(rng, 260)
+    births = common.random_dates(rng, 260, 1985, 2004)
+    players = [
+        (pid, int(rng.integers(1, 13)), names[pid - 1],
+         common.pick(rng, _POSITIONS), births[pid - 1],
+         int(rng.integers(168, 205)))
+        for pid in range(1, 261)
+    ]
+    stats = []
+    stat_id = 1
+    for pid, _team, _name, position, _birth, _height in players:
+        for season in (2020, 2021, 2022):
+            if rng.random() < 0.2:
+                continue
+            goalie = position == "GOALIE"
+            stats.append(
+                (
+                    stat_id,
+                    pid,
+                    season,
+                    int(rng.integers(8, 83)),
+                    0 if goalie else int(rng.integers(0, 52)),
+                    int(rng.integers(0, 60)),
+                    None if goalie else int(rng.integers(-35, 45)),
+                )
+            )
+            stat_id += 1
+    return {"Team": teams, "Player": players, "SeasonStats": stats}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_position", "Player", "Position",
+        "How many players play as a {value}?",
+    ),
+    common.list_where_dirty(
+        "players_by_position", "Player", "Name", "Position",
+        "List the names of all {value} players.",
+    ),
+    common.numeric_agg_where(
+        "avg_height_position", "Player", "AVG", "HeightCm", "Position",
+        "What is the average height in centimetres of {value} players?",
+    ),
+    common.count_join_distinct(
+        "players_in_conference", "Player", "PlayerID", "Team", "Conference",
+        "How many different players are on teams of the {value} conference?",
+    ),
+    common.date_year_count(
+        "teams_founded", "Team", "Founded",
+        "How many teams were founded in {year} or {direction}?",
+        year_pool=(1925, 1932, 1939, 1946, 1953, 1960, 1967, 1974, 1981, 1988),
+        comparator="<=",
+    ),
+    common.superlative_nullable(
+        "best_plusminus", "SeasonStats", "PlayerID", "PlusMinus",
+        "Which player recorded the best plus-minus of the {value} season?",
+        filter_column="Season", clean=True,
+    ),
+    common.min_nullable(
+        "worst_plusminus", "SeasonStats", "PlayerID", "PlusMinus",
+        "Which player recorded the worst plus-minus of the {value} season?",
+        filter_column="Season", clean=True,
+    ),
+    common.group_top(
+        "position_most_players", "Player", "Position",
+        "Which position has the {rank}most players?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.evidence_formula_count(
+        "elite_scoring", "SeasonStats", "Goals", "an elite scoring season",
+        30, 52,
+        "How many player-seasons qualify as {term}?",
+    ),
+    common.multi_select_where(
+        "name_and_height", "Player", ("Name", "HeightCm"), "Position",
+        "Show the name and height of every {value}.",
+    ),
+    common.join_list_dirty(
+        "team_names_by_position", "Team", "Name", "Player", "Position",
+        "List the distinct team names that roster at least one {value}.",
+    ),
+    common.join_superlative_dirty(
+        "tallest_by_conference", "Player", "Name", "Team", "Conference",
+        "Player", "HeightCm",
+        "Who is the tallest player on a team of the {value} conference?",
+    ),
+    common.group_having_count(
+        "positions_many_players", "Player", "Position",
+        "Which positions have at least {n} players?",
+    ),
+    common.date_between_count(
+        "born_between", "Player", "BirthDate",
+        "How many players were born between {lo} and {hi}?",
+        year_pairs=((1986, 1994), (1990, 1998), (1994, 2002), (1988, 1996),
+                    (1992, 2000), (1996, 2004), (1987, 1991), (1995, 1999),
+                    (1989, 2001), (1991, 2003)),
+    ),
+    common.top_k_list(
+        "top_plusminus", "SeasonStats", "PlayerID", "PlusMinus",
+        "List the players behind the {k} best plus-minus seasons.",
+    ),
+    common.count_not_equal(
+        "not_position", "Player", "Position",
+        "How many players do not play as a {value}?",
+    ),
+    common.join_avg_dirty(
+        "avg_goals_by_conference", "SeasonStats", "Goals", "Team", "Conference",
+        "What is the average goals-per-season for players on {value} "
+        "conference teams?",
+    ),
+    common.count_in_two(
+        "count_two_positions", "Player", "Position",
+        "How many players play as either a {value_a} or a {value_b}?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="hockey",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

@@ -1,0 +1,180 @@
+"""Library domain — members, books and loans."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="library",
+    description="A public library: members, the catalogue and loans.",
+    tables=(
+        Table(
+            name="Member",
+            description="Registered library members.",
+            columns=(
+                Column("MemberID", "INTEGER", "member id", is_primary=True),
+                Column("Name", "TEXT", "member name, stored upper-case"),
+                Column("Joined", "DATE", "membership start date"),
+                Column("Branch", "TEXT", "home branch",
+                       value_examples=("CENTRAL", "RIVERSIDE", "NORTH END")),
+            ),
+        ),
+        Table(
+            name="Book",
+            description="Catalogue entries.",
+            columns=(
+                Column("BookID", "INTEGER", "book id", is_primary=True),
+                Column("Title", "TEXT", "book title"),
+                Column("Author", "TEXT", "author name, stored upper-case"),
+                Column("Genre", "TEXT", "shelf genre",
+                       value_examples=("SCIENCE FICTION", "HISTORY", "POETRY", "BIOGRAPHY")),
+                Column("Published", "DATE", "publication date"),
+                Column("Pages", "INTEGER", "page count (nullable: audiobooks)"),
+            ),
+        ),
+        Table(
+            name="Loan",
+            description="Borrowing records.",
+            columns=(
+                Column("LoanID", "INTEGER", "loan id", is_primary=True),
+                Column("MemberID", "INTEGER", "borrowing member"),
+                Column("BookID", "INTEGER", "borrowed book"),
+                Column("LoanDate", "DATE", "checkout date"),
+                Column("DaysKept", "INTEGER", "days until return"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Loan", "MemberID", "Member", "MemberID"),
+        ForeignKey("Loan", "BookID", "Book", "BookID"),
+    ),
+)
+
+_GENRES = ("SCIENCE FICTION", "HISTORY", "POETRY", "BIOGRAPHY", "MYSTERY")
+_BRANCHES = ("CENTRAL", "RIVERSIDE", "NORTH END", "HILLTOP")
+_TITLE_A = ("THE SILENT", "A BRIEF", "THE LAST", "BEYOND THE", "CHRONICLES OF THE", "SHADOWS OVER")
+_TITLE_B = ("ARCHIVE", "MOUNTAIN", "CARTOGRAPHER", "DYNASTY", "LIGHTHOUSE", "EQUATION")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    names = common.person_names(rng, 160)
+    joined = common.random_dates(rng, 160, 1998, 2022)
+    members = [
+        (mid, names[mid - 1], joined[mid - 1], common.pick(rng, _BRANCHES))
+        for mid in range(1, 161)
+    ]
+    authors = common.person_names(rng, 60)
+    published = common.random_dates(rng, 220, 1900, 2022)
+    books = [
+        (bid, f"{common.pick(rng, _TITLE_A)} {common.pick(rng, _TITLE_B)} {bid}",
+         common.pick(rng, authors), common.pick(rng, _GENRES),
+         published[bid - 1],
+         int(rng.integers(60, 1200)) if rng.random() < 0.88 else None)
+        for bid in range(1, 221)
+    ]
+    loans = []
+    dates = common.random_dates(rng, 1200, 2015, 2023)
+    loan_id = 1
+    for _ in range(1400):
+        loans.append(
+            (loan_id, int(rng.integers(1, 161)), int(rng.integers(1, 221)),
+             dates[loan_id % len(dates)], int(rng.integers(1, 60)))
+        )
+        loan_id += 1
+    return {"Member": members, "Book": books, "Loan": loans}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_genre", "Book", "Genre",
+        "How many books are shelved under {value}?",
+    ),
+    common.list_where_dirty(
+        "titles_by_genre", "Book", "Title", "Genre",
+        "List the titles of {value} books.",
+    ),
+    common.numeric_agg_where(
+        "avg_pages_genre", "Book", "AVG", "Pages", "Genre",
+        "What is the average page count of {value} books?",
+    ),
+    common.count_join_distinct(
+        "members_reading_genre", "Member", "MemberID", "Book", "Genre",
+        "How many different members have borrowed a {value} book?",
+    ),
+    common.date_year_count(
+        "published_since", "Book", "Published",
+        "How many books were published in {year} or {direction}?",
+        year_pool=(1930, 1940, 1950, 1960, 1970, 1980, 1990, 2000, 2010, 2015),
+    ),
+    common.superlative_nullable(
+        "longest_book", "Book", "Title", "Pages",
+        "What is the title of the {value} book with the most pages?",
+        filter_column="Genre",
+    ),
+    common.min_nullable(
+        "shortest_book", "Book", "Title", "Pages",
+        "What is the title of the shortest printed {value} book?",
+        filter_column="Genre",
+    ),
+    common.group_top(
+        "branch_most_members", "Member", "Branch",
+        "Which branch has the {rank}most members?",
+        ranks=(1, 2, 3, 4),
+    ),
+    common.evidence_formula_count(
+        "doorstopper", "Book", "Pages", "a doorstopper",
+        700, 1200,
+        "How many catalogue books qualify as {term}?",
+    ),
+    common.multi_select_where(
+        "title_and_author", "Book", ("Title", "Author"), "Genre",
+        "Show the title and author of every {value} book.",
+    ),
+    common.join_list_dirty(
+        "branches_by_genre", "Member", "Branch", "Book", "Genre",
+        "List the distinct home branches of members who borrowed {value} books.",
+    ),
+    common.join_superlative_dirty(
+        "longest_kept_by_branch", "Book", "Title", "Member", "Branch",
+        "Loan", "DaysKept",
+        "Among loans by members of the {value} branch, which book was kept longest?",
+    ),
+    common.group_having_count(
+        "prolific_genres", "Book", "Genre",
+        "Which genres hold at least {n} books?",
+        thresholds=(20, 30, 40, 50),
+    ),
+    common.date_between_count(
+        "published_between", "Book", "Published",
+        "How many books were published between {lo} and {hi}?",
+        year_pairs=((1920, 1960), (1950, 1990), (1970, 2000), (1930, 1980),
+                    (1960, 2010), (1940, 1970), (1980, 2020), (1910, 1950),
+                    (1955, 1985), (1975, 2005)),
+    ),
+    common.top_k_list(
+        "longest_books", "Book", "Title", "Pages",
+        "List the titles of the {k} longest books.",
+    ),
+    common.count_not_equal(
+        "not_genre", "Book", "Genre",
+        "How many books are shelved outside {value}?",
+    ),
+    common.join_avg_dirty(
+        "avg_days_by_branch", "Loan", "DaysKept", "Member", "Branch",
+        "What is the average borrowing duration for members of the {value} "
+        "branch?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="library",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

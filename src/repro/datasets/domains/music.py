@@ -1,0 +1,184 @@
+"""Music domain — artists, albums and tracks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="music",
+    description="A record label catalogue: artists, albums and tracks.",
+    tables=(
+        Table(
+            name="Artist",
+            description="Signed artists.",
+            columns=(
+                Column("ArtistID", "INTEGER", "artist id", is_primary=True),
+                Column("Name", "TEXT", "stage name, stored upper-case"),
+                Column("Country", "TEXT", "country of origin"),
+                Column("Genre", "TEXT", "primary genre",
+                       value_examples=("INDIE ROCK", "JAZZ FUSION", "SYNTH POP", "HIP HOP")),
+                Column("Debut", "DATE", "debut date"),
+            ),
+        ),
+        Table(
+            name="Album",
+            description="Released albums.",
+            columns=(
+                Column("AlbumID", "INTEGER", "album id", is_primary=True),
+                Column("ArtistID", "INTEGER", "recording artist"),
+                Column("Title", "TEXT", "album title"),
+                Column("Released", "DATE", "release date"),
+                Column("Label", "TEXT", "issuing label imprint"),
+            ),
+        ),
+        Table(
+            name="Track",
+            description="Tracks on albums.",
+            columns=(
+                Column("TrackID", "INTEGER", "track id", is_primary=True),
+                Column("AlbumID", "INTEGER", "owning album"),
+                Column("Title", "TEXT", "track title"),
+                Column("DurationSec", "INTEGER", "duration in seconds"),
+                Column("Plays", "INTEGER", "streaming play count (nullable: unreleased)"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Album", "ArtistID", "Artist", "ArtistID"),
+        ForeignKey("Track", "AlbumID", "Album", "AlbumID"),
+    ),
+)
+
+_GENRES = ("INDIE ROCK", "JAZZ FUSION", "SYNTH POP", "HIP HOP", "FOLK REVIVAL")
+_COUNTRIES = ("UNITED KINGDOM", "UNITED STATES", "SWEDEN", "NIGERIA", "SOUTH KOREA")
+_LABELS = ("NIGHTFALL RECORDS", "BLUE HARBOR", "STATIC CITY", "WANDERING MOON")
+_TITLE_WORDS = ("MIDNIGHT", "VELVET", "PAPER", "NEON", "GOLDEN", "BROKEN",
+                "SILENT", "ELECTRIC", "WANDERING", "CRYSTAL")
+_TITLE_NOUNS = ("HIGHWAY", "GARDEN", "SIGNAL", "HARBOR", "MIRROR", "SEASON",
+                "ENGINE", "LETTER", "HORIZON", "RIVER")
+
+
+def _title(rng: np.random.Generator) -> str:
+    return f"{common.pick(rng, _TITLE_WORDS)} {common.pick(rng, _TITLE_NOUNS)}"
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    names = common.person_names(rng, 80)
+    debuts = common.random_dates(rng, 80, 1975, 2018)
+    artists = [
+        (aid, names[aid - 1], common.pick(rng, _COUNTRIES),
+         common.pick(rng, _GENRES), debuts[aid - 1])
+        for aid in range(1, 81)
+    ]
+    albums = []
+    released = common.random_dates(rng, 400, 1980, 2023)
+    album_id = 1
+    for aid in range(1, 81):
+        for _ in range(int(rng.integers(1, 6))):
+            albums.append(
+                (album_id, aid, f"{_title(rng)} {album_id}",
+                 released[album_id % len(released)], common.pick(rng, _LABELS))
+            )
+            album_id += 1
+    tracks = []
+    track_id = 1
+    for album in albums:
+        for _ in range(int(rng.integers(6, 13))):
+            tracks.append(
+                (track_id, album[0], f"{_title(rng)} {track_id}",
+                 int(rng.integers(95, 560)),
+                 int(rng.integers(1000, 9000000)) if rng.random() < 0.9 else None)
+            )
+            track_id += 1
+    return {"Artist": artists, "Album": albums, "Track": tracks}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_genre", "Artist", "Genre",
+        "How many artists play {value}?",
+    ),
+    common.list_where_dirty(
+        "artists_by_country", "Artist", "Name", "Country",
+        "List the names of artists from {value}.",
+    ),
+    common.numeric_agg_where(
+        "avg_duration", "Track", "AVG", "DurationSec", "AlbumID",
+        "What is the average track duration on album number {value}?",
+    ),
+    common.count_join_distinct(
+        "artists_on_label", "Artist", "ArtistID", "Album", "Label",
+        "How many different artists have released an album on {value}?",
+    ),
+    common.date_year_count(
+        "albums_since", "Album", "Released",
+        "How many albums were released in {year} or {direction}?",
+        year_pool=(1985, 1989, 1993, 1997, 2001, 2005, 2009, 2013, 2017),
+    ),
+    common.superlative_nullable(
+        "most_played", "Track", "Title", "Plays",
+        "What is the title of the {rank}most streamed track?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.min_nullable(
+        "least_played", "Track", "Title", "Plays",
+        "What is the title of the {rank}least streamed released track?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.group_top(
+        "genre_most_artists", "Artist", "Genre",
+        "Which genre has the {rank}most artists?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.evidence_formula_count(
+        "radio_friendly", "Track", "DurationSec", "a radio-friendly length",
+        150, 240,
+        "How many tracks have {term}?",
+    ),
+    common.multi_select_where(
+        "name_and_debut", "Artist", ("Name", "Debut"), "Genre",
+        "Show the stage name and debut date of every {value} artist.",
+    ),
+    common.join_list_dirty(
+        "labels_by_genre", "Album", "Label", "Artist", "Genre",
+        "List the distinct labels that released albums by {value} artists.",
+    ),
+    common.join_superlative_dirty(
+        "longest_track_by_genre", "Track", "Title", "Artist", "Genre",
+        "Track", "DurationSec",
+        "Among tracks by {value} artists, which has the longest duration?",
+    ),
+    common.group_having_count(
+        "genres_many_artists", "Artist", "Genre",
+        "Which genres have at least {n} artists?",
+    ),
+    common.date_between_count(
+        "released_between", "Album", "Released",
+        "How many albums were released between {lo} and {hi}?",
+    ),
+    common.top_k_list(
+        "most_streamed", "Track", "Title", "Plays",
+        "List the titles of the {k} most streamed tracks.",
+    ),
+    common.count_not_equal(
+        "not_genre", "Artist", "Genre",
+        "How many artists play something other than {value}?",
+    ),
+    common.join_avg_dirty(
+        "avg_duration_by_genre", "Track", "DurationSec", "Artist", "Genre",
+        "What is the average track duration for {value} artists?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="music",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

@@ -1,0 +1,186 @@
+"""Real-estate domain — agents, listings and sales."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="realestate",
+    description="A property brokerage: agents, listings and closed sales.",
+    tables=(
+        Table(
+            name="Agent",
+            description="Licensed agents.",
+            columns=(
+                Column("AgentID", "INTEGER", "agent id", is_primary=True),
+                Column("Name", "TEXT", "agent name, stored upper-case"),
+                Column("Office", "TEXT", "home office",
+                       value_examples=("DOWNTOWN BRANCH", "HARBOR OFFICE", "WESTSIDE DESK")),
+                Column("Licensed", "DATE", "license date"),
+            ),
+        ),
+        Table(
+            name="Listing",
+            description="Properties on the market.",
+            columns=(
+                Column("ListingID", "INTEGER", "listing id", is_primary=True),
+                Column("AgentID", "INTEGER", "listing agent"),
+                Column("Neighborhood", "TEXT", "neighborhood"),
+                Column("PropertyType", "TEXT", "property type",
+                       value_examples=("SINGLE FAMILY", "CONDO", "TOWNHOUSE", "DUPLEX")),
+                Column("Listed", "DATE", "listing date"),
+                Column("AskingPrice", "REAL", "asking price"),
+                Column("SquareMeters", "REAL", "living area (nullable: unverified)"),
+            ),
+        ),
+        Table(
+            name="Sale",
+            description="Closed transactions.",
+            columns=(
+                Column("SaleID", "INTEGER", "sale id", is_primary=True),
+                Column("ListingID", "INTEGER", "sold listing"),
+                Column("Closed", "DATE", "closing date"),
+                Column("SalePrice", "REAL", "final sale price"),
+                Column("DaysOnMarket", "INTEGER", "days between listing and close"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Listing", "AgentID", "Agent", "AgentID"),
+        ForeignKey("Sale", "ListingID", "Listing", "ListingID"),
+    ),
+)
+
+_OFFICES = ("DOWNTOWN BRANCH", "HARBOR OFFICE", "WESTSIDE DESK", "NORTH GATE")
+_HOODS = ("ORCHARD HILLS", "RIVER BEND", "OLD QUARTER", "MEADOWBROOK", "STATION ROW")
+_TYPES = ("SINGLE FAMILY", "CONDO", "TOWNHOUSE", "DUPLEX")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    names = common.person_names(rng, 90)
+    licensed = common.random_dates(rng, 90, 1995, 2022)
+    agents = [
+        (aid, names[aid - 1], common.pick(rng, _OFFICES), licensed[aid - 1])
+        for aid in range(1, 91)
+    ]
+    listings = []
+    listed = common.random_dates(rng, 700, 2015, 2023)
+    lid = 1
+    for aid in range(1, 91):
+        for _ in range(int(rng.integers(2, 9))):
+            listings.append(
+                (lid, aid, common.pick(rng, _HOODS), common.pick(rng, _TYPES),
+                 listed[lid % len(listed)],
+                 round(float(rng.uniform(120_000, 2_400_000)), 0),
+                 round(float(rng.uniform(35, 420)), 1) if rng.random() < 0.86 else None)
+            )
+            lid += 1
+    sales = []
+    closed = common.random_dates(rng, 700, 2016, 2023)
+    sid = 1
+    for listing in listings:
+        if rng.random() < 0.6:
+            sales.append(
+                (sid, listing[0], closed[sid % len(closed)],
+                 round(listing[5] * float(rng.uniform(0.85, 1.12)), 0),
+                 int(rng.integers(3, 220)))
+            )
+            sid += 1
+    return {"Agent": agents, "Listing": listings, "Sale": sales}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_type", "Listing", "PropertyType",
+        "How many listings are {value} properties?",
+    ),
+    common.list_where_dirty(
+        "agents_in_office", "Agent", "Name", "Office",
+        "List the names of agents based at the {value}.",
+    ),
+    common.numeric_agg_where(
+        "avg_price_hood", "Listing", "AVG", "AskingPrice", "Neighborhood",
+        "What is the average asking price in {value}?",
+    ),
+    common.count_join_distinct(
+        "agents_selling_type", "Agent", "AgentID", "Listing", "PropertyType",
+        "How many different agents have listed a {value}?",
+    ),
+    common.date_year_count(
+        "licensed_since", "Agent", "Licensed",
+        "How many agents were licensed in {year} or {direction}?",
+        year_pool=(1998, 2001, 2004, 2007, 2010, 2013, 2016, 2019),
+    ),
+    common.superlative_nullable(
+        "largest_home", "Listing", "ListingID", "SquareMeters",
+        "Which {value} listing has the largest living area?",
+        filter_column="PropertyType",
+    ),
+    common.min_nullable(
+        "smallest_home", "Listing", "ListingID", "SquareMeters",
+        "Which {value} listing has the smallest verified living area?",
+        filter_column="PropertyType",
+    ),
+    common.group_top(
+        "busiest_hood", "Listing", "Neighborhood",
+        "Which neighborhood has the {rank}most listings?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.evidence_formula_count(
+        "luxury_listings", "Listing", "AskingPrice", "a luxury listing",
+        1_200_000, 2_400_000,
+        "How many listings qualify as {term}?",
+    ),
+    common.multi_select_where(
+        "hood_and_price", "Listing", ("Neighborhood", "AskingPrice"),
+        "PropertyType",
+        "Show the neighborhood and asking price of every {value} listing.",
+    ),
+    common.join_list_dirty(
+        "offices_selling_type", "Agent", "Office", "Listing", "PropertyType",
+        "List the distinct offices whose agents listed a {value}.",
+    ),
+    common.join_superlative_dirty(
+        "fastest_sale_by_type", "Sale", "SaleID", "Listing", "PropertyType",
+        "Sale", "DaysOnMarket",
+        "Among {value} sales, which closed fastest?",
+        desc=False,
+    ),
+    common.group_having_count(
+        "hot_neighborhoods", "Listing", "Neighborhood",
+        "Which neighborhoods have at least {n} listings?",
+        thresholds=(70, 85, 100, 115),
+    ),
+    common.date_between_count(
+        "closed_between", "Sale", "Closed",
+        "How many sales closed between {lo} and {hi}?",
+        year_pairs=((2016, 2018), (2017, 2019), (2018, 2020), (2019, 2021),
+                    (2020, 2022), (2016, 2020), (2017, 2021), (2018, 2022),
+                    (2016, 2019), (2019, 2023)),
+    ),
+    common.top_k_list(
+        "biggest_homes", "Listing", "ListingID", "SquareMeters",
+        "List the {k} largest listings by living area.",
+    ),
+    common.count_not_equal(
+        "not_type", "Listing", "PropertyType",
+        "How many listings are not {value} properties?",
+    ),
+    common.join_avg_dirty(
+        "avg_days_by_type", "Sale", "DaysOnMarket", "Listing", "PropertyType",
+        "What is the average days-on-market for {value} sales?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="realestate",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

@@ -1,0 +1,217 @@
+"""Retail domain — customers, products, orders and order lines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="retail",
+    description="An online retailer: customers, products, orders, line items.",
+    tables=(
+        Table(
+            name="Customer",
+            description="Registered customers.",
+            columns=(
+                Column("CustomerID", "INTEGER", "customer id", is_primary=True),
+                Column("Name", "TEXT", "customer name, stored upper-case"),
+                Column("Country", "TEXT", "country of residence"),
+                Column("Joined", "DATE", "registration date"),
+                Column("Segment", "TEXT", "marketing segment",
+                       value_examples=("CONSUMER", "CORPORATE", "HOME OFFICE")),
+            ),
+        ),
+        Table(
+            name="Product",
+            description="Catalogue products.",
+            columns=(
+                Column("ProductID", "INTEGER", "product id", is_primary=True),
+                Column("Name", "TEXT", "product name"),
+                Column("Category", "TEXT", "product category",
+                       value_examples=("OFFICE SUPPLIES", "FURNITURE", "TECHNOLOGY")),
+                Column("Price", "REAL", "unit price"),
+                Column("Weight", "REAL", "shipping weight in kg (nullable: digital goods)"),
+            ),
+        ),
+        Table(
+            name="Orders",
+            description="Order headers.",
+            columns=(
+                Column("OrderID", "INTEGER", "order id", is_primary=True),
+                Column("CustomerID", "INTEGER", "ordering customer"),
+                Column("OrderDate", "DATE", "order date"),
+                Column("Status", "TEXT", "fulfilment status",
+                       value_examples=("DELIVERED", "SHIPPED", "CANCELLED", "RETURNED")),
+            ),
+        ),
+        Table(
+            name="OrderLine",
+            description="Line items of orders.",
+            columns=(
+                Column("LineID", "INTEGER", "line id", is_primary=True),
+                Column("OrderID", "INTEGER", "owning order"),
+                Column("ProductID", "INTEGER", "ordered product"),
+                Column("Quantity", "INTEGER", "units ordered"),
+                Column("Discount", "REAL", "fractional discount applied"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Orders", "CustomerID", "Customer", "CustomerID"),
+        ForeignKey("OrderLine", "OrderID", "Orders", "OrderID"),
+        ForeignKey("OrderLine", "ProductID", "Product", "ProductID"),
+    ),
+)
+
+_COUNTRIES = ("UNITED STATES", "CANADA", "GERMANY", "BRAZIL", "JAPAN", "AUSTRALIA")
+_CATEGORIES = ("OFFICE SUPPLIES", "FURNITURE", "TECHNOLOGY")
+_SEGMENTS = ("CONSUMER", "CORPORATE", "HOME OFFICE")
+_STATUSES = ("DELIVERED", "SHIPPED", "CANCELLED", "RETURNED")
+_PRODUCT_WORDS = ("ERGO CHAIR", "DESK LAMP", "LASER PRINTER", "MONITOR STAND",
+                  "WIRELESS MOUSE", "FILE CABINET", "STANDING DESK", "USB HUB",
+                  "NOTEBOOK PACK", "MESH ROUTER", "LABEL MAKER", "WEBCAM PRO")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    names = common.person_names(rng, 180)
+    joined = common.random_dates(rng, 180, 2010, 2022)
+    customers = [
+        (cid, names[cid - 1], common.pick(rng, _COUNTRIES),
+         joined[cid - 1], common.pick(rng, _SEGMENTS))
+        for cid in range(1, 181)
+    ]
+    products = [
+        (pid, f"{common.pick(rng, _PRODUCT_WORDS)} {pid}",
+         common.pick(rng, _CATEGORIES),
+         round(float(rng.uniform(4, 1800)), 2),
+         round(float(rng.uniform(0.1, 45)), 2) if rng.random() < 0.8 else None)
+        for pid in range(1, 121)
+    ]
+    orders = []
+    dates = common.random_dates(rng, 900, 2015, 2023)
+    oid = 1
+    for cid in range(1, 181):
+        for _ in range(int(rng.integers(0, 7))):
+            orders.append(
+                (oid, cid, dates[oid % len(dates)], common.pick(rng, _STATUSES))
+            )
+            oid += 1
+    lines = []
+    line_id = 1
+    for order in orders:
+        for _ in range(int(rng.integers(1, 5))):
+            lines.append(
+                (line_id, order[0], int(rng.integers(1, 121)),
+                 int(rng.integers(1, 12)),
+                 round(float(common.pick(rng, (0.0, 0.0, 0.1, 0.2, 0.3))), 2))
+            )
+            line_id += 1
+    return {
+        "Customer": customers,
+        "Product": products,
+        "Orders": orders,
+        "OrderLine": lines,
+    }
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_country", "Customer", "Country",
+        "How many customers live in {value}?",
+    ),
+    common.list_where_dirty(
+        "products_in_category", "Product", "Name", "Category",
+        "List the names of products in the {value} category.",
+    ),
+    common.numeric_agg_where(
+        "avg_price_category", "Product", "AVG", "Price", "Category",
+        "What is the average unit price of {value} products?",
+    ),
+    common.count_join_distinct(
+        "customers_with_status", "Customer", "CustomerID", "Orders", "Status",
+        "How many different customers have an order with status {value}?",
+    ),
+    common.date_year_count(
+        "orders_after", "Orders", "OrderDate",
+        "How many orders were placed in {year} or {direction}?",
+        year_pool=(2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022),
+    ),
+    common.superlative_nullable(
+        "heaviest_product", "Product", "Name", "Weight",
+        "What is the name of the heaviest {value} product?",
+        filter_column="Category",
+    ),
+    common.min_nullable(
+        "lightest_product", "Product", "Name", "Weight",
+        "What is the name of the lightest physical {value} product?",
+        filter_column="Category",
+    ),
+    common.group_top(
+        "segment_most_customers", "Customer", "Segment",
+        "Which marketing segment has the {rank}most customers?",
+        ranks=(1, 2, 3),
+    ),
+    common.evidence_formula_count(
+        "premium_products", "Product", "Price", "a premium product",
+        800, 1800,
+        "How many catalogue items count as {term}?",
+    ),
+    common.multi_select_where(
+        "name_and_joined", "Customer", ("Name", "Joined"), "Segment",
+        "Show the name and registration date of each {value} customer.",
+    ),
+    common.join_list_dirty(
+        "countries_by_status", "Customer", "Country", "Orders", "Status",
+        "List the distinct countries of customers with a {value} order.",
+    ),
+    common.join_superlative_dirty(
+        "priciest_ordered", "Product", "Name", "Orders", "Status",
+        "Product", "Price",
+        "Among products appearing in {value} orders, which is the most expensive?",
+    ),
+    common.group_having_count(
+        "countries_many_customers", "Customer", "Country",
+        "Which countries have at least {n} customers?",
+    ),
+    common.date_between_count(
+        "joined_between", "Customer", "Joined",
+        "How many customers registered between {lo} and {hi}?",
+        year_pairs=((2011, 2015), (2013, 2017), (2015, 2019), (2012, 2020),
+                    (2014, 2018), (2016, 2021), (2010, 2014), (2017, 2022),
+                    (2011, 2019), (2013, 2021)),
+    ),
+    common.top_k_list(
+        "heaviest_products", "Product", "Name", "Weight",
+        "List the {k} heaviest products.",
+    ),
+    common.count_not_equal(
+        "not_segment", "Customer", "Segment",
+        "How many customers are not in the {value} segment?",
+    ),
+    common.count_two_filters(
+        "country_and_segment", "Customer", "Country", "Segment",
+        "How many customers live in {value_a} and belong to the {value_b} "
+        "segment?",
+    ),
+    common.join_avg_dirty(
+        "avg_price_by_status", "Product", "Price", "Orders", "Status",
+        "What is the average unit price of products appearing in {value} "
+        "orders?",
+    ),
+    common.count_in_two(
+        "count_two_statuses", "Orders", "Status",
+        "How many orders are either {value_a} or {value_b}?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="retail",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

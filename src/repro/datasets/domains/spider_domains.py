@@ -1,0 +1,600 @@
+"""Spider-like domains: many small, clean databases with simpler questions.
+
+Spider's profile differs from BIRD's in exactly the ways that matter for
+the paper's Table 3: smaller schemas, no dirty values (``clean=True``
+mentions), fewer evidence-dependent tricks, and a difficulty mix skewed to
+simple/moderate.  Six compact domains live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+__all__ = ["SPIDER_DOMAINS"]
+
+
+# ------------------------------------------------------------------- pets
+
+_PETS = Database(
+    name="pets",
+    description="Pet owners and their pets.",
+    tables=(
+        Table(
+            name="Owner",
+            columns=(
+                Column("OwnerID", "INTEGER", "owner id", is_primary=True),
+                Column("Name", "TEXT", "owner name"),
+                Column("City", "TEXT", "city of residence"),
+            ),
+        ),
+        Table(
+            name="Pet",
+            columns=(
+                Column("PetID", "INTEGER", "pet id", is_primary=True),
+                Column("OwnerID", "INTEGER", "owning person"),
+                Column("Species", "TEXT", "species", value_examples=("Dog", "Cat", "Parrot")),
+                Column("Age", "INTEGER", "age in years"),
+                Column("Weight", "REAL", "weight in kg (nullable)"),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("Pet", "OwnerID", "Owner", "OwnerID"),),
+)
+
+
+def _populate_pets(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    cities = ("Austin", "Boulder", "Chicago", "Denver", "Eugene", "Fresno",
+              "Gainesville", "Helena", "Irvine", "Juneau")
+    names = [n.title() for n in common.person_names(rng, 60)]
+    owners = [
+        (oid, names[oid - 1], common.pick(rng, cities)) for oid in range(1, 61)
+    ]
+    species = ("Dog", "Cat", "Parrot", "Rabbit", "Hamster", "Gecko",
+               "Turtle", "Ferret", "Canary", "Goldfish")
+    pets = []
+    pid = 1
+    for oid in range(1, 61):
+        for _ in range(int(rng.integers(1, 4))):
+            pets.append(
+                (pid, oid, common.pick(rng, species), int(rng.integers(1, 18)),
+                 round(float(rng.uniform(0.4, 55)), 1) if rng.random() < 0.9 else None)
+            )
+            pid += 1
+    return {"Owner": owners, "Pet": pets}
+
+
+_PETS_TEMPLATES = (
+    common.count_not_equal(
+        "count_not_species", "Pet", "Species",
+        "How many pets are not {value}s?", clean=True,
+    ),
+    common.group_having_count(
+        "popular_species", "Pet", "Species",
+        "Which species have at least {n} pets?",
+        thresholds=(8, 10, 12, 15),
+    ),
+
+    common.count_where_dirty(
+        "count_species", "Pet", "Species",
+        "How many pets are {value}s?", clean=True,
+    ),
+    common.list_where_dirty(
+        "owners_in_city", "Owner", "Name", "City",
+        "List the names of owners living in {value}.", clean=True,
+    ),
+    common.numeric_agg_where(
+        "avg_age_species", "Pet", "AVG", "Age", "Species",
+        "What is the average age of {value} pets?", clean=True,
+    ),
+    common.count_join_distinct(
+        "owners_of_species", "Owner", "OwnerID", "Pet", "Species",
+        "How many different owners have a {value}?", clean=True,
+    ),
+    common.superlative_nullable(
+        "heaviest_pet", "Pet", "PetID", "Weight",
+        "Which {value} is the heaviest?",
+        filter_column="Species", clean=True,
+    ),
+    common.group_top(
+        "city_most_owners", "Owner", "City",
+        "Which city has the {rank}most pet owners?",
+        ranks=(1, 2, 3, 4),
+    ),
+)
+
+
+# ---------------------------------------------------------------- concerts
+
+_CONCERTS = Database(
+    name="concerts",
+    description="Singers and the concerts they performed.",
+    tables=(
+        Table(
+            name="Singer",
+            columns=(
+                Column("SingerID", "INTEGER", "singer id", is_primary=True),
+                Column("Name", "TEXT", "singer name"),
+                Column("Country", "TEXT", "home country"),
+                Column("Age", "INTEGER", "age in years"),
+            ),
+        ),
+        Table(
+            name="Concert",
+            columns=(
+                Column("ConcertID", "INTEGER", "concert id", is_primary=True),
+                Column("SingerID", "INTEGER", "headliner"),
+                Column("Venue", "TEXT", "venue name"),
+                Column("Year", "INTEGER", "concert year"),
+                Column("Attendance", "INTEGER", "tickets sold (nullable)"),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("Concert", "SingerID", "Singer", "SingerID"),),
+)
+
+
+def _populate_concerts(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    countries = ("France", "Netherlands", "United States", "Japan",
+                 "Mexico", "Ghana", "Portugal", "Iceland", "Chile", "Vietnam")
+    venues = ("Grand Arena", "Sky Hall", "River Stage", "Fort Amphitheatre",
+              "Union Theatre", "Cedar Bowl", "Lakeside Pavilion",
+              "Granite Hall", "Sunset Dome", "Harbor Stage")
+    names = [n.title() for n in common.person_names(rng, 40)]
+    singers = [
+        (sid, names[sid - 1], common.pick(rng, countries), int(rng.integers(19, 70)))
+        for sid in range(1, 41)
+    ]
+    concerts = []
+    cid = 1
+    for sid in range(1, 41):
+        for _ in range(int(rng.integers(1, 5))):
+            concerts.append(
+                (cid, sid, common.pick(rng, venues), int(rng.integers(2010, 2024)),
+                 int(rng.integers(200, 60000)) if rng.random() < 0.9 else None)
+            )
+            cid += 1
+    return {"Singer": singers, "Concert": concerts}
+
+
+_CONCERTS_TEMPLATES = (
+    common.count_not_equal(
+        "count_not_country", "Singer", "Country",
+        "How many singers are not from {value}?", clean=True,
+    ),
+    common.group_having_count(
+        "busy_years", "Concert", "Year",
+        "Which years had at least {n} concerts?",
+        thresholds=(4, 5, 6, 7),
+    ),
+
+    common.count_where_dirty(
+        "count_country", "Singer", "Country",
+        "How many singers are from {value}?", clean=True,
+    ),
+    common.list_where_dirty(
+        "singers_from", "Singer", "Name", "Country",
+        "What are the names of singers from {value}?", clean=True,
+    ),
+    common.numeric_agg_where(
+        "avg_age_country", "Singer", "AVG", "Age", "Country",
+        "What is the average age of singers from {value}?", clean=True,
+    ),
+    common.count_join_distinct(
+        "singers_at_venue", "Singer", "SingerID", "Concert", "Venue",
+        "How many different singers performed at {value}?", clean=True,
+    ),
+    common.superlative_nullable(
+        "biggest_concert", "Concert", "Venue", "Attendance",
+        "Which venue hosted the best attended concert of {value}?",
+        filter_column="Year", clean=True,
+    ),
+    common.group_top(
+        "busiest_venue", "Concert", "Venue",
+        "Which venue hosted the {rank}most concerts?",
+        ranks=(1, 2, 3, 4),
+    ),
+)
+
+
+# ------------------------------------------------------------------ flights
+
+_FLIGHTS = Database(
+    name="flights",
+    description="Airlines, airports and flights.",
+    tables=(
+        Table(
+            name="Airline",
+            columns=(
+                Column("AirlineID", "INTEGER", "airline id", is_primary=True),
+                Column("Name", "TEXT", "airline name"),
+                Column("Country", "TEXT", "country of registration"),
+            ),
+        ),
+        Table(
+            name="Flight",
+            columns=(
+                Column("FlightID", "INTEGER", "flight id", is_primary=True),
+                Column("AirlineID", "INTEGER", "operating airline"),
+                Column("Origin", "TEXT", "origin airport code"),
+                Column("Destination", "TEXT", "destination airport code"),
+                Column("DistanceKm", "INTEGER", "great-circle distance"),
+                Column("DelayMin", "INTEGER", "arrival delay in minutes (nullable)"),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("Flight", "AirlineID", "Airline", "AirlineID"),),
+)
+
+
+def _populate_flights(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    countries = ("Spain", "Brazil", "India", "Norway", "Kenya", "Peru",
+                 "Finland", "Thailand", "Egypt", "Canada")
+    airline_names = ("Aurora Air", "Cloudline", "Meridian Wings", "Polar Jet",
+                     "Sunway Express", "Vista Airways", "Nimbus Air",
+                     "Zephyr Lines", "Condor Link", "Equator Jet")
+    airlines = [
+        (aid, airline_names[aid - 1], common.pick(rng, countries))
+        for aid in range(1, 11)
+    ]
+    codes = ("AAX", "BBY", "CCZ", "DDQ", "EER", "FFT", "GGU", "HHV",
+             "IIW", "JJM", "KKN", "LLP")
+    flights = []
+    fid = 1
+    for _ in range(400):
+        origin = common.pick(rng, codes)
+        dest = common.pick(rng, [c for c in codes if c != origin])
+        flights.append(
+            (fid, int(rng.integers(1, 11)), origin, dest,
+             int(rng.integers(180, 9000)),
+             int(rng.integers(-15, 240)) if rng.random() < 0.85 else None)
+        )
+        fid += 1
+    return {"Airline": airlines, "Flight": flights}
+
+
+_FLIGHTS_TEMPLATES = (
+    common.count_not_equal(
+        "count_not_dest", "Flight", "Destination",
+        "How many flights do not land at {value}?", clean=True,
+    ),
+    common.group_having_count(
+        "busy_destinations", "Flight", "Destination",
+        "Which destinations receive at least {n} flights?",
+        thresholds=(25, 30, 35, 40),
+    ),
+
+    common.count_where_dirty(
+        "count_origin", "Flight", "Origin",
+        "How many flights depart from {value}?", clean=True,
+    ),
+    common.list_where_dirty(
+        "airlines_in_country", "Airline", "Name", "Country",
+        "List the airlines registered in {value}.", clean=True,
+    ),
+    common.numeric_agg_where(
+        "avg_distance_origin", "Flight", "AVG", "DistanceKm", "Origin",
+        "What is the average distance of flights departing {value}?", clean=True,
+    ),
+    common.count_join_distinct(
+        "airlines_serving", "Airline", "AirlineID", "Flight", "Destination",
+        "How many different airlines fly into {value}?", clean=True,
+    ),
+    common.superlative_nullable(
+        "most_delayed", "Flight", "FlightID", "DelayMin",
+        "Which flight from {value} had the longest arrival delay?",
+        filter_column="Origin", clean=True,
+    ),
+    common.group_top(
+        "busiest_origin", "Flight", "Origin",
+        "Which airport code has the {rank}most departing flights?",
+        ranks=(1, 2, 3, 4),
+    ),
+)
+
+
+# ---------------------------------------------------------------- employees
+
+_EMPLOYEES = Database(
+    name="employees",
+    description="Company departments and employees.",
+    tables=(
+        Table(
+            name="Department",
+            columns=(
+                Column("DeptID", "INTEGER", "department id", is_primary=True),
+                Column("Name", "TEXT", "department name"),
+                Column("Building", "TEXT", "office building"),
+            ),
+        ),
+        Table(
+            name="Employee",
+            columns=(
+                Column("EmpID", "INTEGER", "employee id", is_primary=True),
+                Column("DeptID", "INTEGER", "department"),
+                Column("Name", "TEXT", "employee name"),
+                Column("Title", "TEXT", "job title"),
+                Column("Salary", "REAL", "annual salary"),
+                Column("Bonus", "REAL", "last bonus (nullable)"),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("Employee", "DeptID", "Department", "DeptID"),),
+)
+
+
+def _populate_employees(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    dept_names = ("Engineering", "Marketing", "Finance", "Operations",
+                  "Legal", "Research", "Support", "Design")
+    buildings = ("North Tower", "South Tower", "Annex", "East Wing",
+                 "Harbor Office", "Midtown Hub")
+    departments = [
+        (did, dept_names[did - 1], common.pick(rng, buildings))
+        for did in range(1, 9)
+    ]
+    titles = ("Analyst", "Manager", "Director", "Specialist", "Coordinator",
+              "Architect", "Planner", "Auditor", "Engineer", "Recruiter")
+    names = [n.title() for n in common.person_names(rng, 150)]
+    employees = [
+        (eid, int(rng.integers(1, 9)), names[eid - 1], common.pick(rng, titles),
+         round(float(rng.uniform(42000, 230000)), 0),
+         round(float(rng.uniform(1000, 40000)), 0) if rng.random() < 0.7 else None)
+        for eid in range(1, 151)
+    ]
+    return {"Department": departments, "Employee": employees}
+
+
+_EMPLOYEES_TEMPLATES = (
+    common.count_not_equal(
+        "count_not_title", "Employee", "Title",
+        "How many employees do not hold the title {value}?", clean=True,
+    ),
+    common.group_having_count(
+        "common_titles", "Employee", "Title",
+        "Which job titles are held by at least {n} employees?",
+        thresholds=(10, 12, 15, 18),
+    ),
+
+    common.count_where_dirty(
+        "count_title", "Employee", "Title",
+        "How many employees hold the title {value}?", clean=True,
+    ),
+    common.list_where_dirty(
+        "employees_with_title", "Employee", "Name", "Title",
+        "List the names of employees with the title {value}.", clean=True,
+    ),
+    common.numeric_agg_where(
+        "avg_salary_title", "Employee", "AVG", "Salary", "Title",
+        "What is the average salary of employees titled {value}?", clean=True,
+    ),
+    common.count_join_distinct(
+        "depts_in_building", "Employee", "EmpID", "Department", "Building",
+        "How many different employees work in {value}?", clean=True,
+    ),
+    common.superlative_nullable(
+        "biggest_bonus", "Employee", "Name", "Bonus",
+        "Which {value} received the biggest bonus?",
+        filter_column="Title", clean=True,
+    ),
+    common.group_top(
+        "largest_department", "Employee", "DeptID",
+        "Which department id has the {rank}most employees?",
+        ranks=(1, 2, 3, 4),
+    ),
+)
+
+
+# --------------------------------------------------------------- restaurants
+
+_RESTAURANTS = Database(
+    name="restaurants",
+    description="Restaurants and health inspections.",
+    tables=(
+        Table(
+            name="Restaurant",
+            columns=(
+                Column("RestID", "INTEGER", "restaurant id", is_primary=True),
+                Column("Name", "TEXT", "restaurant name"),
+                Column("Cuisine", "TEXT", "cuisine type"),
+                Column("Neighborhood", "TEXT", "neighborhood"),
+            ),
+        ),
+        Table(
+            name="Inspection",
+            columns=(
+                Column("InspID", "INTEGER", "inspection id", is_primary=True),
+                Column("RestID", "INTEGER", "inspected restaurant"),
+                Column("Year", "INTEGER", "inspection year"),
+                Column("Score", "INTEGER", "inspection score 0-100 (nullable)"),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("Inspection", "RestID", "Restaurant", "RestID"),),
+)
+
+
+def _populate_restaurants(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    cuisines = ("Italian", "Thai", "Mexican", "Ethiopian", "Diner",
+                "Korean", "Lebanese", "Vegan", "Seafood", "Peruvian")
+    hoods = ("Midtown", "Old Port", "Lakeside", "Gallery District",
+             "Brewery Row", "Chinatown", "Riverwalk", "Summit Park")
+    words = ("Lucky", "Golden", "Blue", "Corner", "Garden", "Royal")
+    nouns = ("Spoon", "Table", "Lantern", "Kettle", "Olive", "Harbor")
+    restaurants = [
+        (rid, f"{common.pick(rng, words)} {common.pick(rng, nouns)} {rid}",
+         common.pick(rng, cuisines), common.pick(rng, hoods))
+        for rid in range(1, 81)
+    ]
+    inspections = []
+    iid = 1
+    for rid in range(1, 81):
+        for year in (2018, 2019, 2020, 2021, 2022, 2023):
+            if rng.random() < 0.25:
+                continue
+            inspections.append(
+                (iid, rid, year,
+                 int(rng.integers(55, 101)) if rng.random() < 0.92 else None)
+            )
+            iid += 1
+    return {"Restaurant": restaurants, "Inspection": inspections}
+
+
+_RESTAURANTS_TEMPLATES = (
+    common.count_not_equal(
+        "count_not_cuisine", "Restaurant", "Cuisine",
+        "How many restaurants do not serve {value} food?", clean=True,
+    ),
+    common.group_having_count(
+        "big_cuisines", "Restaurant", "Cuisine",
+        "Which cuisines have at least {n} restaurants?",
+        thresholds=(5, 6, 8, 10),
+    ),
+
+    common.count_where_dirty(
+        "count_cuisine", "Restaurant", "Cuisine",
+        "How many restaurants serve {value} food?", clean=True,
+    ),
+    common.list_where_dirty(
+        "restaurants_in_hood", "Restaurant", "Name", "Neighborhood",
+        "List the restaurants in {value}.", clean=True,
+    ),
+    common.numeric_agg_where(
+        "avg_score_year", "Inspection", "AVG", "Score", "Year",
+        "What was the average inspection score in {value}?", clean=True,
+    ),
+    common.count_join_distinct(
+        "inspected_cuisines", "Inspection", "InspID", "Restaurant", "Cuisine",
+        "How many inspections were performed at {value} restaurants?", clean=True,
+    ),
+    common.superlative_nullable(
+        "best_inspection", "Inspection", "RestID", "Score",
+        "Which restaurant received the highest inspection score of {value}?",
+        filter_column="Year", clean=True,
+    ),
+    common.group_top(
+        "hood_most_restaurants", "Restaurant", "Neighborhood",
+        "Which neighborhood has the {rank}most restaurants?",
+        ranks=(1, 2, 3, 4),
+    ),
+)
+
+
+# ------------------------------------------------------------------ courses
+
+_COURSES = Database(
+    name="courses",
+    description="University courses and enrollments.",
+    tables=(
+        Table(
+            name="Course",
+            columns=(
+                Column("CourseID", "INTEGER", "course id", is_primary=True),
+                Column("Title", "TEXT", "course title"),
+                Column("Department", "TEXT", "offering department"),
+                Column("Credits", "INTEGER", "credit hours"),
+            ),
+        ),
+        Table(
+            name="Student",
+            columns=(
+                Column("StudentID", "INTEGER", "student id", is_primary=True),
+                Column("Name", "TEXT", "student name"),
+                Column("Major", "TEXT", "declared major"),
+            ),
+        ),
+        Table(
+            name="Enrollment",
+            columns=(
+                Column("EnrollID", "INTEGER", "enrollment id", is_primary=True),
+                Column("CourseID", "INTEGER", "course"),
+                Column("StudentID", "INTEGER", "student"),
+                Column("Grade", "REAL", "grade points 0-4 (nullable: in progress)"),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Enrollment", "CourseID", "Course", "CourseID"),
+        ForeignKey("Enrollment", "StudentID", "Student", "StudentID"),
+    ),
+)
+
+
+def _populate_courses(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    departments = ("Mathematics", "History", "Biology", "Computer Science",
+                   "Philosophy", "Economics", "Chemistry", "Linguistics")
+    majors = ("Mathematics", "History", "Biology", "Computer Science",
+              "Philosophy", "Economics", "Chemistry", "Linguistics",
+              "Undeclared")
+    subjects = ("Intro to", "Advanced", "Topics in", "Seminar on")
+    courses = [
+        (cid, f"{common.pick(rng, subjects)} {common.pick(rng, departments)} {cid}",
+         common.pick(rng, departments), int(common.pick(rng, (2, 3, 4))))
+        for cid in range(1, 61)
+    ]
+    names = [n.title() for n in common.person_names(rng, 120)]
+    students = [
+        (sid, names[sid - 1], common.pick(rng, majors)) for sid in range(1, 121)
+    ]
+    enrollments = []
+    eid = 1
+    for sid in range(1, 121):
+        for _ in range(int(rng.integers(1, 6))):
+            enrollments.append(
+                (eid, int(rng.integers(1, 61)), sid,
+                 round(float(rng.uniform(0, 4)), 1) if rng.random() < 0.85 else None)
+            )
+            eid += 1
+    return {"Course": courses, "Student": students, "Enrollment": enrollments}
+
+
+_COURSES_TEMPLATES = (
+    common.count_not_equal(
+        "count_not_major", "Student", "Major",
+        "How many students are not majoring in {value}?", clean=True,
+    ),
+    common.group_having_count(
+        "big_departments", "Course", "Department",
+        "Which departments offer at least {n} courses?",
+        thresholds=(5, 6, 7, 8),
+    ),
+
+    common.count_where_dirty(
+        "count_department", "Course", "Department",
+        "How many courses does the {value} department offer?", clean=True,
+    ),
+    common.list_where_dirty(
+        "students_by_major", "Student", "Name", "Major",
+        "List the names of students majoring in {value}.", clean=True,
+    ),
+    common.numeric_agg_where(
+        "avg_credits_dept", "Course", "AVG", "Credits", "Department",
+        "What is the average credit value of {value} courses?", clean=True,
+    ),
+    common.count_join_distinct(
+        "students_in_dept_courses", "Student", "StudentID", "Course", "Department",
+        "How many different students enrolled in {value} courses?", clean=True,
+    ),
+    common.superlative_nullable(
+        "best_grade", "Enrollment", "StudentID", "Grade",
+        "Which student earned the {rank}highest recorded grade?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.group_top(
+        "dept_most_courses", "Course", "Department",
+        "Which department offers the {rank}most courses?",
+        ranks=(1, 2, 3, 4),
+    ),
+)
+
+
+SPIDER_DOMAINS = [
+    DomainSpec("pets", _PETS, _populate_pets, _PETS_TEMPLATES, _PETS.description),
+    DomainSpec("concerts", _CONCERTS, _populate_concerts, _CONCERTS_TEMPLATES, _CONCERTS.description),
+    DomainSpec("flights", _FLIGHTS, _populate_flights, _FLIGHTS_TEMPLATES, _FLIGHTS.description),
+    DomainSpec("employees", _EMPLOYEES, _populate_employees, _EMPLOYEES_TEMPLATES, _EMPLOYEES.description),
+    DomainSpec("restaurants", _RESTAURANTS, _populate_restaurants, _RESTAURANTS_TEMPLATES, _RESTAURANTS.description),
+    DomainSpec("courses", _COURSES, _populate_courses, _COURSES_TEMPLATES, _COURSES.description),
+]

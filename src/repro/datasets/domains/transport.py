@@ -1,0 +1,155 @@
+"""Transport domain — stations, bike-share rides and maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.build import DomainSpec
+from repro.datasets.domains import common
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+SCHEMA = Database(
+    name="transport",
+    description="A city bike-share system: stations, bikes and rides.",
+    tables=(
+        Table(
+            name="Station",
+            description="Docking stations.",
+            columns=(
+                Column("StationID", "INTEGER", "station id", is_primary=True),
+                Column("Name", "TEXT", "station name"),
+                Column("District", "TEXT", "city district"),
+                Column("Docks", "INTEGER", "number of docks"),
+                Column("Installed", "DATE", "installation date"),
+            ),
+        ),
+        Table(
+            name="Bike",
+            description="Fleet bikes.",
+            columns=(
+                Column("BikeID", "INTEGER", "bike id", is_primary=True),
+                Column("Model", "TEXT", "bike model",
+                       value_examples=("CITY CRUISER", "E ASSIST", "CARGO TRIKE")),
+                Column("Commissioned", "DATE", "date entered service"),
+                Column("Mileage", "REAL", "odometer km (nullable: sensor fault)"),
+            ),
+        ),
+        Table(
+            name="Ride",
+            description="Completed rides.",
+            columns=(
+                Column("RideID", "INTEGER", "ride id", is_primary=True),
+                Column("BikeID", "INTEGER", "bike used"),
+                Column("StartStationID", "INTEGER", "origin station"),
+                Column("StartTime", "DATE", "ride start date"),
+                Column("DurationMin", "INTEGER", "ride duration in minutes"),
+                Column("MemberType", "TEXT", "rider type",
+                       value_examples=("ANNUAL MEMBER", "DAY PASS", "SINGLE TRIP")),
+            ),
+        ),
+    ),
+    foreign_keys=(
+        ForeignKey("Ride", "BikeID", "Bike", "BikeID"),
+        ForeignKey("Ride", "StartStationID", "Station", "StationID"),
+    ),
+)
+
+_DISTRICTS = ("OLD TOWN", "HARBOR FRONT", "UNIVERSITY HILL", "MARKET SQUARE", "GREENBELT")
+_MODELS = ("CITY CRUISER", "E ASSIST", "CARGO TRIKE")
+_MEMBERS = ("ANNUAL MEMBER", "DAY PASS", "SINGLE TRIP")
+_STATION_WORDS = ("MAPLE", "STATION", "CENTRAL", "ELM", "DOCKSIDE", "CANAL",
+                  "MUSEUM", "STADIUM", "TERRACE", "FOUNTAIN")
+
+
+def populate(rng: np.random.Generator) -> dict[str, list[tuple]]:
+    """Generate seeded synthetic rows for every table of this domain."""
+    installed = common.random_dates(rng, 60, 2012, 2021)
+    stations = [
+        (sid, f"{common.pick(rng, _STATION_WORDS)} ST {sid}",
+         common.pick(rng, _DISTRICTS), int(rng.integers(8, 40)),
+         installed[sid - 1])
+        for sid in range(1, 61)
+    ]
+    commissioned = common.random_dates(rng, 150, 2014, 2022)
+    bikes = [
+        (bid, common.pick(rng, _MODELS), commissioned[bid - 1],
+         round(float(rng.uniform(50, 18000)), 1) if rng.random() < 0.85 else None)
+        for bid in range(1, 151)
+    ]
+    rides = []
+    starts = common.random_dates(rng, 1500, 2018, 2023)
+    ride_id = 1
+    for _ in range(1800):
+        rides.append(
+            (ride_id, int(rng.integers(1, 151)), int(rng.integers(1, 61)),
+             starts[ride_id % len(starts)], int(rng.integers(2, 120)),
+             common.pick(rng, _MEMBERS))
+        )
+        ride_id += 1
+    return {"Station": stations, "Bike": bikes, "Ride": rides}
+
+
+TEMPLATES = (
+    common.count_where_dirty(
+        "count_district", "Station", "District",
+        "How many stations are in the {value} district?",
+    ),
+    common.list_where_dirty(
+        "stations_in_district", "Station", "Name", "District",
+        "List the names of stations in the {value} district.",
+    ),
+    common.numeric_agg_where(
+        "avg_duration_member", "Ride", "AVG", "DurationMin", "MemberType",
+        "What is the average ride duration in minutes for {value} riders?",
+    ),
+    common.count_join_distinct(
+        "bikes_from_district", "Bike", "BikeID", "Station", "District",
+        "How many different bikes started a ride in the {value} district?",
+    ),
+    common.date_year_count(
+        "stations_installed", "Station", "Installed",
+        "How many stations were installed in {year} or {direction}?",
+        year_pool=(2013, 2014, 2015, 2016, 2017, 2018, 2019, 2020, 2021),
+    ),
+    common.superlative_nullable(
+        "highest_mileage", "Bike", "BikeID", "Mileage",
+        "Which {value} bike has the highest recorded mileage?",
+        filter_column="Model",
+    ),
+    common.min_nullable(
+        "lowest_mileage", "Bike", "BikeID", "Mileage",
+        "Which {value} bike has the lowest recorded mileage?",
+        filter_column="Model",
+    ),
+    common.group_top(
+        "district_most_stations", "Station", "District",
+        "Which district has the {rank}most stations?",
+        ranks=(1, 2, 3, 4, 5),
+    ),
+    common.evidence_formula_count(
+        "long_rides", "Ride", "DurationMin", "a long ride",
+        60, 120,
+        "How many rides count as {term}?",
+    ),
+    common.multi_select_where(
+        "name_and_docks", "Station", ("Name", "Docks"), "District",
+        "Show the name and dock count of each station in the {value} district.",
+    ),
+    common.join_list_dirty(
+        "models_by_member", "Bike", "Model", "Ride", "MemberType",
+        "List the distinct bike models ridden by {value} riders.",
+    ),
+    common.join_superlative_dirty(
+        "longest_ride_model", "Bike", "BikeID", "Bike", "Model",
+        "Ride", "DurationMin",
+        "Among {value} bikes, which one was used for the longest ride?",
+    ),
+)
+
+DOMAIN = DomainSpec(
+    name="transport",
+    schema=SCHEMA,
+    populate=populate,
+    templates=TEMPLATES,
+    description=SCHEMA.description,
+)

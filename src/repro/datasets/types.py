@@ -1,0 +1,65 @@
+"""Benchmark example types shared across datasets, LLM simulation and
+evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ValueMention", "Example", "Difficulty", "DIFFICULTIES"]
+
+#: BIRD's three difficulty labels.
+DIFFICULTIES = ("simple", "moderate", "challenging")
+
+Difficulty = str
+
+
+@dataclass(frozen=True)
+class ValueMention:
+    """A value referenced by the question whose surface form differs from
+    how the database stores it (BIRD's "dirty value" phenomenon).
+
+    ``surface`` is what the question says ("John"), ``stored`` is what the
+    database contains ("JOHN"), and ``table``/``column`` locate it.
+    """
+
+    surface: str
+    stored: str
+    table: str
+    column: str
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when the question spells the value differently from storage."""
+        return self.surface != self.stored
+
+
+@dataclass(frozen=True)
+class Example:
+    """One benchmark question.
+
+    ``traits`` names the structural pitfalls the gold SQL navigates
+    (``needs_distinct``, ``date_format``, ``nullable_min``,
+    ``max_vs_limit``, ``evidence_formula``) — the simulated LLM's
+    hallucination channels key off them, and the dynamic few-shot mechanism
+    matches on ``template_id`` families.
+    """
+
+    question_id: str
+    db_id: str
+    question: str
+    gold_sql: str
+    evidence: str = ""
+    difficulty: Difficulty = "simple"
+    traits: tuple[str, ...] = ()
+    value_mentions: tuple[ValueMention, ...] = ()
+    template_id: str = ""
+    split: str = "dev"
+
+    def __post_init__(self):
+        if self.difficulty not in DIFFICULTIES:
+            raise ValueError(f"unknown difficulty {self.difficulty!r}")
+
+    @property
+    def has_dirty_values(self) -> bool:
+        """True when any mention's surface differs from the stored value."""
+        return any(mention.is_dirty for mention in self.value_mentions)

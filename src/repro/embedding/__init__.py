@@ -1,0 +1,15 @@
+"""Embedding substrate: a character-n-gram hashing vectorizer (offline
+substitute for bge-large-en-v1.5) plus exact and HNSW vector indexes."""
+
+from repro.embedding.vectorizer import HashingVectorizer, cosine_similarity
+from repro.embedding.index import FlatIndex, SearchHit, VectorIndex
+from repro.embedding.hnsw import HNSWIndex
+
+__all__ = [
+    "FlatIndex",
+    "HNSWIndex",
+    "HashingVectorizer",
+    "SearchHit",
+    "VectorIndex",
+    "cosine_similarity",
+]

@@ -1,0 +1,85 @@
+"""Failure analysis: categorize wrong predictions by error kind, trait and
+difficulty.
+
+The paper's discussion sections reason about *why* questions fail (which
+hallucination survived the pipeline); this module gives downstream users
+the same view over their own runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from repro.datasets.types import Example
+from repro.evaluation.metrics import ExampleScore
+from repro.evaluation.report import format_table
+
+__all__ = ["ErrorBreakdown", "analyze_failures"]
+
+
+@dataclass
+class ErrorBreakdown:
+    """Aggregated failure statistics for one evaluation run."""
+
+    total: int = 0
+    wrong: int = 0
+    by_status: Counter = field(default_factory=Counter)
+    by_difficulty: Counter = field(default_factory=Counter)
+    by_trait: Counter = field(default_factory=Counter)
+    by_template: Counter = field(default_factory=Counter)
+    failed_question_ids: list[str] = field(default_factory=list)
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of evaluated questions that scored wrong."""
+        return self.wrong / self.total if self.total else 0.0
+
+    def render(self, top: int = 8) -> str:
+        """A printable multi-table summary."""
+        parts = [
+            f"{self.wrong}/{self.total} wrong "
+            f"({100 * self.error_rate:.1f}% error rate)"
+        ]
+        for title, counter in (
+            ("by execution status", self.by_status),
+            ("by difficulty", self.by_difficulty),
+            ("by trait", self.by_trait),
+            ("by question family", self.by_template),
+        ):
+            if not counter:
+                continue
+            rows = [[key, count] for key, count in counter.most_common(top)]
+            parts.append(format_table(["bucket", "wrong"], rows, title=title))
+        return "\n\n".join(parts)
+
+
+def analyze_failures(
+    examples: list[Example],
+    scores: list[ExampleScore],
+) -> ErrorBreakdown:
+    """Cross-reference scores with their examples and bucket the failures.
+
+    ``examples`` and ``scores`` must be parallel lists (the order
+    ``evaluate_pipeline``/``evaluate_system`` preserve).
+    """
+    if len(examples) != len(scores):
+        raise ValueError(
+            f"examples ({len(examples)}) and scores ({len(scores)}) differ in length"
+        )
+    breakdown = ErrorBreakdown(total=len(scores))
+    for example, score in zip(examples, scores):
+        if example.question_id != score.question_id:
+            raise ValueError(
+                f"misaligned inputs: {example.question_id} vs {score.question_id}"
+            )
+        if score.correct:
+            continue
+        breakdown.wrong += 1
+        breakdown.failed_question_ids.append(example.question_id)
+        breakdown.by_status[score.predicted_status] += 1
+        breakdown.by_difficulty[example.difficulty] += 1
+        for trait in example.traits or ("(no traits)",):
+            breakdown.by_trait[trait] += 1
+        family = example.template_id or "(unknown)"
+        breakdown.by_template[family] += 1
+    return breakdown

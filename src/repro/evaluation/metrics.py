@@ -1,0 +1,151 @@
+"""BIRD evaluation metrics: Execution Accuracy (EX) and the Reward-based
+Valid Efficiency Score (R-VES).
+
+EX compares execution result sets of predicted and gold SQL.  R-VES
+rewards a *correct* prediction by how fast it runs relative to the gold
+query, using BIRD's published reward brackets on the time ratio
+``gold_time / predicted_time``:
+
+    ratio >= 2      → 1.25
+    1 <= ratio < 2  → 1.0
+    0.5 <= ratio<1  → 0.75
+    0.25<= ratio<.5 → 0.5
+    ratio < 0.25    → 0.25
+    incorrect       → 0.0
+
+and reports the mean reward × 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datasets.types import Example
+from repro.execution.executor import (
+    ExecutionOutcome,
+    ExecutionStatus,
+    SQLExecutor,
+    results_match,
+)
+
+__all__ = [
+    "ExampleScore",
+    "score_example",
+    "execution_accuracy",
+    "r_ves_reward",
+    "r_ves",
+    "ves",
+]
+
+_MIN_TIME = 1e-6
+
+
+@dataclass(frozen=True)
+class ExampleScore:
+    """Correctness and timing of one prediction against its gold."""
+
+    question_id: str
+    correct: bool
+    predicted_time: float = 0.0
+    gold_time: float = 0.0
+    predicted_status: str = ""
+    difficulty: str = "simple"
+
+    @property
+    def reward(self) -> float:
+        """The R-VES reward bracket for this example."""
+        return r_ves_reward(self.correct, self.gold_time, self.predicted_time)
+
+
+def r_ves_reward(correct: bool, gold_time: float, predicted_time: float) -> float:
+    """The BIRD R-VES reward bracket for one example."""
+    if not correct:
+        return 0.0
+    ratio = max(gold_time, _MIN_TIME) / max(predicted_time, _MIN_TIME)
+    if ratio >= 2.0:
+        return 1.25
+    if ratio >= 1.0:
+        return 1.0
+    if ratio >= 0.5:
+        return 0.75
+    if ratio >= 0.25:
+        return 0.5
+    return 0.25
+
+
+def _ordered(sql: str) -> bool:
+    return "ORDER BY" in sql.upper()
+
+
+def score_example(
+    example: Example,
+    predicted_sql: Optional[str],
+    executor: SQLExecutor,
+    gold_outcome: Optional[ExecutionOutcome] = None,
+) -> ExampleScore:
+    """Execute gold and predicted SQL and compare results.
+
+    Order sensitivity follows the gold query: when the gold orders its
+    output the comparison is order-sensitive, otherwise set-style — the
+    behaviour of BIRD's official evaluator.
+    """
+    if gold_outcome is None:
+        gold_outcome = executor.execute(example.gold_sql)
+    if gold_outcome.status is not ExecutionStatus.OK:
+        raise ValueError(
+            f"gold SQL failed for {example.question_id}: {gold_outcome.error}"
+        )
+    if not predicted_sql:
+        return ExampleScore(
+            question_id=example.question_id,
+            correct=False,
+            gold_time=gold_outcome.elapsed_seconds,
+            predicted_status="missing",
+            difficulty=example.difficulty,
+        )
+    predicted = executor.execute(predicted_sql)
+    correct = results_match(
+        predicted, gold_outcome, order_sensitive=_ordered(example.gold_sql)
+    )
+    return ExampleScore(
+        question_id=example.question_id,
+        correct=correct,
+        predicted_time=predicted.elapsed_seconds,
+        gold_time=gold_outcome.elapsed_seconds,
+        predicted_status=predicted.status.value,
+        difficulty=example.difficulty,
+    )
+
+
+def execution_accuracy(scores: list[ExampleScore]) -> float:
+    """Mean EX over scores, as a percentage."""
+    if not scores:
+        return 0.0
+    return 100.0 * sum(score.correct for score in scores) / len(scores)
+
+
+def r_ves(scores: list[ExampleScore]) -> float:
+    """Mean R-VES reward over scores, as a percentage."""
+    if not scores:
+        return 0.0
+    return 100.0 * sum(score.reward for score in scores) / len(scores)
+
+
+def ves(scores: list[ExampleScore]) -> float:
+    """BIRD's original Valid Efficiency Score, as a percentage.
+
+    VES weights each *correct* prediction by the square root of the
+    relative speed ``gold_time / predicted_time`` (incorrect predictions
+    contribute 0).  R-VES replaced it on the leaderboard because unbounded
+    speed ratios made it noisy; both are provided for completeness.
+    """
+    if not scores:
+        return 0.0
+    total = 0.0
+    for score in scores:
+        if not score.correct:
+            continue
+        ratio = max(score.gold_time, _MIN_TIME) / max(score.predicted_time, _MIN_TIME)
+        total += ratio ** 0.5
+    return 100.0 * total / len(scores)

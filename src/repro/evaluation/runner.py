@@ -1,0 +1,159 @@
+"""Workload runners: evaluate a pipeline (with EX_G/EX_R/EX traces) or any
+generic text-to-SQL system over a list of examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.core.cost import CostTracker
+from repro.core.pipeline import OpenSearchSQL, PipelineResult
+from repro.datasets.build import Benchmark
+from repro.datasets.types import Example
+from repro.evaluation.metrics import (
+    ExampleScore,
+    execution_accuracy,
+    r_ves,
+    score_example,
+    ves,
+)
+from repro.execution.executor import SQLExecutor
+
+__all__ = ["EvalReport", "evaluate_pipeline", "evaluate_system", "TextToSQLSystem"]
+
+
+@runtime_checkable
+class TextToSQLSystem(Protocol):
+    """Anything that maps an Example to a final SQL string."""
+
+    name: str
+
+    def answer(self, example: Example):
+        """Return the final SQL (or an object with ``final_sql``)."""
+        ...
+
+
+@dataclass
+class EvalReport:
+    """Aggregated evaluation of one system over one workload."""
+
+    system: str
+    scores: list[ExampleScore] = field(default_factory=list)
+    generation_scores: list[ExampleScore] = field(default_factory=list)
+    refined_scores: list[ExampleScore] = field(default_factory=list)
+    cost: CostTracker = field(default_factory=CostTracker)
+
+    @property
+    def ex(self) -> float:
+        """Final execution accuracy (the paper's EX)."""
+        return execution_accuracy(self.scores)
+
+    @property
+    def ex_g(self) -> float:
+        """Single-SQL accuracy straight out of Generation (EX_G)."""
+        return execution_accuracy(self.generation_scores)
+
+    @property
+    def ex_r(self) -> float:
+        """Single-SQL accuracy after refinement, before vote (EX_R)."""
+        return execution_accuracy(self.refined_scores)
+
+    @property
+    def r_ves(self) -> float:
+        """Reward-based Valid Efficiency Score (BIRD leaderboard metric)."""
+        return r_ves(self.scores)
+
+    @property
+    def ves(self) -> float:
+        """BIRD's original (unbounded) Valid Efficiency Score."""
+        return ves(self.scores)
+
+    def ex_by_difficulty(self) -> dict[str, float]:
+        """EX per difficulty bucket (the Figure 3 view)."""
+        buckets: dict[str, list[ExampleScore]] = {}
+        for score in self.scores:
+            buckets.setdefault(score.difficulty, []).append(score)
+        return {
+            difficulty: execution_accuracy(scores)
+            for difficulty, scores in sorted(buckets.items())
+        }
+
+    @property
+    def count(self) -> int:
+        """Number of evaluated examples."""
+        return len(self.scores)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (used by ``save_json``)."""
+        from dataclasses import asdict
+
+        return {
+            "system": self.system,
+            "count": self.count,
+            "ex": self.ex,
+            "ex_g": self.ex_g,
+            "ex_r": self.ex_r,
+            "r_ves": self.r_ves,
+            "ves": self.ves,
+            "ex_by_difficulty": self.ex_by_difficulty(),
+            "cost": self.cost.summary(),
+            "scores": [asdict(score) for score in self.scores],
+        }
+
+    def save_json(self, path) -> None:
+        """Write the report summary to ``path`` as JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+
+def evaluate_pipeline(
+    pipeline: OpenSearchSQL,
+    examples: list[Example],
+    name: Optional[str] = None,
+) -> EvalReport:
+    """Run an OpenSearch-SQL pipeline over ``examples``, scoring the three
+    observables (EX_G, EX_R, EX) the paper's ablation tables report."""
+    report = EvalReport(system=name or f"opensearch-sql[{pipeline.llm.model_name}]")
+    gold_cache: dict[str, object] = {}
+    for example in examples:
+        executor = pipeline.executor(example.db_id)
+        result: PipelineResult = pipeline.answer(example)
+        gold = gold_cache.get(example.question_id)
+        if gold is None:
+            gold = executor.execute(example.gold_sql)
+            gold_cache[example.question_id] = gold
+        report.scores.append(
+            score_example(example, result.final_sql, executor, gold)
+        )
+        report.generation_scores.append(
+            score_example(example, result.generation_sql, executor, gold)
+        )
+        report.refined_scores.append(
+            score_example(example, result.refined_sql, executor, gold)
+        )
+        report.cost.merge(result.cost)
+    return report
+
+
+def evaluate_system(
+    system: TextToSQLSystem,
+    benchmark: Benchmark,
+    examples: list[Example],
+    timeout_seconds: float = 5.0,
+) -> EvalReport:
+    """Evaluate any text-to-SQL system (baseline or pipeline wrapper)."""
+    report = EvalReport(system=system.name)
+    executors: dict[str, SQLExecutor] = {}
+    for example in examples:
+        if example.db_id not in executors:
+            executors[example.db_id] = SQLExecutor(
+                benchmark.database(example.db_id).connection,
+                timeout_seconds=timeout_seconds,
+            )
+        executor = executors[example.db_id]
+        answer = system.answer(example)
+        sql = answer if isinstance(answer, str) else getattr(answer, "final_sql", "")
+        report.scores.append(score_example(example, sql, executor))
+    return report

@@ -1,0 +1,19 @@
+"""SQL execution substrate: safe SQLite execution, result normalization,
+an error taxonomy for the Refinement stage, and gold-vs-predicted result
+comparison for Execution Accuracy."""
+
+from repro.execution.executor import (
+    ExecutionError,
+    ExecutionOutcome,
+    ExecutionStatus,
+    SQLExecutor,
+    results_match,
+)
+
+__all__ = [
+    "ExecutionError",
+    "ExecutionOutcome",
+    "ExecutionStatus",
+    "SQLExecutor",
+    "results_match",
+]

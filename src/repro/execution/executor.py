@@ -1,0 +1,216 @@
+"""Safe SQLite execution with timeouts, error classification and
+result-set comparison.
+
+The Refinement stage's Correction step is driven by *which kind* of error a
+candidate SQL produced (paper Listing 3 keys its correction few-shots by
+error type), so execution outcomes carry a coarse :class:`ExecutionStatus`
+taxonomy rather than raw exceptions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = [
+    "ExecutionStatus",
+    "ExecutionError",
+    "ExecutionOutcome",
+    "SQLExecutor",
+    "results_match",
+    "normalize_rows",
+]
+
+
+class ExecutionStatus(enum.Enum):
+    """Coarse outcome taxonomy used to pick correction few-shots."""
+
+    OK = "ok"
+    EMPTY = "empty"  # executed fine but returned no rows / only NULLs
+    SYNTAX_ERROR = "syntax_error"
+    MISSING_COLUMN = "missing_column"
+    MISSING_TABLE = "missing_table"
+    AMBIGUOUS_COLUMN = "ambiguous_column"
+    TIMEOUT = "timeout"
+    OTHER_ERROR = "other_error"
+
+    @property
+    def is_error(self) -> bool:
+        """True for statuses the Refinement stage must repair."""
+        return self not in (ExecutionStatus.OK, ExecutionStatus.EMPTY)
+
+
+class ExecutionError(RuntimeError):
+    """Raised by :meth:`SQLExecutor.execute_or_raise` on failed execution."""
+
+    def __init__(self, outcome: "ExecutionOutcome"):
+        super().__init__(outcome.error or outcome.status.value)
+        self.outcome = outcome
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """The result of executing one SQL statement."""
+
+    status: ExecutionStatus
+    rows: tuple[tuple, ...] = ()
+    columns: tuple[str, ...] = ()
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when execution succeeded with a non-empty result."""
+        return self.status is ExecutionStatus.OK
+
+    @property
+    def row_count(self) -> int:
+        """Number of fetched rows (capped at ``max_rows``)."""
+        return len(self.rows)
+
+
+_MISSING_COLUMN = re.compile(r"no such column", re.IGNORECASE)
+_MISSING_TABLE = re.compile(r"no such table", re.IGNORECASE)
+_AMBIGUOUS = re.compile(r"ambiguous column", re.IGNORECASE)
+_SYNTAX = re.compile(r"syntax error|incomplete input|unrecognized token", re.IGNORECASE)
+
+
+def classify_sqlite_error(message: str) -> ExecutionStatus:
+    """Map a sqlite3 error message to the coarse taxonomy."""
+    if _MISSING_COLUMN.search(message):
+        return ExecutionStatus.MISSING_COLUMN
+    if _MISSING_TABLE.search(message):
+        return ExecutionStatus.MISSING_TABLE
+    if _AMBIGUOUS.search(message):
+        return ExecutionStatus.AMBIGUOUS_COLUMN
+    if _SYNTAX.search(message):
+        return ExecutionStatus.SYNTAX_ERROR
+    return ExecutionStatus.OTHER_ERROR
+
+
+class SQLExecutor:
+    """Execute read-only SQL against a SQLite connection.
+
+    ``timeout_seconds`` is enforced with SQLite's progress handler, so a
+    runaway query (cross join explosion from a hallucinated join) cannot
+    stall a benchmark run.
+    """
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        timeout_seconds: float = 5.0,
+        max_rows: int = 10_000,
+    ):
+        self._connection = connection
+        self.timeout_seconds = timeout_seconds
+        self.max_rows = max_rows
+
+    def execute(self, sql: str) -> ExecutionOutcome:
+        """Execute ``sql`` and classify the outcome; never raises for SQL
+        failures (harness errors such as a closed connection still raise)."""
+        deadline = time.perf_counter() + self.timeout_seconds
+
+        def guard():
+            if time.perf_counter() > deadline:
+                return 1  # non-zero aborts the statement
+            return 0
+
+        start = time.perf_counter()
+        self._connection.set_progress_handler(guard, 10_000)
+        try:
+            cursor = self._connection.execute(sql)
+            rows = cursor.fetchmany(self.max_rows)
+            elapsed = time.perf_counter() - start
+            columns = tuple(d[0] for d in cursor.description or ())
+            normalized = normalize_rows(rows)
+            status = ExecutionStatus.OK if _has_content(normalized) else ExecutionStatus.EMPTY
+            return ExecutionOutcome(
+                status=status,
+                rows=normalized,
+                columns=columns,
+                elapsed_seconds=elapsed,
+            )
+        except sqlite3.OperationalError as exc:
+            elapsed = time.perf_counter() - start
+            message = str(exc)
+            if "interrupted" in message.lower() or elapsed >= self.timeout_seconds:
+                status = ExecutionStatus.TIMEOUT
+            else:
+                status = classify_sqlite_error(message)
+            return ExecutionOutcome(status=status, error=message, elapsed_seconds=elapsed)
+        except sqlite3.Error as exc:
+            elapsed = time.perf_counter() - start
+            return ExecutionOutcome(
+                status=ExecutionStatus.OTHER_ERROR,
+                error=str(exc),
+                elapsed_seconds=elapsed,
+            )
+        finally:
+            self._connection.set_progress_handler(None, 0)
+
+    def execute_or_raise(self, sql: str) -> ExecutionOutcome:
+        """Execute ``sql``; raise :class:`ExecutionError` on failure."""
+        outcome = self.execute(sql)
+        if outcome.status.is_error:
+            raise ExecutionError(outcome)
+        return outcome
+
+
+def _has_content(rows: tuple[tuple, ...]) -> bool:
+    """True when the result carries at least one non-NULL cell.
+
+    The paper's Refinement treats "Result: None" (no rows, or all-NULL
+    single cell) as an error worth correcting.
+    """
+    for row in rows:
+        for cell in row:
+            if cell is not None:
+                return True
+    return False
+
+
+def _normalize_cell(cell):
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return None
+        # Collapse float/int representation differences (COUNT vs SUM etc).
+        if cell.is_integer() and abs(cell) < 1e15:
+            return int(cell)
+        return round(cell, 6)
+    if isinstance(cell, bytes):
+        return cell.decode("utf-8", errors="replace")
+    return cell
+
+
+def normalize_rows(rows: Sequence[Sequence]) -> tuple[tuple, ...]:
+    """Normalize cells for robust comparison (floats rounded, bytes decoded)."""
+    return tuple(tuple(_normalize_cell(cell) for cell in row) for row in rows)
+
+
+def results_match(
+    predicted: ExecutionOutcome,
+    gold: ExecutionOutcome,
+    order_sensitive: bool = False,
+) -> bool:
+    """BIRD-style execution-result comparison.
+
+    Row sets must match exactly (as multisets by default — BIRD's metric
+    compares ``set(predicted) == set(gold)``; we keep duplicates, which is
+    stricter and penalizes spurious DISTINCT drops).  Column *names* are
+    ignored, column order matters, mirroring the official evaluator.
+    """
+    if predicted.status.is_error or gold.status.is_error:
+        return False
+    if order_sensitive:
+        return predicted.rows == gold.rows
+    return sorted(predicted.rows, key=_row_key) == sorted(gold.rows, key=_row_key)
+
+
+def _row_key(row: tuple) -> tuple:
+    return tuple((cell is None, str(type(cell)), str(cell)) for cell in row)

@@ -1,0 +1,52 @@
+"""LLM substrate.
+
+The paper runs on GPT-4o; this reproduction is offline, so the pipeline is
+written against the :class:`LLMClient` protocol and ships with
+:class:`SimulatedLLM` — a deterministic semantic "model" with explicit,
+configurable hallucination channels (see DESIGN.md).  Every call renders a
+real text prompt (token costs in Table 6 are measured on it); the simulator
+additionally receives the structured task payload it needs to act, which a
+real API-backed client would simply ignore.
+"""
+
+from repro.llm.base import (
+    ChatTurn,
+    LLMClient,
+    LLMResponse,
+    TokenUsage,
+    count_tokens,
+)
+from repro.llm.skills import SkillProfile, GPT_4O, GPT_4O_MINI, GPT_4, skill_by_name
+from repro.llm.tasks import (
+    ColumnSelectionTask,
+    CorrectionTask,
+    CoTAugmentTask,
+    EntityExtractionTask,
+    GenerationTask,
+    LLMTask,
+    PromptFeatures,
+    SelectAlignmentTask,
+)
+from repro.llm.simulated import SimulatedLLM
+
+__all__ = [
+    "ChatTurn",
+    "ColumnSelectionTask",
+    "CorrectionTask",
+    "CoTAugmentTask",
+    "EntityExtractionTask",
+    "GPT_4",
+    "GPT_4O",
+    "GPT_4O_MINI",
+    "GenerationTask",
+    "LLMClient",
+    "LLMResponse",
+    "LLMTask",
+    "PromptFeatures",
+    "SelectAlignmentTask",
+    "SimulatedLLM",
+    "SkillProfile",
+    "TokenUsage",
+    "count_tokens",
+    "skill_by_name",
+]

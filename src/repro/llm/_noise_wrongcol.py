@@ -1,0 +1,63 @@
+"""Wrong-filter-column noise op (kept separate to keep noise.py focused).
+
+With a large unfiltered schema in the prompt, real models sometimes filter
+on a *plausible but wrong* column (e.g. ``City`` instead of ``County``).
+This op swaps one WHERE-clause column reference for a different same-table
+column of a compatible type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.llm.noise import map_sql_like
+from repro.schema.model import Database
+from repro.sqlkit.ast import BinaryOp, ColumnRef, Expr, Literal
+from repro.sqlkit.sql_like import SQLLike
+
+__all__ = ["wrong_filter_column"]
+
+
+def wrong_filter_column(
+    sql_like: SQLLike, schema: Database, rng: np.random.Generator
+) -> SQLLike:
+    """Swap one filtered column for a different same-table column that the
+    prompt schema also shows.  No-ops when there is nothing to swap."""
+    if sql_like.where is None:
+        return sql_like
+
+    targets: list[tuple[ColumnRef, str]] = []
+
+    def collect(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, BinaryOp) and expr.op in ("=", ">", "<", ">=", "<="):
+            ref, lit = expr.left, expr.right
+            if isinstance(ref, ColumnRef) and isinstance(lit, Literal) and ref.table:
+                if schema.has_table(ref.table):
+                    table = schema.table(ref.table)
+                    want_text = lit.kind == "string"
+                    options = [
+                        c.name
+                        for c in table.columns
+                        if c.name.lower() != ref.column.lower()
+                        and not c.is_primary
+                        and (c.is_text == want_text)
+                    ]
+                    for option in options:
+                        targets.append((ref, option))
+        return None
+
+    map_sql_like(sql_like, collect)
+    if not targets:
+        return sql_like
+    victim, wrong = targets[int(rng.integers(len(targets)))]
+    state = {"done": False}
+
+    def swap(expr: Expr) -> Optional[Expr]:
+        if not state["done"] and isinstance(expr, ColumnRef) and expr == victim:
+            state["done"] = True
+            return ColumnRef(column=wrong, table=expr.table)
+        return None
+
+    return map_sql_like(sql_like, swap)

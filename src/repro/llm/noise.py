@@ -1,0 +1,400 @@
+"""Hallucination operators: pure SQL-Like → SQL-Like corruptions.
+
+Each operator realises one hallucination channel from DESIGN.md.  They are
+deterministic functions of (statement, rng) so that a channel that fires on
+two different candidates of the same question produces the *same* wrong
+query — which is what makes self-consistency voting behave the way the
+paper observed (independent noise is voted away; repeated noise is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.types import ValueMention
+from repro.schema.model import Database
+from repro.sqlkit.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    IsNull,
+    Join,
+    Literal,
+    Select,
+    SelectItem,
+)
+from repro.sqlkit.sql_like import SQLLike
+from repro.sqlkit.transform import (
+    collect_column_refs,
+    map_expressions,
+    walk_expressions,
+)
+
+__all__ = [
+    "map_sql_like",
+    "corrupt_value",
+    "misqualify_column",
+    "inject_agg_misuse",
+    "break_style",
+    "break_select_shape",
+    "miss_trick",
+    "corrupt_syntax",
+    "corrupt_join",
+]
+
+
+def map_sql_like(sql_like: SQLLike, fn) -> SQLLike:
+    """Apply an expression mapper to every clause of a SQL-Like statement."""
+
+    def convert(expr: Optional[Expr]) -> Optional[Expr]:
+        if expr is None:
+            return None
+        return map_expressions(expr, fn)  # type: ignore[return-value]
+
+    return sql_like.with_(
+        items=tuple(
+            SelectItem(expr=convert(i.expr), alias=i.alias) for i in sql_like.items
+        ),
+        where=convert(sql_like.where),
+        group_by=tuple(convert(e) for e in sql_like.group_by),
+        having=convert(sql_like.having),
+        order_by=tuple(
+            o.__class__(expr=convert(o.expr), desc=o.desc) for o in sql_like.order_by
+        ),
+    )
+
+
+# --------------------------------------------------------------------- value
+
+
+def corrupt_value(sql_like: SQLLike, mention: ValueMention) -> SQLLike:
+    """Replace the stored literal with the question's surface form —
+    the classic dirty-value hallucination ('John' vs 'JOHN')."""
+
+    def swap(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, Literal) and expr.kind == "string" and expr.value == mention.stored:
+            return Literal.string(mention.surface)
+        return None
+
+    return map_sql_like(sql_like, swap)
+
+
+# -------------------------------------------------------------------- schema
+
+
+def misqualify_column(
+    sql_like: SQLLike, prompt_schema: Database, rng: np.random.Generator
+) -> SQLLike:
+    """Re-qualify one column to a same-named column of a different table
+    that the prompt schema also shows (the same-name-column trap)."""
+    refs = [
+        ref
+        for ref in _all_column_refs(sql_like)
+        if ref.table is not None
+    ]
+    candidates: list[tuple[ColumnRef, str]] = []
+    for ref in refs:
+        for table_name, _col in prompt_schema.same_name_columns(ref.column):
+            if table_name.lower() != (ref.table or "").lower():
+                candidates.append((ref, table_name))
+    if not candidates:
+        return sql_like
+    target_ref, wrong_table = candidates[int(rng.integers(len(candidates)))]
+
+    state = {"done": False}
+
+    def swap(expr: Expr) -> Optional[Expr]:
+        if (
+            not state["done"]
+            and isinstance(expr, ColumnRef)
+            and expr == target_ref
+        ):
+            state["done"] = True
+            return ColumnRef(column=expr.column, table=wrong_table)
+        return None
+
+    return map_sql_like(sql_like, swap)
+
+
+def _all_column_refs(sql_like: SQLLike) -> list[ColumnRef]:
+    refs: list[ColumnRef] = []
+    for part in (
+        [i.expr for i in sql_like.items],
+        [sql_like.where],
+        list(sql_like.group_by),
+        [sql_like.having],
+        [o.expr for o in sql_like.order_by],
+    ):
+        for node in part:
+            if node is not None:
+                refs.extend(collect_column_refs(node))
+    return refs
+
+
+# ----------------------------------------------------------------- structure
+
+
+def inject_agg_misuse(sql_like: SQLLike) -> SQLLike:
+    """Wrap the first ORDER BY expression in MAX(...) without a GROUP BY —
+    the paper's Function Alignment example (ORDER BY MAX(score))."""
+    if not sql_like.order_by or sql_like.group_by:
+        return sql_like
+    first = sql_like.order_by[0]
+    if isinstance(first.expr, FuncCall) and first.expr.is_aggregate:
+        return sql_like
+    wrapped = first.__class__(expr=FuncCall("MAX", (first.expr,)), desc=first.desc)
+    return sql_like.with_(order_by=(wrapped,) + sql_like.order_by[1:])
+
+
+def break_style(sql_like: SQLLike, rng: np.random.Generator) -> SQLLike:
+    """Break dataset style (the paper's Style Alignment examples).
+
+    Two drifts, chosen at random: (a) drop an ``IS NOT NULL`` guard on the
+    ordering column; (b) the MAX-vs-LIMIT drift — rewrite
+    ``SELECT col ... ORDER BY x DESC LIMIT 1`` as ``SELECT col, MAX(x)``,
+    which changes the output shape (and silently relies on SQLite's
+    bare-column-with-aggregate quirk).
+    """
+    can_maxify = (
+        sql_like.limit == 1
+        and not sql_like.offset
+        and len(sql_like.order_by) == 1
+        and not sql_like.group_by
+        and len(sql_like.items) == 1
+        and not isinstance(sql_like.items[0].expr, FuncCall)
+    )
+    if can_maxify and rng.random() < 0.5:
+        order = sql_like.order_by[0]
+        agg = FuncCall("MAX" if order.desc else "MIN", (order.expr,))
+        return sql_like.with_(
+            items=sql_like.items + (SelectItem(expr=agg),),
+            order_by=(),
+            limit=None,
+        )
+    guards = [
+        expr
+        for expr in _where_conjuncts(sql_like.where)
+        if isinstance(expr, IsNull) and expr.negated
+    ]
+    if not guards:
+        return sql_like
+    victim = guards[int(rng.integers(len(guards)))]
+    new_where = _drop_conjunct(sql_like.where, victim)
+    return sql_like.with_(where=new_where)
+
+
+def _where_conjuncts(expr: Optional[Expr]) -> list[Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _where_conjuncts(expr.left) + _where_conjuncts(expr.right)
+    return [expr]
+
+
+def _drop_conjunct(expr: Optional[Expr], victim: Expr) -> Optional[Expr]:
+    if expr is None:
+        return None
+    if expr == victim:
+        return None
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        left = _drop_conjunct(expr.left, victim)
+        right = _drop_conjunct(expr.right, victim)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinaryOp("AND", left, right)
+    return expr
+
+
+def break_select_shape(sql_like: SQLLike, rng: np.random.Generator) -> SQLLike:
+    """Corrupt the SELECT list: drop an item, or append a spurious one.
+
+    On ``ORDER BY ... LIMIT 1`` superlative queries the spurious item is
+    the ordering column itself — the classic "SELECT name, MAX(score)"
+    drift the paper's Style Alignment discusses.
+    """
+    items = sql_like.items
+    if len(items) > 1 and rng.random() < 0.5:
+        drop = int(rng.integers(len(items)))
+        return sql_like.with_(items=items[:drop] + items[drop + 1 :])
+    if sql_like.order_by:
+        extra = SelectItem(expr=sql_like.order_by[0].expr)
+        if all(item.expr != extra.expr for item in items):
+            return sql_like.with_(items=items + (extra,))
+    if len(items) > 1:
+        reordered = (items[-1],) + items[:-1]
+        return sql_like.with_(items=reordered)
+    return sql_like
+
+
+# -------------------------------------------------------------------- tricks
+
+
+def miss_trick(sql_like: SQLLike, trait: str, rng: np.random.Generator) -> SQLLike:
+    """Realize a trick-miss for the given trait; unknown traits no-op."""
+    if trait == "needs_distinct":
+        return _drop_distinct(sql_like)
+    if trait == "date_format":
+        return _break_date(sql_like, rng)
+    if trait == "evidence_formula":
+        return _break_formula(sql_like, rng)
+    if trait in ("nullable_min", "max_vs_limit"):
+        # Style-family traits: handled by break_style/break_select_shape.
+        return break_style(sql_like, rng)
+    return sql_like
+
+
+def _drop_distinct(sql_like: SQLLike) -> SQLLike:
+    def strip(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, FuncCall) and expr.distinct:
+            return replace(expr, distinct=False)
+        return None
+
+    stripped = map_sql_like(sql_like, strip)
+    if stripped == sql_like and sql_like.distinct:
+        return sql_like.with_(distinct=False)
+    return stripped
+
+
+def _break_date(sql_like: SQLLike, rng: np.random.Generator) -> SQLLike:
+    """Either use a non-SQLite YEAR() function (execution error) or compare
+    the strftime text to a bare number (silently wrong in SQLite)."""
+    use_year_fn = rng.random() < 0.5
+
+    def swap(expr: Expr) -> Optional[Expr]:
+        if (
+            use_year_fn
+            and isinstance(expr, FuncCall)
+            and expr.name == "STRFTIME"
+            and len(expr.args) == 2
+        ):
+            return FuncCall("YEAR", (expr.args[1],))
+        if (
+            not use_year_fn
+            and isinstance(expr, BinaryOp)
+            and isinstance(expr.left, FuncCall)
+            and expr.left.name == "STRFTIME"
+            and isinstance(expr.right, Literal)
+            and expr.right.kind == "string"
+        ):
+            try:
+                number = int(str(expr.right.value))
+            except ValueError:
+                return None
+            return BinaryOp(expr.op, expr.left, Literal.number(number))
+        return None
+
+    return map_sql_like(sql_like, swap)
+
+
+def _break_formula(sql_like: SQLLike, rng: np.random.Generator) -> SQLLike:
+    """Misapply the evidence formula: perturb the first numeric bound."""
+    literals = [
+        expr
+        for expr in _walk_all(sql_like)
+        if isinstance(expr, Literal) and expr.kind == "number"
+    ]
+    if not literals:
+        return sql_like
+    victim = literals[int(rng.integers(len(literals)))]
+    factor = 10 if rng.random() < 0.5 else 0.1
+    new_value = victim.value * factor if victim.value else victim.value + 1
+    if isinstance(victim.value, int) and float(new_value).is_integer():
+        new_value = int(new_value)
+    state = {"done": False}
+
+    def swap(expr: Expr) -> Optional[Expr]:
+        if not state["done"] and expr is not victim and expr == victim:
+            # Equality may catch sibling literals with identical values;
+            # identity-first replacement below handles the common case.
+            pass
+        if not state["done"] and expr == victim:
+            state["done"] = True
+            return Literal.number(new_value)
+        return None
+
+    return map_sql_like(sql_like, swap)
+
+
+def _walk_all(sql_like: SQLLike):
+    for part in (
+        [i.expr for i in sql_like.items],
+        [sql_like.where],
+        list(sql_like.group_by),
+        [sql_like.having],
+        [o.expr for o in sql_like.order_by],
+    ):
+        for node in part:
+            if node is not None:
+                yield from walk_expressions(node)
+
+
+# -------------------------------------------------------------------- syntax
+
+
+def corrupt_syntax(sql_text: str, rng: np.random.Generator) -> str:
+    """Corrupt SQL text so it no longer parses/executes."""
+    choice = int(rng.integers(3))
+    if choice == 0 and "(" in sql_text:
+        index = sql_text.rfind(")")
+        if index != -1:
+            return sql_text[:index] + sql_text[index + 1 :]
+    if choice == 1:
+        return sql_text.replace("SELECT", "SELECT SELECT", 1)
+    return sql_text + " WHERE"
+
+
+# ---------------------------------------------------------------------- join
+
+
+def corrupt_join(select: Select, database: Database, rng: np.random.Generator) -> Select:
+    """Swap one join-condition column for a different column of the same
+    table — the wrong-join-path hallucination."""
+    if not select.joins:
+        return select
+    join_index = int(rng.integers(len(select.joins)))
+    join = select.joins[join_index]
+    if join.condition is None or not isinstance(join.condition, BinaryOp):
+        return select
+    condition = join.condition
+    if not isinstance(condition.right, ColumnRef):
+        return select
+    binding = condition.right.table
+    real_table = _table_for_binding(select, database, binding)
+    if real_table is None:
+        return select
+    alternatives = [
+        col.name
+        for col in database.table(real_table).columns
+        if col.name.lower() != condition.right.column.lower()
+    ]
+    if not alternatives:
+        return select
+    wrong = alternatives[int(rng.integers(len(alternatives)))]
+    new_condition = BinaryOp(
+        condition.op,
+        condition.left,
+        ColumnRef(column=wrong, table=binding),
+    )
+    new_joins = list(select.joins)
+    new_joins[join_index] = Join(
+        table=join.table, kind=join.kind, condition=new_condition
+    )
+    return select.with_(joins=tuple(new_joins))
+
+
+def _table_for_binding(select: Select, database: Database, binding: Optional[str]) -> Optional[str]:
+    if binding is None:
+        return None
+    for table in select.tables():
+        if table.binding.lower() == binding.lower() and table.name:
+            if database.has_table(table.name):
+                return table.name
+    return None

@@ -1,0 +1,157 @@
+"""Prompt templates for every pipeline LLM call.
+
+The formats follow the paper's listings: Listing 4 (Extraction), Listing 2
+(Query-CoT-SQL few-shot), Listing 5 (Generation) and Listing 3 (error-typed
+Correction).  The rendered text is what token accounting (Table 6) is
+measured on, and what a real API-backed :class:`LLMClient` would receive.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "entity_extraction_prompt",
+    "column_selection_prompt",
+    "generation_prompt",
+    "correction_prompt",
+    "cot_augment_prompt",
+    "select_alignment_prompt",
+]
+
+_STRUCTURED_COT_RULES = """\
+/* Rules */
+Answer step by step in exactly this structure:
+#reason: Analyze how to generate SQL based on the question.
+#columns: All columns ultimately used in the SQL.
+#values: the filter in SQL.
+#SELECT: SELECT content table.column.
+#SQL-like: SQL-like statement ignoring Join conditions.
+#SQL: the final SQL."""
+
+_UNSTRUCTURED_COT_RULES = """\
+/* Rules */
+Let's think step by step, then output the final SQL on a line starting
+with #SQL:"""
+
+_NO_COT_RULES = """\
+/* Rules */
+Output only the final SQL on a line starting with #SQL:"""
+
+
+def entity_extraction_prompt(question: str, evidence: str, schema_text: str) -> str:
+    """Prompt asking the model for entities/value phrases in the NLQ."""
+    parts = [
+        "/* Database schema */",
+        schema_text,
+        "/* Task: list the entities and literal values mentioned by the "
+        "question, one per line. */",
+    ]
+    if evidence:
+        parts.append(f"/* Evidence: {evidence} */")
+    parts.append(f"/* Answer the following: {question} */")
+    return "\n".join(parts)
+
+
+def column_selection_prompt(question: str, evidence: str, schema_text: str) -> str:
+    """Prompt asking the model to select relevant tables/columns."""
+    parts = [
+        "/* Database schema */",
+        schema_text,
+        "/* Task: select every table.column needed to answer the question, "
+        "one per line in the form table.column. */",
+    ]
+    if evidence:
+        parts.append(f"/* Evidence: {evidence} */")
+    parts.append(f"/* Answer the following: {question} */")
+    return "\n".join(parts)
+
+
+def _cot_rules(cot_mode: str) -> str:
+    if cot_mode == "structured":
+        return _STRUCTURED_COT_RULES
+    if cot_mode == "unstructured":
+        return _UNSTRUCTURED_COT_RULES
+    return _NO_COT_RULES
+
+
+def generation_prompt(
+    question: str,
+    evidence: str,
+    schema_text: str,
+    values: Sequence[str] = (),
+    few_shots: Sequence[str] = (),
+    cot_mode: str = "structured",
+    select_hints: Sequence[str] = (),
+) -> str:
+    """The Generation-stage prompt (paper Listing 5 input side)."""
+    parts = ["/* Database schema */", schema_text, _cot_rules(cot_mode)]
+    if few_shots:
+        parts.append("/* Some examples */")
+        parts.extend(few_shots)
+    if values:
+        parts.append("/* Similar values in the database */")
+        parts.extend(f"#value: {value}" for value in values)
+    if select_hints:
+        parts.append("/* SELECT alignment */")
+        parts.extend(f"#select_hint: {hint}" for hint in select_hints)
+    if evidence:
+        parts.append(f"/* Evidence: {evidence} */")
+    parts.append(f"/* Answer the following: {question} */")
+    return "\n".join(parts)
+
+
+def correction_prompt(
+    question: str,
+    failed_sql: str,
+    error_kind: str,
+    error_message: str,
+    schema_text: str,
+    values: Sequence[str] = (),
+    few_shots: Sequence[str] = (),
+) -> str:
+    """The Correction prompt (paper Listing 3), keyed by error type."""
+    parts = [
+        "/* Fix the SQL and answer the question */",
+        f"#question: {question}",
+        f"#Error SQL: {failed_sql}",
+        f"Error: {error_kind}: {error_message}",
+    ]
+    if few_shots:
+        parts.append("/* Correction examples for this error type */")
+        parts.extend(few_shots)
+    if values:
+        parts.append("#values: " + "; ".join(values))
+    parts.append("/* Database schema */")
+    parts.append(schema_text)
+    parts.append("#SQL:")
+    return "\n".join(parts)
+
+
+def cot_augment_prompt(question: str, sql: str, schema_text: str) -> str:
+    """Self-taught few-shot upgrade prompt (paper §3.2): given a train
+    Query-SQL pair, produce the intermediate CoT sections."""
+    return "\n".join(
+        [
+            "/* Database schema */",
+            schema_text,
+            "/* Given the question and its SQL, explain the reasoning as "
+            "#reason/#columns/#values/#SELECT/#SQL-like sections. */",
+            f"/* Question: {question} */",
+            f"#SQL: {sql}",
+        ]
+    )
+
+
+def select_alignment_prompt(question: str, select_items: Sequence[str]) -> str:
+    """Info Alignment prompt: match NLQ phrases to SELECT outputs 1:1."""
+    items = "\n".join(f"- {item}" for item in select_items)
+    return "\n".join(
+        [
+            "/* Extract the phrase of the question that corresponds to each "
+            "SELECT output, one per line, keeping order. */",
+            f"/* Question: {question} */",
+            "/* SELECT outputs */",
+            items,
+        ]
+    )

@@ -1,0 +1,137 @@
+"""Record/replay LLM clients.
+
+When moving from the offline simulator to a paid API, two wrappers make
+runs reproducible and debuggable:
+
+* :class:`RecordingClient` wraps any :class:`~repro.llm.base.LLMClient`
+  and appends every (prompt, params, completions) interaction to a JSONL
+  cassette file;
+* :class:`ReplayClient` serves a cassette back, keyed by the prompt hash —
+  a pipeline run against a replayed cassette is bit-for-bit deterministic
+  and costs nothing, which is how the paper-style ablations can be re-run
+  against *real* GPT-4o transcripts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.llm.base import LLMClient, LLMResponse, TokenUsage
+
+__all__ = ["RecordingClient", "ReplayClient", "ReplayMiss"]
+
+
+class ReplayMiss(KeyError):
+    """Raised when the cassette holds no entry for a requested prompt."""
+
+
+def _key(prompt: str, temperature: float, n: int) -> str:
+    digest = hashlib.sha256(prompt.encode("utf-8")).hexdigest()[:32]
+    return f"{digest}:{temperature:g}:{n}"
+
+
+def _encode(response: LLMResponse) -> dict:
+    return {
+        "text": response.text,
+        "prompt_tokens": response.usage.prompt_tokens,
+        "completion_tokens": response.usage.completion_tokens,
+        "model": response.model,
+        "latency_seconds": response.latency_seconds,
+    }
+
+
+def _decode(payload: dict) -> LLMResponse:
+    return LLMResponse(
+        text=payload["text"],
+        usage=TokenUsage(
+            payload.get("prompt_tokens", 0), payload.get("completion_tokens", 0)
+        ),
+        model=payload.get("model", ""),
+        latency_seconds=payload.get("latency_seconds", 0.0),
+    )
+
+
+class RecordingClient:
+    """Wraps a client, appending every interaction to a JSONL cassette."""
+
+    def __init__(self, inner: LLMClient, cassette_path: Union[str, Path]):
+        self.inner = inner
+        self.cassette_path = Path(cassette_path)
+        self.model_name = inner.model_name
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        temperature: float = 0.0,
+        n: int = 1,
+        task: Optional[object] = None,
+    ) -> list[LLMResponse]:
+        """Delegate to the wrapped client and append the interaction."""
+        responses = self.inner.complete(
+            prompt, temperature=temperature, n=n, task=task
+        )
+        record = {
+            "key": _key(prompt, temperature, n),
+            "prompt": prompt,
+            "temperature": temperature,
+            "n": n,
+            "responses": [_encode(r) for r in responses],
+        }
+        with self.cassette_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        return responses
+
+
+class ReplayClient:
+    """Serves recorded completions back from a cassette.
+
+    Lookup is by (prompt hash, temperature, n).  When the same key was
+    recorded multiple times, occurrences are replayed in recording order
+    and the last one repeats (so a re-run with extra calls still works).
+    """
+
+    def __init__(self, cassette_path: Union[str, Path], model_name: str = "replay"):
+        self.cassette_path = Path(cassette_path)
+        self.model_name = model_name
+        self._entries: dict[str, list[list[LLMResponse]]] = {}
+        self._cursor: dict[str, int] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.cassette_path.exists():
+            raise FileNotFoundError(f"no cassette at {self.cassette_path}")
+        with self.cassette_path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                responses = [_decode(p) for p in record["responses"]]
+                self._entries.setdefault(record["key"], []).append(responses)
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._entries.values())
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        temperature: float = 0.0,
+        n: int = 1,
+        task: Optional[object] = None,
+    ) -> list[LLMResponse]:
+        """Serve the next recorded occurrence for this prompt/params key."""
+        key = _key(prompt, temperature, n)
+        occurrences = self._entries.get(key)
+        if not occurrences:
+            raise ReplayMiss(
+                f"cassette has no entry for this prompt "
+                f"(temperature={temperature}, n={n})"
+            )
+        index = self._cursor.get(key, 0)
+        self._cursor[key] = index + 1
+        return occurrences[min(index, len(occurrences) - 1)]

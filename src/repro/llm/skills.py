@@ -1,0 +1,208 @@
+"""Model skill profiles.
+
+A :class:`SkillProfile` parameterizes every hallucination channel of the
+simulated model.  The three shipped profiles emulate the models the paper
+evaluates: GPT-4o (strong), GPT-4 (slightly weaker), GPT-4o-mini (markedly
+weaker with more *deterministically repeated* errors, which is what makes
+its self-consistency curve peak at 7–15 candidates in Figure 4 — a wrong
+answer that re-occurs identically across samples eventually out-votes the
+correct one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SkillProfile", "GPT_4O", "GPT_4O_MINI", "GPT_4", "skill_by_name"]
+
+
+@dataclass(frozen=True)
+class SkillProfile:
+    """All per-channel error probabilities of a simulated model.
+
+    Rates are *base* probabilities; the simulator multiplies them by the
+    question's difficulty factor and by prompt-feature factors (few-shot,
+    CoT mode, hints) before drawing.
+    """
+
+    name: str
+
+    # ---- value handling ------------------------------------------------
+    #: P(correct stored literal) when the prompt does NOT carry retrieved values
+    value_guess_rate: float = 0.88
+    #: P(using the provided stored value) when the prompt DOES carry it
+    value_follow_rate: float = 0.98
+    #: P(resolving a mention to a plausible-but-WRONG stored value) when
+    #: retrieval did not pin it down; correlated across candidates and
+    #: invisible to agent alignment (the wrong value exists in the column)
+    value_confuse_rate: float = 0.05
+
+    # ---- schema linking -------------------------------------------------
+    #: per same-name-distractor-column probability of mis-qualifying a column
+    column_confusion_per_distractor: float = 0.03
+    #: per extra-table-in-prompt probability of a wrong join column
+    join_error_per_table: float = 0.02
+
+    # ---- structural channels --------------------------------------------
+    #: P(aggregate misuse: ORDER BY MAX(x) form) when the query orders rows
+    agg_misuse_rate: float = 0.10
+    #: P(breaking dataset style: dropping IS NOT NULL / MAX-vs-LIMIT drift)
+    style_break_rate: float = 0.30
+    #: P(wrong SELECT item count/order) on multi-output questions
+    select_shape_rate: float = 0.18
+    #: P(missing the question's trick: DISTINCT, date format, evidence formula)
+    trick_miss_rate: float = 0.42
+    #: share of the trick-miss probability that is correlated across
+    #: candidates (consistent misreading) versus per-candidate sampling
+    #: noise.  Small models are noise-dominated: their wrong answers are
+    #: per-candidate draws with *identical content*, which is exactly what
+    #: lets a large vote lock the error in (Figure 4's mini peak).
+    trick_correlated_share: float = 0.30
+    #: rate of picking a wrong (differently-named) filter column, scaled by
+    #: how much of the schema the prompt shows beyond what is needed
+    wrong_column_rate: float = 1.0
+    #: probability the question is simply beyond the model — correlated
+    #: across candidates, immune to every pipeline module (the EX ceiling)
+    hard_fail_rate: float = 0.28
+    #: baseline probability of emitting syntactically broken SQL
+    syntax_error_base: float = 0.004
+    #: additional syntax-error probability per unit of temperature
+    syntax_error_temp_slope: float = 0.012
+
+    # ---- prompt-feature multipliers (applied to the channels above) -----
+    fewshot_plain_factor: float = 0.55   # Query-SQL few-shot present
+    fewshot_cot_factor: float = 0.32     # Query-CoT-SQL few-shot present
+    fewshot_skeleton_factor: float = 0.45  # Query-Skeleton-SQL (§3.8 ext.)
+    cot_structured_factor: float = 0.55  # structured CoT instructions
+    cot_unstructured_factor: float = 0.80
+    select_hint_factor: float = 0.25     # Info Alignment SELECT hints present
+    schema_filter_factor: float = 1.0    # (distractors already shrink; hook)
+
+    # ---- difficulty scaling ---------------------------------------------
+    difficulty_factor: dict = field(
+        default_factory=lambda: {"simple": 0.6, "moderate": 1.0, "challenging": 1.6}
+    )
+
+    # ---- extraction-stage behaviour --------------------------------------
+    #: P(an entity mention is missed during entity extraction)
+    entity_miss_rate: float = 0.06
+    #: P(a needed column is recalled by LLM column selection)
+    column_recall: float = 0.95
+    #: expected number of spurious extra columns the model also selects
+    column_extra_mean: float = 3.0
+
+    # ---- refinement-stage behaviour --------------------------------------
+    #: P(a correction attempt fixes the error), by error kind
+    correction_fix_rate: dict = field(
+        default_factory=lambda: {
+            "syntax_error": 0.80,
+            "missing_column": 0.50,
+            "empty": 0.40,
+            "other_error": 0.45,
+            "timeout": 0.30,
+            "missing_table": 0.45,
+            "ambiguous_column": 0.65,
+        }
+    )
+    #: multiplier on fix rates when error-typed few-shots are NOT provided
+    correction_no_fewshot_factor: float = 0.45
+
+    # ---- temperature behaviour -------------------------------------------
+    #: at temperature 0 the model is deterministic; this is the scale of
+    #: extra randomness injected per unit temperature into channel draws
+    temperature_jitter: float = 1.0
+
+    def difficulty_scale(self, difficulty: str) -> float:
+        """Channel multiplier for a difficulty label (1.0 when unknown)."""
+        return self.difficulty_factor.get(difficulty, 1.0)
+
+    def fewshot_factor(self, kind: str) -> float:
+        """Error-suppression multiplier for a few-shot format."""
+        if kind == "query_cot_sql":
+            return self.fewshot_cot_factor
+        if kind == "query_skeleton_sql":
+            return self.fewshot_skeleton_factor
+        if kind == "query_sql":
+            return self.fewshot_plain_factor
+        return 1.0
+
+    def cot_factor(self, mode: str) -> float:
+        """Error-suppression multiplier for a CoT instruction mode."""
+        if mode == "structured":
+            return self.cot_structured_factor
+        if mode == "unstructured":
+            return self.cot_unstructured_factor
+        return 1.0
+
+
+GPT_4O = SkillProfile(name="gpt-4o")
+
+GPT_4 = SkillProfile(
+    name="gpt-4",
+    value_guess_rate=0.82,
+    value_follow_rate=0.97,
+    column_confusion_per_distractor=0.036,
+    join_error_per_table=0.024,
+    agg_misuse_rate=0.12,
+    style_break_rate=0.50,
+    select_shape_rate=0.22,
+    trick_miss_rate=0.46,
+    wrong_column_rate=1.2,
+    hard_fail_rate=0.33,
+    value_confuse_rate=0.06,
+    syntax_error_base=0.006,
+    entity_miss_rate=0.08,
+    column_recall=0.93,
+)
+
+GPT_4O_MINI = SkillProfile(
+    name="gpt-4o-mini",
+    value_guess_rate=0.70,
+    value_follow_rate=0.93,
+    column_confusion_per_distractor=0.055,
+    join_error_per_table=0.040,
+    wrong_column_rate=1.8,
+    hard_fail_rate=0.45,
+    value_confuse_rate=0.10,
+    agg_misuse_rate=0.18,
+    style_break_rate=0.60,
+    select_shape_rate=0.30,
+    # Above 0.5 on hard questions: the *same* wrong SQL is re-generated at
+    # every sample, so with many candidates the wrong answer wins the vote —
+    # the Figure 4 "peaks at 7-15 candidates" behaviour.  Mini also benefits
+    # less from few-shot/CoT scaffolding, which keeps its effective
+    # challenging-question miss probability near the 0.5 vote-lock line.
+    trick_miss_rate=0.66,
+    trick_correlated_share=0.05,
+    syntax_error_base=0.010,
+    syntax_error_temp_slope=0.03,
+    fewshot_plain_factor=0.80,
+    fewshot_cot_factor=0.68,
+    fewshot_skeleton_factor=0.75,
+    cot_structured_factor=0.80,
+    cot_unstructured_factor=0.92,
+    entity_miss_rate=0.14,
+    column_recall=0.80,
+    column_extra_mean=5.0,
+    correction_fix_rate={
+        "syntax_error": 0.65,
+        "missing_column": 0.38,
+        "empty": 0.30,
+        "other_error": 0.32,
+        "timeout": 0.20,
+        "missing_table": 0.30,
+        "ambiguous_column": 0.50,
+    },
+)
+
+_PROFILES = {p.name: p for p in (GPT_4O, GPT_4, GPT_4O_MINI)}
+
+
+def skill_by_name(name: str) -> SkillProfile:
+    """Look up a shipped profile by model name; raises KeyError if absent."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown skill profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None

@@ -1,0 +1,116 @@
+"""Structured task payloads accompanying LLM calls.
+
+Every pipeline stage renders a real text prompt AND attaches one of these
+task objects.  A production client would ignore the task (the prompt text
+is self-contained); :class:`~repro.llm.simulated.SimulatedLLM` instead
+reads the task, because a simulation cannot do natural-language
+understanding.  Crucially the task only ever describes *what the prompt
+honestly contains* (``PromptFeatures``) plus the hidden oracle — the
+simulation seam is confined to ``oracle``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.types import Example
+from repro.schema.model import Database
+
+__all__ = [
+    "PromptFeatures",
+    "LLMTask",
+    "CoTAugmentTask",
+    "EntityExtractionTask",
+    "ColumnSelectionTask",
+    "GenerationTask",
+    "CorrectionTask",
+    "SelectAlignmentTask",
+]
+
+
+@dataclass(frozen=True)
+class PromptFeatures:
+    """What the rendered prompt actually contains.
+
+    The simulated model's error-channel probabilities are functions of
+    these features — e.g. ``values_provided`` suppresses the value-mismatch
+    channel exactly when the pipeline really retrieved and included the
+    stored values.  The pipeline must fill this truthfully from the prompt
+    it built; the invariant is tested.
+    """
+
+    #: stored values included in the prompt, as "table.column = 'value'"
+    provided_values: tuple[str, ...] = ()
+    #: number of columns in the schema block shown to the model
+    schema_column_count: int = 0
+    #: number of tables in the schema block
+    schema_table_count: int = 0
+    #: few-shot style: "none" | "query_sql" | "query_cot_sql" |
+    #: "query_skeleton_sql"
+    fewshot_kind: str = "none"
+    #: template families covered by the few-shot examples shown
+    fewshot_template_ids: tuple[str, ...] = ()
+    #: CoT instruction style: "none" | "unstructured" | "structured"
+    cot_mode: str = "structured"
+    #: SELECT-style hints from Info Alignment were included
+    select_hints: bool = False
+    #: whether the schema block is the full database or a filtered subset
+    schema_filtered: bool = False
+
+
+class LLMTask:
+    """Marker base class for task payloads."""
+
+
+@dataclass(frozen=True)
+class CoTAugmentTask(LLMTask):
+    """Preprocessing: turn a train-split (question, SQL) pair into CoT text
+    (the self-taught Query-CoT-SQL upgrade, paper §3.2)."""
+
+    example: Example
+    schema: Database
+
+
+@dataclass(frozen=True)
+class EntityExtractionTask(LLMTask):
+    """Extraction: pull candidate entities/value phrases out of the NLQ."""
+
+    example: Example
+    schema: Database
+
+
+@dataclass(frozen=True)
+class ColumnSelectionTask(LLMTask):
+    """Extraction: select relevant tables/columns from the full schema."""
+
+    example: Example
+    schema: Database
+
+
+@dataclass(frozen=True)
+class GenerationTask(LLMTask):
+    """Generation: produce structured-CoT text ending in a SQL query."""
+
+    oracle: Example
+    schema: Database
+    features: PromptFeatures
+
+
+@dataclass(frozen=True)
+class CorrectionTask(LLMTask):
+    """Refinement: repair a failed SQL given its execution error."""
+
+    oracle: Example
+    schema: Database
+    features: PromptFeatures
+    failed_sql: str
+    error_kind: str  # an ExecutionStatus value string
+    error_message: str = ""
+
+
+@dataclass(frozen=True)
+class SelectAlignmentTask(LLMTask):
+    """Info Alignment: extract NLQ phrases matching each SELECT output."""
+
+    oracle: Example
+    schema: Database

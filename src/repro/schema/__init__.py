@@ -1,0 +1,20 @@
+"""Database schema model, SQLite introspection, join-path inference and
+schema-to-prompt serialization."""
+
+from repro.schema.model import Column, Database, ForeignKey, Table
+from repro.schema.introspect import introspect_sqlite
+from repro.schema.joins import JoinPathError, assemble_select, join_path
+from repro.schema.serialize import schema_to_ddl, schema_to_prompt
+
+__all__ = [
+    "Column",
+    "Database",
+    "ForeignKey",
+    "JoinPathError",
+    "Table",
+    "assemble_select",
+    "introspect_sqlite",
+    "join_path",
+    "schema_to_ddl",
+    "schema_to_prompt",
+]

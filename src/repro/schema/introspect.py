@@ -1,0 +1,105 @@
+"""Build a :class:`~repro.schema.model.Database` from a live SQLite file.
+
+This is the Preprocessing step's "understand the real database structure"
+half: PRAGMA-based table/column/foreign-key discovery plus sampling a few
+distinct values per text column for prompt value examples.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Optional
+
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+__all__ = ["introspect_sqlite"]
+
+
+def introspect_sqlite(
+    connection: sqlite3.Connection,
+    name: str = "database",
+    value_examples: int = 3,
+    descriptions: Optional[dict[tuple[str, str], str]] = None,
+) -> Database:
+    """Introspect every user table reachable from ``connection``.
+
+    ``descriptions`` optionally maps ``(table, column)`` to a natural
+    language description (BIRD ships these as CSV "database description"
+    files; our synthetic datasets provide them directly).
+    """
+    descriptions = descriptions or {}
+    cursor = connection.cursor()
+    cursor.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' "
+        "AND name NOT LIKE 'sqlite_%' ORDER BY name"
+    )
+    table_names = [row[0] for row in cursor.fetchall()]
+
+    tables: list[Table] = []
+    foreign_keys: list[ForeignKey] = []
+    for table_name in table_names:
+        columns: list[Column] = []
+        cursor.execute(f'PRAGMA table_info("{table_name}")')
+        for _cid, col_name, col_type, not_null, _default, is_pk in cursor.fetchall():
+            type_name = (col_type or "TEXT").upper()
+            examples: tuple[str, ...] = ()
+            if value_examples and _is_textual(type_name):
+                examples = _sample_values(cursor, table_name, col_name, value_examples)
+            columns.append(
+                Column(
+                    name=col_name,
+                    type_name=type_name,
+                    description=descriptions.get((table_name, col_name), ""),
+                    is_primary=bool(is_pk),
+                    not_null=bool(not_null),
+                    value_examples=examples,
+                )
+            )
+        tables.append(Table(name=table_name, columns=tuple(columns)))
+
+        cursor.execute(f'PRAGMA foreign_key_list("{table_name}")')
+        for row in cursor.fetchall():
+            # (id, seq, ref_table, from_col, to_col, on_update, on_delete, match)
+            _id, _seq, ref_table, from_col, to_col = row[0], row[1], row[2], row[3], row[4]
+            if to_col is None:
+                # Implicit reference to the target's primary key.
+                to_col = _primary_key_of(cursor, ref_table)
+            if to_col is not None:
+                foreign_keys.append(
+                    ForeignKey(
+                        table=table_name,
+                        column=from_col,
+                        ref_table=ref_table,
+                        ref_column=to_col,
+                    )
+                )
+
+    return Database(
+        name=name,
+        tables=tuple(tables),
+        foreign_keys=tuple(foreign_keys),
+    )
+
+
+def _is_textual(type_name: str) -> bool:
+    upper = type_name.upper()
+    return any(word in upper for word in ("TEXT", "CHAR", "DATE", "CLOB"))
+
+
+def _sample_values(
+    cursor: sqlite3.Cursor, table: str, column: str, limit: int
+) -> tuple[str, ...]:
+    cursor.execute(
+        f'SELECT DISTINCT "{column}" FROM "{table}" '
+        f'WHERE "{column}" IS NOT NULL ORDER BY "{column}" LIMIT ?',
+        (limit,),
+    )
+    return tuple(str(row[0]) for row in cursor.fetchall())
+
+
+def _primary_key_of(cursor: sqlite3.Cursor, table: str) -> Optional[str]:
+    cursor.execute(f'PRAGMA table_info("{table}")')
+    for _cid, col_name, _type, _nn, _default, is_pk in cursor.fetchall():
+        if is_pk:
+            return col_name
+    return None

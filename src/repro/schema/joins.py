@@ -1,0 +1,196 @@
+"""Join-path inference: turn a SQL-Like statement into a full SELECT.
+
+SQL-Like (paper §3.5) omits FROM/JOIN entirely.  Reconstructing them is a
+Steiner-tree-flavoured problem on the foreign-key graph: find a connected
+subgraph touching every referenced table.  We use the standard
+approximation — iteratively attach the nearest unconnected terminal via a
+BFS shortest path — which is exact on the tree-shaped FK graphs that
+BIRD-style schemas overwhelmingly have.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.schema.model import Database, ForeignKey
+from repro.sqlkit.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Join,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sqlkit.sql_like import SQLLike
+from repro.sqlkit.transform import map_expressions
+
+__all__ = ["JoinPathError", "join_path", "assemble_select"]
+
+
+class JoinPathError(ValueError):
+    """Raised when the referenced tables cannot be connected through the
+    foreign-key graph (typically a hallucinated table name)."""
+
+
+def _edges(database: Database) -> dict[str, list[tuple[str, ForeignKey]]]:
+    graph: dict[str, list[tuple[str, ForeignKey]]] = {
+        t.name.lower(): [] for t in database.tables
+    }
+    for fk in database.foreign_keys:
+        a, b = fk.table.lower(), fk.ref_table.lower()
+        if a in graph and b in graph:
+            graph[a].append((b, fk))
+            graph[b].append((a, fk))
+    return graph
+
+
+def _shortest_path(
+    graph: dict[str, list[tuple[str, ForeignKey]]],
+    sources: set[str],
+    target: str,
+) -> Optional[list[tuple[str, str, ForeignKey]]]:
+    """BFS from any source to ``target``; returns (from, to, fk) steps."""
+    queue = deque(sources)
+    parents: dict[str, Optional[tuple[str, ForeignKey]]] = {s: None for s in sources}
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            steps: list[tuple[str, str, ForeignKey]] = []
+            while parents[node] is not None:
+                prev, fk = parents[node]  # type: ignore[misc]
+                steps.append((prev, node, fk))
+                node = prev
+            steps.reverse()
+            return steps
+        for neighbor, fk in graph[node]:
+            if neighbor not in parents:
+                parents[neighbor] = (node, fk)
+                queue.append(neighbor)
+    return None
+
+
+def join_path(database: Database, tables: list[str]) -> list[tuple[str, str, ForeignKey]]:
+    """Connect ``tables`` through the FK graph.
+
+    Returns an ordered list of join steps ``(already_joined_table,
+    new_table, fk)``.  The first requested table is the anchor; steps may
+    route through intermediate tables not in the request.  Raises
+    :class:`JoinPathError` when a table is unknown or unreachable.
+    """
+    if not tables:
+        raise JoinPathError("no tables to join")
+    graph = _edges(database)
+    normalized: list[str] = []
+    for name in tables:
+        if not database.has_table(name):
+            raise JoinPathError(f"unknown table {name!r}")
+        lowered = name.lower()
+        if lowered not in normalized:
+            normalized.append(lowered)
+
+    connected: set[str] = {normalized[0]}
+    steps: list[tuple[str, str, ForeignKey]] = []
+    for target in normalized[1:]:
+        if target in connected:
+            continue
+        path = _shortest_path(graph, connected, target)
+        if path is None:
+            raise JoinPathError(
+                f"no foreign-key path from {sorted(connected)} to {target!r}"
+            )
+        for from_table, to_table, fk in path:
+            if to_table not in connected:
+                steps.append((from_table, to_table, fk))
+                connected.add(to_table)
+    return steps
+
+
+def assemble_select(database: Database, sql_like: SQLLike) -> Select:
+    """Turn a SQL-Like statement into a full SELECT with aliases T1..Tn.
+
+    Column references are requalified from real table names to the aliases
+    introduced for them.  Unqualified columns are resolved against the
+    referenced tables when unambiguous; ambiguous or unknown ones are left
+    untouched (downstream alignment/refinement will catch them at
+    execution time).
+    """
+    tables = list(sql_like.tables())
+    if not tables:
+        raise JoinPathError("SQL-Like references no tables")
+
+    steps = join_path(database, tables)
+    ordered: list[str] = [database.table(tables[0]).name]
+    for _from, to, _fk in steps:
+        ordered.append(database.table(to).name)
+
+    multi = len(ordered) > 1
+    alias_of: dict[str, Optional[str]] = {}
+    for index, table_name in enumerate(ordered, start=1):
+        alias_of[table_name.lower()] = f"T{index}" if multi else None
+
+    def binding(table_name: str) -> str:
+        alias = alias_of[table_name.lower()]
+        return alias if alias else database.table(table_name).name
+
+    def requalify(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, ColumnRef):
+            if expr.table and expr.table.lower() in alias_of:
+                return ColumnRef(column=expr.column, table=binding(expr.table))
+            if expr.table is None:
+                matches = [
+                    t for t in ordered if database.table(t).has_column(expr.column)
+                ]
+                if len(matches) == 1:
+                    return ColumnRef(column=expr.column, table=binding(matches[0]))
+        if isinstance(expr, Star) and expr.table and expr.table.lower() in alias_of:
+            return Star(table=binding(expr.table))
+        return None
+
+    def convert(expr: Optional[Expr]) -> Optional[Expr]:
+        if expr is None:
+            return None
+        return map_expressions(expr, requalify)  # type: ignore[return-value]
+
+    from_table = TableRef(
+        name=database.table(ordered[0]).name,
+        alias=alias_of[ordered[0].lower()],
+    )
+    joins: list[Join] = []
+    for from_tbl, to_tbl, fk in steps:
+        real_to = database.table(to_tbl).name
+        # Orient the FK condition between the two endpoint bindings.
+        if fk.table.lower() == from_tbl:
+            left = ColumnRef(column=fk.column, table=binding(fk.table))
+            right = ColumnRef(column=fk.ref_column, table=binding(fk.ref_table))
+        else:
+            left = ColumnRef(column=fk.ref_column, table=binding(fk.ref_table))
+            right = ColumnRef(column=fk.column, table=binding(fk.table))
+        joins.append(
+            Join(
+                table=TableRef(name=real_to, alias=alias_of[to_tbl]),
+                kind="INNER",
+                condition=BinaryOp("=", left, right),
+            )
+        )
+
+    items = tuple(
+        SelectItem(expr=convert(item.expr), alias=item.alias) for item in sql_like.items
+    )
+    return Select(
+        items=items,
+        from_table=from_table,
+        joins=tuple(joins),
+        where=convert(sql_like.where),
+        group_by=tuple(convert(e) for e in sql_like.group_by),
+        having=convert(sql_like.having),
+        order_by=tuple(
+            OrderItem(expr=convert(o.expr), desc=o.desc) for o in sql_like.order_by
+        ),
+        limit=sql_like.limit,
+        offset=sql_like.offset,
+        distinct=sql_like.distinct,
+    )

@@ -1,0 +1,196 @@
+"""In-memory model of a relational schema.
+
+The model is deliberately richer than raw DDL: columns carry natural
+language descriptions and value examples because the extraction stage
+serializes them into prompts, and the whole database carries a join graph
+used to reconstruct FROM clauses from SQL-Like statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["Column", "ForeignKey", "Table", "Database"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column with prompt-facing metadata.
+
+    ``type_name`` uses SQLite affinity names (TEXT, INTEGER, REAL, DATE —
+    DATE maps to TEXT storage but drives date-function handling).
+    """
+
+    name: str
+    type_name: str = "TEXT"
+    description: str = ""
+    is_primary: bool = False
+    not_null: bool = False
+    value_examples: tuple[str, ...] = ()
+
+    @property
+    def is_text(self) -> bool:
+        """True for TEXT-affinity columns (the only ones value-indexed)."""
+        return self.type_name.upper() in {"TEXT", "DATE", "DATETIME", "VARCHAR", "CHAR"}
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``table.column`` references ``ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass(frozen=True)
+class Table:
+    """A table: ordered columns plus its part of the FK graph."""
+
+    name: str
+    columns: tuple[Column, ...]
+    description: str = ""
+
+    def __post_init__(self):
+        names = [c.name.lower() for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {self.name!r}")
+
+    def column(self, name: str) -> Column:
+        """Look up a column case-insensitively; raises KeyError if absent."""
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        raise KeyError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Case-insensitive column existence check."""
+        lowered = name.lower()
+        return any(col.name.lower() == lowered for col in self.columns)
+
+    @property
+    def primary_key(self) -> tuple[Column, ...]:
+        """The table's primary-key columns, in schema order."""
+        return tuple(c for c in self.columns if c.is_primary)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in schema order."""
+        return tuple(c.name for c in self.columns)
+
+
+@dataclass(frozen=True)
+class Database:
+    """A database schema: named tables, foreign keys and optional source path."""
+
+    name: str
+    tables: tuple[Table, ...]
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    description: str = ""
+    path: Optional[str] = None
+
+    def __post_init__(self):
+        names = [t.name.lower() for t in self.tables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate table names in database {self.name!r}")
+        for fk in self.foreign_keys:
+            src = self.table(fk.table)
+            dst = self.table(fk.ref_table)
+            if not src.has_column(fk.column):
+                raise ValueError(f"foreign key source column missing: {fk}")
+            if not dst.has_column(fk.ref_column):
+                raise ValueError(f"foreign key target column missing: {fk}")
+
+    def table(self, name: str) -> Table:
+        """Look up a table case-insensitively; raises KeyError if absent."""
+        lowered = name.lower()
+        for table in self.tables:
+            if table.name.lower() == lowered:
+                return table
+        raise KeyError(f"no table {name!r} in database {self.name!r}")
+
+    def has_table(self, name: str) -> bool:
+        """Case-insensitive table existence check."""
+        lowered = name.lower()
+        return any(t.name.lower() == lowered for t in self.tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Table names in schema order."""
+        return tuple(t.name for t in self.tables)
+
+    def iter_columns(self) -> Iterator[tuple[Table, Column]]:
+        """Yield every (table, column) pair in schema order."""
+        for table in self.tables:
+            for column in table.columns:
+                yield table, column
+
+    def column_count(self) -> int:
+        """Total number of columns across all tables."""
+        return sum(len(t.columns) for t in self.tables)
+
+    def same_name_columns(self, column_name: str) -> list[tuple[str, str]]:
+        """All (table, column) pairs whose column name matches
+        ``column_name`` case-insensitively.  Used by Info Alignment to
+        guard against same-name column mix-ups (paper §3.4)."""
+        lowered = column_name.lower()
+        return [
+            (table.name, column.name)
+            for table, column in self.iter_columns()
+            if column.name.lower() == lowered
+        ]
+
+    def subset(self, keep: dict[str, Iterable[str]]) -> "Database":
+        """Build a pruned schema containing only ``keep``'s tables/columns.
+
+        ``keep`` maps table name → iterable of column names (case
+        insensitive).  Primary keys are always retained so join paths stay
+        expressible, and foreign keys are filtered to surviving endpoints.
+        Unknown table or column names are ignored (the caller may be acting
+        on hallucinated output — that is exactly the situation Info
+        Alignment exists to absorb).
+        """
+        lowered_keep = {t.lower(): {c.lower() for c in cols} for t, cols in keep.items()}
+        # Join keys must survive pruning: every foreign-key endpoint column
+        # between two kept tables is retained alongside the primary keys,
+        # otherwise pruning would disconnect the join graph.
+        for fk in self.foreign_keys:
+            if fk.table.lower() in lowered_keep and fk.ref_table.lower() in lowered_keep:
+                lowered_keep[fk.table.lower()].add(fk.column.lower())
+                lowered_keep[fk.ref_table.lower()].add(fk.ref_column.lower())
+        new_tables: list[Table] = []
+        for table in self.tables:
+            wanted = lowered_keep.get(table.name.lower())
+            if wanted is None:
+                continue
+            columns = tuple(
+                column
+                for column in table.columns
+                if column.is_primary or column.name.lower() in wanted
+            )
+            if columns:
+                new_tables.append(replace(table, columns=columns))
+        surviving = {t.name.lower(): t for t in new_tables}
+        new_fks = tuple(
+            fk
+            for fk in self.foreign_keys
+            if fk.table.lower() in surviving
+            and fk.ref_table.lower() in surviving
+            and surviving[fk.table.lower()].has_column(fk.column)
+            and surviving[fk.ref_table.lower()].has_column(fk.ref_column)
+        )
+        return replace(self, tables=tuple(new_tables), foreign_keys=new_fks)
+
+    def resolve_column(self, name: str, table_hint: Optional[str] = None) -> list[tuple[Table, Column]]:
+        """All (table, column) matches for a bare or hinted column name."""
+        matches: list[tuple[Table, Column]] = []
+        for table, column in self.iter_columns():
+            if column.name.lower() != name.lower():
+                continue
+            if table_hint is not None and table.name.lower() != table_hint.lower():
+                continue
+            matches.append((table, column))
+        return matches

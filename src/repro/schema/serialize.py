@@ -1,0 +1,81 @@
+"""Schema serialization: DDL for building databases, prompt text for LLMs.
+
+The prompt format follows the paper's "Database schema / db_info" style:
+one block per table listing columns with type, description and value
+examples, then the foreign-key list.  Token cost of prompts (Table 6)
+is measured on this rendered text.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import Column, Database, Table
+from repro.sqlkit.render import quote_identifier
+
+__all__ = ["schema_to_ddl", "schema_to_prompt", "column_doc"]
+
+
+def schema_to_ddl(database: Database) -> str:
+    """Render CREATE TABLE statements for every table in ``database``."""
+    statements = []
+    fk_by_table: dict[str, list] = {}
+    for fk in database.foreign_keys:
+        fk_by_table.setdefault(fk.table.lower(), []).append(fk)
+    for table in database.tables:
+        lines = []
+        for column in table.columns:
+            parts = [quote_identifier(column.name), column.type_name]
+            if column.is_primary:
+                parts.append("PRIMARY KEY")
+            if column.not_null and not column.is_primary:
+                parts.append("NOT NULL")
+            lines.append("    " + " ".join(parts))
+        for fk in fk_by_table.get(table.name.lower(), []):
+            lines.append(
+                "    FOREIGN KEY ({}) REFERENCES {}({})".format(
+                    quote_identifier(fk.column),
+                    quote_identifier(fk.ref_table),
+                    quote_identifier(fk.ref_column),
+                )
+            )
+        body = ",\n".join(lines)
+        statements.append(
+            f"CREATE TABLE {quote_identifier(table.name)} (\n{body}\n)"
+        )
+    return ";\n".join(statements) + ";"
+
+
+def column_doc(table: Table, column: Column) -> str:
+    """One-line prompt description of a column."""
+    parts = [f"{table.name}.{column.name} ({column.type_name})"]
+    if column.is_primary:
+        parts.append("[primary key]")
+    if column.description:
+        parts.append(f"-- {column.description}")
+    if column.value_examples:
+        examples = ", ".join(repr(v) for v in column.value_examples[:3])
+        parts.append(f"examples: {examples}")
+    return " ".join(parts)
+
+
+def schema_to_prompt(database: Database, include_examples: bool = True) -> str:
+    """Render the database schema block used in extraction/generation
+    prompts."""
+    lines: list[str] = [f"Database: {database.name}"]
+    if database.description:
+        lines.append(f"-- {database.description}")
+    for table in database.tables:
+        lines.append(f"# Table: {table.name}")
+        if table.description:
+            lines.append(f"#   {table.description}")
+        for column in table.columns:
+            if include_examples:
+                lines.append("  " + column_doc(table, column))
+            else:
+                lines.append(f"  {table.name}.{column.name} ({column.type_name})")
+    if database.foreign_keys:
+        lines.append("# Foreign keys:")
+        for fk in database.foreign_keys:
+            lines.append(
+                f"  {fk.table}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+            )
+    return "\n".join(lines)

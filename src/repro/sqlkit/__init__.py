@@ -1,0 +1,88 @@
+"""SQL substrate: tokenizer, AST, parser, renderer and the SQL-Like language.
+
+``sqlkit`` implements the SQLite-dialect subset used throughout the
+reproduction: SELECT queries with joins, aggregates, grouping, ordering,
+scalar functions (including ``strftime``), CASE expressions and subqueries.
+It is the foundation the extraction, generation, alignment and refinement
+stages are built on.
+"""
+
+from repro.sqlkit.ast import (
+    Between,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    Subquery,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlkit.parser import ParseError, parse_expression, parse_select
+from repro.sqlkit.render import render, render_expr
+from repro.sqlkit.sql_like import (
+    SQLLike,
+    parse_sql_like,
+    render_sql_like,
+    select_to_sql_like,
+)
+from repro.sqlkit.tokenizer import Token, TokenizeError, TokenType, tokenize
+from repro.sqlkit.transform import (
+    collect_column_refs,
+    collect_functions,
+    collect_literals,
+    collect_tables,
+    replace_nodes,
+    walk,
+)
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "Case",
+    "Cast",
+    "ColumnRef",
+    "Expr",
+    "FuncCall",
+    "InList",
+    "IsNull",
+    "Join",
+    "Like",
+    "Literal",
+    "OrderItem",
+    "ParseError",
+    "SQLLike",
+    "Select",
+    "SelectItem",
+    "Star",
+    "Subquery",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "TokenizeError",
+    "UnaryOp",
+    "collect_column_refs",
+    "collect_functions",
+    "collect_literals",
+    "collect_tables",
+    "parse_expression",
+    "parse_select",
+    "parse_sql_like",
+    "render_sql_like",
+    "render",
+    "render_expr",
+    "replace_nodes",
+    "select_to_sql_like",
+    "tokenize",
+    "walk",
+]

@@ -1,0 +1,298 @@
+"""AST node definitions for the supported SQL subset.
+
+All nodes are frozen-ish dataclasses (mutable where pipeline rewrites need
+in-place edits would be awkward, so rewrites build new nodes instead).
+Equality is structural, which the self-consistency and alignment stages rely
+on to compare candidate queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "FuncCall",
+    "BinaryOp",
+    "UnaryOp",
+    "Between",
+    "InList",
+    "IsNull",
+    "Like",
+    "Case",
+    "Cast",
+    "Subquery",
+    "Exists",
+    "SelectItem",
+    "TableRef",
+    "Join",
+    "OrderItem",
+    "Select",
+]
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    def children(self) -> tuple["Expr", ...]:
+        """Return the direct expression children of this node."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A literal value.  ``kind`` is one of ``string``, ``number``, ``null``."""
+
+    value: Optional[Union[str, int, float]]
+    kind: str = "string"
+
+    @staticmethod
+    def string(value: str) -> "Literal":
+        """A string literal."""
+        return Literal(value, "string")
+
+    @staticmethod
+    def number(value: Union[int, float]) -> "Literal":
+        """A numeric literal."""
+        return Literal(value, "number")
+
+    @staticmethod
+    def null() -> "Literal":
+        """The NULL literal."""
+        return Literal(None, "null")
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A reference to ``table.column`` (table part optional)."""
+
+    column: str
+    table: Optional[str] = None
+
+    @property
+    def qualified(self) -> str:
+        """``table.column`` when qualified, else just the column name."""
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+    def key(self) -> tuple[str, str]:
+        """Case-insensitive comparison key."""
+        return ((self.table or "").lower(), self.column.lower())
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``table.*`` in a select list or in ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function call such as ``COUNT(DISTINCT x)`` or ``strftime(f, c)``."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    distinct: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True for COUNT/SUM/AVG/MIN/MAX-family calls."""
+        return self.name.upper() in AGGREGATE_FUNCTIONS
+
+
+#: Aggregate function names recognised by alignment rules.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX", "TOTAL", "GROUP_CONCAT"})
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """A binary operation (comparison, arithmetic, AND/OR, ``||``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """A unary operation: ``NOT x`` or ``-x``."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (items...)`` or ``expr [NOT] IN (subquery)``."""
+
+    expr: Expr
+    items: tuple[Expr, ...] = ()
+    subquery: Optional["Select"] = None
+    negated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr, *self.items)
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """``expr [NOT] LIKE pattern``."""
+
+    expr: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr, self.pattern)
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE [WHEN cond THEN result]... [ELSE else_] END``."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    else_: Optional[Expr] = None
+
+    def children(self) -> tuple[Expr, ...]:
+        out: list[Expr] = []
+        for cond, result in self.whens:
+            out.append(cond)
+            out.append(result)
+        if self.else_ is not None:
+            out.append(self.else_)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """``CAST(expr AS type)``."""
+
+    expr: Expr
+    type_name: str
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class Subquery(Expr):
+    """A scalar subquery used in an expression position."""
+
+    select: "Select"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """``[NOT] EXISTS (subquery)``."""
+
+    select: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list, with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause, with an optional alias, or a derived
+    table (``(SELECT ...) AS alias``) when ``subquery`` is set."""
+
+    name: str = ""
+    alias: Optional[str] = None
+    subquery: Optional["Select"] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in column references."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join clause: ``kind JOIN table ON condition``."""
+
+    table: TableRef
+    kind: str = "INNER"
+    condition: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY item."""
+
+    expr: Expr
+    desc: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT query.
+
+    ``from_table`` may be None for table-less selects (``SELECT 1``);
+    ``joins`` is the ordered list of join clauses applied to it.
+    """
+
+    items: tuple[SelectItem, ...]
+    from_table: Optional[TableRef] = None
+    joins: tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    def tables(self) -> tuple[TableRef, ...]:
+        """All table references in FROM + JOIN order."""
+        refs: list[TableRef] = []
+        if self.from_table is not None:
+            refs.append(self.from_table)
+        refs.extend(join.table for join in self.joins)
+        return tuple(refs)
+
+    def with_(self, **changes) -> "Select":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

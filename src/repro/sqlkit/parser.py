@@ -1,0 +1,487 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+The grammar covers single SELECT statements (optionally parenthesised) with
+joins, WHERE/GROUP BY/HAVING/ORDER BY/LIMIT clauses, scalar and aggregate
+functions, CASE/CAST expressions and subqueries in expression, IN and FROM
+positions.  Set operations (UNION etc.) are not supported; BIRD-style
+workloads almost never need them and the generation stage never emits them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sqlkit.ast import (
+    Between,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    Subquery,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlkit.tokenizer import Token, TokenType, tokenize
+
+__all__ = ["ParseError", "parse_select", "parse_expression"]
+
+
+class ParseError(ValueError):
+    """Raised when the token stream does not match the supported grammar."""
+
+    def __init__(self, message: str, token: Optional[Token] = None):
+        if token is not None:
+            message = f"{message} (near {token.value!r} at position {token.position})"
+        super().__init__(message)
+        self.token = token
+
+
+def parse_select(sql: str) -> Select:
+    """Parse ``sql`` into a :class:`Select` AST.
+
+    Raises :class:`ParseError` (or :class:`TokenizeError`) when the text is
+    not a single well-formed SELECT in the supported subset.
+    """
+    parser = _Parser(tokenize(sql))
+    select = parser.select_statement()
+    parser.expect_end()
+    return select
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone SQL expression (used by SQL-Like and tests)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser.expect_end()
+    return expr
+
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+_ADDITIVE_OPS = {"+", "-", "||"}
+_MULTIPLICATIVE_OPS = {"*", "/", "%"}
+
+
+class _Parser:
+    """Token-stream cursor with one method per grammar production."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------- cursor
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _match_keyword(self, *words: str) -> bool:
+        if self.current.is_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _match_punct(self, value: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise ParseError(f"expected {word}", self.current)
+        return self._advance()
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self.current
+        if token.type is not TokenType.PUNCT or token.value != value:
+            raise ParseError(f"expected {value!r}", token)
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            return self._advance().value
+        # Non-reserved usage of soft keywords as identifiers is common in
+        # real schemas; allow any keyword in identifier position except the
+        # structural ones that would make the grammar ambiguous.
+        if token.type is TokenType.KEYWORD and token.value not in {
+            "SELECT",
+            "FROM",
+            "WHERE",
+            "GROUP",
+            "ORDER",
+            "HAVING",
+            "LIMIT",
+            "JOIN",
+            "ON",
+            "AND",
+            "OR",
+            "NOT",
+            "CASE",
+            "WHEN",
+            "THEN",
+            "ELSE",
+            "END",
+        }:
+            return self._advance().value
+        raise ParseError("expected identifier", token)
+
+    def expect_end(self) -> None:
+        self._match_punct(";")
+        if self.current.type is not TokenType.EOF:
+            raise ParseError("unexpected trailing input", self.current)
+
+    # -------------------------------------------------------- statements
+
+    def select_statement(self) -> Select:
+        if self._match_punct("("):
+            select = self.select_statement()
+            self._expect_punct(")")
+            return select
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._match_keyword("DISTINCT"):
+            distinct = True
+        elif self._match_keyword("ALL"):
+            pass
+        items = [self.select_item()]
+        while self._match_punct(","):
+            items.append(self.select_item())
+
+        from_table: Optional[TableRef] = None
+        joins: list[Join] = []
+        if self._match_keyword("FROM"):
+            from_table = self.table_ref()
+            while True:
+                join = self.maybe_join()
+                if join is None:
+                    break
+                joins.append(join)
+
+        where = self.expression() if self._match_keyword("WHERE") else None
+
+        group_by: list[Expr] = []
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self.expression())
+            while self._match_punct(","):
+                group_by.append(self.expression())
+
+        having = self.expression() if self._match_keyword("HAVING") else None
+
+        order_by: list[OrderItem] = []
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self.order_item())
+            while self._match_punct(","):
+                order_by.append(self.order_item())
+
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        if self._match_keyword("LIMIT"):
+            limit = self._int_literal()
+            if self._match_keyword("OFFSET"):
+                offset = self._int_literal()
+            elif self._match_punct(","):
+                # LIMIT offset, count
+                offset = limit
+                limit = self._int_literal()
+
+        return Select(
+            items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _int_literal(self) -> int:
+        negative = False
+        if self.current.type is TokenType.OPERATOR and self.current.value == "-":
+            self._advance()
+            negative = True
+        token = self.current
+        if token.type is not TokenType.NUMBER:
+            raise ParseError("expected integer literal", token)
+        self._advance()
+        value = int(float(token.value))
+        return -value if negative else value
+
+    def select_item(self) -> SelectItem:
+        expr = self.expression()
+        alias: Optional[str] = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def table_ref(self) -> TableRef:
+        if self._match_punct("("):
+            subquery = self.select_statement()
+            self._expect_punct(")")
+            alias = None
+            if self._match_keyword("AS"):
+                alias = self._expect_ident()
+            elif self.current.type is TokenType.IDENT:
+                alias = self._advance().value
+            return TableRef(name="", alias=alias, subquery=subquery)
+        name = self._expect_ident()
+        alias: Optional[str] = None
+        if self._match_keyword("AS"):
+            alias = self._expect_ident()
+        elif self.current.type is TokenType.IDENT:
+            alias = self._advance().value
+        return TableRef(name=name, alias=alias)
+
+    def maybe_join(self) -> Optional[Join]:
+        kind: Optional[str] = None
+        if self.current.is_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            kind = "INNER"
+        elif self.current.is_keyword("LEFT", "RIGHT", "FULL"):
+            kind = self._advance().value
+            self._match_keyword("OUTER")
+            self._expect_keyword("JOIN")
+        elif self.current.is_keyword("CROSS"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            kind = "CROSS"
+        elif self.current.is_keyword("JOIN"):
+            self._advance()
+            kind = "INNER"
+        elif self._match_punct(","):
+            kind = "CROSS"
+        if kind is None:
+            return None
+        table = self.table_ref()
+        condition: Optional[Expr] = None
+        if kind != "CROSS":
+            self._expect_keyword("ON")
+            condition = self.expression()
+        return Join(table=table, kind=kind, condition=condition)
+
+    def order_item(self) -> OrderItem:
+        expr = self.expression()
+        desc = False
+        if self._match_keyword("DESC"):
+            desc = True
+        else:
+            self._match_keyword("ASC")
+        return OrderItem(expr=expr, desc=desc)
+
+    # ------------------------------------------------------- expressions
+
+    def expression(self) -> Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self._match_keyword("OR"):
+            left = BinaryOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self._match_keyword("AND"):
+            left = BinaryOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self._match_keyword("NOT"):
+            return UnaryOp("NOT", self.not_expr())
+        return self.predicate()
+
+    def predicate(self) -> Expr:
+        left = self.additive()
+        negated = bool(self._match_keyword("NOT"))
+        if self._match_keyword("BETWEEN"):
+            low = self.additive()
+            self._expect_keyword("AND")
+            high = self.additive()
+            return Between(left, low, high, negated=negated)
+        if self._match_keyword("IN"):
+            return self._in_tail(left, negated)
+        if self._match_keyword("LIKE"):
+            pattern = self.additive()
+            if self._match_keyword("ESCAPE"):
+                self.additive()
+            return Like(left, pattern, negated=negated)
+        if negated:
+            raise ParseError("expected BETWEEN, IN or LIKE after NOT", self.current)
+        # Comparisons and IS NULL chain left-associatively, matching SQLite
+        # (``a = b = c`` parses as ``(a = b) = c``).
+        while True:
+            if self._match_keyword("IS"):
+                is_negated = bool(self._match_keyword("NOT"))
+                self._expect_keyword("NULL")
+                left = IsNull(left, negated=is_negated)
+                continue
+            token = self.current
+            if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+                op = self._advance().value
+                if op == "!=":
+                    op = "<>"
+                left = BinaryOp(op, left, self.additive())
+                continue
+            return left
+
+    def _in_tail(self, left: Expr, negated: bool) -> Expr:
+        self._expect_punct("(")
+        if self.current.is_keyword("SELECT"):
+            subquery = self.select_statement()
+            self._expect_punct(")")
+            return InList(left, subquery=subquery, negated=negated)
+        items = [self.additive()]
+        while self._match_punct(","):
+            items.append(self.additive())
+        self._expect_punct(")")
+        return InList(left, items=tuple(items), negated=negated)
+
+    def additive(self) -> Expr:
+        left = self.multiplicative()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in _ADDITIVE_OPS
+        ):
+            op = self._advance().value
+            left = BinaryOp(op, left, self.multiplicative())
+        return left
+
+    def multiplicative(self) -> Expr:
+        left = self.unary()
+        while (
+            self.current.type is TokenType.OPERATOR
+            and self.current.value in _MULTIPLICATIVE_OPS
+        ):
+            op = self._advance().value
+            left = BinaryOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> Expr:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in {"-", "+"}:
+            op = self._advance().value
+            operand = self.unary()
+            if op == "+":
+                return operand
+            if isinstance(operand, Literal) and operand.kind == "number":
+                return Literal.number(-operand.value)  # type: ignore[arg-type]
+            return UnaryOp("-", operand)
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return Literal.number(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal.string(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal.null()
+        if token.is_keyword("CASE"):
+            return self.case_expr()
+        if token.is_keyword("CAST"):
+            return self.cast_expr()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.select_statement()
+            self._expect_punct(")")
+            return Exists(subquery)
+        if self._match_punct("("):
+            if self.current.is_keyword("SELECT"):
+                subquery = self.select_statement()
+                self._expect_punct(")")
+                return Subquery(subquery)
+            expr = self.expression()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return Star()
+        if token.type is TokenType.IDENT or token.type is TokenType.KEYWORD:
+            return self._name_or_call()
+        raise ParseError("expected expression", token)
+
+    def case_expr(self) -> Case:
+        self._expect_keyword("CASE")
+        whens: list[tuple[Expr, Expr]] = []
+        operand: Optional[Expr] = None
+        if not self.current.is_keyword("WHEN"):
+            operand = self.expression()
+        while self._match_keyword("WHEN"):
+            cond = self.expression()
+            if operand is not None:
+                cond = BinaryOp("=", operand, cond)
+            self._expect_keyword("THEN")
+            result = self.expression()
+            whens.append((cond, result))
+        if not whens:
+            raise ParseError("CASE requires at least one WHEN", self.current)
+        else_: Optional[Expr] = None
+        if self._match_keyword("ELSE"):
+            else_ = self.expression()
+        self._expect_keyword("END")
+        return Case(whens=tuple(whens), else_=else_)
+
+    def cast_expr(self) -> Cast:
+        self._expect_keyword("CAST")
+        self._expect_punct("(")
+        expr = self.expression()
+        self._expect_keyword("AS")
+        type_name = self._expect_ident()
+        # Multi-word types such as DOUBLE PRECISION.
+        while self.current.type is TokenType.IDENT:
+            type_name += " " + self._advance().value
+        self._expect_punct(")")
+        return Cast(expr, type_name.upper())
+
+    def _name_or_call(self) -> Expr:
+        name = self._expect_ident()
+        if self._match_punct("("):
+            distinct = bool(self._match_keyword("DISTINCT"))
+            args: list[Expr] = []
+            if not (self.current.type is TokenType.PUNCT and self.current.value == ")"):
+                args.append(self.expression())
+                while self._match_punct(","):
+                    args.append(self.expression())
+            self._expect_punct(")")
+            return FuncCall(name.upper(), tuple(args), distinct=distinct)
+        if self._match_punct("."):
+            token = self.current
+            if token.type is TokenType.OPERATOR and token.value == "*":
+                self._advance()
+                return Star(table=name)
+            column = self._expect_ident()
+            return ColumnRef(column=column, table=name)
+        return ColumnRef(column=name)

@@ -1,0 +1,217 @@
+"""Render AST nodes back to SQL text (SQLite dialect).
+
+Rendering is canonical: keywords upper-case, identifiers quoted with
+backticks only when necessary, single-quoted strings with doubled-quote
+escapes.  ``parse_select(render(ast)) == ast`` holds for every AST the
+parser can produce, which the property tests verify.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sqlkit.ast import (
+    Between,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    Exists,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    Subquery,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlkit.tokenizer import KEYWORDS
+
+__all__ = ["render", "render_expr", "quote_identifier"]
+
+_SAFE_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def quote_identifier(name: str) -> str:
+    """Quote ``name`` with backticks when it is not a safe bare identifier."""
+    if _SAFE_IDENT.match(name) and name.upper() not in KEYWORDS:
+        return name
+    return "`" + name.replace("`", "``") + "`"
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+#: Binding power of binary operators, used to decide parenthesisation.
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4,
+    "<>": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "||": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+_COMPARISON_LEVEL = 4
+
+
+def render(select: Select) -> str:
+    """Render a :class:`Select` AST to SQL text."""
+    parts: list[str] = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_select_item(item) for item in select.items))
+    if select.from_table is not None:
+        parts.append("FROM")
+        parts.append(_render_table(select.from_table))
+        for join in select.joins:
+            parts.append(_render_join(join))
+    if select.where is not None:
+        parts.append("WHERE")
+        parts.append(render_expr(select.where))
+    if select.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(render_expr(e) for e in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING")
+        parts.append(render_expr(select.having))
+    if select.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_render_order_item(o) for o in select.order_by))
+    if select.limit is not None:
+        parts.append(f"LIMIT {select.limit}")
+        if select.offset is not None:
+            parts.append(f"OFFSET {select.offset}")
+    return " ".join(parts)
+
+
+def _render_select_item(item: SelectItem) -> str:
+    text = render_expr(item.expr)
+    if item.alias:
+        return f"{text} AS {quote_identifier(item.alias)}"
+    return text
+
+
+def _render_table(table: TableRef) -> str:
+    if table.subquery is not None:
+        inner = f"({render(table.subquery)})"
+        return f"{inner} AS {quote_identifier(table.alias)}" if table.alias else inner
+    text = quote_identifier(table.name)
+    if table.alias:
+        text += f" AS {quote_identifier(table.alias)}"
+    return text
+
+
+def _render_join(join: Join) -> str:
+    if join.kind == "CROSS":
+        return f"CROSS JOIN {_render_table(join.table)}"
+    text = f"{join.kind} JOIN {_render_table(join.table)}"
+    if join.condition is not None:
+        text += f" ON {render_expr(join.condition)}"
+    return text
+
+
+def _render_order_item(item: OrderItem) -> str:
+    text = render_expr(item.expr)
+    return f"{text} DESC" if item.desc else text
+
+
+def render_expr(expr: Expr, parent_level: int = 0) -> str:
+    """Render an expression, parenthesising when ``parent_level`` demands."""
+    if isinstance(expr, Literal):
+        if expr.kind == "null" or expr.value is None:
+            return "NULL"
+        if expr.kind == "number":
+            return _render_number(expr.value)
+        return _quote_string(str(expr.value))
+    if isinstance(expr, ColumnRef):
+        if expr.table:
+            return f"{quote_identifier(expr.table)}.{quote_identifier(expr.column)}"
+        return quote_identifier(expr.column)
+    if isinstance(expr, Star):
+        return f"{quote_identifier(expr.table)}.*" if expr.table else "*"
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(render_expr(arg) for arg in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, BinaryOp):
+        level = _PRECEDENCE.get(expr.op, _COMPARISON_LEVEL)
+        left = render_expr(expr.left, level)
+        # Right side binds one tighter to keep left-associative round trips.
+        right = render_expr(expr.right, level + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if level < parent_level else text
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            inner = render_expr(expr.operand, 3)
+            text = f"NOT {inner}"
+            return f"({text})" if parent_level > 3 else text
+        inner = render_expr(expr.operand, 7)
+        return f"{expr.op}{inner}"
+    if isinstance(expr, Between):
+        head = render_expr(expr.expr, _COMPARISON_LEVEL + 1)
+        low = render_expr(expr.low, _COMPARISON_LEVEL + 1)
+        high = render_expr(expr.high, _COMPARISON_LEVEL + 1)
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        text = f"{head} {word} {low} AND {high}"
+        return f"({text})" if parent_level > 3 else text
+    if isinstance(expr, InList):
+        head = render_expr(expr.expr, _COMPARISON_LEVEL + 1)
+        word = "NOT IN" if expr.negated else "IN"
+        if expr.subquery is not None:
+            inner = render(expr.subquery)
+        else:
+            inner = ", ".join(render_expr(item) for item in expr.items)
+        text = f"{head} {word} ({inner})"
+        return f"({text})" if parent_level > _COMPARISON_LEVEL else text
+    if isinstance(expr, IsNull):
+        head = render_expr(expr.expr, _COMPARISON_LEVEL + 1)
+        word = "IS NOT NULL" if expr.negated else "IS NULL"
+        text = f"{head} {word}"
+        return f"({text})" if parent_level > _COMPARISON_LEVEL else text
+    if isinstance(expr, Like):
+        head = render_expr(expr.expr, _COMPARISON_LEVEL + 1)
+        pattern = render_expr(expr.pattern, _COMPARISON_LEVEL + 1)
+        word = "NOT LIKE" if expr.negated else "LIKE"
+        text = f"{head} {word} {pattern}"
+        return f"({text})" if parent_level > _COMPARISON_LEVEL else text
+    if isinstance(expr, Case):
+        parts = ["CASE"]
+        for cond, result in expr.whens:
+            parts.append(f"WHEN {render_expr(cond)} THEN {render_expr(result)}")
+        if expr.else_ is not None:
+            parts.append(f"ELSE {render_expr(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, Cast):
+        return f"CAST({render_expr(expr.expr)} AS {expr.type_name})"
+    if isinstance(expr, Subquery):
+        return f"({render(expr.select)})"
+    if isinstance(expr, Exists):
+        word = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{word} ({render(expr.select)})"
+    raise TypeError(f"cannot render node of type {type(expr).__name__}")
+
+
+def _render_number(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        # Keep floats that carry no fraction readable but still float-typed.
+        return repr(value)
+    return repr(value)

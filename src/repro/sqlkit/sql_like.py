@@ -1,0 +1,196 @@
+"""The SQL-Like intermediate language (paper §3.5).
+
+SQL-Like is the paper's intermediate representation: a SQL statement with
+its FROM/JOIN machinery erased, so the model can commit to the *logic*
+(what to select, filter, group, order) before the *syntax* (join paths,
+aliases).  A SQL-Like statement looks like::
+
+    Show COUNT(DISTINCT Patient.ID) WHERE Laboratory.IGA > 80
+        AND Laboratory.IGA < 500 ORDER BY Patient.`First Date` DESC LIMIT 1
+
+Every column is table-qualified, which is what makes the later join
+reconstruction (``repro.schema.joins``) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.sqlkit.ast import (
+    ColumnRef,
+    Expr,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+)
+from repro.sqlkit.parser import ParseError, _Parser
+from repro.sqlkit.render import render_expr
+from repro.sqlkit.tokenizer import tokenize
+from repro.sqlkit.transform import collect_column_refs, map_expressions
+
+__all__ = ["SQLLike", "parse_sql_like", "render_sql_like", "select_to_sql_like"]
+
+
+@dataclass(frozen=True)
+class SQLLike:
+    """A parsed SQL-Like statement: a ``Select`` without FROM/JOIN."""
+
+    items: tuple[SelectItem, ...]
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    def tables(self) -> tuple[str, ...]:
+        """Distinct table names referenced by qualified columns, in first
+        appearance order."""
+        seen: dict[str, None] = {}
+        for part in (self.items, (self.where,), self.group_by, (self.having,), self.order_by):
+            for node in part:
+                if node is None:
+                    continue
+                for ref in collect_column_refs(node):
+                    if ref.table and ref.table not in seen:
+                        seen[ref.table] = None
+        return tuple(seen)
+
+    def with_(self, **changes) -> "SQLLike":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def parse_sql_like(text: str) -> SQLLike:
+    """Parse SQL-Like text.  Accepts both ``Show ...`` and ``SELECT ...``
+    leading keywords."""
+    tokens = tokenize(text)
+    parser = _Parser(tokens)
+    head = parser.current
+    if head.is_keyword("SHOW") or head.is_keyword("SELECT"):
+        parser._advance()
+    else:
+        raise ParseError("SQL-Like must start with Show or SELECT", head)
+
+    distinct = False
+    if parser.current.is_keyword("DISTINCT"):
+        parser._advance()
+        distinct = True
+
+    items = [parser.select_item()]
+    while parser._match_punct(","):
+        items.append(parser.select_item())
+
+    where = parser.expression() if parser._match_keyword("WHERE") else None
+
+    group_by: list[Expr] = []
+    if parser._match_keyword("GROUP"):
+        parser._expect_keyword("BY")
+        group_by.append(parser.expression())
+        while parser._match_punct(","):
+            group_by.append(parser.expression())
+
+    having = parser.expression() if parser._match_keyword("HAVING") else None
+
+    order_by: list[OrderItem] = []
+    if parser._match_keyword("ORDER"):
+        parser._expect_keyword("BY")
+        order_by.append(parser.order_item())
+        while parser._match_punct(","):
+            order_by.append(parser.order_item())
+
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    if parser._match_keyword("LIMIT"):
+        limit = parser._int_literal()
+        if parser._match_keyword("OFFSET"):
+            offset = parser._int_literal()
+
+    parser.expect_end()
+    return SQLLike(
+        items=tuple(items),
+        where=where,
+        group_by=tuple(group_by),
+        having=having,
+        order_by=tuple(order_by),
+        limit=limit,
+        offset=offset,
+        distinct=distinct,
+    )
+
+
+def render_sql_like(sql_like: SQLLike) -> str:
+    """Render a :class:`SQLLike` back to its textual ``Show ...`` form."""
+    parts = ["Show"]
+    if sql_like.distinct:
+        parts.append("DISTINCT")
+    rendered_items = []
+    for item in sql_like.items:
+        text = render_expr(item.expr)
+        if item.alias:
+            text += f" AS {item.alias}"
+        rendered_items.append(text)
+    parts.append(", ".join(rendered_items))
+    if sql_like.where is not None:
+        parts.append("WHERE " + render_expr(sql_like.where))
+    if sql_like.group_by:
+        parts.append("GROUP BY " + ", ".join(render_expr(e) for e in sql_like.group_by))
+    if sql_like.having is not None:
+        parts.append("HAVING " + render_expr(sql_like.having))
+    if sql_like.order_by:
+        rendered = ", ".join(
+            render_expr(o.expr) + (" DESC" if o.desc else "") for o in sql_like.order_by
+        )
+        parts.append("ORDER BY " + rendered)
+    if sql_like.limit is not None:
+        parts.append(f"LIMIT {sql_like.limit}")
+        if sql_like.offset is not None:
+            parts.append(f"OFFSET {sql_like.offset}")
+    return " ".join(parts)
+
+
+def select_to_sql_like(select: Select) -> SQLLike:
+    """Project a full ``Select`` down to its SQL-Like skeleton.
+
+    Aliases introduced in the FROM clause are resolved back to real table
+    names so that the SQL-Like form is self-describing.
+    """
+    alias_map: dict[str, str] = {}
+    for table in select.tables():
+        if table.alias and table.name:
+            alias_map[table.alias.lower()] = table.name
+
+    def unalias(expr: Expr) -> Optional[Expr]:
+        if isinstance(expr, ColumnRef) and expr.table:
+            real = alias_map.get(expr.table.lower())
+            if real is not None:
+                return ColumnRef(column=expr.column, table=real)
+        if isinstance(expr, Star) and expr.table:
+            real = alias_map.get(expr.table.lower())
+            if real is not None:
+                return Star(table=real)
+        return None
+
+    def convert_expr(expr: Optional[Expr]) -> Optional[Expr]:
+        if expr is None:
+            return None
+        return map_expressions(expr, unalias)  # type: ignore[return-value]
+
+    items = tuple(
+        SelectItem(expr=convert_expr(item.expr), alias=item.alias) for item in select.items
+    )
+    return SQLLike(
+        items=items,
+        where=convert_expr(select.where),
+        group_by=tuple(convert_expr(e) for e in select.group_by),
+        having=convert_expr(select.having),
+        order_by=tuple(
+            OrderItem(expr=convert_expr(o.expr), desc=o.desc) for o in select.order_by
+        ),
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )

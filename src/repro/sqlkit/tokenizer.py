@@ -1,0 +1,252 @@
+"""A tokenizer for the SQLite-dialect SQL subset used by the reproduction.
+
+The tokenizer is intentionally small but complete for the query shapes that
+appear in BIRD-style workloads: quoted identifiers (backtick, double-quote
+and square-bracket forms), string literals with doubled-quote escapes,
+numeric literals (integer, float, scientific), multi-character comparison
+operators and line/block comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Token", "TokenType", "TokenizeError", "tokenize", "KEYWORDS"]
+
+
+class TokenizeError(ValueError):
+    """Raised when the input text contains a character sequence that is not
+    valid in the supported SQL subset (for example an unterminated string)."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a :class:`Token`."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words recognised as keywords.  Anything alphabetic that is not in
+#: this set is an identifier.  The set covers the SQL subset in ``parser.py``
+#: plus the words used by the SQL-Like intermediate language (``SHOW``).
+KEYWORDS = frozenset(
+    {
+        "ALL",
+        "AND",
+        "AS",
+        "ASC",
+        "BETWEEN",
+        "BY",
+        "CASE",
+        "CAST",
+        "CROSS",
+        "DESC",
+        "DISTINCT",
+        "ELSE",
+        "END",
+        "ESCAPE",
+        "EXCEPT",
+        "EXISTS",
+        "FROM",
+        "FULL",
+        "GROUP",
+        "HAVING",
+        "IN",
+        "INNER",
+        "INTERSECT",
+        "IS",
+        "JOIN",
+        "LEFT",
+        "LIKE",
+        "LIMIT",
+        "NOT",
+        "NULL",
+        "OFFSET",
+        "ON",
+        "OR",
+        "ORDER",
+        "OUTER",
+        "RIGHT",
+        "SELECT",
+        "SHOW",
+        "THEN",
+        "UNION",
+        "USING",
+        "WHEN",
+        "WHERE",
+    }
+)
+
+_OPERATORS = (
+    "<>",
+    "<=",
+    ">=",
+    "!=",
+    "||",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+)
+
+_PUNCT = {"(", ")", ",", ".", ";"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` holds the normalized form: keywords are upper-cased, quoted
+    identifiers are unquoted, and string literals have their surrounding
+    quotes removed and escapes resolved.  ``raw`` preserves the original
+    spelling for error reporting.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+    raw: str = ""
+
+    def is_keyword(self, *words: str) -> bool:
+        """Return True when this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in words
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of tokens terminated by an EOF token.
+
+    Raises :class:`TokenizeError` on unterminated strings/identifiers or
+    characters outside the supported subset.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise TokenizeError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i, "'")
+            tokens.append(Token(TokenType.STRING, value, i, raw=value))
+            continue
+        if ch == '"':
+            value, i = _read_string(text, i, '"')
+            tokens.append(Token(TokenType.IDENT, value, i, raw=value))
+            continue
+        if ch == "`":
+            value, i = _read_string(text, i, "`")
+            tokens.append(Token(TokenType.IDENT, value, i, raw=value))
+            continue
+        if ch == "[":
+            end = text.find("]", i + 1)
+            if end == -1:
+                raise TokenizeError("unterminated bracketed identifier", i)
+            tokens.append(Token(TokenType.IDENT, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if _is_ident_start(ch):
+            start = i
+            while i < n and _is_ident_char(text[i]):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start, raw=word))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start, raw=word))
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(text: str, start: int, quote: str) -> tuple[str, int]:
+    """Read a quoted region starting at ``start``; doubled quotes escape.
+
+    Returns the unquoted value and the index just past the closing quote.
+    """
+    i = start + 1
+    n = len(text)
+    parts: list[str] = []
+    while i < n:
+        ch = text[i]
+        if ch == quote:
+            if i + 1 < n and text[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise TokenizeError(f"unterminated {quote} quoted region", start)
+
+
+def _read_number(text: str, start: int) -> tuple[str, int]:
+    """Read a numeric literal (integer, float or scientific notation)."""
+    i = start
+    n = len(text)
+    while i < n and text[i].isdigit():
+        i += 1
+    if i < n and text[i] == ".":
+        i += 1
+        while i < n and text[i].isdigit():
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+    return text[start:i], i

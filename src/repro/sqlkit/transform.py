@@ -1,0 +1,137 @@
+"""Generic AST traversal and rewriting utilities.
+
+The alignment and refinement stages are AST-to-AST rewrites; this module
+provides the walking/replacing machinery they share so each rule stays a
+small pure function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass, replace
+from typing import Callable, Iterator, Optional, Union
+
+from repro.sqlkit.ast import (
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Join,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    TableRef,
+)
+
+__all__ = [
+    "walk",
+    "walk_expressions",
+    "replace_nodes",
+    "collect_column_refs",
+    "collect_literals",
+    "collect_functions",
+    "collect_tables",
+    "map_expressions",
+]
+
+Node = Union[Expr, Select, SelectItem, TableRef, Join, OrderItem]
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every AST node reachable from it, depth first.
+
+    Traversal descends into subqueries (expression subqueries, IN
+    subqueries and derived tables).
+    """
+    yield node
+    for child in _children(node):
+        yield from walk(child)
+
+
+def _children(node: Node) -> Iterator[Node]:
+    if not is_dataclass(node):
+        return
+    for f in fields(node):
+        value = getattr(node, f.name)
+        yield from _nodes_in(value)
+
+
+def _nodes_in(value) -> Iterator[Node]:
+    if isinstance(value, (Expr, Select, SelectItem, TableRef, Join, OrderItem)):
+        yield value
+    elif isinstance(value, tuple):
+        for item in value:
+            yield from _nodes_in(item)
+
+
+def walk_expressions(node: Node) -> Iterator[Expr]:
+    """Yield every :class:`Expr` node reachable from ``node``."""
+    for item in walk(node):
+        if isinstance(item, Expr):
+            yield item
+
+
+def collect_column_refs(node: Node) -> list[ColumnRef]:
+    """All column references in document order (including subqueries)."""
+    return [n for n in walk(node) if isinstance(n, ColumnRef)]
+
+
+def collect_literals(node: Node) -> list[Literal]:
+    """All literals in document order."""
+    return [n for n in walk(node) if isinstance(n, Literal)]
+
+
+def collect_functions(node: Node) -> list[FuncCall]:
+    """All function calls in document order."""
+    return [n for n in walk(node) if isinstance(n, FuncCall)]
+
+
+def collect_tables(node: Node) -> list[TableRef]:
+    """All table references (FROM, JOIN and derived) in document order."""
+    return [n for n in walk(node) if isinstance(n, TableRef)]
+
+
+def replace_nodes(node: Node, mapping: Callable[[Node], Optional[Node]]) -> Node:
+    """Rebuild ``node`` bottom-up, substituting nodes where ``mapping``
+    returns a replacement.
+
+    ``mapping`` is called on every node *after* its children have been
+    rewritten; returning ``None`` keeps the (child-rewritten) node.
+    """
+    rebuilt = _rebuild(node, mapping)
+    replacement = mapping(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _rebuild(node: Node, mapping: Callable[[Node], Optional[Node]]) -> Node:
+    if not is_dataclass(node):
+        return node
+    changes = {}
+    for f in fields(node):
+        value = getattr(node, f.name)
+        new_value = _rebuild_value(value, mapping)
+        if new_value is not value:
+            changes[f.name] = new_value
+    return replace(node, **changes) if changes else node
+
+
+def _rebuild_value(value, mapping):
+    if isinstance(value, (Expr, Select, SelectItem, TableRef, Join, OrderItem)):
+        return replace_nodes(value, mapping)
+    if isinstance(value, tuple):
+        rebuilt = tuple(_rebuild_value(item, mapping) for item in value)
+        if any(a is not b for a, b in zip(rebuilt, value)):
+            return rebuilt
+        return value
+    return value
+
+
+def map_expressions(node: Node, fn: Callable[[Expr], Optional[Expr]]) -> Node:
+    """Like :func:`replace_nodes` but ``fn`` is only consulted for
+    expression nodes."""
+
+    def mapper(n: Node) -> Optional[Node]:
+        if isinstance(n, Expr):
+            return fn(n)
+        return None
+
+    return replace_nodes(node, mapper)

@@ -1,0 +1,82 @@
+"""Per-baseline configuration contracts: each baseline enables exactly the
+modules the original system has (the DESIGN.md mapping)."""
+
+import pytest
+
+from repro.baselines.systems import (
+    C3SQL,
+    CHESS,
+    DAILSQL,
+    DINSQL,
+    Distillery,
+    MACSQL,
+    MCSSQL,
+    ZeroShotGPT4,
+)
+
+
+@pytest.fixture(scope="module")
+def systems(tiny_benchmark):
+    return {
+        "zero": ZeroShotGPT4(tiny_benchmark),
+        "din": DINSQL(tiny_benchmark),
+        "dail": DAILSQL(tiny_benchmark),
+        "mac": MACSQL(tiny_benchmark),
+        "mcs": MCSSQL(tiny_benchmark),
+        "c3": C3SQL(tiny_benchmark),
+        "chess": CHESS(tiny_benchmark),
+        "distillery": Distillery(tiny_benchmark),
+    }
+
+
+class TestModuleMapping:
+    def test_only_opensearch_has_alignments(self, systems):
+        for name, system in systems.items():
+            assert not system.pipeline.config.use_alignments, name
+
+    def test_schema_linking_systems(self, systems):
+        # DIN, MAC, MCS, C3, CHESS do schema linking / column filtering.
+        for name in ("din", "mac", "mcs", "c3", "chess"):
+            assert systems[name].pipeline.config.use_column_filtering, name
+        # Zero-shot, DAIL and Distillery ("death of schema linking") do not.
+        for name in ("zero", "dail", "distillery"):
+            assert not systems[name].pipeline.config.use_extraction, name
+
+    def test_value_retrieval_only_in_chess(self, systems):
+        assert systems["chess"].pipeline.config.use_values_retrieval
+        for name in ("din", "dail", "mac", "mcs", "c3"):
+            config = systems[name].pipeline.config
+            assert not (config.use_extraction and config.use_values_retrieval), name
+
+    def test_correction_systems(self, systems):
+        for name in ("din", "mac", "chess"):
+            assert systems[name].pipeline.config.use_correction, name
+        for name in ("zero", "dail", "mcs", "c3", "distillery"):
+            assert not (
+                systems[name].pipeline.config.use_refinement
+                and systems[name].pipeline.config.use_correction
+            ), name
+
+    def test_voting_systems(self, systems):
+        assert systems["mcs"].pipeline.config.n_candidates > 1
+        assert systems["c3"].pipeline.config.n_candidates > 1
+        assert systems["distillery"].pipeline.config.n_candidates > 1
+        for name in ("zero", "din", "dail", "mac"):
+            assert not systems[name].pipeline.config.use_self_consistency, name
+
+    def test_fewshot_systems(self, systems):
+        assert systems["dail"].pipeline.config.fewshot_style == "query_sql"
+        assert systems["mcs"].pipeline.config.fewshot_style == "query_sql"
+        for name in ("zero", "c3", "chess", "distillery"):
+            assert systems[name].pipeline.config.fewshot_style == "none", name
+
+    def test_model_assignment(self, systems):
+        # Pre-4o systems run on the GPT-4 profile; CHESS and Distillery on 4o.
+        for name in ("zero", "din", "dail", "mac", "mcs", "c3"):
+            assert systems[name].pipeline.llm.skill.name == "gpt-4", name
+        assert systems["chess"].pipeline.llm.skill.name == "gpt-4o"
+        assert systems["distillery"].pipeline.llm.skill.name == "gpt-4o-sft"
+
+    def test_descriptions_present(self, systems):
+        for system in systems.values():
+            assert system.description

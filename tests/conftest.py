@@ -1,0 +1,51 @@
+"""Shared fixtures: session-scoped benchmarks so the expensive builds run
+once per test session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.datasets.bird import build_bird_like
+from repro.datasets.build import build_benchmark
+from repro.datasets.domains.healthcare import DOMAIN as HEALTHCARE
+from repro.datasets.domains.hockey import DOMAIN as HOCKEY
+from repro.datasets.spider import build_spider_like
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+
+
+@pytest.fixture(scope="session")
+def tiny_benchmark():
+    """Two domains, minimal quotas — fast enough for unit tests."""
+    return build_benchmark(
+        name="tiny",
+        domains=[HEALTHCARE, HOCKEY],
+        per_template_train=2,
+        per_template_dev=1,
+        per_template_test=1,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def bird_benchmark():
+    """The full BIRD-like suite (shared, read-only)."""
+    return build_bird_like()
+
+
+@pytest.fixture(scope="session")
+def spider_benchmark():
+    return build_spider_like()
+
+
+@pytest.fixture(scope="session")
+def llm():
+    return SimulatedLLM(GPT_4O, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline(tiny_benchmark, llm):
+    """A full pipeline over the tiny benchmark with a small vote."""
+    return OpenSearchSQL(tiny_benchmark, llm, PipelineConfig(n_candidates=5))

@@ -1,0 +1,176 @@
+"""Alignment rule tests: agent, function and style alignment rewrites."""
+
+import pytest
+
+from repro.core.alignment import (
+    agent_alignment,
+    apply_alignments,
+    function_alignment,
+    style_alignment,
+)
+from repro.core.config import PipelineConfig
+from repro.core.preprocessing import Preprocessor
+from repro.embedding.vectorizer import HashingVectorizer
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.render import render
+
+
+@pytest.fixture(scope="module")
+def pre(tiny_benchmark, llm):
+    return Preprocessor(llm, PipelineConfig()).preprocess_database(
+        tiny_benchmark.database("healthcare")
+    )
+
+
+@pytest.fixture(scope="module")
+def executor(tiny_benchmark):
+    return tiny_benchmark.database("healthcare").executor()
+
+
+@pytest.fixture(scope="module")
+def vec():
+    return HashingVectorizer()
+
+
+class TestAgentAlignment:
+    def test_case_mismatch_fixed(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT COUNT(*) FROM Patient WHERE Patient.Diagnosis = 'behcet'"
+        )
+        fixed = agent_alignment(select, pre, executor, vec)
+        assert "'BEHCET'" in render(fixed)
+
+    def test_existing_value_untouched(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT COUNT(*) FROM Patient WHERE Patient.Diagnosis = 'BEHCET'"
+        )
+        assert agent_alignment(select, pre, executor, vec) == select
+
+    def test_aliased_table_resolved(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT COUNT(*) FROM Patient AS T1 WHERE T1.Diagnosis = 'behcet'"
+        )
+        fixed = agent_alignment(select, pre, executor, vec)
+        assert "'BEHCET'" in render(fixed)
+
+    def test_numeric_literal_untouched(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT COUNT(*) FROM Laboratory WHERE Laboratory.IGA = 80"
+        )
+        assert agent_alignment(select, pre, executor, vec) == select
+
+    def test_reversed_operands_handled(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT COUNT(*) FROM Patient WHERE 'behcet' = Patient.Diagnosis"
+        )
+        fixed = agent_alignment(select, pre, executor, vec)
+        assert "'BEHCET'" in render(fixed)
+
+    def test_gibberish_not_fixed(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT COUNT(*) FROM Patient WHERE Patient.Diagnosis = 'qqqqzzzz'"
+        )
+        assert agent_alignment(select, pre, executor, vec) == select
+
+
+class TestFunctionAlignment:
+    def test_order_by_max_unwrapped(self):
+        select = parse_select("SELECT id FROM t ORDER BY MAX(score) DESC LIMIT 1")
+        fixed = function_alignment(select)
+        assert render(fixed) == "SELECT id FROM t ORDER BY score DESC LIMIT 1"
+
+    def test_grouped_query_untouched(self):
+        select = parse_select(
+            "SELECT id FROM t GROUP BY id ORDER BY MAX(score) DESC"
+        )
+        assert function_alignment(select) == select
+
+    def test_plain_order_untouched(self):
+        select = parse_select("SELECT id FROM t ORDER BY score")
+        assert function_alignment(select) == select
+
+    def test_count_star_untouched(self):
+        # COUNT(*) has a Star argument, not a ColumnRef — leave it alone.
+        select = parse_select("SELECT id FROM t ORDER BY COUNT(*) DESC")
+        assert function_alignment(select) == select
+
+
+class TestStyleAlignment:
+    def test_not_null_guard_added(self, pre):
+        select = parse_select(
+            "SELECT Laboratory.ID FROM Laboratory "
+            "ORDER BY Laboratory.GLU ASC LIMIT 1"
+        )
+        fixed = style_alignment(select, pre)
+        assert "GLU IS NOT NULL" in render(fixed)
+
+    def test_guard_not_duplicated(self, pre):
+        select = parse_select(
+            "SELECT Laboratory.ID FROM Laboratory "
+            "WHERE Laboratory.GLU IS NOT NULL "
+            "ORDER BY Laboratory.GLU ASC LIMIT 1"
+        )
+        assert style_alignment(select, pre) == select
+
+    def test_primary_key_needs_no_guard(self, pre):
+        select = parse_select(
+            "SELECT Patient.SEX FROM Patient ORDER BY Patient.ID DESC LIMIT 1"
+        )
+        assert style_alignment(select, pre) == select
+
+    def test_no_limit_no_guard(self, pre):
+        select = parse_select(
+            "SELECT Laboratory.ID FROM Laboratory ORDER BY Laboratory.GLU"
+        )
+        assert style_alignment(select, pre) == select
+
+    def test_duplicate_select_items_removed(self, pre):
+        select = parse_select("SELECT Patient.SEX, Patient.SEX FROM Patient")
+        fixed = style_alignment(select, pre)
+        assert len(fixed.items) == 1
+
+    def test_max_vs_limit_rewritten(self, pre):
+        select = parse_select(
+            "SELECT Laboratory.ID, MAX(Laboratory.GLU) FROM Laboratory"
+        )
+        fixed = style_alignment(select, pre)
+        text = render(fixed)
+        assert "MAX(" not in text
+        assert "ORDER BY Laboratory.GLU DESC LIMIT 1" in text
+        # And the nullable guard comes along.
+        assert "IS NOT NULL" in text
+
+    def test_min_variant(self, pre):
+        select = parse_select(
+            "SELECT Laboratory.ID, MIN(Laboratory.GLU) FROM Laboratory"
+        )
+        fixed = style_alignment(select, pre)
+        assert "ORDER BY Laboratory.GLU LIMIT 1" in render(fixed)
+
+    def test_grouped_aggregate_untouched(self, pre):
+        select = parse_select(
+            "SELECT Patient.Diagnosis, MAX(Patient.ID) FROM Patient "
+            "GROUP BY Patient.Diagnosis"
+        )
+        assert style_alignment(select, pre) == select
+
+
+class TestApplyAlignments:
+    def test_combined_fix(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT Patient.SEX FROM Patient "
+            "WHERE Patient.Diagnosis = 'behcet' "
+            "ORDER BY MAX(Patient.Birthday) DESC LIMIT 1"
+        )
+        fixed = apply_alignments(select, pre, executor, vec)
+        text = render(fixed)
+        assert "'BEHCET'" in text
+        assert "MAX(" not in text
+
+    def test_clean_sql_is_fixed_point(self, pre, executor, vec):
+        select = parse_select(
+            "SELECT COUNT(*) FROM Patient WHERE Patient.Diagnosis = 'BEHCET'"
+        )
+        once = apply_alignments(select, pre, executor, vec)
+        twice = apply_alignments(once, pre, executor, vec)
+        assert once == twice

@@ -1,0 +1,87 @@
+"""Property tests for the alignment stack: idempotence and safety on the
+SQL shapes the pipeline actually emits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import apply_alignments, function_alignment, style_alignment
+from repro.core.config import PipelineConfig
+from repro.core.preprocessing import Preprocessor
+from repro.embedding.vectorizer import HashingVectorizer
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.render import render
+
+
+@pytest.fixture(scope="module")
+def pre(tiny_benchmark, llm):
+    return Preprocessor(llm, PipelineConfig()).preprocess_database(
+        tiny_benchmark.database("healthcare")
+    )
+
+
+@pytest.fixture(scope="module")
+def executor(tiny_benchmark):
+    return tiny_benchmark.database("healthcare").executor()
+
+
+@pytest.fixture(scope="module")
+def vec():
+    return HashingVectorizer()
+
+
+_COLUMNS = ("Patient.SEX", "Patient.Diagnosis", "Laboratory.IGA", "Laboratory.GLU")
+_VALUES = ("BEHCET", "behcet", "sle", "F", "nonexistent thing")
+
+
+@st.composite
+def candidate_sqls(draw):
+    """SQL shapes representative of what the generator produces."""
+    column = draw(st.sampled_from(_COLUMNS))
+    table = column.split(".")[0]
+    value = draw(st.sampled_from(_VALUES))
+    shape = draw(st.integers(min_value=0, max_value=3))
+    if shape == 0:
+        return f"SELECT COUNT(*) FROM {table} WHERE {column} = '{value}'"
+    if shape == 1:
+        return (
+            f"SELECT {column} FROM {table} "
+            f"ORDER BY MAX({column}) DESC LIMIT 1"
+        )
+    if shape == 2:
+        return (
+            f"SELECT Laboratory.ID FROM Laboratory "
+            f"ORDER BY Laboratory.GLU ASC LIMIT 1"
+        )
+    return f"SELECT Laboratory.ID, MAX(Laboratory.GLU) FROM Laboratory"
+
+
+class TestAlignmentProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(sql=candidate_sqls())
+    def test_idempotent(self, pre, executor, vec, sql):
+        select = parse_select(sql)
+        once = apply_alignments(select, pre, executor, vec)
+        twice = apply_alignments(once, pre, executor, vec)
+        assert once == twice
+
+    @settings(max_examples=60, deadline=None)
+    @given(sql=candidate_sqls())
+    def test_output_parses_and_never_errors_harder(self, pre, executor, vec, sql):
+        select = parse_select(sql)
+        aligned = apply_alignments(select, pre, executor, vec)
+        rendered = render(aligned)
+        parse_select(rendered)  # still valid SQL in our dialect
+        before = executor.execute(sql)
+        after = executor.execute(rendered)
+        # Alignment must never turn an executable query into an error.
+        if not before.status.is_error:
+            assert not after.status.is_error
+
+    @settings(max_examples=60, deadline=None)
+    @given(sql=candidate_sqls())
+    def test_function_then_style_stable(self, pre, executor, vec, sql):
+        select = parse_select(sql)
+        out = style_alignment(function_alignment(select), pre)
+        again = style_alignment(function_alignment(out), pre)
+        assert out == again

@@ -1,0 +1,59 @@
+"""PipelineConfig validation tests."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_settings(self):
+        config = PipelineConfig()
+        assert config.n_candidates == 21
+        assert config.generation_temperature == 0.7
+        assert config.extraction_temperature == 0.0
+        assert config.n_few_shot == 5
+        assert config.similarity_threshold == 0.65
+        assert config.fewshot_style == "query_cot_sql"
+        assert config.cot_mode == "structured"
+
+    def test_all_modules_on_by_default(self):
+        config = PipelineConfig()
+        assert all(
+            getattr(config, flag)
+            for flag in (
+                "use_extraction",
+                "use_values_retrieval",
+                "use_column_filtering",
+                "use_info_alignment",
+                "use_alignments",
+                "use_refinement",
+                "use_correction",
+                "use_self_consistency",
+            )
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_candidates": 0},
+            {"fewshot_style": "zero"},
+            {"cot_mode": "fancy"},
+            {"vector_index": "faiss"},
+            {"similarity_threshold": 1.5},
+            {"similarity_threshold": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PipelineConfig(**kwargs)
+
+    def test_with_creates_modified_copy(self):
+        base = PipelineConfig()
+        ablated = base.with_(use_extraction=False)
+        assert not ablated.use_extraction
+        assert base.use_extraction
+        assert ablated.n_candidates == base.n_candidates
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            PipelineConfig().with_(cot_mode="bogus")

@@ -1,0 +1,115 @@
+"""Extraction stage tests: entities, values retrieval, column filtering,
+info alignment and the ablation switches."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.extraction import Extractor
+from repro.core.preprocessing import Preprocessor
+
+
+@pytest.fixture(scope="module")
+def pre(tiny_benchmark, llm):
+    return Preprocessor(llm, PipelineConfig()).preprocess_database(
+        tiny_benchmark.database("healthcare")
+    )
+
+
+@pytest.fixture(scope="module")
+def dirty_example(tiny_benchmark):
+    for example in tiny_benchmark.dev + tiny_benchmark.train:
+        if example.db_id == "healthcare" and example.has_dirty_values:
+            return example
+    pytest.skip("no dirty healthcare example in tiny benchmark")
+
+
+class TestFullExtraction:
+    def test_values_retrieved_for_dirty_question(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig())
+        result = extractor.run(dirty_example, pre)
+        stored = {m.stored for m in dirty_example.value_mentions if m.is_dirty}
+        provided = " ".join(result.provided_values)
+        assert any(value in provided for value in stored)
+
+    def test_schema_filtered(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig())
+        result = extractor.run(dirty_example, pre)
+        assert result.schema_filtered
+        assert result.schema.column_count() <= pre.schema.column_count()
+
+    def test_select_hints_produced(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig())
+        result = extractor.run(dirty_example, pre)
+        assert result.select_hints
+
+    def test_schema_prompt_matches_subset(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig())
+        result = extractor.run(dirty_example, pre)
+        for table in result.schema.tables:
+            assert table.name in result.schema_prompt
+
+
+class TestSwitches:
+    def test_extraction_off_passes_full_schema(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig(use_extraction=False))
+        result = extractor.run(dirty_example, pre)
+        assert result.schema is pre.schema
+        assert result.values == []
+        assert not result.schema_filtered
+
+    def test_values_retrieval_off(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig(use_values_retrieval=False))
+        result = extractor.run(dirty_example, pre)
+        assert result.values == []
+
+    def test_column_filtering_off_keeps_full_schema(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig(use_column_filtering=False))
+        result = extractor.run(dirty_example, pre)
+        assert result.schema.column_count() == pre.schema.column_count()
+
+    def test_info_alignment_off_no_hints(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig(use_info_alignment=False))
+        result = extractor.run(dirty_example, pre)
+        assert result.select_hints == []
+
+
+class TestInfoAlignment:
+    def test_same_name_twins_added(self, llm, pre, dirty_example):
+        extractor = Extractor(llm, PipelineConfig())
+        keep = {"Patient": {"Diagnosis"}}
+        expanded, _hints = extractor.info_alignment(
+            dirty_example, pre, keep, values=[]
+        )
+        # Examination also has a Diagnosis column — the twin must be added.
+        assert "Diagnosis" in expanded.get("Examination", set())
+
+    def test_value_columns_added(self, llm, pre, dirty_example):
+        from repro.core.extraction import RetrievedValue
+
+        extractor = Extractor(llm, PipelineConfig())
+        values = [RetrievedValue("Examination", "Symptoms", "FEVER", 0.9)]
+        expanded, _hints = extractor.info_alignment(
+            dirty_example, pre, {}, values=values
+        )
+        assert "Symptoms" in expanded.get("Examination", set())
+
+
+class TestValuesRetrieval:
+    def test_threshold_filters_noise(self, llm, pre):
+        extractor = Extractor(llm, PipelineConfig(similarity_threshold=0.99))
+        values = extractor.retrieve_values(["zzz qqq xxx"], pre)
+        assert values == []
+
+    def test_split_retrieval_for_long_phrases(self, llm, pre):
+        extractor = Extractor(llm, PipelineConfig())
+        # A long phrase whose halves match stored values better than the whole.
+        values = extractor.retrieve_values(
+            ["patients who were diagnosed with behcet disease type"], pre
+        )
+        assert any(v.value == "BEHCET" for v in values)
+
+    def test_results_sorted_by_score(self, llm, pre):
+        extractor = Extractor(llm, PipelineConfig(similarity_threshold=0.3))
+        values = extractor.retrieve_values(["sle"], pre)
+        scores = [v.score for v in values]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,114 @@
+"""Dynamic few-shot tests: question masking and MQs retrieval."""
+
+import pytest
+
+from repro.core.fewshot import FewShotExample, FewShotLibrary, mask_question
+from repro.datasets.types import Example
+
+
+class TestMaskQuestion:
+    def test_known_surfaces_masked(self):
+        masked = mask_question(
+            "How many patients have SLE?", surfaces=("SLE",)
+        )
+        assert "SLE" not in masked
+        assert "<mask>" in masked
+
+    def test_numbers_masked(self):
+        masked = mask_question("How many orders after 2019?")
+        assert "2019" not in masked
+
+    def test_quoted_strings_masked(self):
+        masked = mask_question("Who is called 'John Smith'?")
+        assert "John Smith" not in masked
+
+    def test_structure_preserved(self):
+        masked = mask_question("How many patients have SLE?", surfaces=("SLE",))
+        assert masked.startswith("How many patients have")
+
+    def test_longest_surface_first(self):
+        masked = mask_question(
+            "X and X Y here", surfaces=("X", "X Y")
+        )
+        assert masked.count("<mask>") == 2
+
+    def test_same_template_same_mask(self):
+        a = mask_question("How many players play as a Goalie?", ("Goalie",))
+        b = mask_question("How many players play as a Center?", ("Center",))
+        assert a == b
+
+
+def entry(qid, question, template_id, surfaces=(), db_id="db"):
+    example = Example(
+        question_id=qid,
+        db_id=db_id,
+        question=question,
+        gold_sql="SELECT 1",
+        template_id=template_id,
+    )
+    return FewShotExample(
+        example=example,
+        cot_text="#reason: ...\n#SQL: SELECT 1",
+        masked_question=mask_question(question, surfaces),
+    )
+
+
+@pytest.fixture
+def library():
+    lib = FewShotLibrary()
+    lib.add(entry("a1", "How many players play as a Goalie?", "t:count", ("Goalie",)))
+    lib.add(entry("a2", "How many players play as a Center?", "t:count", ("Center",)))
+    lib.add(entry("b1", "List the names of players from Peru.", "t:list", ("Peru",)))
+    lib.add(entry("c1", "Which team has the most wins?", "t:top"))
+    return lib
+
+
+class TestLibrary:
+    def test_len(self, library):
+        assert len(library) == 4
+
+    def test_duplicate_rejected(self, library):
+        with pytest.raises(ValueError):
+            library.add(entry("a1", "dup", "t:x"))
+
+    def test_same_family_ranked_first(self, library):
+        hits = library.search(
+            "How many players play as a Defenseman?", surfaces=("Defenseman",), k=2
+        )
+        assert hits[0].example.template_id == "t:count"
+
+    def test_k_respected(self, library):
+        assert len(library.search("How many players?", k=2)) == 2
+
+    def test_k_zero(self, library):
+        assert library.search("anything", k=0) == []
+
+    def test_empty_library(self):
+        assert FewShotLibrary().search("anything") == []
+
+    def test_db_filter(self, library):
+        hits = library.search("How many players?", k=4, db_id="other")
+        assert hits == []
+
+    def test_hnsw_backend(self):
+        lib = FewShotLibrary(index_kind="hnsw")
+        lib.add(entry("x", "How many things?", "t:q"))
+        assert lib.search("How many stuff?", k=1)
+
+
+class TestRender:
+    def test_query_sql_format(self, library):
+        (hit,) = library.search("How many players play as a Wing?", k=1)
+        text = hit.render("query_sql")
+        assert text.startswith("/* Answer the following:")
+        assert "#SQL: SELECT 1" in text
+
+    def test_query_cot_sql_format(self, library):
+        (hit,) = library.search("How many players play as a Wing?", k=1)
+        text = hit.render("query_cot_sql")
+        assert "#reason:" in text
+
+    def test_unknown_style_rejected(self, library):
+        (hit,) = library.search("How many?", k=1)
+        with pytest.raises(ValueError):
+            hit.render("bogus")

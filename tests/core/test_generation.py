@@ -1,0 +1,128 @@
+"""Generation stage tests: prompts, features honesty, candidate parsing."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.extraction import Extractor
+from repro.core.generation import Generator, parse_sql_from_completion
+from repro.core.preprocessing import Preprocessor
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_benchmark, llm):
+    config = PipelineConfig(n_candidates=3)
+    preprocessor = Preprocessor(llm, config)
+    databases, library = preprocessor.preprocess_benchmark(tiny_benchmark)
+    return config, databases, library
+
+
+@pytest.fixture(scope="module")
+def dev_example(tiny_benchmark):
+    return tiny_benchmark.dev[0]
+
+
+class TestParseCompletion:
+    def test_sql_line_extracted(self):
+        assert parse_sql_from_completion("#reason: x\n#SQL: SELECT 1") == "SELECT 1"
+
+    def test_last_sql_line_wins(self):
+        text = "#SQL: SELECT old\nmore\n#SQL: SELECT new"
+        assert parse_sql_from_completion(text) == "SELECT new"
+
+    def test_fallback_to_select_line(self):
+        assert parse_sql_from_completion("blah\nSELECT 2 FROM t") == "SELECT 2 FROM t"
+
+    def test_no_sql_returns_none(self):
+        assert parse_sql_from_completion("no sql here") is None
+
+
+class TestGenerator:
+    def test_candidates_generated(self, setup, tiny_benchmark, llm, dev_example):
+        config, databases, library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        result = Generator(llm, config).run(dev_example, extraction, library)
+        assert len(result.candidates) == 3
+        assert result.sqls
+
+    def test_features_reflect_prompt(self, setup, tiny_benchmark, llm, dev_example):
+        config, databases, library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        result = Generator(llm, config).run(dev_example, extraction, library)
+        features = result.features
+        # Honesty invariants: features must match the rendered prompt.
+        assert features.schema_column_count == extraction.schema.column_count()
+        assert features.schema_table_count == len(extraction.schema.tables)
+        assert features.fewshot_kind == "query_cot_sql"
+        for value in features.provided_values:
+            assert value in result.prompt
+        assert (len(extraction.select_hints) > 0) == features.select_hints
+
+    def test_prompt_contains_fewshots(self, setup, tiny_benchmark, llm, dev_example):
+        config, databases, library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        result = Generator(llm, config).run(dev_example, extraction, library)
+        assert "/* Some examples */" in result.prompt
+        assert "#SQL-like:" in result.prompt  # CoT-form shots
+
+    def test_fewshot_none_omits_examples(self, setup, tiny_benchmark, llm, dev_example):
+        config, databases, library = setup
+        no_fs = config.with_(fewshot_style="none")
+        extractor = Extractor(llm, no_fs)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        result = Generator(llm, no_fs).run(dev_example, extraction, library)
+        assert "/* Some examples */" not in result.prompt
+        assert result.features.fewshot_kind == "none"
+
+    def test_cot_mode_in_prompt(self, setup, tiny_benchmark, llm, dev_example):
+        config, databases, library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        for mode, marker in (
+            ("structured", "#SQL-like:"),
+            ("unstructured", "think step by step"),
+        ):
+            cfg = config.with_(cot_mode=mode)
+            result = Generator(llm, cfg).run(dev_example, extraction, library)
+            assert marker in result.prompt
+
+    def test_n_override(self, setup, tiny_benchmark, llm, dev_example):
+        config, databases, library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        result = Generator(llm, config).run(
+            dev_example, extraction, library, n_candidates=7
+        )
+        assert len(result.candidates) == 7
+
+    def test_cost_recorded(self, setup, tiny_benchmark, llm, dev_example):
+        from repro.core.cost import CostTracker
+
+        config, databases, library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        cost = CostTracker()
+        Generator(llm, config).run(dev_example, extraction, library, cost)
+        assert cost.stage("generation").total_tokens > 0
+
+
+class TestFeatureHonesty:
+    def test_empty_library_reports_no_fewshot(self, setup, tiny_benchmark, llm, dev_example):
+        from repro.core.fewshot import FewShotLibrary
+
+        config, databases, _library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        empty = FewShotLibrary()
+        result = Generator(llm, config).run(dev_example, extraction, empty)
+        assert result.features.fewshot_kind == "none"
+        assert "/* Some examples */" not in result.prompt
+
+    def test_missing_library_reports_no_fewshot(self, setup, tiny_benchmark, llm, dev_example):
+        config, databases, _library = setup
+        extractor = Extractor(llm, config)
+        extraction = extractor.run(dev_example, databases[dev_example.db_id])
+        result = Generator(llm, config).run(dev_example, extraction, library=None)
+        assert result.features.fewshot_kind == "none"

@@ -1,0 +1,89 @@
+"""Preprocessing stage tests: value/column indexing and few-shot building."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.cost import CostTracker
+from repro.core.preprocessing import CORRECTION_FEWSHOTS, Preprocessor, ValueEntry
+
+
+@pytest.fixture(scope="module")
+def preprocessed(tiny_benchmark, llm):
+    pre = Preprocessor(llm, PipelineConfig())
+    return pre.preprocess_database(tiny_benchmark.database("healthcare"))
+
+
+class TestDatabasePreprocessing:
+    def test_only_string_columns_indexed(self, preprocessed):
+        """The paper indexes string values only, to save space."""
+        for key in getattr(preprocessed.value_index, "_keys", []):
+            entry_table, rest = key.split(".", 1)
+            column = rest.split("=", 1)[0]
+            col = preprocessed.schema.table(entry_table).column(column)
+            assert col.is_text
+
+    def test_value_lookup_bridges_case(self, preprocessed, llm):
+        from repro.embedding.vectorizer import HashingVectorizer
+
+        vec = HashingVectorizer()
+        hits = preprocessed.value_index.search(vec.embed("behcet"), k=1)
+        entry = hits[0].payload
+        assert isinstance(entry, ValueEntry)
+        assert entry.value == "BEHCET"
+
+    def test_column_index_covers_all_columns(self, preprocessed):
+        assert len(preprocessed.column_index) == preprocessed.schema.column_count()
+
+    def test_schema_prompt_rendered(self, preprocessed):
+        assert "Patient" in preprocessed.schema_prompt
+
+    def test_value_count_positive(self, preprocessed):
+        assert preprocessed.value_count > 0
+
+
+class TestFewShotBuilding:
+    def test_library_covers_train(self, tiny_benchmark, llm):
+        pre = Preprocessor(llm, PipelineConfig())
+        schemas = {
+            db_id: built.schema
+            for db_id, built in tiny_benchmark.databases.items()
+        }
+        cost = CostTracker()
+        library = pre.build_fewshot_library(tiny_benchmark.train, schemas, cost)
+        assert len(library) == len(tiny_benchmark.train)
+        assert cost.stage("preprocessing").calls == len(tiny_benchmark.train)
+
+    def test_entries_have_cot(self, tiny_pipeline):
+        library = tiny_pipeline.library
+        hit = library.search("How many patients were diagnosed with RA?", k=1)[0]
+        assert "#SQL-like:" in hit.cot_text
+
+    def test_preprocess_benchmark(self, tiny_benchmark, llm):
+        pre = Preprocessor(llm, PipelineConfig())
+        databases, library = pre.preprocess_benchmark(tiny_benchmark)
+        assert set(databases) == {"healthcare", "hockey"}
+        assert len(library) == len(tiny_benchmark.train)
+
+    def test_hnsw_index_kind(self, tiny_benchmark, llm):
+        pre = Preprocessor(llm, PipelineConfig(vector_index="hnsw"))
+        processed = pre.preprocess_database(tiny_benchmark.database("hockey"))
+        from repro.embedding.hnsw import HNSWIndex
+
+        assert isinstance(processed.value_index, HNSWIndex)
+
+
+class TestCorrectionFewshots:
+    def test_all_error_kinds_covered(self):
+        from repro.execution.executor import ExecutionStatus
+
+        for status in ExecutionStatus:
+            if status in (ExecutionStatus.OK,):
+                continue
+            key = "empty" if status is ExecutionStatus.EMPTY else status.value
+            assert key in CORRECTION_FEWSHOTS
+
+    def test_fewshots_follow_listing3_format(self):
+        for text in CORRECTION_FEWSHOTS.values():
+            assert "#question:" in text
+            assert "#Error SQL:" in text
+            assert "#SQL:" in text

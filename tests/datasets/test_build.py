@@ -1,0 +1,111 @@
+"""Benchmark assembly tests: validation, splits, dirtiness, enrichment."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.build import surface_variant
+from repro.execution.executor import ExecutionStatus
+from repro.sqlkit.parser import parse_select
+
+
+class TestBuildBenchmark:
+    def test_splits_populated(self, tiny_benchmark):
+        assert tiny_benchmark.train
+        assert tiny_benchmark.dev
+        assert tiny_benchmark.test
+
+    def test_split_accessor(self, tiny_benchmark):
+        assert tiny_benchmark.split("train") is tiny_benchmark.train
+        with pytest.raises(ValueError):
+            tiny_benchmark.split("validation")
+
+    def test_question_ids_unique(self, tiny_benchmark):
+        ids = [
+            e.question_id
+            for split in ("train", "dev", "test")
+            for e in tiny_benchmark.split(split)
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_questions_unique_across_splits(self, tiny_benchmark):
+        keys = [
+            (e.question, e.evidence)
+            for split in ("train", "dev", "test")
+            for e in tiny_benchmark.split(split)
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_every_gold_parses(self, tiny_benchmark):
+        for split in ("train", "dev", "test"):
+            for e in tiny_benchmark.split(split):
+                parse_select(e.gold_sql)
+
+    def test_every_gold_executes_nonempty(self, tiny_benchmark):
+        for split in ("train", "dev", "test"):
+            for e in tiny_benchmark.split(split):
+                executor = tiny_benchmark.database(e.db_id).executor()
+                outcome = executor.execute(e.gold_sql)
+                assert outcome.status is ExecutionStatus.OK, (
+                    e.question_id, outcome.error,
+                )
+
+    def test_mentions_consistent_with_database(self, tiny_benchmark):
+        """Every stored mention value must actually exist in its column."""
+        for e in tiny_benchmark.dev:
+            executor = tiny_benchmark.database(e.db_id).executor()
+            for mention in e.value_mentions:
+                quoted = mention.stored.replace("'", "''")
+                outcome = executor.execute(
+                    f'SELECT 1 FROM "{mention.table}" '
+                    f'WHERE "{mention.column}" = \'{quoted}\' LIMIT 1'
+                )
+                assert outcome.row_count == 1, (e.question_id, mention)
+
+    def test_surfaces_appear_in_question(self, tiny_benchmark):
+        for e in tiny_benchmark.dev:
+            for mention in e.value_mentions:
+                assert mention.surface in e.question, (e.question_id, mention)
+
+    def test_template_ids_set(self, tiny_benchmark):
+        assert all(e.template_id for e in tiny_benchmark.dev)
+
+    def test_statistics(self, tiny_benchmark):
+        stats = tiny_benchmark.statistics
+        assert stats["databases"] == 2
+        assert stats["train"] == len(tiny_benchmark.train)
+
+    def test_schema_value_examples_enriched(self, tiny_benchmark):
+        schema = tiny_benchmark.database("healthcare").schema
+        assert schema.table("Patient").column("Diagnosis").value_examples
+
+    def test_determinism(self):
+        from repro.datasets.build import build_benchmark
+        from repro.datasets.domains.hockey import DOMAIN
+
+        a = build_benchmark("x", [DOMAIN], 1, 1, 1, seed=9)
+        b = build_benchmark("x", [DOMAIN], 1, 1, 1, seed=9)
+        assert [e.question for e in a.dev] == [e.question for e in b.dev]
+        assert [e.gold_sql for e in a.dev] == [e.gold_sql for e in b.dev]
+
+
+class TestSurfaceVariant:
+    def test_clean_fraction(self):
+        rng = np.random.default_rng(0)
+        variants = [surface_variant("RUNNING DEBT", rng) for _ in range(300)]
+        dirty = sum(v != "RUNNING DEBT" for v in variants)
+        assert 0.2 < dirty / 300 < 0.5  # dirty_prob = 0.35
+
+    def test_forced_dirty_differs(self):
+        rng = np.random.default_rng(0)
+        variants = {
+            surface_variant("RUNNING DEBT", rng, dirty_prob=1.0) for _ in range(20)
+        }
+        assert all(v != "RUNNING DEBT" for v in variants)
+
+    def test_numeric_string_unchanged(self):
+        rng = np.random.default_rng(0)
+        assert surface_variant("12345", rng, dirty_prob=1.0) == "12345"
+
+    def test_zero_dirty_prob(self):
+        rng = np.random.default_rng(0)
+        assert surface_variant("ABC", rng, dirty_prob=0.0) == "ABC"

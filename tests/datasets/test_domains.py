@@ -1,0 +1,107 @@
+"""Per-domain integrity tests: every domain spec builds a valid database
+and every template can produce validated drafts."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.bird import BIRD_DOMAINS
+from repro.datasets.build import build_database
+from repro.datasets.domains.spider_domains import SPIDER_DOMAINS
+from repro.execution.executor import ExecutionStatus
+from repro.schema.joins import join_path
+from repro.sqlkit.parser import parse_select
+
+ALL_DOMAINS = BIRD_DOMAINS + SPIDER_DOMAINS
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(5)
+    return {spec.name: build_database(spec, rng) for spec in ALL_DOMAINS}
+
+
+@pytest.mark.parametrize("spec", ALL_DOMAINS, ids=lambda s: s.name)
+class TestDomainIntegrity:
+    def test_database_builds_and_has_rows(self, spec, built):
+        database, context = built[spec.name]
+        for table in database.schema.tables:
+            outcome = context.executor.execute(
+                f'SELECT COUNT(*) FROM "{table.name}"'
+            )
+            assert outcome.rows[0][0] > 0, f"{spec.name}.{table.name} is empty"
+
+    def test_fk_graph_connected(self, spec, built):
+        database, _context = built[spec.name]
+        names = list(database.schema.table_names)
+        # Every table reachable from the first through the FK graph.
+        steps = join_path(database.schema, names)
+        reached = {names[0].lower()} | {s[1] for s in steps}
+        assert reached == {n.lower() for n in names}
+
+    def test_templates_produce_valid_drafts(self, spec, built):
+        _database, context = built[spec.name]
+        rng = np.random.default_rng(11)
+        for template in spec.templates:
+            produced = None
+            for _attempt in range(30):
+                draft = template.maker(context, rng)
+                if draft is not None:
+                    produced = draft
+                    break
+            assert produced is not None, f"{spec.name}:{template.template_id}"
+            parse_select(produced.sql)  # gold must parse in our dialect
+
+    def test_template_ids_unique(self, spec, built):
+        ids = [t.template_id for t in spec.templates]
+        assert len(ids) == len(set(ids))
+
+    def test_difficulties_valid(self, spec, built):
+        from repro.datasets.types import DIFFICULTIES
+
+        for template in spec.templates:
+            assert template.difficulty in DIFFICULTIES
+
+    def test_mentions_point_at_real_columns(self, spec, built):
+        database, context = built[spec.name]
+        rng = np.random.default_rng(13)
+        for template in spec.templates:
+            for _attempt in range(10):
+                draft = template.maker(context, rng)
+                if draft is None:
+                    continue
+                for mention in draft.mentions:
+                    table = database.schema.table(mention.table)
+                    assert table.has_column(mention.column)
+                break
+
+
+class TestDomainVariety:
+    def test_bird_has_twelve_plus_templates_each(self):
+        for spec in BIRD_DOMAINS:
+            assert len(spec.templates) >= 12, spec.name
+
+    def test_spider_has_eight_templates_each(self):
+        for spec in SPIDER_DOMAINS:
+            assert len(spec.templates) >= 8, spec.name
+
+    def test_same_name_columns_exist_in_bird(self):
+        """The same-name-column trap (misqualification channel) needs at
+        least one domain with cross-table duplicate column names."""
+        found = False
+        for spec in BIRD_DOMAINS:
+            for table in spec.schema.tables:
+                for column in table.columns:
+                    if len(spec.schema.same_name_columns(column.name)) > 1:
+                        found = True
+        assert found
+
+    def test_nullable_columns_exist_everywhere(self):
+        """Style alignment needs nullable sort keys in every BIRD domain."""
+        for spec in BIRD_DOMAINS:
+            nullable = [
+                c
+                for t in spec.schema.tables
+                for c in t.columns
+                if "nullable" in c.description
+            ]
+            assert nullable, spec.name

@@ -1,0 +1,83 @@
+"""Benchmark save/load round-trip tests."""
+
+import pytest
+
+from repro.datasets.persist import load_benchmark, save_benchmark
+
+
+@pytest.fixture(scope="module")
+def round_tripped(tiny_benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench")
+    save_benchmark(tiny_benchmark, root)
+    return load_benchmark(root)
+
+
+class TestRoundTrip:
+    def test_manifest_files_written(self, tiny_benchmark, tmp_path):
+        root = save_benchmark(tiny_benchmark, tmp_path / "out")
+        assert (root / "manifest.json").exists()
+        assert (root / "databases" / "healthcare.sqlite").exists()
+        assert (root / "dev.jsonl").exists()
+
+    def test_name_preserved(self, tiny_benchmark, round_tripped):
+        assert round_tripped.name == tiny_benchmark.name
+
+    def test_examples_identical(self, tiny_benchmark, round_tripped):
+        for split in ("train", "dev", "test"):
+            assert round_tripped.split(split) == tiny_benchmark.split(split)
+
+    def test_database_contents_identical(self, tiny_benchmark, round_tripped):
+        for db_id in tiny_benchmark.databases:
+            sql = "SELECT COUNT(*) FROM " + tiny_benchmark.database(
+                db_id
+            ).schema.tables[0].name
+            original = tiny_benchmark.database(db_id).executor().execute(sql)
+            loaded = round_tripped.database(db_id).executor().execute(sql)
+            assert original.rows == loaded.rows
+
+    def test_schema_descriptions_survive(self, tiny_benchmark, round_tripped):
+        original = tiny_benchmark.database("healthcare").schema
+        loaded = round_tripped.database("healthcare").schema
+        for table in original.tables:
+            loaded_table = loaded.table(table.name)
+            assert loaded_table.description == table.description
+            for column in table.columns:
+                assert (
+                    loaded_table.column(column.name).description
+                    == column.description
+                )
+
+    def test_value_examples_survive(self, tiny_benchmark, round_tripped):
+        original = tiny_benchmark.database("healthcare").schema
+        loaded = round_tripped.database("healthcare").schema
+        column = original.table("Patient").column("Diagnosis")
+        assert (
+            loaded.table("Patient").column("Diagnosis").value_examples
+            == column.value_examples
+        )
+
+    def test_foreign_keys_survive(self, tiny_benchmark, round_tripped):
+        original = tiny_benchmark.database("healthcare").schema
+        loaded = round_tripped.database("healthcare").schema
+        assert len(loaded.foreign_keys) == len(original.foreign_keys)
+
+    def test_gold_sql_executes_on_loaded(self, round_tripped):
+        for example in round_tripped.dev[:10]:
+            outcome = (
+                round_tripped.database(example.db_id).executor().execute(example.gold_sql)
+            )
+            assert not outcome.status.is_error
+
+    def test_pipeline_runs_on_loaded(self, round_tripped, llm):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import OpenSearchSQL
+
+        pipeline = OpenSearchSQL(round_tripped, llm, PipelineConfig(n_candidates=3))
+        result = pipeline.answer(round_tripped.dev[0])
+        assert result.final_sql
+
+    def test_save_overwrites(self, tiny_benchmark, tmp_path):
+        root = tmp_path / "twice"
+        save_benchmark(tiny_benchmark, root)
+        save_benchmark(tiny_benchmark, root)  # no error on rewrite
+        assert load_benchmark(root).dev == tiny_benchmark.dev

@@ -1,0 +1,114 @@
+"""Full BIRD-like / Spider-like suite tests: coverage, profile contrasts,
+the mini-dev sampler, and gold validity across every domain."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.bird import BIRD_DOMAINS, mini_dev
+from repro.datasets.types import DIFFICULTIES
+from repro.execution.executor import ExecutionStatus
+from repro.sqlkit.parser import parse_select
+
+
+class TestBirdSuite:
+    def test_ten_domains(self, bird_benchmark):
+        assert len(bird_benchmark.databases) == 10
+
+    def test_all_difficulties_in_dev(self, bird_benchmark):
+        present = {e.difficulty for e in bird_benchmark.dev}
+        assert present == set(DIFFICULTIES)
+
+    def test_all_trick_traits_in_dev(self, bird_benchmark):
+        traits = {t for e in bird_benchmark.dev for t in e.traits}
+        assert {
+            "needs_distinct",
+            "date_format",
+            "evidence_formula",
+            "nullable_min",
+            "max_vs_limit",
+        } <= traits
+
+    def test_dirty_values_present(self, bird_benchmark):
+        dirty = sum(e.has_dirty_values for e in bird_benchmark.dev)
+        assert dirty > len(bird_benchmark.dev) * 0.1
+
+    def test_every_gold_valid(self, bird_benchmark):
+        for e in bird_benchmark.dev + bird_benchmark.test:
+            parse_select(e.gold_sql)
+            outcome = bird_benchmark.database(e.db_id).executor().execute(e.gold_sql)
+            assert outcome.status is ExecutionStatus.OK, (e.question_id, outcome.error)
+
+    def test_train_covers_dev_template_families(self, bird_benchmark):
+        """Dynamic few-shot needs same-family train examples for most dev
+        questions (the BIRD situation MQs retrieval exploits)."""
+        train_templates = {e.template_id for e in bird_benchmark.train}
+        covered = sum(
+            e.template_id in train_templates for e in bird_benchmark.dev
+        )
+        assert covered / len(bird_benchmark.dev) > 0.9
+
+    def test_domain_names(self):
+        assert [d.name for d in BIRD_DOMAINS] == [
+            "healthcare", "education", "finance", "hockey",
+            "retail", "music", "library", "blockchain",
+            "energy", "realestate",
+        ]
+
+
+class TestSpiderSuite:
+    def test_six_domains(self, spider_benchmark):
+        assert len(spider_benchmark.databases) == 6
+
+    def test_no_dirty_values(self, spider_benchmark):
+        assert not any(e.has_dirty_values for e in spider_benchmark.dev)
+
+    def test_simpler_difficulty_profile(self, bird_benchmark, spider_benchmark):
+        def challenging_share(benchmark):
+            counts = Counter(e.difficulty for e in benchmark.dev)
+            return counts.get("challenging", 0) / len(benchmark.dev)
+
+        assert challenging_share(spider_benchmark) < challenging_share(bird_benchmark)
+
+    def test_smaller_schemas(self, bird_benchmark, spider_benchmark):
+        def avg_columns(benchmark):
+            sizes = [b.schema.column_count() for b in benchmark.databases.values()]
+            return sum(sizes) / len(sizes)
+
+        assert avg_columns(spider_benchmark) < avg_columns(bird_benchmark)
+
+    def test_every_gold_valid(self, spider_benchmark):
+        for e in spider_benchmark.dev:
+            outcome = (
+                spider_benchmark.database(e.db_id).executor().execute(e.gold_sql)
+            )
+            assert outcome.status is ExecutionStatus.OK
+
+
+class TestMiniDev:
+    def test_size_respected(self, bird_benchmark):
+        mini = mini_dev(bird_benchmark, size=60)
+        assert len(mini) <= 62  # rounding slack
+
+    def test_subset_of_dev(self, bird_benchmark):
+        mini = mini_dev(bird_benchmark, size=60)
+        dev_ids = {e.question_id for e in bird_benchmark.dev}
+        assert all(e.question_id in dev_ids for e in mini)
+
+    def test_stratification(self, bird_benchmark):
+        mini = mini_dev(bird_benchmark, size=90)
+        dev = Counter(e.difficulty for e in bird_benchmark.dev)
+        sub = Counter(e.difficulty for e in mini)
+        for difficulty in DIFFICULTIES:
+            dev_share = dev[difficulty] / len(bird_benchmark.dev)
+            sub_share = sub[difficulty] / len(mini)
+            assert abs(dev_share - sub_share) < 0.12
+
+    def test_oversize_returns_all(self, bird_benchmark):
+        mini = mini_dev(bird_benchmark, size=10_000)
+        assert len(mini) == len(bird_benchmark.dev)
+
+    def test_deterministic(self, bird_benchmark):
+        a = mini_dev(bird_benchmark, size=50, seed=1)
+        b = mini_dev(bird_benchmark, size=50, seed=1)
+        assert [e.question_id for e in a] == [e.question_id for e in b]

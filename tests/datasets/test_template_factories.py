@@ -1,0 +1,157 @@
+"""Direct tests of the shared question-template factories."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.build import build_database
+from repro.datasets.domains import common
+from repro.datasets.domains.healthcare import DOMAIN as HEALTHCARE
+from repro.sqlkit.parser import parse_select
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    _built, context = build_database(HEALTHCARE, np.random.default_rng(2))
+    return context
+
+
+def draft_from(spec, ctx, seed=0, attempts=25):
+    rng = np.random.default_rng(seed)
+    for _ in range(attempts):
+        draft = spec.maker(ctx, rng)
+        if draft is not None:
+            return draft
+    pytest.fail(f"template {spec.template_id} produced nothing")
+
+
+class TestSimpleFactories:
+    def test_count_where_dirty(self, ctx):
+        spec = common.count_where_dirty(
+            "t", "Patient", "Diagnosis", "How many with {value}?"
+        )
+        draft = draft_from(spec, ctx)
+        assert "COUNT(*)" in draft.sql
+        assert draft.mentions[0].surface in draft.question
+        parse_select(draft.sql)
+
+    def test_clean_flag(self, ctx):
+        spec = common.count_where_dirty(
+            "t", "Patient", "Diagnosis", "How many with {value}?", clean=True
+        )
+        for seed in range(6):
+            draft = draft_from(spec, ctx, seed=seed)
+            assert not draft.mentions[0].is_dirty
+
+    def test_count_not_equal(self, ctx):
+        spec = common.count_not_equal(
+            "t", "Patient", "Diagnosis", "Not {value}?"
+        )
+        draft = draft_from(spec, ctx)
+        assert "<>" in draft.sql
+
+    def test_count_two_filters_has_two_mentions(self, ctx):
+        spec = common.count_two_filters(
+            "t", "Patient", "SEX", "Admission", "{value_a} and {value_b}?"
+        )
+        draft = draft_from(spec, ctx)
+        assert len(draft.mentions) == 2
+        assert draft.mentions[0].column == "SEX"
+        assert draft.mentions[1].column == "Admission"
+
+
+class TestStructuredFactories:
+    def test_group_having(self, ctx):
+        spec = common.group_having_count(
+            "t", "Patient", "Diagnosis", "At least {n}?"
+        )
+        draft = draft_from(spec, ctx)
+        select = parse_select(draft.sql)
+        assert select.group_by
+        assert select.having is not None
+
+    def test_date_between_double_strftime(self, ctx):
+        spec = common.date_between_count(
+            "t", "Patient", "First Date", "Between {lo} and {hi}?"
+        )
+        draft = draft_from(spec, ctx)
+        assert draft.sql.count("STRFTIME") == 2
+        assert "date_format" in spec.traits
+
+    def test_top_k_has_offsetless_limit(self, ctx):
+        spec = common.top_k_list(
+            "t", "Laboratory", "ID", "GLU", "Top {k}?", ks=(3,)
+        )
+        draft = draft_from(spec, ctx)
+        select = parse_select(draft.sql)
+        assert select.limit == 3
+        assert "IS NOT NULL" in draft.sql
+
+    def test_superlative_rank_offset(self, ctx):
+        spec = common.superlative_nullable(
+            "t", "Laboratory", "ID", "GLU", "The {rank}highest?", ranks=(3,)
+        )
+        draft = draft_from(spec, ctx)
+        select = parse_select(draft.sql)
+        assert select.limit == 1
+        assert select.offset == 2
+        assert "third" in draft.question
+
+    def test_group_top_rank(self, ctx):
+        spec = common.group_top(
+            "t", "Patient", "Diagnosis", "The {rank}most?", ranks=(2,)
+        )
+        draft = draft_from(spec, ctx)
+        assert "second" in draft.question
+        assert parse_select(draft.sql).offset == 1
+
+
+class TestJoinFactories:
+    def test_count_join_distinct_assembles(self, ctx):
+        spec = common.count_join_distinct(
+            "t", "Patient", "ID", "Examination", "Symptoms", "With {value}?"
+        )
+        draft = draft_from(spec, ctx)
+        select = parse_select(draft.sql)
+        assert select.joins
+        assert "DISTINCT" in draft.sql
+
+    def test_join_avg(self, ctx):
+        spec = common.join_avg_dirty(
+            "t", "Laboratory", "IGA", "Patient", "Diagnosis", "Avg for {value}?"
+        )
+        draft = draft_from(spec, ctx)
+        assert "AVG(" in draft.sql
+        assert parse_select(draft.sql).joins
+
+    def test_join_superlative(self, ctx):
+        spec = common.join_superlative_dirty(
+            "t", "Patient", "Birthday", "Patient", "Diagnosis",
+            "Laboratory", "GLU", "For {value}?",
+        )
+        draft = draft_from(spec, ctx)
+        select = parse_select(draft.sql)
+        assert select.order_by
+        assert select.limit == 1
+        assert "max_vs_limit" in spec.traits
+
+
+class TestEvidenceFactory:
+    def test_bounds_jittered_into_evidence(self, ctx):
+        spec = common.evidence_formula_count(
+            "t", "Laboratory", "IGG", "a thing", 900, 2000, "How many {term}?"
+        )
+        evidences = {draft_from(spec, ctx, seed=s).evidence for s in range(8)}
+        assert len(evidences) > 1  # jitter produces distinct formulas
+        for evidence in evidences:
+            assert "refers to" in evidence
+
+    def test_sql_matches_evidence_bounds(self, ctx):
+        spec = common.evidence_formula_count(
+            "t", "Laboratory", "IGG", "a thing", 900, 2000, "How many {term}?"
+        )
+        draft = draft_from(spec, ctx)
+        import re
+
+        bounds = re.findall(r"[<>] (\d+)", draft.sql)
+        for bound in bounds:
+            assert bound in draft.evidence

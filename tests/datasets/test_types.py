@@ -1,0 +1,48 @@
+"""Example/ValueMention type tests."""
+
+import pytest
+
+from repro.datasets.types import DIFFICULTIES, Example, ValueMention
+
+
+class TestValueMention:
+    def test_dirty_detection(self):
+        assert ValueMention("John", "JOHN", "t", "c").is_dirty
+        assert not ValueMention("JOHN", "JOHN", "t", "c").is_dirty
+
+
+class TestExample:
+    def base(self, **kwargs):
+        defaults = dict(
+            question_id="q1",
+            db_id="db",
+            question="How many?",
+            gold_sql="SELECT COUNT(*) FROM t",
+        )
+        defaults.update(kwargs)
+        return Example(**defaults)
+
+    def test_defaults(self):
+        ex = self.base()
+        assert ex.difficulty == "simple"
+        assert ex.traits == ()
+        assert not ex.has_dirty_values
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(difficulty="impossible")
+
+    @pytest.mark.parametrize("difficulty", DIFFICULTIES)
+    def test_valid_difficulties(self, difficulty):
+        assert self.base(difficulty=difficulty).difficulty == difficulty
+
+    def test_dirty_value_flag(self):
+        ex = self.base(
+            value_mentions=(ValueMention("John", "JOHN", "t", "c"),)
+        )
+        assert ex.has_dirty_values
+
+    def test_frozen(self):
+        ex = self.base()
+        with pytest.raises(AttributeError):
+            ex.question = "other"

@@ -1,0 +1,126 @@
+"""Vectorizer tests: normalization, robustness and hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.vectorizer import HashingVectorizer, cosine_similarity
+
+
+@pytest.fixture(scope="module")
+def vec():
+    return HashingVectorizer()
+
+
+class TestBasics:
+    def test_default_dimensions(self, vec):
+        assert vec.embed("hello").shape == (512,)
+
+    def test_unit_norm(self, vec):
+        v = vec.embed("some text here")
+        assert np.linalg.norm(v) == pytest.approx(1.0, abs=1e-5)
+
+    def test_empty_string_is_zero(self, vec):
+        assert not vec.embed("").any()
+
+    def test_punctuation_only_is_zero(self, vec):
+        assert not vec.embed("!!! ...").any()
+
+    def test_deterministic(self, vec):
+        a = vec.embed("RUNNING DEBT")
+        b = vec.embed("RUNNING DEBT")
+        assert np.array_equal(a, b)
+
+    def test_batch_matches_single(self, vec):
+        batch = vec.embed_batch(["one", "two"])
+        assert np.array_equal(batch[0], vec.embed("one"))
+        assert batch.shape == (2, 512)
+
+    def test_empty_batch(self, vec):
+        assert vec.embed_batch([]).shape == (0, 512)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(dimensions=0)
+
+    def test_invalid_ngram_range(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(ngram_range=(3, 2))
+
+
+class TestRobustness:
+    """The properties that make this a valid bge substitute."""
+
+    def test_case_insensitive(self, vec):
+        assert cosine_similarity(vec.embed("JOHN DOE"), vec.embed("john doe")) == (
+            pytest.approx(1.0, abs=1e-5)
+        )
+
+    def test_punctuation_collapsed(self, vec):
+        sim = cosine_similarity(vec.embed("first_date"), vec.embed("first date"))
+        assert sim == pytest.approx(1.0, abs=1e-5)
+
+    def test_typo_stays_close(self, vec):
+        sim = cosine_similarity(
+            vec.embed("RUNNING DEBT"), vec.embed("Running Det")
+        )
+        assert sim > 0.5
+
+    def test_unrelated_stays_far(self, vec):
+        sim = cosine_similarity(
+            vec.embed("immunoglobulin level"), vec.embed("hockey arena tickets")
+        )
+        assert sim < 0.3
+
+    def test_shared_word_closer_than_none(self, vec):
+        base = vec.embed("hockey player")
+        shared = cosine_similarity(base, vec.embed("hockey team"))
+        unrelated = cosine_similarity(base, vec.embed("loan amount"))
+        assert shared > unrelated
+
+
+class TestCosine:
+    def test_zero_vector_similarity(self):
+        z = np.zeros(4, dtype=np.float32)
+        v = np.ones(4, dtype=np.float32)
+        assert cosine_similarity(z, v) == 0.0
+
+    def test_identical(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_opposite(self):
+        v = np.array([1.0, 0.0])
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=40))
+    def test_norm_bounded(self, text):
+        v = HashingVectorizer().embed(text)
+        norm = float(np.linalg.norm(v))
+        assert norm == pytest.approx(1.0, abs=1e-4) or norm == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_case_fold_invariance(self, text):
+        vec = HashingVectorizer()
+        a = vec.embed(text)
+        b = vec.embed(text.upper())
+        assert np.allclose(a, b, atol=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(min_size=1, max_size=30), st.text(min_size=1, max_size=30))
+    def test_similarity_symmetric(self, s, t):
+        vec = HashingVectorizer()
+        assert cosine_similarity(vec.embed(s), vec.embed(t)) == pytest.approx(
+            cosine_similarity(vec.embed(t), vec.embed(s)), abs=1e-6
+        )

@@ -1,0 +1,97 @@
+"""Failure-analysis and VES metric tests."""
+
+import pytest
+
+from repro.datasets.types import Example
+from repro.evaluation.analysis import analyze_failures
+from repro.evaluation.metrics import ExampleScore, ves
+
+
+def example(qid, difficulty="simple", traits=(), template="t:x"):
+    return Example(
+        question_id=qid,
+        db_id="d",
+        question="?",
+        gold_sql="SELECT 1",
+        difficulty=difficulty,
+        traits=traits,
+        template_id=template,
+    )
+
+
+def score(qid, correct, status="ok", difficulty="simple"):
+    return ExampleScore(
+        question_id=qid,
+        correct=correct,
+        predicted_status=status,
+        difficulty=difficulty,
+        gold_time=1.0,
+        predicted_time=1.0,
+    )
+
+
+class TestAnalyzeFailures:
+    def test_counts(self):
+        examples = [example("a"), example("b", traits=("date_format",)), example("c")]
+        scores = [score("a", True), score("b", False, "empty"), score("c", False)]
+        breakdown = analyze_failures(examples, scores)
+        assert breakdown.total == 3
+        assert breakdown.wrong == 2
+        assert breakdown.error_rate == pytest.approx(2 / 3)
+        assert breakdown.by_status["empty"] == 1
+        assert breakdown.by_trait["date_format"] == 1
+        assert breakdown.by_trait["(no traits)"] == 1
+        assert breakdown.failed_question_ids == ["b", "c"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_failures([example("a")], [])
+
+    def test_misalignment_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_failures([example("a")], [score("b", True)])
+
+    def test_render_mentions_buckets(self):
+        examples = [example("a", difficulty="challenging")]
+        scores = [score("a", False, "syntax_error", difficulty="challenging")]
+        text = analyze_failures(examples, scores).render()
+        assert "syntax_error" in text
+        assert "challenging" in text
+        assert "error rate" in text
+
+    def test_no_failures(self):
+        breakdown = analyze_failures([example("a")], [score("a", True)])
+        assert breakdown.wrong == 0
+        assert "0/1 wrong" in breakdown.render()
+
+    def test_end_to_end_on_pipeline(self, tiny_pipeline, tiny_benchmark):
+        from repro.evaluation.runner import evaluate_pipeline
+
+        examples = tiny_benchmark.dev
+        report = evaluate_pipeline(tiny_pipeline, examples)
+        breakdown = analyze_failures(examples, report.scores)
+        assert breakdown.total == len(examples)
+        assert 0 <= breakdown.error_rate <= 1
+
+
+class TestVES:
+    def test_empty(self):
+        assert ves([]) == 0.0
+
+    def test_incorrect_contributes_zero(self):
+        assert ves([score("a", False)]) == 0.0
+
+    def test_equal_speed(self):
+        assert ves([score("a", True)]) == pytest.approx(100.0)
+
+    def test_faster_prediction_exceeds_100(self):
+        fast = ExampleScore(
+            question_id="a", correct=True, gold_time=4.0, predicted_time=1.0
+        )
+        assert ves([fast]) == pytest.approx(200.0)
+
+    def test_report_property(self, tiny_pipeline, tiny_benchmark):
+        from repro.evaluation.runner import evaluate_pipeline
+
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:5])
+        assert report.ves >= 0.0

@@ -1,0 +1,156 @@
+"""Metric tests: EX comparison semantics and the R-VES reward brackets."""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.types import Example
+from repro.evaluation.metrics import (
+    ExampleScore,
+    execution_accuracy,
+    r_ves,
+    r_ves_reward,
+    score_example,
+)
+from repro.execution.executor import SQLExecutor
+
+
+@pytest.fixture
+def executor():
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(
+        """
+        CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL);
+        INSERT INTO t VALUES (1, 'A', 10), (2, 'B', 20), (3, 'C', 30);
+        """
+    )
+    yield SQLExecutor(conn)
+    conn.close()
+
+
+def example(gold, difficulty="simple"):
+    return Example(
+        question_id="q",
+        db_id="db",
+        question="?",
+        gold_sql=gold,
+        difficulty=difficulty,
+    )
+
+
+class TestRVESReward:
+    @pytest.mark.parametrize(
+        "gold,predicted,expected",
+        [
+            (2.0, 1.0, 1.25),   # 2x faster
+            (1.0, 1.0, 1.0),    # equal
+            (1.0, 1.5, 0.75),   # somewhat slower
+            (1.0, 3.0, 0.5),    # much slower
+            (1.0, 10.0, 0.25),  # way slower
+        ],
+    )
+    def test_brackets(self, gold, predicted, expected):
+        assert r_ves_reward(True, gold, predicted) == expected
+
+    def test_incorrect_is_zero(self):
+        assert r_ves_reward(False, 1.0, 0.1) == 0.0
+
+    def test_zero_times_safe(self):
+        assert r_ves_reward(True, 0.0, 0.0) == 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(min_value=1e-6, max_value=10),
+        st.floats(min_value=1e-6, max_value=10),
+    )
+    def test_reward_in_range(self, gold, predicted):
+        reward = r_ves_reward(True, gold, predicted)
+        assert reward in (0.25, 0.5, 0.75, 1.0, 1.25)
+
+
+class TestScoreExample:
+    def test_exact_match(self, executor):
+        score = score_example(
+            example("SELECT COUNT(*) FROM t"), "SELECT COUNT(*) FROM t", executor
+        )
+        assert score.correct
+
+    def test_equivalent_sql_matches(self, executor):
+        score = score_example(
+            example("SELECT COUNT(*) FROM t"),
+            "SELECT COUNT(id) FROM t",
+            executor,
+        )
+        assert score.correct
+
+    def test_wrong_result(self, executor):
+        score = score_example(
+            example("SELECT COUNT(*) FROM t"),
+            "SELECT COUNT(*) FROM t WHERE id > 1",
+            executor,
+        )
+        assert not score.correct
+
+    def test_order_sensitivity_follows_gold(self, executor):
+        ordered_gold = example("SELECT name FROM t ORDER BY score DESC")
+        score = score_example(
+            ordered_gold, "SELECT name FROM t ORDER BY score ASC", executor
+        )
+        assert not score.correct
+        unordered_gold = example("SELECT name FROM t")
+        score = score_example(
+            unordered_gold, "SELECT name FROM t ORDER BY score DESC", executor
+        )
+        assert score.correct
+
+    def test_missing_prediction(self, executor):
+        score = score_example(example("SELECT COUNT(*) FROM t"), None, executor)
+        assert not score.correct
+        assert score.predicted_status == "missing"
+
+    def test_error_prediction(self, executor):
+        score = score_example(
+            example("SELECT COUNT(*) FROM t"), "SELECT nope FROM t", executor
+        )
+        assert not score.correct
+        assert score.predicted_status == "missing_column"
+
+    def test_bad_gold_raises(self, executor):
+        with pytest.raises(ValueError):
+            score_example(example("SELECT nope FROM t"), "SELECT 1", executor)
+
+    def test_difficulty_propagated(self, executor):
+        score = score_example(
+            example("SELECT COUNT(*) FROM t", difficulty="challenging"),
+            "SELECT COUNT(*) FROM t",
+            executor,
+        )
+        assert score.difficulty == "challenging"
+
+
+class TestAggregates:
+    def scores(self, *flags):
+        return [
+            ExampleScore(question_id=str(i), correct=flag, gold_time=1, predicted_time=1)
+            for i, flag in enumerate(flags)
+        ]
+
+    def test_execution_accuracy(self):
+        assert execution_accuracy(self.scores(True, True, False, False)) == 50.0
+
+    def test_empty(self):
+        assert execution_accuracy([]) == 0.0
+        assert r_ves([]) == 0.0
+
+    def test_r_ves_mean(self):
+        assert r_ves(self.scores(True, False)) == 50.0
+
+    def test_r_ves_can_exceed_ex(self):
+        fast = [
+            ExampleScore(
+                question_id="a", correct=True, gold_time=2.0, predicted_time=0.5
+            )
+        ]
+        assert r_ves(fast) == 125.0

@@ -1,0 +1,98 @@
+"""Evaluation runner and report formatting tests."""
+
+import pytest
+
+from repro.evaluation.report import format_table
+from repro.evaluation.runner import EvalReport, evaluate_pipeline, evaluate_system
+from repro.evaluation.metrics import ExampleScore
+
+
+class TestEvaluatePipeline:
+    def test_report_populated(self, tiny_pipeline, tiny_benchmark):
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:6])
+        assert report.count == 6
+        assert len(report.generation_scores) == 6
+        assert len(report.refined_scores) == 6
+        assert 0 <= report.ex <= 100
+        assert 0 <= report.r_ves <= 125
+
+    def test_stage_monotonicity_weak(self, tiny_pipeline, tiny_benchmark):
+        """EX_R >= EX_G should hold in aggregate (refinement only fixes)."""
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev)
+        assert report.ex_r >= report.ex_g - 5  # small-sample slack
+
+    def test_difficulty_breakdown(self, tiny_pipeline, tiny_benchmark):
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev)
+        breakdown = report.ex_by_difficulty()
+        assert breakdown
+        assert all(0 <= v <= 100 for v in breakdown.values())
+
+    def test_cost_merged(self, tiny_pipeline, tiny_benchmark):
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:3])
+        assert report.cost.stage("generation").total_tokens > 0
+
+    def test_named_report(self, tiny_pipeline, tiny_benchmark):
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:1], name="x")
+        assert report.system == "x"
+
+
+class TestEvaluateSystem:
+    def test_callable_system(self, tiny_benchmark):
+        class Oracle:
+            name = "oracle"
+
+            def answer(self, example):
+                return example.gold_sql
+
+        report = evaluate_system(Oracle(), tiny_benchmark, tiny_benchmark.dev)
+        assert report.ex == 100.0
+
+    def test_broken_system(self, tiny_benchmark):
+        class Broken:
+            name = "broken"
+
+            def answer(self, example):
+                return "SELECT nope FROM ghost"
+
+        report = evaluate_system(Broken(), tiny_benchmark, tiny_benchmark.dev[:4])
+        assert report.ex == 0.0
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["Method", "EX"], [["GPT-4", 46.35], ["Ours", 69.3]], title="Table"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table"
+        assert "Method" in lines[1]
+        assert "46.4" in text  # floats formatted to 1 decimal
+        assert "-+-" in lines[2]
+
+    def test_no_title(self):
+        text = format_table(["A"], [["x"]])
+        assert text.splitlines()[0].startswith("A")
+
+    def test_empty_rows(self):
+        assert "A" in format_table(["A"], [])
+
+
+class TestReportExport:
+    def test_to_dict_shape(self, tiny_pipeline, tiny_benchmark):
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:4])
+        payload = report.to_dict()
+        assert payload["count"] == 4
+        assert set(payload) >= {
+            "system", "ex", "ex_g", "ex_r", "r_ves", "ves", "scores", "cost",
+        }
+        assert len(payload["scores"]) == 4
+
+    def test_save_json_round_trip(self, tiny_pipeline, tiny_benchmark, tmp_path):
+        import json
+
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:4])
+        target = tmp_path / "report.json"
+        report.save_json(target)
+        loaded = json.loads(target.read_text())
+        assert loaded["ex"] == report.ex
+        assert loaded["scores"][0]["question_id"] == report.scores[0].question_id

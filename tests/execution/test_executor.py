@@ -1,0 +1,174 @@
+"""Execution substrate tests: outcomes, taxonomy, comparison, timeouts."""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.executor import (
+    ExecutionError,
+    ExecutionOutcome,
+    ExecutionStatus,
+    SQLExecutor,
+    classify_sqlite_error,
+    normalize_rows,
+    results_match,
+)
+
+
+@pytest.fixture
+def executor():
+    conn = sqlite3.connect(":memory:")
+    conn.executescript(
+        """
+        CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL);
+        INSERT INTO t VALUES (1, 'A', 1.5), (2, 'B', NULL), (3, 'A', 3.0);
+        """
+    )
+    yield SQLExecutor(conn, timeout_seconds=1.0)
+    conn.close()
+
+
+class TestExecute:
+    def test_ok(self, executor):
+        outcome = executor.execute("SELECT COUNT(*) FROM t")
+        assert outcome.status is ExecutionStatus.OK
+        assert outcome.rows == ((3,),)
+        assert outcome.columns == ("COUNT(*)",)
+        assert outcome.elapsed_seconds >= 0
+
+    def test_empty_no_rows(self, executor):
+        outcome = executor.execute("SELECT id FROM t WHERE id > 99")
+        assert outcome.status is ExecutionStatus.EMPTY
+        assert not outcome.status.is_error
+
+    def test_all_null_counts_as_empty(self, executor):
+        outcome = executor.execute("SELECT score FROM t WHERE id = 2")
+        assert outcome.status is ExecutionStatus.EMPTY
+
+    def test_missing_column(self, executor):
+        outcome = executor.execute("SELECT nope FROM t")
+        assert outcome.status is ExecutionStatus.MISSING_COLUMN
+        assert outcome.status.is_error
+
+    def test_missing_table(self, executor):
+        outcome = executor.execute("SELECT x FROM ghost")
+        assert outcome.status is ExecutionStatus.MISSING_TABLE
+
+    def test_syntax_error(self, executor):
+        outcome = executor.execute("SELECT SELECT FROM t")
+        assert outcome.status is ExecutionStatus.SYNTAX_ERROR
+
+    def test_unknown_function(self, executor):
+        outcome = executor.execute("SELECT YEAR(name) FROM t")
+        assert outcome.status is ExecutionStatus.OTHER_ERROR
+
+    def test_timeout(self, executor):
+        # Recursive CTE that would run forever without the progress guard.
+        outcome = executor.execute(
+            "WITH RECURSIVE r(x) AS (SELECT 1 UNION ALL SELECT x + 1 FROM r) "
+            "SELECT COUNT(*) FROM r"
+        )
+        assert outcome.status is ExecutionStatus.TIMEOUT
+
+    def test_max_rows_cap(self, executor):
+        small = SQLExecutor(executor._connection, max_rows=2)
+        outcome = small.execute("SELECT id FROM t")
+        assert outcome.row_count == 2
+
+    def test_execute_or_raise(self, executor):
+        with pytest.raises(ExecutionError):
+            executor.execute_or_raise("SELECT nope FROM t")
+        assert executor.execute_or_raise("SELECT 1").ok
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "message,expected",
+        [
+            ("no such column: x", ExecutionStatus.MISSING_COLUMN),
+            ("no such table: y", ExecutionStatus.MISSING_TABLE),
+            ("ambiguous column name: id", ExecutionStatus.AMBIGUOUS_COLUMN),
+            ('near "FROM": syntax error', ExecutionStatus.SYNTAX_ERROR),
+            ("unrecognized token", ExecutionStatus.SYNTAX_ERROR),
+            ("anything else", ExecutionStatus.OTHER_ERROR),
+        ],
+    )
+    def test_messages(self, message, expected):
+        assert classify_sqlite_error(message) is expected
+
+
+class TestNormalize:
+    def test_float_integral_collapsed(self):
+        assert normalize_rows([(3.0,)]) == ((3,),)
+
+    def test_float_rounded(self):
+        assert normalize_rows([(1.23456789,)]) == ((1.234568,),)
+
+    def test_nan_becomes_none(self):
+        assert normalize_rows([(float("nan"),)]) == ((None,),)
+
+    def test_bytes_decoded(self):
+        assert normalize_rows([(b"abc",)]) == (("abc",),)
+
+
+def outcome(*rows):
+    return ExecutionOutcome(status=ExecutionStatus.OK, rows=normalize_rows(rows))
+
+
+class TestResultsMatch:
+    def test_identical(self):
+        assert results_match(outcome((1,), (2,)), outcome((1,), (2,)))
+
+    def test_order_insensitive_default(self):
+        assert results_match(outcome((1,), (2,)), outcome((2,), (1,)))
+
+    def test_order_sensitive_mode(self):
+        assert not results_match(
+            outcome((1,), (2,)), outcome((2,), (1,)), order_sensitive=True
+        )
+
+    def test_duplicates_matter(self):
+        assert not results_match(outcome((1,), (1,)), outcome((1,),))
+
+    def test_float_int_equivalence(self):
+        assert results_match(outcome((3.0,)), outcome((3,)))
+
+    def test_error_never_matches(self):
+        bad = ExecutionOutcome(status=ExecutionStatus.SYNTAX_ERROR)
+        assert not results_match(bad, outcome((1,)))
+        assert not results_match(outcome((1,)), bad)
+
+    def test_mixed_types_sortable(self):
+        # Rows mixing None/str/int must not crash the sort.
+        assert results_match(
+            outcome((None,), ("a",), (1,)), outcome((1,), (None,), ("a",))
+        )
+
+    def test_different_width_rows(self):
+        assert not results_match(outcome((1, 2),), outcome((1,),))
+
+
+class TestMatchProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.one_of(st.none(), st.integers(-5, 5), st.text(max_size=3))
+            ),
+            max_size=6,
+        )
+    )
+    def test_reflexive(self, rows):
+        a = outcome(*rows)
+        assert results_match(a, a)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(-3, 3)), max_size=5),
+        st.lists(st.tuples(st.integers(-3, 3)), max_size=5),
+    )
+    def test_symmetric(self, rows_a, rows_b):
+        a, b = outcome(*rows_a), outcome(*rows_b)
+        assert results_match(a, b) == results_match(b, a)

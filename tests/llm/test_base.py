@@ -1,0 +1,52 @@
+"""LLM base type tests: token counting, usage arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.base import LLMResponse, TokenUsage, count_tokens
+
+
+class TestCountTokens:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_single_word(self):
+        assert count_tokens("hello") == 1
+
+    def test_words_and_punct(self):
+        assert count_tokens("a, b") == 3
+
+    def test_long_word_surcharge(self):
+        assert count_tokens("internationalization") > 1
+
+    def test_monotone_in_concatenation(self):
+        a, b = "select count", "from table"
+        assert count_tokens(a + " " + b) == count_tokens(a) + count_tokens(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=200))
+    def test_nonnegative(self, text):
+        assert count_tokens(text) >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(min_size=1, max_size=100))
+    def test_extension_monotone(self, text):
+        assert count_tokens(text + " extra") >= count_tokens(text)
+
+
+class TestTokenUsage:
+    def test_total(self):
+        assert TokenUsage(10, 5).total_tokens == 15
+
+    def test_add(self):
+        total = TokenUsage(10, 5) + TokenUsage(1, 2)
+        assert total == TokenUsage(11, 7)
+
+    def test_default_zero(self):
+        assert TokenUsage().total_tokens == 0
+
+    def test_response_defaults(self):
+        response = LLMResponse(text="hi")
+        assert response.usage.total_tokens == 0
+        assert response.latency_seconds == 0.0

@@ -1,0 +1,237 @@
+"""Noise operator tests: each hallucination channel's corruption."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.types import ValueMention
+from repro.llm import noise
+from repro.llm._noise_wrongcol import wrong_filter_column
+from repro.schema.model import Column, Database, ForeignKey, Table
+from repro.sqlkit.ast import FuncCall, IsNull, Literal
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.render import render
+from repro.sqlkit.sql_like import parse_sql_like, render_sql_like
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+SCHEMA = Database(
+    name="d",
+    tables=(
+        Table(
+            "Patient",
+            (
+                Column("ID", "INTEGER", is_primary=True),
+                Column("Name", "TEXT"),
+                Column("City", "TEXT"),
+                Column("Age", "INTEGER"),
+            ),
+        ),
+        Table(
+            "Lab",
+            (
+                Column("LabID", "INTEGER", is_primary=True),
+                Column("ID", "INTEGER"),
+                Column("Name", "TEXT"),
+                Column("IGA", "REAL"),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("Lab", "ID", "Patient", "ID"),),
+)
+
+
+class TestCorruptValue:
+    def test_stored_replaced_by_surface(self):
+        statement = parse_sql_like("Show COUNT(*) WHERE Patient.Name = 'JOHN'")
+        mention = ValueMention("John", "JOHN", "Patient", "Name")
+        out = noise.corrupt_value(statement, mention)
+        assert "'John'" in render_sql_like(out)
+
+    def test_other_literals_untouched(self):
+        statement = parse_sql_like(
+            "Show COUNT(*) WHERE Patient.Name = 'JOHN' AND Patient.City = 'OSLO'"
+        )
+        mention = ValueMention("John", "JOHN", "Patient", "Name")
+        out = noise.corrupt_value(statement, mention)
+        assert "'OSLO'" in render_sql_like(out)
+
+    def test_clean_mention_noop(self):
+        statement = parse_sql_like("Show COUNT(*) WHERE Patient.Name = 'JOHN'")
+        mention = ValueMention("JOHN", "JOHN", "Patient", "Name")
+        assert noise.corrupt_value(statement, mention) == statement
+
+
+class TestMisqualify:
+    def test_same_name_column_swapped(self):
+        statement = parse_sql_like("Show Patient.Name WHERE Patient.ID = 1")
+        out = noise.misqualify_column(statement, SCHEMA, rng())
+        assert out != statement
+        text = render_sql_like(out)
+        assert "Lab.Name" in text or "Lab.ID" in text
+
+    def test_noop_without_distractors(self):
+        statement = parse_sql_like("Show Patient.City")
+        assert noise.misqualify_column(statement, SCHEMA, rng()) == statement
+
+    def test_single_swap_only(self):
+        statement = parse_sql_like("Show Patient.Name, Patient.ID")
+        out = noise.misqualify_column(statement, SCHEMA, rng())
+        changed = sum(
+            a != b
+            for a, b in zip(
+                render_sql_like(statement).split(), render_sql_like(out).split()
+            )
+        )
+        assert changed <= 1
+
+
+class TestAggMisuse:
+    def test_order_by_wrapped_in_max(self):
+        statement = parse_sql_like("Show t.a ORDER BY t.score DESC LIMIT 1")
+        out = noise.inject_agg_misuse(statement)
+        assert "MAX(t.score)" in render_sql_like(out)
+
+    def test_noop_with_group_by(self):
+        statement = parse_sql_like("Show t.a GROUP BY t.a ORDER BY COUNT(*) DESC")
+        assert noise.inject_agg_misuse(statement) == statement
+
+    def test_noop_when_already_aggregate(self):
+        statement = parse_sql_like("Show t.a ORDER BY MAX(t.b)")
+        assert noise.inject_agg_misuse(statement) == statement
+
+    def test_noop_without_order_by(self):
+        statement = parse_sql_like("Show t.a")
+        assert noise.inject_agg_misuse(statement) == statement
+
+
+class TestBreakStyle:
+    def test_guard_dropped(self):
+        statement = parse_sql_like(
+            "Show t.a WHERE t.b IS NOT NULL ORDER BY t.b ASC LIMIT 1"
+        )
+        for seed in range(8):
+            out = noise.break_style(statement, rng(seed))
+            if "IS NOT NULL" not in render_sql_like(out):
+                return
+        pytest.fail("guard never dropped in 8 seeds")
+
+    def test_maxify_drift(self):
+        statement = parse_sql_like(
+            "Show t.a WHERE t.b IS NOT NULL ORDER BY t.b DESC LIMIT 1"
+        )
+        for seed in range(8):
+            out = noise.break_style(statement, rng(seed))
+            if "MAX(t.b)" in render_sql_like(out):
+                assert out.limit is None
+                assert not out.order_by
+                return
+        pytest.fail("maxify drift never produced in 8 seeds")
+
+    def test_noop_without_style_surface(self):
+        statement = parse_sql_like("Show COUNT(*) WHERE t.x = 1")
+        assert noise.break_style(statement, rng()) == statement
+
+
+class TestSelectShape:
+    def test_multi_item_drop_or_reorder(self):
+        statement = parse_sql_like("Show t.a, t.b WHERE t.x = 1")
+        out = noise.break_select_shape(statement, rng(1))
+        assert out != statement
+
+    def test_superlative_gains_spurious_column(self):
+        statement = parse_sql_like("Show t.a ORDER BY t.score DESC LIMIT 1")
+        out = noise.break_select_shape(statement, rng(3))
+        assert len(out.items) == 2
+
+
+class TestTricks:
+    def test_distinct_dropped_from_count(self):
+        statement = parse_sql_like("Show COUNT(DISTINCT t.a)")
+        out = noise.miss_trick(statement, "needs_distinct", rng())
+        func = out.items[0].expr
+        assert isinstance(func, FuncCall) and not func.distinct
+
+    def test_select_distinct_dropped(self):
+        statement = parse_sql_like("Show DISTINCT t.a")
+        out = noise.miss_trick(statement, "needs_distinct", rng())
+        assert not out.distinct
+
+    def test_date_trick_year_function(self):
+        statement = parse_sql_like(
+            "Show COUNT(*) WHERE STRFTIME('%Y', t.d) >= '1990'"
+        )
+        seen = set()
+        for seed in range(10):
+            out = noise.miss_trick(statement, "date_format", rng(seed))
+            text = render_sql_like(out)
+            if "YEAR(" in text:
+                seen.add("year")
+            if ">= 1990" in text:
+                seen.add("number")
+        assert seen == {"year", "number"}
+
+    def test_formula_bound_perturbed(self):
+        statement = parse_sql_like("Show COUNT(*) WHERE t.x > 80 AND t.x < 500")
+        out = noise.miss_trick(statement, "evidence_formula", rng(1))
+        literals = {
+            node.value
+            for node in noise._walk_all(out)
+            if isinstance(node, Literal) and node.kind == "number"
+        }
+        assert literals != {80, 500}
+
+    def test_unknown_trait_noop(self):
+        statement = parse_sql_like("Show COUNT(*)")
+        assert noise.miss_trick(statement, "bogus", rng()) == statement
+
+
+class TestSyntax:
+    def test_corruption_changes_text(self):
+        sql = "SELECT a FROM t WHERE x = 1"
+        assert noise.corrupt_syntax(sql, rng(1)) != sql
+
+    def test_corruption_breaks_parse(self):
+        from repro.sqlkit.parser import ParseError, parse_select as p
+        from repro.sqlkit.tokenizer import TokenizeError
+
+        sql = "SELECT COUNT(a) FROM t WHERE x = 1"
+        broken = noise.corrupt_syntax(sql, rng(0))
+        with pytest.raises((ParseError, TokenizeError)):
+            p(broken)
+
+
+class TestCorruptJoin:
+    def test_join_column_swapped(self):
+        select = parse_select(
+            "SELECT T1.Name FROM Patient AS T1 INNER JOIN Lab AS T2 ON T1.ID = T2.ID"
+        )
+        out = noise.corrupt_join(select, SCHEMA, rng(0))
+        assert out != select
+        condition = out.joins[0].condition
+        assert condition.right.column != "ID"
+
+    def test_noop_without_joins(self):
+        select = parse_select("SELECT Name FROM Patient")
+        assert noise.corrupt_join(select, SCHEMA, rng()) == select
+
+
+class TestWrongFilterColumn:
+    def test_filter_column_swapped(self):
+        statement = parse_sql_like("Show COUNT(*) WHERE Patient.City = 'OSLO'")
+        out = wrong_filter_column(statement, SCHEMA, rng(0))
+        assert out != statement
+        # Swapped to a same-table text column (Name is the only candidate).
+        assert "Patient.Name" in render_sql_like(out)
+
+    def test_type_compatibility_respected(self):
+        statement = parse_sql_like("Show COUNT(*) WHERE Patient.Age > 10")
+        out = wrong_filter_column(statement, SCHEMA, rng(0))
+        # Age (integer) cannot swap to Name/City (text) and ID is primary.
+        assert out == statement
+
+    def test_noop_without_where(self):
+        statement = parse_sql_like("Show COUNT(*)")
+        assert wrong_filter_column(statement, SCHEMA, rng()) == statement

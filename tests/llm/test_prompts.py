@@ -1,0 +1,98 @@
+"""Prompt template tests: every template contains what it claims to."""
+
+from repro.llm.prompts import (
+    column_selection_prompt,
+    correction_prompt,
+    cot_augment_prompt,
+    entity_extraction_prompt,
+    generation_prompt,
+    select_alignment_prompt,
+)
+
+SCHEMA_TEXT = "Database: shop\n# Table: Customer\n  Customer.Name (TEXT)"
+
+
+class TestExtractionPrompts:
+    def test_entity_prompt_parts(self):
+        prompt = entity_extraction_prompt("How many?", "evidence text", SCHEMA_TEXT)
+        assert SCHEMA_TEXT in prompt
+        assert "How many?" in prompt
+        assert "evidence text" in prompt
+
+    def test_entity_prompt_without_evidence(self):
+        prompt = entity_extraction_prompt("How many?", "", SCHEMA_TEXT)
+        assert "Evidence" not in prompt
+
+    def test_column_prompt_asks_for_qualified_columns(self):
+        prompt = column_selection_prompt("Q?", "", SCHEMA_TEXT)
+        assert "table.column" in prompt
+
+
+class TestGenerationPrompt:
+    def test_structured_rules(self):
+        prompt = generation_prompt("Q?", "", SCHEMA_TEXT, cot_mode="structured")
+        for section in ("#reason:", "#columns:", "#values:", "#SELECT:",
+                        "#SQL-like:", "#SQL:"):
+            assert section in prompt
+
+    def test_unstructured_rules(self):
+        prompt = generation_prompt("Q?", "", SCHEMA_TEXT, cot_mode="unstructured")
+        assert "step by step" in prompt
+        assert "#SQL-like:" not in prompt
+
+    def test_no_cot_rules(self):
+        prompt = generation_prompt("Q?", "", SCHEMA_TEXT, cot_mode="none")
+        assert "step by step" not in prompt
+        assert "#SQL:" in prompt
+
+    def test_values_section(self):
+        prompt = generation_prompt(
+            "Q?", "", SCHEMA_TEXT, values=("T.c = 'V'",)
+        )
+        assert "Similar values" in prompt
+        assert "T.c = 'V'" in prompt
+
+    def test_fewshots_included_in_order(self):
+        prompt = generation_prompt(
+            "Q?", "", SCHEMA_TEXT, few_shots=("SHOT-A", "SHOT-B")
+        )
+        assert prompt.index("SHOT-A") < prompt.index("SHOT-B")
+
+    def test_select_hints(self):
+        prompt = generation_prompt("Q?", "", SCHEMA_TEXT, select_hints=("h1",))
+        assert "#select_hint: h1" in prompt
+
+    def test_question_last(self):
+        prompt = generation_prompt("THE-QUESTION?", "", SCHEMA_TEXT)
+        assert prompt.rstrip().endswith("THE-QUESTION? */")
+
+
+class TestCorrectionPrompt:
+    def test_listing3_fields(self):
+        prompt = correction_prompt(
+            question="Q?",
+            failed_sql="SELECT broken",
+            error_kind="empty",
+            error_message="Result: None",
+            schema_text=SCHEMA_TEXT,
+            values=("T.c = 'V'",),
+            few_shots=("EXAMPLE",),
+        )
+        assert "#question: Q?" in prompt
+        assert "#Error SQL: SELECT broken" in prompt
+        assert "empty" in prompt
+        assert "EXAMPLE" in prompt
+        assert "T.c = 'V'" in prompt
+        assert prompt.rstrip().endswith("#SQL:")
+
+
+class TestOtherPrompts:
+    def test_cot_augment_carries_pair(self):
+        prompt = cot_augment_prompt("Q?", "SELECT 1", SCHEMA_TEXT)
+        assert "Q?" in prompt
+        assert "#SQL: SELECT 1" in prompt
+
+    def test_select_alignment_lists_items(self):
+        prompt = select_alignment_prompt("Q?", ["a", "b"])
+        assert "- a" in prompt
+        assert "- b" in prompt

@@ -1,0 +1,100 @@
+"""Record/replay client tests: cassette round trip and determinism."""
+
+import pytest
+
+from repro.llm.recording import RecordingClient, ReplayClient, ReplayMiss
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.tasks import GenerationTask, PromptFeatures
+from repro.datasets.types import Example
+from repro.schema.model import Column, Database, Table
+
+SCHEMA = Database(
+    name="d",
+    tables=(Table("T", (Column("ID", "INTEGER", is_primary=True), Column("X", "TEXT"))),),
+)
+
+
+def task(qid="q1"):
+    example = Example(
+        question_id=qid,
+        db_id="d",
+        question="How many rows?",
+        gold_sql="SELECT COUNT(T.ID) FROM T",
+    )
+    return GenerationTask(
+        oracle=example, schema=SCHEMA, features=PromptFeatures(schema_column_count=2)
+    )
+
+
+class TestRecordReplay:
+    def test_round_trip(self, tmp_path):
+        cassette = tmp_path / "cassette.jsonl"
+        recorder = RecordingClient(SimulatedLLM(seed=1), cassette)
+        original = recorder.complete("the prompt", temperature=0.7, n=3, task=task())
+
+        replay = ReplayClient(cassette)
+        replayed = replay.complete("the prompt", temperature=0.7, n=3)
+        assert [r.text for r in replayed] == [r.text for r in original]
+        assert replayed[0].usage == original[0].usage
+
+    def test_replay_needs_no_task(self, tmp_path):
+        cassette = tmp_path / "c.jsonl"
+        recorder = RecordingClient(SimulatedLLM(seed=1), cassette)
+        recorder.complete("p", task=task())
+        replay = ReplayClient(cassette)
+        assert replay.complete("p")  # no task payload required
+
+    def test_miss_raises(self, tmp_path):
+        cassette = tmp_path / "c.jsonl"
+        RecordingClient(SimulatedLLM(seed=1), cassette).complete("p", task=task())
+        replay = ReplayClient(cassette)
+        with pytest.raises(ReplayMiss):
+            replay.complete("different prompt")
+
+    def test_params_part_of_key(self, tmp_path):
+        cassette = tmp_path / "c.jsonl"
+        RecordingClient(SimulatedLLM(seed=1), cassette).complete(
+            "p", temperature=0.7, n=2, task=task()
+        )
+        replay = ReplayClient(cassette)
+        with pytest.raises(ReplayMiss):
+            replay.complete("p", temperature=0.0, n=2)
+
+    def test_repeated_prompts_replayed_in_order(self, tmp_path):
+        cassette = tmp_path / "c.jsonl"
+        recorder = RecordingClient(SimulatedLLM(seed=1), cassette)
+        first = recorder.complete("p", temperature=0.7, n=1, task=task("a"))
+        second = recorder.complete("p", temperature=0.7, n=1, task=task("b"))
+
+        replay = ReplayClient(cassette)
+        assert replay.complete("p", temperature=0.7)[0].text == first[0].text
+        assert replay.complete("p", temperature=0.7)[0].text == second[0].text
+        # Extra calls repeat the last occurrence instead of failing.
+        assert replay.complete("p", temperature=0.7)[0].text == second[0].text
+
+    def test_missing_cassette(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ReplayClient(tmp_path / "nope.jsonl")
+
+    def test_len(self, tmp_path):
+        cassette = tmp_path / "c.jsonl"
+        recorder = RecordingClient(SimulatedLLM(seed=1), cassette)
+        recorder.complete("a", task=task("a"))
+        recorder.complete("b", task=task("b"))
+        assert len(ReplayClient(cassette)) == 2
+
+    def test_pipeline_runs_on_replay(self, tiny_benchmark, tmp_path):
+        """A full pipeline recorded once can be re-run from the cassette."""
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import OpenSearchSQL
+
+        cassette = tmp_path / "run.jsonl"
+        config = PipelineConfig(n_candidates=3)
+        recorder = RecordingClient(SimulatedLLM(seed=4), cassette)
+        recorded = OpenSearchSQL(tiny_benchmark, recorder, config)
+        examples = tiny_benchmark.dev[:3]
+        first = [recorded.answer(e).final_sql for e in examples]
+
+        replayed = OpenSearchSQL(tiny_benchmark, ReplayClient(cassette), config)
+        second = [replayed.answer(e).final_sql for e in examples]
+        assert first == second

@@ -1,0 +1,87 @@
+"""Skill profile tests: lookup, factors, profile ordering invariants."""
+
+import pytest
+
+from repro.llm.skills import GPT_4, GPT_4O, GPT_4O_MINI, SkillProfile, skill_by_name
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert skill_by_name("gpt-4o") is GPT_4O
+        assert skill_by_name("gpt-4o-mini") is GPT_4O_MINI
+        assert skill_by_name("gpt-4") is GPT_4
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            skill_by_name("gpt-99")
+
+
+class TestFactors:
+    def test_difficulty_scale_order(self):
+        for profile in (GPT_4O, GPT_4, GPT_4O_MINI):
+            assert (
+                profile.difficulty_scale("simple")
+                < profile.difficulty_scale("moderate")
+                <= profile.difficulty_scale("challenging")
+            )
+
+    def test_unknown_difficulty_defaults_to_one(self):
+        assert GPT_4O.difficulty_scale("weird") == 1.0
+
+    def test_fewshot_factor_ordering(self):
+        # CoT-form few-shot suppresses errors more than plain pairs.
+        for profile in (GPT_4O, GPT_4, GPT_4O_MINI):
+            assert (
+                profile.fewshot_factor("query_cot_sql")
+                < profile.fewshot_factor("query_sql")
+                < profile.fewshot_factor("none")
+            )
+
+    def test_cot_factor_ordering(self):
+        for profile in (GPT_4O, GPT_4, GPT_4O_MINI):
+            assert (
+                profile.cot_factor("structured")
+                < profile.cot_factor("unstructured")
+                < profile.cot_factor("none")
+            )
+
+
+class TestProfileOrdering:
+    """GPT-4o must be at least as strong as GPT-4, both stronger than mini,
+    on every channel (this is what makes Table 2 / Figure 4 come out)."""
+
+    @pytest.mark.parametrize(
+        "attr",
+        [
+            "column_confusion_per_distractor",
+            "join_error_per_table",
+            "agg_misuse_rate",
+            "trick_miss_rate",
+            "hard_fail_rate",
+            "syntax_error_base",
+            "entity_miss_rate",
+        ],
+    )
+    def test_error_rates_ordered(self, attr):
+        assert getattr(GPT_4O, attr) <= getattr(GPT_4, attr) <= getattr(
+            GPT_4O_MINI, attr
+        )
+
+    @pytest.mark.parametrize(
+        "attr", ["value_guess_rate", "value_follow_rate", "column_recall"]
+    )
+    def test_success_rates_ordered(self, attr):
+        assert getattr(GPT_4O, attr) >= getattr(GPT_4, attr) >= getattr(
+            GPT_4O_MINI, attr
+        )
+
+    def test_mini_trick_rate_can_lock_wrong_majorities(self):
+        # The Figure 4 mechanism: on challenging questions mini's effective
+        # per-candidate trick-miss probability crosses 0.5 without few-shot.
+        p = GPT_4O_MINI.trick_miss_rate * GPT_4O_MINI.difficulty_scale("challenging")
+        assert p > 0.5
+
+    def test_correction_rates_are_probabilities(self):
+        for profile in (GPT_4O, GPT_4, GPT_4O_MINI):
+            for rate in profile.correction_fix_rate.values():
+                assert 0.0 <= rate <= 1.0

@@ -1,0 +1,85 @@
+"""SQLite introspection tests."""
+
+import sqlite3
+
+import pytest
+
+from repro.schema.introspect import introspect_sqlite
+from repro.schema.serialize import schema_to_ddl
+
+
+@pytest.fixture
+def conn():
+    connection = sqlite3.connect(":memory:")
+    connection.executescript(
+        """
+        CREATE TABLE Author (
+            AuthorID INTEGER PRIMARY KEY,
+            Name TEXT NOT NULL,
+            Country TEXT
+        );
+        CREATE TABLE Book (
+            BookID INTEGER PRIMARY KEY,
+            AuthorID INTEGER,
+            Title TEXT,
+            Pages INTEGER,
+            FOREIGN KEY (AuthorID) REFERENCES Author(AuthorID)
+        );
+        INSERT INTO Author VALUES (1, 'ALPHA', 'FR'), (2, 'BETA', NULL);
+        INSERT INTO Book VALUES (1, 1, 'T1', 100), (2, 2, 'T2', 200);
+        """
+    )
+    yield connection
+    connection.close()
+
+
+class TestIntrospect:
+    def test_tables_discovered(self, conn):
+        db = introspect_sqlite(conn, name="lib")
+        assert set(db.table_names) == {"Author", "Book"}
+
+    def test_primary_keys(self, conn):
+        db = introspect_sqlite(conn)
+        assert db.table("Author").column("AuthorID").is_primary
+        assert not db.table("Author").column("Name").is_primary
+
+    def test_not_null(self, conn):
+        db = introspect_sqlite(conn)
+        assert db.table("Author").column("Name").not_null
+        assert not db.table("Author").column("Country").not_null
+
+    def test_foreign_keys(self, conn):
+        db = introspect_sqlite(conn)
+        (fk,) = db.foreign_keys
+        assert (fk.table, fk.column, fk.ref_table, fk.ref_column) == (
+            "Book", "AuthorID", "Author", "AuthorID",
+        )
+
+    def test_value_examples_sampled(self, conn):
+        db = introspect_sqlite(conn, value_examples=3)
+        examples = db.table("Author").column("Name").value_examples
+        assert set(examples) == {"ALPHA", "BETA"}
+
+    def test_value_examples_disabled(self, conn):
+        db = introspect_sqlite(conn, value_examples=0)
+        assert db.table("Author").column("Name").value_examples == ()
+
+    def test_descriptions_applied(self, conn):
+        db = introspect_sqlite(
+            conn, descriptions={("Author", "Name"): "author full name"}
+        )
+        assert db.table("Author").column("Name").description == "author full name"
+
+    def test_integer_columns_not_sampled(self, conn):
+        db = introspect_sqlite(conn)
+        assert db.table("Book").column("Pages").value_examples == ()
+
+    def test_round_trip_through_ddl(self, conn):
+        """Introspected schema re-creates an equivalent database."""
+        db = introspect_sqlite(conn, name="lib")
+        fresh = sqlite3.connect(":memory:")
+        fresh.executescript(schema_to_ddl(db))
+        redone = introspect_sqlite(fresh, name="lib", value_examples=0)
+        assert set(redone.table_names) == set(db.table_names)
+        assert len(redone.foreign_keys) == len(db.foreign_keys)
+        fresh.close()

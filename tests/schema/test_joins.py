@@ -1,0 +1,127 @@
+"""Join-path inference and SQL-Like assembly tests."""
+
+import pytest
+
+from repro.schema.joins import JoinPathError, assemble_select, join_path
+from repro.schema.model import Column, Database, ForeignKey, Table
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.render import render
+from repro.sqlkit.sql_like import parse_sql_like
+
+
+def chain_db():
+    """A → B → C chain plus an isolated island D."""
+    def table(name, extra=()):
+        return Table(
+            name,
+            (Column(f"{name}ID", "INTEGER", is_primary=True),)
+            + tuple(Column(c) for c in extra),
+        )
+
+    return Database(
+        name="chain",
+        tables=(
+            table("A", ("x", "BID")),
+            table("B", ("y", "CID")),
+            table("C", ("z",)),
+            table("D", ("w",)),
+        ),
+        foreign_keys=(
+            ForeignKey("A", "BID", "B", "BID"),
+            ForeignKey("B", "CID", "C", "CID"),
+        ),
+    )
+
+
+class TestJoinPath:
+    def test_single_table_no_steps(self):
+        assert join_path(chain_db(), ["A"]) == []
+
+    def test_adjacent_tables(self):
+        steps = join_path(chain_db(), ["A", "B"])
+        assert len(steps) == 1
+        assert steps[0][1] == "b"
+
+    def test_routes_through_intermediate(self):
+        steps = join_path(chain_db(), ["A", "C"])
+        joined = [s[1] for s in steps]
+        assert joined == ["b", "c"]
+
+    def test_unknown_table(self):
+        with pytest.raises(JoinPathError):
+            join_path(chain_db(), ["A", "Ghost"])
+
+    def test_unreachable_table(self):
+        with pytest.raises(JoinPathError):
+            join_path(chain_db(), ["A", "D"])
+
+    def test_empty_request(self):
+        with pytest.raises(JoinPathError):
+            join_path(chain_db(), [])
+
+    def test_duplicates_collapsed(self):
+        assert join_path(chain_db(), ["A", "a", "A"]) == []
+
+
+class TestAssemble:
+    def test_single_table_no_alias(self):
+        select = assemble_select(chain_db(), parse_sql_like("Show A.x WHERE A.x > 1"))
+        sql = render(select)
+        assert sql == "SELECT A.x FROM A WHERE A.x > 1"
+
+    def test_two_tables_aliased(self):
+        select = assemble_select(
+            chain_db(), parse_sql_like("Show A.x WHERE B.y = 1")
+        )
+        sql = render(select)
+        assert "FROM A AS T1" in sql
+        assert "INNER JOIN B AS T2 ON T1.BID = T2.BID" in sql
+        assert "T2.y = 1" in sql
+
+    def test_three_table_route(self):
+        select = assemble_select(
+            chain_db(), parse_sql_like("Show A.x WHERE C.z = 1")
+        )
+        sql = render(select)
+        assert "INNER JOIN B" in sql
+        assert "INNER JOIN C" in sql
+
+    def test_assembled_sql_parses(self):
+        select = assemble_select(
+            chain_db(),
+            parse_sql_like(
+                "Show COUNT(DISTINCT A.x) WHERE C.z = 'v' "
+                "GROUP BY B.y ORDER BY A.x DESC LIMIT 2 OFFSET 1"
+            ),
+        )
+        reparsed = parse_select(render(select))
+        assert reparsed.limit == 2
+        assert reparsed.offset == 1
+
+    def test_unqualified_column_resolved_when_unambiguous(self):
+        select = assemble_select(
+            chain_db(), parse_sql_like("Show A.x WHERE y = 1")
+        )
+        # 'y' only exists in B... but B is not referenced via a qualified
+        # column, so the statement stays single-table and 'y' is untouched.
+        sql = render(select)
+        assert "WHERE y = 1" in sql
+
+    def test_unqualified_resolution_within_joined_tables(self):
+        select = assemble_select(
+            chain_db(), parse_sql_like("Show A.x, B.BID WHERE y = 1")
+        )
+        assert "T2.y = 1" in render(select)
+
+    def test_no_tables_raises(self):
+        with pytest.raises(JoinPathError):
+            assemble_select(chain_db(), parse_sql_like("Show COUNT(*)"))
+
+    def test_executes_against_benchmark(self, tiny_benchmark):
+        built = tiny_benchmark.database("healthcare")
+        sql_like = parse_sql_like(
+            "Show COUNT(DISTINCT Patient.ID) WHERE Laboratory.IGA > 80"
+        )
+        select = assemble_select(built.schema, sql_like)
+        outcome = built.executor().execute(render(select))
+        assert outcome.ok

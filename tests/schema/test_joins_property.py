@@ -1,0 +1,88 @@
+"""Property-based join-path tests over random tree-shaped FK graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.joins import assemble_select, join_path
+from repro.schema.model import Column, Database, ForeignKey, Table
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.render import render
+from repro.sqlkit.sql_like import parse_sql_like
+
+
+@st.composite
+def tree_databases(draw):
+    """A random database whose FK graph is a tree over 2-7 tables."""
+    n = draw(st.integers(min_value=2, max_value=7))
+    tables = []
+    fks = []
+    for i in range(n):
+        columns = [Column(f"T{i}ID", "INTEGER", is_primary=True), Column("val")]
+        if i > 0:
+            parent = draw(st.integers(min_value=0, max_value=i - 1))
+            columns.append(Column(f"T{parent}Ref", "INTEGER"))
+            fks.append(ForeignKey(f"T{i}", f"T{parent}Ref", f"T{parent}", f"T{parent}ID"))
+        tables.append(Table(f"T{i}", tuple(columns)))
+    return Database(name="tree", tables=tuple(tables), foreign_keys=tuple(fks))
+
+
+class TestJoinPathProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(tree_databases(), st.data())
+    def test_any_table_pair_connects(self, database, data):
+        n = len(database.tables)
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        steps = join_path(database, [f"T{a}", f"T{b}"])
+        joined = {f"t{a}"} | {step[1] for step in steps}
+        assert f"t{b}" in joined or a == b
+
+    @settings(max_examples=120, deadline=None)
+    @given(tree_databases(), st.data())
+    def test_steps_form_connected_chain(self, database, data):
+        n = len(database.tables)
+        wanted = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=n,
+            )
+        )
+        names = [f"T{i}" for i in wanted]
+        steps = join_path(database, names)
+        connected = {names[0].lower()}
+        for from_table, to_table, _fk in steps:
+            assert from_table in connected  # each step attaches to the tree
+            connected.add(to_table)
+        for name in names:
+            assert name.lower() in connected
+
+    @settings(max_examples=80, deadline=None)
+    @given(tree_databases(), st.data())
+    def test_assembled_select_round_trips(self, database, data):
+        n = len(database.tables)
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        sql_like = parse_sql_like(f"Show T{a}.val WHERE T{b}.val = 'x'")
+        select = assemble_select(database, sql_like)
+        # The rendered SQL must parse and mention every table on the path.
+        reparsed = parse_select(render(select))
+        assert reparsed.from_table is not None
+        table_names = {t.name.lower() for t in reparsed.tables()}
+        assert f"t{a}" in table_names
+        assert f"t{b}" in table_names
+
+    @settings(max_examples=80, deadline=None)
+    @given(tree_databases(), st.data())
+    def test_join_conditions_reference_both_sides(self, database, data):
+        n = len(database.tables)
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        sql_like = parse_sql_like(f"Show T{a}.val WHERE T{b}.val = 'x'")
+        select = assemble_select(database, sql_like)
+        bindings = {t.binding for t in select.tables()}
+        for join in select.joins:
+            condition = join.condition
+            assert condition is not None
+            assert condition.left.table in bindings
+            assert condition.right.table in bindings

@@ -1,0 +1,145 @@
+"""Schema model tests: lookups, subsetting, same-name columns, validation."""
+
+import pytest
+
+from repro.schema.model import Column, Database, ForeignKey, Table
+
+
+def make_db():
+    return Database(
+        name="db",
+        tables=(
+            Table(
+                name="Patient",
+                columns=(
+                    Column("ID", "INTEGER", is_primary=True),
+                    Column("Name", "TEXT"),
+                    Column("City", "TEXT", not_null=True),
+                ),
+            ),
+            Table(
+                name="Lab",
+                columns=(
+                    Column("LabID", "INTEGER", is_primary=True),
+                    Column("ID", "INTEGER"),
+                    Column("Name", "TEXT"),
+                    Column("IGA", "REAL"),
+                ),
+            ),
+        ),
+        foreign_keys=(ForeignKey("Lab", "ID", "Patient", "ID"),),
+    )
+
+
+class TestLookups:
+    def test_table_case_insensitive(self):
+        db = make_db()
+        assert db.table("patient").name == "Patient"
+
+    def test_missing_table_raises(self):
+        with pytest.raises(KeyError):
+            make_db().table("nope")
+
+    def test_column_case_insensitive(self):
+        assert make_db().table("Patient").column("name").name == "Name"
+
+    def test_missing_column_raises(self):
+        with pytest.raises(KeyError):
+            make_db().table("Patient").column("nope")
+
+    def test_has_table_and_column(self):
+        db = make_db()
+        assert db.has_table("LAB")
+        assert not db.has_table("X")
+        assert db.table("Lab").has_column("iga")
+        assert not db.table("Lab").has_column("x")
+
+    def test_primary_key(self):
+        pk = make_db().table("Patient").primary_key
+        assert [c.name for c in pk] == ["ID"]
+
+    def test_column_count(self):
+        assert make_db().column_count() == 7
+
+    def test_iter_columns_order(self):
+        names = [f"{t.name}.{c.name}" for t, c in make_db().iter_columns()]
+        assert names[0] == "Patient.ID"
+        assert names[-1] == "Lab.IGA"
+
+    def test_resolve_column(self):
+        db = make_db()
+        matches = db.resolve_column("Name")
+        assert len(matches) == 2
+        hinted = db.resolve_column("Name", table_hint="Lab")
+        assert len(hinted) == 1
+
+
+class TestValidation:
+    def test_duplicate_table_names_rejected(self):
+        table = Table("T", (Column("a"),))
+        with pytest.raises(ValueError):
+            Database(name="d", tables=(table, Table("t", (Column("a"),))))
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(ValueError):
+            Table("T", (Column("a"), Column("A")))
+
+    def test_fk_missing_source_column_rejected(self):
+        with pytest.raises(ValueError):
+            Database(
+                name="d",
+                tables=(Table("A", (Column("x"),)), Table("B", (Column("y"),))),
+                foreign_keys=(ForeignKey("A", "nope", "B", "y"),),
+            )
+
+    def test_fk_missing_target_column_rejected(self):
+        with pytest.raises(ValueError):
+            Database(
+                name="d",
+                tables=(Table("A", (Column("x"),)), Table("B", (Column("y"),))),
+                foreign_keys=(ForeignKey("A", "x", "B", "nope"),),
+            )
+
+
+class TestSameNameColumns:
+    def test_same_name_found_across_tables(self):
+        pairs = make_db().same_name_columns("name")
+        assert ("Patient", "Name") in pairs
+        assert ("Lab", "Name") in pairs
+
+    def test_unique_column(self):
+        assert make_db().same_name_columns("IGA") == [("Lab", "IGA")]
+
+
+class TestSubset:
+    def test_keeps_requested_columns(self):
+        db = make_db().subset({"Patient": ["City"]})
+        assert db.table("Patient").has_column("City")
+
+    def test_always_keeps_primary_keys(self):
+        db = make_db().subset({"Patient": ["City"]})
+        assert db.table("Patient").has_column("ID")
+
+    def test_drops_unrequested_tables(self):
+        db = make_db().subset({"Patient": ["City"]})
+        assert not db.has_table("Lab")
+
+    def test_keeps_fk_columns_between_kept_tables(self):
+        # Lab.ID is neither primary nor requested, but it is the join key.
+        db = make_db().subset({"Patient": ["City"], "Lab": ["IGA"]})
+        assert db.table("Lab").has_column("ID")
+        assert len(db.foreign_keys) == 1
+
+    def test_fk_dropped_when_endpoint_table_dropped(self):
+        db = make_db().subset({"Lab": ["IGA"]})
+        assert db.foreign_keys == ()
+
+    def test_unknown_names_ignored(self):
+        db = make_db().subset({"Patient": ["City", "Bogus"], "Ghost": ["x"]})
+        assert db.has_table("Patient")
+        assert not db.has_table("Ghost")
+
+    def test_is_text(self):
+        assert Column("d", "DATE").is_text
+        assert Column("t", "TEXT").is_text
+        assert not Column("n", "INTEGER").is_text

@@ -1,0 +1,83 @@
+"""Schema serialization tests: DDL and prompt rendering."""
+
+import sqlite3
+
+from repro.schema.model import Column, Database, ForeignKey, Table
+from repro.schema.serialize import column_doc, schema_to_ddl, schema_to_prompt
+
+DB = Database(
+    name="shop",
+    description="A small shop.",
+    tables=(
+        Table(
+            name="Customer",
+            description="Shop customers.",
+            columns=(
+                Column("CustomerID", "INTEGER", "customer id", is_primary=True),
+                Column("Name", "TEXT", "full name", value_examples=("ANNA", "BO")),
+                Column("First Visit", "DATE", "first visit date", not_null=True),
+            ),
+        ),
+        Table(
+            name="Orders",
+            columns=(
+                Column("OrderID", "INTEGER", is_primary=True),
+                Column("CustomerID", "INTEGER"),
+            ),
+        ),
+    ),
+    foreign_keys=(ForeignKey("Orders", "CustomerID", "Customer", "CustomerID"),),
+)
+
+
+class TestDDL:
+    def test_ddl_executes(self):
+        conn = sqlite3.connect(":memory:")
+        conn.executescript(schema_to_ddl(DB))
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert tables == {"Customer", "Orders"}
+        conn.close()
+
+    def test_primary_key_emitted(self):
+        assert "CustomerID INTEGER PRIMARY KEY" in schema_to_ddl(DB)
+
+    def test_not_null_emitted(self):
+        assert "NOT NULL" in schema_to_ddl(DB)
+
+    def test_quoted_identifier(self):
+        assert "`First Visit`" in schema_to_ddl(DB)
+
+    def test_foreign_key_emitted(self):
+        ddl = schema_to_ddl(DB)
+        assert "FOREIGN KEY (CustomerID) REFERENCES Customer(CustomerID)" in ddl
+
+
+class TestPrompt:
+    def test_contains_all_columns(self):
+        prompt = schema_to_prompt(DB)
+        for table, column in DB.iter_columns():
+            assert f"{table.name}.{column.name}" in prompt
+
+    def test_contains_descriptions(self):
+        assert "full name" in schema_to_prompt(DB)
+
+    def test_contains_value_examples(self):
+        assert "'ANNA'" in schema_to_prompt(DB)
+
+    def test_examples_omitted_when_disabled(self):
+        assert "'ANNA'" not in schema_to_prompt(DB, include_examples=False)
+
+    def test_contains_foreign_keys(self):
+        assert "Orders.CustomerID = Customer.CustomerID" in schema_to_prompt(DB)
+
+    def test_database_header(self):
+        assert schema_to_prompt(DB).startswith("Database: shop")
+
+    def test_column_doc_marks_primary(self):
+        table = DB.table("Customer")
+        assert "[primary key]" in column_doc(table, table.column("CustomerID"))

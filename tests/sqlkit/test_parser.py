@@ -1,0 +1,317 @@
+"""Parser tests: every clause of the supported grammar, plus error cases."""
+
+import pytest
+
+from repro.sqlkit.ast import (
+    Between,
+    BinaryOp,
+    Case,
+    Cast,
+    ColumnRef,
+    Exists,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    Subquery,
+    UnaryOp,
+)
+from repro.sqlkit.parser import ParseError, parse_expression, parse_select
+
+
+class TestSelectList:
+    def test_simple_column(self):
+        select = parse_select("SELECT a FROM t")
+        assert select.items[0].expr == ColumnRef("a")
+
+    def test_qualified_column(self):
+        select = parse_select("SELECT t.a FROM t")
+        assert select.items[0].expr == ColumnRef("a", "t")
+
+    def test_star(self):
+        select = parse_select("SELECT * FROM t")
+        assert select.items[0].expr == Star()
+
+    def test_table_star(self):
+        select = parse_select("SELECT t.* FROM t")
+        assert select.items[0].expr == Star(table="t")
+
+    def test_alias_with_as(self):
+        select = parse_select("SELECT a AS b FROM t")
+        assert select.items[0].alias == "b"
+
+    def test_alias_without_as(self):
+        select = parse_select("SELECT a b FROM t")
+        assert select.items[0].alias == "b"
+
+    def test_multiple_items(self):
+        select = parse_select("SELECT a, b, c FROM t")
+        assert len(select.items) == 3
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_all_keyword_ignored(self):
+        assert not parse_select("SELECT ALL a FROM t").distinct
+
+    def test_count_star(self):
+        select = parse_select("SELECT COUNT(*) FROM t")
+        assert select.items[0].expr == FuncCall("COUNT", (Star(),))
+
+    def test_count_distinct(self):
+        select = parse_select("SELECT COUNT(DISTINCT a) FROM t")
+        func = select.items[0].expr
+        assert func.distinct
+        assert func.args == (ColumnRef("a"),)
+
+    def test_no_from(self):
+        select = parse_select("SELECT 1")
+        assert select.from_table is None
+
+
+class TestFromAndJoins:
+    def test_table_alias(self):
+        select = parse_select("SELECT a FROM Patient AS T1")
+        assert select.from_table.name == "Patient"
+        assert select.from_table.alias == "T1"
+
+    def test_table_alias_no_as(self):
+        select = parse_select("SELECT a FROM Patient T1")
+        assert select.from_table.alias == "T1"
+
+    def test_inner_join(self):
+        select = parse_select("SELECT a FROM t INNER JOIN u ON t.id = u.id")
+        assert select.joins[0].kind == "INNER"
+        assert select.joins[0].condition == BinaryOp(
+            "=", ColumnRef("id", "t"), ColumnRef("id", "u")
+        )
+
+    def test_bare_join_is_inner(self):
+        select = parse_select("SELECT a FROM t JOIN u ON t.id = u.id")
+        assert select.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        select = parse_select("SELECT a FROM t LEFT JOIN u ON t.id = u.id")
+        assert select.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        select = parse_select("SELECT a FROM t LEFT OUTER JOIN u ON t.id = u.id")
+        assert select.joins[0].kind == "LEFT"
+
+    def test_cross_join(self):
+        select = parse_select("SELECT a FROM t CROSS JOIN u")
+        assert select.joins[0].kind == "CROSS"
+        assert select.joins[0].condition is None
+
+    def test_comma_join_is_cross(self):
+        select = parse_select("SELECT a FROM t, u")
+        assert select.joins[0].kind == "CROSS"
+
+    def test_multiple_joins(self):
+        select = parse_select(
+            "SELECT a FROM t JOIN u ON t.id = u.id JOIN v ON u.id = v.id"
+        )
+        assert len(select.joins) == 2
+
+    def test_derived_table(self):
+        select = parse_select("SELECT a FROM (SELECT b FROM t) AS d")
+        assert select.from_table.subquery is not None
+        assert select.from_table.alias == "d"
+
+
+class TestWhere:
+    def test_comparison_ops(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            select = parse_select(f"SELECT a FROM t WHERE a {op} 1")
+            assert select.where.op == op
+
+    def test_bang_equals_normalized(self):
+        select = parse_select("SELECT a FROM t WHERE a != 1")
+        assert select.where.op == "<>"
+
+    def test_and_or_precedence(self):
+        select = parse_select("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert select.where.op == "OR"
+        assert select.where.right.op == "AND"
+
+    def test_not(self):
+        select = parse_select("SELECT a FROM t WHERE NOT x = 1")
+        assert isinstance(select.where, UnaryOp)
+        assert select.where.op == "NOT"
+
+    def test_between(self):
+        select = parse_select("SELECT a FROM t WHERE x BETWEEN 1 AND 5")
+        assert select.where == Between(
+            ColumnRef("x"), Literal.number(1), Literal.number(5)
+        )
+
+    def test_not_between(self):
+        select = parse_select("SELECT a FROM t WHERE x NOT BETWEEN 1 AND 5")
+        assert select.where.negated
+
+    def test_in_list(self):
+        select = parse_select("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(select.where, InList)
+        assert len(select.where.items) == 3
+
+    def test_not_in(self):
+        select = parse_select("SELECT a FROM t WHERE x NOT IN (1)")
+        assert select.where.negated
+
+    def test_in_subquery(self):
+        select = parse_select("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        assert select.where.subquery is not None
+
+    def test_like(self):
+        select = parse_select("SELECT a FROM t WHERE x LIKE '%q%'")
+        assert isinstance(select.where, Like)
+
+    def test_not_like(self):
+        select = parse_select("SELECT a FROM t WHERE x NOT LIKE 'q'")
+        assert select.where.negated
+
+    def test_is_null(self):
+        select = parse_select("SELECT a FROM t WHERE x IS NULL")
+        assert select.where == IsNull(ColumnRef("x"))
+
+    def test_is_not_null(self):
+        select = parse_select("SELECT a FROM t WHERE x IS NOT NULL")
+        assert select.where == IsNull(ColumnRef("x"), negated=True)
+
+    def test_scalar_subquery(self):
+        select = parse_select(
+            "SELECT a FROM t WHERE x = (SELECT MAX(x) FROM t)"
+        )
+        assert isinstance(select.where.right, Subquery)
+
+    def test_exists(self):
+        select = parse_select(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)"
+        )
+        assert isinstance(select.where, Exists)
+
+
+class TestGroupOrderLimit:
+    def test_group_by(self):
+        select = parse_select("SELECT a FROM t GROUP BY a, b")
+        assert len(select.group_by) == 2
+
+    def test_having(self):
+        select = parse_select("SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert select.having is not None
+
+    def test_order_by_default_asc(self):
+        select = parse_select("SELECT a FROM t ORDER BY a")
+        assert not select.order_by[0].desc
+
+    def test_order_by_desc(self):
+        select = parse_select("SELECT a FROM t ORDER BY a DESC")
+        assert select.order_by[0].desc
+
+    def test_order_by_multiple(self):
+        select = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert len(select.order_by) == 2
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_offset(self):
+        select = parse_select("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert (select.limit, select.offset) == (5, 2)
+
+    def test_limit_comma_form(self):
+        select = parse_select("SELECT a FROM t LIMIT 2, 5")
+        assert (select.limit, select.offset) == (5, 2)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesised(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_unary_minus_folds_into_literal(self):
+        assert parse_expression("-5") == Literal.number(-5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, UnaryOp)
+
+    def test_unary_plus_dropped(self):
+        assert parse_expression("+5") == Literal.number(5)
+
+    def test_concat(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN x = 1 THEN 'a' ELSE 'b' END")
+        assert isinstance(expr, Case)
+        assert expr.else_ == Literal.string("b")
+
+    def test_case_with_operand(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'a' END")
+        cond = expr.whens[0][0]
+        assert cond == BinaryOp("=", ColumnRef("x"), Literal.number(1))
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS REAL)")
+        assert expr == Cast(ColumnRef("x"), "REAL")
+
+    def test_strftime(self):
+        expr = parse_expression("strftime('%Y', t.d)")
+        assert expr == FuncCall(
+            "STRFTIME", (Literal.string("%Y"), ColumnRef("d", "t"))
+        )
+
+    def test_null_literal(self):
+        assert parse_expression("NULL") == Literal.null()
+
+    def test_float_literal(self):
+        assert parse_expression("2.5") == Literal.number(2.5)
+
+    def test_quoted_column_with_space(self):
+        expr = parse_expression("t.`First Date`")
+        assert expr == ColumnRef("First Date", "t")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "SELECT a FROM t ORDER a",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t trailing garbage (",
+            "SELECT a FROM t JOIN u",
+            "SELECT a FROM t WHERE x NOT 1",
+            "SELECT a FROM t WHERE x BETWEEN 1",
+            "CASE END",
+        ],
+    )
+    def test_parse_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse_select(bad) if bad.startswith("SELECT") else parse_expression(bad)
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_select("SELECT a FROM t;").items
+
+    def test_paper_example(self):
+        sql = (
+            "SELECT COUNT(DISTINCT T1.ID) FROM Patient AS T1 "
+            "INNER JOIN Laboratory AS T2 ON T1.ID = T2.ID "
+            "WHERE T2.IGA > 80 AND T2.IGA < 500 "
+            "AND strftime('%Y', T1.`First Date`) >= '1990'"
+        )
+        select = parse_select(sql)
+        assert select.items[0].expr.distinct
+        assert len(select.joins) == 1

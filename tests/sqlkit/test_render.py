@@ -1,0 +1,216 @@
+"""Renderer tests: canonical output and parse→render→parse round trips,
+including a hypothesis property over generated ASTs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlkit.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.render import quote_identifier, render, render_expr
+
+
+class TestQuoting:
+    def test_safe_identifier_unquoted(self):
+        assert quote_identifier("Patient") == "Patient"
+
+    def test_space_identifier_quoted(self):
+        assert quote_identifier("First Date") == "`First Date`"
+
+    def test_keyword_identifier_quoted(self):
+        assert quote_identifier("order") == "`order`"
+
+    def test_backtick_escaped(self):
+        assert quote_identifier("a`b") == "`a``b`"
+
+    def test_leading_digit_quoted(self):
+        assert quote_identifier("1abc") == "`1abc`"
+
+
+class TestRenderExpr:
+    def test_string_escape(self):
+        assert render_expr(Literal.string("it's")) == "'it''s'"
+
+    def test_null(self):
+        assert render_expr(Literal.null()) == "NULL"
+
+    def test_integer(self):
+        assert render_expr(Literal.number(42)) == "42"
+
+    def test_float(self):
+        assert render_expr(Literal.number(2.5)) == "2.5"
+
+    def test_negative_number(self):
+        assert render_expr(Literal.number(-3)) == "-3"
+
+    def test_qualified_column(self):
+        assert render_expr(ColumnRef("IGA", "T2")) == "T2.IGA"
+
+    def test_count_distinct(self):
+        expr = FuncCall("COUNT", (ColumnRef("ID"),), distinct=True)
+        assert render_expr(expr) == "COUNT(DISTINCT ID)"
+
+    def test_precedence_parens(self):
+        expr = BinaryOp(
+            "*",
+            BinaryOp("+", Literal.number(1), Literal.number(2)),
+            Literal.number(3),
+        )
+        assert render_expr(expr) == "(1 + 2) * 3"
+
+    def test_no_spurious_parens(self):
+        expr = BinaryOp(
+            "+",
+            BinaryOp("*", Literal.number(1), Literal.number(2)),
+            Literal.number(3),
+        )
+        assert render_expr(expr) == "1 * 2 + 3"
+
+    def test_or_inside_and_parenthesised(self):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("OR", ColumnRef("a"), ColumnRef("b")),
+            ColumnRef("c"),
+        )
+        assert render_expr(expr) == "(a OR b) AND c"
+
+    def test_is_not_null(self):
+        assert render_expr(IsNull(ColumnRef("x"), negated=True)) == "x IS NOT NULL"
+
+    def test_between(self):
+        expr = Between(ColumnRef("x"), Literal.number(1), Literal.number(5))
+        assert render_expr(expr) == "x BETWEEN 1 AND 5"
+
+    def test_not_like(self):
+        expr = Like(ColumnRef("x"), Literal.string("%q%"), negated=True)
+        assert render_expr(expr) == "x NOT LIKE '%q%'"
+
+    def test_in_list(self):
+        expr = InList(ColumnRef("x"), items=(Literal.number(1), Literal.number(2)))
+        assert render_expr(expr) == "x IN (1, 2)"
+
+
+ROUND_TRIP_SQL = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS c FROM t",
+    "SELECT COUNT(*) FROM t WHERE x = 'y'",
+    "SELECT t.a FROM t AS x WHERE x.a > 1 AND x.b < 2 OR x.c = 3",
+    "SELECT a FROM t INNER JOIN u AS T2 ON t.id = T2.id WHERE T2.v IS NOT NULL",
+    "SELECT a FROM t LEFT JOIN u ON t.id = u.id",
+    "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 3",
+    "SELECT a FROM t ORDER BY a DESC LIMIT 1 OFFSET 2",
+    "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 1)",
+    "SELECT a FROM t WHERE x BETWEEN 1 AND 5 AND y NOT LIKE 'q%'",
+    "SELECT CASE WHEN x = 1 THEN 'a' ELSE 'b' END FROM t",
+    "SELECT CAST(x AS REAL) FROM t",
+    "SELECT STRFTIME('%Y', t.`First Date`) FROM t",
+    "SELECT a FROM (SELECT b FROM u) AS d",
+    "SELECT `weird name`.`col name` FROM `weird name`",
+    "SELECT -x, NOT y = 1 FROM t",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUND_TRIP_SQL)
+    def test_parse_render_parse_fixed_point(self, sql):
+        first = parse_select(sql)
+        rendered = render(first)
+        second = parse_select(rendered)
+        assert first == second
+        # Rendering is canonical: a second round trip is a fixed point.
+        assert render(second) == rendered
+
+
+# --------------------------------------------------------- property test
+
+_names = st.sampled_from(["a", "b", "col", "First Date", "x1"])
+_tables = st.sampled_from(["t", "u", "Tab Le"])
+
+
+def _literals():
+    return st.one_of(
+        st.integers(min_value=-1000, max_value=1000).map(Literal.number),
+        st.text(
+            alphabet="abc XYZ'%_", min_size=0, max_size=8
+        ).map(Literal.string),
+        st.just(Literal.null()),
+    )
+
+
+def _columns():
+    return st.builds(
+        ColumnRef, column=_names, table=st.one_of(st.none(), _tables)
+    )
+
+
+def _atoms():
+    return st.one_of(_literals(), _columns())
+
+
+def _expressions(depth=2):
+    if depth == 0:
+        return _atoms()
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        _atoms(),
+        st.builds(
+            BinaryOp,
+            op=st.sampled_from(["=", "<>", "<", ">", "+", "-", "*", "AND", "OR"]),
+            left=sub,
+            right=sub,
+        ),
+        st.builds(UnaryOp, op=st.just("NOT"), operand=sub),
+        st.builds(IsNull, expr=_columns(), negated=st.booleans()),
+        st.builds(
+            FuncCall,
+            name=st.sampled_from(["COUNT", "MAX", "ABS"]),
+            args=st.tuples(sub),
+            distinct=st.booleans(),
+        ),
+    )
+
+
+def _selects():
+    return st.builds(
+        Select,
+        items=st.lists(
+            st.builds(SelectItem, expr=_expressions(), alias=st.none()),
+            min_size=1,
+            max_size=3,
+        ).map(tuple),
+        from_table=st.builds(TableRef, name=_tables, alias=st.none()),
+        joins=st.just(()),
+        where=st.one_of(st.none(), _expressions()),
+        group_by=st.lists(_columns(), max_size=2).map(tuple),
+        having=st.none(),
+        order_by=st.lists(
+            st.builds(OrderItem, expr=_columns(), desc=st.booleans()), max_size=2
+        ).map(tuple),
+        limit=st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+        offset=st.none(),
+        distinct=st.booleans(),
+    )
+
+
+class TestRenderProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(_selects())
+    def test_generated_ast_round_trips(self, select):
+        rendered = render(select)
+        assert parse_select(rendered) == select

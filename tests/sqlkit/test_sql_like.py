@@ -1,0 +1,109 @@
+"""SQL-Like intermediate language tests."""
+
+import pytest
+
+from repro.sqlkit.ast import ColumnRef, FuncCall, Literal
+from repro.sqlkit.parser import ParseError, parse_select
+from repro.sqlkit.sql_like import (
+    SQLLike,
+    parse_sql_like,
+    render_sql_like,
+    select_to_sql_like,
+)
+
+
+class TestParseSQLLike:
+    def test_show_keyword(self):
+        sql_like = parse_sql_like("Show COUNT(*) WHERE t.x = 1")
+        assert sql_like.items[0].expr == FuncCall("COUNT", (parse_sql_like("Show *").items[0].expr,))
+
+    def test_select_keyword_accepted(self):
+        assert parse_sql_like("SELECT t.a").items
+
+    def test_other_keyword_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql_like("FETCH t.a")
+
+    def test_distinct(self):
+        assert parse_sql_like("Show DISTINCT t.a").distinct
+
+    def test_group_having(self):
+        sql_like = parse_sql_like("Show t.a GROUP BY t.a HAVING COUNT(*) > 2")
+        assert len(sql_like.group_by) == 1
+        assert sql_like.having is not None
+
+    def test_order_limit_offset(self):
+        sql_like = parse_sql_like("Show t.a ORDER BY t.b DESC LIMIT 1 OFFSET 2")
+        assert sql_like.order_by[0].desc
+        assert sql_like.limit == 1
+        assert sql_like.offset == 2
+
+    def test_tables_in_order(self):
+        sql_like = parse_sql_like("Show A.x, B.y WHERE C.z = 1")
+        assert sql_like.tables() == ("A", "B", "C")
+
+    def test_tables_deduplicated(self):
+        sql_like = parse_sql_like("Show A.x, A.y WHERE A.z = 1")
+        assert sql_like.tables() == ("A",)
+
+
+class TestRenderSQLLike:
+    def test_round_trip(self):
+        text = (
+            "Show COUNT(DISTINCT Patient.ID) WHERE Laboratory.IGA > 80 "
+            "AND Laboratory.IGA < 500"
+        )
+        sql_like = parse_sql_like(text)
+        assert parse_sql_like(render_sql_like(sql_like)) == sql_like
+
+    def test_renders_show(self):
+        assert render_sql_like(parse_sql_like("Show t.a")).startswith("Show ")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Show t.a",
+            "Show DISTINCT t.a, t.b",
+            "Show t.a WHERE t.b IS NOT NULL ORDER BY t.b DESC LIMIT 1",
+            "Show t.a GROUP BY t.a HAVING COUNT(*) > 1",
+            "Show t.a ORDER BY t.b LIMIT 3 OFFSET 1",
+            "Show t.a AS alias WHERE t.x = 'v'",
+        ],
+    )
+    def test_round_trips(self, text):
+        sql_like = parse_sql_like(text)
+        assert parse_sql_like(render_sql_like(sql_like)) == sql_like
+
+
+class TestSelectToSQLLike:
+    def test_aliases_resolved(self):
+        select = parse_select(
+            "SELECT T1.ID FROM Patient AS T1 INNER JOIN Laboratory AS T2 "
+            "ON T1.ID = T2.ID WHERE T2.IGA > 80"
+        )
+        sql_like = select_to_sql_like(select)
+        assert sql_like.items[0].expr == ColumnRef("ID", "Patient")
+        refs = sql_like.tables()
+        assert refs == ("Patient", "Laboratory")
+
+    def test_join_conditions_dropped(self):
+        select = parse_select(
+            "SELECT a.x FROM a INNER JOIN b ON a.id = b.id WHERE b.y = 1"
+        )
+        sql_like = select_to_sql_like(select)
+        # Only the WHERE filter survives, not the join equality.
+        assert sql_like.where == parse_sql_like("Show z WHERE b.y = 1").where
+
+    def test_limit_offset_preserved(self):
+        select = parse_select("SELECT a FROM t ORDER BY a DESC LIMIT 1 OFFSET 3")
+        sql_like = select_to_sql_like(select)
+        assert (sql_like.limit, sql_like.offset) == (1, 3)
+
+    def test_distinct_preserved(self):
+        select = parse_select("SELECT DISTINCT a FROM t")
+        assert select_to_sql_like(select).distinct
+
+    def test_unaliased_table_untouched(self):
+        select = parse_select("SELECT Patient.ID FROM Patient")
+        sql_like = select_to_sql_like(select)
+        assert sql_like.items[0].expr == ColumnRef("ID", "Patient")

@@ -1,0 +1,150 @@
+"""Tokenizer tests: token categories, quoting forms, comments, errors."""
+
+import pytest
+
+from repro.sqlkit.tokenizer import Token, TokenizeError, TokenType, tokenize
+
+
+def kinds(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select From wHeRe")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifier_not_keyword(self):
+        (token,) = tokenize("patients")[:-1]
+        assert token.type is TokenType.IDENT
+        assert token.value == "patients"
+
+    def test_eof_terminates(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        assert len(tokenize("   \n\t  ")) == 1
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == ["(", ")", ",", ".", ";"]
+
+    def test_operators(self):
+        assert values("= <> <= >= != < > + - * / % ||") == [
+            "=", "<>", "<=", ">=", "!=", "<", ">", "+", "-", "*", "/", "%", "||",
+        ]
+
+
+class TestStringsAndIdentifiers:
+    def test_single_quoted_string(self):
+        (token,) = tokenize("'hello'")[:-1]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_doubled_quote_escape(self):
+        (token,) = tokenize("'it''s'")[:-1]
+        assert token.value == "it's"
+
+    def test_double_quoted_identifier(self):
+        (token,) = tokenize('"First Date"')[:-1]
+        assert token.type is TokenType.IDENT
+        assert token.value == "First Date"
+
+    def test_backtick_identifier(self):
+        (token,) = tokenize("`First Date`")[:-1]
+        assert token.type is TokenType.IDENT
+        assert token.value == "First Date"
+
+    def test_bracket_identifier(self):
+        (token,) = tokenize("[First Date]")[:-1]
+        assert token.type is TokenType.IDENT
+        assert token.value == "First Date"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_unterminated_backtick_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("`oops")
+
+    def test_unterminated_bracket_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("[oops")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text", ["1", "42", "3.14", ".5", "1e9", "2.5E-3", "7e+2"]
+    )
+    def test_number_forms(self, text):
+        (token,) = tokenize(text)[:-1]
+        assert token.type is TokenType.NUMBER
+        assert token.value == text
+
+    def test_number_then_dot_ident(self):
+        tokens = tokenize("1.5x")
+        assert tokens[0].value == "1.5"
+        assert tokens[1].value == "x"
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- a comment\n 1") == ["SELECT", "1"]
+
+    def test_block_comment_skipped(self):
+        assert values("SELECT /* stuff */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TokenizeError):
+            tokenize("SELECT /* nope")
+
+
+class TestErrorsAndHelpers:
+    def test_unexpected_character(self):
+        with pytest.raises(TokenizeError) as info:
+            tokenize("SELECT @x")
+        assert "@" in str(info.value)
+
+    def test_position_recorded(self):
+        with pytest.raises(TokenizeError) as info:
+            tokenize("ab @")
+        assert info.value.position == 3
+
+    def test_is_keyword_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+    def test_ident_is_not_keyword_helper(self):
+        token = Token(TokenType.IDENT, "SELECT", 0)
+        assert not token.is_keyword("SELECT")
+
+    def test_full_statement_token_stream(self):
+        sql = "SELECT COUNT(*) FROM t WHERE x = 'y' LIMIT 1"
+        assert kinds(sql) == [
+            TokenType.KEYWORD,  # SELECT
+            TokenType.IDENT,    # COUNT
+            TokenType.PUNCT,    # (
+            TokenType.OPERATOR, # *
+            TokenType.PUNCT,    # )
+            TokenType.KEYWORD,  # FROM
+            TokenType.IDENT,    # t
+            TokenType.KEYWORD,  # WHERE
+            TokenType.IDENT,    # x
+            TokenType.OPERATOR, # =
+            TokenType.STRING,   # 'y'
+            TokenType.KEYWORD,  # LIMIT
+            TokenType.NUMBER,   # 1
+        ]

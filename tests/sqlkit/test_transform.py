@@ -1,0 +1,117 @@
+"""AST traversal/rewrite utility tests."""
+
+from repro.sqlkit.ast import BinaryOp, ColumnRef, FuncCall, Literal
+from repro.sqlkit.parser import parse_select
+from repro.sqlkit.render import render
+from repro.sqlkit.transform import (
+    collect_column_refs,
+    collect_functions,
+    collect_literals,
+    collect_tables,
+    map_expressions,
+    replace_nodes,
+    walk,
+)
+
+SQL = (
+    "SELECT COUNT(DISTINCT T1.ID) FROM Patient AS T1 "
+    "INNER JOIN Laboratory AS T2 ON T1.ID = T2.ID "
+    "WHERE T2.IGA > 80 AND T2.Name = 'JOHN'"
+)
+
+
+class TestWalk:
+    def test_walk_includes_root(self):
+        select = parse_select(SQL)
+        assert select in list(walk(select))
+
+    def test_walk_reaches_join_condition(self):
+        select = parse_select(SQL)
+        refs = collect_column_refs(select)
+        assert ColumnRef("ID", "T2") in refs
+
+    def test_walk_reaches_subquery(self):
+        select = parse_select(
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 5)"
+        )
+        assert Literal.number(5) in collect_literals(select)
+
+    def test_walk_reaches_derived_table(self):
+        select = parse_select("SELECT a FROM (SELECT b FROM inner_t) AS d")
+        assert any(t.name == "inner_t" for t in collect_tables(select))
+
+
+class TestCollectors:
+    def test_collect_column_refs_order(self):
+        select = parse_select("SELECT a, b FROM t WHERE c = 1")
+        names = [r.column for r in collect_column_refs(select)]
+        assert names == ["a", "b", "c"]
+
+    def test_collect_literals(self):
+        select = parse_select(SQL)
+        values = {l.value for l in collect_literals(select)}
+        assert values == {80, "JOHN"}
+
+    def test_collect_functions(self):
+        select = parse_select(SQL)
+        assert [f.name for f in collect_functions(select)] == ["COUNT"]
+
+    def test_collect_tables(self):
+        select = parse_select(SQL)
+        assert [t.name for t in collect_tables(select)] == ["Patient", "Laboratory"]
+
+
+class TestReplace:
+    def test_replace_literal(self):
+        select = parse_select("SELECT a FROM t WHERE name = 'john'")
+
+        def fix(node):
+            if isinstance(node, Literal) and node.value == "john":
+                return Literal.string("JOHN")
+            return None
+
+        rewritten = replace_nodes(select, fix)
+        assert "JOHN" in render(rewritten)
+        # Original untouched (pure rewrite).
+        assert "john" in render(select)
+
+    def test_replace_no_change_returns_equal(self):
+        select = parse_select(SQL)
+        rewritten = replace_nodes(select, lambda n: None)
+        assert rewritten == select
+
+    def test_map_expressions_only_touches_exprs(self):
+        select = parse_select("SELECT a FROM t WHERE b = 1")
+        counter = {"n": 0}
+
+        def count(expr):
+            counter["n"] += 1
+            return None
+
+        map_expressions(select, count)
+        assert counter["n"] > 0
+
+    def test_bottom_up_rewrite(self):
+        # Child rewritten first; parent mapping sees the new child.
+        select = parse_select("SELECT a FROM t WHERE x = 1")
+        seen = []
+
+        def watch(node):
+            if isinstance(node, BinaryOp):
+                seen.append(render(select.with_()) if False else node.op)
+            if isinstance(node, Literal) and node.value == 1:
+                return Literal.number(2)
+            return None
+
+        rewritten = replace_nodes(select, watch)
+        assert Literal.number(2) in collect_literals(rewritten)
+
+    def test_replace_function_name(self):
+        select = parse_select("SELECT MAX(x) FROM t")
+
+        def fix(node):
+            if isinstance(node, FuncCall) and node.name == "MAX":
+                return FuncCall("MIN", node.args)
+            return None
+
+        assert "MIN(x)" in render(replace_nodes(select, fix))

@@ -1,0 +1,72 @@
+"""CLI tests (fast paths only; heavy sweeps are covered by benches)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.benchmark == "bird"
+        assert args.model == "gpt-4o"
+        assert args.candidates == 21
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--model", "claude", "stats"])
+
+
+class TestStats:
+    def test_prints_both_suites(self):
+        code, text = run_cli("stats")
+        assert code == 0
+        assert "bird-like" in text
+        assert "spider-like" in text
+
+
+class TestRun:
+    def test_answers_first_dev_question(self):
+        code, text = run_cli("--candidates", "3", "run")
+        assert code == 0
+        assert "sql      :" in text
+        assert "verdict  :" in text
+
+    def test_unknown_question_id(self):
+        code, text = run_cli("--candidates", "3", "run", "--question-id", "nope")
+        assert code == 2
+        assert "error" in text
+
+    def test_specific_question(self):
+        from repro.datasets.bird import build_bird_like
+
+        qid = build_bird_like().dev[1].question_id
+        code, text = run_cli("--candidates", "3", "run", "--question-id", qid)
+        assert code == 0
+
+
+class TestEvaluate:
+    def test_limited_evaluation(self):
+        code, text = run_cli("--candidates", "3", "evaluate", "--limit", "10")
+        assert code == 0
+        assert "EX " in text or "EX  " in text
+        assert "R-VES" in text
+
+    def test_spider_benchmark(self):
+        code, text = run_cli(
+            "--benchmark", "spider", "--candidates", "3", "evaluate", "--limit", "8"
+        )
+        assert code == 0
+        assert "examples : 8" in text
