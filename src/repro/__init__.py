@@ -25,19 +25,29 @@ from repro.core import OpenSearchSQL, PipelineConfig, PipelineResult
 from repro.datasets import Benchmark, Example, build_bird_like, build_spider_like
 from repro.evaluation import EvalReport, evaluate_pipeline, evaluate_system
 from repro.llm import GPT_4, GPT_4O, GPT_4O_MINI, SimulatedLLM, SkillProfile
+from repro.reliability import (
+    FaultInjectingLLM,
+    FaultPlan,
+    ResilientLLM,
+    RetryPolicy,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Benchmark",
     "EvalReport",
     "Example",
+    "FaultInjectingLLM",
+    "FaultPlan",
     "GPT_4",
     "GPT_4O",
     "GPT_4O_MINI",
     "OpenSearchSQL",
     "PipelineConfig",
     "PipelineResult",
+    "ResilientLLM",
+    "RetryPolicy",
     "SimulatedLLM",
     "SkillProfile",
     "build_bird_like",

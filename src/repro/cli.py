@@ -64,6 +64,15 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--split", choices=("dev", "test"), default="dev")
     ev.add_argument("--limit", type=int, default=0, metavar="N",
                     help="evaluate only the first N examples (0 = all)")
+    ev.add_argument("--checkpoint", metavar="PATH",
+                    help="JSONL checkpoint file: finished examples are "
+                         "appended and replayed on resume")
+    ev.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                    help="inject transport/content faults at rate R "
+                         "(chaos mode; default: 0 = off)")
+    ev.add_argument("--no-retry", action="store_true",
+                    help="with --fault-rate: disable the resilient "
+                         "transport (faults hit the pipeline directly)")
 
     ab = sub.add_parser("ablate", help="module ablation sweep (Table 4 style)")
     ab.add_argument("--size", type=int, default=150,
@@ -132,7 +141,20 @@ def _cmd_evaluate(args, out) -> int:
     if args.limit:
         examples = examples[: args.limit]
     pipeline = _build_pipeline(benchmark, args)
-    report = evaluate_pipeline(pipeline, examples)
+
+    injector = None
+    if args.fault_rate > 0:
+        from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
+
+        # Preprocessing already ran on the clean client; only the per-
+        # question transport goes through the chaos stack.
+        injector = FaultInjectingLLM(
+            pipeline.llm, FaultPlan.chaos(args.fault_rate), seed=args.seed
+        )
+        llm = injector if args.no_retry else ResilientLLM(injector, seed=args.seed)
+        pipeline.rebind_llm(llm)
+
+    report = evaluate_pipeline(pipeline, examples, checkpoint_path=args.checkpoint)
     out.write(f"examples : {report.count}\n")
     out.write(f"EX       : {report.ex:.1f}\n")
     out.write(f"EX_G     : {report.ex_g:.1f}\n")
@@ -140,6 +162,11 @@ def _cmd_evaluate(args, out) -> int:
     out.write(f"R-VES    : {report.r_ves:.1f}\n")
     for difficulty, value in report.ex_by_difficulty().items():
         out.write(f"  {difficulty:12s} {value:.1f}\n")
+    if report.errors or report.degradations:
+        out.write(f"errors   : {len(report.errors)}\n")
+        out.write(f"degraded : {report.degradation_counts()}\n")
+    if injector is not None:
+        out.write(f"faults   : {injector.stats.fault_counts()}\n")
     return 0
 
 

@@ -24,8 +24,13 @@ from repro.datasets.types import Example
 from repro.embedding.vectorizer import HashingVectorizer
 from repro.execution.executor import SQLExecutor
 from repro.llm.base import LLMClient
+from repro.reliability.degradation import DegradationEvent, DegradationKind
 
-__all__ = ["PipelineResult", "OpenSearchSQL"]
+__all__ = ["PipelineResult", "OpenSearchSQL", "FALLBACK_SQL"]
+
+#: stub emitted when no stage produced any SQL at all; always recorded as a
+#: DegradationEvent, never silently
+FALLBACK_SQL = "SELECT 1"
 
 
 @dataclass
@@ -41,6 +46,13 @@ class PipelineResult:
     extraction: Optional[ExtractionResult] = None
     refinement: Optional[RefinementResult] = None
     cost: CostTracker = field(default_factory=CostTracker)
+    #: every containment decision taken while answering (empty = clean run)
+    degradations: list[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage fell back instead of completing normally."""
+        return bool(self.degradations)
 
 
 class OpenSearchSQL:
@@ -90,41 +102,143 @@ class OpenSearchSQL:
         """The preprocessing artifacts for one benchmark database."""
         return self.databases[db_id]
 
+    def rebind_llm(self, llm: LLMClient) -> "OpenSearchSQL":
+        """Swap the LLM transport used for answering.
+
+        Preprocessing artifacts (indexes, few-shot library) are kept, so
+        two transports — say a clean client and the same client behind a
+        fault injector — can be compared over identical preprocessing.
+        """
+        self.llm = llm
+        self.extractor.llm = llm
+        self.generator.llm = llm
+        self.refiner.llm = llm
+        return self
+
     # ----------------------------------------------------------------- run
 
     def answer(self, example: Example) -> PipelineResult:
-        """Run the main process (Algorithm 1 lines 17–25) for one NLQ."""
+        """Run the main process (Algorithm 1 lines 17–25) for one NLQ.
+
+        Each stage is containment-wrapped: a transport failure degrades the
+        answer (recorded as a :class:`DegradationEvent`) instead of
+        crashing the run — extraction falls back to full-schema prompting,
+        generation retries at a single candidate, refinement failure
+        returns the best unrefined candidate.
+        """
         cost = CostTracker()
+        degradations: list[DegradationEvent] = []
         pre = self.preprocessed(example.db_id)
         executor = self.executor(example.db_id)
 
         with cost.timed("extraction"):
-            extraction = self.extractor.run(example, pre, cost)
+            try:
+                extraction = self.extractor.run(example, pre, cost)
+            except Exception as exc:
+                degradations.append(
+                    DegradationEvent(
+                        kind=DegradationKind.EXTRACTION_FALLBACK,
+                        stage="extraction",
+                        cause=type(exc).__name__,
+                        detail=str(exc),
+                    )
+                )
+                extraction = ExtractionResult(
+                    schema=pre.schema, schema_prompt=pre.schema_prompt
+                )
 
         n = self.config.n_candidates if self.config.use_self_consistency else 1
         with cost.timed("generation"):
-            generation = self.generator.run(
-                example, extraction, self.library, cost, n_candidates=n
+            sqls = self._generate_contained(
+                example, extraction, cost, n, degradations
             )
 
-        sqls = generation.sqls
         if not sqls:
-            sqls = ["SELECT 1"]
+            # Observable stand-in for "the model produced nothing usable";
+            # scoring treats it like any other wrong query.
+            degradations.append(
+                DegradationEvent(
+                    kind=DegradationKind.EMPTY_GENERATION,
+                    stage="generation",
+                    cause="no_parseable_sql",
+                    detail=f"falling back to {FALLBACK_SQL!r}",
+                )
+            )
+            sqls = [FALLBACK_SQL]
 
         with cost.timed("refinement"):
-            refinement = self.refiner.run(
-                example, sqls, pre, extraction, executor, cost
-            )
+            try:
+                refinement = self.refiner.run(
+                    example, sqls, pre, extraction, executor, cost
+                )
+            except Exception as exc:
+                degradations.append(
+                    DegradationEvent(
+                        kind=DegradationKind.REFINEMENT_SKIPPED,
+                        stage="refinement",
+                        cause=type(exc).__name__,
+                        detail=str(exc),
+                    )
+                )
+                refinement = RefinementResult(final_sql=sqls[0], candidates=[])
 
         return PipelineResult(
             question_id=example.question_id,
             final_sql=refinement.final_sql,
             generation_sql=sqls[0],
-            refined_sql=refinement.first_refined_sql,
+            refined_sql=refinement.first_refined_sql or sqls[0],
             extraction=extraction,
             refinement=refinement,
             cost=cost,
+            degradations=degradations,
         )
+
+    def _generate_contained(
+        self,
+        example: Example,
+        extraction: ExtractionResult,
+        cost: CostTracker,
+        n: int,
+        degradations: list[DegradationEvent],
+    ) -> list[str]:
+        """Generation with containment: full width, then width 1, then []."""
+        try:
+            return self.generator.run(
+                example, extraction, self.library, cost, n_candidates=n
+            ).sqls
+        except Exception as exc:
+            if n == 1:
+                degradations.append(
+                    DegradationEvent(
+                        kind=DegradationKind.ANSWER_FAILED,
+                        stage="generation",
+                        cause=type(exc).__name__,
+                        detail=str(exc),
+                    )
+                )
+                return []
+            degradations.append(
+                DegradationEvent(
+                    kind=DegradationKind.GENERATION_REDUCED,
+                    stage="generation",
+                    cause=type(exc).__name__,
+                    detail=f"retrying with n_candidates=1 after {exc}",
+                )
+            )
+        try:
+            return self.generator.run(
+                example, extraction, self.library, cost, n_candidates=1
+            ).sqls
+        except Exception as exc:
+            degradations.append(
+                DegradationEvent(
+                    kind=DegradationKind.ANSWER_FAILED,
+                    stage="generation",
+                    cause=type(exc).__name__,
+                    detail=str(exc),
+                )
+            )
+        return []
 
     def answer_many(self, examples: list[Example]) -> list[PipelineResult]:
         """Answer a batch of questions."""

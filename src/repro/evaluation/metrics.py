@@ -51,6 +51,9 @@ class ExampleScore:
     gold_time: float = 0.0
     predicted_status: str = ""
     difficulty: str = "simple"
+    #: set when the example crashed the system and was isolated by the
+    #: runner (the score is then 0 by construction)
+    error: Optional[str] = None
 
     @property
     def reward(self) -> float:

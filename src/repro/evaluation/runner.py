@@ -1,10 +1,22 @@
 """Workload runners: evaluate a pipeline (with EX_G/EX_R/EX traces) or any
-generic text-to-SQL system over a list of examples."""
+generic text-to-SQL system over a list of examples.
+
+Both runners are production-hardened:
+
+* **per-example error isolation** — an example that crashes the system
+  scores 0 and carries an ``error`` field instead of killing the run;
+* **checkpoint/resume** — pass ``checkpoint_path`` and every finished
+  example is appended to a JSONL checkpoint
+  (:class:`~repro.reliability.checkpoint.EvalCheckpoint`); re-running with
+  the same path replays finished examples from disk and continues with the
+  rest, producing the identical final :class:`EvalReport`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, runtime_checkable
+from pathlib import Path
+from typing import Optional, Protocol, Union, runtime_checkable
 
 from repro.core.cost import CostTracker
 from repro.core.pipeline import OpenSearchSQL, PipelineResult
@@ -17,7 +29,8 @@ from repro.evaluation.metrics import (
     score_example,
     ves,
 )
-from repro.execution.executor import SQLExecutor
+from repro.execution.executor import ExecutionOutcome, SQLExecutor
+from repro.reliability.checkpoint import EvalCheckpoint
 
 __all__ = ["EvalReport", "evaluate_pipeline", "evaluate_system", "TextToSQLSystem"]
 
@@ -42,6 +55,8 @@ class EvalReport:
     generation_scores: list[ExampleScore] = field(default_factory=list)
     refined_scores: list[ExampleScore] = field(default_factory=list)
     cost: CostTracker = field(default_factory=CostTracker)
+    #: one dict per degradation event: question_id + the event's fields
+    degradations: list[dict] = field(default_factory=list)
 
     @property
     def ex(self) -> float:
@@ -83,6 +98,19 @@ class EvalReport:
         """Number of evaluated examples."""
         return len(self.scores)
 
+    @property
+    def errors(self) -> list[ExampleScore]:
+        """Scores of examples the runner had to isolate."""
+        return [score for score in self.scores if score.error]
+
+    def degradation_counts(self) -> dict[str, int]:
+        """Occurrences per degradation kind across the workload."""
+        counts: dict[str, int] = {}
+        for event in self.degradations:
+            kind = event.get("kind", "unknown")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     def to_dict(self) -> dict:
         """JSON-serializable summary (used by ``save_json``)."""
         from dataclasses import asdict
@@ -97,44 +125,119 @@ class EvalReport:
             "ves": self.ves,
             "ex_by_difficulty": self.ex_by_difficulty(),
             "cost": self.cost.summary(),
+            "errors": len(self.errors),
+            "degradations": self.degradation_counts(),
             "scores": [asdict(score) for score in self.scores],
         }
 
     def save_json(self, path) -> None:
-        """Write the report summary to ``path`` as JSON."""
+        """Write the report summary to ``path`` as JSON, creating missing
+        parent directories."""
         import json
-        from pathlib import Path
 
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2))
+
+
+def _error_score(example: Example, error: str, gold_time: float = 0.0) -> ExampleScore:
+    """The zero score an isolated (crashed) example receives."""
+    return ExampleScore(
+        question_id=example.question_id,
+        correct=False,
+        gold_time=gold_time,
+        predicted_status="crashed",
+        difficulty=example.difficulty,
+        error=error,
+    )
 
 
 def evaluate_pipeline(
     pipeline: OpenSearchSQL,
     examples: list[Example],
     name: Optional[str] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
 ) -> EvalReport:
     """Run an OpenSearch-SQL pipeline over ``examples``, scoring the three
-    observables (EX_G, EX_R, EX) the paper's ablation tables report."""
+    observables (EX_G, EX_R, EX) the paper's ablation tables report.
+
+    A crashed example never kills the run: it scores 0 with an ``error``
+    field.  With ``checkpoint_path`` every finished example is appended to
+    a JSONL checkpoint and already-checkpointed examples are replayed from
+    disk on resume.
+    """
     report = EvalReport(system=name or f"opensearch-sql[{pipeline.llm.model_name}]")
-    gold_cache: dict[str, object] = {}
+    checkpoint = EvalCheckpoint(checkpoint_path) if checkpoint_path else None
+    gold_cache: dict[str, ExecutionOutcome] = {}
     for example in examples:
-        executor = pipeline.executor(example.db_id)
-        result: PipelineResult = pipeline.answer(example)
-        gold = gold_cache.get(example.question_id)
-        if gold is None:
-            gold = executor.execute(example.gold_sql)
-            gold_cache[example.question_id] = gold
-        report.scores.append(
-            score_example(example, result.final_sql, executor, gold)
-        )
-        report.generation_scores.append(
-            score_example(example, result.generation_sql, executor, gold)
-        )
-        report.refined_scores.append(
-            score_example(example, result.refined_sql, executor, gold)
-        )
-        report.cost.merge(result.cost)
+        record = checkpoint.get(example.question_id) if checkpoint else None
+        if record is not None:
+            score, generation_score, refined_score, cost, degradations = (
+                EvalCheckpoint.decode(record)
+            )
+            _append(report, example, score, generation_score, refined_score)
+            if cost is not None:
+                report.cost.merge(cost)
+            for event in degradations:
+                report.degradations.append(
+                    {"question_id": example.question_id, **event.to_dict()}
+                )
+            continue
+
+        degradation_events = []
+        try:
+            executor = pipeline.executor(example.db_id)
+            result: PipelineResult = pipeline.answer(example)
+            degradation_events = result.degradations
+            gold = gold_cache.get(example.question_id)
+            if gold is None:
+                gold = executor.execute(example.gold_sql)
+                gold_cache[example.question_id] = gold
+            score = score_example(example, result.final_sql, executor, gold)
+            generation_score = score_example(
+                example, result.generation_sql, executor, gold
+            )
+            refined_score = score_example(example, result.refined_sql, executor, gold)
+            cost = result.cost
+            error = None
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            score = _error_score(example, error)
+            generation_score = _error_score(example, error)
+            refined_score = _error_score(example, error)
+            cost = None
+
+        _append(report, example, score, generation_score, refined_score)
+        if cost is not None:
+            report.cost.merge(cost)
+        for event in degradation_events:
+            report.degradations.append(
+                {"question_id": example.question_id, **event.to_dict()}
+            )
+        if checkpoint is not None:
+            checkpoint.record_example(
+                example.question_id,
+                score=score,
+                generation_score=generation_score,
+                refined_score=refined_score,
+                cost=cost,
+                degradations=list(degradation_events),
+                error=error,
+            )
     return report
+
+
+def _append(
+    report: EvalReport,
+    example: Example,
+    score: Optional[ExampleScore],
+    generation_score: Optional[ExampleScore],
+    refined_score: Optional[ExampleScore],
+) -> None:
+    fallback = _error_score(example, "missing checkpoint score")
+    report.scores.append(score or fallback)
+    report.generation_scores.append(generation_score or fallback)
+    report.refined_scores.append(refined_score or fallback)
 
 
 def evaluate_system(
@@ -142,18 +245,49 @@ def evaluate_system(
     benchmark: Benchmark,
     examples: list[Example],
     timeout_seconds: float = 5.0,
+    checkpoint_path: Optional[Union[str, Path]] = None,
 ) -> EvalReport:
-    """Evaluate any text-to-SQL system (baseline or pipeline wrapper)."""
+    """Evaluate any text-to-SQL system (baseline or pipeline wrapper).
+
+    Gold outcomes are cached per ``question_id`` (the same ``gold_cache``
+    :func:`evaluate_pipeline` keeps), crashed examples are isolated, and
+    ``checkpoint_path`` enables JSONL checkpoint/resume.
+    """
     report = EvalReport(system=system.name)
+    checkpoint = EvalCheckpoint(checkpoint_path) if checkpoint_path else None
     executors: dict[str, SQLExecutor] = {}
+    gold_cache: dict[str, ExecutionOutcome] = {}
     for example in examples:
-        if example.db_id not in executors:
-            executors[example.db_id] = SQLExecutor(
-                benchmark.database(example.db_id).connection,
-                timeout_seconds=timeout_seconds,
+        record = checkpoint.get(example.question_id) if checkpoint else None
+        if record is not None:
+            score, _generation, _refined, _cost, _degradations = (
+                EvalCheckpoint.decode(record)
             )
-        executor = executors[example.db_id]
-        answer = system.answer(example)
-        sql = answer if isinstance(answer, str) else getattr(answer, "final_sql", "")
-        report.scores.append(score_example(example, sql, executor))
+            report.scores.append(
+                score or _error_score(example, "missing checkpoint score")
+            )
+            continue
+
+        try:
+            if example.db_id not in executors:
+                executors[example.db_id] = SQLExecutor(
+                    benchmark.database(example.db_id).connection,
+                    timeout_seconds=timeout_seconds,
+                )
+            executor = executors[example.db_id]
+            gold = gold_cache.get(example.question_id)
+            if gold is None:
+                gold = executor.execute(example.gold_sql)
+                gold_cache[example.question_id] = gold
+            answer = system.answer(example)
+            sql = answer if isinstance(answer, str) else getattr(answer, "final_sql", "")
+            score = score_example(example, sql, executor, gold)
+            error = None
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            score = _error_score(example, error)
+
+        report.scores.append(score)
+        if checkpoint is not None:
+            checkpoint.record_example(example.question_id, score=score, error=error)
     return report

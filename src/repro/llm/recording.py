@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from pathlib import Path
 from typing import Optional, Union
 
@@ -79,6 +80,12 @@ class RecordingClient:
             "prompt": prompt,
             "temperature": temperature,
             "n": n,
+            # Audit metadata: which pipeline task produced this call, and
+            # when.  Replay ignores both (lookup is by key alone).
+            "task": type(task).__name__ if task is not None else None,
+            "recorded_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+            ),
             "responses": [_encode(r) for r in responses],
         }
         with self.cassette_path.open("a", encoding="utf-8") as handle:

@@ -1,0 +1,84 @@
+"""A deterministic, call-counted circuit breaker.
+
+Classic three-state breaker (closed → open → half-open), but cooldown is
+measured in *denied calls* rather than wall-clock seconds so that replayed
+and simulated runs behave identically: after ``failure_threshold``
+consecutive transport failures the breaker opens; the next
+``cooldown_calls`` attempts are denied (routed to the fallback model when
+one is wired); the attempt after that is a half-open probe whose outcome
+closes or re-opens the circuit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-model failure gate.
+
+    ``allow()`` must be consulted before each attempt; ``record_success`` /
+    ``record_failure`` must be reported after it.
+    """
+
+    failure_threshold: int = 5
+    cooldown_calls: int = 10
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_calls < 1:
+            raise ValueError("cooldown_calls must be >= 1")
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._denied_since_open = 0
+
+    def allow(self) -> bool:
+        """True when the next call may go to the primary model."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self._denied_since_open >= self.cooldown_calls:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            self._denied_since_open += 1
+            return False
+        # HALF_OPEN: a probe is already in flight this attempt; allow it.
+        return True
+
+    def record_success(self) -> bool:
+        """Report a successful call; returns True when the circuit closed."""
+        closed = self.state is not BreakerState.CLOSED
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._denied_since_open = 0
+        return closed
+
+    def record_failure(self) -> bool:
+        """Report a failed call; returns True when the circuit just opened."""
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: straight back to a fresh cooldown.
+            self.state = BreakerState.OPEN
+            self._denied_since_open = 0
+            return True
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self._denied_since_open = 0
+            return True
+        return False

@@ -1,0 +1,58 @@
+"""Typed degradation events: what the pipeline gave up, and why.
+
+Graceful degradation is only useful when it is *observable* — a run that
+silently falls back to full-schema prompting would corrupt an ablation
+without anyone noticing.  Every containment decision in
+:meth:`~repro.core.pipeline.OpenSearchSQL.answer` therefore appends a
+:class:`DegradationEvent` to the :class:`~repro.core.pipeline.PipelineResult`,
+and the evaluation runner aggregates them into the report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+
+__all__ = ["DegradationKind", "DegradationEvent"]
+
+
+class DegradationKind(enum.Enum):
+    """Each containment point in the pipeline has its own kind."""
+
+    #: Extraction crashed; generation got the full, unfiltered schema.
+    EXTRACTION_FALLBACK = "extraction_fallback"
+    #: Generation crashed at the configured width; retried with one candidate.
+    GENERATION_REDUCED = "generation_reduced"
+    #: Generation produced no parseable SQL; a stub query stands in.
+    EMPTY_GENERATION = "empty_generation"
+    #: Refinement crashed; the best unrefined candidate was returned.
+    REFINEMENT_SKIPPED = "refinement_skipped"
+    #: Every recovery failed; the result is an empty/stub answer.
+    ANSWER_FAILED = "answer_failed"
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded containment decision."""
+
+    kind: DegradationKind
+    stage: str
+    #: exception type name (or symptom) that triggered the containment
+    cause: str = ""
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by checkpoints and reports)."""
+        payload = asdict(self)
+        payload["kind"] = self.kind.value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DegradationEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=DegradationKind(payload["kind"]),
+            stage=payload.get("stage", ""),
+            cause=payload.get("cause", ""),
+            detail=payload.get("detail", ""),
+        )

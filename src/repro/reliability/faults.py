@@ -1,0 +1,115 @@
+"""Transport-fault taxonomy.
+
+The paper's contribution suppresses *model* failure modes (alignments,
+self-consistency); this module names the *infrastructure* failure modes a
+deployed pipeline meets — rate limits, timeouts, truncated or garbled
+completions — so the rest of the reliability layer can inject, classify,
+retry and account for them uniformly.
+
+Two families:
+
+* **transport faults** are exceptions raised instead of a completion.
+  They subclass :class:`TransportFault` and carry a ``retryable`` flag —
+  :class:`ResilientLLM` retries exactly the retryable ones.
+* **content faults** are degraded completions (truncated / empty /
+  malformed text, latency spikes).  They are not exceptions: the call
+  "succeeds" and the damage must be absorbed downstream (vote, correction,
+  degradation fallbacks), mirroring how real APIs fail.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "FaultKind",
+    "TransportFault",
+    "RateLimitError",
+    "TransientTimeoutError",
+    "ServiceUnavailableError",
+    "BudgetExceededError",
+    "CircuitOpenError",
+    "CONTENT_FAULTS",
+    "TRANSPORT_FAULTS",
+]
+
+
+class FaultKind(enum.Enum):
+    """Every fault the injector can produce / the transport can observe."""
+
+    RATE_LIMIT = "rate_limit"
+    TIMEOUT = "timeout"
+    SERVICE_UNAVAILABLE = "service_unavailable"
+    TRUNCATED = "truncated"
+    EMPTY = "empty"
+    MALFORMED = "malformed"
+    LATENCY_SPIKE = "latency_spike"
+
+    @property
+    def is_transport(self) -> bool:
+        """True when this kind surfaces as an exception (vs bad content)."""
+        return self in TRANSPORT_FAULTS
+
+
+class TransportFault(RuntimeError):
+    """Base class of every transport-level failure.
+
+    ``retryable`` tells :class:`~repro.reliability.transport.ResilientLLM`
+    whether backing off and retrying can help.
+    """
+
+    kind: FaultKind = FaultKind.SERVICE_UNAVAILABLE
+    retryable: bool = True
+
+
+class RateLimitError(TransportFault):
+    """HTTP-429 analogue; ``retry_after`` hints the polite backoff."""
+
+    kind = FaultKind.RATE_LIMIT
+    retryable = True
+
+    def __init__(self, message: str = "rate limited", retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class TransientTimeoutError(TransportFault):
+    """The request timed out in flight; a retry usually succeeds."""
+
+    kind = FaultKind.TIMEOUT
+    retryable = True
+
+
+class ServiceUnavailableError(TransportFault):
+    """HTTP-5xx analogue: the backend fell over mid-request."""
+
+    kind = FaultKind.SERVICE_UNAVAILABLE
+    retryable = True
+
+
+class BudgetExceededError(TransportFault):
+    """The run's token/call budget is spent; retrying cannot help."""
+
+    retryable = False
+
+    def __init__(self, message: str, *, spent_tokens: int = 0, spent_calls: int = 0):
+        super().__init__(message)
+        self.spent_tokens = spent_tokens
+        self.spent_calls = spent_calls
+
+
+class CircuitOpenError(TransportFault):
+    """The per-model circuit breaker is open and no fallback is wired."""
+
+    retryable = False
+
+
+#: kinds realised as exceptions
+TRANSPORT_FAULTS = frozenset(
+    {FaultKind.RATE_LIMIT, FaultKind.TIMEOUT, FaultKind.SERVICE_UNAVAILABLE}
+)
+
+#: kinds realised as degraded completions
+CONTENT_FAULTS = frozenset(
+    {FaultKind.TRUNCATED, FaultKind.EMPTY, FaultKind.MALFORMED, FaultKind.LATENCY_SPIKE}
+)

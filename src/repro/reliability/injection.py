@@ -1,0 +1,188 @@
+"""Deterministic fault injection for any :class:`~repro.llm.base.LLMClient`.
+
+:class:`FaultInjectingLLM` is the infrastructure-noise channel symmetric to
+the semantic-noise channels of :mod:`repro.llm.noise`: seeded, rate-
+configurable, and recorded.  Wrap any client with it and a benchmark run
+experiences rate limits, timeouts, truncated/empty/malformed completions
+and latency spikes at known rates — which is how the reliability benches
+measure EX retention under infrastructure stress.
+
+Determinism: each call draws from a ``random.Random`` seeded at
+construction, so the same wrapped run injects the same fault sequence.
+(Retries advance the sequence — a retried call is a *new* call, exactly as
+a real API would treat it.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.llm.base import LLMClient, LLMResponse
+from repro.reliability.faults import (
+    FaultKind,
+    RateLimitError,
+    ServiceUnavailableError,
+    TransientTimeoutError,
+)
+from repro.reliability.stats import ReliabilityStats
+
+__all__ = ["FaultPlan", "FaultInjectingLLM"]
+
+_MALFORMED_TEXTS = (
+    "I'm sorry, I can't help with writing SQL for that request.",
+    '{"error": "upstream model returned an unexpected payload"}',
+    "<<<garbled bytes: \x00\x01\x02 stream reset by peer>>>",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-kind injection rates (independent probabilities per call).
+
+    Transport rates decide whether the call raises instead of returning;
+    content rates decide whether the returned completions are degraded.
+    At most one transport fault and one content fault fire per call.
+    """
+
+    rate_limit: float = 0.0
+    timeout: float = 0.0
+    service_unavailable: float = 0.0
+    truncated: float = 0.0
+    empty: float = 0.0
+    malformed: float = 0.0
+    latency_spike: float = 0.0
+    #: seconds added to every response's reported latency on a spike
+    spike_seconds: float = 30.0
+
+    @classmethod
+    def transient(cls, rate: float) -> "FaultPlan":
+        """A plan injecting only retryable transport faults at ``rate``
+        total, split across rate limits, timeouts and 5xx errors."""
+        return cls(
+            rate_limit=rate / 2.0, timeout=rate / 4.0, service_unavailable=rate / 4.0
+        )
+
+    @classmethod
+    def content(cls, rate: float) -> "FaultPlan":
+        """A plan degrading only completion content at ``rate`` total."""
+        return cls(truncated=rate / 3.0, empty=rate / 3.0, malformed=rate / 3.0)
+
+    @classmethod
+    def chaos(cls, rate: float) -> "FaultPlan":
+        """Everything at once: ``rate`` transport plus ``rate`` content."""
+        transient = cls.transient(rate)
+        content = cls.content(rate)
+        return replace(
+            transient,
+            truncated=content.truncated,
+            empty=content.empty,
+            malformed=content.malformed,
+            latency_spike=rate / 4.0,
+        )
+
+    def transport_rate(self) -> float:
+        """Total probability of a transport fault per call."""
+        return min(1.0, self.rate_limit + self.timeout + self.service_unavailable)
+
+
+class FaultInjectingLLM:
+    """Wraps a client and injects faults per a :class:`FaultPlan`.
+
+    Every injected fault is appended to :attr:`stats` (a
+    :class:`~repro.reliability.stats.ReliabilityStats`) so benchmark
+    assertions can reconcile observed degradation with injected cause.
+    """
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        plan: FaultPlan,
+        seed: int = 0,
+        stats: Optional[ReliabilityStats] = None,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.model_name = inner.model_name
+        self.stats = stats if stats is not None else ReliabilityStats()
+        self._rng = random.Random(seed)
+        self._call_index = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def _record(self, kind: FaultKind, detail: str = "") -> None:
+        self.stats.record_fault(
+            kind.value, self._call_index, model=self.model_name, detail=detail
+        )
+
+    def _transport_fault(self) -> None:
+        """Raise a transport fault when the draw lands in a transport band."""
+        plan = self.plan
+        draw = self._rng.random()
+        if draw < plan.rate_limit:
+            self._record(FaultKind.RATE_LIMIT)
+            raise RateLimitError(retry_after=0.5)
+        draw -= plan.rate_limit
+        if draw < plan.timeout:
+            self._record(FaultKind.TIMEOUT)
+            raise TransientTimeoutError("request timed out after 60s")
+        draw -= plan.timeout
+        if draw < plan.service_unavailable:
+            self._record(FaultKind.SERVICE_UNAVAILABLE)
+            raise ServiceUnavailableError("503 service unavailable")
+
+    def _degrade(self, responses: list[LLMResponse]) -> list[LLMResponse]:
+        """Apply at most one content fault to the response list."""
+        plan = self.plan
+        draw = self._rng.random()
+        if draw < plan.truncated:
+            victim = self._rng.randrange(len(responses))
+            self._record(FaultKind.TRUNCATED, detail=f"candidate {victim}")
+            text = responses[victim].text
+            responses[victim] = replace(
+                responses[victim], text=text[: max(1, len(text) // 3)]
+            )
+            return responses
+        draw -= plan.truncated
+        if draw < plan.empty:
+            victim = self._rng.randrange(len(responses))
+            self._record(FaultKind.EMPTY, detail=f"candidate {victim}")
+            responses[victim] = replace(responses[victim], text="")
+            return responses
+        draw -= plan.empty
+        if draw < plan.malformed:
+            victim = self._rng.randrange(len(responses))
+            self._record(FaultKind.MALFORMED, detail=f"candidate {victim}")
+            junk = _MALFORMED_TEXTS[self._rng.randrange(len(_MALFORMED_TEXTS))]
+            responses[victim] = replace(responses[victim], text=junk)
+            return responses
+        draw -= plan.malformed
+        if draw < plan.latency_spike:
+            self._record(FaultKind.LATENCY_SPIKE)
+            responses = [
+                replace(r, latency_seconds=r.latency_seconds + plan.spike_seconds)
+                for r in responses
+            ]
+        return responses
+
+    # ----------------------------------------------------------------- API
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        temperature: float = 0.0,
+        n: int = 1,
+        task: Optional[object] = None,
+    ) -> list[LLMResponse]:
+        """Complete via the wrapped client, possibly injecting a fault."""
+        self._call_index += 1
+        self.stats.calls += 1
+        self._transport_fault()
+        responses = list(
+            self.inner.complete(prompt, temperature=temperature, n=n, task=task)
+        )
+        if responses:
+            responses = self._degrade(responses)
+        return responses

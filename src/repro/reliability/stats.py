@@ -1,0 +1,84 @@
+"""Reliability accounting, symmetric to :class:`~repro.core.cost.CostTracker`.
+
+Every wrapper in the reliability layer reports what happened — faults
+injected, retries spent, breaker transitions, fallback calls, budget burn —
+into a :class:`ReliabilityStats` so a benchmark run can print an
+infrastructure-cost table next to the paper's Table 6 token-cost table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FaultRecord", "ReliabilityStats"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One observed fault: where it happened and what it was."""
+
+    kind: str
+    call_index: int
+    model: str = ""
+    detail: str = ""
+
+
+@dataclass
+class ReliabilityStats:
+    """Counters for one client's lifetime (mergeable across clients)."""
+
+    calls: int = 0
+    failures: int = 0
+    retries: int = 0
+    giveups: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    fallback_calls: int = 0
+    backoff_seconds: float = 0.0
+    tokens_spent: int = 0
+    faults: list[FaultRecord] = field(default_factory=list)
+
+    def record_fault(
+        self, kind: str, call_index: int, model: str = "", detail: str = ""
+    ) -> None:
+        """Append one fault occurrence to the log and bump the counter."""
+        self.failures += 1
+        self.faults.append(
+            FaultRecord(kind=kind, call_index=call_index, model=model, detail=detail)
+        )
+
+    def fault_counts(self) -> dict[str, int]:
+        """Occurrences per fault kind."""
+        counts: dict[str, int] = {}
+        for record in self.faults:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+    def merge(self, other: "ReliabilityStats") -> None:
+        """Fold another stats object into this one."""
+        self.calls += other.calls
+        self.failures += other.failures
+        self.retries += other.retries
+        self.giveups += other.giveups
+        self.breaker_opens += other.breaker_opens
+        self.breaker_closes += other.breaker_closes
+        self.fallback_calls += other.fallback_calls
+        self.backoff_seconds += other.backoff_seconds
+        self.tokens_spent += other.tokens_spent
+        self.faults.extend(other.faults)
+
+    def summary(self) -> dict:
+        """Plain-dict view for reports and benches."""
+        return {
+            "calls": self.calls,
+            "failures": self.failures,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "breaker_opens": self.breaker_opens,
+            "breaker_closes": self.breaker_closes,
+            "fallback_calls": self.fallback_calls,
+            "backoff_seconds": round(self.backoff_seconds, 3),
+            "tokens_spent": self.tokens_spent,
+            "fault_counts": self.fault_counts(),
+        }

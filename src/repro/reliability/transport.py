@@ -1,0 +1,181 @@
+"""Resilient LLM transport: retry, backoff, circuit breaking, budgets.
+
+:class:`ResilientLLM` wraps any :class:`~repro.llm.base.LLMClient` and
+gives it the production behaviours a benchmark run needs to survive a
+flaky backend:
+
+* **retry with exponential backoff** and deterministic jitter for
+  retryable :class:`~repro.reliability.faults.TransportFault`\\ s;
+* a per-model **circuit breaker** so a dying backend stops eating retries;
+* an optional **fallback client** (a cheaper model profile) that serves
+  traffic while the breaker is open;
+* a **token/call budget guard** that converts runaway spend into a
+  non-retryable :class:`~repro.reliability.faults.BudgetExceededError`;
+* full accounting into a :class:`~repro.reliability.stats.ReliabilityStats`.
+
+Backoff seconds are *recorded, not slept* by default — the same convention
+the simulator uses for decode latency — so offline runs stay fast.  Pass
+``sleep=time.sleep`` when wrapping a real API client.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.llm.base import LLMClient, LLMResponse
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import (
+    BudgetExceededError,
+    CircuitOpenError,
+    RateLimitError,
+    TransportFault,
+)
+from repro.reliability.stats import ReliabilityStats
+
+__all__ = ["RetryPolicy", "ResilientLLM"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry schedule.
+
+    ``max_attempts`` counts the first try: the default 4 means one call
+    plus up to three retries.  The delay before retry ``k`` (0-based) is
+    ``min(max_delay, base_delay * multiplier**k)`` stretched by up to
+    ``jitter`` (deterministic, seeded), and never less than a rate-limit's
+    ``retry_after`` hint.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    max_delay: float = 8.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """The backoff before the ``retry_index``-th retry."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** retry_index)
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+class ResilientLLM:
+    """Retry + breaker + budget + fallback around any LLM client."""
+
+    def __init__(
+        self,
+        inner: LLMClient,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fallback: Optional[LLMClient] = None,
+        max_tokens: Optional[int] = None,
+        max_calls: Optional[int] = None,
+        stats: Optional[ReliabilityStats] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        seed: int = 0,
+    ):
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.fallback = fallback
+        self.max_tokens = max_tokens
+        self.max_calls = max_calls
+        self.stats = stats if stats is not None else ReliabilityStats()
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self.model_name = inner.model_name
+
+    # ------------------------------------------------------------- helpers
+
+    def _check_budget(self) -> None:
+        if self.max_calls is not None and self.stats.calls >= self.max_calls:
+            raise BudgetExceededError(
+                f"call budget of {self.max_calls} exhausted",
+                spent_tokens=self.stats.tokens_spent,
+                spent_calls=self.stats.calls,
+            )
+        if self.max_tokens is not None and self.stats.tokens_spent >= self.max_tokens:
+            raise BudgetExceededError(
+                f"token budget of {self.max_tokens} exhausted",
+                spent_tokens=self.stats.tokens_spent,
+                spent_calls=self.stats.calls,
+            )
+
+    def _account(self, responses: list[LLMResponse]) -> None:
+        for response in responses:
+            self.stats.tokens_spent += response.usage.total_tokens
+
+    def _backoff(self, retry_index: int, fault: TransportFault) -> None:
+        delay = self.policy.delay(retry_index, self._rng)
+        if isinstance(fault, RateLimitError):
+            delay = max(delay, fault.retry_after)
+        self.stats.backoff_seconds += delay
+        if self._sleep is not None:
+            self._sleep(delay)
+
+    def _fault_kind(self, exc: Exception) -> str:
+        if isinstance(exc, TransportFault):
+            return exc.kind.value
+        return type(exc).__name__
+
+    # ----------------------------------------------------------------- API
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        temperature: float = 0.0,
+        n: int = 1,
+        task: Optional[object] = None,
+    ) -> list[LLMResponse]:
+        """Complete with retries; may serve from the fallback model."""
+        self._check_budget()
+        self.stats.calls += 1
+
+        if not self.breaker.allow():
+            if self.fallback is not None:
+                self.stats.fallback_calls += 1
+                responses = self.fallback.complete(
+                    prompt, temperature=temperature, n=n, task=task
+                )
+                self._account(responses)
+                return responses
+            raise CircuitOpenError(
+                f"circuit open for {self.model_name} and no fallback configured"
+            )
+
+        last_fault: Optional[Exception] = None
+        for attempt in range(self.policy.max_attempts):
+            try:
+                responses = self.inner.complete(
+                    prompt, temperature=temperature, n=n, task=task
+                )
+            except Exception as exc:  # noqa: BLE001 — transport boundary
+                last_fault = exc
+                self.stats.record_fault(
+                    self._fault_kind(exc), self.stats.calls,
+                    model=self.model_name, detail=str(exc),
+                )
+                if self.breaker.record_failure():
+                    self.stats.breaker_opens += 1
+                retryable = isinstance(exc, TransportFault) and exc.retryable
+                if retryable and attempt + 1 < self.policy.max_attempts:
+                    self.stats.retries += 1
+                    self._backoff(attempt, exc)
+                    continue
+                self.stats.giveups += 1
+                raise
+            if self.breaker.record_success():
+                self.stats.breaker_closes += 1
+            self._account(responses)
+            return responses
+
+        # Unreachable: the loop either returns or raises; keep mypy honest.
+        raise last_fault if last_fault else RuntimeError("retry loop fell through")

@@ -83,6 +83,70 @@ class TestExecute:
         assert executor.execute_or_raise("SELECT 1").ok
 
 
+class TestTimeoutClassification:
+    """The progress-handler guard and the two TIMEOUT paths in execute():
+    an "interrupted" message vs. elapsed time crossing the deadline."""
+
+    RUNAWAY = (
+        "WITH RECURSIVE r(x) AS (SELECT 1 UNION ALL SELECT x + 1 FROM r) "
+        "SELECT COUNT(*) FROM r"
+    )
+
+    def test_runaway_cross_join_aborted_promptly(self):
+        # A hallucinated join producing a combinatorial explosion must be
+        # stopped by the guard, not run to completion.
+        conn = sqlite3.connect(":memory:")
+        conn.executescript(
+            "CREATE TABLE n (v INTEGER);"
+            + "".join(f"INSERT INTO n VALUES ({i});" for i in range(200))
+        )
+        executor = SQLExecutor(conn, timeout_seconds=0.2)
+        outcome = executor.execute(
+            "SELECT COUNT(*) FROM n a, n b, n c, n d WHERE a.v + b.v = c.v + d.v"
+        )
+        assert outcome.status is ExecutionStatus.TIMEOUT
+        assert outcome.elapsed_seconds < 5.0  # aborted, not completed
+        conn.close()
+
+    def test_timeout_outcome_carries_error_message(self, executor):
+        outcome = executor.execute(self.RUNAWAY)
+        assert outcome.status is ExecutionStatus.TIMEOUT
+        assert outcome.error  # "interrupted"
+        assert outcome.rows == ()
+
+    def test_interrupted_message_classified_even_under_deadline(self, executor):
+        # conn.interrupt() from another thread raises "interrupted" long
+        # before the deadline: the message path, not the elapsed path.
+        import threading
+
+        executor.timeout_seconds = 30.0
+        timer = threading.Timer(0.05, executor._connection.interrupt)
+        timer.start()
+        try:
+            outcome = executor.execute(self.RUNAWAY)
+        finally:
+            timer.cancel()
+        assert outcome.status is ExecutionStatus.TIMEOUT
+        assert outcome.elapsed_seconds < 30.0
+
+    def test_zero_timeout_elapsed_path_wins_classification(self, executor):
+        # With a 0-second budget any OperationalError arrives past the
+        # deadline, so the elapsed-time path reports TIMEOUT even though
+        # the message alone would classify as MISSING_COLUMN.
+        executor.timeout_seconds = 0.0
+        outcome = executor.execute("SELECT nope FROM t")
+        assert outcome.status is ExecutionStatus.TIMEOUT
+
+    def test_guard_removed_after_timeout(self, executor):
+        outcome = executor.execute(self.RUNAWAY)
+        assert outcome.status is ExecutionStatus.TIMEOUT
+        # the progress handler must not leak into the next statement
+        assert executor.execute("SELECT COUNT(*) FROM t").ok
+
+    def test_timeout_is_error_status(self):
+        assert ExecutionStatus.TIMEOUT.is_error
+
+
 class TestClassify:
     @pytest.mark.parametrize(
         "message,expected",
@@ -93,6 +157,11 @@ class TestClassify:
             ('near "FROM": syntax error', ExecutionStatus.SYNTAX_ERROR),
             ("unrecognized token", ExecutionStatus.SYNTAX_ERROR),
             ("anything else", ExecutionStatus.OTHER_ERROR),
+            # edge cases: case-insensitivity, precedence, degenerate input
+            ("NO SUCH COLUMN: T.X", ExecutionStatus.MISSING_COLUMN),
+            ("incomplete input", ExecutionStatus.SYNTAX_ERROR),
+            ("no such column: x near syntax error", ExecutionStatus.MISSING_COLUMN),
+            ("", ExecutionStatus.OTHER_ERROR),
         ],
     )
     def test_messages(self, message, expected):

@@ -1,0 +1,36 @@
+"""Shared fixtures for the reliability suite.
+
+One pipeline is built per session over the tiny benchmark; tests swap its
+transport with ``rebind_llm`` and the ``rel_pipeline`` fixture rebinds the
+clean client afterwards (the simulated LLM is stateless, so rebinding is
+side-effect free).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+
+
+@pytest.fixture(scope="session")
+def rel_clean_llm():
+    return SimulatedLLM(GPT_4O, seed=0)
+
+
+@pytest.fixture(scope="session")
+def _rel_pipeline(tiny_benchmark, rel_clean_llm):
+    return OpenSearchSQL(
+        tiny_benchmark, rel_clean_llm, PipelineConfig(n_candidates=3)
+    )
+
+
+@pytest.fixture
+def rel_pipeline(_rel_pipeline, rel_clean_llm):
+    """The shared pipeline, guaranteed clean-bound before and after."""
+    _rel_pipeline.rebind_llm(rel_clean_llm)
+    yield _rel_pipeline
+    _rel_pipeline.rebind_llm(rel_clean_llm)

@@ -1,0 +1,163 @@
+"""Chaos suite: full evaluations under injected faults.
+
+The fault rate honors ``CHAOS_FAULT_RATE`` (default 0.2) so CI can run the
+same tests at a different stress level.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation.runner import evaluate_pipeline
+from repro.reliability import (
+    FaultInjectingLLM,
+    FaultPlan,
+    ResilientLLM,
+    RetryPolicy,
+)
+from repro.reliability.faults import TRANSPORT_FAULTS
+
+FAULT_RATE = float(os.environ.get("CHAOS_FAULT_RATE", "0.2"))
+
+_TRANSPORT_NAMES = {
+    "RateLimitError", "TransientTimeoutError", "ServiceUnavailableError"
+}
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_benchmark):
+    """≥ 50 examples, per the reliability acceptance bar."""
+    examples = tiny_benchmark.dev + tiny_benchmark.test
+    assert len(examples) >= 50
+    return examples
+
+
+@pytest.fixture(scope="module")
+def clean_report(_rel_pipeline, rel_clean_llm, workload):
+    _rel_pipeline.rebind_llm(rel_clean_llm)
+    return evaluate_pipeline(_rel_pipeline, workload, name="fault-free")
+
+
+def transport_injected(injector):
+    counts = injector.stats.fault_counts()
+    return sum(counts.get(kind.value, 0) for kind in TRANSPORT_FAULTS)
+
+
+class TestResilientUnderTransientFaults:
+    @pytest.fixture(scope="class")
+    def run(self, _rel_pipeline, rel_clean_llm, workload):
+        injector = FaultInjectingLLM(
+            rel_clean_llm, FaultPlan.transient(FAULT_RATE), seed=11
+        )
+        resilient = ResilientLLM(
+            injector, policy=RetryPolicy(max_attempts=6), seed=11
+        )
+        _rel_pipeline.rebind_llm(resilient)
+        try:
+            report = evaluate_pipeline(_rel_pipeline, workload, name="transient")
+        finally:
+            _rel_pipeline.rebind_llm(rel_clean_llm)
+        return report, injector, resilient
+
+    def test_run_completes(self, run, workload):
+        report, _, _ = run
+        assert report.count == len(workload)
+
+    def test_ex_retention_within_two_points(self, run, clean_report):
+        report, _, _ = run
+        assert clean_report.ex - report.ex < 2.0
+
+    def test_faults_were_actually_injected(self, run):
+        _, injector, _ = run
+        assert transport_injected(injector) > 0
+
+    def test_every_injected_fault_observed_by_transport(self, run):
+        _, injector, resilient = run
+        # each transport fault raised by the injector is one recorded
+        # failure in the resilient layer — nothing lost, nothing invented
+        assert resilient.stats.failures == transport_injected(injector)
+        assert resilient.stats.retries + resilient.stats.giveups * (
+            resilient.policy.max_attempts - 1
+        ) >= resilient.stats.failures - resilient.stats.giveups
+
+    def test_fault_log_carries_kind_and_call_index(self, run):
+        _, injector, _ = run
+        for record in injector.stats.faults:
+            assert record.kind in {k.value for k in TRANSPORT_FAULTS}
+            assert record.call_index > 0
+            assert record.model == injector.model_name
+
+
+class TestUnprotectedChaos:
+    """Faults hit the pipeline directly: containment, not crashes."""
+
+    @pytest.fixture(scope="class")
+    def run(self, _rel_pipeline, rel_clean_llm, workload):
+        injector = FaultInjectingLLM(
+            rel_clean_llm, FaultPlan.chaos(FAULT_RATE), seed=12
+        )
+        _rel_pipeline.rebind_llm(injector)
+        try:
+            report = evaluate_pipeline(_rel_pipeline, workload, name="chaos")
+        finally:
+            _rel_pipeline.rebind_llm(rel_clean_llm)
+        return report, injector
+
+    def test_run_completes_without_raising(self, run, workload):
+        report, _ = run
+        assert report.count == len(workload)
+        assert report.errors == []  # contained, never crashed
+
+    def test_degradations_recorded(self, run):
+        report, injector = run
+        assert report.degradations
+        # each transport-caused containment event maps to one injected fault
+        # (empty_generation events are consequences, caused by
+        # "no_parseable_sql", not by a transport error directly)
+        transport_caused = [
+            e for e in report.degradations if e["cause"] in _TRANSPORT_NAMES
+        ]
+        assert transport_caused
+        assert len(transport_caused) <= transport_injected(injector)
+
+    def test_degradation_events_name_their_cause(self, run):
+        report, _ = run
+        for event in report.degradations:
+            assert event["cause"] in _TRANSPORT_NAMES | {"no_parseable_sql"}
+            assert event["question_id"]
+
+    def test_still_answers_most_questions(self, run, clean_report):
+        report, _ = run
+        assert report.ex > clean_report.ex / 2
+
+    def test_content_faults_recorded_too(self, run):
+        _, injector = run
+        counts = injector.stats.fault_counts()
+        assert any(
+            counts.get(kind, 0) for kind in ("truncated", "empty", "malformed")
+        )
+
+
+class TestRetrySalvage:
+    def test_retry_beats_no_retry_on_degradations(
+        self, _rel_pipeline, rel_clean_llm, workload
+    ):
+        plan = FaultPlan.transient(FAULT_RATE)
+
+        injector = FaultInjectingLLM(rel_clean_llm, plan, seed=21)
+        _rel_pipeline.rebind_llm(injector)
+        bare = evaluate_pipeline(_rel_pipeline, workload[:30], name="bare")
+
+        injector = FaultInjectingLLM(rel_clean_llm, plan, seed=21)
+        _rel_pipeline.rebind_llm(
+            ResilientLLM(injector, policy=RetryPolicy(max_attempts=6), seed=21)
+        )
+        try:
+            guarded = evaluate_pipeline(_rel_pipeline, workload[:30], name="guarded")
+        finally:
+            _rel_pipeline.rebind_llm(rel_clean_llm)
+
+        assert len(guarded.degradations) < len(bare.degradations)
+        assert guarded.ex >= bare.ex

@@ -1,0 +1,177 @@
+"""Graceful pipeline degradation: every stage failure is contained and
+recorded as a typed DegradationEvent instead of crashing ``answer``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import FALLBACK_SQL
+from repro.llm.tasks import (
+    ColumnSelectionTask,
+    EntityExtractionTask,
+    GenerationTask,
+    SelectAlignmentTask,
+)
+from repro.reliability.degradation import DegradationEvent, DegradationKind
+from repro.reliability.faults import TransientTimeoutError
+
+
+class FailOnTask:
+    """Transport that raises for chosen task types, else delegates."""
+
+    def __init__(self, inner, task_types, fail_first=None):
+        self.inner = inner
+        self.task_types = task_types
+        self.model_name = inner.model_name
+        #: when set, only the first N matching calls fail
+        self.fail_first = fail_first
+        self._failed = 0
+
+    def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+        if isinstance(task, self.task_types):
+            if self.fail_first is None or self._failed < self.fail_first:
+                self._failed += 1
+                raise TransientTimeoutError("injected stage failure")
+        return self.inner.complete(prompt, temperature=temperature, n=n, task=task)
+
+
+def kinds(result):
+    return [event.kind for event in result.degradations]
+
+
+class TestEvent:
+    def test_round_trip(self):
+        event = DegradationEvent(
+            kind=DegradationKind.EXTRACTION_FALLBACK,
+            stage="extraction",
+            cause="TransientTimeoutError",
+            detail="boom",
+        )
+        assert DegradationEvent.from_dict(event.to_dict()) == event
+
+    def test_dict_form_is_json_friendly(self):
+        event = DegradationEvent(
+            kind=DegradationKind.REFINEMENT_SKIPPED, stage="refinement"
+        )
+        payload = event.to_dict()
+        assert payload["kind"] == "refinement_skipped"
+        assert isinstance(payload["stage"], str)
+
+
+class TestCleanRun:
+    def test_no_degradations(self, rel_pipeline, tiny_benchmark):
+        result = rel_pipeline.answer(tiny_benchmark.dev[0])
+        assert result.degradations == []
+        assert not result.degraded
+
+
+class TestExtractionContainment:
+    def test_extraction_failure_falls_back_to_full_schema(
+        self, rel_pipeline, rel_clean_llm, tiny_benchmark
+    ):
+        example = tiny_benchmark.dev[0]
+        rel_pipeline.rebind_llm(
+            FailOnTask(
+                rel_clean_llm,
+                (EntityExtractionTask, ColumnSelectionTask, SelectAlignmentTask),
+            )
+        )
+        result = rel_pipeline.answer(example)
+        assert DegradationKind.EXTRACTION_FALLBACK in kinds(result)
+        # the fallback prompts with the full preprocessed schema
+        pre = rel_pipeline.preprocessed(example.db_id)
+        assert result.extraction.schema == pre.schema
+        assert result.final_sql  # pipeline still produced an answer
+
+    def test_event_carries_cause(self, rel_pipeline, rel_clean_llm, tiny_benchmark):
+        rel_pipeline.rebind_llm(FailOnTask(rel_clean_llm, (EntityExtractionTask,)))
+        result = rel_pipeline.answer(tiny_benchmark.dev[0])
+        event = next(
+            e for e in result.degradations
+            if e.kind is DegradationKind.EXTRACTION_FALLBACK
+        )
+        assert event.stage == "extraction"
+        assert event.cause == "TransientTimeoutError"
+
+
+class TestGenerationContainment:
+    def test_first_failure_reduces_to_single_candidate(
+        self, rel_pipeline, rel_clean_llm, tiny_benchmark
+    ):
+        rel_pipeline.rebind_llm(
+            FailOnTask(rel_clean_llm, (GenerationTask,), fail_first=1)
+        )
+        result = rel_pipeline.answer(tiny_benchmark.dev[0])
+        assert kinds(result) == [DegradationKind.GENERATION_REDUCED]
+        assert result.final_sql and result.final_sql != FALLBACK_SQL
+
+    def test_total_failure_yields_recorded_fallback_sql(
+        self, rel_pipeline, rel_clean_llm, tiny_benchmark
+    ):
+        rel_pipeline.rebind_llm(FailOnTask(rel_clean_llm, (GenerationTask,)))
+        result = rel_pipeline.answer(tiny_benchmark.dev[0])
+        observed = kinds(result)
+        assert DegradationKind.GENERATION_REDUCED in observed
+        assert DegradationKind.ANSWER_FAILED in observed
+        # the old silent "SELECT 1" is now an explicit, recorded event
+        assert DegradationKind.EMPTY_GENERATION in observed
+        assert result.generation_sql == FALLBACK_SQL
+
+
+class TestRefinementContainment:
+    def test_refinement_failure_returns_unrefined_candidate(
+        self, rel_pipeline, tiny_benchmark, monkeypatch
+    ):
+        def explode(*args, **kwargs):
+            raise TransientTimeoutError("refiner down")
+
+        monkeypatch.setattr(rel_pipeline.refiner, "run", explode)
+        result = rel_pipeline.answer(tiny_benchmark.dev[0])
+        assert kinds(result) == [DegradationKind.REFINEMENT_SKIPPED]
+        assert result.final_sql == result.generation_sql
+        assert result.refined_sql == result.generation_sql
+
+    def test_every_stage_down_still_answers(
+        self, rel_pipeline, rel_clean_llm, tiny_benchmark, monkeypatch
+    ):
+        class Dead:
+            model_name = rel_clean_llm.model_name
+
+            def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+                raise TransientTimeoutError("total outage")
+
+        rel_pipeline.rebind_llm(Dead())
+        monkeypatch.setattr(
+            rel_pipeline.refiner,
+            "run",
+            lambda *a, **k: (_ for _ in ()).throw(TransientTimeoutError("down")),
+        )
+        result = rel_pipeline.answer(tiny_benchmark.dev[0])
+        assert result.final_sql == FALLBACK_SQL
+        assert result.degraded
+        observed = kinds(result)
+        for expected in (
+            DegradationKind.EXTRACTION_FALLBACK,
+            DegradationKind.GENERATION_REDUCED,
+            DegradationKind.ANSWER_FAILED,
+            DegradationKind.EMPTY_GENERATION,
+            DegradationKind.REFINEMENT_SKIPPED,
+        ):
+            assert expected in observed
+
+
+class TestRebind:
+    def test_rebind_reaches_all_stages(self, rel_pipeline, rel_clean_llm):
+        marker = FailOnTask(rel_clean_llm, ())
+        rel_pipeline.rebind_llm(marker)
+        assert rel_pipeline.llm is marker
+        assert rel_pipeline.extractor.llm is marker
+        assert rel_pipeline.generator.llm is marker
+        assert rel_pipeline.refiner.llm is marker
+
+    def test_rebind_preserves_preprocessing(self, rel_pipeline, rel_clean_llm):
+        before = rel_pipeline.databases
+        library = rel_pipeline.library
+        rel_pipeline.rebind_llm(FailOnTask(rel_clean_llm, ()))
+        assert rel_pipeline.databases is before
+        assert rel_pipeline.library is library

@@ -1,0 +1,175 @@
+"""Fault taxonomy and deterministic injection tests."""
+
+import pytest
+
+from repro.llm.base import LLMResponse, TokenUsage
+from repro.reliability.faults import (
+    CONTENT_FAULTS,
+    TRANSPORT_FAULTS,
+    BudgetExceededError,
+    CircuitOpenError,
+    FaultKind,
+    RateLimitError,
+    ServiceUnavailableError,
+    TransientTimeoutError,
+    TransportFault,
+)
+from repro.reliability.injection import FaultInjectingLLM, FaultPlan
+
+
+class EchoLLM:
+    """Minimal deterministic client for wrapper tests."""
+
+    model_name = "echo"
+
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+        self.calls += 1
+        return [
+            LLMResponse(
+                text=f"#SQL: SELECT {index} -- {prompt[:20]}",
+                usage=TokenUsage(10, 5),
+                model=self.model_name,
+                latency_seconds=0.1,
+            )
+            for index in range(n)
+        ]
+
+
+class TestTaxonomy:
+    def test_transport_kinds_are_exceptions(self):
+        for exc_type in (RateLimitError, TransientTimeoutError, ServiceUnavailableError):
+            exc = exc_type()
+            assert isinstance(exc, TransportFault)
+            assert exc.retryable
+            assert exc.kind in TRANSPORT_FAULTS
+            assert exc.kind.is_transport
+
+    def test_non_retryable_faults(self):
+        assert not BudgetExceededError("spent").retryable
+        assert not CircuitOpenError("open").retryable
+
+    def test_content_kinds_are_not_transport(self):
+        for kind in CONTENT_FAULTS:
+            assert not kind.is_transport
+
+    def test_every_kind_classified(self):
+        assert TRANSPORT_FAULTS | CONTENT_FAULTS == set(FaultKind)
+
+    def test_rate_limit_carries_retry_after(self):
+        assert RateLimitError(retry_after=2.5).retry_after == 2.5
+
+
+class TestFaultPlan:
+    def test_transient_plan_total(self):
+        plan = FaultPlan.transient(0.2)
+        assert plan.transport_rate() == pytest.approx(0.2)
+        assert plan.truncated == plan.empty == plan.malformed == 0.0
+
+    def test_content_plan_has_no_transport(self):
+        plan = FaultPlan.content(0.3)
+        assert plan.transport_rate() == 0.0
+        assert plan.truncated + plan.empty + plan.malformed == pytest.approx(0.3)
+
+    def test_chaos_plan_has_both(self):
+        plan = FaultPlan.chaos(0.2)
+        assert plan.transport_rate() > 0
+        assert plan.truncated > 0 and plan.latency_spike > 0
+
+
+class TestInjection:
+    def test_zero_rate_is_transparent(self):
+        inner = EchoLLM()
+        wrapped = FaultInjectingLLM(inner, FaultPlan(), seed=7)
+        responses = wrapped.complete("hello", n=3)
+        assert [r.text for r in responses] == [
+            r.text for r in inner.complete("hello", n=3)
+        ]
+        assert wrapped.stats.faults == []
+
+    def test_always_rate_limits(self):
+        wrapped = FaultInjectingLLM(EchoLLM(), FaultPlan(rate_limit=1.0), seed=0)
+        with pytest.raises(RateLimitError):
+            wrapped.complete("p")
+        assert wrapped.stats.fault_counts() == {"rate_limit": 1}
+
+    def test_always_times_out(self):
+        wrapped = FaultInjectingLLM(EchoLLM(), FaultPlan(timeout=1.0), seed=0)
+        with pytest.raises(TransientTimeoutError):
+            wrapped.complete("p")
+
+    def test_empty_completion_injected(self):
+        wrapped = FaultInjectingLLM(EchoLLM(), FaultPlan(empty=1.0), seed=0)
+        responses = wrapped.complete("p", n=1)
+        assert responses[0].text == ""
+        assert wrapped.stats.fault_counts() == {"empty": 1}
+
+    def test_truncation_shortens_text(self):
+        wrapped = FaultInjectingLLM(EchoLLM(), FaultPlan(truncated=1.0), seed=0)
+        full = EchoLLM().complete("p")[0].text
+        responses = wrapped.complete("p", n=1)
+        assert 0 < len(responses[0].text) < len(full)
+
+    def test_malformed_removes_sql_payload(self):
+        wrapped = FaultInjectingLLM(EchoLLM(), FaultPlan(malformed=1.0), seed=0)
+        responses = wrapped.complete("p", n=1)
+        assert "#SQL:" not in responses[0].text
+
+    def test_latency_spike_adds_seconds(self):
+        wrapped = FaultInjectingLLM(
+            EchoLLM(), FaultPlan(latency_spike=1.0, spike_seconds=30.0), seed=0
+        )
+        responses = wrapped.complete("p", n=2)
+        assert all(r.latency_seconds > 29 for r in responses)
+
+    def test_deterministic_given_seed(self):
+        plan = FaultPlan.chaos(0.5)
+
+        def run(seed):
+            wrapped = FaultInjectingLLM(EchoLLM(), plan, seed=seed)
+            events = []
+            for index in range(40):
+                try:
+                    wrapped.complete(f"prompt {index}", n=2)
+                except TransportFault as exc:
+                    events.append(type(exc).__name__)
+            return events, [f.kind for f in wrapped.stats.faults]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)  # different seed, different fault sequence
+
+    def test_rates_approximately_respected(self):
+        wrapped = FaultInjectingLLM(EchoLLM(), FaultPlan.transient(0.2), seed=1)
+        failures = 0
+        for index in range(500):
+            try:
+                wrapped.complete(f"p{index}")
+            except TransportFault:
+                failures += 1
+        assert 60 <= failures <= 140  # 100 expected at 20%
+
+    def test_every_injected_fault_recorded(self):
+        wrapped = FaultInjectingLLM(EchoLLM(), FaultPlan.chaos(0.4), seed=2)
+        raised = 0
+        for index in range(200):
+            try:
+                wrapped.complete(f"p{index}")
+            except TransportFault:
+                raised += 1
+        counts = wrapped.stats.fault_counts()
+        transport_recorded = sum(
+            counts.get(kind.value, 0) for kind in TRANSPORT_FAULTS
+        )
+        assert transport_recorded == raised
+        assert wrapped.stats.calls == 200
+
+    def test_passes_task_through(self):
+        class TaskChecker(EchoLLM):
+            def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+                assert task == "the-task"
+                return super().complete(prompt, temperature=temperature, n=n)
+
+        wrapped = FaultInjectingLLM(TaskChecker(), FaultPlan(), seed=0)
+        wrapped.complete("p", task="the-task")

@@ -1,0 +1,227 @@
+"""ResilientLLM tests: retry, backoff, breaker, budget, fallback, stats."""
+
+import pytest
+
+from repro.llm.base import LLMResponse, TokenUsage
+from repro.reliability.breaker import BreakerState, CircuitBreaker
+from repro.reliability.faults import (
+    BudgetExceededError,
+    CircuitOpenError,
+    RateLimitError,
+    TransientTimeoutError,
+)
+from repro.reliability.stats import ReliabilityStats
+from repro.reliability.transport import ResilientLLM, RetryPolicy
+
+
+def response(text="#SQL: SELECT 1", tokens=(10, 5), model="m"):
+    return LLMResponse(text=text, usage=TokenUsage(*tokens), model=model)
+
+
+class FlakyLLM:
+    """Raises the scripted faults, then succeeds forever."""
+
+    model_name = "flaky"
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+        self.calls = 0
+
+    def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+        self.calls += 1
+        if self.faults:
+            raise self.faults.pop(0)
+        return [response(model=self.model_name) for _ in range(n)]
+
+
+class TestRetry:
+    def test_clean_call_passes_through(self):
+        resilient = ResilientLLM(FlakyLLM([]))
+        assert resilient.complete("p")[0].text == "#SQL: SELECT 1"
+        assert resilient.stats.retries == 0
+        assert resilient.stats.calls == 1
+
+    def test_transient_fault_retried(self):
+        inner = FlakyLLM([RateLimitError(), TransientTimeoutError()])
+        resilient = ResilientLLM(inner)
+        assert resilient.complete("p")
+        assert inner.calls == 3
+        assert resilient.stats.retries == 2
+        assert resilient.stats.giveups == 0
+
+    def test_gives_up_after_max_attempts(self):
+        inner = FlakyLLM([RateLimitError()] * 10)
+        resilient = ResilientLLM(inner, policy=RetryPolicy(max_attempts=3))
+        with pytest.raises(RateLimitError):
+            resilient.complete("p")
+        assert inner.calls == 3
+        assert resilient.stats.giveups == 1
+        assert resilient.stats.retries == 2
+
+    def test_non_retryable_fault_raises_immediately(self):
+        inner = FlakyLLM([ValueError("not transport")])
+        resilient = ResilientLLM(inner)
+        with pytest.raises(ValueError):
+            resilient.complete("p")
+        assert inner.calls == 1
+
+    def test_backoff_is_exponential_and_bounded(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=4.0, multiplier=2.0, jitter=0.0)
+        import random
+
+        rng = random.Random(0)
+        delays = [policy.delay(k, rng) for k in range(4)]
+        assert delays == [1.0, 2.0, 4.0, 4.0]
+
+    def test_backoff_recorded_not_slept(self):
+        inner = FlakyLLM([TransientTimeoutError()] * 2)
+        resilient = ResilientLLM(inner, policy=RetryPolicy(base_delay=0.5, jitter=0.0))
+        resilient.complete("p")
+        assert resilient.stats.backoff_seconds == pytest.approx(0.5 + 1.0)
+
+    def test_sleep_hook_called(self):
+        slept = []
+        inner = FlakyLLM([TransientTimeoutError()])
+        resilient = ResilientLLM(
+            inner, policy=RetryPolicy(base_delay=0.25, jitter=0.0), sleep=slept.append
+        )
+        resilient.complete("p")
+        assert slept == [0.25]
+
+    def test_rate_limit_retry_after_floor(self):
+        inner = FlakyLLM([RateLimitError(retry_after=5.0)])
+        resilient = ResilientLLM(inner, policy=RetryPolicy(base_delay=0.1, jitter=0.0))
+        resilient.complete("p")
+        assert resilient.stats.backoff_seconds == pytest.approx(5.0)
+
+    def test_deterministic_jitter(self):
+        def total_backoff(seed):
+            inner = FlakyLLM([TransientTimeoutError()] * 3)
+            resilient = ResilientLLM(inner, seed=seed)
+            resilient.complete("p")
+            return resilient.stats.backoff_seconds
+
+        assert total_backoff(5) == total_backoff(5)
+
+
+class TestBreaker:
+    def test_state_machine(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_calls=2)
+        assert breaker.state is BreakerState.CLOSED
+        assert not breaker.record_failure()  # first failure: still closed
+        assert breaker.record_failure()  # threshold reached: opened
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()  # half-open probe after cooldown
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.record_failure()  # probe failed: re-opened
+        assert breaker.state is BreakerState.OPEN
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_calls=0)
+
+    def test_open_breaker_without_fallback_raises(self):
+        inner = FlakyLLM([TransientTimeoutError()] * 50)
+        resilient = ResilientLLM(
+            inner,
+            policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_calls=5),
+        )
+        for _ in range(2):
+            with pytest.raises(TransientTimeoutError):
+                resilient.complete("p")
+        with pytest.raises(CircuitOpenError):
+            resilient.complete("p")
+        assert resilient.stats.breaker_opens == 1
+
+    def test_open_breaker_routes_to_fallback(self):
+        inner = FlakyLLM([TransientTimeoutError()] * 4)
+        fallback = FlakyLLM([])
+        fallback.model_name = "cheap"
+        resilient = ResilientLLM(
+            inner,
+            policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_calls=3),
+            fallback=fallback,
+        )
+        for _ in range(2):
+            with pytest.raises(TransientTimeoutError):
+                resilient.complete("p")
+        served = resilient.complete("p")
+        assert served[0].model == "cheap"
+        assert resilient.stats.fallback_calls == 1
+
+    def test_breaker_recovers_through_probe(self):
+        inner = FlakyLLM([TransientTimeoutError()] * 2)
+        resilient = ResilientLLM(
+            inner,
+            policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_calls=1),
+            fallback=FlakyLLM([]),
+        )
+        for _ in range(2):
+            with pytest.raises(TransientTimeoutError):
+                resilient.complete("p")
+        resilient.complete("p")  # cooldown: fallback serves
+        assert resilient.complete("p")  # half-open probe hits healed primary
+        assert resilient.breaker.state is BreakerState.CLOSED
+        assert resilient.stats.breaker_closes == 1
+
+
+class TestBudget:
+    def test_call_budget(self):
+        resilient = ResilientLLM(FlakyLLM([]), max_calls=2)
+        resilient.complete("a")
+        resilient.complete("b")
+        with pytest.raises(BudgetExceededError):
+            resilient.complete("c")
+
+    def test_token_budget(self):
+        resilient = ResilientLLM(FlakyLLM([]), max_tokens=20)
+        resilient.complete("a")  # 15 tokens spent
+        resilient.complete("b")  # crosses 20
+        with pytest.raises(BudgetExceededError) as info:
+            resilient.complete("c")
+        assert info.value.spent_tokens >= 20
+
+    def test_budget_error_not_retryable(self):
+        assert not BudgetExceededError("x").retryable
+
+
+class TestStats:
+    def test_merge(self):
+        a = ReliabilityStats(calls=2, retries=1, backoff_seconds=0.5)
+        a.record_fault("timeout", 1)
+        b = ReliabilityStats(calls=3, giveups=1)
+        b.record_fault("rate_limit", 2)
+        a.merge(b)
+        assert a.calls == 5
+        assert a.fault_counts() == {"timeout": 1, "rate_limit": 1}
+
+    def test_summary_shape(self):
+        stats = ReliabilityStats()
+        stats.record_fault("timeout", 1, model="m", detail="boom")
+        summary = stats.summary()
+        assert summary["failures"] == 1
+        assert summary["fault_counts"] == {"timeout": 1}
+        assert set(summary) >= {
+            "calls", "retries", "giveups", "breaker_opens", "fallback_calls",
+            "backoff_seconds", "tokens_spent",
+        }
+
+    def test_tokens_accounted(self):
+        resilient = ResilientLLM(FlakyLLM([]))
+        resilient.complete("p", n=2)
+        assert resilient.stats.tokens_spent == 30

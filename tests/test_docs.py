@@ -85,6 +85,7 @@ class TestPublicApi:
             "repro.core",
             "repro.baselines",
             "repro.evaluation",
+            "repro.reliability",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
