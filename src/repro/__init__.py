@@ -31,8 +31,9 @@ from repro.reliability import (
     ResilientLLM,
     RetryPolicy,
 )
+from repro.serving import LRUCache, ServingEngine, ServingStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Benchmark",
@@ -43,11 +44,14 @@ __all__ = [
     "GPT_4",
     "GPT_4O",
     "GPT_4O_MINI",
+    "LRUCache",
     "OpenSearchSQL",
     "PipelineConfig",
     "PipelineResult",
     "ResilientLLM",
     "RetryPolicy",
+    "ServingEngine",
+    "ServingStats",
     "SimulatedLLM",
     "SkillProfile",
     "build_bird_like",

@@ -1,0 +1,225 @@
+"""Cache primitives shared across layers.
+
+:class:`LRUCache` is the one bounded-map primitive in the codebase: a
+thread-safe LRU with optional TTL expiry, hit/miss/eviction accounting and
+predicate invalidation.  The serving engine stacks three of them (result /
+extraction / few-shot tiers), :class:`~repro.llm.simulated.SimulatedLLM`
+bounds its parsed-gold cache with one, and :class:`GoldResultCache` wraps
+one behind the gold-execution interface both evaluation runners share.
+
+This module sits below every other layer and is deliberately
+dependency-free (stdlib only), so llm, core, evaluation and serving can
+all import it without cycles.  :mod:`repro.serving` re-exports the public
+names.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional
+
+__all__ = ["CacheStats", "LRUCache", "GoldResultCache", "normalize_question"]
+
+
+def normalize_question(question: str) -> str:
+    """Canonical exact-match cache key for a natural-language question.
+
+    Collapses whitespace, strips trailing sentence punctuation and lowers
+    case, so retyped variants of the same request ("How many  heads…?" vs
+    "how many heads") share one result-cache entry.
+    """
+    return " ".join(question.split()).rstrip(" ?.!").lower()
+
+
+@dataclass
+class CacheStats:
+    """Counters one cache maintains over its lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """hits / lookups, or 0.0 before the first lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (used by ServingStats reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Thread-safe LRU cache with optional TTL expiry and stats.
+
+    ``maxsize=0`` disables the cache (every get misses, puts are dropped)
+    so callers can keep one code path for "tier on/off".  ``ttl`` is in
+    seconds on the injected ``clock`` (monotonic by default); entries past
+    their deadline count as misses and are dropped on access.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = 128,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None for no expiry)")
+        self.maxsize = maxsize
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Hashable, tuple[Any, Optional[float]]]" = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    @property
+    def enabled(self) -> bool:
+        """False when the cache was constructed with ``maxsize=0``."""
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-mutating membership test (no LRU touch, no stats)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            _value, deadline = entry
+            return deadline is None or self._clock() <= deadline
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value (refreshing its recency), or ``default``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            value, deadline = entry
+            if deadline is not None and self._clock() > deadline:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the LRU entry past ``maxsize``."""
+        if not self.enabled:
+            return
+        deadline = self._clock() + self.ttl if self.ttl is not None else None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, deadline)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Cached value for ``key``, computing and storing it on a miss.
+
+        ``compute`` runs outside the cache lock, so a slow computation does
+        not block other keys; two threads racing on the same cold key may
+        both compute (the results are assumed deterministic, so last-write
+        -wins is harmless).
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is not sentinel:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; returns the
+        number removed (accounted as invalidations, not evictions)."""
+        with self._lock:
+            victims = [key for key in self._entries if predicate(key)]
+            for key in victims:
+                del self._entries[key]
+            self.stats.invalidations += len(victims)
+            return len(victims)
+
+    def invalidate_db(self, db_id: str) -> int:
+        """Per-database invalidation for tuple keys shaped ``(db_id, …)``."""
+        return self.invalidate(
+            lambda key: isinstance(key, tuple) and bool(key) and key[0] == db_id
+        )
+
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations); stats survive."""
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters (e.g. after a warm-up pass)."""
+        with self._lock:
+            self.stats = CacheStats()
+
+
+class GoldResultCache:
+    """Lock-protected cache of gold-SQL execution outcomes.
+
+    Both evaluation runners and the serving bench score predictions against
+    the same gold result per ``question_id``; this helper is the one shared
+    implementation (previously copy-pasted dicts in ``evaluate_pipeline``
+    and ``evaluate_system``).  Execution happens under the lock so a
+    question's gold SQL runs exactly once even when parallel workers race
+    on it.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        self._cache = LRUCache(maxsize=maxsize)
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss accounting of the underlying LRU."""
+        return self._cache.stats
+
+    def outcome(self, example, executor):
+        """The gold execution outcome for ``example`` (computed once).
+
+        ``executor`` must be bound to the example's database; the outcome
+        type is :class:`~repro.execution.executor.ExecutionOutcome` (kept
+        untyped here to stay import-cycle-free).
+        """
+        with self._lock:
+            cached = self._cache.get(example.question_id)
+            if cached is not None:
+                return cached
+            gold = executor.execute(example.gold_sql)
+            self._cache.put(example.question_id, gold)
+            return gold

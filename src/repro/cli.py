@@ -7,6 +7,7 @@ Subcommands::
     python -m repro evaluate --split dev       # EX / R-VES over a split
     python -m repro ablate                     # quick Table-4-style sweep
     python -m repro baselines                  # Table-2-style leaderboard
+    python -m repro serve-bench --workers 4    # serving engine under Zipf load
 
 Every subcommand accepts ``--benchmark {bird,spider}``, ``--model
 {gpt-4o,gpt-4,gpt-4o-mini}``, ``--candidates N`` and ``--seed N``.
@@ -73,12 +74,36 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--no-retry", action="store_true",
                     help="with --fault-rate: disable the resilient "
                          "transport (faults hit the pipeline directly)")
+    ev.add_argument("--workers", type=int, default=1, metavar="N",
+                    help="score examples on N threads (default: 1); "
+                         "EX/EX_G/EX_R are identical to a serial run")
 
     ab = sub.add_parser("ablate", help="module ablation sweep (Table 4 style)")
     ab.add_argument("--size", type=int, default=150,
                     help="mini-dev sample size (default: 150)")
 
     sub.add_parser("baselines", help="baseline leaderboard (Table 2 style)")
+
+    sb = sub.add_parser(
+        "serve-bench",
+        help="drive the serving engine with a Zipf-skewed workload",
+    )
+    sb.add_argument("--workers", type=int, default=4, metavar="N",
+                    help="serving thread-pool size (default: 4)")
+    sb.add_argument("--requests", type=int, default=120, metavar="N",
+                    help="total requests to issue (default: 120)")
+    sb.add_argument("--distinct", type=int, default=0, metavar="N",
+                    help="distinct dev questions in the pool "
+                         "(default: 0 = whole dev split)")
+    sb.add_argument("--zipf", type=float, default=1.2, metavar="S",
+                    help="Zipf popularity skew (default: 1.2; 0 = uniform)")
+    sb.add_argument("--queue-capacity", type=int, default=64, metavar="N",
+                    help="admission queue capacity (default: 64)")
+    sb.add_argument("--mode", choices=("closed", "open"), default="closed",
+                    help="closed-loop blocks for a slot; open-loop sheds "
+                         "when the queue is full (default: closed)")
+    sb.add_argument("--no-cache", action="store_true",
+                    help="disable all three cache tiers")
     return parser
 
 
@@ -154,12 +179,24 @@ def _cmd_evaluate(args, out) -> int:
         llm = injector if args.no_retry else ResilientLLM(injector, seed=args.seed)
         pipeline.rebind_llm(llm)
 
-    report = evaluate_pipeline(pipeline, examples, checkpoint_path=args.checkpoint)
+    report = evaluate_pipeline(
+        pipeline, examples,
+        checkpoint_path=args.checkpoint,
+        workers=args.workers,
+    )
     out.write(f"examples : {report.count}\n")
+    if args.workers > 1:
+        out.write(f"workers  : {args.workers}\n")
     out.write(f"EX       : {report.ex:.1f}\n")
     out.write(f"EX_G     : {report.ex_g:.1f}\n")
     out.write(f"EX_R     : {report.ex_r:.1f}\n")
     out.write(f"R-VES    : {report.r_ves:.1f}\n")
+    latency = report.latency_summary()
+    if latency.count:
+        out.write(
+            f"latency  : p50={latency.p50:.2f}s p95={latency.p95:.2f}s "
+            f"p99={latency.p99:.2f}s mean={latency.mean:.2f}s (model)\n"
+        )
     for difficulty, value in report.ex_by_difficulty().items():
         out.write(f"  {difficulty:12s} {value:.1f}\n")
     if report.errors or report.degradations:
@@ -216,12 +253,47 @@ def _cmd_baselines(args, out) -> int:
     return 0
 
 
+def _cmd_serve_bench(args, out) -> int:
+    from repro.serving import ServingEngine
+    from repro.serving.workload import zipf_workload
+
+    benchmark = _build_benchmark(args.benchmark)
+    pool = benchmark.dev
+    if args.distinct:
+        pool = pool[: args.distinct]
+    workload = zipf_workload(
+        pool, requests=args.requests, skew=args.zipf, seed=args.seed
+    )
+    pipeline = _build_pipeline(benchmark, args)
+    cache_size = 0 if args.no_cache else 512
+    engine = ServingEngine(
+        pipeline,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        result_cache_size=cache_size,
+        extraction_cache_size=0 if args.no_cache else 1024,
+        fewshot_cache_size=0 if args.no_cache else 1024,
+    )
+    with engine:
+        results = engine.run(workload, block=(args.mode == "closed"))
+        stats = engine.stats()
+    served = sum(1 for r in results if r is not None)
+    out.write(
+        f"workload : {args.requests} requests over {len(pool)} distinct "
+        f"questions (zipf skew {args.zipf}, {args.mode}-loop)\n"
+    )
+    out.write(f"served   : {served}/{len(workload)}\n")
+    out.write(stats.format() + "\n")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "run": _cmd_run,
     "evaluate": _cmd_evaluate,
     "ablate": _cmd_ablate,
     "baselines": _cmd_baselines,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -79,6 +79,12 @@ class CostTracker:
         """A copy of the per-stage accumulators."""
         return dict(self._stages)
 
+    @property
+    def total_model_seconds(self) -> float:
+        """Simulated model decode latency summed over every stage — the
+        per-request latency observable the serving layer aggregates."""
+        return sum(stage.model_seconds for stage in self._stages.values())
+
     def merge(self, other: "CostTracker") -> None:
         """Fold another tracker's totals into this one."""
         for name, cost in other._stages.items():

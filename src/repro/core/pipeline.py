@@ -10,6 +10,7 @@ voted SQL (EX) — together with per-stage costs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -86,17 +87,19 @@ class OpenSearchSQL:
         self.generator = Generator(llm, self.config)
         self.refiner = Refiner(llm, self.config, self.vectorizer)
         self._executors: dict[str, SQLExecutor] = {}
+        self._executors_lock = threading.Lock()
 
     # -------------------------------------------------------------- pieces
 
     def executor(self, db_id: str) -> SQLExecutor:
-        """The cached executor for one benchmark database."""
-        if db_id not in self._executors:
-            built = self.benchmark.database(db_id)
-            self._executors[db_id] = SQLExecutor(
-                built.connection, timeout_seconds=self.config.execution_timeout
-            )
-        return self._executors[db_id]
+        """The cached executor for one benchmark database (thread-safe)."""
+        with self._executors_lock:
+            if db_id not in self._executors:
+                built = self.benchmark.database(db_id)
+                self._executors[db_id] = SQLExecutor(
+                    built.connection, timeout_seconds=self.config.execution_timeout
+                )
+            return self._executors[db_id]
 
     def preprocessed(self, db_id: str) -> PreprocessedDatabase:
         """The preprocessing artifacts for one benchmark database."""
@@ -125,6 +128,12 @@ class OpenSearchSQL:
         crashing the run — extraction falls back to full-schema prompting,
         generation retries at a single candidate, refinement failure
         returns the best unrefined candidate.
+
+        Reentrancy: this method is safe to call from concurrent serving
+        workers.  All per-call state (cost, degradations) is local, the
+        simulator derives every random draw from per-call hashed seeds
+        (so answers are order-independent), and SQL execution serializes
+        per database connection inside :class:`SQLExecutor`.
         """
         cost = CostTracker()
         degradations: list[DegradationEvent] = []

@@ -175,7 +175,10 @@ def _enrich_schema(schema: Database, rows: dict[str, list[tuple]]) -> Database:
 
 def build_database(spec: DomainSpec, rng: np.random.Generator) -> tuple[BuiltDatabase, DomainContext]:
     """Create and populate an in-memory SQLite database for ``spec``."""
-    connection = sqlite3.connect(":memory:")
+    # check_same_thread=False: serving workers execute on the building
+    # thread's connection; SQLExecutor serializes access with a per-
+    # connection lock, which is the supported pattern for sqlite3.
+    connection = sqlite3.connect(":memory:", check_same_thread=False)
     connection.executescript(schema_to_ddl(spec.schema))
     rows = spec.populate(rng)
     for table in spec.schema.tables:

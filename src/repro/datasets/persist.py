@@ -127,7 +127,8 @@ def load_benchmark(root: Union[str, Path]) -> Benchmark:
     databases: dict[str, BuiltDatabase] = {}
     for db_id in manifest["databases"]:
         disk = sqlite3.connect(root / "databases" / f"{db_id}.sqlite")
-        memory = sqlite3.connect(":memory:")
+        # Same cross-thread policy as build_database: executors lock.
+        memory = sqlite3.connect(":memory:", check_same_thread=False)
         disk.backup(memory)
         disk.close()
         metadata = json.loads(

@@ -9,15 +9,22 @@ Both runners are production-hardened:
   example is appended to a JSONL checkpoint
   (:class:`~repro.reliability.checkpoint.EvalCheckpoint`); re-running with
   the same path replays finished examples from disk and continues with the
-  rest, producing the identical final :class:`EvalReport`.
+  rest, producing the identical final :class:`EvalReport`;
+* **parallel mode** — ``evaluate_pipeline(..., workers=N)`` scores
+  examples on a thread pool.  Because the simulated model derives every
+  draw from per-call hashed seeds and gold execution goes through the
+  lock-protected shared :class:`~repro.caching.GoldResultCache`, a
+  parallel run produces the identical EX/EX_G/EX_R as a serial one.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Protocol, Union, runtime_checkable
 
+from repro.caching import GoldResultCache
 from repro.core.cost import CostTracker
 from repro.core.pipeline import OpenSearchSQL, PipelineResult
 from repro.datasets.build import Benchmark
@@ -29,8 +36,9 @@ from repro.evaluation.metrics import (
     score_example,
     ves,
 )
-from repro.execution.executor import ExecutionOutcome, SQLExecutor
+from repro.execution.executor import SQLExecutor
 from repro.reliability.checkpoint import EvalCheckpoint
+from repro.serving.latency import LatencySummary
 
 __all__ = ["EvalReport", "evaluate_pipeline", "evaluate_system", "TextToSQLSystem"]
 
@@ -57,6 +65,9 @@ class EvalReport:
     cost: CostTracker = field(default_factory=CostTracker)
     #: one dict per degradation event: question_id + the event's fields
     degradations: list[dict] = field(default_factory=list)
+    #: per-example simulated model latency (seconds), aligned with scores;
+    #: empty for runners that do not track cost (evaluate_system)
+    latencies: list[float] = field(default_factory=list)
 
     @property
     def ex(self) -> float:
@@ -103,6 +114,15 @@ class EvalReport:
         """Scores of examples the runner had to isolate."""
         return [score for score in self.scores if score.error]
 
+    def latency_summary(self) -> LatencySummary:
+        """p50/p95/p99 + mean over per-example model latency.
+
+        Every bench that prints ``to_dict()`` gains this latency view for
+        free; the simulator reports decode latency instead of sleeping it,
+        so the numbers are stable across machines.
+        """
+        return LatencySummary.from_values(self.latencies)
+
     def degradation_counts(self) -> dict[str, int]:
         """Occurrences per degradation kind across the workload."""
         counts: dict[str, int] = {}
@@ -125,6 +145,7 @@ class EvalReport:
             "ves": self.ves,
             "ex_by_difficulty": self.ex_by_difficulty(),
             "cost": self.cost.summary(),
+            "latency": self.latency_summary().to_dict(),
             "errors": len(self.errors),
             "degradations": self.degradation_counts(),
             "scores": [asdict(score) for score in self.scores],
@@ -157,6 +178,8 @@ def evaluate_pipeline(
     examples: list[Example],
     name: Optional[str] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    workers: int = 1,
+    gold_cache: Optional[GoldResultCache] = None,
 ) -> EvalReport:
     """Run an OpenSearch-SQL pipeline over ``examples``, scoring the three
     observables (EX_G, EX_R, EX) the paper's ablation tables report.
@@ -164,40 +187,38 @@ def evaluate_pipeline(
     A crashed example never kills the run: it scores 0 with an ``error``
     field.  With ``checkpoint_path`` every finished example is appended to
     a JSONL checkpoint and already-checkpointed examples are replayed from
-    disk on resume.
+    disk on resume.  ``workers > 1`` scores examples on a thread pool;
+    the report's scores stay in ``examples`` order and EX/EX_G/EX_R are
+    identical to a serial run (the pipeline's answer path is reentrant
+    and order-independent).
     """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     report = EvalReport(system=name or f"opensearch-sql[{pipeline.llm.model_name}]")
     checkpoint = EvalCheckpoint(checkpoint_path) if checkpoint_path else None
-    gold_cache: dict[str, ExecutionOutcome] = {}
-    for example in examples:
+    gold = gold_cache if gold_cache is not None else GoldResultCache()
+
+    def run_one(example: Example) -> tuple:
         record = checkpoint.get(example.question_id) if checkpoint else None
         if record is not None:
             score, generation_score, refined_score, cost, degradations = (
                 EvalCheckpoint.decode(record)
             )
-            _append(report, example, score, generation_score, refined_score)
-            if cost is not None:
-                report.cost.merge(cost)
-            for event in degradations:
-                report.degradations.append(
-                    {"question_id": example.question_id, **event.to_dict()}
-                )
-            continue
+            return score, generation_score, refined_score, cost, degradations
 
-        degradation_events = []
+        degradation_events: list = []
         try:
             executor = pipeline.executor(example.db_id)
             result: PipelineResult = pipeline.answer(example)
             degradation_events = result.degradations
-            gold = gold_cache.get(example.question_id)
-            if gold is None:
-                gold = executor.execute(example.gold_sql)
-                gold_cache[example.question_id] = gold
-            score = score_example(example, result.final_sql, executor, gold)
+            gold_outcome = gold.outcome(example, executor)
+            score = score_example(example, result.final_sql, executor, gold_outcome)
             generation_score = score_example(
-                example, result.generation_sql, executor, gold
+                example, result.generation_sql, executor, gold_outcome
             )
-            refined_score = score_example(example, result.refined_sql, executor, gold)
+            refined_score = score_example(
+                example, result.refined_sql, executor, gold_outcome
+            )
             cost = result.cost
             error = None
         except Exception as exc:
@@ -207,13 +228,6 @@ def evaluate_pipeline(
             refined_score = _error_score(example, error)
             cost = None
 
-        _append(report, example, score, generation_score, refined_score)
-        if cost is not None:
-            report.cost.merge(cost)
-        for event in degradation_events:
-            report.degradations.append(
-                {"question_id": example.question_id, **event.to_dict()}
-            )
         if checkpoint is not None:
             checkpoint.record_example(
                 example.question_id,
@@ -223,6 +237,29 @@ def evaluate_pipeline(
                 cost=cost,
                 degradations=list(degradation_events),
                 error=error,
+            )
+        return score, generation_score, refined_score, cost, degradation_events
+
+    if workers == 1:
+        outcomes = [run_one(example) for example in examples]
+    else:
+        # pool.map preserves input order, so the report is example-ordered
+        # regardless of completion order; checkpoint appends happen inside
+        # run_one under the checkpoint's own lock.
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="eval"
+        ) as pool:
+            outcomes = list(pool.map(run_one, examples))
+
+    for example, outcome in zip(examples, outcomes):
+        score, generation_score, refined_score, cost, degradations = outcome
+        _append(report, example, score, generation_score, refined_score)
+        report.latencies.append(cost.total_model_seconds if cost is not None else 0.0)
+        if cost is not None:
+            report.cost.merge(cost)
+        for event in degradations:
+            report.degradations.append(
+                {"question_id": example.question_id, **event.to_dict()}
             )
     return report
 
@@ -246,17 +283,19 @@ def evaluate_system(
     examples: list[Example],
     timeout_seconds: float = 5.0,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    gold_cache: Optional[GoldResultCache] = None,
 ) -> EvalReport:
     """Evaluate any text-to-SQL system (baseline or pipeline wrapper).
 
-    Gold outcomes are cached per ``question_id`` (the same ``gold_cache``
-    :func:`evaluate_pipeline` keeps), crashed examples are isolated, and
-    ``checkpoint_path`` enables JSONL checkpoint/resume.
+    Gold outcomes go through the same shared, lock-protected
+    :class:`~repro.caching.GoldResultCache` as :func:`evaluate_pipeline`
+    (pass one in to share it across runs), crashed examples are isolated,
+    and ``checkpoint_path`` enables JSONL checkpoint/resume.
     """
     report = EvalReport(system=system.name)
     checkpoint = EvalCheckpoint(checkpoint_path) if checkpoint_path else None
     executors: dict[str, SQLExecutor] = {}
-    gold_cache: dict[str, ExecutionOutcome] = {}
+    gold = gold_cache if gold_cache is not None else GoldResultCache()
     for example in examples:
         record = checkpoint.get(example.question_id) if checkpoint else None
         if record is not None:
@@ -275,13 +314,10 @@ def evaluate_system(
                     timeout_seconds=timeout_seconds,
                 )
             executor = executors[example.db_id]
-            gold = gold_cache.get(example.question_id)
-            if gold is None:
-                gold = executor.execute(example.gold_sql)
-                gold_cache[example.question_id] = gold
+            gold_outcome = gold.outcome(example, executor)
             answer = system.answer(example)
             sql = answer if isinstance(answer, str) else getattr(answer, "final_sql", "")
-            score = score_example(example, sql, executor, gold)
+            score = score_example(example, sql, executor, gold_outcome)
             error = None
         except Exception as exc:
             error = f"{type(exc).__name__}: {exc}"

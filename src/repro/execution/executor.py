@@ -13,6 +13,7 @@ import enum
 import math
 import re
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -93,12 +94,33 @@ def classify_sqlite_error(message: str) -> ExecutionStatus:
     return ExecutionStatus.OTHER_ERROR
 
 
+# One lock per live SQLite connection: the progress-handler + cursor pair
+# is connection-global state, so concurrent serving workers must serialize
+# statements per database.  Keyed by id(); entries are few (one per built
+# database) and live for the process, so no eviction is needed.
+_CONNECTION_LOCKS: dict[int, threading.RLock] = {}
+_LOCKS_GUARD = threading.Lock()
+
+
+def _connection_lock(connection: sqlite3.Connection) -> threading.RLock:
+    key = id(connection)
+    with _LOCKS_GUARD:
+        lock = _CONNECTION_LOCKS.get(key)
+        if lock is None:
+            lock = _CONNECTION_LOCKS[key] = threading.RLock()
+        return lock
+
+
 class SQLExecutor:
     """Execute read-only SQL against a SQLite connection.
 
     ``timeout_seconds`` is enforced with SQLite's progress handler, so a
     runaway query (cross join explosion from a hallucinated join) cannot
     stall a benchmark run.
+
+    Thread-safety: every executor over the same connection shares one lock,
+    so statements serialize per database while different databases execute
+    concurrently — the property the serving engine's thread pool relies on.
     """
 
     def __init__(
@@ -108,12 +130,17 @@ class SQLExecutor:
         max_rows: int = 10_000,
     ):
         self._connection = connection
+        self._lock = _connection_lock(connection)
         self.timeout_seconds = timeout_seconds
         self.max_rows = max_rows
 
     def execute(self, sql: str) -> ExecutionOutcome:
         """Execute ``sql`` and classify the outcome; never raises for SQL
         failures (harness errors such as a closed connection still raise)."""
+        with self._lock:
+            return self._execute_locked(sql)
+
+    def _execute_locked(self, sql: str) -> ExecutionOutcome:
         deadline = time.perf_counter() + self.timeout_seconds
 
         def guard():

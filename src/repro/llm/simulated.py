@@ -15,6 +15,13 @@ channel, candidate), so identical configurations reproduce identical
 benchmark tables.  Corruption *content* is keyed by question+channel only,
 so a channel that fires on two candidates yields the same wrong SQL —
 the property that shapes the self-consistency curves in Figure 4.
+
+Concurrency: because every draw is derived per call from those hashed
+keys (no shared mutable RNG), completions are order-independent — the
+serving engine may interleave questions across worker threads and each
+question still gets byte-identical output.  The parsed-gold cache is a
+bounded, thread-safe :class:`~repro.caching.LRUCache`, so long serving
+runs do not grow memory without limit.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.caching import LRUCache
 from repro.datasets.types import Example
 from repro.llm import noise
 from repro.llm._noise_wrongcol import wrong_filter_column
@@ -90,11 +98,18 @@ class SimulatedLLM:
     recognized task raises, because a simulation cannot answer free text.
     """
 
-    def __init__(self, skill: SkillProfile = GPT_4O, seed: int = 0):
+    def __init__(
+        self,
+        skill: SkillProfile = GPT_4O,
+        seed: int = 0,
+        gold_cache_size: int = 4096,
+    ):
         self.skill = skill
         self.seed = seed
         self.model_name = skill.name
-        self._gold_cache: dict[str, tuple[Select, SQLLike]] = {}
+        # Bounded: eviction only costs a deterministic re-parse, so long
+        # serving runs stay flat in memory without changing any output.
+        self._gold_cache = LRUCache(maxsize=gold_cache_size)
         self._syntax_cache: dict[str, str] = {}
 
     # ------------------------------------------------------------- helpers
@@ -125,7 +140,7 @@ class SimulatedLLM:
         if cached is None:
             select = parse_select(example.gold_sql)
             cached = (select, select_to_sql_like(select))
-            self._gold_cache[example.question_id] = cached
+            self._gold_cache.put(example.question_id, cached)
         return cached
 
     @staticmethod

@@ -14,6 +14,7 @@ mid-write is skipped on load and its example simply re-runs.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
@@ -83,6 +84,9 @@ class EvalCheckpoint:
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._records: dict[str, dict] = {}
+        # Parallel evaluation workers append concurrently; the lock keeps
+        # each JSONL line intact (no interleaved partial writes).
+        self._lock = threading.Lock()
         if self.path.exists():
             self._load()
 
@@ -132,11 +136,12 @@ class EvalCheckpoint:
             "degradations": [e.to_dict() for e in (degradations or [])],
             "error": error,
         }
-        self._records[question_id] = record
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record) + "\n")
-            handle.flush()
+        with self._lock:
+            self._records[question_id] = record
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record) + "\n")
+                handle.flush()
         return record
 
     @staticmethod

@@ -21,6 +21,7 @@ the simulator uses for decode latency — so offline runs stay fast.  Pass
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -90,6 +91,10 @@ class ResilientLLM:
         self.stats = stats if stats is not None else ReliabilityStats()
         self._sleep = sleep
         self._rng = random.Random(seed)
+        # Serving workers share one transport: the lock guards the jitter
+        # RNG, the stats counters and the (stateful) breaker.  The inner
+        # model call itself runs outside the lock.
+        self._lock = threading.RLock()
         self.model_name = inner.model_name
 
     # ------------------------------------------------------------- helpers
@@ -113,10 +118,11 @@ class ResilientLLM:
             self.stats.tokens_spent += response.usage.total_tokens
 
     def _backoff(self, retry_index: int, fault: TransportFault) -> None:
-        delay = self.policy.delay(retry_index, self._rng)
-        if isinstance(fault, RateLimitError):
-            delay = max(delay, fault.retry_after)
-        self.stats.backoff_seconds += delay
+        with self._lock:
+            delay = self.policy.delay(retry_index, self._rng)
+            if isinstance(fault, RateLimitError):
+                delay = max(delay, fault.retry_after)
+            self.stats.backoff_seconds += delay
         if self._sleep is not None:
             self._sleep(delay)
 
@@ -136,16 +142,20 @@ class ResilientLLM:
         task: Optional[object] = None,
     ) -> list[LLMResponse]:
         """Complete with retries; may serve from the fallback model."""
-        self._check_budget()
-        self.stats.calls += 1
+        with self._lock:
+            self._check_budget()
+            self.stats.calls += 1
+            allowed = self.breaker.allow()
 
-        if not self.breaker.allow():
+        if not allowed:
             if self.fallback is not None:
-                self.stats.fallback_calls += 1
+                with self._lock:
+                    self.stats.fallback_calls += 1
                 responses = self.fallback.complete(
                     prompt, temperature=temperature, n=n, task=task
                 )
-                self._account(responses)
+                with self._lock:
+                    self._account(responses)
                 return responses
             raise CircuitOpenError(
                 f"circuit open for {self.model_name} and no fallback configured"
@@ -159,22 +169,26 @@ class ResilientLLM:
                 )
             except Exception as exc:  # noqa: BLE001 — transport boundary
                 last_fault = exc
-                self.stats.record_fault(
-                    self._fault_kind(exc), self.stats.calls,
-                    model=self.model_name, detail=str(exc),
-                )
-                if self.breaker.record_failure():
-                    self.stats.breaker_opens += 1
+                with self._lock:
+                    self.stats.record_fault(
+                        self._fault_kind(exc), self.stats.calls,
+                        model=self.model_name, detail=str(exc),
+                    )
+                    if self.breaker.record_failure():
+                        self.stats.breaker_opens += 1
                 retryable = isinstance(exc, TransportFault) and exc.retryable
                 if retryable and attempt + 1 < self.policy.max_attempts:
-                    self.stats.retries += 1
+                    with self._lock:
+                        self.stats.retries += 1
                     self._backoff(attempt, exc)
                     continue
-                self.stats.giveups += 1
+                with self._lock:
+                    self.stats.giveups += 1
                 raise
-            if self.breaker.record_success():
-                self.stats.breaker_closes += 1
-            self._account(responses)
+            with self._lock:
+                if self.breaker.record_success():
+                    self.stats.breaker_closes += 1
+                self._account(responses)
             return responses
 
         # Unreachable: the loop either returns or raises; keep mypy honest.

@@ -1,0 +1,54 @@
+"""Serving layer: concurrent request execution with multi-tier caching,
+admission control and latency accounting.
+
+The ROADMAP's north star is a system that serves heavy traffic; this
+package is the subsystem where requests share state.  It provides
+
+* :class:`ServingEngine` — bounded thread-pool execution of
+  ``OpenSearchSQL.answer`` behind an :class:`AdmissionController`
+  (shed / circuit-open / budget rejections) and three cache tiers
+  (exact-match result, extraction, few-shot retrieval);
+* :class:`LRUCache` — the thread-safe LRU + TTL primitive every bounded
+  map in the codebase shares, with hit/miss/eviction stats and
+  per-database invalidation;
+* :class:`GoldResultCache` — the lock-protected gold-execution cache both
+  evaluation runners and the serving bench reuse;
+* :class:`ServingStats` / :class:`LatencySummary` — per-request latency
+  (real wall + simulated model seconds) aggregated into p50/p95/p99 and
+  virtual-clock throughput.
+"""
+
+from repro.caching import (
+    CacheStats,
+    GoldResultCache,
+    LRUCache,
+    normalize_question,
+)
+from repro.serving.admission import AdmissionController, AdmissionError, QueueFullError
+from repro.serving.engine import (
+    CachingExtractor,
+    CachingFewShotLibrary,
+    ServingEngine,
+)
+from repro.serving.latency import LatencySummary, percentile
+from repro.serving.stats import RequestRecord, ServingStats
+from repro.serving.workload import zipf_weights, zipf_workload
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "CacheStats",
+    "CachingExtractor",
+    "CachingFewShotLibrary",
+    "GoldResultCache",
+    "LRUCache",
+    "LatencySummary",
+    "QueueFullError",
+    "RequestRecord",
+    "ServingEngine",
+    "ServingStats",
+    "normalize_question",
+    "percentile",
+    "zipf_weights",
+    "zipf_workload",
+]

@@ -1,0 +1,138 @@
+"""Admission control for the serving engine.
+
+A bounded request queue with three reject channels, each surfaced as a
+distinct exception so load generators can tell *why* a request was turned
+away:
+
+* **shed** — the queue (queued + in-flight requests) is at capacity and the
+  caller asked for non-blocking admission → :class:`QueueFullError`;
+* **circuit open** — the engine's
+  :class:`~repro.reliability.breaker.CircuitBreaker` has opened after
+  consecutive pipeline failures →
+  :class:`~repro.reliability.faults.CircuitOpenError`;
+* **budget** — the engine's request budget is spent →
+  :class:`~repro.reliability.faults.BudgetExceededError`.
+
+Closed-loop clients use ``admit(block=True)`` and wait for a slot;
+open-loop clients use ``block=False`` and count their sheds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import BudgetExceededError, CircuitOpenError
+
+__all__ = ["AdmissionError", "QueueFullError", "AdmissionController"]
+
+
+class AdmissionError(RuntimeError):
+    """Base class for admission-control rejections."""
+
+
+class QueueFullError(AdmissionError):
+    """The request was shed: the bounded queue is at capacity."""
+
+
+class AdmissionController:
+    """Bounded-queue admission gate wired to a circuit breaker and budget.
+
+    ``capacity`` bounds queued-plus-running requests.  ``admit`` must be
+    called before dispatch and ``release`` exactly once per admitted
+    request (success or failure); the engine reports pipeline outcomes to
+    the breaker via ``record_success`` / ``record_failure``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        breaker: Optional[CircuitBreaker] = None,
+        max_requests: Optional[int] = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.breaker = breaker or CircuitBreaker()
+        self.max_requests = max_requests
+        self._cond = threading.Condition()
+        self._pending = 0
+        self.submitted = 0
+        self.admitted = 0
+        self.shed = 0
+        self.rejected_open = 0
+        self.rejected_budget = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued or in flight."""
+        with self._cond:
+            return self._pending
+
+    def admit(self, block: bool = False, timeout: Optional[float] = None) -> None:
+        """Claim a queue slot or raise the applicable rejection.
+
+        With ``block=True`` a full queue waits (closed-loop); breaker and
+        budget rejections never block — an open circuit or a spent budget
+        will not heal by waiting in line.
+        """
+        with self._cond:
+            self.submitted += 1
+            if self.max_requests is not None and self.admitted >= self.max_requests:
+                self.rejected_budget += 1
+                raise BudgetExceededError(
+                    f"request budget of {self.max_requests} exhausted",
+                    spent_calls=self.admitted,
+                )
+            if not self.breaker.allow():
+                self.rejected_open += 1
+                raise CircuitOpenError(
+                    "serving circuit open: recent pipeline failures exceeded "
+                    f"threshold (state={self.breaker.state.value})"
+                )
+            if self._pending >= self.capacity:
+                if not block:
+                    self.shed += 1
+                    raise QueueFullError(
+                        f"queue at capacity ({self.capacity}); request shed"
+                    )
+                if not self._cond.wait_for(
+                    lambda: self._pending < self.capacity, timeout=timeout
+                ):
+                    self.shed += 1
+                    raise QueueFullError(
+                        f"queue stayed at capacity ({self.capacity}) for "
+                        f"{timeout}s; request shed"
+                    )
+            self._pending += 1
+            self.admitted += 1
+
+    def release(self) -> None:
+        """Return an admitted request's slot (call exactly once)."""
+        with self._cond:
+            if self._pending <= 0:
+                raise RuntimeError("release() without a matching admit()")
+            self._pending -= 1
+            self._cond.notify()
+
+    def record_success(self) -> None:
+        """Report a completed pipeline call to the breaker."""
+        self.breaker.record_success()
+
+    def record_failure(self) -> None:
+        """Report a failed pipeline call to the breaker."""
+        self.breaker.record_failure()
+
+    def to_dict(self) -> dict:
+        """JSON-ready admission accounting."""
+        with self._cond:
+            return {
+                "capacity": self.capacity,
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "shed": self.shed,
+                "rejected_open": self.rejected_open,
+                "rejected_budget": self.rejected_budget,
+                "breaker_state": self.breaker.state.value,
+            }

@@ -1,0 +1,332 @@
+"""The concurrent serving engine.
+
+``ServingEngine`` turns a preprocessed :class:`~repro.core.pipeline.
+OpenSearchSQL` into a service: requests are admitted through a bounded
+queue (:class:`~repro.serving.admission.AdmissionController`, wired to the
+reliability layer's circuit breaker and a request budget), executed on a
+thread pool, and answered through three cache tiers:
+
+1. **result** — exact-match on normalized ``(db_id, question)``; a hit
+   skips the pipeline entirely;
+2. **extraction** — the Extraction stage's output per question, shared by
+   repeat requests that miss the result tier (e.g. after invalidation);
+3. **fewshot** — Masked-Question retrieval results from the few-shot
+   library, the hot inner loop of Generation.
+
+Every tier keeps hit/miss/eviction stats and supports per-database
+invalidation (``invalidate_db``) for when a database's content changes.
+
+Per-request latency is the **service time**: real wall seconds around the
+request plus the simulated model decode seconds its LLM calls reported.
+Each worker thread accumulates the service time of the requests it ran —
+a per-worker virtual clock — and :meth:`stats` aggregates those into the
+p50/p95/p99 + throughput view of :class:`~repro.serving.stats.ServingStats`.
+
+Thread-safety contract: the wrapped pipeline must be *reentrant* —
+``SimulatedLLM`` draws from per-call hash-derived seeds (order-independent
+by construction), ``SQLExecutor`` serializes per-connection access, and
+the engine never mutates pipeline state after construction.  Do not
+``rebind_llm`` a pipeline while an engine is serving it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from repro.core.pipeline import OpenSearchSQL, PipelineResult
+from repro.datasets.types import Example
+from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.faults import BudgetExceededError, CircuitOpenError
+from repro.serving.admission import AdmissionController, AdmissionError
+from repro.caching import LRUCache, normalize_question
+from repro.serving.latency import LatencySummary
+from repro.serving.stats import RequestRecord, ServingStats
+
+__all__ = ["ServingEngine", "CachingExtractor", "CachingFewShotLibrary"]
+
+
+class CachingExtractor:
+    """Extraction-tier cache: wraps an Extractor, memoizing ``run``.
+
+    Keyed on ``(db_id, question_id)`` — extraction is deterministic per
+    example, so repeats reuse the stage output without paying its LLM
+    calls.  Attribute access falls through to the wrapped extractor so the
+    pipeline's other touch points (``config``, ``vectorizer``) keep
+    working.
+    """
+
+    def __init__(self, inner, cache: LRUCache):
+        self.inner = inner
+        self.cache = cache
+
+    def run(self, example, pre, cost=None):
+        key = (example.db_id, example.question_id)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        result = self.inner.run(example, pre, cost)
+        self.cache.put(key, result)
+        return result
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class CachingFewShotLibrary:
+    """Few-shot-tier cache: wraps a FewShotLibrary, memoizing ``search``.
+
+    MQs retrieval re-embeds and re-searches the masked question on every
+    generation call; the key ``(question, surfaces, k, db_id)`` captures
+    every argument that shapes the result.  ``add`` invalidates the whole
+    tier (new entries can change any ranking).
+    """
+
+    def __init__(self, inner, cache: LRUCache):
+        self.inner = inner
+        self.cache = cache
+
+    def search(self, question, surfaces=(), k=5, db_id=None):
+        key = (question, tuple(surfaces), k, db_id)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        result = self.inner.search(question, surfaces=surfaces, k=k, db_id=db_id)
+        self.cache.put(key, result)
+        return result
+
+    def add(self, entry):
+        self.inner.add(entry)
+        self.cache.clear()
+
+    def __len__(self):
+        return len(self.inner)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class ServingEngine:
+    """Concurrent, cached, admission-controlled front end for a pipeline."""
+
+    def __init__(
+        self,
+        pipeline: OpenSearchSQL,
+        workers: int = 4,
+        queue_capacity: int = 32,
+        result_cache_size: int = 512,
+        result_cache_ttl: Optional[float] = None,
+        extraction_cache_size: int = 1024,
+        fewshot_cache_size: int = 1024,
+        breaker: Optional[CircuitBreaker] = None,
+        max_requests: Optional[int] = None,
+        clock=time.perf_counter,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.pipeline = pipeline
+        self.workers = workers
+        self._clock = clock
+        self.admission = AdmissionController(
+            capacity=queue_capacity,
+            breaker=breaker or CircuitBreaker(failure_threshold=5, cooldown_calls=8),
+            max_requests=max_requests,
+        )
+        self.result_cache = LRUCache(result_cache_size, ttl=result_cache_ttl)
+        self.extraction_cache = LRUCache(extraction_cache_size)
+        self.fewshot_cache = LRUCache(fewshot_cache_size)
+        # Wire the inner tiers into the pipeline's stage objects.  The
+        # wrappers are transparent when their tier is disabled (size 0:
+        # every get misses and puts drop), so one code path serves both.
+        if extraction_cache_size > 0:
+            pipeline.extractor = CachingExtractor(
+                pipeline.extractor, self.extraction_cache
+            )
+        if fewshot_cache_size > 0 and pipeline.library is not None:
+            pipeline.library = CachingFewShotLibrary(
+                pipeline.library, self.fewshot_cache
+            )
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serving"
+        )
+        self._stats_lock = threading.Lock()
+        self._records: list[RequestRecord] = []
+        self._worker_busy: dict[int, float] = {}
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self._closed = False
+
+    # ------------------------------------------------------------ requests
+
+    def submit(self, example: Example, block: bool = False) -> "Future[PipelineResult]":
+        """Admit and enqueue one request; returns a Future.
+
+        Raises :class:`~repro.serving.admission.QueueFullError` (shed),
+        :class:`~repro.reliability.faults.CircuitOpenError` or
+        :class:`~repro.reliability.faults.BudgetExceededError` when the
+        request is not admitted.  ``block=True`` waits for a queue slot
+        instead of shedding (closed-loop clients).
+        """
+        if self._closed:
+            raise RuntimeError("engine is shut down")
+        self.admission.admit(block=block)
+        with self._stats_lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+        try:
+            return self._pool.submit(self._handle, example)
+        except BaseException:
+            self.admission.release()
+            raise
+
+    def answer(self, example: Example) -> PipelineResult:
+        """Synchronous convenience: admit (blocking) and wait."""
+        return self.submit(example, block=True).result()
+
+    def run(
+        self, examples: Sequence[Example], block: bool = True
+    ) -> list[Optional[PipelineResult]]:
+        """Serve a whole workload; results align with ``examples``.
+
+        Rejected (shed / circuit-open / budget) and failed requests yield
+        ``None`` at their position — the stats report carries the counts.
+        """
+        futures: list[Optional[Future]] = []
+        for example in examples:
+            try:
+                futures.append(self.submit(example, block=block))
+            except (AdmissionError, BudgetExceededError, CircuitOpenError):
+                futures.append(None)
+        results: list[Optional[PipelineResult]] = []
+        for future in futures:
+            if future is None:
+                results.append(None)
+                continue
+            try:
+                results.append(future.result())
+            except Exception:
+                results.append(None)
+        return results
+
+    # ------------------------------------------------------------- handler
+
+    def _handle(self, example: Example) -> PipelineResult:
+        start = self._clock()
+        key = (example.db_id, normalize_question(example.question))
+        try:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                self._record(example, "cached", start, model_seconds=0.0)
+                return cached
+            try:
+                result = self.pipeline.answer(example)
+            except Exception as exc:
+                self.admission.record_failure()
+                self._record(example, "failed", start, error=str(exc))
+                raise
+            self.admission.record_success()
+            self.result_cache.put(key, result)
+            self._record(
+                example, "ok", start, model_seconds=result.cost.total_model_seconds
+            )
+            return result
+        finally:
+            self.admission.release()
+
+    def _record(
+        self,
+        example: Example,
+        status: str,
+        start: float,
+        model_seconds: float = 0.0,
+        error: Optional[str] = None,
+    ) -> None:
+        wall = self._clock() - start
+        record = RequestRecord(
+            question_id=example.question_id,
+            db_id=example.db_id,
+            status=status,
+            wall_seconds=wall,
+            model_seconds=model_seconds,
+            error=error,
+        )
+        ident = threading.get_ident()
+        with self._stats_lock:
+            self._records.append(record)
+            self._worker_busy[ident] = (
+                self._worker_busy.get(ident, 0.0) + record.service_seconds
+            )
+            self._finished_at = self._clock()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def invalidate_db(self, db_id: str) -> dict[str, int]:
+        """Drop every cached entry derived from ``db_id`` in all tiers.
+
+        The few-shot tier keys on ``(question, surfaces, k, db_id)`` where
+        ``db_id`` is usually None (cross-database retrieval), so it is
+        cleared wholesale — a changed database may alter its train shots.
+        """
+        dropped = {
+            "result": self.result_cache.invalidate_db(db_id),
+            "extraction": self.extraction_cache.invalidate_db(db_id),
+        }
+        dropped["fewshot"] = self.fewshot_cache.invalidate(lambda _key: True)
+        return dropped
+
+    def reset_stats(self) -> None:
+        """Zero request records and cache counters (post-warm-up)."""
+        with self._stats_lock:
+            self._records = []
+            self._worker_busy = {}
+            self._started_at = None
+            self._finished_at = None
+        for cache in (self.result_cache, self.extraction_cache, self.fewshot_cache):
+            cache.reset_stats()
+
+    def stats(self) -> ServingStats:
+        """A snapshot of the run's complete serving accounting."""
+        with self._stats_lock:
+            records = list(self._records)
+            busy = dict(self._worker_busy)
+            started = self._started_at
+            finished = self._finished_at
+        admission = self.admission.to_dict()
+        finished_records = [r for r in records if r.status != "failed"]
+        return ServingStats(
+            workers=self.workers,
+            submitted=admission["submitted"],
+            admitted=admission["admitted"],
+            completed=len(finished_records),
+            failed=sum(1 for r in records if r.status == "failed"),
+            shed=admission["shed"],
+            rejected_open=admission["rejected_open"],
+            rejected_budget=admission["rejected_budget"],
+            result_hits=sum(1 for r in records if r.cache_hit),
+            breaker_state=admission["breaker_state"],
+            cache_tiers={
+                "result": self.result_cache.stats.to_dict(),
+                "extraction": self.extraction_cache.stats.to_dict(),
+                "fewshot": self.fewshot_cache.stats.to_dict(),
+            },
+            latency=LatencySummary.from_values(
+                [r.service_seconds for r in finished_records]
+            ),
+            makespan_seconds=max(busy.values()) if busy else 0.0,
+            wall_seconds=(finished - started)
+            if started is not None and finished is not None
+            else 0.0,
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests and (optionally) drain the pool."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()

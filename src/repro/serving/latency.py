@@ -1,0 +1,77 @@
+"""Latency accounting: percentile math and per-request summaries.
+
+The simulator *reports* model latency instead of sleeping it (see
+``SimulatedLLM._latency``), so serving latency is the sum of two clocks:
+real executor/orchestration wall time plus simulated model decode time.
+This module aggregates those per-request totals into the p50/p95/p99 view
+a serving report prints.  Stdlib-only, import-cycle-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["percentile", "LatencySummary"]
+
+# The LatencySummary field named ``max`` shadows the builtin at class scope;
+# keep an alias for use inside the classmethod.
+_builtin_max = max
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``values``, nearest-rank method.
+
+    Returns 0.0 for an empty sequence; the nearest-rank convention makes
+    the result an actually-observed latency, which is what a serving SLO
+    report wants (no interpolation between samples).
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregated latency distribution of a batch of requests."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "LatencySummary":
+        """Summarize a sequence of per-request latencies."""
+        if not values:
+            return cls()
+        total = float(sum(values))
+        return cls(
+            count=len(values),
+            total_seconds=total,
+            mean=total / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            max=float(_builtin_max(values)),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view, rounded for report readability."""
+        return {
+            "count": self.count,
+            "total_seconds": round(self.total_seconds, 3),
+            "mean": round(self.mean, 4),
+            "p50": round(self.p50, 4),
+            "p95": round(self.p95, 4),
+            "p99": round(self.p99, 4),
+            "max": round(self.max, 4),
+        }

@@ -1,0 +1,131 @@
+"""Serving-side accounting: per-request records and the ServingStats report.
+
+Throughput in a simulation needs care: the simulator reports model latency
+instead of sleeping it, so wall-clock throughput would be meaninglessly
+high.  The engine therefore tracks a **virtual clock** per worker thread —
+each worker serializes the *service time* (real wall + simulated model
+seconds) of the requests it handled — and the run's makespan is the
+busiest worker's accumulated virtual time.  Serial execution makes the
+makespan the sum of all service times; four workers split it roughly four
+ways, which is exactly the concurrency win a real deployment would see
+when model latency dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serving.latency import LatencySummary
+
+__all__ = ["RequestRecord", "ServingStats"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """What happened to one admitted request."""
+
+    question_id: str
+    db_id: str
+    #: "ok" (pipeline ran), "cached" (result-tier hit), "failed" (raised)
+    status: str
+    wall_seconds: float = 0.0
+    #: simulated model decode seconds summed over the request's LLM calls
+    model_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def service_seconds(self) -> float:
+        """The request's total virtual service time."""
+        return self.wall_seconds + self.model_seconds
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when the result tier answered without running the pipeline."""
+        return self.status == "cached"
+
+
+@dataclass
+class ServingStats:
+    """One serving run's complete accounting (a point-in-time snapshot)."""
+
+    workers: int = 1
+    submitted: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    rejected_open: int = 0
+    rejected_budget: int = 0
+    result_hits: int = 0
+    breaker_state: str = "closed"
+    #: tier name → CacheStats.to_dict() payload
+    cache_tiers: dict = field(default_factory=dict)
+    latency: LatencySummary = field(default_factory=LatencySummary)
+    #: busiest worker's accumulated virtual service seconds
+    makespan_seconds: float = 0.0
+    #: real elapsed seconds between first admit and last completion
+    wall_seconds: float = 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per virtual second (the headline number)."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.completed / self.makespan_seconds
+
+    @property
+    def wall_throughput_rps(self) -> float:
+        """Completed requests per real wall second (simulation-fast)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    @property
+    def result_hit_rate(self) -> float:
+        """Result-tier hits / completed requests."""
+        return self.result_hits / self.completed if self.completed else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready report (what ``serve-bench`` and the bench print)."""
+        return {
+            "workers": self.workers,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "rejected_open": self.rejected_open,
+            "rejected_budget": self.rejected_budget,
+            "result_hits": self.result_hits,
+            "result_hit_rate": round(self.result_hit_rate, 4),
+            "breaker_state": self.breaker_state,
+            "cache_tiers": dict(self.cache_tiers),
+            "latency": self.latency.to_dict(),
+            "makespan_seconds": round(self.makespan_seconds, 3),
+            "throughput_rps": round(self.throughput_rps, 4),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "wall_throughput_rps": round(self.wall_throughput_rps, 2),
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"workers     : {self.workers}",
+            f"requests    : {self.submitted} submitted / {self.admitted} admitted"
+            f" / {self.completed} completed / {self.failed} failed",
+            f"rejections  : {self.shed} shed, {self.rejected_open} circuit-open,"
+            f" {self.rejected_budget} budget",
+            f"breaker     : {self.breaker_state}",
+            f"throughput  : {self.throughput_rps:.3f} req/s (virtual),"
+            f" makespan {self.makespan_seconds:.1f}s",
+            f"latency     : p50 {self.latency.p50:.2f}s  p95 {self.latency.p95:.2f}s"
+            f"  p99 {self.latency.p99:.2f}s  mean {self.latency.mean:.2f}s",
+        ]
+        for tier, stats in self.cache_tiers.items():
+            lines.append(
+                f"cache[{tier:10s}]: {stats['hits']} hits / {stats['misses']} misses"
+                f" / {stats['evictions']} evictions"
+                f" (hit rate {stats['hit_rate']:.1%})"
+            )
+        return "\n".join(lines)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.caching import GoldResultCache
 from repro.evaluation.report import format_table
 from repro.evaluation.runner import EvalReport, evaluate_pipeline, evaluate_system
 from repro.evaluation.metrics import ExampleScore
@@ -34,6 +35,70 @@ class TestEvaluatePipeline:
     def test_named_report(self, tiny_pipeline, tiny_benchmark):
         report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:1], name="x")
         assert report.system == "x"
+
+
+class TestParallelEvaluation:
+    def test_workers_match_serial_scores(self, tiny_pipeline, tiny_benchmark):
+        """The tentpole determinism property: thread scheduling must not
+        change a single score (per-call hashed seeds + reentrant answer)."""
+        examples = tiny_benchmark.dev
+        serial = evaluate_pipeline(tiny_pipeline, examples)
+        parallel = evaluate_pipeline(tiny_pipeline, examples, workers=4)
+        assert parallel.ex == serial.ex
+        assert parallel.ex_g == serial.ex_g
+        assert parallel.ex_r == serial.ex_r
+        assert [s.question_id for s in parallel.scores] == [
+            s.question_id for s in serial.scores
+        ]
+        assert [s.correct for s in parallel.scores] == [
+            s.correct for s in serial.scores
+        ]
+        assert parallel.latencies == serial.latencies
+
+    def test_workers_validated(self, tiny_pipeline, tiny_benchmark):
+        with pytest.raises(ValueError):
+            evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:1], workers=0)
+
+    def test_parallel_checkpoint_resume(self, tiny_pipeline, tiny_benchmark, tmp_path):
+        """A parallel run's checkpoint replays to the identical report."""
+        path = tmp_path / "ckpt.jsonl"
+        examples = tiny_benchmark.dev[:6]
+        first = evaluate_pipeline(
+            tiny_pipeline, examples, checkpoint_path=path, workers=4
+        )
+        resumed = evaluate_pipeline(
+            tiny_pipeline, examples, checkpoint_path=path, workers=4
+        )
+        assert resumed.ex == first.ex
+        assert [s.correct for s in resumed.scores] == [
+            s.correct for s in first.scores
+        ]
+
+    def test_shared_gold_cache(self, tiny_pipeline, tiny_benchmark):
+        gold = GoldResultCache()
+        evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:4], gold_cache=gold)
+        assert len(gold) == 4
+        # A second run over the same split reuses every gold execution.
+        evaluate_pipeline(
+            tiny_pipeline, tiny_benchmark.dev[:4], workers=2, gold_cache=gold
+        )
+        assert len(gold) == 4
+        assert gold.stats.hits >= 4
+
+
+class TestReportLatency:
+    def test_latencies_populated(self, tiny_pipeline, tiny_benchmark):
+        report = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:4])
+        assert len(report.latencies) == 4
+        assert all(latency > 0 for latency in report.latencies)
+        summary = report.latency_summary()
+        assert summary.count == 4
+        assert summary.p95 >= summary.p50 > 0
+
+    def test_latency_in_to_dict(self, tiny_pipeline, tiny_benchmark):
+        payload = evaluate_pipeline(tiny_pipeline, tiny_benchmark.dev[:3]).to_dict()
+        assert payload["latency"]["count"] == 3
+        assert payload["latency"]["p50"] > 0
 
 
 class TestEvaluateSystem:

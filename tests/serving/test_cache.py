@@ -1,0 +1,208 @@
+"""LRUCache / GoldResultCache / normalize_question unit tests."""
+
+import threading
+
+import pytest
+
+from repro.caching import CacheStats, GoldResultCache, LRUCache, normalize_question
+
+
+class FakeClock:
+    """Injectable clock so TTL expiry is tested without sleeping."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestNormalizeQuestion:
+    def test_collapses_whitespace_case_and_punctuation(self):
+        assert (
+            normalize_question("  How many   heads ?")
+            == normalize_question("how many heads")
+        )
+
+    def test_distinct_questions_stay_distinct(self):
+        assert normalize_question("how many heads") != normalize_question(
+            "how many tails"
+        )
+
+
+class TestLRUCache:
+    def test_put_get_round_trip(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(maxsize=4)
+        assert cache.get("ghost") is None
+        assert cache.get("ghost", 42) == 42
+
+    def test_eviction_is_lru_ordered(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b is now least recently used
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # rewrite refreshes, so b evicts next
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_ttl_expiry_counts_as_miss(self):
+        clock = FakeClock()
+        cache = LRUCache(maxsize=4, ttl=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.0)
+        assert cache.get("a") == 1
+        clock.advance(2.0)
+        assert cache.get("a") is None
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert "a" not in cache
+
+    def test_invalidate_predicate_counts(self):
+        cache = LRUCache(maxsize=8)
+        for i in range(4):
+            cache.put(("db1", i) if i % 2 else ("db2", i), i)
+        dropped = cache.invalidate(lambda key: key[0] == "db1")
+        assert dropped == 2
+        assert cache.stats.invalidations == 2
+        assert len(cache) == 2
+
+    def test_invalidate_db_matches_tuple_prefix(self):
+        cache = LRUCache(maxsize=8)
+        cache.put(("california_schools", "q1"), "x")
+        cache.put(("hockey", "q2"), "y")
+        cache.put("plain-key", "z")
+        assert cache.invalidate_db("california_schools") == 1
+        assert ("hockey", "q2") in cache
+        assert "plain-key" in cache
+
+    def test_clear_keeps_lifetime_stats(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+        assert cache.stats.invalidations == 1
+        cache.reset_stats()
+        assert cache.stats.hits == 0
+
+    def test_disabled_tier_drops_everything(self):
+        cache = LRUCache(maxsize=0)
+        assert not cache.enabled
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_get_or_compute_computes_once(self):
+        cache = LRUCache(maxsize=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("k", lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+        assert cache.stats.hits == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=-1)
+        with pytest.raises(ValueError):
+            LRUCache(ttl=0)
+
+    def test_stats_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert stats.to_dict()["hit_rate"] == 0.75
+
+    def test_thread_safety_under_contention(self):
+        cache = LRUCache(maxsize=32)
+
+        def worker(tag):
+            for i in range(200):
+                cache.put((tag, i % 40), i)
+                cache.get((tag, (i + 7) % 40))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 32
+        assert cache.stats.lookups == 4 * 200
+
+
+class CountingExecutor:
+    """Executor double counting gold executions."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def execute(self, sql):
+        self.calls += 1
+        return f"rows-for:{sql}"
+
+
+class FakeExample:
+    def __init__(self, question_id, gold_sql="SELECT 1"):
+        self.question_id = question_id
+        self.gold_sql = gold_sql
+
+
+class TestGoldResultCache:
+    def test_gold_executes_once_per_question(self):
+        gold = GoldResultCache()
+        executor = CountingExecutor()
+        example = FakeExample("q1")
+        first = gold.outcome(example, executor)
+        second = gold.outcome(example, executor)
+        assert first == second == "rows-for:SELECT 1"
+        assert executor.calls == 1
+        assert gold.stats.hits == 1
+
+    def test_distinct_questions_execute_separately(self):
+        gold = GoldResultCache()
+        executor = CountingExecutor()
+        gold.outcome(FakeExample("q1", "SELECT 1"), executor)
+        gold.outcome(FakeExample("q2", "SELECT 2"), executor)
+        assert executor.calls == 2
+        assert len(gold) == 2
+
+    def test_racing_workers_share_one_execution(self):
+        gold = GoldResultCache()
+        executor = CountingExecutor()
+        example = FakeExample("hot")
+        results = []
+
+        def worker():
+            results.append(gold.outcome(example, executor))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert executor.calls == 1
+        assert len(set(results)) == 1

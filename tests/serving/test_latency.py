@@ -1,0 +1,86 @@
+"""LatencySummary / percentile / workload-generation unit tests."""
+
+import pytest
+
+from repro.serving.latency import LatencySummary, percentile
+from repro.serving.workload import zipf_weights, zipf_workload
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+    def test_single_value(self):
+        assert percentile([7.5], 50) == 7.5
+        assert percentile([7.5], 99) == 7.5
+
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencySummary:
+    def test_from_values(self):
+        summary = LatencySummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.total_seconds == 10.0
+        assert summary.mean == 2.5
+        assert summary.p50 == 2.0
+        assert summary.max == 4.0
+
+    def test_empty_is_zeroed(self):
+        summary = LatencySummary.from_values([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.p99 == 0.0
+
+    def test_to_dict_round_numbers(self):
+        payload = LatencySummary.from_values([1.23456]).to_dict()
+        assert payload["count"] == 1
+        assert payload["p50"] == pytest.approx(1.2346, abs=1e-4)
+
+
+class TestZipfWorkload:
+    def test_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(10, skew=1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] > weights[i + 1] for i in range(9))
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(5, skew=0.0)
+        assert all(w == pytest.approx(0.2) for w in weights)
+
+    def test_workload_deterministic_per_seed(self, tiny_benchmark):
+        pool = tiny_benchmark.dev[:8]
+        a = zipf_workload(pool, 30, seed=1)
+        b = zipf_workload(pool, 30, seed=1)
+        c = zipf_workload(pool, 30, seed=2)
+        assert [e.question_id for e in a] == [e.question_id for e in b]
+        assert [e.question_id for e in a] != [e.question_id for e in c]
+
+    def test_workload_is_skewed(self, tiny_benchmark):
+        pool = tiny_benchmark.dev[:8]
+        load = zipf_workload(pool, 200, skew=1.2, seed=0)
+        counts = {}
+        for example in load:
+            counts[example.question_id] = counts.get(example.question_id, 0) + 1
+        top = max(counts.values())
+        assert len(load) == 200
+        # The hottest question dominates a uniform share (200/8 = 25).
+        assert top > 2 * (200 / len(pool))
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError):
+            zipf_workload([], 10)
+        with pytest.raises(ValueError):
+            zipf_weights(0)

@@ -70,3 +70,47 @@ class TestEvaluate:
         )
         assert code == 0
         assert "examples : 8" in text
+
+    def test_parallel_matches_serial(self):
+        code_1, serial = run_cli("--candidates", "3", "evaluate", "--limit", "8")
+        code_4, parallel = run_cli(
+            "--candidates", "3", "evaluate", "--limit", "8", "--workers", "4"
+        )
+        assert code_1 == code_4 == 0
+        assert "workers  : 4" in parallel
+        assert "latency  :" in parallel
+        # Identical EX/EX_G/EX_R lines regardless of worker count.
+        pick = lambda text, tag: next(
+            line for line in text.splitlines() if line.startswith(tag)
+        )
+        for tag in ("EX ", "EX_G", "EX_R"):
+            assert pick(serial, tag) == pick(parallel, tag)
+
+
+class TestServeBench:
+    def test_closed_loop_reports_stats(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "2", "--requests", "12", "--distinct", "4",
+        )
+        assert code == 0
+        assert "served   : 12/12" in text
+        assert "cache[result" in text
+        assert "throughput" in text
+
+    def test_no_cache_flag(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "2", "--requests", "6", "--distinct", "3", "--no-cache",
+        )
+        assert code == 0
+        assert "0 hits" in text
+
+    def test_open_loop_can_shed(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "10", "--distinct", "5",
+            "--queue-capacity", "1", "--mode", "open", "--no-cache",
+        )
+        assert code == 0
+        assert "shed" in text

@@ -86,6 +86,8 @@ class TestPublicApi:
             "repro.baselines",
             "repro.evaluation",
             "repro.reliability",
+            "repro.serving",
+            "repro.caching",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):
