@@ -1,0 +1,255 @@
+"""Chaos certification — the serving path under combined LLM + DB faults.
+
+Not a paper table: this bench certifies the robustness properties of the
+serving path (deadlines, database chaos, hedged execution) on a fixed
+seed.  A Zipf-skewed workload is served twice — once fault-free, once
+with chaos injected at ``RATE`` into the LLM transport and/or the SQL
+executors (``CHAOS_MODE`` = ``llm`` | ``db`` | ``combined``) — and the
+run certifies:
+
+1. **containment** — every request completes with a PipelineResult
+   (zero hangs, zero unhandled exceptions, ``failed == 0``);
+2. **typed degradation** — every deadline-exceeded request carries a
+   ``DEADLINE_EXCEEDED`` degradation event, and under a deliberately
+   tight budget *all* requests degrade this way without a single raise;
+3. **EX retention** — scored against gold with *clean* executors, chaos
+   EX stays >= 80% of the fault-free EX (resilient transport + hedging
+   + majority voting absorb the faults);
+4. **hedging** — the hedge recovers at least half of the slow-query
+   faults observed on primary executions;
+5. **conserved accounting** — ``submitted == admitted + shed +
+   rejected_*`` and ``admitted == completed + failed``, with the
+   deadline counter reconciling against per-result flags, monotone in
+   budget tightness;
+6. **determinism** — two identical chaos runs produce identical final
+   SQLs and identical fault logs.
+
+The chaos engines run ``workers=1``: the LLM fault injector draws from
+a sequential RNG, so thread scheduling would otherwise reorder its
+fault sequence (the DB injector hashes ``(seed, sql, attempt)`` and is
+schedule-independent; clean-run parallel determinism is certified by
+``bench_serving.py``).
+
+Sizes shrink under ``REPRO_SERVING_SMOKE=1`` so CI can run one mode per
+matrix leg as a smoke test.
+"""
+
+import os
+
+from dataclasses import replace
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.evaluation.metrics import execution_accuracy, score_example
+from repro.evaluation.report import format_table
+from repro.execution.chaos import DbFaultPlan, FaultInjectingExecutor
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
+from repro.reliability.degradation import DegradationKind
+from repro.reliability.stats import ReliabilityStats
+from repro.serving import ServingEngine, zipf_workload
+
+SMOKE = bool(int(os.environ.get("REPRO_SERVING_SMOKE", "0")))
+#: which fault channels to open: "llm" | "db" | "combined"
+MODE = os.environ.get("CHAOS_MODE", "combined")
+RATE = 0.3
+SEED = 0
+ZIPF_SKEW = 1.2
+LOAD = (18, 6) if SMOKE else (48, 12)
+TIGHT_LOAD = (8, 4) if SMOKE else (12, 6)
+#: generous virtual budget (seconds) — chaos alone should rarely trip it
+DEADLINE = 900.0
+#: tiny virtual budget — every request must degrade, none may raise
+TIGHT_DEADLINE = 1e-6
+HEDGE_THRESHOLD = 2.0  # below DbFaultPlan.slow_seconds (4.0)
+
+#: The DB injector draws deterministically per distinct statement, and the
+#: Zipf workload dedupes to only ~100 distinct statements — too few for
+#: the default 7.5% slow band to reliably fire.  Doubling it gives the
+#: hedging certification a meaningful sample without touching the other
+#: fault kinds' draws (the slow band sits after them in draw order) and
+#: without degrading the hedge attempts so often that races become coin
+#: flips.
+DB_PLAN = replace(DbFaultPlan.chaos(RATE), slow_query=0.15)
+
+LLM_FAULTS = MODE in ("llm", "combined")
+DB_FAULTS = MODE in ("db", "combined")
+
+
+def _pipeline(bird):
+    llm = SimulatedLLM(GPT_4O, seed=SEED)
+    return OpenSearchSQL(bird, llm, PipelineConfig(n_candidates=11))
+
+
+def _arm(pipeline):
+    """Open the MODE's fault channels on a fresh pipeline.
+
+    Returns the injectors' stats objects (None for closed channels).
+    Must run before the engine is built so the engine's hedge wrapper
+    composes *outside* the fault injector and races real faults.
+    """
+    llm_stats = None
+    db_stats = None
+    if LLM_FAULTS:
+        injector = FaultInjectingLLM(
+            pipeline.llm, FaultPlan.chaos(RATE), seed=SEED
+        )
+        pipeline.rebind_llm(ResilientLLM(injector, seed=SEED))
+        llm_stats = injector.stats
+    if DB_FAULTS:
+        db_stats = ReliabilityStats()
+        pipeline.set_executor_wrapper(
+            lambda executor, db_id: FaultInjectingExecutor(
+                executor, DB_PLAN, seed=SEED, stats=db_stats
+            )
+        )
+    return llm_stats, db_stats
+
+
+def _serve(bird, load, chaos, deadline):
+    pipeline = _pipeline(bird)
+    llm_stats, db_stats = _arm(pipeline) if chaos else (None, None)
+    with ServingEngine(
+        pipeline,
+        workers=1,
+        queue_capacity=len(load),
+        deadline_seconds=deadline,
+        hedge_threshold=HEDGE_THRESHOLD if (chaos and DB_FAULTS) else None,
+    ) as engine:
+        results = engine.run(load)
+        stats = engine.stats()
+    return {
+        "results": results,
+        "stats": stats,
+        "llm": llm_stats,
+        "db": db_stats,
+        "hedge": engine.hedge_stats,
+    }
+
+
+def _score(bird, load, results):
+    """EX over the served workload, judged with *clean* executors.
+
+    The pipeline's own executors are fault-injected, so scoring must
+    build untouched ones per database.
+    """
+    executors = {}
+    scores = []
+    for example, result in zip(load, results):
+        executor = executors.get(example.db_id)
+        if executor is None:
+            executor = bird.database(example.db_id).executor()
+            executors[example.db_id] = executor
+        sql = result.final_sql if result is not None else None
+        scores.append(score_example(example, sql, executor))
+    return execution_accuracy(scores)
+
+
+def _compute(bird):
+    requests, distinct = LOAD
+    load = zipf_workload(bird.dev[:distinct], requests, skew=ZIPF_SKEW, seed=SEED)
+
+    runs = {
+        "clean": _serve(bird, load, chaos=False, deadline=DEADLINE),
+        "chaos": _serve(bird, load, chaos=True, deadline=DEADLINE),
+        "replay": _serve(bird, load, chaos=True, deadline=DEADLINE),
+    }
+    runs["clean"]["ex"] = _score(bird, load, runs["clean"]["results"])
+    runs["chaos"]["ex"] = _score(bird, load, runs["chaos"]["results"])
+
+    # Tight-budget pass: every request must degrade, none may raise.
+    requests, distinct = TIGHT_LOAD
+    tight_load = zipf_workload(
+        bird.dev[:distinct], requests, skew=ZIPF_SKEW, seed=SEED
+    )
+    runs["tight"] = _serve(bird, tight_load, chaos=True, deadline=TIGHT_DEADLINE)
+    runs["load"], runs["tight_load"] = load, tight_load
+    return runs
+
+
+def _conserved(stats):
+    assert stats.submitted == (
+        stats.admitted + stats.shed + stats.rejected_open
+        + stats.rejected_budget + stats.rejected_draining
+    ), stats.to_dict()
+    assert stats.admitted == stats.completed + stats.failed, stats.to_dict()
+
+
+def test_chaos_certification(benchmark, bird):
+    runs = benchmark.pedantic(_compute, args=(bird,), rounds=1, iterations=1)
+
+    clean, chaos, replay, tight = (
+        runs["clean"], runs["chaos"], runs["replay"], runs["tight"]
+    )
+    retention = chaos["ex"] / clean["ex"] if clean["ex"] else 0.0
+    llm_faults = len(chaos["llm"].faults) if chaos["llm"] else 0
+    db_faults = len(chaos["db"].faults) if chaos["db"] else 0
+
+    rows = [
+        ["clean", clean["ex"], "-", 0, 0, clean["stats"].deadline_exceeded],
+        [f"chaos ({MODE})", chaos["ex"], f"{retention:.0%}",
+         llm_faults, db_faults, chaos["stats"].deadline_exceeded],
+    ]
+    print()
+    print(format_table(
+        ["Run", "EX", "retention", "llm faults", "db faults", "deadlines"],
+        rows,
+        title=f"Chaos serving: EX retention at {RATE:.0%} fault rate",
+    ))
+    print(chaos["stats"].format())
+    if chaos["db"] is not None:
+        print(f"db fault mix : {chaos['db'].fault_counts()}")
+
+    # 1. Containment: every request completed, nothing hung or raised.
+    for run in (clean, chaos, replay, tight):
+        assert all(r is not None for r in run["results"])
+        assert run["stats"].failed == 0
+        assert run["stats"].completed == len(run["results"])
+    if LLM_FAULTS:
+        assert llm_faults > 0
+    if DB_FAULTS:
+        assert db_faults > 0
+
+    # 2. Typed degradation: the deadline counter reconciles against the
+    # per-result flags, and each flagged result explains itself with a
+    # DEADLINE_EXCEEDED event.  Under the tight budget that is everyone.
+    for run in (chaos, tight):
+        flagged = [r for r in run["results"] if r.deadline_exceeded]
+        assert run["stats"].deadline_exceeded == len(flagged)
+        for result in flagged:
+            assert any(
+                e.kind is DegradationKind.DEADLINE_EXCEEDED
+                for e in result.degradations
+            )
+    assert tight["stats"].deadline_exceeded == len(runs["tight_load"])
+
+    # 3. EX retention: chaos keeps >= 80% of the fault-free accuracy.
+    assert retention >= 0.8, (chaos["ex"], clean["ex"])
+
+    # 4. Hedging recovers at least half of the slow-query faults seen on
+    # primary executions (DB modes only — the hedge races the executor).
+    if DB_FAULTS:
+        hedge = chaos["hedge"]
+        print(f"hedging      : {hedge.to_dict()}")
+        assert hedge.primary_slow > 0
+        assert hedge.recovered_slow >= 0.5 * hedge.primary_slow, hedge.to_dict()
+        assert "db_slow_query" in chaos["db"].fault_counts()
+
+    # 5. Conserved, monotone accounting.
+    for run in (clean, chaos, replay, tight):
+        _conserved(run["stats"])
+    assert chaos["stats"].deadline_exceeded >= clean["stats"].deadline_exceeded
+    # chaos can only add degradation events, never hide them
+    degraded = lambda run: sum(len(r.degradations) for r in run["results"])
+    assert degraded(chaos) >= degraded(clean)
+
+    # 6. Determinism: an identical chaos run replays byte-for-byte.
+    assert [r.final_sql for r in replay["results"]] == [
+        r.final_sql for r in chaos["results"]
+    ]
+    assert replay["stats"].deadline_exceeded == chaos["stats"].deadline_exceeded
+    if LLM_FAULTS:
+        assert replay["llm"].fault_counts() == chaos["llm"].fault_counts()
+    if DB_FAULTS:
+        assert replay["db"].fault_counts() == chaos["db"].fault_counts()

@@ -77,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--workers", type=int, default=1, metavar="N",
                     help="score examples on N threads (default: 1); "
                          "EX/EX_G/EX_R are identical to a serial run")
+    ev.add_argument("--deadline-ms", type=float, default=0.0, metavar="MS",
+                    help="per-example deadline in virtual milliseconds "
+                         "(0 = none); exhaustion degrades the answer "
+                         "instead of crashing it")
 
     ab = sub.add_parser("ablate", help="module ablation sweep (Table 4 style)")
     ab.add_argument("--size", type=int, default=150,
@@ -104,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "when the queue is full (default: closed)")
     sb.add_argument("--no-cache", action="store_true",
                     help="disable all three cache tiers")
+    sb.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                    help="inject LLM and database faults at rate R each "
+                         "(chaos mode; default: 0 = off)")
+    sb.add_argument("--deadline-ms", type=float, default=0.0, metavar="MS",
+                    help="per-request deadline in virtual milliseconds "
+                         "(0 = none)")
+    sb.add_argument("--hedge-ms", type=float, default=0.0, metavar="MS",
+                    help="hedge SQL executions slower than MS virtual "
+                         "milliseconds (0 = hedging off; implied on by "
+                         "--fault-rate)")
     return parser
 
 
@@ -183,6 +197,7 @@ def _cmd_evaluate(args, out) -> int:
         pipeline, examples,
         checkpoint_path=args.checkpoint,
         workers=args.workers,
+        deadline_ms=args.deadline_ms or None,
     )
     out.write(f"examples : {report.count}\n")
     if args.workers > 1:
@@ -265,6 +280,32 @@ def _cmd_serve_bench(args, out) -> int:
         pool, requests=args.requests, skew=args.zipf, seed=args.seed
     )
     pipeline = _build_pipeline(benchmark, args)
+
+    llm_injector = db_stats = None
+    if args.fault_rate > 0:
+        from repro.execution import DbFaultPlan, FaultInjectingExecutor
+        from repro.reliability import (
+            FaultInjectingLLM,
+            FaultPlan,
+            ReliabilityStats,
+            ResilientLLM,
+        )
+
+        llm_injector = FaultInjectingLLM(
+            pipeline.llm, FaultPlan.chaos(args.fault_rate), seed=args.seed
+        )
+        pipeline.rebind_llm(ResilientLLM(llm_injector, seed=args.seed))
+        db_stats = ReliabilityStats()
+        db_plan = DbFaultPlan.chaos(args.fault_rate)
+        pipeline.set_executor_wrapper(
+            lambda executor, db_id: FaultInjectingExecutor(
+                executor, db_plan, seed=args.seed, stats=db_stats
+            )
+        )
+
+    hedge_ms = args.hedge_ms
+    if args.fault_rate > 0 and not hedge_ms:
+        hedge_ms = 2000.0
     cache_size = 0 if args.no_cache else 512
     engine = ServingEngine(
         pipeline,
@@ -273,6 +314,8 @@ def _cmd_serve_bench(args, out) -> int:
         result_cache_size=cache_size,
         extraction_cache_size=0 if args.no_cache else 1024,
         fewshot_cache_size=0 if args.no_cache else 1024,
+        deadline_seconds=(args.deadline_ms / 1000.0) or None,
+        hedge_threshold=(hedge_ms / 1000.0) or None,
     )
     with engine:
         results = engine.run(workload, block=(args.mode == "closed"))
@@ -284,6 +327,10 @@ def _cmd_serve_bench(args, out) -> int:
     )
     out.write(f"served   : {served}/{len(workload)}\n")
     out.write(stats.format() + "\n")
+    if llm_injector is not None:
+        out.write(f"llm faults : {llm_injector.stats.fault_counts()}\n")
+    if db_stats is not None:
+        out.write(f"db faults  : {db_stats.fault_counts()}\n")
     return 0
 
 

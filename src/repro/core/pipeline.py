@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.config import PipelineConfig
 from repro.core.cost import CostTracker
@@ -25,6 +25,7 @@ from repro.datasets.types import Example
 from repro.embedding.vectorizer import HashingVectorizer
 from repro.execution.executor import SQLExecutor
 from repro.llm.base import LLMClient
+from repro.reliability.deadline import Deadline
 from repro.reliability.degradation import DegradationEvent, DegradationKind
 
 __all__ = ["PipelineResult", "OpenSearchSQL", "FALLBACK_SQL"]
@@ -54,6 +55,14 @@ class PipelineResult:
     def degraded(self) -> bool:
         """True when any stage fell back instead of completing normally."""
         return bool(self.degradations)
+
+    @property
+    def deadline_exceeded(self) -> bool:
+        """True when the request's deadline truncated or skipped work."""
+        return any(
+            event.kind is DegradationKind.DEADLINE_EXCEEDED
+            for event in self.degradations
+        )
 
 
 class OpenSearchSQL:
@@ -88,18 +97,36 @@ class OpenSearchSQL:
         self.refiner = Refiner(llm, self.config, self.vectorizer)
         self._executors: dict[str, SQLExecutor] = {}
         self._executors_lock = threading.Lock()
+        #: optional hook wrapping each database executor at creation —
+        #: ``wrapper(executor, db_id)`` returns the executor to use.  The
+        #: serving layer wires fault injection and hedging through this.
+        self.executor_wrapper: Optional[Callable[[SQLExecutor, str], object]] = None
 
     # -------------------------------------------------------------- pieces
 
-    def executor(self, db_id: str) -> SQLExecutor:
+    def executor(self, db_id: str):
         """The cached executor for one benchmark database (thread-safe)."""
         with self._executors_lock:
             if db_id not in self._executors:
                 built = self.benchmark.database(db_id)
-                self._executors[db_id] = SQLExecutor(
-                    built.connection, timeout_seconds=self.config.execution_timeout
+                executor = SQLExecutor(
+                    built.connection,
+                    timeout_seconds=self.config.execution_timeout,
+                    reconnect=built.rebuild,
                 )
+                if self.executor_wrapper is not None:
+                    executor = self.executor_wrapper(executor, db_id)
+                self._executors[db_id] = executor
             return self._executors[db_id]
+
+    def set_executor_wrapper(
+        self, wrapper: Optional[Callable[[SQLExecutor, str], object]]
+    ) -> None:
+        """Install (or clear) the executor wrapper and drop cached
+        executors so every database is re-wrapped on next use."""
+        with self._executors_lock:
+            self.executor_wrapper = wrapper
+            self._executors = {}
 
     def preprocessed(self, db_id: str) -> PreprocessedDatabase:
         """The preprocessing artifacts for one benchmark database."""
@@ -120,7 +147,9 @@ class OpenSearchSQL:
 
     # ----------------------------------------------------------------- run
 
-    def answer(self, example: Example) -> PipelineResult:
+    def answer(
+        self, example: Example, deadline: Optional[Deadline] = None
+    ) -> PipelineResult:
         """Run the main process (Algorithm 1 lines 17–25) for one NLQ.
 
         Each stage is containment-wrapped: a transport failure degrades the
@@ -129,67 +158,122 @@ class OpenSearchSQL:
         generation retries at a single candidate, refinement failure
         returns the best unrefined candidate.
 
+        ``deadline`` bounds the request end-to-end in virtual time: the
+        request's :class:`CostTracker` is attached as a meter, so every
+        stage's reported model seconds shrink the remaining budget, and a
+        stage entered with no budget left degrades (typed
+        ``DEADLINE_EXCEEDED`` event) instead of doing unbounded work.
+        Refinement additionally checks the deadline per candidate and per
+        correction round and caps each SQL execution at the remaining time.
+
         Reentrancy: this method is safe to call from concurrent serving
-        workers.  All per-call state (cost, degradations) is local, the
-        simulator derives every random draw from per-call hashed seeds
-        (so answers are order-independent), and SQL execution serializes
-        per database connection inside :class:`SQLExecutor`.
+        workers.  All per-call state (cost, degradations, deadline) is
+        local, the simulator derives every random draw from per-call
+        hashed seeds (so answers are order-independent), and SQL execution
+        serializes per database connection inside :class:`SQLExecutor`.
         """
         cost = CostTracker()
         degradations: list[DegradationEvent] = []
         pre = self.preprocessed(example.db_id)
         executor = self.executor(example.db_id)
+        if deadline is not None:
+            # Every LLM call's reported decode latency feeds the deadline
+            # without per-call plumbing (virtual-time convention).
+            deadline.attach_meter(lambda: cost.total_model_seconds)
+
+        def deadline_event(stage: str, detail: str) -> DegradationEvent:
+            return DegradationEvent(
+                kind=DegradationKind.DEADLINE_EXCEEDED,
+                stage=stage,
+                cause="deadline",
+                detail=detail,
+            )
 
         with cost.timed("extraction"):
-            try:
-                extraction = self.extractor.run(example, pre, cost)
-            except Exception as exc:
+            if deadline is not None and deadline.expired:
                 degradations.append(
-                    DegradationEvent(
-                        kind=DegradationKind.EXTRACTION_FALLBACK,
-                        stage="extraction",
-                        cause=type(exc).__name__,
-                        detail=str(exc),
-                    )
+                    deadline_event("extraction", "skipped; full-schema fallback")
                 )
                 extraction = ExtractionResult(
                     schema=pre.schema, schema_prompt=pre.schema_prompt
                 )
+            else:
+                try:
+                    extraction = self.extractor.run(example, pre, cost)
+                except Exception as exc:
+                    degradations.append(
+                        DegradationEvent(
+                            kind=DegradationKind.EXTRACTION_FALLBACK,
+                            stage="extraction",
+                            cause=type(exc).__name__,
+                            detail=str(exc),
+                        )
+                    )
+                    extraction = ExtractionResult(
+                        schema=pre.schema, schema_prompt=pre.schema_prompt
+                    )
 
         n = self.config.n_candidates if self.config.use_self_consistency else 1
         with cost.timed("generation"):
-            sqls = self._generate_contained(
-                example, extraction, cost, n, degradations
-            )
+            if deadline is not None and deadline.expired:
+                degradations.append(
+                    deadline_event("generation", f"skipped; {FALLBACK_SQL!r} stands in")
+                )
+                sqls = []
+            else:
+                sqls = self._generate_contained(
+                    example, extraction, cost, n, degradations
+                )
 
         if not sqls:
-            # Observable stand-in for "the model produced nothing usable";
-            # scoring treats it like any other wrong query.
-            degradations.append(
-                DegradationEvent(
-                    kind=DegradationKind.EMPTY_GENERATION,
-                    stage="generation",
-                    cause="no_parseable_sql",
-                    detail=f"falling back to {FALLBACK_SQL!r}",
+            if not any(
+                e.kind is DegradationKind.DEADLINE_EXCEEDED and e.stage == "generation"
+                for e in degradations
+            ):
+                # Observable stand-in for "the model produced nothing
+                # usable"; scoring treats it like any other wrong query.
+                degradations.append(
+                    DegradationEvent(
+                        kind=DegradationKind.EMPTY_GENERATION,
+                        stage="generation",
+                        cause="no_parseable_sql",
+                        detail=f"falling back to {FALLBACK_SQL!r}",
+                    )
                 )
-            )
             sqls = [FALLBACK_SQL]
 
         with cost.timed("refinement"):
-            try:
-                refinement = self.refiner.run(
-                    example, sqls, pre, extraction, executor, cost
-                )
-            except Exception as exc:
+            if deadline is not None and deadline.expired:
                 degradations.append(
-                    DegradationEvent(
-                        kind=DegradationKind.REFINEMENT_SKIPPED,
-                        stage="refinement",
-                        cause=type(exc).__name__,
-                        detail=str(exc),
-                    )
+                    deadline_event("refinement", "skipped; first candidate unrefined")
                 )
-                refinement = RefinementResult(final_sql=sqls[0], candidates=[])
+                refinement = RefinementResult(
+                    final_sql=sqls[0], candidates=[], truncated=True
+                )
+            else:
+                try:
+                    refinement = self.refiner.run(
+                        example, sqls, pre, extraction, executor, cost,
+                        deadline=deadline,
+                    )
+                except Exception as exc:
+                    degradations.append(
+                        DegradationEvent(
+                            kind=DegradationKind.REFINEMENT_SKIPPED,
+                            stage="refinement",
+                            cause=type(exc).__name__,
+                            detail=str(exc),
+                        )
+                    )
+                    refinement = RefinementResult(final_sql=sqls[0], candidates=[])
+                if refinement.truncated:
+                    degradations.append(
+                        deadline_event(
+                            "refinement",
+                            f"refined {len(refinement.candidates)}/{len(sqls)} "
+                            "candidates before the deadline",
+                        )
+                    )
 
         return PipelineResult(
             question_id=example.question_id,

@@ -24,12 +24,23 @@ from repro.embedding.vectorizer import HashingVectorizer
 from repro.execution.executor import ExecutionOutcome, ExecutionStatus, SQLExecutor
 from repro.llm.base import LLMClient
 from repro.llm.prompts import correction_prompt
+from repro.reliability.deadline import Deadline
 from repro.llm.tasks import CorrectionTask, PromptFeatures
 from repro.sqlkit.parser import ParseError, parse_select
 from repro.sqlkit.render import render
 from repro.sqlkit.tokenizer import TokenizeError
 
 __all__ = ["RefinedCandidate", "RefinementResult", "Refiner", "vote"]
+
+#: error statuses caused by the database substrate, not the SQL text;
+#: correction prompting is skipped for these (no few-shot can fix them)
+_INFRASTRUCTURE_STATUSES = frozenset(
+    {
+        ExecutionStatus.LOCKED,
+        ExecutionStatus.DISK_ERROR,
+        ExecutionStatus.CONNECTION_ERROR,
+    }
+)
 
 
 @dataclass
@@ -49,6 +60,8 @@ class RefinementResult:
 
     final_sql: str
     candidates: list[RefinedCandidate] = field(default_factory=list)
+    #: True when a deadline stopped refinement before all candidates ran
+    truncated: bool = False
 
     @property
     def first_refined_sql(self) -> Optional[str]:
@@ -192,28 +205,47 @@ class Refiner:
         extraction: ExtractionResult,
         executor: SQLExecutor,
         cost: Optional[CostTracker] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> RefinementResult:
-        """Refine all candidates and select the final SQL."""
+        """Refine all candidates and select the final SQL.
+
+        ``deadline`` (when given) is checked before each candidate and each
+        correction round, and caps every SQL execution at the remaining
+        budget; hitting it stops further refinement (``truncated=True``)
+        rather than raising — already-refined candidates still vote.
+        """
         config = self.config
         refined: list[RefinedCandidate] = []
+        truncated = False
         for sql in sqls:
+            if deadline is not None and deadline.expired:
+                truncated = True
+                break
             aligned = self.align(sql, pre, executor)
             candidate = RefinedCandidate(raw_sql=sql, aligned_sql=aligned, final_sql=aligned)
-            outcome = executor.execute(aligned)
+            outcome = executor.execute(aligned, deadline)
             if (
                 config.use_refinement
                 and config.use_correction
                 and outcome.status is not ExecutionStatus.OK
+                # locked/disk/connection faults are not the SQL's fault —
+                # retry, recycling and hedging recover them; an LLM rewrite
+                # cannot.  TIMEOUT still corrects: a runaway join is the
+                # SQL's fault even though a hedge may also clear it.
+                and outcome.status not in _INFRASTRUCTURE_STATUSES
             ):
                 current_sql, current = aligned, outcome
                 for _round in range(config.max_correction_rounds):
+                    if deadline is not None and deadline.expired:
+                        truncated = True
+                        break
                     fixed = self.correct(
                         example, current_sql, current, pre, extraction, cost
                     )
                     if fixed is None:
                         break
                     fixed = self.align(fixed, pre, executor)
-                    fixed_outcome = executor.execute(fixed)
+                    fixed_outcome = executor.execute(fixed, deadline)
                     if fixed_outcome.status is ExecutionStatus.OK or (
                         not fixed_outcome.status.is_error and current.status.is_error
                     ):
@@ -232,5 +264,12 @@ class Refiner:
             # Without self-consistency (or when every candidate failed) the
             # paper's single-SQL setting applies: take the first candidate.
             winner = refined[0]
-        final_sql = winner.final_sql if winner else ""
-        return RefinementResult(final_sql=final_sql, candidates=refined)
+        if winner is not None:
+            final_sql = winner.final_sql
+        else:
+            # Deadline hit before any candidate ran: the first raw
+            # candidate stands in unrefined.
+            final_sql = sqls[0] if sqls else ""
+        return RefinementResult(
+            final_sql=final_sql, candidates=refined, truncated=truncated
+        )

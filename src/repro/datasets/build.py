@@ -102,14 +102,24 @@ class DomainSpec:
 
 @dataclass
 class BuiltDatabase:
-    """A constructed SQLite database plus its schema model."""
+    """A constructed SQLite database plus its schema model.
+
+    ``rebuild`` recreates an identical connection from the materialized
+    DDL + rows; executors wire it as their ``reconnect`` recipe so a
+    dropped connection (real or chaos-injected) is recoverable.
+    """
 
     schema: Database
     connection: sqlite3.Connection
+    rebuild: Optional[Callable[[], sqlite3.Connection]] = None
 
     def executor(self, timeout_seconds: float = 5.0) -> SQLExecutor:
         """A fresh executor over this database's connection."""
-        return SQLExecutor(self.connection, timeout_seconds=timeout_seconds)
+        return SQLExecutor(
+            self.connection,
+            timeout_seconds=timeout_seconds,
+            reconnect=self.rebuild,
+        )
 
 
 @dataclass
@@ -178,26 +188,41 @@ def build_database(spec: DomainSpec, rng: np.random.Generator) -> tuple[BuiltDat
     # check_same_thread=False: serving workers execute on the building
     # thread's connection; SQLExecutor serializes access with a per-
     # connection lock, which is the supported pattern for sqlite3.
-    connection = sqlite3.connect(":memory:", check_same_thread=False)
-    connection.executescript(schema_to_ddl(spec.schema))
+    ddl = schema_to_ddl(spec.schema)
     rows = spec.populate(rng)
-    for table in spec.schema.tables:
-        data = rows.get(table.name, [])
-        if not data:
-            continue
-        width = len(table.columns)
-        for row in data:
-            if len(row) != width:
-                raise ValueError(
-                    f"row width {len(row)} != {width} columns in {spec.name}.{table.name}"
-                )
-        placeholders = ", ".join("?" * width)
-        connection.executemany(
-            f'INSERT INTO "{table.name}" VALUES ({placeholders})', data
-        )
-    connection.commit()
+
+    def _open() -> sqlite3.Connection:
+        conn = sqlite3.connect(":memory:", check_same_thread=False)
+        conn.executescript(ddl)
+        for table in spec.schema.tables:
+            data = rows.get(table.name, [])
+            if not data:
+                continue
+            width = len(table.columns)
+            for row in data:
+                if len(row) != width:
+                    raise ValueError(
+                        f"row width {len(row)} != {width} columns "
+                        f"in {spec.name}.{table.name}"
+                    )
+            placeholders = ", ".join("?" * width)
+            conn.executemany(
+                f'INSERT INTO "{table.name}" VALUES ({placeholders})', data
+            )
+        conn.commit()
+        return conn
+
+    connection = _open()
     schema = _enrich_schema(spec.schema, rows)
     built = BuiltDatabase(schema=schema, connection=connection)
+
+    def _rebuild() -> sqlite3.Connection:
+        # Recreate identical content and republish it so later executors
+        # over this BuiltDatabase see the live connection.
+        built.connection = _open()
+        return built.connection
+
+    built.rebuild = _rebuild
     context = DomainContext(schema=schema, rows=rows, executor=built.executor())
     return built, context
 

@@ -38,6 +38,7 @@ from repro.evaluation.metrics import (
 )
 from repro.execution.executor import SQLExecutor
 from repro.reliability.checkpoint import EvalCheckpoint
+from repro.reliability.deadline import Deadline
 from repro.serving.latency import LatencySummary
 
 __all__ = ["EvalReport", "evaluate_pipeline", "evaluate_system", "TextToSQLSystem"]
@@ -180,6 +181,7 @@ def evaluate_pipeline(
     checkpoint_path: Optional[Union[str, Path]] = None,
     workers: int = 1,
     gold_cache: Optional[GoldResultCache] = None,
+    deadline_ms: Optional[float] = None,
 ) -> EvalReport:
     """Run an OpenSearch-SQL pipeline over ``examples``, scoring the three
     observables (EX_G, EX_R, EX) the paper's ablation tables report.
@@ -190,10 +192,15 @@ def evaluate_pipeline(
     disk on resume.  ``workers > 1`` scores examples on a thread pool;
     the report's scores stay in ``examples`` order and EX/EX_G/EX_R are
     identical to a serial run (the pipeline's answer path is reentrant
-    and order-independent).
+    and order-independent).  ``deadline_ms`` bounds each example with a
+    per-request :class:`~repro.reliability.deadline.Deadline` (virtual
+    time); exhaustion degrades the answer — visible in the report's
+    ``deadline_exceeded`` degradation counts — instead of crashing it.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ValueError("deadline_ms must be > 0")
     report = EvalReport(system=name or f"opensearch-sql[{pipeline.llm.model_name}]")
     checkpoint = EvalCheckpoint(checkpoint_path) if checkpoint_path else None
     gold = gold_cache if gold_cache is not None else GoldResultCache()
@@ -209,7 +216,14 @@ def evaluate_pipeline(
         degradation_events: list = []
         try:
             executor = pipeline.executor(example.db_id)
-            result: PipelineResult = pipeline.answer(example)
+            if deadline_ms is not None:
+                # keyword only when set: pipeline stand-ins (test doubles,
+                # wrappers) need not know about deadlines
+                result: PipelineResult = pipeline.answer(
+                    example, deadline=Deadline(deadline_ms / 1000.0)
+                )
+            else:
+                result = pipeline.answer(example)
             degradation_events = result.degradations
             gold_outcome = gold.outcome(example, executor)
             score = score_example(example, result.final_sql, executor, gold_outcome)

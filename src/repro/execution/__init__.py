@@ -1,8 +1,11 @@
 """SQL execution substrate: safe SQLite execution, result normalization,
-an error taxonomy for the Refinement stage, and gold-vs-predicted result
-comparison for Execution Accuracy."""
+an error taxonomy for the Refinement stage, gold-vs-predicted result
+comparison for Execution Accuracy, and seeded database-layer fault
+injection for chaos certification."""
 
+from repro.execution.chaos import DbFaultKind, DbFaultPlan, FaultInjectingExecutor
 from repro.execution.executor import (
+    TRANSIENT_STATUSES,
     ExecutionError,
     ExecutionOutcome,
     ExecutionStatus,
@@ -11,9 +14,13 @@ from repro.execution.executor import (
 )
 
 __all__ = [
+    "DbFaultKind",
+    "DbFaultPlan",
     "ExecutionError",
     "ExecutionOutcome",
     "ExecutionStatus",
+    "FaultInjectingExecutor",
     "SQLExecutor",
+    "TRANSIENT_STATUSES",
     "results_match",
 ]

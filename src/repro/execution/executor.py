@@ -16,13 +16,18 @@ import sqlite3
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # avoid a circular import: reliability imports core.cost,
+    # which transitively imports this module.  Deadline is duck-typed here.
+    from repro.reliability.deadline import Deadline
 
 __all__ = [
     "ExecutionStatus",
     "ExecutionError",
     "ExecutionOutcome",
     "SQLExecutor",
+    "TRANSIENT_STATUSES",
     "results_match",
     "normalize_rows",
 ]
@@ -38,12 +43,24 @@ class ExecutionStatus(enum.Enum):
     MISSING_TABLE = "missing_table"
     AMBIGUOUS_COLUMN = "ambiguous_column"
     TIMEOUT = "timeout"
+    #: another writer holds the database lock (SQLITE_BUSY/SQLITE_LOCKED)
+    LOCKED = "locked"
+    #: the storage layer failed mid-statement (disk I/O error, corrupt page)
+    DISK_ERROR = "disk_error"
+    #: the connection itself is gone (closed / dropped mid-request)
+    CONNECTION_ERROR = "connection_error"
     OTHER_ERROR = "other_error"
 
     @property
     def is_error(self) -> bool:
         """True for statuses the Refinement stage must repair."""
         return self not in (ExecutionStatus.OK, ExecutionStatus.EMPTY)
+
+    @property
+    def is_transient(self) -> bool:
+        """True for infrastructure faults a retry/hedge may recover —
+        the SQL itself is not to blame."""
+        return self in TRANSIENT_STATUSES
 
 
 class ExecutionError(RuntimeError):
@@ -75,10 +92,27 @@ class ExecutionOutcome:
         return len(self.rows)
 
 
+#: statuses caused by infrastructure rather than the SQL text; a retry on
+#: a recycled connection or a hedged re-execution may clear them
+TRANSIENT_STATUSES = frozenset(
+    {
+        ExecutionStatus.TIMEOUT,
+        ExecutionStatus.LOCKED,
+        ExecutionStatus.DISK_ERROR,
+        ExecutionStatus.CONNECTION_ERROR,
+    }
+)
+
 _MISSING_COLUMN = re.compile(r"no such column", re.IGNORECASE)
 _MISSING_TABLE = re.compile(r"no such table", re.IGNORECASE)
 _AMBIGUOUS = re.compile(r"ambiguous column", re.IGNORECASE)
 _SYNTAX = re.compile(r"syntax error|incomplete input|unrecognized token", re.IGNORECASE)
+_LOCKED = re.compile(r"database is locked|database table is locked", re.IGNORECASE)
+_DISK = re.compile(r"disk i/o error|database disk image is malformed", re.IGNORECASE)
+_CONNECTION = re.compile(
+    r"closed database|unable to open database|connection (?:lost|dropped|reset)",
+    re.IGNORECASE,
+)
 
 
 def classify_sqlite_error(message: str) -> ExecutionStatus:
@@ -91,6 +125,12 @@ def classify_sqlite_error(message: str) -> ExecutionStatus:
         return ExecutionStatus.AMBIGUOUS_COLUMN
     if _SYNTAX.search(message):
         return ExecutionStatus.SYNTAX_ERROR
+    if _LOCKED.search(message):
+        return ExecutionStatus.LOCKED
+    if _DISK.search(message):
+        return ExecutionStatus.DISK_ERROR
+    if _CONNECTION.search(message):
+        return ExecutionStatus.CONNECTION_ERROR
     return ExecutionStatus.OTHER_ERROR
 
 
@@ -116,7 +156,13 @@ class SQLExecutor:
 
     ``timeout_seconds`` is enforced with SQLite's progress handler, so a
     runaway query (cross join explosion from a hallucinated join) cannot
-    stall a benchmark run.
+    stall a benchmark run.  A per-request :class:`Deadline` further caps the
+    statement budget at the request's remaining virtual time.
+
+    ``reconnect`` (optional) makes connection-level faults recoverable: when
+    a statement fails with :attr:`ExecutionStatus.CONNECTION_ERROR`, the
+    executor closes the dead connection, opens a fresh one via the callable
+    and retries the statement — at most ``max_reconnects`` times per call.
 
     Thread-safety: every executor over the same connection shares one lock,
     so statements serialize per database while different databases execute
@@ -128,28 +174,79 @@ class SQLExecutor:
         connection: sqlite3.Connection,
         timeout_seconds: float = 5.0,
         max_rows: int = 10_000,
+        reconnect: Optional[Callable[[], sqlite3.Connection]] = None,
+        max_reconnects: int = 2,
     ):
         self._connection = connection
         self._lock = _connection_lock(connection)
         self.timeout_seconds = timeout_seconds
         self.max_rows = max_rows
+        self._reconnect = reconnect
+        self.max_reconnects = max_reconnects
+        #: lifetime count of successful connection recycles
+        self.reconnects = 0
 
-    def execute(self, sql: str) -> ExecutionOutcome:
+    def execute(self, sql: str, deadline: Optional[Deadline] = None) -> ExecutionOutcome:
         """Execute ``sql`` and classify the outcome; never raises for SQL
-        failures (harness errors such as a closed connection still raise)."""
-        with self._lock:
-            return self._execute_locked(sql)
+        failures (harness errors such as a closed connection still raise
+        only when no ``reconnect`` is wired)."""
+        attempts = 0
+        while True:
+            with self._lock:
+                outcome = self._execute_locked(sql, deadline)
+            if (
+                outcome.status is ExecutionStatus.CONNECTION_ERROR
+                and self._reconnect is not None
+                and attempts < self.max_reconnects
+            ):
+                attempts += 1
+                self._recycle()
+                continue
+            return outcome
 
-    def _execute_locked(self, sql: str) -> ExecutionOutcome:
-        deadline = time.perf_counter() + self.timeout_seconds
+    def _recycle(self) -> None:
+        """Replace the dead connection with a fresh one (bounded callers)."""
+        with self._lock:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
+            self._connection = self._reconnect()
+            self.reconnects += 1
+            # Future statements serialize on the fresh connection's lock;
+            # the old lock object dies with the old connection.  (The
+            # ``with`` holds the object it acquired, so releasing is safe.)
+            self._lock = _connection_lock(self._connection)
+
+    def _execute_locked(
+        self, sql: str, deadline: Optional[Deadline] = None
+    ) -> ExecutionOutcome:
+        timeout = self.timeout_seconds
+        if deadline is not None:
+            timeout = deadline.clamp(timeout)
+            if timeout <= 0:
+                return ExecutionOutcome(
+                    status=ExecutionStatus.TIMEOUT,
+                    error="request deadline exhausted before execution",
+                )
+        cutoff = time.perf_counter() + timeout
+        timed_out = False
 
         def guard():
-            if time.perf_counter() > deadline:
+            nonlocal timed_out
+            if time.perf_counter() > cutoff:
+                timed_out = True
                 return 1  # non-zero aborts the statement
             return 0
 
         start = time.perf_counter()
-        self._connection.set_progress_handler(guard, 10_000)
+        try:
+            self._connection.set_progress_handler(guard, 10_000)
+        except sqlite3.ProgrammingError as exc:
+            # A closed/dropped connection fails before any statement runs.
+            return ExecutionOutcome(
+                status=ExecutionStatus.CONNECTION_ERROR, error=str(exc)
+            )
         try:
             cursor = self._connection.execute(sql)
             rows = cursor.fetchmany(self.max_rows)
@@ -166,24 +263,41 @@ class SQLExecutor:
         except sqlite3.OperationalError as exc:
             elapsed = time.perf_counter() - start
             message = str(exc)
-            if "interrupted" in message.lower() or elapsed >= self.timeout_seconds:
+            # Classify TIMEOUT from the guard's own abort flag (or an
+            # external interrupt()), never from elapsed time: a genuine
+            # error that happens to land past the deadline keeps its real
+            # classification.
+            if timed_out or "interrupted" in message.lower():
                 status = ExecutionStatus.TIMEOUT
             else:
                 status = classify_sqlite_error(message)
             return ExecutionOutcome(status=status, error=message, elapsed_seconds=elapsed)
+        except sqlite3.ProgrammingError as exc:
+            elapsed = time.perf_counter() - start
+            message = str(exc)
+            if "closed database" in message.lower():
+                status = ExecutionStatus.CONNECTION_ERROR
+            else:
+                status = ExecutionStatus.OTHER_ERROR
+            return ExecutionOutcome(status=status, error=message, elapsed_seconds=elapsed)
         except sqlite3.Error as exc:
             elapsed = time.perf_counter() - start
             return ExecutionOutcome(
-                status=ExecutionStatus.OTHER_ERROR,
+                status=classify_sqlite_error(str(exc)),
                 error=str(exc),
                 elapsed_seconds=elapsed,
             )
         finally:
-            self._connection.set_progress_handler(None, 0)
+            try:
+                self._connection.set_progress_handler(None, 0)
+            except sqlite3.ProgrammingError:
+                pass  # connection died mid-statement; nothing to clear
 
-    def execute_or_raise(self, sql: str) -> ExecutionOutcome:
+    def execute_or_raise(
+        self, sql: str, deadline: Optional[Deadline] = None
+    ) -> ExecutionOutcome:
         """Execute ``sql``; raise :class:`ExecutionError` on failure."""
-        outcome = self.execute(sql)
+        outcome = self.execute(sql, deadline)
         if outcome.status.is_error:
             raise ExecutionError(outcome)
         return outcome

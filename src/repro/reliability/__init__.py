@@ -13,12 +13,16 @@ completions that a deployed Text-to-SQL service meets at scale:
   guards and model fallback;
 * :class:`DegradationEvent` — the typed record each pipeline containment
   point emits instead of crashing;
+* :class:`Deadline` — the per-request time budget (real wall + recorded
+  virtual seconds) threaded from the serving engine through every pipeline
+  stage and SQL execution;
 * :class:`EvalCheckpoint` — JSONL checkpoint/resume for evaluation runs;
 * :class:`ReliabilityStats` — the accounting all of the above report into.
 """
 
 from repro.reliability.breaker import BreakerState, CircuitBreaker
 from repro.reliability.checkpoint import EvalCheckpoint
+from repro.reliability.deadline import Deadline, DeadlineExceededError
 from repro.reliability.degradation import DegradationEvent, DegradationKind
 from repro.reliability.faults import (
     BudgetExceededError,
@@ -38,6 +42,8 @@ __all__ = [
     "BudgetExceededError",
     "CircuitBreaker",
     "CircuitOpenError",
+    "Deadline",
+    "DeadlineExceededError",
     "DegradationEvent",
     "DegradationKind",
     "EvalCheckpoint",

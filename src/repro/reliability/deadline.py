@@ -1,0 +1,127 @@
+"""Per-request deadlines over the repo's virtual-time convention.
+
+A serving request must not do unbounded work: the paper's Refinement stage
+alone can spend ``n_candidates`` executions plus correction LLM calls, and
+under injected faults the retry/backoff machinery multiplies that.  A
+:class:`Deadline` is created once per request (by the serving engine or an
+evaluation runner) and threaded through ``OpenSearchSQL.answer`` into every
+stage and ``SQLExecutor`` call, so each stage sees only the budget its
+predecessors left behind.
+
+Time here is **virtual**, consistent with the rest of the codebase: the
+simulator *reports* model decode latency instead of sleeping it, and the
+resilient transport *records* backoff instead of sleeping.  A deadline
+therefore advances three ways:
+
+* real wall seconds since construction (its monotonic clock);
+* explicit :meth:`charge` calls for recorded virtual seconds (injected
+  slow-query latency, recorded backoff);
+* attached **meters** — callables returning cumulative virtual seconds —
+  so a request's :class:`~repro.core.cost.CostTracker` feeds its reported
+  model seconds into the deadline without any per-call plumbing.
+
+Deadline exhaustion is *containment, not crash*: stages consult
+:attr:`expired` / :meth:`check` and degrade through the existing typed
+:class:`~repro.reliability.degradation.DegradationEvent` machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["Deadline", "DeadlineExceededError"]
+
+
+class DeadlineExceededError(RuntimeError):
+    """Raised by :meth:`Deadline.check` when the request budget is spent.
+
+    Pipeline stages catch this at their containment points and record a
+    ``DEADLINE_EXCEEDED`` degradation instead of letting it propagate.
+    """
+
+    def __init__(self, message: str, stage: str = "", elapsed_seconds: float = 0.0,
+                 budget_seconds: float = 0.0):
+        super().__init__(message)
+        self.stage = stage
+        self.elapsed_seconds = elapsed_seconds
+        self.budget_seconds = budget_seconds
+
+
+class Deadline:
+    """One request's shrinking time budget (real wall + virtual seconds).
+
+    Thread-safe: a hedged execution may consult the same deadline from the
+    hedge and the primary path.  Not reusable — create one per request.
+    """
+
+    def __init__(self, budget_seconds: float, clock: Callable[[], float] = time.perf_counter):
+        if budget_seconds <= 0:
+            raise ValueError("budget_seconds must be > 0")
+        self.budget_seconds = float(budget_seconds)
+        self._clock = clock
+        self._start = clock()
+        self._charged = 0.0
+        self._meters: list[Callable[[], float]] = []
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- time
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Virtual seconds consumed so far (wall + charges + meters)."""
+        with self._lock:
+            metered = sum(meter() for meter in self._meters)
+            return (self._clock() - self._start) + self._charged + metered
+
+    @property
+    def remaining_seconds(self) -> float:
+        """Budget left, clamped at zero."""
+        return max(0.0, self.budget_seconds - self.elapsed_seconds)
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is fully consumed."""
+        return self.elapsed_seconds >= self.budget_seconds
+
+    # ------------------------------------------------------------- feeding
+
+    def charge(self, seconds: float) -> None:
+        """Consume ``seconds`` of recorded virtual time (never negative)."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative seconds")
+        with self._lock:
+            self._charged += seconds
+
+    def attach_meter(self, meter: Callable[[], float]) -> None:
+        """Attach a cumulative virtual-seconds source (e.g. a request's
+        ``CostTracker.total_model_seconds``).  The meter must be monotone
+        non-decreasing; it is polled on every elapsed/remaining read."""
+        with self._lock:
+            self._meters.append(meter)
+
+    # ---------------------------------------------------------- consulting
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is spent."""
+        elapsed = self.elapsed_seconds
+        if elapsed >= self.budget_seconds:
+            raise DeadlineExceededError(
+                f"deadline of {self.budget_seconds:.3f}s exceeded "
+                f"({elapsed:.3f}s elapsed)"
+                + (f" entering {stage}" if stage else ""),
+                stage=stage,
+                elapsed_seconds=elapsed,
+                budget_seconds=self.budget_seconds,
+            )
+
+    def clamp(self, seconds: float) -> float:
+        """Cap a sub-operation timeout at the remaining budget."""
+        return min(seconds, self.remaining_seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget={self.budget_seconds:.3f}s, "
+            f"remaining={self.remaining_seconds:.3f}s)"
+        )

@@ -29,6 +29,8 @@ class DegradationKind(enum.Enum):
     REFINEMENT_SKIPPED = "refinement_skipped"
     #: Every recovery failed; the result is an empty/stub answer.
     ANSWER_FAILED = "answer_failed"
+    #: The request's deadline ran out; remaining work was skipped/truncated.
+    DEADLINE_EXCEEDED = "deadline_exceeded"
 
 
 @dataclass(frozen=True)

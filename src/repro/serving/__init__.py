@@ -15,7 +15,17 @@ package is the subsystem where requests share state.  It provides
   evaluation runners and the serving bench reuse;
 * :class:`ServingStats` / :class:`LatencySummary` — per-request latency
   (real wall + simulated model seconds) aggregated into p50/p95/p99 and
-  virtual-clock throughput.
+  virtual-clock throughput;
+* :class:`HedgedExecutor` — one-backup hedging over SQL execution that
+  recovers transient database faults and slow-query tails;
+* :class:`HealthMonitor` — windowed per-component health plus probes,
+  rolled into the snapshot a readiness endpoint would serve.
+
+Per-request deadlines (``ServingEngine(deadline_seconds=...)``) bound each
+request in virtual time; exhaustion degrades the answer with a typed
+``DEADLINE_EXCEEDED`` event instead of failing it, and graceful drain
+(``shutdown(drain=True)``) finishes in-flight work while rejecting new
+submissions with :class:`DrainingError`.
 """
 
 from repro.caching import (
@@ -24,12 +34,19 @@ from repro.caching import (
     LRUCache,
     normalize_question,
 )
-from repro.serving.admission import AdmissionController, AdmissionError, QueueFullError
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionError,
+    DrainingError,
+    QueueFullError,
+)
 from repro.serving.engine import (
     CachingExtractor,
     CachingFewShotLibrary,
     ServingEngine,
 )
+from repro.serving.health import HealthMonitor
+from repro.serving.hedging import HedgedExecutor, HedgeStats
 from repro.serving.latency import LatencySummary, percentile
 from repro.serving.stats import RequestRecord, ServingStats
 from repro.serving.workload import zipf_weights, zipf_workload
@@ -40,7 +57,11 @@ __all__ = [
     "CacheStats",
     "CachingExtractor",
     "CachingFewShotLibrary",
+    "DrainingError",
     "GoldResultCache",
+    "HealthMonitor",
+    "HedgeStats",
+    "HedgedExecutor",
     "LRUCache",
     "LatencySummary",
     "QueueFullError",

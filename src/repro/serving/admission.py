@@ -11,7 +11,9 @@ away:
   consecutive pipeline failures →
   :class:`~repro.reliability.faults.CircuitOpenError`;
 * **budget** — the engine's request budget is spent →
-  :class:`~repro.reliability.faults.BudgetExceededError`.
+  :class:`~repro.reliability.faults.BudgetExceededError`;
+* **draining** — the engine is shutting down gracefully and the gate has
+  been closed to new work → :class:`DrainingError`.
 
 Closed-loop clients use ``admit(block=True)`` and wait for a slot;
 open-loop clients use ``block=False`` and count their sheds.
@@ -25,7 +27,12 @@ from typing import Optional
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import BudgetExceededError, CircuitOpenError
 
-__all__ = ["AdmissionError", "QueueFullError", "AdmissionController"]
+__all__ = [
+    "AdmissionError",
+    "QueueFullError",
+    "DrainingError",
+    "AdmissionController",
+]
 
 
 class AdmissionError(RuntimeError):
@@ -34,6 +41,10 @@ class AdmissionError(RuntimeError):
 
 class QueueFullError(AdmissionError):
     """The request was shed: the bounded queue is at capacity."""
+
+
+class DrainingError(AdmissionError):
+    """The gate is closed: the engine is draining toward shutdown."""
 
 
 class AdmissionController:
@@ -58,11 +69,13 @@ class AdmissionController:
         self.max_requests = max_requests
         self._cond = threading.Condition()
         self._pending = 0
+        self.closed = False
         self.submitted = 0
         self.admitted = 0
         self.shed = 0
         self.rejected_open = 0
         self.rejected_budget = 0
+        self.rejected_draining = 0
 
     @property
     def pending(self) -> int:
@@ -79,6 +92,9 @@ class AdmissionController:
         """
         with self._cond:
             self.submitted += 1
+            if self.closed:
+                self.rejected_draining += 1
+                raise DrainingError("engine is draining; no new requests admitted")
             if self.max_requests is not None and self.admitted >= self.max_requests:
                 self.rejected_budget += 1
                 raise BudgetExceededError(
@@ -98,12 +114,19 @@ class AdmissionController:
                         f"queue at capacity ({self.capacity}); request shed"
                     )
                 if not self._cond.wait_for(
-                    lambda: self._pending < self.capacity, timeout=timeout
+                    lambda: self._pending < self.capacity or self.closed,
+                    timeout=timeout,
                 ):
                     self.shed += 1
                     raise QueueFullError(
                         f"queue stayed at capacity ({self.capacity}) for "
                         f"{timeout}s; request shed"
+                    )
+                if self.closed:
+                    # the gate closed while this caller waited in line
+                    self.rejected_draining += 1
+                    raise DrainingError(
+                        "engine is draining; no new requests admitted"
                     )
             self._pending += 1
             self.admitted += 1
@@ -115,6 +138,14 @@ class AdmissionController:
                 raise RuntimeError("release() without a matching admit()")
             self._pending -= 1
             self._cond.notify()
+
+    def close(self) -> None:
+        """Close the gate for graceful drain: every later ``admit`` (and
+        every caller currently blocked waiting for a slot) raises
+        :class:`DrainingError`; in-flight requests release normally."""
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
 
     def record_success(self) -> None:
         """Report a completed pipeline call to the breaker."""
@@ -129,10 +160,12 @@ class AdmissionController:
         with self._cond:
             return {
                 "capacity": self.capacity,
+                "closed": self.closed,
                 "submitted": self.submitted,
                 "admitted": self.admitted,
                 "shed": self.shed,
                 "rejected_open": self.rejected_open,
                 "rejected_budget": self.rejected_budget,
+                "rejected_draining": self.rejected_draining,
                 "breaker_state": self.breaker.state.value,
             }

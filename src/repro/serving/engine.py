@@ -39,9 +39,12 @@ from typing import Optional, Sequence
 from repro.core.pipeline import OpenSearchSQL, PipelineResult
 from repro.datasets.types import Example
 from repro.reliability.breaker import CircuitBreaker
+from repro.reliability.deadline import Deadline
 from repro.reliability.faults import BudgetExceededError, CircuitOpenError
 from repro.serving.admission import AdmissionController, AdmissionError
 from repro.caching import LRUCache, normalize_question
+from repro.serving.health import HealthMonitor
+from repro.serving.hedging import HedgedExecutor, HedgeStats
 from repro.serving.latency import LatencySummary
 from repro.serving.stats import RequestRecord, ServingStats
 
@@ -122,12 +125,17 @@ class ServingEngine:
         fewshot_cache_size: int = 1024,
         breaker: Optional[CircuitBreaker] = None,
         max_requests: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+        hedge_threshold: Optional[float] = None,
         clock=time.perf_counter,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be > 0")
         self.pipeline = pipeline
         self.workers = workers
+        self.deadline_seconds = deadline_seconds
         self._clock = clock
         self.admission = AdmissionController(
             capacity=queue_capacity,
@@ -148,6 +156,38 @@ class ServingEngine:
             pipeline.library = CachingFewShotLibrary(
                 pipeline.library, self.fewshot_cache
             )
+        # Hedged SQL execution composes with any wrapper already installed
+        # (e.g. a chaos bench's fault injector): the hedge wraps outermost
+        # so it sees — and can recover — injected faults.
+        self.hedge_stats: Optional[HedgeStats] = None
+        if hedge_threshold is not None:
+            self.hedge_stats = HedgeStats()
+            previous = pipeline.executor_wrapper
+
+            def _hedged(executor, db_id):
+                inner = previous(executor, db_id) if previous else executor
+                return HedgedExecutor(
+                    inner,
+                    threshold_seconds=hedge_threshold,
+                    stats=self.hedge_stats,
+                )
+
+            pipeline.set_executor_wrapper(_hedged)
+        self.health = HealthMonitor()
+        self.health.register_probe(
+            "breaker", lambda: {"state": self.admission.breaker.state.value}
+        )
+        self.health.register_probe(
+            "caches",
+            lambda: {
+                "result_hit_rate": self.result_cache.stats.to_dict()["hit_rate"],
+                "extraction_hit_rate": self.extraction_cache.stats.to_dict()[
+                    "hit_rate"
+                ],
+            },
+        )
+        if self.hedge_stats is not None:
+            self.health.register_probe("hedging", self.hedge_stats.to_dict)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="serving"
         )
@@ -220,16 +260,33 @@ class ServingEngine:
             if cached is not None:
                 self._record(example, "cached", start, model_seconds=0.0)
                 return cached
+            deadline = (
+                Deadline(self.deadline_seconds, clock=self._clock)
+                if self.deadline_seconds is not None
+                else None
+            )
             try:
-                result = self.pipeline.answer(example)
+                result = self.pipeline.answer(example, deadline=deadline)
             except Exception as exc:
                 self.admission.record_failure()
+                self.health.record("pipeline", False, detail=str(exc))
                 self._record(example, "failed", start, error=str(exc))
                 raise
             self.admission.record_success()
-            self.result_cache.put(key, result)
+            self.health.record("pipeline", True)
+            exceeded = result.deadline_exceeded
+            self.health.record("deadline", not exceeded)
+            if not exceeded:
+                # a deadline-truncated answer is a degraded stand-in;
+                # caching it would keep serving the degradation after
+                # load subsides
+                self.result_cache.put(key, result)
             self._record(
-                example, "ok", start, model_seconds=result.cost.total_model_seconds
+                example,
+                "ok",
+                start,
+                model_seconds=result.cost.total_model_seconds,
+                deadline_exceeded=exceeded,
             )
             return result
         finally:
@@ -242,6 +299,7 @@ class ServingEngine:
         start: float,
         model_seconds: float = 0.0,
         error: Optional[str] = None,
+        deadline_exceeded: bool = False,
     ) -> None:
         wall = self._clock() - start
         record = RequestRecord(
@@ -251,6 +309,7 @@ class ServingEngine:
             wall_seconds=wall,
             model_seconds=model_seconds,
             error=error,
+            deadline_exceeded=deadline_exceeded,
         )
         ident = threading.get_ident()
         with self._stats_lock:
@@ -304,13 +363,17 @@ class ServingEngine:
             shed=admission["shed"],
             rejected_open=admission["rejected_open"],
             rejected_budget=admission["rejected_budget"],
+            rejected_draining=admission["rejected_draining"],
             result_hits=sum(1 for r in records if r.cache_hit),
+            deadline_exceeded=sum(1 for r in records if r.deadline_exceeded),
             breaker_state=admission["breaker_state"],
             cache_tiers={
                 "result": self.result_cache.stats.to_dict(),
                 "extraction": self.extraction_cache.stats.to_dict(),
                 "fewshot": self.fewshot_cache.stats.to_dict(),
             },
+            hedge=self.hedge_stats.to_dict() if self.hedge_stats else {},
+            health=self.health.snapshot(),
             latency=LatencySummary.from_values(
                 [r.service_seconds for r in finished_records]
             ),
@@ -320,8 +383,23 @@ class ServingEngine:
             else 0.0,
         )
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting requests and (optionally) drain the pool."""
+    def shutdown(self, wait: bool = True, drain: bool = False) -> None:
+        """Stop accepting requests and (optionally) drain the pool.
+
+        ``drain=True`` is the graceful path: the admission gate closes
+        first — new submissions (and callers blocked waiting for a queue
+        slot) are rejected with a typed
+        :class:`~repro.serving.admission.DrainingError` — then every
+        already-admitted request runs to completion before the pool stops.
+        Plain ``shutdown()`` keeps the historical contract: later
+        ``submit`` calls raise ``RuntimeError``.
+        """
+        if drain:
+            # _closed stays False: post-drain submissions route through the
+            # closed admission gate and get the typed DrainingError.
+            self.admission.close()
+            self._pool.shutdown(wait=True)
+            return
         self._closed = True
         self._pool.shutdown(wait=wait)
 

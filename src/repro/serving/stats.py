@@ -33,6 +33,8 @@ class RequestRecord:
     #: simulated model decode seconds summed over the request's LLM calls
     model_seconds: float = 0.0
     error: Optional[str] = None
+    #: the request's deadline truncated or skipped pipeline work
+    deadline_exceeded: bool = False
 
     @property
     def service_seconds(self) -> float:
@@ -57,10 +59,17 @@ class ServingStats:
     shed: int = 0
     rejected_open: int = 0
     rejected_budget: int = 0
+    rejected_draining: int = 0
     result_hits: int = 0
+    #: completed requests whose deadline truncated pipeline work
+    deadline_exceeded: int = 0
     breaker_state: str = "closed"
     #: tier name → CacheStats.to_dict() payload
     cache_tiers: dict = field(default_factory=dict)
+    #: HedgeStats.to_dict() payload (empty when hedging is off)
+    hedge: dict = field(default_factory=dict)
+    #: HealthMonitor.snapshot() payload (empty when not wired)
+    health: dict = field(default_factory=dict)
     latency: LatencySummary = field(default_factory=LatencySummary)
     #: busiest worker's accumulated virtual service seconds
     makespan_seconds: float = 0.0
@@ -97,10 +106,14 @@ class ServingStats:
             "shed": self.shed,
             "rejected_open": self.rejected_open,
             "rejected_budget": self.rejected_budget,
+            "rejected_draining": self.rejected_draining,
             "result_hits": self.result_hits,
             "result_hit_rate": round(self.result_hit_rate, 4),
+            "deadline_exceeded": self.deadline_exceeded,
             "breaker_state": self.breaker_state,
             "cache_tiers": dict(self.cache_tiers),
+            "hedge": dict(self.hedge),
+            "health": dict(self.health),
             "latency": self.latency.to_dict(),
             "makespan_seconds": round(self.makespan_seconds, 3),
             "throughput_rps": round(self.throughput_rps, 4),
@@ -115,7 +128,8 @@ class ServingStats:
             f"requests    : {self.submitted} submitted / {self.admitted} admitted"
             f" / {self.completed} completed / {self.failed} failed",
             f"rejections  : {self.shed} shed, {self.rejected_open} circuit-open,"
-            f" {self.rejected_budget} budget",
+            f" {self.rejected_budget} budget, {self.rejected_draining} draining",
+            f"deadlines   : {self.deadline_exceeded} exceeded (degraded, not failed)",
             f"breaker     : {self.breaker_state}",
             f"throughput  : {self.throughput_rps:.3f} req/s (virtual),"
             f" makespan {self.makespan_seconds:.1f}s",
@@ -128,4 +142,13 @@ class ServingStats:
                 f" / {stats['evictions']} evictions"
                 f" (hit rate {stats['hit_rate']:.1%})"
             )
+        if self.hedge:
+            lines.append(
+                f"hedging     : {self.hedge.get('launched', 0)} launched /"
+                f" {self.hedge.get('wins', 0)} wins"
+                f" ({self.hedge.get('recovered_error', 0)} errors,"
+                f" {self.hedge.get('recovered_slow', 0)} slow recovered)"
+            )
+        if self.health:
+            lines.append(f"health      : {self.health.get('status', 'unknown')}")
         return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""FaultInjectingExecutor: seeded database-layer chaos and its recovery.
+
+Covers the new ExecutionStatus taxonomy members, per-kind injection, the
+physical connection drop + SQLExecutor recycling path, slow-query virtual
+time charged to deadlines, and determinism of the per-call hashed draws.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.execution.chaos import DbFaultKind, DbFaultPlan, FaultInjectingExecutor
+from repro.execution.executor import (
+    TRANSIENT_STATUSES,
+    ExecutionStatus,
+    SQLExecutor,
+    classify_sqlite_error,
+)
+from repro.reliability.deadline import Deadline
+
+QUERY = "SELECT v FROM t ORDER BY v"
+
+
+def _open() -> sqlite3.Connection:
+    conn = sqlite3.connect(":memory:", check_same_thread=False)
+    conn.executescript(
+        "CREATE TABLE t (v INTEGER);"
+        + "".join(f"INSERT INTO t VALUES ({i});" for i in range(8))
+    )
+    return conn
+
+
+@pytest.fixture
+def executor():
+    return SQLExecutor(_open(), timeout_seconds=2.0)
+
+
+@pytest.fixture
+def recycling_executor():
+    return SQLExecutor(_open(), timeout_seconds=2.0, reconnect=_open)
+
+
+class TestTaxonomy:
+    @pytest.mark.parametrize(
+        "message,expected",
+        [
+            ("database is locked", ExecutionStatus.LOCKED),
+            ("database table is locked: t", ExecutionStatus.LOCKED),
+            ("disk I/O error", ExecutionStatus.DISK_ERROR),
+            ("database disk image is malformed", ExecutionStatus.DISK_ERROR),
+            ("Cannot operate on a closed database.", ExecutionStatus.CONNECTION_ERROR),
+            ("unable to open database file", ExecutionStatus.CONNECTION_ERROR),
+        ],
+    )
+    def test_new_statuses_classified(self, message, expected):
+        assert classify_sqlite_error(message) is expected
+
+    def test_transient_statuses_are_errors(self):
+        for status in TRANSIENT_STATUSES:
+            assert status.is_error
+            assert status.is_transient
+
+    def test_content_statuses_not_transient(self):
+        assert not ExecutionStatus.OK.is_transient
+        assert not ExecutionStatus.MISSING_COLUMN.is_transient
+        assert not ExecutionStatus.SYNTAX_ERROR.is_transient
+
+
+class TestErrorInjection:
+    def test_locked_fault(self, executor):
+        chaos = FaultInjectingExecutor(executor, DbFaultPlan(locked=1.0))
+        outcome = chaos.execute(QUERY)
+        assert outcome.status is ExecutionStatus.LOCKED
+        assert outcome.status.is_transient
+        assert chaos.stats.fault_counts() == {DbFaultKind.LOCKED: 1}
+
+    def test_disk_fault(self, executor):
+        chaos = FaultInjectingExecutor(executor, DbFaultPlan(disk_error=1.0))
+        outcome = chaos.execute(QUERY)
+        assert outcome.status is ExecutionStatus.DISK_ERROR
+
+    def test_connection_drop_without_reconnect_surfaces(self, executor):
+        chaos = FaultInjectingExecutor(executor, DbFaultPlan(connection_drop=1.0))
+        outcome = chaos.execute(QUERY)
+        assert outcome.status is ExecutionStatus.CONNECTION_ERROR
+        assert chaos.stats.fault_counts() == {DbFaultKind.CONNECTION_DROP: 1}
+
+    def test_connection_drop_recovered_by_recycling(self, recycling_executor):
+        chaos = FaultInjectingExecutor(
+            recycling_executor, DbFaultPlan(connection_drop=1.0)
+        )
+        outcome = chaos.execute(QUERY)
+        assert outcome.status is ExecutionStatus.OK
+        assert outcome.rows == tuple((i,) for i in range(8))
+        assert recycling_executor.reconnects >= 1
+
+    def test_recycling_is_bounded(self):
+        # a reconnect recipe that keeps handing back dead connections must
+        # not loop forever
+        def dead():
+            conn = sqlite3.connect(":memory:")
+            conn.close()
+            return conn
+
+        connection = sqlite3.connect(":memory:")
+        connection.close()
+        executor = SQLExecutor(connection, reconnect=dead, max_reconnects=2)
+        outcome = executor.execute("SELECT 1")
+        assert outcome.status is ExecutionStatus.CONNECTION_ERROR
+        assert executor.reconnects == 2
+
+
+class TestContentInjection:
+    def test_slow_query_charges_deadline(self, executor):
+        plan = DbFaultPlan(slow_query=1.0, slow_seconds=4.0)
+        chaos = FaultInjectingExecutor(executor, plan)
+        deadline = Deadline(10.0)
+        outcome = chaos.execute(QUERY, deadline)
+        assert outcome.status is ExecutionStatus.OK
+        assert outcome.elapsed_seconds >= 4.0
+        assert deadline.elapsed_seconds >= 4.0
+
+    def test_slow_query_without_deadline_still_reports_latency(self, executor):
+        chaos = FaultInjectingExecutor(
+            executor, DbFaultPlan(slow_query=1.0, slow_seconds=2.5)
+        )
+        assert chaos.execute(QUERY).elapsed_seconds >= 2.5
+
+    def test_truncated_rows_keep_ok_status(self, executor):
+        chaos = FaultInjectingExecutor(executor, DbFaultPlan(truncate_rows=1.0))
+        outcome = chaos.execute(QUERY)
+        assert outcome.status is ExecutionStatus.OK
+        assert len(outcome.rows) == 4  # half of 8
+
+    def test_corrupt_rows_damage_one_row(self, executor):
+        chaos = FaultInjectingExecutor(executor, DbFaultPlan(corrupt_rows=1.0))
+        outcome = chaos.execute(QUERY)
+        clean = tuple((i,) for i in range(8))
+        assert outcome.status is ExecutionStatus.OK
+        assert len(outcome.rows) == 8
+        assert outcome.rows != clean
+        assert sum(1 for a, b in zip(outcome.rows, clean) if a != b) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self):
+        plan = DbFaultPlan.chaos(0.5)
+        statements = [f"SELECT v FROM t WHERE v > {i}" for i in range(20)]
+        runs = []
+        for _ in range(2):
+            chaos = FaultInjectingExecutor(
+                SQLExecutor(_open(), reconnect=_open), plan, seed=11
+            )
+            runs.append([chaos.execute(sql).status for sql in statements])
+        assert runs[0] == runs[1]
+
+    def test_different_seed_different_faults(self):
+        plan = DbFaultPlan.chaos(0.5)
+        statements = [f"SELECT v FROM t WHERE v > {i}" for i in range(20)]
+
+        def statuses(seed):
+            chaos = FaultInjectingExecutor(
+                SQLExecutor(_open(), reconnect=_open), plan, seed=seed
+            )
+            return [chaos.execute(sql).status for sql in statements]
+
+        assert statuses(1) != statuses(2)
+
+    def test_repeated_statement_draws_decorrelated(self):
+        """Transient faults are conditions of the moment, not the text:
+        re-running one statement faces fresh draws, yet a fresh injector
+        with the same seed replays the whole sequence."""
+        plan = DbFaultPlan(locked=0.5)
+        chaos = FaultInjectingExecutor(SQLExecutor(_open()), plan, seed=0)
+        statuses = [chaos.execute(QUERY).status for _ in range(40)]
+        assert len(set(statuses)) > 1
+        replay = FaultInjectingExecutor(SQLExecutor(_open()), plan, seed=0)
+        assert [replay.execute(QUERY).status for _ in range(40)] == statuses
+
+    def test_attempt_salt_decorrelates_hedges(self):
+        plan = DbFaultPlan(locked=0.5)
+        chaos = FaultInjectingExecutor(SQLExecutor(_open()), plan, seed=0)
+        statements = [f"SELECT v FROM t WHERE v > {i}" for i in range(40)]
+        primary = [chaos.execute(sql, attempt=0).status for sql in statements]
+        hedged = [chaos.execute(sql, attempt=1).status for sql in statements]
+        assert primary != hedged  # independent draws per attempt
+
+    def test_total_rate_capped(self):
+        assert DbFaultPlan.chaos(0.4).total_rate() == pytest.approx(0.4)
+        assert DbFaultPlan(locked=0.9, disk_error=0.9).total_rate() == 1.0
+
+
+class TestProtocol:
+    def test_attribute_passthrough(self, executor):
+        chaos = FaultInjectingExecutor(executor, DbFaultPlan())
+        assert chaos.timeout_seconds == executor.timeout_seconds
+
+    def test_no_faults_is_transparent(self, executor):
+        chaos = FaultInjectingExecutor(executor, DbFaultPlan())
+        outcome = chaos.execute(QUERY)
+        assert outcome.status is ExecutionStatus.OK
+        assert outcome.rows == tuple((i,) for i in range(8))
+        assert chaos.stats.failures == 0

@@ -129,13 +129,15 @@ class TestTimeoutClassification:
         assert outcome.status is ExecutionStatus.TIMEOUT
         assert outcome.elapsed_seconds < 30.0
 
-    def test_zero_timeout_elapsed_path_wins_classification(self, executor):
-        # With a 0-second budget any OperationalError arrives past the
-        # deadline, so the elapsed-time path reports TIMEOUT even though
-        # the message alone would classify as MISSING_COLUMN.
+    def test_fast_error_not_misclassified_as_timeout(self, executor):
+        # A prepare-time error (missing column) arrives instantly and the
+        # progress-handler guard never fires; even with a 0-second budget
+        # the outcome must keep its real classification — classifying from
+        # `elapsed >= timeout` would mislabel every slow-ish error TIMEOUT
+        # and feed the correction loop the wrong few-shot.
         executor.timeout_seconds = 0.0
         outcome = executor.execute("SELECT nope FROM t")
-        assert outcome.status is ExecutionStatus.TIMEOUT
+        assert outcome.status is ExecutionStatus.MISSING_COLUMN
 
     def test_guard_removed_after_timeout(self, executor):
         outcome = executor.execute(self.RUNAWAY)

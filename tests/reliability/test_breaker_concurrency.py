@@ -1,0 +1,144 @@
+"""CircuitBreaker half-open probing and RetryPolicy retry_after floors
+under concurrent callers.
+
+The breaker itself is deliberately lock-free (its owners — the resilient
+transport and the admission controller — serialize access), so the
+concurrency tests here drive it the way those owners do: every
+allow/record pair under one shared lock.
+"""
+
+import threading
+
+import pytest
+
+from repro.llm.base import LLMResponse, TokenUsage
+from repro.reliability.breaker import BreakerState, CircuitBreaker
+from repro.reliability.faults import RateLimitError
+from repro.reliability.transport import ResilientLLM, RetryPolicy
+
+
+class TestHalfOpenProbing:
+    def test_cooldown_then_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_calls=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # exactly cooldown_calls attempts are denied
+        assert [breaker.allow() for _ in range(3)] == [False, False, False]
+        # the next attempt is the half-open probe
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.record_success()  # True: the circuit just closed
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=2)
+        breaker.record_failure()
+        assert [breaker.allow() for _ in range(2)] == [False, False]
+        assert breaker.allow()  # probe
+        assert breaker.record_failure()  # probe failed: reopened
+        assert breaker.state is BreakerState.OPEN
+        # the cooldown restarts from zero
+        assert [breaker.allow() for _ in range(2)] == [False, False]
+        assert breaker.allow()
+
+    def test_concurrent_callers_recover_through_half_open(self):
+        """Many workers hammering an open breaker: exactly one probe wins,
+        the circuit closes, and everyone sees it closed afterwards."""
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=5)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        lock = threading.Lock()  # the owner's serialization, as in transport
+        allowed = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(4):
+                with lock:
+                    if breaker.allow():
+                        breaker.record_success()
+                        allowed.append(True)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert breaker.state is BreakerState.CLOSED
+        # 5 denials, then one probe closed the circuit; every later call
+        # (across all threads) was allowed: 8 threads * 4 calls - 5 denials
+        assert len(allowed) == 8 * 4 - 5
+
+
+class _RateLimitedOnFirstSight:
+    """Raises RateLimitError the first time it sees each prompt."""
+
+    model_name = "ratelimited"
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        self._seen: set = set()
+        self._lock = threading.Lock()
+
+    def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+        with self._lock:
+            first = prompt not in self._seen
+            self._seen.add(prompt)
+        if first:
+            raise RateLimitError("slow down", retry_after=self.retry_after)
+        return [
+            LLMResponse(
+                text="#SQL: SELECT 1",
+                usage=TokenUsage(10, 5),
+                model=self.model_name,
+            )
+            for _ in range(n)
+        ]
+
+
+class TestRetryAfterFloorConcurrent:
+    def test_floor_respected_across_concurrent_callers(self):
+        """Each caller's backoff must honor the server's retry_after hint
+        even when the exponential delay is far smaller, and the shared
+        stats must account every caller exactly once."""
+        retry_after = 7.0
+        inner = _RateLimitedOnFirstSight(retry_after)
+        resilient = ResilientLLM(
+            inner,
+            policy=RetryPolicy(base_delay=0.01, max_delay=0.02, jitter=0.0),
+            breaker=CircuitBreaker(failure_threshold=1000),
+        )
+        workers = 8
+        barrier = threading.Barrier(workers)
+        errors = []
+
+        def caller(index):
+            barrier.wait()
+            try:
+                responses = resilient.complete(f"prompt-{index}")
+                assert responses[0].text == "#SQL: SELECT 1"
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=caller, args=(i,)) for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert resilient.stats.retries == workers
+        assert resilient.stats.calls == workers
+        # every retry waited at least the hinted retry_after, never the
+        # tiny exponential delay
+        assert resilient.stats.backoff_seconds >= workers * retry_after
+
+    def test_floor_only_lifts_small_delays(self):
+        policy = RetryPolicy(base_delay=5.0, jitter=0.0)
+        inner = _RateLimitedOnFirstSight(retry_after=2.0)
+        resilient = ResilientLLM(inner, policy=policy)
+        resilient.complete("p")
+        # exponential delay (5s) already above the hint: floor is a no-op
+        assert resilient.stats.backoff_seconds == pytest.approx(5.0)

@@ -87,6 +87,30 @@ class TestEvaluate:
             assert pick(serial, tag) == pick(parallel, tag)
 
 
+class TestEvaluateDeadline:
+    def test_tight_deadline_degrades_not_crashes(self):
+        code, text = run_cli(
+            "--candidates", "3", "evaluate", "--limit", "6",
+            "--deadline-ms", "0.001",
+        )
+        assert code == 0
+        assert "examples : 6" in text
+        assert "deadline_exceeded" in text  # degradation counts line
+
+    def test_generous_deadline_matches_no_deadline(self):
+        code_a, plain = run_cli("--candidates", "3", "evaluate", "--limit", "6")
+        code_b, timed = run_cli(
+            "--candidates", "3", "evaluate", "--limit", "6",
+            "--deadline-ms", "1000000000",
+        )
+        assert code_a == code_b == 0
+        pick = lambda text, tag: next(
+            line for line in text.splitlines() if line.startswith(tag)
+        )
+        for tag in ("EX ", "EX_G", "EX_R"):
+            assert pick(plain, tag) == pick(timed, tag)
+
+
 class TestServeBench:
     def test_closed_loop_reports_stats(self):
         code, text = run_cli(
@@ -114,3 +138,28 @@ class TestServeBench:
         )
         assert code == 0
         assert "shed" in text
+
+    def test_fault_rate_enables_chaos_and_hedging(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "2", "--requests", "10", "--distinct", "4",
+            "--fault-rate", "0.3",
+        )
+        assert code == 0
+        assert "served   : 10/10" in text  # chaos contained, nothing lost
+        assert "llm faults :" in text
+        assert "db faults  :" in text
+        assert "hedging" in text
+
+    def test_deadline_ms_reports_exceeded_count(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "2", "--requests", "8", "--distinct", "4",
+            "--deadline-ms", "0.001", "--no-cache",
+        )
+        assert code == 0
+        assert "served   : 8/8" in text
+        exceeded = next(
+            line for line in text.splitlines() if line.startswith("deadlines")
+        )
+        assert "8 exceeded" in exceeded
