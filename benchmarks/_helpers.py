@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.core.config import PipelineConfig
 from repro.core.pipeline import OpenSearchSQL
 from repro.evaluation.runner import evaluate_pipeline
 from repro.llm.simulated import SimulatedLLM

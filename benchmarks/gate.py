@@ -1,0 +1,201 @@
+"""CI performance-regression gate.
+
+Measures the serving and reliability headline numbers in smoke mode and
+compares them against the committed baseline, failing the build when a
+change regresses past tolerance:
+
+* **throughput** — 4-worker virtual throughput (requests per virtual
+  second, caches off) must stay at or above 80% of baseline (a >20%
+  drop fails);
+* **EX retention** — the resilient transport's EX under a 20% transient
+  fault rate, as a fraction of the fault-free EX, must stay within 0.02
+  of baseline;
+* **EX** — parallel-evaluation execution accuracy (points) must stay
+  within 1.0 of baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/gate.py measure --smoke -o BENCH_ci.json
+    PYTHONPATH=src python benchmarks/gate.py check BENCH_ci.json
+    PYTHONPATH=src python benchmarks/gate.py baseline --smoke   # refresh
+
+``compare()`` is pure (dict in, failures out) so the gate's tripwire is
+unit-testable without running a bench: see ``tests/test_gate.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+
+#: metric -> (kind, tolerance); "ratio" guards a fractional drop,
+#: "absolute" a unit drop.  All gates are one-sided: improvements pass.
+TOLERANCES = {
+    "throughput_rps": ("ratio", 0.20),
+    "ex_retention": ("absolute", 0.02),
+    "ex": ("absolute", 1.0),
+}
+
+
+def compare(current: dict, baseline: dict, tolerances: dict = None) -> list[str]:
+    """Failure messages for every gated metric below tolerance.
+
+    An empty list means the gate passes.  Metrics missing from either
+    side fail loudly — a silently-skipped gate is a broken gate.
+    """
+    tolerances = TOLERANCES if tolerances is None else tolerances
+    failures = []
+    for metric, (kind, tolerance) in tolerances.items():
+        if metric not in baseline:
+            failures.append(f"{metric}: missing from baseline")
+            continue
+        if metric not in current:
+            failures.append(f"{metric}: missing from current measurement")
+            continue
+        base, now = float(baseline[metric]), float(current[metric])
+        if kind == "ratio":
+            floor = base * (1.0 - tolerance)
+            if now < floor:
+                drop = 1.0 - now / base if base else 1.0
+                failures.append(
+                    f"{metric}: {now:.4g} is {drop:.1%} below baseline "
+                    f"{base:.4g} (max allowed drop {tolerance:.0%})"
+                )
+        else:
+            floor = base - tolerance
+            if now < floor:
+                failures.append(
+                    f"{metric}: {now:.4g} dropped more than {tolerance} "
+                    f"below baseline {base:.4g}"
+                )
+    return failures
+
+
+def measure(smoke: bool = True) -> dict:
+    """Run the gated benches and return the headline metrics."""
+    from repro.core.config import PipelineConfig
+    from repro.core.pipeline import OpenSearchSQL
+    from repro.datasets.bird import build_bird_like, mini_dev
+    from repro.evaluation.runner import evaluate_pipeline
+    from repro.llm.simulated import SimulatedLLM
+    from repro.llm.skills import GPT_4O
+    from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
+    from repro.serving import ServingEngine, zipf_workload
+
+    eval_size = 12 if smoke else 50
+    requests, distinct = (16, 8) if smoke else (40, 12)
+    n_candidates = 5 if smoke else 11
+
+    bird = build_bird_like()
+    llm = SimulatedLLM(GPT_4O, seed=0)
+
+    def pipeline():
+        return OpenSearchSQL(
+            bird,
+            SimulatedLLM(GPT_4O, seed=0),
+            PipelineConfig(n_candidates=n_candidates),
+        )
+
+    examples = mini_dev(bird, size=eval_size)
+
+    # 1. EX on a 4-worker evaluation (determinism makes this exact).
+    report = evaluate_pipeline(pipeline(), examples, workers=4)
+
+    # 2. Virtual throughput, caches off, 4 workers.  Gated on the
+    # *model-seconds* makespan (total simulated decode seconds split
+    # across workers): the simulator is seeded per call, so this number
+    # is exactly reproducible — unlike the wall-inclusive makespan,
+    # whose machine-load noise would flake a 20% gate.
+    workers = 4
+    load = zipf_workload(bird.dev[:distinct], requests, skew=1.2, seed=0)
+    with ServingEngine(
+        pipeline(),
+        workers=workers,
+        queue_capacity=len(load),
+        result_cache_size=0,
+        extraction_cache_size=0,
+        fewshot_cache_size=0,
+    ) as engine:
+        served = [r for r in engine.run(load) if r is not None]
+        stats = engine.stats()
+    model_seconds = sum(r.cost.total_model_seconds for r in served)
+    virtual_throughput = (
+        len(served) / (model_seconds / workers) if model_seconds else 0.0
+    )
+
+    # 3. EX retention behind the resilient transport at a 20% fault rate.
+    shared = OpenSearchSQL(bird, llm, PipelineConfig(n_candidates=n_candidates))
+    clean = evaluate_pipeline(shared, examples, name="clean")
+    injector = FaultInjectingLLM(llm, FaultPlan.transient(0.2), seed=20)
+    shared.rebind_llm(ResilientLLM(injector, seed=7))
+    faulted = evaluate_pipeline(shared, examples, name="faulted")
+    retention = (faulted.ex / clean.ex) if clean.ex else 1.0
+
+    return {
+        "smoke": smoke,
+        "eval_size": eval_size,
+        "ex": report.ex,
+        "throughput_rps": round(virtual_throughput, 4),
+        "completed": stats.completed,
+        "clean_ex": clean.ex,
+        "faulted_ex": faulted.ex,
+        "ex_retention": round(retention, 4),
+    }
+
+
+def _load(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def main(argv: list[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_measure = sub.add_parser("measure", help="run benches, write metrics JSON")
+    p_measure.add_argument("--smoke", action="store_true")
+    p_measure.add_argument("-o", "--output", default="BENCH_ci.json")
+
+    p_check = sub.add_parser("check", help="compare a metrics JSON to baseline")
+    p_check.add_argument("current", help="metrics JSON written by `measure`")
+    p_check.add_argument("--baseline", default=str(BASELINE_PATH))
+
+    p_baseline = sub.add_parser("baseline", help="measure and refresh baseline")
+    p_baseline.add_argument("--smoke", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "measure":
+        metrics = measure(smoke=args.smoke)
+        Path(args.output).write_text(json.dumps(metrics, indent=2) + "\n")
+        print(json.dumps(metrics, indent=2))
+        return 0
+
+    if args.command == "baseline":
+        metrics = measure(smoke=args.smoke)
+        BASELINE_PATH.write_text(json.dumps(metrics, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        print(json.dumps(metrics, indent=2))
+        return 0
+
+    # check
+    current, baseline = _load(Path(args.current)), _load(Path(args.baseline))
+    failures = compare(current, baseline)
+    for metric in TOLERANCES:
+        now, base = current.get(metric), baseline.get(metric)
+        print(f"{metric}: current={now} baseline={base}")
+    if failures:
+        print("\nGATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ngate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

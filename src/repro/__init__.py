@@ -25,6 +25,7 @@ from repro.core import OpenSearchSQL, PipelineConfig, PipelineResult
 from repro.datasets import Benchmark, Example, build_bird_like, build_spider_like
 from repro.evaluation import EvalReport, evaluate_pipeline, evaluate_system
 from repro.llm import GPT_4, GPT_4O, GPT_4O_MINI, SimulatedLLM, SkillProfile
+from repro.observability import MetricsRegistry, Trace
 from repro.reliability import (
     FaultInjectingLLM,
     FaultPlan,
@@ -45,6 +46,7 @@ __all__ = [
     "GPT_4O",
     "GPT_4O_MINI",
     "LRUCache",
+    "MetricsRegistry",
     "OpenSearchSQL",
     "PipelineConfig",
     "PipelineResult",
@@ -54,6 +56,7 @@ __all__ = [
     "ServingStats",
     "SimulatedLLM",
     "SkillProfile",
+    "Trace",
     "build_bird_like",
     "build_spider_like",
     "evaluate_pipeline",

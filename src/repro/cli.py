@@ -8,6 +8,8 @@ Subcommands::
     python -m repro ablate                     # quick Table-4-style sweep
     python -m repro baselines                  # Table-2-style leaderboard
     python -m repro serve-bench --workers 4    # serving engine under Zipf load
+    python -m repro trace --question-id <id>   # serve one question, print spans
+    python -m repro metrics --requests 24      # unified metrics export
 
 Every subcommand accepts ``--benchmark {bird,spider}``, ``--model
 {gpt-4o,gpt-4,gpt-4o-mini}``, ``--candidates N`` and ``--seed N``.
@@ -118,6 +120,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="hedge SQL executions slower than MS virtual "
                          "milliseconds (0 = hedging off; implied on by "
                          "--fault-rate)")
+
+    tr = sub.add_parser(
+        "trace",
+        help="serve one question with tracing on and print its span tree",
+    )
+    tr.add_argument("--question-id", help="question id (default: first dev)")
+    tr.add_argument("--split", choices=("dev", "test", "train"), default="dev")
+    tr.add_argument("--json", action="store_true",
+                    help="emit the trace as a JSON document instead of the "
+                         "tree view")
+    tr.add_argument("--deadline-ms", type=float, default=0.0, metavar="MS",
+                    help="per-request deadline in virtual milliseconds "
+                         "(0 = none)")
+    tr.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                    help="inject LLM and database faults at rate R; "
+                         "injections and retries appear as span events")
+
+    mt = sub.add_parser(
+        "metrics",
+        help="serve a Zipf workload and export the unified metrics registry",
+    )
+    mt.add_argument("--requests", type=int, default=24, metavar="N",
+                    help="requests to serve before the export (default: 24)")
+    mt.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="serving thread-pool size (default: 2)")
+    mt.add_argument("--distinct", type=int, default=8, metavar="N",
+                    help="distinct dev questions in the pool (default: 8)")
+    mt.add_argument("--zipf", type=float, default=1.2, metavar="S",
+                    help="Zipf popularity skew (default: 1.2)")
+    mt.add_argument("--format", choices=("text", "json", "jsonl"),
+                    default="text",
+                    help="export format (default: text)")
     return parser
 
 
@@ -212,6 +246,15 @@ def _cmd_evaluate(args, out) -> int:
             f"latency  : p50={latency.p50:.2f}s p95={latency.p95:.2f}s "
             f"p99={latency.p99:.2f}s mean={latency.mean:.2f}s (model)\n"
         )
+    stage_costs = report.stage_costs()
+    if stage_costs:
+        out.write("stage costs (per request):\n")
+        for stage, row in stage_costs.items():
+            out.write(
+                f"  {stage:12s} {row['tokens_per_request']:>8.1f} tok  "
+                f"{row['model_seconds_per_request']:.3f}s  "
+                f"share={row['tokens_share'] * 100:.0f}%\n"
+            )
     for difficulty, value in report.ex_by_difficulty().items():
         out.write(f"  {difficulty:12s} {value:.1f}\n")
     if report.errors or report.degradations:
@@ -334,6 +377,85 @@ def _cmd_serve_bench(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    from repro.serving import ServingEngine
+
+    benchmark = _build_benchmark(args.benchmark)
+    examples = benchmark.split(args.split)
+    if args.question_id:
+        matches = [e for e in examples if e.question_id == args.question_id]
+        if not matches:
+            out.write(f"error: no question {args.question_id!r} in {args.split}\n")
+            return 2
+        example = matches[0]
+    else:
+        example = examples[0]
+    pipeline = _build_pipeline(benchmark, args)
+
+    if args.fault_rate > 0:
+        from repro.execution import DbFaultPlan, FaultInjectingExecutor
+        from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
+
+        injector = FaultInjectingLLM(
+            pipeline.llm, FaultPlan.chaos(args.fault_rate), seed=args.seed
+        )
+        pipeline.rebind_llm(ResilientLLM(injector, seed=args.seed))
+        db_plan = DbFaultPlan.chaos(args.fault_rate)
+        pipeline.set_executor_wrapper(
+            lambda executor, db_id: FaultInjectingExecutor(
+                executor, db_plan, seed=args.seed
+            )
+        )
+
+    with ServingEngine(
+        pipeline,
+        workers=1,
+        tracing=True,
+        deadline_seconds=(args.deadline_ms / 1000.0) or None,
+    ) as engine:
+        engine.answer(example)
+        trace = engine.last_trace()
+    if args.json:
+        out.write(trace.to_json() + "\n")
+    else:
+        out.write(trace.format() + "\n")
+        out.write("stage costs:\n")
+        for stage, row in trace.stage_costs().items():
+            out.write(
+                f"  {stage:14s} tokens={row['tokens']:<6d} "
+                f"model={row['model_seconds']:.3f}s "
+                f"charged={row['charged_seconds']:.3f}s\n"
+            )
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    from repro.observability import MetricsRegistry
+    from repro.serving import ServingEngine
+    from repro.serving.workload import zipf_workload
+
+    benchmark = _build_benchmark(args.benchmark)
+    pool = benchmark.dev
+    if args.distinct:
+        pool = pool[: args.distinct]
+    workload = zipf_workload(
+        pool, requests=args.requests, skew=args.zipf, seed=args.seed
+    )
+    pipeline = _build_pipeline(benchmark, args)
+    registry = MetricsRegistry()
+    with ServingEngine(
+        pipeline, workers=args.workers, metrics=registry
+    ) as engine:
+        engine.run(workload)
+    if args.format == "json":
+        out.write(registry.to_json() + "\n")
+    elif args.format == "jsonl":
+        out.write(registry.to_jsonl() + "\n")
+    else:
+        out.write(registry.render() + "\n")
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "run": _cmd_run,
@@ -341,6 +463,8 @@ _COMMANDS = {
     "ablate": _cmd_ablate,
     "baselines": _cmd_baselines,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

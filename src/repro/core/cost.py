@@ -85,6 +85,13 @@ class CostTracker:
         per-request latency observable the serving layer aggregates."""
         return sum(stage.model_seconds for stage in self._stages.values())
 
+    @property
+    def total_tokens(self) -> int:
+        """Prompt + completion tokens summed over every stage — with
+        :attr:`total_model_seconds` the pair the tracing layer snapshots
+        around each stage to attribute per-span cost deltas."""
+        return sum(stage.total_tokens for stage in self._stages.values())
+
     def merge(self, other: "CostTracker") -> None:
         """Fold another tracker's totals into this one."""
         for name, cost in other._stages.items():

@@ -221,8 +221,13 @@ class Extractor:
         example: Example,
         pre: PreprocessedDatabase,
         cost: Optional[CostTracker] = None,
+        span=None,
     ) -> ExtractionResult:
-        """Run the configured extraction pipeline for one question."""
+        """Run the configured extraction pipeline for one question.
+
+        ``span`` (when tracing) receives stage annotations — entity,
+        value and select-hint counts and whether the schema was filtered.
+        """
         config = self.config
         result = ExtractionResult()
 
@@ -230,6 +235,8 @@ class Extractor:
             # Bypass: the full schema goes to generation, no values.
             result.schema = pre.schema
             result.schema_prompt = pre.schema_prompt
+            if span is not None:
+                span.set("bypassed", True)
             return result
 
         result.entities = self.extract_entities(example, pre, cost)
@@ -269,4 +276,9 @@ class Extractor:
             if result.schema_filtered
             else pre.schema_prompt
         )
+        if span is not None:
+            span.set("entities", len(result.entities))
+            span.set("values_retrieved", len(result.values))
+            span.set("select_hints", len(result.select_hints))
+            span.set("schema_filtered", result.schema_filtered)
         return result

@@ -108,8 +108,13 @@ class Generator:
         library: Optional[FewShotLibrary] = None,
         cost: Optional[CostTracker] = None,
         n_candidates: Optional[int] = None,
+        span=None,
     ) -> GenerationResult:
-        """Generate candidates for ``example`` given extraction output."""
+        """Generate candidates for ``example`` given extraction output.
+
+        ``span`` (when tracing) is annotated with the sampled width, the
+        few-shot count and how many candidates parsed to SQL.
+        """
         config = self.config
         few_shots: list[str] = []
         few_shot_templates: list[str] = []
@@ -147,4 +152,8 @@ class Generator:
             Candidate(completion=r.text, sql=parse_sql_from_completion(r.text))
             for r in responses
         ]
+        if span is not None:
+            span.set("n_candidates", n)
+            span.set("few_shots", len(few_shots))
+            span.set("parsed_sqls", sum(1 for c in candidates if c.sql))
         return GenerationResult(candidates=candidates, features=features, prompt=prompt)

@@ -11,6 +11,7 @@ voted SQL (EX) — together with per-stage costs.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -25,6 +26,7 @@ from repro.datasets.types import Example
 from repro.embedding.vectorizer import HashingVectorizer
 from repro.execution.executor import SQLExecutor
 from repro.llm.base import LLMClient
+from repro.observability.trace import Trace
 from repro.reliability.deadline import Deadline
 from repro.reliability.degradation import DegradationEvent, DegradationKind
 
@@ -148,7 +150,10 @@ class OpenSearchSQL:
     # ----------------------------------------------------------------- run
 
     def answer(
-        self, example: Example, deadline: Optional[Deadline] = None
+        self,
+        example: Example,
+        deadline: Optional[Deadline] = None,
+        trace: Optional[Trace] = None,
     ) -> PipelineResult:
         """Run the main process (Algorithm 1 lines 17–25) for one NLQ.
 
@@ -165,6 +170,14 @@ class OpenSearchSQL:
         ``DEADLINE_EXCEEDED`` event) instead of doing unbounded work.
         Refinement additionally checks the deadline per candidate and per
         correction round and caps each SQL execution at the remaining time.
+
+        ``trace`` (when given) receives one stage span per pipeline stage
+        under its root: each span is attributed the request
+        :class:`CostTracker`'s token/model-second delta across the stage
+        (so span costs sum exactly to the request totals), degradation
+        events attach to the span of the stage that degraded, and the
+        active span is published ambiently so cross-cutting layers (cache
+        tiers, retries, fault injectors, hedges) can attach their events.
 
         Reentrancy: this method is safe to call from concurrent serving
         workers.  All per-call state (cost, degradations, deadline) is
@@ -189,7 +202,25 @@ class OpenSearchSQL:
                 detail=detail,
             )
 
-        with cost.timed("extraction"):
+        if trace is not None:
+            # Preprocessing ran once at construction; its span records the
+            # amortized shared cost but charges this request nothing.
+            pre_span = trace.root.child("preprocessing")
+            pre_span.set("amortized", True)
+            pre_span.set("shared_tokens", self.preprocessing_cost.total_tokens)
+            pre_span.set(
+                "shared_model_seconds",
+                round(self.preprocessing_cost.total_model_seconds, 6),
+            )
+            pre_span.finish(deadline)
+
+        def stage_cm(name: str):
+            if trace is None:
+                return nullcontext(None)
+            return trace.stage(name, cost=cost, deadline=deadline)
+
+        with cost.timed("extraction"), stage_cm("extraction") as span:
+            span_kw = {"span": span} if span is not None else {}
             if deadline is not None and deadline.expired:
                 degradations.append(
                     deadline_event("extraction", "skipped; full-schema fallback")
@@ -199,7 +230,7 @@ class OpenSearchSQL:
                 )
             else:
                 try:
-                    extraction = self.extractor.run(example, pre, cost)
+                    extraction = self.extractor.run(example, pre, cost, **span_kw)
                 except Exception as exc:
                     degradations.append(
                         DegradationEvent(
@@ -214,7 +245,7 @@ class OpenSearchSQL:
                     )
 
         n = self.config.n_candidates if self.config.use_self_consistency else 1
-        with cost.timed("generation"):
+        with cost.timed("generation"), stage_cm("generation") as span:
             if deadline is not None and deadline.expired:
                 degradations.append(
                     deadline_event("generation", f"skipped; {FALLBACK_SQL!r} stands in")
@@ -222,7 +253,7 @@ class OpenSearchSQL:
                 sqls = []
             else:
                 sqls = self._generate_contained(
-                    example, extraction, cost, n, degradations
+                    example, extraction, cost, n, degradations, span=span
                 )
 
         if not sqls:
@@ -242,7 +273,8 @@ class OpenSearchSQL:
                 )
             sqls = [FALLBACK_SQL]
 
-        with cost.timed("refinement"):
+        with cost.timed("refinement"), stage_cm("refinement") as span:
+            span_kw = {"span": span} if span is not None else {}
             if deadline is not None and deadline.expired:
                 degradations.append(
                     deadline_event("refinement", "skipped; first candidate unrefined")
@@ -254,7 +286,7 @@ class OpenSearchSQL:
                 try:
                     refinement = self.refiner.run(
                         example, sqls, pre, extraction, executor, cost,
-                        deadline=deadline,
+                        deadline=deadline, **span_kw,
                     )
                 except Exception as exc:
                     degradations.append(
@@ -275,6 +307,22 @@ class OpenSearchSQL:
                         )
                     )
 
+        if trace is not None:
+            # Degradations were collected stage-side; pin each onto the
+            # span of the stage that degraded so the tree tells the story.
+            spans_by_stage = {child.name: child for child in trace.root.children}
+            for event in degradations:
+                target = spans_by_stage.get(event.stage, trace.root)
+                target.event(
+                    "degradation",
+                    kind=event.kind.value,
+                    cause=event.cause,
+                    detail=event.detail,
+                )
+                target.status = "degraded"
+                trace.root.status = "degraded"
+            trace.finish(cost=cost, deadline=deadline)
+
         return PipelineResult(
             question_id=example.question_id,
             final_sql=refinement.final_sql,
@@ -293,11 +341,13 @@ class OpenSearchSQL:
         cost: CostTracker,
         n: int,
         degradations: list[DegradationEvent],
+        span=None,
     ) -> list[str]:
         """Generation with containment: full width, then width 1, then []."""
+        span_kw = {"span": span} if span is not None else {}
         try:
             return self.generator.run(
-                example, extraction, self.library, cost, n_candidates=n
+                example, extraction, self.library, cost, n_candidates=n, **span_kw
             ).sqls
         except Exception as exc:
             if n == 1:
@@ -320,7 +370,7 @@ class OpenSearchSQL:
             )
         try:
             return self.generator.run(
-                example, extraction, self.library, cost, n_candidates=1
+                example, extraction, self.library, cost, n_candidates=1, **span_kw
             ).sqls
         except Exception as exc:
             degradations.append(

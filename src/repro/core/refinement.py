@@ -24,6 +24,7 @@ from repro.embedding.vectorizer import HashingVectorizer
 from repro.execution.executor import ExecutionOutcome, ExecutionStatus, SQLExecutor
 from repro.llm.base import LLMClient
 from repro.llm.prompts import correction_prompt
+from repro.observability.context import use_span
 from repro.reliability.deadline import Deadline
 from repro.llm.tasks import CorrectionTask, PromptFeatures
 from repro.sqlkit.parser import ParseError, parse_select
@@ -206,6 +207,7 @@ class Refiner:
         executor: SQLExecutor,
         cost: Optional[CostTracker] = None,
         deadline: Optional["Deadline"] = None,
+        span=None,
     ) -> RefinementResult:
         """Refine all candidates and select the final SQL.
 
@@ -213,17 +215,39 @@ class Refiner:
         correction round, and caps every SQL execution at the remaining
         budget; hitting it stops further refinement (``truncated=True``)
         rather than raising — already-refined candidates still vote.
+
+        ``span`` (when tracing) grows two children — ``alignment`` for the
+        post-generation alignments and ``execution`` for the SQL runs of
+        the align-execute-correct loop.  The execution span is published
+        ambiently around each run, so executors and their wrappers
+        (fault injection, hedging) attach their events to it.
         """
         config = self.config
+        align_span = span.child("alignment") if span is not None else None
+        exec_span = span.child("execution") if span is not None else None
+
+        def align_traced(sql: str) -> str:
+            # Alignment probes the database (value checks); publishing the
+            # alignment span attributes those executions to it.
+            with use_span(align_span):
+                aligned = self.align(sql, pre, executor)
+            if align_span is not None:
+                align_span.event("align", changed=aligned.strip() != sql.strip())
+            return aligned
+
+        def execute_traced(sql: str) -> ExecutionOutcome:
+            with use_span(exec_span):
+                return executor.execute(sql, deadline)
+
         refined: list[RefinedCandidate] = []
         truncated = False
         for sql in sqls:
             if deadline is not None and deadline.expired:
                 truncated = True
                 break
-            aligned = self.align(sql, pre, executor)
+            aligned = align_traced(sql)
             candidate = RefinedCandidate(raw_sql=sql, aligned_sql=aligned, final_sql=aligned)
-            outcome = executor.execute(aligned, deadline)
+            outcome = execute_traced(aligned)
             if (
                 config.use_refinement
                 and config.use_correction
@@ -244,8 +268,8 @@ class Refiner:
                     )
                     if fixed is None:
                         break
-                    fixed = self.align(fixed, pre, executor)
-                    fixed_outcome = executor.execute(fixed, deadline)
+                    fixed = align_traced(fixed)
+                    fixed_outcome = execute_traced(fixed)
                     if fixed_outcome.status is ExecutionStatus.OK or (
                         not fixed_outcome.status.is_error and current.status.is_error
                     ):
@@ -270,6 +294,12 @@ class Refiner:
             # Deadline hit before any candidate ran: the first raw
             # candidate stands in unrefined.
             final_sql = sqls[0] if sqls else ""
+        if span is not None:
+            span.set("candidates", len(refined))
+            span.set("corrected", sum(1 for c in refined if c.corrected))
+            span.set("truncated", truncated)
+            align_span.finish(deadline)
+            exec_span.finish(deadline)
         return RefinementResult(
             final_sql=final_sql, candidates=refined, truncated=truncated
         )

@@ -37,6 +37,7 @@ from repro.evaluation.metrics import (
     ves,
 )
 from repro.execution.executor import SQLExecutor
+from repro.observability.trace import Trace
 from repro.reliability.checkpoint import EvalCheckpoint
 from repro.reliability.deadline import Deadline
 from repro.serving.latency import LatencySummary
@@ -69,6 +70,8 @@ class EvalReport:
     #: per-example simulated model latency (seconds), aligned with scores;
     #: empty for runners that do not track cost (evaluate_system)
     latencies: list[float] = field(default_factory=list)
+    #: question_id → Trace for runs with ``tracing=True`` (else empty)
+    traces: dict = field(default_factory=dict)
 
     @property
     def ex(self) -> float:
@@ -124,6 +127,33 @@ class EvalReport:
         """
         return LatencySummary.from_values(self.latencies)
 
+    def stage_costs(self) -> dict[str, dict]:
+        """Per-stage cost attribution (the paper's Table 6 view).
+
+        Tokens, simulated model seconds and call counts per agent summed
+        over the workload, plus per-request means and each stage's share
+        of the total token spend.  Stage totals sum to the report's
+        request totals by construction (one CostTracker merged per
+        example).
+        """
+        count = max(1, self.count)
+        total_tokens = self.cost.total_tokens
+        costs: dict[str, dict] = {}
+        for name, stage in sorted(self.cost.stages.items()):
+            costs[name] = {
+                "tokens": stage.total_tokens,
+                "model_seconds": round(stage.model_seconds, 6),
+                "calls": stage.calls,
+                "tokens_per_request": round(stage.total_tokens / count, 2),
+                "model_seconds_per_request": round(stage.model_seconds / count, 6),
+                "tokens_share": (
+                    round(stage.total_tokens / total_tokens, 4)
+                    if total_tokens
+                    else 0.0
+                ),
+            }
+        return costs
+
     def degradation_counts(self) -> dict[str, int]:
         """Occurrences per degradation kind across the workload."""
         counts: dict[str, int] = {}
@@ -146,6 +176,7 @@ class EvalReport:
             "ves": self.ves,
             "ex_by_difficulty": self.ex_by_difficulty(),
             "cost": self.cost.summary(),
+            "stage_costs": self.stage_costs(),
             "latency": self.latency_summary().to_dict(),
             "errors": len(self.errors),
             "degradations": self.degradation_counts(),
@@ -182,6 +213,7 @@ def evaluate_pipeline(
     workers: int = 1,
     gold_cache: Optional[GoldResultCache] = None,
     deadline_ms: Optional[float] = None,
+    tracing: bool = False,
 ) -> EvalReport:
     """Run an OpenSearch-SQL pipeline over ``examples``, scoring the three
     observables (EX_G, EX_R, EX) the paper's ablation tables report.
@@ -196,6 +228,9 @@ def evaluate_pipeline(
     per-request :class:`~repro.reliability.deadline.Deadline` (virtual
     time); exhaustion degrades the answer — visible in the report's
     ``deadline_exceeded`` degradation counts — instead of crashing it.
+    ``tracing=True`` records one :class:`~repro.observability.trace.Trace`
+    per freshly-answered example into ``report.traces`` (checkpoint
+    replays carry no trace).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -211,19 +246,24 @@ def evaluate_pipeline(
             score, generation_score, refined_score, cost, degradations = (
                 EvalCheckpoint.decode(record)
             )
-            return score, generation_score, refined_score, cost, degradations
+            return score, generation_score, refined_score, cost, degradations, None
 
         degradation_events: list = []
+        trace = (
+            Trace(question_id=example.question_id, db_id=example.db_id)
+            if tracing
+            else None
+        )
         try:
             executor = pipeline.executor(example.db_id)
+            # keyword only when set: pipeline stand-ins (test doubles,
+            # wrappers) need not know about deadlines or traces
+            answer_kwargs: dict = {}
             if deadline_ms is not None:
-                # keyword only when set: pipeline stand-ins (test doubles,
-                # wrappers) need not know about deadlines
-                result: PipelineResult = pipeline.answer(
-                    example, deadline=Deadline(deadline_ms / 1000.0)
-                )
-            else:
-                result = pipeline.answer(example)
+                answer_kwargs["deadline"] = Deadline(deadline_ms / 1000.0)
+            if trace is not None:
+                answer_kwargs["trace"] = trace
+            result: PipelineResult = pipeline.answer(example, **answer_kwargs)
             degradation_events = result.degradations
             gold_outcome = gold.outcome(example, executor)
             score = score_example(example, result.final_sql, executor, gold_outcome)
@@ -241,6 +281,10 @@ def evaluate_pipeline(
             generation_score = _error_score(example, error)
             refined_score = _error_score(example, error)
             cost = None
+            if trace is not None:
+                trace.root.status = "failed"
+                trace.root.event("request_failed", error=error)
+                trace.finish()
 
         if checkpoint is not None:
             checkpoint.record_example(
@@ -252,7 +296,7 @@ def evaluate_pipeline(
                 degradations=list(degradation_events),
                 error=error,
             )
-        return score, generation_score, refined_score, cost, degradation_events
+        return score, generation_score, refined_score, cost, degradation_events, trace
 
     if workers == 1:
         outcomes = [run_one(example) for example in examples]
@@ -266,11 +310,13 @@ def evaluate_pipeline(
             outcomes = list(pool.map(run_one, examples))
 
     for example, outcome in zip(examples, outcomes):
-        score, generation_score, refined_score, cost, degradations = outcome
+        score, generation_score, refined_score, cost, degradations, trace = outcome
         _append(report, example, score, generation_score, refined_score)
         report.latencies.append(cost.total_model_seconds if cost is not None else 0.0)
         if cost is not None:
             report.cost.merge(cost)
+        if trace is not None:
+            report.traces[example.question_id] = trace
         for event in degradations:
             report.degradations.append(
                 {"question_id": example.question_id, **event.to_dict()}

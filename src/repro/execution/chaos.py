@@ -50,6 +50,7 @@ from repro.execution.executor import (
     ExecutionOutcome,
     ExecutionStatus,
 )
+from repro.observability.context import add_event, current_span
 
 if TYPE_CHECKING:  # avoid a circular import (reliability → core → execution)
     from repro.reliability.deadline import Deadline
@@ -175,6 +176,7 @@ class FaultInjectingExecutor:
             self.stats.record_fault(
                 kind, self.stats.calls, model="sqlite", detail=detail
             )
+        add_event("db_fault", kind=kind, detail=detail)
 
     def _content_rng_index(self, sql: str, attempt: int, n: int) -> int:
         return _stable_hash("victim", self.seed, sql, attempt) % max(1, n)
@@ -224,6 +226,11 @@ class FaultInjectingExecutor:
             self._record(DbFaultKind.SLOW_QUERY, detail=sql[:60])
             if deadline is not None:
                 deadline.charge(plan.slow_seconds)
+            span = current_span()
+            if span is not None:
+                # Injected latency is virtual (recorded, not slept) — charge
+                # it to the span like any other non-LLM virtual second.
+                span.charge(plan.slow_seconds)
             return replace(
                 outcome, elapsed_seconds=outcome.elapsed_seconds + plan.slow_seconds
             )

@@ -18,6 +18,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
+from repro.observability.context import add_event, current_span
+
 if TYPE_CHECKING:  # avoid a circular import: reliability imports core.cost,
     # which transitively imports this module.  Deadline is duck-typed here.
     from repro.reliability.deadline import Deadline
@@ -189,7 +191,11 @@ class SQLExecutor:
     def execute(self, sql: str, deadline: Optional[Deadline] = None) -> ExecutionOutcome:
         """Execute ``sql`` and classify the outcome; never raises for SQL
         failures (harness errors such as a closed connection still raise
-        only when no ``reconnect`` is wired)."""
+        only when no ``reconnect`` is wired).
+
+        When a span is ambient (see :mod:`repro.observability.context`)
+        each statement records an ``execute`` event and its elapsed time is
+        charged to the span."""
         attempts = 0
         while True:
             with self._lock:
@@ -200,8 +206,18 @@ class SQLExecutor:
                 and attempts < self.max_reconnects
             ):
                 attempts += 1
+                add_event("db_reconnect", attempt=attempts, error=outcome.error)
                 self._recycle()
                 continue
+            span = current_span()
+            if span is not None:
+                span.event(
+                    "execute",
+                    status=outcome.status.value,
+                    rows=outcome.row_count,
+                    elapsed_seconds=round(outcome.elapsed_seconds, 6),
+                )
+                span.charge(outcome.elapsed_seconds)
             return outcome
 
     def _recycle(self) -> None:

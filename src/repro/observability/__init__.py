@@ -1,0 +1,44 @@
+"""Observability: per-request tracing, unified metrics, cost attribution.
+
+The observability spine the serving, reliability and evaluation layers
+plug into:
+
+* :class:`Trace` / :class:`Span` — one span tree per request, propagated
+  explicitly through ``ServingEngine`` → ``OpenSearchSQL.answer`` → the
+  stage agents → ``SQLExecutor.execute``; cache lookups, retries, hedges
+  and injected faults attach as events via the ambient span published in
+  :mod:`repro.observability.context`;
+* :class:`MetricsRegistry` — counters/gauges/histograms plus collectors
+  that pull the existing stats objects into one deterministic export;
+* ``python -m repro trace`` / ``python -m repro metrics`` — the CLI
+  surface over both.
+
+This package is stdlib-only and sits below every other repro layer, so
+core, execution, reliability, caching and serving can all import it
+without cycles.
+"""
+
+from repro.observability.context import add_event, current_span, use_span
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flatten,
+)
+from repro.observability.trace import STAGE_SPANS, Span, SpanEvent, Trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGE_SPANS",
+    "Span",
+    "SpanEvent",
+    "Trace",
+    "add_event",
+    "current_span",
+    "flatten",
+    "use_span",
+]

@@ -1,0 +1,66 @@
+"""Ambient span propagation for cross-cutting instrumentation.
+
+The tracing spine is **explicit**: a :class:`~repro.observability.trace.
+Trace` is created per request by the serving engine (or an evaluation
+runner) and threaded through ``OpenSearchSQL.answer`` into the stage
+agents and ``SQLExecutor.execute``.  But several layers cut *across* that
+spine — the resilient LLM transport retries a call it does not know
+belongs to the extraction stage, the fault injectors fire inside whatever
+stage happened to call them, the cache tiers sit between stages — and
+threading a span through every one of those signatures would couple the
+reliability and caching layers to observability.
+
+Instead, the spine *publishes* the active span here (a ``contextvars``
+slot, so concurrent serving workers never see each other's spans), and
+cross-cutting layers call :func:`add_event` to attach what happened to
+whichever span is current.  With no active span every call is a cheap
+no-op, so un-traced runs pay nothing.
+
+This module is dependency-free (stdlib only) by design: reliability,
+execution, caching and serving all import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Any, Optional
+
+__all__ = ["current_span", "use_span", "add_event"]
+
+_CURRENT_SPAN: contextvars.ContextVar[Optional[Any]] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_span() -> Optional[Any]:
+    """The span the running thread is currently inside, or ``None``."""
+    return _CURRENT_SPAN.get()
+
+
+@contextmanager
+def use_span(span: Optional[Any]):
+    """Make ``span`` the ambient span for the duration of the block.
+
+    ``None`` is allowed and clears the slot, so callers can write one code
+    path for traced and un-traced runs.
+    """
+    token = _CURRENT_SPAN.set(span)
+    try:
+        yield span
+    finally:
+        _CURRENT_SPAN.reset(token)
+
+
+def add_event(name: str, **attributes: Any) -> bool:
+    """Attach an event to the ambient span; returns False when none is set.
+
+    ``attributes`` must be JSON-serializable scalars (the span tree is
+    exported as JSON).  Callers needing virtual-time accounting should use
+    the span object directly via :func:`current_span`.
+    """
+    span = _CURRENT_SPAN.get()
+    if span is None:
+        return False
+    span.event(name, **attributes)
+    return True

@@ -1,0 +1,352 @@
+"""Per-request tracing: one :class:`Trace` per request, nested
+:class:`Span`\\ s per stage.
+
+The span taxonomy mirrors the paper's agent decomposition (Table 6
+attributes token cost per agent) plus the serving layers grown in PRs 1-3:
+
+* ``request`` — the root; carries the question/database identity and the
+  request totals (tokens, model seconds, wall seconds);
+* ``preprocessing`` — amortized construction-time work, annotated with the
+  shared preprocessing cost but charged zero per-request seconds;
+* ``extraction`` / ``generation`` / ``refinement`` — the per-request
+  stages, each attributed the **delta** of the request's
+  :class:`~repro.core.cost.CostTracker` across its boundaries, so the
+  per-span tokens and model seconds sum exactly to the request totals the
+  serving stats already report (conservation by construction);
+* ``alignment`` / ``execution`` — children of ``refinement``: the
+  post-generation alignments and the SQL executions of the
+  align-execute-correct loop;
+* **events** — cache lookups, LLM retries, hedges and injected faults
+  attach to whichever span was active when they happened (see
+  :mod:`repro.observability.context`).
+
+Wall-clock timings are recorded but excluded from :meth:`Span.structure`,
+the deterministic projection the concurrency tests compare across reruns:
+with the seeded simulator, two runs of the same request produce identical
+structures regardless of thread scheduling.
+
+Dependency-free (stdlib only): every other layer may import this module.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.observability.context import use_span
+
+__all__ = ["SpanEvent", "Span", "Trace", "STAGE_SPANS"]
+
+#: the stage spans a complete request trace must contain (span taxonomy)
+STAGE_SPANS = (
+    "preprocessing",
+    "extraction",
+    "generation",
+    "alignment",
+    "refinement",
+    "execution",
+)
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One point-in-time occurrence inside a span."""
+
+    name: str
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view."""
+        return {"name": self.name, **self.attributes}
+
+
+class Span:
+    """One unit of attributed work inside a trace.
+
+    Spans accumulate four cost axes:
+
+    * ``wall_seconds`` — real elapsed time (non-deterministic);
+    * ``model_seconds`` — simulated LLM decode seconds attributed to the
+      span (virtual time, deterministic);
+    * ``charged_seconds`` — non-LLM virtual seconds (SQL execution time,
+      injected slow-query charges);
+    * ``tokens`` — prompt + completion tokens attributed to the span.
+
+    Thread-safe for event appends: a hedged execution may touch the same
+    span from helper paths while the owning worker continues.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "children",
+        "events",
+        "attributes",
+        "tokens",
+        "model_seconds",
+        "charged_seconds",
+        "wall_seconds",
+        "cache",
+        "deadline_remaining_seconds",
+        "status",
+        "_trace",
+        "_start",
+        "_finished",
+    )
+
+    def __init__(self, name: str, trace: "Trace", parent: Optional["Span"] = None):
+        self.name = name
+        self._trace = trace
+        self.span_id = trace._next_id()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.children: list[Span] = []
+        self.events: list[SpanEvent] = []
+        self.attributes: dict = {}
+        self.tokens = 0
+        self.model_seconds = 0.0
+        self.charged_seconds = 0.0
+        self.wall_seconds = 0.0
+        #: "hit" / "miss" for spans answered through a cache tier
+        self.cache: Optional[str] = None
+        #: request budget left when the span finished (None without deadline)
+        self.deadline_remaining_seconds: Optional[float] = None
+        self.status = "ok"
+        self._start = time.perf_counter()
+        self._finished = False
+
+    # ------------------------------------------------------------- building
+
+    def child(self, name: str) -> "Span":
+        """Open a child span (registered in creation order)."""
+        span = Span(name, self._trace, parent=self)
+        with self._trace._lock:
+            self.children.append(span)
+        return span
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Append one event (thread-safe)."""
+        with self._trace._lock:
+            self.events.append(SpanEvent(name=name, attributes=attributes))
+
+    def set(self, key: str, value: Any) -> None:
+        """Set one attribute on the span."""
+        with self._trace._lock:
+            self.attributes[key] = value
+
+    def charge(self, seconds: float) -> None:
+        """Attribute non-LLM virtual seconds (execution, slow queries)."""
+        with self._trace._lock:
+            self.charged_seconds += seconds
+
+    def finish(self, deadline: Optional[Any] = None) -> "Span":
+        """Stamp wall time (first call wins) and deadline remainder."""
+        with self._trace._lock:
+            if not self._finished:
+                self.wall_seconds = time.perf_counter() - self._start
+                self._finished = True
+            if deadline is not None:
+                self.deadline_remaining_seconds = deadline.remaining_seconds
+        return self
+
+    # -------------------------------------------------------------- reading
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first descendant span named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """JSON-ready recursive view of the span."""
+        payload = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "status": self.status,
+            "tokens": self.tokens,
+            "model_seconds": round(self.model_seconds, 6),
+            "charged_seconds": round(self.charged_seconds, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "attributes": dict(self.attributes),
+            "events": [event.to_dict() for event in self.events],
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache
+        if self.deadline_remaining_seconds is not None:
+            payload["deadline_remaining_seconds"] = round(
+                self.deadline_remaining_seconds, 6
+            )
+        return payload
+
+    def structure(self) -> tuple:
+        """Deterministic projection: everything except wall-clock noise.
+
+        Two runs of the same seeded request must produce equal structures
+        — the property the concurrency tests assert across reruns.
+        """
+        return (
+            self.name,
+            self.status,
+            self.cache,
+            self.tokens,
+            round(self.model_seconds, 6),
+            tuple(event.name for event in self.events),
+            tuple(child.structure() for child in self.children),
+        )
+
+    def format(self, indent: int = 0) -> str:
+        """Human-readable subtree rendering."""
+        pad = "  " * indent
+        bits = [f"{pad}{self.name}"]
+        if self.cache is not None:
+            bits.append(f"[cache {self.cache}]")
+        if self.status != "ok":
+            bits.append(f"[{self.status}]")
+        bits.append(f"tokens={self.tokens}")
+        bits.append(f"model={self.model_seconds:.2f}s")
+        if self.charged_seconds:
+            bits.append(f"charged={self.charged_seconds:.2f}s")
+        bits.append(f"wall={self.wall_seconds * 1000:.1f}ms")
+        if self.deadline_remaining_seconds is not None:
+            bits.append(f"deadline_left={self.deadline_remaining_seconds:.2f}s")
+        lines = [" ".join(bits)]
+        for event in self.events:
+            detail = " ".join(f"{k}={v}" for k, v in event.attributes.items())
+            lines.append(f"{pad}  · {event.name}" + (f" {detail}" if detail else ""))
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+
+def _cost_totals(cost: Any) -> tuple[int, float]:
+    """(tokens, model_seconds) snapshot of a duck-typed CostTracker."""
+    if cost is None:
+        return 0, 0.0
+    return int(cost.total_tokens), float(cost.total_model_seconds)
+
+
+class Trace:
+    """One request's complete span tree plus identity metadata."""
+
+    def __init__(self, question_id: str = "", db_id: str = ""):
+        self.question_id = question_id
+        self.db_id = db_id
+        self._lock = threading.RLock()
+        self._id_counter = 0
+        self.root = Span("request", self)
+        if question_id:
+            self.root.attributes["question_id"] = question_id
+        if db_id:
+            self.root.attributes["db_id"] = db_id
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id_counter += 1
+            return self._id_counter
+
+    # ------------------------------------------------------------- building
+
+    @contextmanager
+    def stage(
+        self,
+        name: str,
+        cost: Any = None,
+        deadline: Any = None,
+        parent: Optional[Span] = None,
+    ):
+        """Open a stage span under ``parent`` (default: root), publish it as
+        the ambient span, and attribute the cost delta across the block.
+
+        The delta convention makes conservation structural: stages run
+        sequentially on one request, so the sum of stage-span tokens and
+        model seconds equals the request's CostTracker totals exactly.
+        """
+        span = (parent if parent is not None else self.root).child(name)
+        tokens_before, seconds_before = _cost_totals(cost)
+        try:
+            with use_span(span):
+                yield span
+        finally:
+            tokens_after, seconds_after = _cost_totals(cost)
+            with self._lock:
+                span.tokens += tokens_after - tokens_before
+                span.model_seconds += seconds_after - seconds_before
+            span.finish(deadline)
+
+    def finish(self, cost: Any = None, deadline: Any = None) -> "Trace":
+        """Close the root span, stamping the request totals."""
+        tokens, seconds = _cost_totals(cost)
+        with self._lock:
+            self.root.tokens = tokens
+            self.root.model_seconds = seconds
+        self.root.finish(deadline)
+        return self
+
+    # -------------------------------------------------------------- reading
+
+    def find(self, name: str) -> Optional[Span]:
+        """The first span named ``name`` anywhere in the tree."""
+        if self.root.name == name:
+            return self.root
+        return self.root.find(name)
+
+    def spans(self) -> list[Span]:
+        """Every span, depth-first from the root (creation order)."""
+        return list(self.root.walk())
+
+    def stage_costs(self) -> dict[str, dict]:
+        """Tokens + virtual seconds per direct stage span (Table-6 view).
+
+        ``charged_seconds`` aggregates the stage's whole subtree (e.g.
+        refinement includes its alignment/execution children); tokens and
+        model seconds are stage-level deltas, so they need no aggregation.
+        """
+        return {
+            child.name: {
+                "tokens": child.tokens,
+                "model_seconds": round(child.model_seconds, 6),
+                "charged_seconds": round(
+                    sum(span.charged_seconds for span in child.walk()), 6
+                ),
+            }
+            for child in self.root.children
+        }
+
+    def structure(self) -> tuple:
+        """Deterministic projection of the whole tree (see Span.structure)."""
+        return self.root.structure()
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the trace."""
+        return {
+            "question_id": self.question_id,
+            "db_id": self.db_id,
+            "spans": self.root.to_dict(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The trace as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format(self) -> str:
+        """Human-readable span tree."""
+        header = f"trace {self.question_id or '<anonymous>'}"
+        if self.db_id:
+            header += f" (db={self.db_id})"
+        return header + "\n" + self.root.format()

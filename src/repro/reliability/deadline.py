@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Optional
+from typing import Callable
 
 __all__ = ["Deadline", "DeadlineExceededError"]
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.llm.base import LLMClient, LLMResponse
+from repro.observability.context import add_event
 from repro.reliability.faults import (
     FaultKind,
     RateLimitError,
@@ -115,6 +116,7 @@ class FaultInjectingLLM:
         self.stats.record_fault(
             kind.value, self._call_index, model=self.model_name, detail=detail
         )
+        add_event("llm_fault_injected", kind=kind.value, detail=detail)
 
     def _transport_fault(self) -> None:
         """Raise a transport fault when the draw lands in a transport band."""

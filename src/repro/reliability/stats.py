@@ -9,7 +9,6 @@ infrastructure-cost table next to the paper's Table 6 token-cost table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 __all__ = ["FaultRecord", "ReliabilityStats"]
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.llm.base import LLMClient, LLMResponse
+from repro.observability.context import add_event
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import (
     BudgetExceededError,
@@ -151,6 +152,7 @@ class ResilientLLM:
             if self.fallback is not None:
                 with self._lock:
                     self.stats.fallback_calls += 1
+                add_event("llm_fallback", model=self.model_name)
                 responses = self.fallback.complete(
                     prompt, temperature=temperature, n=n, task=task
                 )
@@ -176,14 +178,19 @@ class ResilientLLM:
                     )
                     if self.breaker.record_failure():
                         self.stats.breaker_opens += 1
+                add_event("llm_fault", kind=self._fault_kind(exc), attempt=attempt)
                 retryable = isinstance(exc, TransportFault) and exc.retryable
                 if retryable and attempt + 1 < self.policy.max_attempts:
                     with self._lock:
                         self.stats.retries += 1
+                    add_event(
+                        "llm_retry", attempt=attempt + 1, kind=self._fault_kind(exc)
+                    )
                     self._backoff(attempt, exc)
                     continue
                 with self._lock:
                     self.stats.giveups += 1
+                add_event("llm_giveup", kind=self._fault_kind(exc))
                 raise
             with self._lock:
                 if self.breaker.record_success():

@@ -38,6 +38,9 @@ from typing import Optional, Sequence
 
 from repro.core.pipeline import OpenSearchSQL, PipelineResult
 from repro.datasets.types import Example
+from repro.observability.context import add_event
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import Trace
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.deadline import Deadline
 from repro.reliability.faults import BudgetExceededError, CircuitOpenError
@@ -65,12 +68,20 @@ class CachingExtractor:
         self.inner = inner
         self.cache = cache
 
-    def run(self, example, pre, cost=None):
+    def run(self, example, pre, cost=None, span=None):
         key = (example.db_id, example.question_id)
         hit = self.cache.get(key)
         if hit is not None:
+            if span is not None:
+                span.cache = "hit"
+                span.event("extraction_cache", outcome="hit")
             return hit
-        result = self.inner.run(example, pre, cost)
+        if span is not None:
+            span.cache = "miss"
+            span.event("extraction_cache", outcome="miss")
+            result = self.inner.run(example, pre, cost, span=span)
+        else:
+            result = self.inner.run(example, pre, cost)
         self.cache.put(key, result)
         return result
 
@@ -95,7 +106,10 @@ class CachingFewShotLibrary:
         key = (question, tuple(surfaces), k, db_id)
         hit = self.cache.get(key)
         if hit is not None:
+            # Generation's stage span is ambient here; the event lands on it.
+            add_event("fewshot_cache", outcome="hit")
             return hit
+        add_event("fewshot_cache", outcome="miss")
         result = self.inner.search(question, surfaces=surfaces, k=k, db_id=db_id)
         self.cache.put(key, result)
         return result
@@ -127,6 +141,8 @@ class ServingEngine:
         max_requests: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
         hedge_threshold: Optional[float] = None,
+        tracing: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
         clock=time.perf_counter,
     ):
         if workers < 1:
@@ -136,6 +152,8 @@ class ServingEngine:
         self.pipeline = pipeline
         self.workers = workers
         self.deadline_seconds = deadline_seconds
+        self.tracing = tracing
+        self.metrics = metrics
         self._clock = clock
         self.admission = AdmissionController(
             capacity=queue_capacity,
@@ -197,6 +215,30 @@ class ServingEngine:
         self._started_at: Optional[float] = None
         self._finished_at: Optional[float] = None
         self._closed = False
+        # Per-request traces (question_id → Trace) in completion order.
+        self._traces: dict[str, Trace] = {}
+        self._traces_lock = threading.Lock()
+        self._latest_trace: Optional[Trace] = None
+        if metrics is not None:
+            self._m_requests = metrics.counter(
+                "repro_serving_requests_total",
+                "requests by terminal status",
+                labelnames=("status",),
+            )
+            self._m_service = metrics.histogram(
+                "repro_serving_service_seconds",
+                "per-request service time (wall + virtual model seconds)",
+            )
+            self._m_model_seconds = metrics.counter(
+                "repro_serving_model_seconds_total",
+                "simulated model decode seconds across all requests",
+            )
+            # The free-floating stats objects surface in the unified export
+            # via collectors — their accounting is untouched.
+            metrics.register_collector("serving", lambda: self.stats().to_dict())
+            metrics.register_collector("health", self.health.snapshot)
+            if self.hedge_stats is not None:
+                metrics.register_collector("hedging", self.hedge_stats.to_dict)
 
     # ------------------------------------------------------------ requests
 
@@ -255,23 +297,46 @@ class ServingEngine:
     def _handle(self, example: Example) -> PipelineResult:
         start = self._clock()
         key = (example.db_id, normalize_question(example.question))
+        trace = (
+            Trace(question_id=example.question_id, db_id=example.db_id)
+            if self.tracing
+            else None
+        )
         try:
             cached = self.result_cache.get(key)
             if cached is not None:
+                if trace is not None:
+                    trace.root.cache = "hit"
+                    trace.root.event("result_cache", outcome="hit")
+                    self._store_trace(trace.finish())
                 self._record(example, "cached", start, model_seconds=0.0)
                 return cached
+            if trace is not None:
+                trace.root.cache = "miss"
+                trace.root.event("result_cache", outcome="miss")
             deadline = (
                 Deadline(self.deadline_seconds, clock=self._clock)
                 if self.deadline_seconds is not None
                 else None
             )
             try:
-                result = self.pipeline.answer(example, deadline=deadline)
+                result = self.pipeline.answer(
+                    example,
+                    deadline=deadline,
+                    **({"trace": trace} if trace is not None else {}),
+                )
             except Exception as exc:
                 self.admission.record_failure()
                 self.health.record("pipeline", False, detail=str(exc))
+                if trace is not None:
+                    trace.root.status = "failed"
+                    trace.root.event("request_failed", error=str(exc))
+                    self._store_trace(trace.finish(deadline=deadline))
                 self._record(example, "failed", start, error=str(exc))
                 raise
+            if trace is not None:
+                # pipeline.answer already finished the root with totals
+                self._store_trace(trace)
             self.admission.record_success()
             self.health.record("pipeline", True)
             exceeded = result.deadline_exceeded
@@ -318,6 +383,33 @@ class ServingEngine:
                 self._worker_busy.get(ident, 0.0) + record.service_seconds
             )
             self._finished_at = self._clock()
+        if self.metrics is not None:
+            self._m_requests.labels(status=status).inc()
+            self._m_service.observe(record.service_seconds)
+            self._m_model_seconds.inc(model_seconds)
+
+    # -------------------------------------------------------------- tracing
+
+    def _store_trace(self, trace: Trace) -> None:
+        with self._traces_lock:
+            self._traces[trace.question_id] = trace
+            self._latest_trace = trace
+
+    def last_trace(self) -> Optional[Trace]:
+        """The most recently completed request's trace (requires
+        ``tracing=True``)."""
+        with self._traces_lock:
+            return self._latest_trace
+
+    def trace_for(self, question_id: str) -> Optional[Trace]:
+        """The trace of one served request, by question id."""
+        with self._traces_lock:
+            return self._traces.get(question_id)
+
+    def traces(self) -> list[Trace]:
+        """Every stored trace, in completion order."""
+        with self._traces_lock:
+            return list(self._traces.values())
 
     # ------------------------------------------------------------ lifecycle
 

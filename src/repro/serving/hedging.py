@@ -32,6 +32,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 from repro.execution.executor import ExecutionError, ExecutionOutcome
+from repro.observability.context import add_event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.reliability.deadline import Deadline
@@ -135,14 +136,21 @@ class HedgedExecutor:
             return primary
         if deadline is not None and deadline.expired:
             self._bump(suppressed_deadline=1)
+            add_event("hedge_suppressed", reason="deadline")
             return primary
 
         self._bump(launched=1)
+        add_event(
+            "hedge_launched",
+            reason="transient" if transient else "slow",
+            primary_status=primary.status.value,
+        )
         hedge = self._run(sql, deadline, attempt=1)
 
         if transient:
             if not hedge.status.is_transient:
                 self._bump(wins=1, recovered_error=1)
+                add_event("hedge_won", recovered="error")
                 return hedge
             return primary
 
@@ -153,6 +161,7 @@ class HedgedExecutor:
         hedge_finish = self.threshold_seconds + hedge.elapsed_seconds
         if hedge_finish < primary.elapsed_seconds:
             self._bump(wins=1, recovered_slow=1)
+            add_event("hedge_won", recovered="slow")
             return replace(hedge, elapsed_seconds=hedge_finish)
         return primary
 

@@ -5,9 +5,7 @@ import pytest
 from repro.baselines.systems import (
     CHESS,
     DAILSQL,
-    DINSQL,
     Distillery,
-    MACSQL,
     MCSSQL,
     SFT_GPT_4O,
     ZeroShotGPT4,

@@ -50,10 +50,10 @@ def candidate_sqls(draw):
         )
     if shape == 2:
         return (
-            f"SELECT Laboratory.ID FROM Laboratory "
-            f"ORDER BY Laboratory.GLU ASC LIMIT 1"
+            "SELECT Laboratory.ID FROM Laboratory "
+            "ORDER BY Laboratory.GLU ASC LIMIT 1"
         )
-    return f"SELECT Laboratory.ID, MAX(Laboratory.GLU) FROM Laboratory"
+    return "SELECT Laboratory.ID, MAX(Laboratory.GLU) FROM Laboratory"
 
 
 class TestAlignmentProperties:

@@ -1,6 +1,5 @@
 """Query-Skeleton-SQL extension tests (paper §3.8)."""
 
-import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.fewshot import FewShotExample, mask_question, sql_skeleton

@@ -1,6 +1,5 @@
 """End-to-end pipeline tests over the tiny benchmark."""
 
-import pytest
 
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import OpenSearchSQL

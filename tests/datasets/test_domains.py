@@ -7,7 +7,6 @@ import pytest
 from repro.datasets.bird import BIRD_DOMAINS
 from repro.datasets.build import build_database
 from repro.datasets.domains.spider_domains import SPIDER_DOMAINS
-from repro.execution.executor import ExecutionStatus
 from repro.schema.joins import join_path
 from repro.sqlkit.parser import parse_select
 

@@ -3,7 +3,6 @@ the mini-dev sampler, and gold validity across every domain."""
 
 from collections import Counter
 
-import pytest
 
 from repro.datasets.bird import BIRD_DOMAINS, mini_dev
 from repro.datasets.types import DIFFICULTIES

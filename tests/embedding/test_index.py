@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.embedding.index import FlatIndex, SearchHit
+from repro.embedding.index import FlatIndex
 from repro.embedding.vectorizer import HashingVectorizer
 
 

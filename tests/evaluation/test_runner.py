@@ -4,8 +4,7 @@ import pytest
 
 from repro.caching import GoldResultCache
 from repro.evaluation.report import format_table
-from repro.evaluation.runner import EvalReport, evaluate_pipeline, evaluate_system
-from repro.evaluation.metrics import ExampleScore
+from repro.evaluation.runner import evaluate_pipeline, evaluate_system
 
 
 class TestEvaluatePipeline:

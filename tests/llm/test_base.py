@@ -1,6 +1,5 @@
 """LLM base type tests: token counting, usage arithmetic."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

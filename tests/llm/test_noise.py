@@ -7,9 +7,8 @@ from repro.datasets.types import ValueMention
 from repro.llm import noise
 from repro.llm._noise_wrongcol import wrong_filter_column
 from repro.schema.model import Column, Database, ForeignKey, Table
-from repro.sqlkit.ast import FuncCall, IsNull, Literal
+from repro.sqlkit.ast import FuncCall, Literal
 from repro.sqlkit.parser import parse_select
-from repro.sqlkit.render import render
 from repro.sqlkit.sql_like import parse_sql_like, render_sql_like
 
 

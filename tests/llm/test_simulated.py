@@ -5,12 +5,11 @@ These tests pin the causal contract in DESIGN.md: each prompt feature must
 *reduce* the firing rate of its channel, measured over many questions.
 """
 
-import numpy as np
 import pytest
 
 from repro.datasets.types import Example, ValueMention
 from repro.llm.simulated import SimulatedLLM
-from repro.llm.skills import GPT_4O, GPT_4O_MINI
+from repro.llm.skills import GPT_4O_MINI
 from repro.llm.tasks import (
     ColumnSelectionTask,
     CorrectionTask,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.llm.skills import GPT_4, GPT_4O, GPT_4O_MINI, SkillProfile, skill_by_name
+from repro.llm.skills import GPT_4, GPT_4O, GPT_4O_MINI, skill_by_name
 
 
 class TestLookup:

@@ -1,0 +1,262 @@
+"""Trace/Span unit behaviour plus the end-to-end single-request contract:
+a served request yields a complete span tree whose per-stage costs sum to
+the request totals the serving stats report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+from repro.observability import (
+    STAGE_SPANS,
+    Span,
+    Trace,
+    add_event,
+    current_span,
+    use_span,
+)
+from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
+from repro.serving import ServingEngine
+
+
+class TestSpan:
+    def test_child_nesting_and_walk(self):
+        trace = Trace("q1", "db1")
+        a = trace.root.child("a")
+        b = a.child("b")
+        assert [s.name for s in trace.spans()] == ["request", "a", "b"]
+        assert b.parent_id == a.span_id
+        assert trace.find("b") is b
+
+    def test_events_and_attributes(self):
+        trace = Trace()
+        span = trace.root.child("stage")
+        span.event("cache", outcome="hit")
+        span.set("width", 5)
+        payload = span.to_dict()
+        assert payload["events"] == [{"name": "cache", "outcome": "hit"}]
+        assert payload["attributes"] == {"width": 5}
+
+    def test_finish_stamps_wall_once(self):
+        trace = Trace()
+        span = trace.root.child("stage")
+        span.finish()
+        first = span.wall_seconds
+        span.finish()
+        assert span.wall_seconds == first
+
+    def test_charge_accumulates(self):
+        trace = Trace()
+        span = trace.root.child("execution")
+        span.charge(0.5)
+        span.charge(0.25)
+        assert span.charged_seconds == pytest.approx(0.75)
+
+    def test_structure_excludes_wall_clock(self):
+        def build():
+            trace = Trace("q", "db")
+            span = trace.root.child("stage")
+            span.event("e", detail="x")
+            span.tokens = 7
+            span.finish()
+            trace.finish()
+            return trace
+
+        assert build().structure() == build().structure()
+
+    def test_format_renders_tree(self):
+        trace = Trace("q7", "db")
+        child = trace.root.child("extraction")
+        child.cache = "hit"
+        text = trace.format()
+        assert "trace q7" in text
+        assert "extraction" in text
+        assert "[cache hit]" in text
+
+
+class TestAmbientContext:
+    def test_add_event_without_span_is_noop(self):
+        assert add_event("orphan") is False
+
+    def test_use_span_publishes_and_restores(self):
+        trace = Trace()
+        span = trace.root.child("stage")
+        assert current_span() is None
+        with use_span(span):
+            assert current_span() is span
+            assert add_event("seen") is True
+        assert current_span() is None
+        assert [e.name for e in span.events] == ["seen"]
+
+    def test_use_span_none_clears(self):
+        trace = Trace()
+        outer = trace.root.child("outer")
+        with use_span(outer):
+            with use_span(None):
+                assert current_span() is None
+            assert current_span() is outer
+
+
+class TestStageDeltas:
+    def test_stage_attributes_cost_delta(self):
+        class FakeCost:
+            total_tokens = 0
+            total_model_seconds = 0.0
+
+        cost = FakeCost()
+        trace = Trace()
+        with trace.stage("generation", cost=cost) as span:
+            cost.total_tokens = 120
+            cost.total_model_seconds = 1.5
+        assert span.tokens == 120
+        assert span.model_seconds == pytest.approx(1.5)
+        with trace.stage("refinement", cost=cost) as span2:
+            cost.total_tokens = 150
+        assert span2.tokens == 30
+        total = sum(c.tokens for c in trace.root.children)
+        assert total == cost.total_tokens
+
+
+@pytest.fixture(scope="module")
+def traced_engine_run(tiny_benchmark):
+    pipeline = OpenSearchSQL(
+        tiny_benchmark,
+        SimulatedLLM(GPT_4O, seed=0),
+        PipelineConfig(n_candidates=3),
+    )
+    examples = tiny_benchmark.dev[:3]
+    with ServingEngine(
+        pipeline, workers=1, tracing=True, deadline_seconds=120.0
+    ) as engine:
+        results, traces = [], []
+        for example in examples:
+            results.append(engine.answer(example))
+            traces.append(engine.last_trace())
+        first = traces[0]
+        # repeat the first request: must be a result-cache hit, and its
+        # trace replaces the stored one for that question id (latest wins)
+        cached_result = engine.answer(examples[0])
+        stats = engine.stats()
+        last = engine.last_trace()
+        assert engine.trace_for(examples[0].question_id) is last
+    return {
+        "examples": examples,
+        "results": results,
+        "cached_result": cached_result,
+        "stats": stats,
+        "traces": traces,
+        "first": first,
+        "last": last,
+    }
+
+
+class TestServedRequestTrace:
+    def test_span_tree_is_complete(self, traced_engine_run):
+        trace = traced_engine_run["first"]
+        assert trace.root.name == "request"
+        for name in STAGE_SPANS:
+            assert trace.find(name) is not None, f"missing span {name}"
+        # the five stages hang off the root; execution under refinement
+        top = [child.name for child in trace.root.children]
+        assert top == ["preprocessing", "extraction", "generation", "refinement"]
+        refinement = trace.find("refinement")
+        assert [c.name for c in refinement.children] == ["alignment", "execution"]
+
+    def test_cache_events_attached(self, traced_engine_run):
+        trace = traced_engine_run["first"]
+        assert trace.root.cache == "miss"
+        assert [e.name for e in trace.root.events] == ["result_cache"]
+        extraction = trace.find("extraction")
+        assert extraction.cache == "miss"
+        generation = trace.find("generation")
+        assert "fewshot_cache" in [e.name for e in generation.events]
+
+    def test_execution_events_recorded(self, traced_engine_run):
+        execution = traced_engine_run["first"].find("execution")
+        events = [e for e in execution.events if e.name == "execute"]
+        assert events, "no execute events on the execution span"
+        for event in events:
+            assert "status" in event.attributes
+            assert "elapsed_seconds" in event.attributes
+
+    def test_result_cache_hit_trace(self, traced_engine_run):
+        last = traced_engine_run["last"]
+        assert last.root.cache == "hit"
+        assert last.root.tokens == 0
+        assert last.root.children == []
+
+    def test_stage_costs_sum_to_request_totals(self, traced_engine_run):
+        """Conservation: span costs sum exactly to the request totals the
+        serving stats record (tokens and model seconds)."""
+        for trace, result in zip(
+            traced_engine_run["traces"], traced_engine_run["results"]
+        ):
+            costs = trace.stage_costs()
+            assert sum(v["tokens"] for v in costs.values()) == result.cost.total_tokens
+            assert sum(v["model_seconds"] for v in costs.values()) == pytest.approx(
+                result.cost.total_model_seconds, abs=1e-6
+            )
+            assert trace.root.tokens == result.cost.total_tokens
+
+    def test_trace_model_seconds_match_serving_stats(self, traced_engine_run):
+        """The sum of traced per-request model seconds equals the serving
+        layer's aggregate accounting (cached requests charge zero)."""
+        stats = traced_engine_run["stats"]
+        traced_total = sum(t.root.model_seconds for t in traced_engine_run["traces"])
+        recorded_total = sum(
+            r.cost.total_model_seconds for r in traced_engine_run["results"]
+        )
+        assert traced_total == pytest.approx(recorded_total, abs=1e-6)
+        assert stats.completed == 4  # 3 fresh + 1 cached
+        assert stats.result_hits == 1
+
+    def test_deadline_remaining_recorded(self, traced_engine_run):
+        trace = traced_engine_run["first"]
+        assert trace.root.deadline_remaining_seconds is not None
+        assert 0 <= trace.root.deadline_remaining_seconds <= 120.0
+
+    def test_json_export_round_trips(self, traced_engine_run):
+        trace = traced_engine_run["first"]
+        payload = json.loads(trace.to_json())
+        assert payload["question_id"] == trace.question_id
+        assert payload["spans"]["name"] == "request"
+        names = {c["name"] for c in payload["spans"]["children"]}
+        assert {"preprocessing", "extraction", "generation", "refinement"} <= names
+
+
+class TestTracedTransportFaults:
+    def test_retry_events_attach_to_stage_span(self, tiny_benchmark):
+        pipeline = OpenSearchSQL(
+            tiny_benchmark,
+            SimulatedLLM(GPT_4O, seed=0),
+            PipelineConfig(n_candidates=3),
+        )
+        injector = FaultInjectingLLM(
+            SimulatedLLM(GPT_4O, seed=0), FaultPlan.transient(0.5), seed=7
+        )
+        resilient = ResilientLLM(injector, seed=7)
+        pipeline.rebind_llm(resilient)
+        trace = Trace("q", "db")
+        pipeline.answer(tiny_benchmark.dev[0], trace=trace)
+        event_names = [event.name for span in trace.spans() for event in span.events]
+        assert injector.stats.failures > 0
+        assert "llm_fault_injected" in event_names
+        if resilient.stats.retries:
+            assert "llm_retry" in event_names
+
+    def test_traced_tokens_match_reliability_stats(self, tiny_benchmark):
+        pipeline = OpenSearchSQL(
+            tiny_benchmark,
+            SimulatedLLM(GPT_4O, seed=0),
+            PipelineConfig(n_candidates=3),
+        )
+        resilient = ResilientLLM(SimulatedLLM(GPT_4O, seed=0), seed=0)
+        pipeline.rebind_llm(resilient)
+        trace = Trace("q", "db")
+        pipeline.answer(tiny_benchmark.dev[0], trace=trace)
+        assert trace.root.tokens == resilient.stats.tokens_spent

@@ -6,7 +6,6 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 
-import pytest
 
 from repro.core.cost import CostTracker
 from repro.evaluation.metrics import ExampleScore

@@ -3,7 +3,6 @@ recorded as a typed DegradationEvent instead of crashing ``answer``."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.pipeline import FALLBACK_SQL
 from repro.llm.tasks import (

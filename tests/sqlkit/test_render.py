@@ -12,13 +12,11 @@ from repro.sqlkit.ast import (
     FuncCall,
     InList,
     IsNull,
-    Join,
     Like,
     Literal,
     OrderItem,
     Select,
     SelectItem,
-    Star,
     TableRef,
     UnaryOp,
 )

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.sqlkit.ast import ColumnRef, FuncCall, Literal
+from repro.sqlkit.ast import ColumnRef, FuncCall
 from repro.sqlkit.parser import ParseError, parse_select
 from repro.sqlkit.sql_like import (
-    SQLLike,
     parse_sql_like,
     render_sql_like,
     select_to_sql_like,

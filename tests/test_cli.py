@@ -163,3 +163,80 @@ class TestServeBench:
             line for line in text.splitlines() if line.startswith("deadlines")
         )
         assert "8 exceeded" in exceeded
+
+
+class TestTrace:
+    def test_renders_span_tree_and_stage_costs(self):
+        code, text = run_cli("--candidates", "3", "trace")
+        assert code == 0
+        assert "trace " in text
+        for stage in ("preprocessing", "extraction", "generation", "refinement"):
+            assert stage in text
+        assert "stage costs:" in text
+        assert "tokens=" in text
+
+    def test_json_export(self):
+        import json
+
+        code, text = run_cli("--candidates", "3", "trace", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["spans"]["name"] == "request"
+        children = {c["name"] for c in payload["spans"]["children"]}
+        assert {"preprocessing", "extraction", "generation", "refinement"} <= children
+
+    def test_unknown_question_id(self):
+        code, text = run_cli("--candidates", "3", "trace", "--question-id", "nope")
+        assert code == 2
+        assert "error" in text
+
+    def test_fault_rate_surfaces_events(self):
+        code, text = run_cli(
+            "--candidates", "3", "trace", "--fault-rate", "0.25",
+        )
+        assert code == 0
+        assert "trace " in text  # chaos contained: trace still renders
+
+
+class TestMetrics:
+    def test_text_render_lists_serving_counters(self):
+        code, text = run_cli(
+            "--candidates", "3", "metrics", "--requests", "6", "--distinct", "3",
+        )
+        assert code == 0
+        assert "repro_serving_requests_total" in text
+        assert "serving." in text  # collector-flattened legacy stats
+
+    def test_json_snapshot_shape(self):
+        import json
+
+        code, text = run_cli(
+            "--candidates", "3", "metrics", "--requests", "6", "--distinct", "3",
+            "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert "repro_serving_requests_total" in payload["metrics"]
+        assert "serving" in payload["collected"]
+
+    def test_jsonl_one_sample_per_line(self):
+        import json
+
+        code, text = run_cli(
+            "--candidates", "3", "metrics", "--requests", "6", "--distinct", "3",
+            "--format", "jsonl",
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in text.strip().splitlines()]
+        assert lines
+        for line in lines:
+            assert set(line) == {"metric", "type", "labels", "value"}
+
+
+class TestEvaluateStageCosts:
+    def test_evaluate_reports_per_stage_costs(self):
+        code, text = run_cli("--candidates", "3", "evaluate", "--limit", "6")
+        assert code == 0
+        assert "stage costs (per request):" in text
+        for stage in ("extraction", "generation", "refinement"):
+            assert stage in text

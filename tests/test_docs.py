@@ -4,7 +4,6 @@ docs reference must actually exist."""
 import re
 from pathlib import Path
 
-import pytest
 
 import repro
 

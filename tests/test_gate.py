@@ -1,0 +1,101 @@
+"""The CI perf-regression gate trips on real regressions and only those."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+
+_GATE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "gate.py"
+_spec = importlib.util.spec_from_file_location("gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+BASELINE = {"throughput_rps": 0.24, "ex_retention": 0.98, "ex": 50.0}
+
+
+class TestCompare:
+    def test_identical_metrics_pass(self):
+        assert gate.compare(dict(BASELINE), BASELINE) == []
+
+    def test_improvements_pass(self):
+        current = {"throughput_rps": 0.5, "ex_retention": 1.0, "ex": 60.0}
+        assert gate.compare(current, BASELINE) == []
+
+    def test_25_percent_throughput_regression_fails(self):
+        """The ISSUE's acceptance case: a synthetic 25% throughput drop
+        must trip the 20% gate."""
+        current = dict(BASELINE, throughput_rps=BASELINE["throughput_rps"] * 0.75)
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "throughput_rps" in failures[0]
+        assert "25.0%" in failures[0]
+
+    def test_19_percent_throughput_drop_tolerated(self):
+        current = dict(BASELINE, throughput_rps=BASELINE["throughput_rps"] * 0.81)
+        assert gate.compare(current, BASELINE) == []
+
+    def test_retention_drop_beyond_tolerance_fails(self):
+        current = dict(BASELINE, ex_retention=BASELINE["ex_retention"] - 0.05)
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "ex_retention" in failures[0]
+
+    def test_small_retention_wobble_tolerated(self):
+        current = dict(BASELINE, ex_retention=BASELINE["ex_retention"] - 0.01)
+        assert gate.compare(current, BASELINE) == []
+
+    def test_ex_drop_beyond_a_point_fails(self):
+        current = dict(BASELINE, ex=BASELINE["ex"] - 1.5)
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "ex" in failures[0]
+
+    def test_missing_metric_fails_loudly(self):
+        current = {k: v for k, v in BASELINE.items() if k != "ex"}
+        failures = gate.compare(current, BASELINE)
+        assert any("missing from current" in f for f in failures)
+        failures = gate.compare(BASELINE, current)
+        assert any("missing from baseline" in f for f in failures)
+
+    def test_multiple_regressions_all_reported(self):
+        current = {"throughput_rps": 0.1, "ex_retention": 0.5, "ex": 10.0}
+        assert len(gate.compare(current, BASELINE)) == 3
+
+    def test_custom_tolerances(self):
+        current = dict(BASELINE, throughput_rps=BASELINE["throughput_rps"] * 0.9)
+        strict = {"throughput_rps": ("ratio", 0.05)}
+        assert gate.compare(current, BASELINE, strict)
+        lax = {"throughput_rps": ("ratio", 0.5)}
+        assert gate.compare(current, BASELINE, lax) == []
+
+
+class TestCheckCommand:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        current = self._write(tmp_path, "current.json", BASELINE)
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        assert gate.main(["check", current, "--baseline", baseline]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        regressed = dict(BASELINE, throughput_rps=BASELINE["throughput_rps"] * 0.7)
+        current = self._write(tmp_path, "current.json", regressed)
+        baseline = self._write(tmp_path, "baseline.json", BASELINE)
+        assert gate.main(["check", current, "--baseline", baseline]) == 1
+        assert "GATE FAILED" in capsys.readouterr().out
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_committed_and_gateable(self):
+        baseline = json.loads(gate.BASELINE_PATH.read_text())
+        for metric in gate.TOLERANCES:
+            assert metric in baseline, f"baseline missing gated metric {metric}"
+        assert baseline["throughput_rps"] > 0
+        assert 0 < baseline["ex_retention"] <= 1.0 + 1e-9
+        assert gate.compare(baseline, baseline) == []
