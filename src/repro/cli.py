@@ -8,6 +8,7 @@ Subcommands::
     python -m repro ablate                     # quick Table-4-style sweep
     python -m repro baselines                  # Table-2-style leaderboard
     python -m repro serve-bench --workers 4    # serving engine under Zipf load
+    python -m repro recover --journal j.jsonl  # finish a killed serve-bench run
     python -m repro trace --question-id <id>   # serve one question, print spans
     python -m repro metrics --requests 24      # unified metrics export
 
@@ -120,6 +121,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="hedge SQL executions slower than MS virtual "
                          "milliseconds (0 = hedging off; implied on by "
                          "--fault-rate)")
+    sb.add_argument("--backends", type=int, default=0, metavar="N",
+                    help="serve through a pool of N replicated LLM "
+                         "backends with health-routed failover (0 = single "
+                         "backend); with --fault-rate the PRIMARY replica "
+                         "is fault-injected and the others stay clean")
+    sb.add_argument("--db-max-inflight", type=int, default=0, metavar="N",
+                    help="per-database bulkhead: at most N in-flight "
+                         "requests per db_id (0 = unbounded)")
+    sb.add_argument("--health-shed", action="store_true",
+                    help="shed a fraction of requests probabilistically "
+                         "when the pipeline health grade degrades, before "
+                         "the circuit breaker trips")
+    sb.add_argument("--journal", metavar="PATH",
+                    help="write-ahead JSONL journal of accepted/committed "
+                         "requests; a killed run resumes via "
+                         "'repro recover --journal PATH'")
+    sb.add_argument("--kill-after", type=int, default=0, metavar="K",
+                    help="with --journal: SIGKILL this process after the "
+                         "K-th committed result (crash-recovery testing)")
+    sb.add_argument("--metrics-out", metavar="PATH",
+                    help="dump the final MetricsRegistry snapshot to PATH "
+                         "as JSON")
+    sb.add_argument("--report-out", metavar="PATH",
+                    help="with --journal: score the journaled run and "
+                         "write the deterministic report JSON to PATH")
+
+    rc = sub.add_parser(
+        "recover",
+        help="replay a killed serve-bench journal to completion, "
+             "re-running exactly the uncommitted requests",
+    )
+    rc.add_argument("--journal", required=True, metavar="PATH",
+                    help="journal written by 'serve-bench --journal PATH' "
+                         "(its header pins workload and pipeline config)")
+    rc.add_argument("--report-out", metavar="PATH",
+                    help="write the recovered run's deterministic report "
+                         "JSON to PATH")
 
     tr = sub.add_parser(
         "trace",
@@ -311,8 +349,34 @@ def _cmd_baselines(args, out) -> int:
     return 0
 
 
+def _build_backend_pool(pipeline, replicas: int, fault_rate: float, seed: int):
+    """N ResilientLLM replicas over the pipeline's simulated model, the
+    primary (replica 0) fault-injected at ``fault_rate``."""
+    from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
+    from repro.serving import BackendPool
+
+    clients = []
+    for index in range(replicas):
+        inner = pipeline.llm
+        if index == 0 and fault_rate > 0:
+            inner = FaultInjectingLLM(
+                inner, FaultPlan.chaos(fault_rate), seed=seed + index
+            )
+        clients.append(ResilientLLM(inner, seed=seed + index))
+    return BackendPool(clients)
+
+
 def _cmd_serve_bench(args, out) -> int:
-    from repro.serving import ServingEngine
+    import os
+    import signal
+
+    from repro.serving import (
+        DEFAULT_HEALTH_SHED,
+        ServingEngine,
+        ServingJournal,
+        assemble_report,
+        recover_run,
+    )
     from repro.serving.workload import zipf_workload
 
     benchmark = _build_benchmark(args.benchmark)
@@ -324,20 +388,23 @@ def _cmd_serve_bench(args, out) -> int:
     )
     pipeline = _build_pipeline(benchmark, args)
 
-    llm_injector = db_stats = None
-    if args.fault_rate > 0:
-        from repro.execution import DbFaultPlan, FaultInjectingExecutor
-        from repro.reliability import (
-            FaultInjectingLLM,
-            FaultPlan,
-            ReliabilityStats,
-            ResilientLLM,
+    llm_injector = db_stats = backends = None
+    if args.backends > 0:
+        backends = _build_backend_pool(
+            pipeline, args.backends, args.fault_rate, args.seed
         )
+        pipeline.rebind_llm(backends)
+    elif args.fault_rate > 0:
+        from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
 
         llm_injector = FaultInjectingLLM(
             pipeline.llm, FaultPlan.chaos(args.fault_rate), seed=args.seed
         )
         pipeline.rebind_llm(ResilientLLM(llm_injector, seed=args.seed))
+    if args.fault_rate > 0:
+        from repro.execution import DbFaultPlan, FaultInjectingExecutor
+        from repro.reliability import ReliabilityStats
+
         db_stats = ReliabilityStats()
         db_plan = DbFaultPlan.chaos(args.fault_rate)
         pipeline.set_executor_wrapper(
@@ -346,10 +413,40 @@ def _cmd_serve_bench(args, out) -> int:
             )
         )
 
+    journal = None
+    cache_size = 0 if args.no_cache else 512
+    if args.journal:
+        journal = ServingJournal(args.journal)
+        journal.write_header(
+            {
+                "benchmark": args.benchmark,
+                "model": args.model,
+                "candidates": args.candidates,
+                "seed": args.seed,
+                "requests": args.requests,
+                "distinct": args.distinct,
+                "zipf": args.zipf,
+                "result_cache_size": cache_size,
+            }
+        )
+        if args.kill_after > 0:
+            kill_after = args.kill_after
+
+            def _kill(commits: int) -> None:
+                if commits >= kill_after:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            journal.on_commit = _kill
+
+    metrics = None
+    if args.metrics_out:
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+
     hedge_ms = args.hedge_ms
     if args.fault_rate > 0 and not hedge_ms:
         hedge_ms = 2000.0
-    cache_size = 0 if args.no_cache else 512
     engine = ServingEngine(
         pipeline,
         workers=args.workers,
@@ -359,6 +456,11 @@ def _cmd_serve_bench(args, out) -> int:
         fewshot_cache_size=0 if args.no_cache else 1024,
         deadline_seconds=(args.deadline_ms / 1000.0) or None,
         hedge_threshold=(hedge_ms / 1000.0) or None,
+        db_max_inflight=args.db_max_inflight or None,
+        journal=journal,
+        backends=backends,
+        health_shed=DEFAULT_HEALTH_SHED if args.health_shed else None,
+        metrics=metrics,
     )
     with engine:
         results = engine.run(workload, block=(args.mode == "closed"))
@@ -374,6 +476,84 @@ def _cmd_serve_bench(args, out) -> int:
         out.write(f"llm faults : {llm_injector.stats.fault_counts()}\n")
     if db_stats is not None:
         out.write(f"db faults  : {db_stats.fault_counts()}\n")
+    if metrics is not None:
+        from pathlib import Path
+
+        target = Path(args.metrics_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(metrics.to_json() + "\n")
+        out.write(f"metrics  : wrote snapshot to {args.metrics_out}\n")
+    if args.report_out and journal is not None:
+        # The journal is complete here, so recover_run replays it without
+        # re-running anything; scoring goes through a clean pipeline (no
+        # chaos wrappers) so the report reflects what was served.
+        clean = _build_pipeline(benchmark, args)
+        outcomes = recover_run(
+            journal, clean, workload, result_cache_size=cache_size
+        )
+        report = assemble_report(outcomes, workload, clean)
+        _write_deterministic_report(report, args.report_out)
+        out.write(f"report   : wrote {args.report_out} (EX {report.ex:.1f})\n")
+    return 0
+
+
+def _write_deterministic_report(report, path) -> None:
+    import json
+    from pathlib import Path
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(report.deterministic_dict(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _cmd_recover(args, out) -> int:
+    from repro.serving import ServingJournal, assemble_report, recover_run
+    from repro.serving.workload import zipf_workload
+
+    journal = ServingJournal(args.journal)
+    config = journal.config
+    if not config:
+        out.write(f"error: {args.journal} has no header record\n")
+        return 2
+    # The header pins everything needed to rebuild the exact run: the
+    # workload parameters and the pipeline's deterministic seeds.
+    for name in ("benchmark", "model", "candidates", "seed"):
+        if name in config:
+            setattr(args, name, config[name])
+    benchmark = _build_benchmark(args.benchmark)
+    pool = benchmark.dev
+    if config.get("distinct"):
+        pool = pool[: config["distinct"]]
+    workload = zipf_workload(
+        pool,
+        requests=config.get("requests", len(pool)),
+        skew=config.get("zipf", 1.2),
+        seed=args.seed,
+    )
+    pipeline = _build_pipeline(benchmark, args)
+    pending_before = len(journal.pending())
+    committed_before = len(journal)
+    outcomes = recover_run(
+        journal,
+        pipeline,
+        workload,
+        result_cache_size=config.get("result_cache_size", 512),
+    )
+    report = assemble_report(outcomes, workload, pipeline)
+    out.write(
+        f"journal  : {committed_before} committed, {pending_before} pending, "
+        f"{len(workload) - committed_before} to finish\n"
+    )
+    out.write(f"recovered: {len(outcomes)}/{len(workload)} requests\n")
+    out.write(f"EX       : {report.ex:.1f}\n")
+    out.write(f"EX_G     : {report.ex_g:.1f}\n")
+    out.write(f"EX_R     : {report.ex_r:.1f}\n")
+    out.write(f"tokens   : {report.cost.total_tokens}\n")
+    if args.report_out:
+        _write_deterministic_report(report, args.report_out)
+        out.write(f"report   : wrote {args.report_out}\n")
     return 0
 
 
@@ -463,6 +643,7 @@ _COMMANDS = {
     "ablate": _cmd_ablate,
     "baselines": _cmd_baselines,
     "serve-bench": _cmd_serve_bench,
+    "recover": _cmd_recover,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
 }

@@ -183,6 +183,45 @@ class EvalReport:
             "scores": [asdict(score) for score in self.scores],
         }
 
+    def deterministic_dict(self) -> dict:
+        """The report restricted to its run-invariant fields.
+
+        ``to_dict()`` carries real wall-clock measurements (gold/predicted
+        execution times, per-stage wall seconds, VES time ratios) that
+        differ between two otherwise identical runs.  This view keeps only
+        what the deterministic simulator pins down — accuracy scores,
+        token/call/model-second stage costs, virtual latency, degradation
+        and error counts, and per-example outcomes — so two runs over the
+        same workload with the same seeds serialize *byte-identically*.
+        Crash-recovery certification diffs exactly this document.
+        """
+        return {
+            "system": self.system,
+            "count": self.count,
+            "ex": self.ex,
+            "ex_g": self.ex_g,
+            "ex_r": self.ex_r,
+            "ex_by_difficulty": self.ex_by_difficulty(),
+            "stage_costs": self.stage_costs(),
+            "total_tokens": self.cost.total_tokens,
+            "total_model_seconds": round(self.cost.total_model_seconds, 6),
+            "latency": LatencySummary.from_values(
+                [round(value, 6) for value in self.latencies]
+            ).to_dict(),
+            "errors": len(self.errors),
+            "degradations": self.degradation_counts(),
+            "scores": [
+                {
+                    "question_id": score.question_id,
+                    "correct": score.correct,
+                    "predicted_status": score.predicted_status,
+                    "difficulty": score.difficulty,
+                    "error": score.error,
+                }
+                for score in self.scores
+            ],
+        }
+
     def save_json(self, path) -> None:
         """Write the report summary to ``path`` as JSON, creating missing
         parent directories."""

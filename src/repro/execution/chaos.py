@@ -49,6 +49,7 @@ from repro.execution.executor import (
     ExecutionError,
     ExecutionOutcome,
     ExecutionStatus,
+    _connection_lock,
 )
 from repro.observability.context import add_event, current_span
 
@@ -267,13 +268,19 @@ class FaultInjectingExecutor:
         return outcome
 
     def _drop_connection(self) -> None:
-        """Physically close the wrapped executor's SQLite connection."""
+        """Physically close the wrapped executor's SQLite connection.
+
+        Serialized on the executor's per-connection lock: closing a
+        sqlite3 connection while another serving worker is mid-statement
+        on it crashes the interpreter, not just the statement.
+        """
         connection = getattr(self.inner, "_connection", None)
         if connection is not None:
-            try:
-                connection.close()
-            except sqlite3.Error:  # pragma: no cover - close is best-effort
-                pass
+            with _connection_lock(connection):
+                try:
+                    connection.close()
+                except sqlite3.Error:  # pragma: no cover - close is best-effort
+                    pass
 
     def __getattr__(self, name):
         return getattr(self.inner, name)

@@ -198,7 +198,15 @@ class SQLExecutor:
         charged to the span."""
         attempts = 0
         while True:
-            with self._lock:
+            lock = self._lock
+            with lock:
+                # _recycle swaps both the connection and its lock; a caller
+                # that waited out a recycle on the old lock would otherwise
+                # run on the fresh connection without holding its lock —
+                # two unserialized threads on one sqlite3 connection is a
+                # hard crash, not an error.
+                if lock is not self._lock:
+                    continue
                 outcome = self._execute_locked(sql, deadline)
             if (
                 outcome.status is ExecutionStatus.CONNECTION_ERROR
@@ -222,7 +230,14 @@ class SQLExecutor:
 
     def _recycle(self) -> None:
         """Replace the dead connection with a fresh one (bounded callers)."""
-        with self._lock:
+        lock = self._lock
+        with lock:
+            if lock is not self._lock:
+                # Another caller recycled while we waited: the connection
+                # under self._lock is already fresh.  Recycling it again
+                # here — holding the *old* lock — would close a connection
+                # that live statements are serialized on.
+                return
             try:
                 self._connection.close()
             except sqlite3.Error:

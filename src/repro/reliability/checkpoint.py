@@ -8,12 +8,17 @@ identical final :class:`~repro.evaluation.runner.EvalReport` as an
 uninterrupted one.
 
 The format is append-only and crash-tolerant: a line truncated by a kill
-mid-write is skipped on load and its example simply re-runs.
+mid-write — at the tail or, after filesystem reordering, in the middle of
+the file — is skipped on load and its example simply re-runs.  The opt-in
+``fsync_every_n`` flag adds power-loss durability: every n appends the
+file is fsync'd, bounding how many records a power cut (which can drop
+data the OS already buffered) may lose.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import asdict
 from pathlib import Path
@@ -81,8 +86,14 @@ def decode_cost(payload: dict) -> CostTracker:
 class EvalCheckpoint:
     """Append-only JSONL store of per-example evaluation records."""
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path], fsync_every_n: int = 0):
+        if fsync_every_n < 0:
+            raise ValueError("fsync_every_n must be >= 0")
         self.path = Path(path)
+        #: 0 (default) flushes to the OS only — kill-resilient; n > 0 also
+        #: fsyncs every n appends — power-loss-resilient at write cost
+        self.fsync_every_n = fsync_every_n
+        self._appends = 0
         self._records: dict[str, dict] = {}
         # Parallel evaluation workers append concurrently; the lock keeps
         # each JSONL line intact (no interleaved partial writes).
@@ -99,7 +110,7 @@ class EvalCheckpoint:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn tail write from a killed run
+                    continue  # torn write from a killed run (tail or mid-file)
                 qid = record.get("question_id")
                 if qid:
                     self._records[qid] = record
@@ -142,6 +153,9 @@ class EvalCheckpoint:
             with self.path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(record) + "\n")
                 handle.flush()
+                self._appends += 1
+                if self.fsync_every_n and self._appends % self.fsync_every_n == 0:
+                    os.fsync(handle.fileno())
         return record
 
     @staticmethod

@@ -19,7 +19,16 @@ package is the subsystem where requests share state.  It provides
 * :class:`HedgedExecutor` — one-backup hedging over SQL execution that
   recovers transient database faults and slow-query tails;
 * :class:`HealthMonitor` — windowed per-component health plus probes,
-  rolled into the snapshot a readiness endpoint would serve.
+  rolled into the snapshot a readiness endpoint would serve;
+* :class:`BackendPool` — N replicated LLM backends behind one client,
+  health-score routed with sticky-with-decay primary selection, automatic
+  failover and optional shadow comparison calls;
+* :class:`BulkheadRegistry` — per-database bounded sub-pools, independent
+  breaker state per ``db_id`` and a poison-pill quarantine for
+  (db_id, question) keys that crash repeatedly;
+* :class:`ServingJournal` — durable write-ahead JSONL of accepted /
+  committed requests with torn-line tolerance; :func:`recover_run`
+  replays a killed run to completion exactly once per request.
 
 Per-request deadlines (``ServingEngine(deadline_seconds=...)``) bound each
 request in virtual time; exhaustion degrades the answer with a typed
@@ -35,16 +44,30 @@ from repro.caching import (
     normalize_question,
 )
 from repro.serving.admission import (
+    DEFAULT_HEALTH_SHED,
     AdmissionController,
     AdmissionError,
     DrainingError,
+    HealthShedError,
     QueueFullError,
+)
+from repro.serving.backends import (
+    AllBackendsFailedError,
+    BackendPool,
+    BackendPoolStats,
+)
+from repro.serving.bulkhead import (
+    BulkheadFullError,
+    BulkheadRegistry,
+    DbCircuitOpenError,
+    QuarantinedError,
 )
 from repro.serving.engine import (
     CachingExtractor,
     CachingFewShotLibrary,
     ServingEngine,
 )
+from repro.serving.journal import ServingJournal, assemble_report, recover_run
 from repro.serving.health import HealthMonitor
 from repro.serving.hedging import HedgedExecutor, HedgeStats
 from repro.serving.latency import LatencySummary, percentile
@@ -54,22 +77,34 @@ from repro.serving.workload import zipf_weights, zipf_workload
 __all__ = [
     "AdmissionController",
     "AdmissionError",
+    "AllBackendsFailedError",
+    "BackendPool",
+    "BackendPoolStats",
+    "BulkheadFullError",
+    "BulkheadRegistry",
     "CacheStats",
     "CachingExtractor",
     "CachingFewShotLibrary",
+    "DEFAULT_HEALTH_SHED",
+    "DbCircuitOpenError",
     "DrainingError",
     "GoldResultCache",
     "HealthMonitor",
+    "HealthShedError",
     "HedgeStats",
     "HedgedExecutor",
     "LRUCache",
     "LatencySummary",
+    "QuarantinedError",
     "QueueFullError",
     "RequestRecord",
     "ServingEngine",
+    "ServingJournal",
     "ServingStats",
+    "assemble_report",
     "normalize_question",
     "percentile",
+    "recover_run",
     "zipf_weights",
     "zipf_workload",
 ]

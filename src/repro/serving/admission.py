@@ -13,7 +13,14 @@ away:
 * **budget** — the engine's request budget is spent →
   :class:`~repro.reliability.faults.BudgetExceededError`;
 * **draining** — the engine is shutting down gracefully and the gate has
-  been closed to new work → :class:`DrainingError`.
+  been closed to new work → :class:`DrainingError`;
+* **health shed** — a probabilistic early-warning channel: when the wired
+  :class:`~repro.serving.health.HealthMonitor` grade degrades, a fraction
+  of requests is shed *before* the circuit breaker trips →
+  :class:`HealthShedError`.  The breaker is a hard binary gate that only
+  opens after consecutive failures; the health shed bleeds load off a
+  sliding-window failure rate, so an instance under partial failure
+  degrades gradually instead of cliff-dropping.
 
 Closed-loop clients use ``admit(block=True)`` and wait for a slot;
 open-loop clients use ``block=False`` and count their sheds.
@@ -21,8 +28,9 @@ open-loop clients use ``block=False`` and count their sheds.
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Optional
+from typing import Callable, Mapping, Optional
 
 from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.faults import BudgetExceededError, CircuitOpenError
@@ -31,8 +39,15 @@ __all__ = [
     "AdmissionError",
     "QueueFullError",
     "DrainingError",
+    "HealthShedError",
     "AdmissionController",
+    "DEFAULT_HEALTH_SHED",
 ]
+
+#: shed probability per health grade — the default when health-aware
+#: shedding is enabled without an explicit schedule.  "healthy" requests
+#: are never shed by this channel.
+DEFAULT_HEALTH_SHED: dict[str, float] = {"degraded": 0.25, "unhealthy": 0.75}
 
 
 class AdmissionError(RuntimeError):
@@ -45,6 +60,10 @@ class QueueFullError(AdmissionError):
 
 class DrainingError(AdmissionError):
     """The gate is closed: the engine is draining toward shutdown."""
+
+
+class HealthShedError(AdmissionError):
+    """The request was shed because the health grade is degraded."""
 
 
 class AdmissionController:
@@ -61,18 +80,34 @@ class AdmissionController:
         capacity: int = 32,
         breaker: Optional[CircuitBreaker] = None,
         max_requests: Optional[int] = None,
+        health_grade: Optional[Callable[[], str]] = None,
+        health_shed_probability: Optional[Mapping[str, float]] = None,
+        seed: int = 0,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.breaker = breaker or CircuitBreaker()
         self.max_requests = max_requests
+        #: polled on each admit; returning "degraded"/"unhealthy" activates
+        #: the probabilistic shed channel (when a schedule is configured)
+        self.health_grade = health_grade
+        self.health_shed_probability = (
+            dict(health_shed_probability) if health_shed_probability else {}
+        )
+        for grade, probability in self.health_shed_probability.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"shed probability for {grade!r} must be in [0, 1]"
+                )
+        self._rng = random.Random(seed)
         self._cond = threading.Condition()
         self._pending = 0
         self.closed = False
         self.submitted = 0
         self.admitted = 0
         self.shed = 0
+        self.shed_health = 0
         self.rejected_open = 0
         self.rejected_budget = 0
         self.rejected_draining = 0
@@ -107,6 +142,15 @@ class AdmissionController:
                     "serving circuit open: recent pipeline failures exceeded "
                     f"threshold (state={self.breaker.state.value})"
                 )
+            if self.health_grade is not None and self.health_shed_probability:
+                grade = self.health_grade()
+                probability = self.health_shed_probability.get(grade, 0.0)
+                if probability and self._rng.random() < probability:
+                    self.shed_health += 1
+                    raise HealthShedError(
+                        f"request shed: health grade {grade!r} sheds at "
+                        f"p={probability}"
+                    )
             if self._pending >= self.capacity:
                 if not block:
                     self.shed += 1
@@ -164,6 +208,7 @@ class AdmissionController:
                 "submitted": self.submitted,
                 "admitted": self.admitted,
                 "shed": self.shed,
+                "shed_health": self.shed_health,
                 "rejected_open": self.rejected_open,
                 "rejected_budget": self.rejected_budget,
                 "rejected_draining": self.rejected_draining,

@@ -1,0 +1,309 @@
+"""Replicated LLM backends with health-aware routing and failover.
+
+One resilient transport (PR 1) survives a *flaky* backend; it cannot
+survive a *dead* one.  :class:`BackendPool` wraps N independent replicas —
+typically each a :class:`~repro.reliability.transport.ResilientLLM` around
+its own fault-injected client — behind the single
+:class:`~repro.llm.base.LLMClient` protocol, so the pipeline binds to the
+pool exactly as it would to one model:
+
+* **health-score routing** — every replica feeds success/failure
+  observations into a shared :class:`~repro.serving.health.HealthMonitor`
+  sliding window; a replica's score is ``1 - failure_rate`` over its
+  window, zeroed while its circuit breaker is open;
+* **sticky-with-decay primary** — the pool keeps serving from the current
+  primary while its score (plus a stickiness bonus that decays with each
+  consecutive primary failure) still beats the best alternative, so
+  routing does not flap on isolated faults but does move off a backend
+  that keeps failing;
+* **automatic failover** — when the chosen replica raises (its breaker is
+  open, its retries gave up on a timeout, the backend is down), the pool
+  records the failure and tries the next-healthiest replica in the same
+  call; the caller only sees an exception when *every* replica failed;
+* **shadow calls** — optionally every ``shadow_every``-th served call is
+  duplicated to the next-healthiest non-serving replica and the first
+  completion texts are compared into :class:`BackendPoolStats` (and the
+  ambient span), without ever affecting the served result.
+
+Accounting invariant (the failover bench certifies it): each successful
+``complete`` is served by exactly one replica, so the per-replica
+``served`` counts always sum to the pool's successful call count.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.llm.base import LLMClient, LLMResponse
+from repro.observability.context import add_event
+from repro.serving.health import HealthMonitor
+
+__all__ = ["AllBackendsFailedError", "BackendPoolStats", "BackendPool"]
+
+
+class AllBackendsFailedError(RuntimeError):
+    """Every replica in the pool failed the same call."""
+
+    def __init__(self, message: str, causes: Optional[list[Exception]] = None):
+        super().__init__(message)
+        self.causes = causes or []
+
+
+@dataclass
+class BackendPoolStats:
+    """What the pool did over its lifetime (thread-safe via the pool lock)."""
+
+    #: successful ``complete`` calls (each served by exactly one replica)
+    calls: int = 0
+    #: calls where every replica failed
+    exhausted: int = 0
+    #: replica index → calls it served
+    served: dict[int, int] = field(default_factory=dict)
+    #: replica index → failed attempts routed to it
+    errors: dict[int, int] = field(default_factory=dict)
+    #: intra-call replica switches after a failed attempt
+    failovers: int = 0
+    #: primary re-elections between calls (sticky primary moved)
+    primary_switches: int = 0
+    shadow_calls: int = 0
+    shadow_agreements: int = 0
+    shadow_disagreements: int = 0
+    shadow_errors: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready counters for stats reports and metrics collectors."""
+        return {
+            "calls": self.calls,
+            "exhausted": self.exhausted,
+            "served": {str(k): v for k, v in sorted(self.served.items())},
+            "errors": {str(k): v for k, v in sorted(self.errors.items())},
+            "failovers": self.failovers,
+            "primary_switches": self.primary_switches,
+            "shadow_calls": self.shadow_calls,
+            "shadow_agreements": self.shadow_agreements,
+            "shadow_disagreements": self.shadow_disagreements,
+            "shadow_errors": self.shadow_errors,
+        }
+
+
+class BackendPool:
+    """N replicas behind one LLMClient, routed by health score.
+
+    ``replicas`` are tried in health order; the first success is the
+    answer.  ``stickiness`` is the score bonus the current primary enjoys,
+    decayed by ``sticky_decay`` per consecutive primary failure (so a
+    healthy primary holds the route, a failing one loses it after a few
+    strikes even before its sliding window degrades).  ``shadow_every=k``
+    mirrors every k-th served call to a second replica for comparison
+    (0 disables shadowing).
+
+    Thread-safe: routing state, stats and the shared HealthMonitor are
+    guarded; the replica calls themselves run outside the lock (replicas
+    must be individually thread-safe, which ``ResilientLLM`` is).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[LLMClient],
+        health: Optional[HealthMonitor] = None,
+        stickiness: float = 0.15,
+        sticky_decay: float = 0.5,
+        shadow_every: int = 0,
+        window: int = 32,
+    ):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        if not 0.0 <= stickiness <= 1.0:
+            raise ValueError("stickiness must be in [0, 1]")
+        if not 0.0 <= sticky_decay <= 1.0:
+            raise ValueError("sticky_decay must be in [0, 1]")
+        if shadow_every < 0:
+            raise ValueError("shadow_every must be >= 0")
+        self.replicas = list(replicas)
+        self.health = health if health is not None else HealthMonitor(window=window)
+        self.stickiness = stickiness
+        self.sticky_decay = sticky_decay
+        self.shadow_every = shadow_every
+        self.stats = BackendPoolStats()
+        self.model_name = self.replicas[0].model_name
+        self._lock = threading.Lock()
+        self._primary = 0
+        self._primary_failures = 0
+        self._shadow_tick = 0
+
+    # ------------------------------------------------------------- routing
+
+    def component(self, index: int) -> str:
+        """The HealthMonitor component name of one replica."""
+        return f"backend:{index}"
+
+    def _breaker_open(self, index: int) -> bool:
+        breaker = getattr(self.replicas[index], "breaker", None)
+        state = getattr(breaker, "state", None)
+        return getattr(state, "value", None) == "open"
+
+    def score(self, index: int) -> float:
+        """One replica's routing score: ``1 - failure_rate``, 0 while its
+        breaker is open, 1 while unobserved."""
+        if self._breaker_open(index):
+            return 0.0
+        status = self.health.component_status(self.component(index))
+        if status is None:
+            return 1.0
+        return 1.0 - status["failure_rate"]
+
+    def _route_order(self) -> list[int]:
+        """Replica indexes to try, healthiest first, sticky primary bonus
+        applied.  Re-elects the primary when a rival's score beats the
+        primary's decayed sticky score."""
+        with self._lock:
+            primary = self._primary
+            bonus = self.stickiness * (self.sticky_decay ** self._primary_failures)
+        scored = []
+        for index in range(len(self.replicas)):
+            score = self.score(index)
+            if index == primary:
+                score += bonus
+            # ties break toward lower index, then toward the primary
+            scored.append((-score, index != primary, index))
+        scored.sort()
+        order = [index for _, _, index in scored]
+        if order[0] != primary:
+            with self._lock:
+                if self._primary == primary:  # nobody re-elected meanwhile
+                    self._primary = order[0]
+                    self._primary_failures = 0
+                    self.stats.primary_switches += 1
+            add_event("backend_primary_switch", previous=primary, now=order[0])
+        return order
+
+    def _record_outcome(self, index: int, ok: bool, detail: str = "") -> None:
+        self.health.record(self.component(index), ok, detail=detail)
+        with self._lock:
+            if ok:
+                self.stats.served[index] = self.stats.served.get(index, 0) + 1
+                if index == self._primary:
+                    self._primary_failures = 0
+            else:
+                self.stats.errors[index] = self.stats.errors.get(index, 0) + 1
+                if index == self._primary:
+                    self._primary_failures += 1
+
+    # ------------------------------------------------------------- shadows
+
+    def _maybe_shadow(
+        self,
+        served_index: int,
+        order: list[int],
+        served: list[LLMResponse],
+        prompt: str,
+        temperature: float,
+        n: int,
+        task: Optional[object],
+    ) -> None:
+        if self.shadow_every <= 0 or len(self.replicas) < 2:
+            return
+        with self._lock:
+            self._shadow_tick += 1
+            if self._shadow_tick % self.shadow_every != 0:
+                return
+            self.stats.shadow_calls += 1
+        shadow_index = next(
+            (index for index in order if index != served_index), None
+        )
+        if shadow_index is None:  # pragma: no cover - len >= 2 guarantees one
+            return
+        try:
+            shadow = self.replicas[shadow_index].complete(
+                prompt, temperature=temperature, n=n, task=task
+            )
+        except Exception as exc:  # noqa: BLE001 — shadow must never hurt
+            with self._lock:
+                self.stats.shadow_errors += 1
+            add_event(
+                "backend_shadow_error",
+                replica=shadow_index,
+                error=type(exc).__name__,
+            )
+            return
+        agree = bool(shadow) and bool(served) and shadow[0].text == served[0].text
+        with self._lock:
+            if agree:
+                self.stats.shadow_agreements += 1
+            else:
+                self.stats.shadow_disagreements += 1
+        add_event(
+            "backend_shadow_compare",
+            served_replica=served_index,
+            shadow_replica=shadow_index,
+            agree=agree,
+        )
+
+    # ----------------------------------------------------------------- API
+
+    def complete(
+        self,
+        prompt: str,
+        *,
+        temperature: float = 0.0,
+        n: int = 1,
+        task: Optional[object] = None,
+    ) -> list[LLMResponse]:
+        """Serve one completion from the healthiest willing replica."""
+        order = self._route_order()
+        causes: list[Exception] = []
+        for position, index in enumerate(order):
+            try:
+                responses = self.replicas[index].complete(
+                    prompt, temperature=temperature, n=n, task=task
+                )
+            except Exception as exc:  # noqa: BLE001 — replica boundary
+                causes.append(exc)
+                self._record_outcome(index, False, detail=f"{type(exc).__name__}: {exc}")
+                if position + 1 < len(order):
+                    with self._lock:
+                        self.stats.failovers += 1
+                    add_event(
+                        "backend_failover",
+                        from_replica=index,
+                        to_replica=order[position + 1],
+                        cause=type(exc).__name__,
+                    )
+                continue
+            self._record_outcome(index, True)
+            with self._lock:
+                self.stats.calls += 1
+            self._maybe_shadow(
+                index, order, responses, prompt, temperature, n, task
+            )
+            return responses
+        with self._lock:
+            self.stats.exhausted += 1
+        add_event("backend_pool_exhausted", attempts=len(order))
+        raise AllBackendsFailedError(
+            f"all {len(order)} backends failed "
+            f"(last: {type(causes[-1]).__name__}: {causes[-1]})",
+            causes=causes,
+        )
+
+    def snapshot(self) -> dict:
+        """Routing state + per-replica health, for probes and metrics."""
+        with self._lock:
+            primary = self._primary
+            failures = self._primary_failures
+        replicas = {}
+        for index in range(len(self.replicas)):
+            status = self.health.component_status(self.component(index))
+            replicas[str(index)] = {
+                "score": round(self.score(index), 4),
+                "breaker_open": self._breaker_open(index),
+                "health": status["status"] if status else "unobserved",
+            }
+        return {
+            "primary": primary,
+            "primary_consecutive_failures": failures,
+            "replicas": replicas,
+            **self.stats.to_dict(),
+        }

@@ -46,8 +46,16 @@ from repro.reliability.deadline import Deadline
 from repro.reliability.faults import BudgetExceededError, CircuitOpenError
 from repro.serving.admission import AdmissionController, AdmissionError
 from repro.caching import LRUCache, normalize_question
+from repro.serving.backends import BackendPool
+from repro.serving.bulkhead import (
+    BulkheadFullError,
+    BulkheadRegistry,
+    DbCircuitOpenError,
+    QuarantinedError,
+)
 from repro.serving.health import HealthMonitor
 from repro.serving.hedging import HedgedExecutor, HedgeStats
+from repro.serving.journal import ServingJournal
 from repro.serving.latency import LatencySummary
 from repro.serving.stats import RequestRecord, ServingStats
 
@@ -143,6 +151,11 @@ class ServingEngine:
         hedge_threshold: Optional[float] = None,
         tracing: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        db_max_inflight: Optional[int] = None,
+        quarantine_threshold: int = 3,
+        journal: Optional[ServingJournal] = None,
+        backends: Optional[BackendPool] = None,
+        health_shed: Optional[dict] = None,
         clock=time.perf_counter,
     ):
         if workers < 1:
@@ -155,10 +168,24 @@ class ServingEngine:
         self.tracing = tracing
         self.metrics = metrics
         self._clock = clock
+        # The health monitor exists before admission so the controller can
+        # poll the pipeline component's grade on every admit.  Shedding is
+        # keyed to the *pipeline* grade specifically: deadline pressure is
+        # an intentional degradation (truncated answers still serve), but
+        # pipeline failures predict breaker trips — shed before the cliff.
+        self.health = HealthMonitor()
+        self.journal = journal
+        self.backends = backends
+        self.bulkheads = BulkheadRegistry(
+            max_inflight=db_max_inflight,
+            quarantine_threshold=quarantine_threshold,
+        )
         self.admission = AdmissionController(
             capacity=queue_capacity,
             breaker=breaker or CircuitBreaker(failure_threshold=5, cooldown_calls=8),
             max_requests=max_requests,
+            health_grade=lambda: self.health.component_grade("pipeline"),
+            health_shed_probability=health_shed,
         )
         self.result_cache = LRUCache(result_cache_size, ttl=result_cache_ttl)
         self.extraction_cache = LRUCache(extraction_cache_size)
@@ -191,7 +218,6 @@ class ServingEngine:
                 )
 
             pipeline.set_executor_wrapper(_hedged)
-        self.health = HealthMonitor()
         self.health.register_probe(
             "breaker", lambda: {"state": self.admission.breaker.state.value}
         )
@@ -206,6 +232,8 @@ class ServingEngine:
         )
         if self.hedge_stats is not None:
             self.health.register_probe("hedging", self.hedge_stats.to_dict)
+        if self.backends is not None:
+            self.health.register_probe("backends", self.backends.snapshot)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="serving"
         )
@@ -233,12 +261,26 @@ class ServingEngine:
                 "repro_serving_model_seconds_total",
                 "simulated model decode seconds across all requests",
             )
+            self._m_quarantine = metrics.counter(
+                "repro_serving_quarantine_total",
+                "(db_id, question) keys quarantined after consecutive crashes",
+            )
+            self._m_bulkhead_rejections = metrics.counter(
+                "repro_serving_bulkhead_rejections_total",
+                "requests rejected at the per-database bulkhead",
+                labelnames=("channel",),
+            )
             # The free-floating stats objects surface in the unified export
             # via collectors — their accounting is untouched.
             metrics.register_collector("serving", lambda: self.stats().to_dict())
             metrics.register_collector("health", self.health.snapshot)
+            metrics.register_collector("bulkheads", self.bulkheads.to_dict)
             if self.hedge_stats is not None:
                 metrics.register_collector("hedging", self.hedge_stats.to_dict)
+            if self.backends is not None:
+                metrics.register_collector("backends", self.backends.snapshot)
+            if self.journal is not None:
+                metrics.register_collector("journal", self.journal.stats_dict)
 
     # ------------------------------------------------------------ requests
 
@@ -246,6 +288,11 @@ class ServingEngine:
         """Admit and enqueue one request; returns a Future.
 
         Raises :class:`~repro.serving.admission.QueueFullError` (shed),
+        :class:`~repro.serving.admission.HealthShedError` (degraded
+        health grade), a bulkhead rejection
+        (:class:`~repro.serving.bulkhead.BulkheadFullError` /
+        :class:`~repro.serving.bulkhead.DbCircuitOpenError` /
+        :class:`~repro.serving.bulkhead.QuarantinedError`),
         :class:`~repro.reliability.faults.CircuitOpenError` or
         :class:`~repro.reliability.faults.BudgetExceededError` when the
         request is not admitted.  ``block=True`` waits for a queue slot
@@ -253,14 +300,35 @@ class ServingEngine:
         """
         if self._closed:
             raise RuntimeError("engine is shut down")
-        self.admission.admit(block=block)
+        key = (example.db_id, normalize_question(example.question))
+        # The bulkhead gate runs first: a quarantined key or a saturated
+        # database must not consume a shared queue slot (or count as
+        # admitted) before being turned away.
+        try:
+            self.bulkheads.acquire(example.db_id, key, block=block)
+        except (BulkheadFullError, DbCircuitOpenError, QuarantinedError) as exc:
+            if self.metrics is not None:
+                channel = {
+                    BulkheadFullError: "full",
+                    DbCircuitOpenError: "open",
+                    QuarantinedError: "quarantined",
+                }[type(exc)]
+                self._m_bulkhead_rejections.labels(channel=channel).inc()
+            raise
+        try:
+            self.admission.admit(block=block)
+        except BaseException:
+            self.bulkheads.release(example.db_id)
+            raise
         with self._stats_lock:
             if self._started_at is None:
                 self._started_at = self._clock()
+        seq = self.journal.accept(example) if self.journal is not None else None
         try:
-            return self._pool.submit(self._handle, example)
+            return self._pool.submit(self._handle, example, seq)
         except BaseException:
             self.admission.release()
+            self.bulkheads.release(example.db_id)
             raise
 
     def answer(self, example: Example) -> PipelineResult:
@@ -294,7 +362,7 @@ class ServingEngine:
 
     # ------------------------------------------------------------- handler
 
-    def _handle(self, example: Example) -> PipelineResult:
+    def _handle(self, example: Example, seq: Optional[int] = None) -> PipelineResult:
         start = self._clock()
         key = (example.db_id, normalize_question(example.question))
         trace = (
@@ -309,6 +377,9 @@ class ServingEngine:
                     trace.root.cache = "hit"
                     trace.root.event("result_cache", outcome="hit")
                     self._store_trace(trace.finish())
+                self.bulkheads.record_success(example.db_id, key)
+                if self.journal is not None and seq is not None:
+                    self.journal.commit(seq, "cached")
                 self._record(example, "cached", start, model_seconds=0.0)
                 return cached
             if trace is not None:
@@ -328,6 +399,18 @@ class ServingEngine:
             except Exception as exc:
                 self.admission.record_failure()
                 self.health.record("pipeline", False, detail=str(exc))
+                if self.bulkheads.record_crash(example.db_id, key):
+                    add_event(
+                        "quarantine",
+                        db_id=example.db_id,
+                        question_id=example.question_id,
+                    )
+                    if self.metrics is not None:
+                        self._m_quarantine.inc()
+                if self.journal is not None and seq is not None:
+                    self.journal.commit(
+                        seq, "failed", error=f"{type(exc).__name__}: {exc}"
+                    )
                 if trace is not None:
                     trace.root.status = "failed"
                     trace.root.event("request_failed", error=str(exc))
@@ -339,6 +422,7 @@ class ServingEngine:
                 self._store_trace(trace)
             self.admission.record_success()
             self.health.record("pipeline", True)
+            self.bulkheads.record_success(example.db_id, key)
             exceeded = result.deadline_exceeded
             self.health.record("deadline", not exceeded)
             if not exceeded:
@@ -346,6 +430,8 @@ class ServingEngine:
                 # caching it would keep serving the degradation after
                 # load subsides
                 self.result_cache.put(key, result)
+            if self.journal is not None and seq is not None:
+                self.journal.commit(seq, "ok", result=result)
             self._record(
                 example,
                 "ok",
@@ -355,6 +441,7 @@ class ServingEngine:
             )
             return result
         finally:
+            self.bulkheads.release(example.db_id)
             self.admission.release()
 
     def _record(
@@ -445,17 +532,27 @@ class ServingEngine:
             started = self._started_at
             finished = self._finished_at
         admission = self.admission.to_dict()
+        bulkheads = self.bulkheads.to_dict()
+        bulkhead_rejected = (
+            bulkheads["rejected_full"]
+            + bulkheads["rejected_open"]
+            + bulkheads["rejected_quarantined"]
+        )
         finished_records = [r for r in records if r.status != "failed"]
         return ServingStats(
             workers=self.workers,
-            submitted=admission["submitted"],
+            # bulkhead rejections happen before the admission gate, so the
+            # client-visible submitted total is the sum of both layers
+            submitted=admission["submitted"] + bulkhead_rejected,
             admitted=admission["admitted"],
             completed=len(finished_records),
             failed=sum(1 for r in records if r.status == "failed"),
             shed=admission["shed"],
+            shed_health=admission["shed_health"],
             rejected_open=admission["rejected_open"],
             rejected_budget=admission["rejected_budget"],
             rejected_draining=admission["rejected_draining"],
+            rejected_bulkhead=bulkhead_rejected,
             result_hits=sum(1 for r in records if r.cache_hit),
             deadline_exceeded=sum(1 for r in records if r.deadline_exceeded),
             breaker_state=admission["breaker_state"],
@@ -466,6 +563,8 @@ class ServingEngine:
             },
             hedge=self.hedge_stats.to_dict() if self.hedge_stats else {},
             health=self.health.snapshot(),
+            bulkheads=bulkheads,
+            backends=self.backends.snapshot() if self.backends else {},
             latency=LatencySummary.from_values(
                 [r.service_seconds for r in finished_records]
             ),

@@ -95,6 +95,15 @@ class HealthMonitor:
             payload["last_failure"] = detail
         return payload
 
+    def component_grade(self, component: str) -> str:
+        """One component's grade alone — ``"healthy"`` when unobserved.
+
+        The cheap form admission control polls on every request: no probe
+        sampling, no dict building beyond :meth:`component_status`.
+        """
+        status = self.component_status(component)
+        return status["status"] if status is not None else "healthy"
+
     def snapshot(self) -> dict:
         """Full health report: overall grade, components and probe state."""
         with self._lock:

@@ -1,0 +1,357 @@
+"""Durable write-ahead journal for the serving path.
+
+A serving process can die at any instruction — OOM-killed, SIGKILLed by an
+orchestrator, power loss.  The journal makes a serve-bench run *crash
+recoverable*: the engine appends one JSONL record when a request is
+**accepted** (before any work) and one when its result is **committed**
+(after the pipeline answered), so after a crash :func:`recover_run` can
+replay committed results from disk and re-run exactly the uncommitted
+requests — and, because every pipeline draw derives from per-call hashed
+seeds, the recovered run is *bit-identical* to an uninterrupted one.
+
+Record grammar (one JSON object per line, append-only)::
+
+    {"type": "header", "version": 1, "config": {...workload parameters...}}
+    {"type": "accepted",  "seq": 7, "question_id": ..., "db_id": ...}
+    {"type": "committed", "seq": 7, "status": "ok"|"cached"|"failed",
+     "result": {final_sql, generation_sql, refined_sql, degradations},
+     "cost": {stage: {...}}, "error": null}
+
+Durability properties:
+
+* **torn-line tolerance** — a line truncated by a kill mid-write (at the
+  tail *or*, after filesystem reordering, mid-file) is skipped on load;
+  its request simply counts as uncommitted and re-runs;
+* **exactly-once replay** — a committed seq is never re-run, an
+  uncommitted seq is re-run exactly once per recovery (and committing it
+  makes later recoveries no-ops), so repeated ``repro recover`` calls are
+  idempotent;
+* **double-count-proof costs** — each seq contributes its cost to the
+  recovered report exactly once: committed seqs from their stored
+  :class:`~repro.core.cost.CostTracker`, re-run seqs from the fresh
+  execution, cache-hit seqs as zero (in the original run *and* in
+  recovery, which warms its result cache from committed records so the
+  hit pattern matches).
+
+``fsync_every_n`` forces an ``os.fsync`` every n appends for power-loss
+semantics (0 = flush only, the default — kill-resilient, not
+power-loss-resilient).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.caching import LRUCache, normalize_question
+from repro.core.cost import CostTracker
+from repro.core.pipeline import OpenSearchSQL, PipelineResult
+from repro.datasets.types import Example
+from repro.reliability.checkpoint import decode_cost, encode_cost
+from repro.reliability.deadline import Deadline
+from repro.reliability.degradation import DegradationEvent
+
+__all__ = ["JOURNAL_VERSION", "ServingJournal", "recover_run", "assemble_report"]
+
+JOURNAL_VERSION = 1
+
+
+class ServingJournal:
+    """Append-only JSONL journal of accepted/committed serving requests."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync_every_n: int = 0,
+        on_commit: Optional[Callable[[int], None]] = None,
+    ):
+        if fsync_every_n < 0:
+            raise ValueError("fsync_every_n must be >= 0")
+        self.path = Path(path)
+        self.fsync_every_n = fsync_every_n
+        #: called with the cumulative commit count after each commit line
+        #: reaches the OS — the hook the kill-after harness uses to
+        #: SIGKILL the process at a deterministic journal position
+        self.on_commit = on_commit
+        self._lock = threading.Lock()
+        self._appends = 0
+        self._commits = 0
+        self._next_seq = 0
+        self.config: dict = {}
+        self._accepted: dict[int, dict] = {}
+        self._committed: dict[int, dict] = {}
+        if self.path.exists():
+            self._load()
+
+    # -------------------------------------------------------------- loading
+
+    def _load(self) -> None:
+        with self.path.open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a killed run
+                kind = record.get("type")
+                if kind == "header":
+                    self.config = record.get("config", {})
+                elif kind == "accepted":
+                    self._accepted[record["seq"]] = record
+                elif kind == "committed":
+                    self._committed[record["seq"]] = record
+        if self._accepted or self._committed:
+            self._next_seq = 1 + max([*self._accepted, *self._committed])
+
+    # ------------------------------------------------------------ appending
+
+    def _append(self, record: dict) -> None:
+        """Write one line; must be called with the lock held."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            self._appends += 1
+            if self.fsync_every_n and self._appends % self.fsync_every_n == 0:
+                os.fsync(handle.fileno())
+
+    def write_header(self, config: dict) -> None:
+        """Record the run's workload parameters (idempotent per journal)."""
+        with self._lock:
+            if self.config:
+                return
+            self.config = dict(config)
+            self._append(
+                {"type": "header", "version": JOURNAL_VERSION, "config": self.config}
+            )
+
+    def accept(self, example: Example, seq: Optional[int] = None) -> int:
+        """Journal one accepted request and return its sequence number.
+
+        Without ``seq`` the journal assigns the next monotone number —
+        which equals the workload index when one client thread submits the
+        workload in order.  Recovery passes explicit seqs so re-run
+        requests land on their original positions.
+        """
+        with self._lock:
+            if seq is None:
+                seq = self._next_seq
+            record = {
+                "type": "accepted",
+                "seq": seq,
+                "question_id": example.question_id,
+                "db_id": example.db_id,
+            }
+            self._accepted[seq] = record
+            self._next_seq = max(self._next_seq, seq + 1)
+            self._append(record)
+            return seq
+
+    def commit(
+        self,
+        seq: int,
+        status: str,
+        result: Optional[PipelineResult] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Journal one request's terminal outcome.
+
+        ``status="cached"`` commits with zero cost (a result-tier hit did
+        no model work); ``"ok"`` stores the SQL observables + the request's
+        cost; ``"failed"`` stores the error (the request will *not* be
+        re-run on recovery — its failure is part of the run's history).
+        """
+        record: dict = {"type": "committed", "seq": seq, "status": status,
+                        "error": error}
+        if status == "ok" and result is not None:
+            record["result"] = {
+                "question_id": result.question_id,
+                "final_sql": result.final_sql,
+                "generation_sql": result.generation_sql,
+                "refined_sql": result.refined_sql,
+                "degradations": [e.to_dict() for e in result.degradations],
+            }
+            record["cost"] = encode_cost(result.cost)
+        with self._lock:
+            self._committed[seq] = record
+            self._append(record)
+            self._commits += 1
+            commits = self._commits
+        if self.on_commit is not None:
+            self.on_commit(commits)
+
+    # ------------------------------------------------------------ reporting
+
+    def __len__(self) -> int:
+        return len(self._committed)
+
+    def committed(self, seq: int) -> Optional[dict]:
+        """The committed record for one seq, or None."""
+        with self._lock:
+            return self._committed.get(seq)
+
+    def stats_dict(self) -> dict:
+        """JSON-ready accounting for metrics collectors."""
+        with self._lock:
+            accepted = len(self._accepted)
+            committed = len(self._committed)
+            pending = len(set(self._accepted) - set(self._committed))
+        return {
+            "path": str(self.path),
+            "accepted": accepted,
+            "committed": committed,
+            "pending": pending,
+            "fsync_every_n": self.fsync_every_n,
+        }
+
+    def pending(self) -> list[int]:
+        """Accepted-but-uncommitted seqs (in order)."""
+        with self._lock:
+            return sorted(set(self._accepted) - set(self._committed))
+
+    @staticmethod
+    def decode_result(record: dict) -> tuple[Optional[PipelineResult], CostTracker]:
+        """Reconstruct the scoreable slice of a committed "ok" record."""
+        payload = record.get("result")
+        if payload is None:
+            return None, CostTracker()
+        cost = decode_cost(record.get("cost") or {})
+        result = PipelineResult(
+            question_id=payload["question_id"],
+            final_sql=payload["final_sql"],
+            generation_sql=payload.get("generation_sql"),
+            refined_sql=payload.get("refined_sql"),
+            cost=cost,
+            degradations=[
+                DegradationEvent.from_dict(d)
+                for d in payload.get("degradations", [])
+            ],
+        )
+        return result, cost
+
+
+def recover_run(
+    journal: ServingJournal,
+    pipeline: OpenSearchSQL,
+    workload: list[Example],
+    result_cache_size: int = 512,
+    deadline_seconds: Optional[float] = None,
+) -> list[tuple[str, Optional[PipelineResult], CostTracker, Optional[str]]]:
+    """Replay a journaled run to completion, exactly once per request.
+
+    Walks the workload in sequence order: committed seqs are replayed from
+    the journal (their result also warms the recovery result cache, so a
+    later duplicate hits the cache exactly as it did — or would have — in
+    the original run); uncommitted seqs are served fresh against the
+    deterministic pipeline and committed, making recovery idempotent.
+
+    Returns one ``(status, result, cost, error)`` tuple per workload
+    position — the deterministic inputs a report builder needs.  Crashed
+    requests (committed ``"failed"`` or a fresh raise) carry ``None``
+    results, mirroring ``ServingEngine.run``.
+    """
+    # size 0 disables the tier (every get misses), matching the engine's
+    # --no-cache semantics so recovery mirrors the original hit pattern
+    cache = LRUCache(result_cache_size)
+    outcomes: list[tuple[str, Optional[PipelineResult], CostTracker, Optional[str]]] = []
+    for seq, example in enumerate(workload):
+        key = (example.db_id, normalize_question(example.question))
+        record = journal.committed(seq)
+        if record is not None:
+            status = record.get("status", "ok")
+            if status == "failed":
+                outcomes.append(("failed", None, CostTracker(), record.get("error")))
+                continue
+            result, cost = ServingJournal.decode_result(record)
+            if status == "cached":
+                hit = cache.get(key)
+                # serve the warmed original when available; the SQL
+                # observables are identical either way
+                outcomes.append(("cached", hit if hit is not None else result,
+                                 CostTracker(), None))
+                continue
+            if result is not None and not result.deadline_exceeded:
+                cache.put(key, result)
+            outcomes.append(("ok", result, cost, None))
+            continue
+
+        # Uncommitted: serve fresh, mirroring the engine's cache semantics.
+        hit = cache.get(key)
+        if hit is not None:
+            journal.accept(example, seq=seq)
+            journal.commit(seq, "cached")
+            outcomes.append(("cached", hit, CostTracker(), None))
+            continue
+        journal.accept(example, seq=seq)
+        deadline = (
+            Deadline(deadline_seconds) if deadline_seconds is not None else None
+        )
+        try:
+            result = pipeline.answer(example, deadline=deadline)
+        except Exception as exc:  # noqa: BLE001 — containment boundary
+            error = f"{type(exc).__name__}: {exc}"
+            journal.commit(seq, "failed", error=error)
+            outcomes.append(("failed", None, CostTracker(), error))
+            continue
+        journal.commit(seq, "ok", result=result)
+        if not result.deadline_exceeded:
+            cache.put(key, result)
+        outcomes.append(("ok", result, result.cost, None))
+    return outcomes
+
+
+def assemble_report(
+    outcomes: list[tuple[str, Optional[PipelineResult], CostTracker, Optional[str]]],
+    workload: list[Example],
+    pipeline: OpenSearchSQL,
+    name: str = "journaled",
+    gold_cache=None,
+):
+    """Score :func:`recover_run` outcomes into an ``EvalReport``.
+
+    Both the uninterrupted and the recovered serve-bench paths build their
+    report through this one function (the uninterrupted run's complete
+    journal replays without re-running anything), so a crash-recovery
+    certification compares two documents produced by identical code.
+    Cached outcomes contribute zero cost — in the original run they did no
+    model work, and the journal committed them as such.
+    """
+    # Function-local imports: repro.serving must stay importable without
+    # pulling the evaluation package in (which imports serving.latency).
+    from repro.caching import GoldResultCache
+    from repro.evaluation.metrics import score_example
+    from repro.evaluation.runner import EvalReport, _error_score
+
+    report = EvalReport(system=name)
+    gold = gold_cache if gold_cache is not None else GoldResultCache()
+    for example, (status, result, cost, error) in zip(workload, outcomes):
+        if status == "failed" or result is None:
+            score = _error_score(example, error or "request failed")
+            report.scores.append(score)
+            report.generation_scores.append(score)
+            report.refined_scores.append(score)
+            report.latencies.append(0.0)
+            continue
+        executor = pipeline.executor(example.db_id)
+        gold_outcome = gold.outcome(example, executor)
+        report.scores.append(
+            score_example(example, result.final_sql, executor, gold_outcome)
+        )
+        report.generation_scores.append(
+            score_example(example, result.generation_sql, executor, gold_outcome)
+        )
+        report.refined_scores.append(
+            score_example(example, result.refined_sql, executor, gold_outcome)
+        )
+        report.latencies.append(cost.total_model_seconds)
+        report.cost.merge(cost)
+        for event in result.degradations:
+            report.degradations.append(
+                {"question_id": example.question_id, **event.to_dict()}
+            )
+    return report

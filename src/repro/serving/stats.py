@@ -57,9 +57,13 @@ class ServingStats:
     completed: int = 0
     failed: int = 0
     shed: int = 0
+    #: probabilistic sheds from a degraded/unhealthy pipeline health grade
+    shed_health: int = 0
     rejected_open: int = 0
     rejected_budget: int = 0
     rejected_draining: int = 0
+    #: per-database bulkhead rejections (full + db-circuit-open + quarantined)
+    rejected_bulkhead: int = 0
     result_hits: int = 0
     #: completed requests whose deadline truncated pipeline work
     deadline_exceeded: int = 0
@@ -70,6 +74,10 @@ class ServingStats:
     hedge: dict = field(default_factory=dict)
     #: HealthMonitor.snapshot() payload (empty when not wired)
     health: dict = field(default_factory=dict)
+    #: BulkheadRegistry.to_dict() payload (per-db accounting + quarantine)
+    bulkheads: dict = field(default_factory=dict)
+    #: BackendPool.snapshot() payload (empty when serving a single backend)
+    backends: dict = field(default_factory=dict)
     latency: LatencySummary = field(default_factory=LatencySummary)
     #: busiest worker's accumulated virtual service seconds
     makespan_seconds: float = 0.0
@@ -104,9 +112,11 @@ class ServingStats:
             "completed": self.completed,
             "failed": self.failed,
             "shed": self.shed,
+            "shed_health": self.shed_health,
             "rejected_open": self.rejected_open,
             "rejected_budget": self.rejected_budget,
             "rejected_draining": self.rejected_draining,
+            "rejected_bulkhead": self.rejected_bulkhead,
             "result_hits": self.result_hits,
             "result_hit_rate": round(self.result_hit_rate, 4),
             "deadline_exceeded": self.deadline_exceeded,
@@ -114,6 +124,8 @@ class ServingStats:
             "cache_tiers": dict(self.cache_tiers),
             "hedge": dict(self.hedge),
             "health": dict(self.health),
+            "bulkheads": dict(self.bulkheads),
+            "backends": dict(self.backends),
             "latency": self.latency.to_dict(),
             "makespan_seconds": round(self.makespan_seconds, 3),
             "throughput_rps": round(self.throughput_rps, 4),
@@ -127,8 +139,10 @@ class ServingStats:
             f"workers     : {self.workers}",
             f"requests    : {self.submitted} submitted / {self.admitted} admitted"
             f" / {self.completed} completed / {self.failed} failed",
-            f"rejections  : {self.shed} shed, {self.rejected_open} circuit-open,"
-            f" {self.rejected_budget} budget, {self.rejected_draining} draining",
+            f"rejections  : {self.shed} shed, {self.shed_health} health-shed,"
+            f" {self.rejected_open} circuit-open,"
+            f" {self.rejected_budget} budget, {self.rejected_draining} draining,"
+            f" {self.rejected_bulkhead} bulkhead",
             f"deadlines   : {self.deadline_exceeded} exceeded (degraded, not failed)",
             f"breaker     : {self.breaker_state}",
             f"throughput  : {self.throughput_rps:.3f} req/s (virtual),"
@@ -151,4 +165,15 @@ class ServingStats:
             )
         if self.health:
             lines.append(f"health      : {self.health.get('status', 'unknown')}")
+        if self.bulkheads and self.bulkheads.get("quarantined"):
+            roster = ", ".join(sorted(self.bulkheads["quarantined"]))
+            lines.append(f"quarantine  : {roster}")
+        if self.backends:
+            served = self.backends.get("served", {})
+            lines.append(
+                f"backends    : primary {self.backends.get('primary', 0)},"
+                f" served {sum(served.values())} across {len(served)} replicas,"
+                f" {self.backends.get('failovers', 0)} failovers,"
+                f" {self.backends.get('exhausted', 0)} exhausted"
+            )
         return "\n".join(lines)

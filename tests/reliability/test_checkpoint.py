@@ -6,6 +6,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 
+import pytest
 
 from repro.core.cost import CostTracker
 from repro.evaluation.metrics import ExampleScore
@@ -148,6 +149,33 @@ class TestCheckpointFile:
         record = json.loads(path.read_text().splitlines()[0])
         assert record["question_id"] == "q1"
         assert "version" in record
+
+    def test_torn_line_in_the_middle_skipped(self, tmp_path):
+        # a torn write is usually the tail, but a crash during a buffered
+        # multi-line flush can leave the damage mid-file: every intact
+        # record around it must survive the reload
+        path = tmp_path / "run.jsonl"
+        checkpoint = EvalCheckpoint(path)
+        for question_id in ("q1", "q2", "q3"):
+            checkpoint.record_example(question_id)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        reloaded = EvalCheckpoint(path)
+        assert len(reloaded) == 2
+        assert "q1" in reloaded and "q3" in reloaded
+        assert "q2" not in reloaded
+
+    def test_fsync_every_n_flushes_and_keeps_recording(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        checkpoint = EvalCheckpoint(path, fsync_every_n=2)
+        for question_id in ("q1", "q2", "q3", "q4", "q5"):
+            checkpoint.record_example(question_id)
+        assert len(EvalCheckpoint(path)) == 5
+
+    def test_fsync_every_n_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            EvalCheckpoint(tmp_path / "run.jsonl", fsync_every_n=-1)
 
 
 class TestErrorIsolation:

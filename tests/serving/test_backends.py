@@ -1,0 +1,171 @@
+"""BackendPool: health-score routing, sticky primary, failover, shadows.
+
+All tests drive the pool with scriptable fake replicas — routing behaviour
+is independent of what the replicas actually compute.
+"""
+
+import pytest
+
+from repro.llm.base import LLMResponse
+from repro.reliability.breaker import CircuitBreaker
+from repro.serving import AllBackendsFailedError, BackendPool
+from repro.serving.health import HealthMonitor
+
+
+class FakeReplica:
+    """Scriptable LLMClient: fails while ``failing`` is True."""
+
+    def __init__(self, name, failing=False):
+        self.model_name = name
+        self.failing = failing
+        self.calls = 0
+
+    def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+        self.calls += 1
+        if self.failing:
+            raise TimeoutError(f"{self.model_name} down")
+        return [LLMResponse(text=f"answer from {self.model_name}")]
+
+
+def make_pool(n=3, failing=(), **kwargs):
+    replicas = [FakeReplica(f"m{i}", failing=i in failing) for i in range(n)]
+    return BackendPool(replicas, **kwargs), replicas
+
+
+class TestRouting:
+    def test_requires_a_replica(self):
+        with pytest.raises(ValueError):
+            BackendPool([])
+
+    def test_healthy_primary_serves_everything(self):
+        pool, replicas = make_pool(3)
+        for _ in range(5):
+            assert pool.complete("q")[0].text == "answer from m0"
+        assert replicas[0].calls == 5
+        assert replicas[1].calls == 0
+        assert pool.stats.served == {0: 5}
+        assert pool.stats.failovers == 0
+
+    def test_served_counts_sum_to_calls(self):
+        pool, _ = make_pool(3, failing={0})
+        for _ in range(4):
+            pool.complete("q")
+        assert sum(pool.stats.served.values()) == pool.stats.calls == 4
+
+    def test_unobserved_replicas_score_one(self):
+        pool, _ = make_pool(2)
+        assert pool.score(0) == 1.0
+        assert pool.score(1) == 1.0
+
+
+class TestFailover:
+    def test_fails_over_to_next_replica_in_same_call(self):
+        pool, _ = make_pool(3, failing={0})
+        responses = pool.complete("q")
+        assert responses[0].text == "answer from m1"
+        assert pool.stats.failovers == 1
+        assert pool.stats.errors == {0: 1}
+        assert pool.stats.served == {1: 1}
+
+    def test_all_replicas_failing_raises_with_causes(self):
+        pool, _ = make_pool(2, failing={0, 1})
+        with pytest.raises(AllBackendsFailedError) as info:
+            pool.complete("q")
+        assert len(info.value.causes) == 2
+        assert pool.stats.exhausted == 1
+        assert pool.stats.calls == 0
+
+    def test_failures_feed_the_shared_health_monitor(self):
+        health = HealthMonitor(window=8)
+        pool, _ = make_pool(2, failing={0}, health=health)
+        pool.complete("q")
+        assert health.component_status("backend:0")["failure_rate"] == 1.0
+        assert health.component_status("backend:1")["status"] == "healthy"
+
+    def test_breaker_open_zeroes_the_score(self):
+        pool, replicas = make_pool(2)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_calls=10)
+        breaker.record_failure()
+        replicas[0].breaker = breaker
+        assert pool.score(0) == 0.0
+        pool.complete("q")
+        assert pool.stats.served == {1: 1}
+
+
+class TestStickyPrimary:
+    def test_primary_moves_off_a_failing_backend(self):
+        pool, replicas = make_pool(2, failing={0}, window=4)
+        for _ in range(3):
+            pool.complete("q")
+        assert pool.snapshot()["primary"] == 1
+        assert pool.stats.primary_switches >= 1
+        # after the switch the new primary serves without trying m0
+        before = replicas[0].calls
+        pool.complete("q")
+        assert replicas[0].calls == before
+
+    def test_stickiness_survives_an_isolated_failure(self):
+        # one failure after a long success history: the window keeps the
+        # score high and the decayed sticky bonus still beats the rival
+        pool, replicas = make_pool(2, window=64, stickiness=0.3)
+        for _ in range(9):
+            pool.complete("q")
+        replicas[0].failing = True
+        pool.complete("q")  # fails over for this call only
+        replicas[0].failing = False
+        pool.complete("q")
+        assert pool.snapshot()["primary"] == 0
+
+    def test_consecutive_failures_decay_the_bonus(self):
+        pool, replicas = make_pool(2, window=4, stickiness=0.3, sticky_decay=0.5)
+        replicas[0].failing = True
+        for _ in range(4):
+            pool.complete("q")
+        assert pool.snapshot()["primary"] == 1
+
+
+class TestShadows:
+    def test_shadow_compares_without_changing_the_answer(self):
+        pool, replicas = make_pool(2, shadow_every=1)
+        responses = pool.complete("q")
+        assert responses[0].text == "answer from m0"
+        assert pool.stats.shadow_calls == 1
+        # replica texts differ (they embed the model name)
+        assert pool.stats.shadow_disagreements == 1
+        assert replicas[1].calls == 1
+
+    def test_shadow_agreement_counted(self):
+        pool, replicas = make_pool(2, shadow_every=1)
+        for replica in replicas:
+            replica.model_name = "same"
+        pool.complete("q")
+        assert pool.stats.shadow_agreements == 1
+
+    def test_shadow_error_never_hurts_the_served_call(self):
+        pool, replicas = make_pool(2, shadow_every=1)
+        replicas[1].failing = True
+        responses = pool.complete("q")
+        assert responses[0].text == "answer from m0"
+        assert pool.stats.shadow_errors == 1
+
+    def test_every_nth_call_is_shadowed(self):
+        pool, _ = make_pool(2, shadow_every=3)
+        for _ in range(6):
+            pool.complete("q")
+        assert pool.stats.shadow_calls == 2
+
+    def test_single_replica_never_shadows(self):
+        pool, _ = make_pool(1, shadow_every=1)
+        pool.complete("q")
+        assert pool.stats.shadow_calls == 0
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        pool, _ = make_pool(2, failing={0})
+        pool.complete("q")
+        snapshot = pool.snapshot()
+        assert set(snapshot["replicas"]) == {"0", "1"}
+        assert snapshot["replicas"]["0"]["health"] == "unhealthy"
+        assert snapshot["calls"] == 1
+        assert snapshot["failovers"] == 1

@@ -1,0 +1,157 @@
+"""BulkheadRegistry: per-db bounds, per-db breakers, poison-pill quarantine."""
+
+import threading
+
+import pytest
+
+from repro.serving import (
+    BulkheadFullError,
+    BulkheadRegistry,
+    DbCircuitOpenError,
+    QuarantinedError,
+)
+
+KEY_A = ("db_a", "what is x")
+KEY_B = ("db_a", "what is y")
+
+
+class TestInflightBound:
+    def test_rejects_when_full_without_block(self):
+        registry = BulkheadRegistry(max_inflight=2)
+        registry.acquire("db_a", KEY_A)
+        registry.acquire("db_a", KEY_B)
+        with pytest.raises(BulkheadFullError):
+            registry.acquire("db_a", ("db_a", "z"))
+        assert registry.to_dict()["databases"]["db_a"]["rejected_full"] == 1
+
+    def test_other_databases_keep_flowing(self):
+        registry = BulkheadRegistry(max_inflight=1)
+        registry.acquire("db_a", KEY_A)
+        registry.acquire("db_b", ("db_b", "q"))  # no raise
+
+    def test_release_frees_the_slot(self):
+        registry = BulkheadRegistry(max_inflight=1)
+        registry.acquire("db_a", KEY_A)
+        registry.release("db_a")
+        registry.acquire("db_a", KEY_B)  # no raise
+
+    def test_blocking_acquire_waits_for_release(self):
+        registry = BulkheadRegistry(max_inflight=1)
+        registry.acquire("db_a", KEY_A)
+        acquired = threading.Event()
+
+        def late_acquire():
+            registry.acquire("db_a", KEY_B, block=True)
+            acquired.set()
+
+        thread = threading.Thread(target=late_acquire)
+        thread.start()
+        assert not acquired.wait(0.05)
+        registry.release("db_a")
+        assert acquired.wait(2.0)
+        thread.join()
+
+    def test_release_without_acquire_raises(self):
+        registry = BulkheadRegistry()
+        with pytest.raises(RuntimeError):
+            registry.release("db_a")
+
+    def test_unbounded_by_default(self):
+        registry = BulkheadRegistry()
+        for index in range(100):
+            registry.acquire("db_a", ("db_a", str(index)))
+        assert registry.inflight("db_a") == 100
+
+    def test_peak_inflight_tracked(self):
+        registry = BulkheadRegistry(max_inflight=3)
+        registry.acquire("db_a", KEY_A)
+        registry.acquire("db_a", KEY_B)
+        registry.release("db_a")
+        assert registry.to_dict()["databases"]["db_a"]["peak_inflight"] == 2
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            BulkheadRegistry(max_inflight=0)
+        with pytest.raises(ValueError):
+            BulkheadRegistry(quarantine_threshold=-1)
+
+
+class TestQuarantine:
+    def test_key_quarantined_after_threshold_consecutive_crashes(self):
+        registry = BulkheadRegistry(quarantine_threshold=3)
+        assert not registry.record_crash("db_a", KEY_A)
+        assert not registry.record_crash("db_a", KEY_A)
+        assert registry.record_crash("db_a", KEY_A)  # newly quarantined
+        with pytest.raises(QuarantinedError):
+            registry.acquire("db_a", KEY_A)
+        assert registry.quarantined() == {KEY_A: 3}
+
+    def test_success_resets_the_strike_count(self):
+        registry = BulkheadRegistry(quarantine_threshold=2)
+        registry.record_crash("db_a", KEY_A)
+        registry.record_success("db_a", KEY_A)
+        assert not registry.record_crash("db_a", KEY_A)
+        assert registry.quarantined() == {}
+
+    def test_other_keys_unaffected(self):
+        registry = BulkheadRegistry(quarantine_threshold=1)
+        registry.record_crash("db_a", KEY_A)
+        registry.acquire("db_a", KEY_B)  # no raise
+
+    def test_unquarantine_lifts_the_block(self):
+        registry = BulkheadRegistry(quarantine_threshold=1)
+        registry.record_crash("db_a", KEY_A)
+        assert registry.unquarantine(KEY_A)
+        registry.acquire("db_a", KEY_A)  # no raise
+        assert not registry.unquarantine(KEY_A)
+
+    def test_threshold_zero_disables_quarantine(self):
+        registry = BulkheadRegistry(
+            quarantine_threshold=0, breaker_failure_threshold=100
+        )
+        for _ in range(10):
+            assert not registry.record_crash("db_a", KEY_A)
+        registry.acquire("db_a", KEY_A)  # no raise
+
+    def test_quarantined_key_never_takes_a_slot(self):
+        registry = BulkheadRegistry(max_inflight=5, quarantine_threshold=1)
+        registry.record_crash("db_a", KEY_A)
+        for _ in range(20):
+            with pytest.raises(QuarantinedError):
+                registry.acquire("db_a", KEY_A, block=True)
+        assert registry.inflight("db_a") == 0
+
+
+class TestPerDbBreaker:
+    def test_db_breaker_opens_independently(self):
+        registry = BulkheadRegistry(breaker_failure_threshold=2)
+        registry.record_crash("db_a", KEY_A)
+        registry.record_crash("db_a", KEY_B)
+        with pytest.raises(DbCircuitOpenError):
+            registry.acquire("db_a", ("db_a", "z"))
+        # the sibling database's breaker is untouched
+        registry.acquire("db_b", ("db_b", "q"))
+        report = registry.to_dict()
+        assert report["databases"]["db_a"]["breaker_state"] == "open"
+        assert report["databases"]["db_b"]["breaker_state"] == "closed"
+
+    def test_db_breaker_open_rejects_even_blocking_callers(self):
+        registry = BulkheadRegistry(breaker_failure_threshold=1)
+        registry.record_crash("db_a", KEY_A)
+        with pytest.raises(DbCircuitOpenError):
+            registry.acquire("db_a", KEY_B, block=True)
+
+
+class TestReporting:
+    def test_to_dict_roster_and_totals(self):
+        registry = BulkheadRegistry(max_inflight=1, quarantine_threshold=1)
+        registry.acquire("db_a", KEY_A)
+        with pytest.raises(BulkheadFullError):
+            registry.acquire("db_a", KEY_B)
+        registry.record_crash("db_a", KEY_A)
+        with pytest.raises(QuarantinedError):
+            registry.acquire("db_a", KEY_A)
+        report = registry.to_dict()
+        assert report["rejected_full"] == 1
+        assert report["rejected_quarantined"] == 1
+        assert report["quarantined"] == {"db_a::what is x": 1}

@@ -1,0 +1,132 @@
+"""Health-graded admission shedding.
+
+The HealthMonitor's windowed ``pipeline`` grade feeds the
+AdmissionController: when recent pipeline calls are failing, a fraction
+of *new* arrivals is shed up front (:class:`HealthShedError`) — load
+drops before the circuit breaker has to trip, and the clients that are
+admitted see a quieter instance.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+from repro.serving import (
+    DEFAULT_HEALTH_SHED,
+    AdmissionController,
+    HealthShedError,
+    ServingEngine,
+)
+
+
+def controller(grade, probability):
+    return AdmissionController(
+        capacity=8,
+        health_grade=lambda: grade,
+        health_shed_probability=probability,
+    )
+
+
+class TestAdmissionShedding:
+    def test_unhealthy_grade_sheds_at_probability_one(self):
+        gate = controller("unhealthy", {"unhealthy": 1.0})
+        with pytest.raises(HealthShedError):
+            gate.admit()
+        assert gate.shed_health == 1
+        assert gate.to_dict()["shed_health"] == 1
+
+    def test_healthy_grade_never_sheds(self):
+        gate = controller("healthy", {"unhealthy": 1.0, "degraded": 1.0})
+        for _ in range(20):
+            gate.admit()
+            gate.release()
+        assert gate.shed_health == 0
+
+    def test_unlisted_grade_defaults_to_no_shedding(self):
+        gate = controller("degraded", {"unhealthy": 1.0})
+        gate.admit()
+        assert gate.shed_health == 0
+
+    def test_partial_probability_sheds_a_fraction(self):
+        gate = controller("degraded", {"degraded": 0.5})
+        outcomes = []
+        for _ in range(200):
+            try:
+                gate.admit()
+            except HealthShedError:
+                outcomes.append(True)
+            else:
+                outcomes.append(False)
+                gate.release()
+        shed = sum(outcomes)
+        assert gate.shed_health == shed
+        assert 60 <= shed <= 140  # seeded RNG, loose band around 100
+
+    def test_shed_probabilities_are_validated(self):
+        with pytest.raises(ValueError):
+            controller("healthy", {"degraded": 1.5})
+        with pytest.raises(ValueError):
+            controller("healthy", {"degraded": -0.1})
+
+    def test_default_policy_escalates_with_the_grade(self):
+        assert 0.0 < DEFAULT_HEALTH_SHED["degraded"] < DEFAULT_HEALTH_SHED["unhealthy"] <= 1.0
+
+
+class TestEngineShedding:
+    def make_engine(self, tiny_benchmark, health_shed):
+        pipeline = OpenSearchSQL(
+            tiny_benchmark, SimulatedLLM(GPT_4O, seed=0), PipelineConfig(n_candidates=3)
+        )
+        return ServingEngine(pipeline, workers=1, health_shed=health_shed)
+
+    def test_unhealthy_pipeline_grade_sheds_new_arrivals(self, tiny_benchmark):
+        engine = self.make_engine(tiny_benchmark, {"unhealthy": 1.0})
+        with engine:
+            # a burst of pipeline failures pushes the windowed grade past
+            # the unhealthy threshold before any new arrival is admitted
+            for _ in range(8):
+                engine.health.record("pipeline", False, detail="boom")
+            with pytest.raises(HealthShedError):
+                engine.submit(tiny_benchmark.dev[0])
+            stats = engine.stats()
+        assert stats.shed_health == 1
+        assert stats.admitted == 0
+        # the shed arrival's bulkhead slot was returned on the way out
+        assert engine.bulkheads.inflight(tiny_benchmark.dev[0].db_id) == 0
+
+    def test_shedding_is_off_by_default(self, tiny_benchmark):
+        engine = self.make_engine(tiny_benchmark, None)
+        with engine:
+            for _ in range(8):
+                engine.health.record("pipeline", False, detail="boom")
+            result = engine.answer(tiny_benchmark.dev[0])
+            stats = engine.stats()
+        assert result is not None
+        assert stats.shed_health == 0
+
+    def test_recovered_grade_stops_shedding(self, tiny_benchmark):
+        engine = self.make_engine(tiny_benchmark, {"unhealthy": 1.0})
+        with engine:
+            for _ in range(8):
+                engine.health.record("pipeline", False, detail="boom")
+            with pytest.raises(HealthShedError):
+                engine.submit(tiny_benchmark.dev[0])
+            # successes wash the failures out of the sliding window
+            for _ in range(60):
+                engine.health.record("pipeline", True)
+            result = engine.answer(tiny_benchmark.dev[0])
+        assert result is not None
+
+    def test_shed_counts_in_run_accounting(self, tiny_benchmark):
+        engine = self.make_engine(tiny_benchmark, {"unhealthy": 1.0})
+        with engine:
+            for _ in range(8):
+                engine.health.record("pipeline", False, detail="boom")
+            results = engine.run(tiny_benchmark.dev[:3], block=False)
+            stats = engine.stats()
+        assert results == [None, None, None]
+        assert stats.shed_health == 3
+        assert stats.submitted == 3
+        assert stats.admitted == stats.completed + stats.failed

@@ -1,0 +1,119 @@
+"""Graceful drain with in-flight hedged requests.
+
+``shutdown(drain=True)`` must let every already-admitted request finish —
+including the hedge secondaries those requests launch against a chaotic
+database — while turning new arrivals away with the typed
+:class:`DrainingError`.  After the drain returns, the hedge accounting has
+to be *conserved*: every launched secondary resolved to a win or a loss,
+and no counter moves again (a moving counter would mean a leaked
+secondary still running after shutdown).
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.execution import DbFaultPlan, FaultInjectingExecutor
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+from repro.serving import DrainingError, ServingEngine
+
+
+def chaotic_pipeline(tiny_benchmark, rate=0.4, seed=11):
+    """Pipeline whose database randomly throws transient faults — the
+    trigger that makes the engine's hedged executor launch secondaries."""
+    llm = SimulatedLLM(GPT_4O, seed=0)
+    pipeline = OpenSearchSQL(tiny_benchmark, llm, PipelineConfig(n_candidates=3))
+    plan = DbFaultPlan.transient(rate)
+    pipeline.set_executor_wrapper(
+        lambda executor, db_id: FaultInjectingExecutor(executor, plan, seed=seed)
+    )
+    return pipeline
+
+
+@pytest.fixture
+def drain_workload(tiny_benchmark):
+    dev = tiny_benchmark.dev
+    return [dev[index % len(dev)] for index in range(6)]
+
+
+class TestDrainWithHedgedRequests:
+    def test_inflight_hedged_requests_complete(
+        self, tiny_benchmark, drain_workload
+    ):
+        engine = ServingEngine(
+            chaotic_pipeline(tiny_benchmark),
+            workers=2,
+            hedge_threshold=0.5,
+        )
+        futures = [
+            engine.submit(example, block=True) for example in drain_workload
+        ]
+        # requests are still queued/in flight on the 2 workers here; drain
+        # must wait them all out
+        engine.shutdown(drain=True)
+        assert all(future.done() for future in futures)
+        results = [future.result() for future in futures]
+        assert all(result is not None for result in results)
+        assert engine.hedge_stats.launched > 0, "chaos never triggered a hedge"
+
+    def test_hedge_stats_conserved_after_drain(
+        self, tiny_benchmark, drain_workload
+    ):
+        engine = ServingEngine(
+            chaotic_pipeline(tiny_benchmark),
+            workers=2,
+            hedge_threshold=0.5,
+        )
+        futures = [
+            engine.submit(example, block=True) for example in drain_workload
+        ]
+        engine.shutdown(drain=True)
+        for future in futures:
+            future.result()
+        stats = engine.hedge_stats
+        # conservation: every win came from exactly one recovery channel,
+        # and no secondary outran its primary's accounting
+        assert stats.wins == stats.recovered_error + stats.recovered_slow
+        assert stats.wins <= stats.launched
+        assert stats.launched <= stats.calls
+        # a leaked secondary would keep mutating the shared stats after
+        # shutdown returned; two consecutive snapshots must agree
+        first = dict(stats.to_dict())
+        second = dict(stats.to_dict())
+        assert first == second
+
+    def test_post_drain_submissions_get_the_typed_rejection(
+        self, tiny_benchmark, drain_workload
+    ):
+        engine = ServingEngine(
+            chaotic_pipeline(tiny_benchmark),
+            workers=2,
+            hedge_threshold=0.5,
+        )
+        futures = [
+            engine.submit(example, block=True) for example in drain_workload[:3]
+        ]
+        engine.shutdown(drain=True)
+        with pytest.raises(DrainingError):
+            engine.submit(drain_workload[0])
+        # blocking closed-loop callers are rejected too, not parked forever
+        with pytest.raises(DrainingError):
+            engine.submit(drain_workload[0], block=True)
+        assert all(future.result() is not None for future in futures)
+        assert engine.stats().rejected_draining == 2
+
+    def test_drain_serves_everything_it_admitted(
+        self, tiny_benchmark, drain_workload
+    ):
+        engine = ServingEngine(
+            chaotic_pipeline(tiny_benchmark),
+            workers=2,
+            hedge_threshold=0.5,
+        )
+        for example in drain_workload:
+            engine.submit(example, block=True)
+        engine.shutdown(drain=True)
+        stats = engine.stats()
+        assert stats.admitted == stats.completed + stats.failed
+        assert stats.completed + stats.failed == len(drain_workload)

@@ -165,6 +165,121 @@ class TestServeBench:
         assert "8 exceeded" in exceeded
 
 
+class TestServeBenchRobustness:
+    def test_backend_pool_reports_replicas(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "2", "--requests", "8", "--distinct", "4",
+            "--backends", "3", "--fault-rate", "0.5",
+        )
+        assert code == 0
+        assert "served   : 8/8" in text
+        assert "backends" in text
+        assert "replicas" in text
+
+    def test_metrics_out_includes_robustness_collectors(self, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "4", "--distinct", "2",
+            "--backends", "2", "--metrics-out", str(metrics_path),
+        )
+        assert code == 0
+        snapshot = json.loads(metrics_path.read_text())
+        collectors = snapshot["collected"]
+        # collector dicts are flattened into dotted scalar keys
+        bulkheads = collectors["bulkheads"]
+        assert bulkheads["rejected_quarantined"] == 0
+        assert bulkheads["quarantine_threshold"] == 3
+        backends = collectors["backends"]
+        served = sum(
+            count for key, count in backends.items()
+            if key.startswith("served.")
+        )
+        # several LLM calls per served request; conservation is what matters
+        assert served == backends["calls"] > 0
+
+    def test_journal_written_and_report_out(self, tmp_path):
+        import json
+
+        journal_path = tmp_path / "serve.jsonl"
+        report_path = tmp_path / "report.json"
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "6", "--distinct", "3",
+            "--journal", str(journal_path), "--report-out", str(report_path),
+        )
+        assert code == 0
+        assert journal_path.exists()
+        header = json.loads(journal_path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+        report = json.loads(report_path.read_text())
+        assert report["count"] == 6
+        assert "ex" in report
+
+    def test_health_shed_flag_accepted(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "4", "--distinct", "2",
+            "--health-shed",
+        )
+        assert code == 0
+        assert "served   : 4/4" in text  # healthy run sheds nothing
+
+
+class TestRecover:
+    def test_recover_matches_uninterrupted_report(self, tmp_path):
+        journal_path = tmp_path / "serve.jsonl"
+        full_report = tmp_path / "full.json"
+        recovered_report = tmp_path / "recovered.json"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "6", "--distinct", "3",
+            "--journal", str(journal_path), "--report-out", str(full_report),
+        )
+        assert code == 0
+        code, text = run_cli(
+            "recover", "--journal", str(journal_path),
+            "--report-out", str(recovered_report),
+        )
+        assert code == 0
+        assert "recovered: 6/6" in text
+        assert full_report.read_bytes() == recovered_report.read_bytes()
+
+    def test_recover_resumes_a_truncated_journal(self, tmp_path):
+        journal_path = tmp_path / "serve.jsonl"
+        full_report = tmp_path / "full.json"
+        recovered_report = tmp_path / "recovered.json"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "6", "--distinct", "3",
+            "--journal", str(journal_path), "--report-out", str(full_report),
+        )
+        assert code == 0
+        # chop the journal mid-run: keep the header, a few records and a
+        # torn half-line, exactly what a SIGKILL leaves behind
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text(
+            "\n".join(lines[:5]) + "\n" + lines[5][: len(lines[5]) // 2]
+        )
+        code, text = run_cli(
+            "recover", "--journal", str(journal_path),
+            "--report-out", str(recovered_report),
+        )
+        assert code == 0
+        assert "recovered: 6/6" in text
+        assert full_report.read_bytes() == recovered_report.read_bytes()
+
+    def test_recover_requires_a_header(self, tmp_path):
+        journal_path = tmp_path / "no-header.jsonl"
+        journal_path.write_text("")
+        code, text = run_cli("recover", "--journal", str(journal_path))
+        assert code == 2
+        assert "no header" in text
+
+
 class TestTrace:
     def test_renders_span_tree_and_stage_costs(self):
         code, text = run_cli("--candidates", "3", "trace")
