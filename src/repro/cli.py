@@ -8,7 +8,9 @@ Subcommands::
     python -m repro ablate                     # quick Table-4-style sweep
     python -m repro baselines                  # Table-2-style leaderboard
     python -m repro serve-bench --workers 4    # serving engine under Zipf load
+    python -m repro serve-bench --shards 3 --journal DIR  # multi-process cluster
     python -m repro recover --journal j.jsonl  # finish a killed serve-bench run
+    python -m repro recover --journal DIR      # merge + replay shard segments
     python -m repro trace --question-id <id>   # serve one question, print spans
     python -m repro metrics --requests 24      # unified metrics export
 
@@ -102,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--distinct", type=int, default=0, metavar="N",
                     help="distinct dev questions in the pool "
                          "(default: 0 = whole dev split)")
+    sb.add_argument("--pool", choices=("prefix", "spread"), default="prefix",
+                    help="how --distinct picks the pool: 'prefix' takes "
+                         "the first N dev questions (often one database), "
+                         "'spread' round-robins across databases so a "
+                         "sharded cluster sees multi-shard traffic "
+                         "(default: prefix)")
     sb.add_argument("--zipf", type=float, default=1.2, metavar="S",
                     help="Zipf popularity skew (default: 1.2; 0 = uniform)")
     sb.add_argument("--queue-capacity", type=int, default=64, metavar="N",
@@ -136,10 +144,26 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--journal", metavar="PATH",
                     help="write-ahead JSONL journal of accepted/committed "
                          "requests; a killed run resumes via "
-                         "'repro recover --journal PATH'")
+                         "'repro recover --journal PATH'; with --shards "
+                         "this is a DIRECTORY holding one "
+                         "journal-shard-K.jsonl segment per worker")
     sb.add_argument("--kill-after", type=int, default=0, metavar="K",
                     help="with --journal: SIGKILL this process after the "
-                         "K-th committed result (crash-recovery testing)")
+                         "K-th committed result (crash-recovery testing); "
+                         "with --kill-worker: kill after the worker's K-th "
+                         "served result (default then: 2)")
+    sb.add_argument("--shards", type=int, default=0, metavar="N",
+                    help="serve through N supervised worker processes "
+                         "partitioned by db_id on a consistent-hash ring "
+                         "(0 = in-process engine); requires --journal DIR")
+    sb.add_argument("--kill-worker", type=int, default=-1, metavar="K",
+                    help="with --shards: SIGKILL worker K mid-run after it "
+                         "serves --kill-after results (supervision/"
+                         "recovery testing; -1 = no kill)")
+    sb.add_argument("--restart-budget", type=int, default=1, metavar="N",
+                    help="with --shards: restarts allowed per worker "
+                         "before its death is permanent and the ring "
+                         "rebalances (default: 1)")
     sb.add_argument("--metrics-out", metavar="PATH",
                     help="dump the final MetricsRegistry snapshot to PATH "
                          "as JSON")
@@ -366,9 +390,143 @@ def _build_backend_pool(pipeline, replicas: int, fault_rate: float, seed: int):
     return BackendPool(clients)
 
 
+def _select_pool(dev, distinct: int, mode: str):
+    """The distinct-question pool a serve-bench workload samples from.
+
+    ``prefix`` keeps the historical behaviour (first N dev examples —
+    the dev split is grouped by database, so small N means one db).
+    ``spread`` deals one example per database round-robin, in the dev
+    split's first-appearance order, so N questions span min(N, #dbs)
+    databases.  Both are pure functions of (dev, distinct, mode): the
+    journal header records the mode and ``repro recover`` rebuilds the
+    identical pool.
+    """
+    if not distinct:
+        return dev
+    if mode == "spread":
+        by_db: dict = {}
+        for example in dev:
+            by_db.setdefault(example.db_id, []).append(example)
+        queues = list(by_db.values())
+        pool = []
+        index = 0
+        while len(pool) < distinct and any(queues):
+            queue = queues[index % len(queues)]
+            if queue:
+                pool.append(queue.pop(0))
+            index += 1
+        return pool
+    return dev[:distinct]
+
+
+def _cmd_serve_bench_cluster(args, out) -> int:
+    """serve-bench --shards N: drive the multi-process cluster."""
+    from repro.serving import (
+        ClusterConfig,
+        ShardCoordinator,
+        ShardedJournalView,
+        assemble_report,
+        recover_run,
+    )
+    from repro.serving.workload import zipf_workload
+
+    if not args.journal:
+        out.write("error: --shards requires --journal DIR (one segment "
+                  "per worker is written inside it)\n")
+        return 2
+    unsupported = [
+        ("--mode open", args.mode == "open"),
+        ("--no-cache", args.no_cache),
+        ("--fault-rate", args.fault_rate > 0),
+        ("--hedge-ms", args.hedge_ms > 0),
+        ("--backends", args.backends > 0),
+        ("--db-max-inflight", args.db_max_inflight > 0),
+        ("--health-shed", args.health_shed),
+    ]
+    bad = [flag for flag, on in unsupported if on]
+    if bad:
+        out.write(f"error: {', '.join(bad)} not supported with --shards\n")
+        return 2
+
+    benchmark = _build_benchmark(args.benchmark)
+    pool = _select_pool(benchmark.dev, args.distinct, args.pool)
+    workload = zipf_workload(
+        pool, requests=args.requests, skew=args.zipf, seed=args.seed
+    )
+    config = ClusterConfig(
+        shards=args.shards,
+        benchmark=args.benchmark,
+        model=args.model,
+        candidates=args.candidates,
+        seed=args.seed,
+        journal_dir=args.journal,
+        queue_capacity=args.queue_capacity,
+        deadline_seconds=(args.deadline_ms / 1000.0) or None,
+        restart_budget=args.restart_budget,
+        header={
+            "requests": args.requests,
+            "distinct": args.distinct,
+            "pool": args.pool,
+            "zipf": args.zipf,
+        },
+    )
+
+    on_result = None
+    if args.kill_worker >= 0:
+        kill_worker = args.kill_worker
+        kill_after = args.kill_after or 2
+        killed = []
+
+        def on_result(worker_id: int, results: int) -> None:
+            if worker_id == kill_worker and results >= kill_after and not killed:
+                killed.append(worker_id)
+                coordinator.kill_worker(worker_id)
+
+    metrics = None
+    if args.metrics_out:
+        from repro.observability import MetricsRegistry
+
+        metrics = MetricsRegistry()
+
+    coordinator = ShardCoordinator(config, metrics=metrics, on_result=on_result)
+    with coordinator:
+        results = coordinator.run(workload)
+        stats = coordinator.stats()
+    served = sum(1 for r in results if r is not None)
+    out.write(
+        f"workload : {args.requests} requests over {len(pool)} distinct "
+        f"questions (zipf skew {args.zipf}, {args.shards} shards)\n"
+    )
+    out.write(f"served   : {served}/{len(workload)}\n")
+    out.write(stats.format() + "\n")
+    if metrics is not None:
+        from pathlib import Path
+
+        target = Path(args.metrics_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(coordinator.merged_metrics().to_json() + "\n")
+        out.write(f"metrics  : wrote snapshot to {args.metrics_out}\n")
+    if args.report_out:
+        # Score through the merged view of every shard's segment; the
+        # report comes out of the same recover_run/assemble_report path
+        # the single-process bench uses, so the two are byte-comparable.
+        view = ShardedJournalView(args.journal)
+        clean = _build_pipeline(benchmark, args)
+        outcomes = recover_run(
+            view, clean, workload, result_cache_size=config.result_cache_size
+        )
+        report = assemble_report(outcomes, workload, clean)
+        _write_deterministic_report(report, args.report_out)
+        out.write(f"report   : wrote {args.report_out} (EX {report.ex:.1f})\n")
+    return 0
+
+
 def _cmd_serve_bench(args, out) -> int:
     import os
     import signal
+
+    if args.shards > 0:
+        return _cmd_serve_bench_cluster(args, out)
 
     from repro.serving import (
         DEFAULT_HEALTH_SHED,
@@ -380,9 +538,7 @@ def _cmd_serve_bench(args, out) -> int:
     from repro.serving.workload import zipf_workload
 
     benchmark = _build_benchmark(args.benchmark)
-    pool = benchmark.dev
-    if args.distinct:
-        pool = pool[: args.distinct]
+    pool = _select_pool(benchmark.dev, args.distinct, args.pool)
     workload = zipf_workload(
         pool, requests=args.requests, skew=args.zipf, seed=args.seed
     )
@@ -425,6 +581,7 @@ def _cmd_serve_bench(args, out) -> int:
                 "seed": args.seed,
                 "requests": args.requests,
                 "distinct": args.distinct,
+                "pool": args.pool,
                 "zipf": args.zipf,
                 "result_cache_size": cache_size,
             }
@@ -509,10 +666,27 @@ def _write_deterministic_report(report, path) -> None:
 
 
 def _cmd_recover(args, out) -> int:
-    from repro.serving import ServingJournal, assemble_report, recover_run
+    from pathlib import Path
+
+    from repro.serving import (
+        ServingJournal,
+        ShardedJournalView,
+        assemble_report,
+        recover_run,
+    )
     from repro.serving.workload import zipf_workload
 
-    journal = ServingJournal(args.journal)
+    # A directory is a sharded cluster run: discover every
+    # journal-shard-K.jsonl segment and replay them as one merged run.
+    sharded = Path(args.journal).is_dir()
+    if sharded:
+        try:
+            journal = ShardedJournalView(args.journal)
+        except FileNotFoundError as exc:
+            out.write(f"error: {exc}\n")
+            return 2
+    else:
+        journal = ServingJournal(args.journal)
     config = journal.config
     if not config:
         out.write(f"error: {args.journal} has no header record\n")
@@ -523,9 +697,9 @@ def _cmd_recover(args, out) -> int:
         if name in config:
             setattr(args, name, config[name])
     benchmark = _build_benchmark(args.benchmark)
-    pool = benchmark.dev
-    if config.get("distinct"):
-        pool = pool[: config["distinct"]]
+    pool = _select_pool(
+        benchmark.dev, config.get("distinct", 0), config.get("pool", "prefix")
+    )
     workload = zipf_workload(
         pool,
         requests=config.get("requests", len(pool)),
@@ -542,6 +716,12 @@ def _cmd_recover(args, out) -> int:
         result_cache_size=config.get("result_cache_size", 512),
     )
     report = assemble_report(outcomes, workload, pipeline)
+    if sharded:
+        shares = ", ".join(
+            f"shard{shard}={count}"
+            for shard, count in sorted(journal.committed_by_shard().items())
+        )
+        out.write(f"segments : {len(journal.segments)} ({shares})\n")
     out.write(
         f"journal  : {committed_before} committed, {pending_before} pending, "
         f"{len(workload) - committed_before} to finish\n"

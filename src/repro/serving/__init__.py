@@ -28,7 +28,14 @@ package is the subsystem where requests share state.  It provides
   (db_id, question) keys that crash repeatedly;
 * :class:`ServingJournal` — durable write-ahead JSONL of accepted /
   committed requests with torn-line tolerance; :func:`recover_run`
-  replays a killed run to completion exactly once per request.
+  replays a killed run to completion exactly once per request;
+* :class:`ShardCoordinator` — N supervised worker *processes* behind a
+  consistent-hash :class:`HashRing` over ``db_id``s, each with its own
+  engine, bulkheads, backends and journal segment; heartbeat death
+  detection, budgeted restarts with exponential backoff, ring rebalance
+  on permanent death (typed :class:`ShardUnavailableError` sheds), and
+  :class:`ShardedJournalView` replaying a whole segment directory as one
+  run.
 
 Per-request deadlines (``ServingEngine(deadline_seconds=...)``) bound each
 request in virtual time; exhaustion degrades the answer with a typed
@@ -62,6 +69,16 @@ from repro.serving.bulkhead import (
     DbCircuitOpenError,
     QuarantinedError,
 )
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterStats,
+    DoubleServeError,
+    HashRing,
+    ShardCoordinator,
+    ShardUnavailableError,
+    ShardedJournalView,
+    discover_segments,
+)
 from repro.serving.engine import (
     CachingExtractor,
     CachingFewShotLibrary,
@@ -85,6 +102,10 @@ __all__ = [
     "CacheStats",
     "CachingExtractor",
     "CachingFewShotLibrary",
+    "ClusterConfig",
+    "ClusterStats",
+    "DoubleServeError",
+    "HashRing",
     "DEFAULT_HEALTH_SHED",
     "DbCircuitOpenError",
     "DrainingError",
@@ -101,7 +122,11 @@ __all__ = [
     "ServingEngine",
     "ServingJournal",
     "ServingStats",
+    "ShardCoordinator",
+    "ShardUnavailableError",
+    "ShardedJournalView",
     "assemble_report",
+    "discover_segments",
     "normalize_question",
     "percentile",
     "recover_run",

@@ -1,0 +1,42 @@
+"""Sharded multi-process serving: ring placement, supervised workers,
+per-shard journal recovery.
+
+See :mod:`repro.serving.cluster.coordinator` for the supervision model,
+:mod:`repro.serving.cluster.ring` for placement, and
+:mod:`repro.serving.cluster.recovery` for directory-level replay.
+"""
+
+from repro.serving.cluster.config import (
+    SEGMENT_PREFIX,
+    ClusterConfig,
+    example_from_wire,
+    example_to_wire,
+    segment_name,
+)
+from repro.serving.cluster.coordinator import (
+    ClusterStats,
+    ShardCoordinator,
+    ShardUnavailableError,
+)
+from repro.serving.cluster.recovery import (
+    DoubleServeError,
+    ShardedJournalView,
+    discover_segments,
+)
+from repro.serving.cluster.ring import DEFAULT_VNODES, HashRing
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterStats",
+    "DEFAULT_VNODES",
+    "DoubleServeError",
+    "HashRing",
+    "SEGMENT_PREFIX",
+    "ShardCoordinator",
+    "ShardUnavailableError",
+    "ShardedJournalView",
+    "discover_segments",
+    "example_from_wire",
+    "example_to_wire",
+    "segment_name",
+]

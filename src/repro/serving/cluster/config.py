@@ -1,0 +1,186 @@
+"""Cluster configuration and the JSON wire codec shared by both sides.
+
+Workers run in *spawned* processes: nothing is inherited, so everything a
+worker needs to rebuild its half of the system — benchmark, model skill,
+pipeline seeds, engine sizing, journal segment location — must cross the
+process boundary as plain JSON-ready data.  :class:`ClusterConfig` is
+that contract; :func:`example_to_wire` / :func:`example_from_wire` carry
+individual requests the same way (no pickled live objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.datasets.types import Example, ValueMention
+
+__all__ = [
+    "ClusterConfig",
+    "SEGMENT_PREFIX",
+    "segment_name",
+    "resolve_benchmark",
+    "build_worker_pipeline",
+    "example_to_wire",
+    "example_from_wire",
+]
+
+#: journal segment filename stem; shard K journals to
+#: ``<journal_dir>/journal-shard-K.jsonl``
+SEGMENT_PREFIX = "journal-shard-"
+
+
+def segment_name(shard: int) -> str:
+    """Filename of shard ``shard``'s journal segment."""
+    return f"{SEGMENT_PREFIX}{shard}.jsonl"
+
+
+@dataclass
+class ClusterConfig:
+    """Everything a coordinator and its workers agree on up front."""
+
+    #: number of worker processes / journal segments
+    shards: int = 2
+    #: benchmark name workers rebuild ("bird", "spider", "cluster-smoke")
+    benchmark: str = "bird"
+    model: str = "gpt-4o"
+    candidates: int = 21
+    seed: int = 0
+    #: journal directory; each shard appends to its own segment inside it
+    journal_dir: str = ""
+    #: virtual nodes per shard on the consistent-hash ring
+    ring_vnodes: int = 128
+    #: threads inside each worker's ServingEngine; 1 keeps per-shard
+    #: processing serial, which the byte-identical recovery cert relies on
+    engine_workers: int = 1
+    queue_capacity: int = 4096
+    result_cache_size: int = 512
+    extraction_cache_size: int = 1024
+    fewshot_cache_size: int = 1024
+    #: end-to-end deadline per request in seconds (None = unbounded);
+    #: the coordinator subtracts queue time before forwarding, so the
+    #: budget spans the process boundary
+    deadline_seconds: Optional[float] = None
+    #: worker → coordinator heartbeat period (seconds)
+    heartbeat_interval: float = 0.2
+    #: missing heartbeats for this long marks a worker dead even if its
+    #: process object still reports alive (hung-worker detection)
+    heartbeat_timeout: float = 10.0
+    #: restarts allowed per worker before its death is permanent
+    restart_budget: int = 1
+    #: restart delay: backoff_base * 2**restarts_used seconds
+    backoff_base: float = 0.05
+    #: times one request may be re-routed after shard deaths before the
+    #: typed ShardUnavailableError escapes to the caller
+    max_reroutes: int = 2
+    #: wall-clock ceiling for one request end to end (safety net so a
+    #: supervision bug degrades to a typed failure, never a hang)
+    request_timeout: float = 120.0
+    #: extra header fields journaled per segment (the CLI records the
+    #: workload parameters here so ``repro recover`` can rebuild the run)
+    header: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not self.journal_dir:
+            raise ValueError("cluster serving requires a journal_dir")
+        if self.restart_budget < 0:
+            raise ValueError("restart_budget must be >= 0")
+
+    def segment_path(self, shard: int) -> Path:
+        return Path(self.journal_dir) / segment_name(shard)
+
+    def header_config(self, shard: int) -> dict:
+        """The header record shard ``shard`` writes to its segment."""
+        return {
+            "benchmark": self.benchmark,
+            "model": self.model,
+            "candidates": self.candidates,
+            "seed": self.seed,
+            "result_cache_size": self.result_cache_size,
+            "shards": self.shards,
+            "ring_vnodes": self.ring_vnodes,
+            "shard": shard,
+            **self.header,
+        }
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClusterConfig":
+        return cls(**payload)
+
+
+def resolve_benchmark(name: str):
+    """Build the named benchmark inside a worker process.
+
+    ``"cluster-smoke"`` is a deterministic five-domain profile (~0.5 s to
+    build, five distinct ``db_id``s) used by the cluster test-suite so
+    spawned workers do not pay the full BIRD build on every test.
+    """
+    if name == "bird":
+        from repro.datasets.bird import build_bird_like
+
+        return build_bird_like()
+    if name == "spider":
+        from repro.datasets.spider import build_spider_like
+
+        return build_spider_like()
+    if name == "cluster-smoke":
+        from repro.datasets.build import build_benchmark
+        from repro.datasets.domains.finance import DOMAIN as FINANCE
+        from repro.datasets.domains.healthcare import DOMAIN as HEALTHCARE
+        from repro.datasets.domains.hockey import DOMAIN as HOCKEY
+        from repro.datasets.domains.music import DOMAIN as MUSIC
+        from repro.datasets.domains.retail import DOMAIN as RETAIL
+
+        return build_benchmark(
+            name="cluster-smoke",
+            domains=[HEALTHCARE, HOCKEY, FINANCE, MUSIC, RETAIL],
+            per_template_train=2,
+            per_template_dev=1,
+            per_template_test=1,
+            seed=3,
+        )
+    raise ValueError(f"unknown benchmark {name!r}")
+
+
+def build_worker_pipeline(config: ClusterConfig):
+    """(benchmark, pipeline) for one worker, from config alone."""
+    from repro.core.config import PipelineConfig
+    from repro.core.pipeline import OpenSearchSQL
+    from repro.llm.simulated import SimulatedLLM
+    from repro.llm.skills import skill_by_name
+
+    benchmark = resolve_benchmark(config.benchmark)
+    llm = SimulatedLLM(skill_by_name(config.model), seed=config.seed)
+    pipeline = OpenSearchSQL(
+        benchmark,
+        llm,
+        PipelineConfig(n_candidates=config.candidates, seed=config.seed),
+    )
+    return benchmark, pipeline
+
+
+# ------------------------------------------------------------- wire codec
+
+
+def example_to_wire(example: Example) -> dict:
+    """One Example as a JSON-ready dict (tuples become lists)."""
+    payload = asdict(example)
+    payload["traits"] = list(example.traits)
+    payload["value_mentions"] = [asdict(m) for m in example.value_mentions]
+    return payload
+
+
+def example_from_wire(payload: dict) -> Example:
+    """Rebuild an Example from :func:`example_to_wire` output."""
+    fields = dict(payload)
+    fields["traits"] = tuple(fields.get("traits", ()))
+    fields["value_mentions"] = tuple(
+        ValueMention(**mention) for mention in fields.get("value_mentions", ())
+    )
+    return Example(**fields)

@@ -1,0 +1,177 @@
+"""Per-shard journal recovery: discover segments, replay as one run.
+
+A cluster run journals into ``<dir>/journal-shard-K.jsonl``, one segment
+per worker.  After a crash (or a clean run), recovery must see the run as
+a *single* journal again: :func:`discover_segments` finds every segment
+in a directory and :class:`ShardedJournalView` merges them behind the
+exact duck-type :func:`~repro.serving.journal.recover_run` already
+consumes — ``committed(seq)`` reads resolve against whichever segment
+holds the seq, while ``accept``/``commit`` writes for re-run requests are
+routed by the consistent-hash ring to the segment that owns the request's
+``db_id`` (so a second recovery of the same directory finds them where it
+expects them).
+
+The view also asserts the cluster's conservation invariant on load: a
+seq committed in *two* segments means a request was double-served — the
+one failure mode supervision must never produce — and raises rather than
+silently picking one.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.datasets.types import Example
+from repro.serving.cluster.config import SEGMENT_PREFIX
+from repro.serving.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.serving.journal import ServingJournal
+
+__all__ = ["discover_segments", "ShardedJournalView", "DoubleServeError"]
+
+_SEGMENT_RE = re.compile(re.escape(SEGMENT_PREFIX) + r"(\d+)\.jsonl$")
+
+
+class DoubleServeError(RuntimeError):
+    """The same seq was committed by two shards — conservation violated."""
+
+    def __init__(self, seq: int, shards: tuple[int, int]):
+        super().__init__(
+            f"seq {seq} committed by shard {shards[0]} and shard {shards[1]}; "
+            "a request was double-served"
+        )
+        self.seq = seq
+        self.shards = shards
+
+
+def discover_segments(directory: Union[str, Path]) -> dict[int, Path]:
+    """Map shard id → segment path for every segment in ``directory``."""
+    directory = Path(directory)
+    segments: dict[int, Path] = {}
+    for path in directory.iterdir():
+        match = _SEGMENT_RE.fullmatch(path.name)
+        if match:
+            segments[int(match.group(1))] = path
+    return segments
+
+
+class ShardedJournalView:
+    """N shard segments presented as one ``ServingJournal``-shaped run.
+
+    Reads merge: ``committed(seq)`` answers from whichever segment holds
+    the commit, ``pending()`` is the union of accepted-but-uncommitted
+    seqs minus anything *any* segment committed (a request accepted by a
+    worker that died and re-served by a survivor is not pending).  Writes
+    route: re-run requests journal into the segment owning their
+    ``db_id`` on the rebuilt consistent-hash ring — falling back to the
+    segment that originally *accepted* the seq when the accepting shard
+    is known (keeps a request's whole history in one segment).
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        found = discover_segments(self.directory)
+        if not found:
+            raise FileNotFoundError(
+                f"no {SEGMENT_PREFIX}*.jsonl segments in {self.directory}"
+            )
+        self.segments: dict[int, ServingJournal] = {
+            shard: ServingJournal(path) for shard, path in sorted(found.items())
+        }
+        #: seq → shard holding its commit
+        self._commit_owner: dict[int, int] = {}
+        #: seq → shard that accepted it (last writer wins on re-accepts)
+        self._accept_owner: dict[int, int] = {}
+        for shard, journal in self.segments.items():
+            for seq in journal.committed_seqs():
+                prior = self._commit_owner.get(seq)
+                if prior is not None:
+                    raise DoubleServeError(seq, (prior, shard))
+                self._commit_owner[seq] = shard
+            for seq in journal.accepted_seqs():
+                self._accept_owner.setdefault(seq, shard)
+        # Rebuild the placement ring the coordinator used.  Segments on
+        # disk define membership: every shard that journaled anything is
+        # a valid write target for re-runs.
+        vnodes = next(
+            (
+                journal.config["ring_vnodes"]
+                for journal in self.segments.values()
+                if "ring_vnodes" in journal.config
+            ),
+            DEFAULT_VNODES,
+        )
+        self.ring = HashRing(self.segments, vnodes=vnodes)
+
+    # ------------------------------------------------ ServingJournal duck-type
+
+    @property
+    def config(self) -> dict:
+        """The shared header config (per-shard ``shard`` key dropped)."""
+        for journal in self.segments.values():
+            if journal.config:
+                merged = dict(journal.config)
+                merged.pop("shard", None)
+                return merged
+        return {}
+
+    def committed(self, seq: int) -> Optional[dict]:
+        shard = self._commit_owner.get(seq)
+        if shard is None:
+            return None
+        return self.segments[shard].committed(seq)
+
+    def accept(self, example: Example, seq: Optional[int] = None) -> int:
+        shard = self._route(example, seq)
+        seq = self.segments[shard].accept(example, seq=seq)
+        self._accept_owner[seq] = shard
+        return seq
+
+    def commit(self, seq: int, status: str, result=None, error=None) -> None:
+        shard = self._accept_owner.get(seq)
+        if shard is None:
+            raise KeyError(f"seq {seq} was never accepted in any segment")
+        self.segments[shard].commit(seq, status, result=result, error=error)
+        self._commit_owner[seq] = shard
+
+    def pending(self) -> list[int]:
+        accepted = set(self._accept_owner)
+        return sorted(accepted - set(self._commit_owner))
+
+    def committed_seqs(self) -> list[int]:
+        return sorted(self._commit_owner)
+
+    def accepted_seqs(self) -> list[int]:
+        return sorted(self._accept_owner)
+
+    def __len__(self) -> int:
+        return len(self._commit_owner)
+
+    # ----------------------------------------------------------- accounting
+
+    def _route(self, example: Example, seq: Optional[int]) -> int:
+        if seq is not None and seq in self._accept_owner:
+            return self._accept_owner[seq]
+        owner = self.ring.lookup(example.db_id)
+        assert owner is not None  # segments is never empty (ctor raises)
+        return owner
+
+    def committed_by_shard(self) -> dict[int, int]:
+        """Commit counts per shard (conservation accounting)."""
+        counts = {shard: 0 for shard in self.segments}
+        for shard in self._commit_owner.values():
+            counts[shard] += 1
+        return counts
+
+    def stats_dict(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "segments": {
+                shard: journal.stats_dict()
+                for shard, journal in self.segments.items()
+            },
+            "accepted": len(self._accept_owner),
+            "committed": len(self._commit_owner),
+            "pending": len(self.pending()),
+        }

@@ -1,0 +1,113 @@
+"""Consistent-hash ring: deterministic db_id → shard placement.
+
+The cluster partitions request keys (``db_id``s) across worker shards.
+A consistent-hash ring with virtual nodes gives three properties the
+coordinator's rebalance logic leans on:
+
+* **determinism** — placement is a pure function of (nodes, vnodes,
+  key) through MD5, so every process (coordinator, workers, a later
+  ``repro recover`` run) computes the same owner without coordination;
+* **minimal movement** — removing a node moves *only* the keys that
+  node owned (≈ ``1/N`` of the keyspace); every other key keeps its
+  owner, which is what keeps surviving shards' result caches and journal
+  segments valid across a rebalance;
+* **balance** — ``vnodes`` points per node smooth the arc lengths so no
+  shard owns a grossly outsized share of the keyspace.
+
+Keys and nodes are hashed as strings; nodes are typically small ints
+(worker ids) and keys are ``db_id``s.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Optional, Sequence
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: virtual nodes per physical node; 128 keeps the max/min keyspace-share
+#: ratio low even at 3-4 nodes (see tests/serving/test_ring.py)
+DEFAULT_VNODES = 128
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring position for ``key`` (MD5, not ``hash()`` —
+    placement must survive interpreter restarts and PYTHONHASHSEED)."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over hashable nodes with virtual nodes."""
+
+    def __init__(self, nodes: Iterable[Hashable] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        # parallel sorted arrays: ring position -> owning node
+        self._points: list[tuple[int, str]] = []
+        self._owners: list[Hashable] = []
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------ mutation
+
+    def _vnode_keys(self, node: Hashable) -> list[tuple[int, str]]:
+        # the string marker breaks (vanishingly unlikely) point ties
+        # deterministically, independent of insertion order
+        return [
+            (_point(f"node:{node}#{index}"), f"{node}#{index}")
+            for index in range(self.vnodes)
+        ]
+
+    def add(self, node: Hashable) -> None:
+        """Place ``node``'s virtual nodes on the ring (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for entry in self._vnode_keys(node):
+            index = bisect.bisect_left(self._points, entry)
+            self._points.insert(index, entry)
+            self._owners.insert(index, node)
+
+    def remove(self, node: Hashable) -> None:
+        """Take ``node`` off the ring; only its keys change owners."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # ------------------------------------------------------------- lookup
+
+    def lookup(self, key: str) -> Optional[Hashable]:
+        """The node owning ``key`` (first vnode clockwise), None if empty."""
+        if not self._points:
+            return None
+        point = _point(f"key:{key}")
+        index = bisect.bisect_right(self._points, (point, "￿"))
+        if index == len(self._points):
+            index = 0  # wrap around the ring
+        return self._owners[index]
+
+    def nodes(self) -> list:
+        """Live nodes in sorted order."""
+        return sorted(self._nodes, key=str)
+
+    def assignments(self, keys: Sequence[str]) -> dict:
+        """node → list of keys it owns (deterministic order); every live
+        node appears, even with an empty share."""
+        placement: dict = {node: [] for node in self.nodes()}
+        for key in keys:
+            owner = self.lookup(key)
+            if owner is not None:
+                placement[owner].append(key)
+        return placement
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._nodes

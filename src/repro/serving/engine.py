@@ -284,7 +284,13 @@ class ServingEngine:
 
     # ------------------------------------------------------------ requests
 
-    def submit(self, example: Example, block: bool = False) -> "Future[PipelineResult]":
+    def submit(
+        self,
+        example: Example,
+        block: bool = False,
+        seq: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> "Future[PipelineResult]":
         """Admit and enqueue one request; returns a Future.
 
         Raises :class:`~repro.serving.admission.QueueFullError` (shed),
@@ -297,6 +303,13 @@ class ServingEngine:
         :class:`~repro.reliability.faults.BudgetExceededError` when the
         request is not admitted.  ``block=True`` waits for a queue slot
         instead of shedding (closed-loop clients).
+
+        ``seq`` journals the request under an externally assigned
+        sequence number (a shard coordinator assigns global positions so
+        per-shard journal segments stay mergeable); ``deadline_seconds``
+        overrides the engine-wide deadline for this request (how a
+        coordinator forwards the *remaining* end-to-end budget after
+        queue time).
         """
         if self._closed:
             raise RuntimeError("engine is shut down")
@@ -323,9 +336,10 @@ class ServingEngine:
         with self._stats_lock:
             if self._started_at is None:
                 self._started_at = self._clock()
-        seq = self.journal.accept(example) if self.journal is not None else None
+        if self.journal is not None:
+            seq = self.journal.accept(example, seq=seq)
         try:
-            return self._pool.submit(self._handle, example, seq)
+            return self._pool.submit(self._handle, example, seq, deadline_seconds)
         except BaseException:
             self.admission.release()
             self.bulkheads.release(example.db_id)
@@ -362,8 +376,16 @@ class ServingEngine:
 
     # ------------------------------------------------------------- handler
 
-    def _handle(self, example: Example, seq: Optional[int] = None) -> PipelineResult:
+    def _handle(
+        self,
+        example: Example,
+        seq: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> PipelineResult:
         start = self._clock()
+        budget = (
+            deadline_seconds if deadline_seconds is not None else self.deadline_seconds
+        )
         key = (example.db_id, normalize_question(example.question))
         trace = (
             Trace(question_id=example.question_id, db_id=example.db_id)
@@ -386,9 +408,7 @@ class ServingEngine:
                 trace.root.cache = "miss"
                 trace.root.event("result_cache", outcome="miss")
             deadline = (
-                Deadline(self.deadline_seconds, clock=self._clock)
-                if self.deadline_seconds is not None
-                else None
+                Deadline(budget, clock=self._clock) if budget is not None else None
             )
             try:
                 result = self.pipeline.answer(
@@ -499,6 +519,28 @@ class ServingEngine:
             return list(self._traces.values())
 
     # ------------------------------------------------------------ lifecycle
+
+    def warm_result_cache(
+        self, records: Sequence[tuple[Example, PipelineResult]]
+    ) -> int:
+        """Re-seed the result tier from previously committed outcomes.
+
+        A restarted (or rebalance-adopting) cluster worker replays its
+        journal segment's committed results through this so repeat
+        questions keep hitting the result tier exactly as they would have
+        in an undisturbed run — the property that keeps a recovered
+        cluster report byte-identical to a single-process one.  Deadline-
+        truncated results are skipped, mirroring the live-path rule that
+        degraded answers are never cached.  Returns the number warmed.
+        """
+        warmed = 0
+        for example, result in records:
+            if result is None or result.deadline_exceeded:
+                continue
+            key = (example.db_id, normalize_question(example.question))
+            self.result_cache.put(key, result)
+            warmed += 1
+        return warmed
 
     def invalidate_db(self, db_id: str) -> dict[str, int]:
         """Drop every cached entry derived from ``db_id`` in all tiers.

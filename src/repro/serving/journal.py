@@ -195,6 +195,16 @@ class ServingJournal:
         with self._lock:
             return self._committed.get(seq)
 
+    def committed_seqs(self) -> list[int]:
+        """Every committed seq (sorted)."""
+        with self._lock:
+            return sorted(self._committed)
+
+    def accepted_seqs(self) -> list[int]:
+        """Every accepted seq (sorted)."""
+        with self._lock:
+            return sorted(self._accepted)
+
     def stats_dict(self) -> dict:
         """JSON-ready accounting for metrics collectors."""
         with self._lock:

@@ -1,0 +1,113 @@
+"""HashRing: placement determinism, minimal movement, balance.
+
+The cluster's correctness rests on three ring properties: every process
+computes the same owner for a key (coordinator, workers and a later
+``repro recover`` run never coordinate placement), removing a node moves
+only that node's keys (surviving shards' journal segments and caches
+stay valid across a rebalance), and no shard owns a grossly outsized
+share of the keyspace.  All tests are fully deterministic — placement is
+a pure function of (nodes, vnodes, key) through MD5.
+"""
+
+from repro.serving import HashRing
+from repro.serving.cluster.ring import DEFAULT_VNODES
+
+KEYS = [f"db_{i}" for i in range(1000)]
+
+
+class TestDeterminism:
+    def test_same_nodes_same_placement(self):
+        first = HashRing(range(4))
+        second = HashRing(range(4))
+        assert all(first.lookup(k) == second.lookup(k) for k in KEYS)
+
+    def test_placement_independent_of_insertion_order(self):
+        forward = HashRing([0, 1, 2, 3])
+        backward = HashRing([3, 2, 1, 0])
+        assert all(forward.lookup(k) == backward.lookup(k) for k in KEYS)
+
+    def test_placement_pinned_across_releases(self):
+        # A frozen sample: if any of these move, existing journal
+        # segments would replay on the wrong shard after an upgrade.
+        ring = HashRing(range(3))
+        assert [ring.lookup(db) for db in
+                ("healthcare", "hockey", "finance", "music", "retail")] == [
+            1, 1, 0, 1, 1]
+
+    def test_empty_ring_returns_none(self):
+        assert HashRing().lookup("anything") is None
+
+    def test_add_remove_roundtrip_restores_placement(self):
+        ring = HashRing(range(4))
+        before = {k: ring.lookup(k) for k in KEYS}
+        ring.remove(2)
+        ring.add(2)
+        assert {k: ring.lookup(k) for k in KEYS} == before
+
+
+class TestMinimalMovement:
+    def test_only_the_removed_nodes_keys_move(self):
+        for victim in range(4):
+            ring = HashRing(range(4))
+            before = {k: ring.lookup(k) for k in KEYS}
+            owned = sum(1 for owner in before.values() if owner == victim)
+            ring.remove(victim)
+            moved = [k for k in KEYS if ring.lookup(k) != before[k]]
+            assert len(moved) == owned
+            assert all(before[k] == victim for k in moved)
+
+    def test_removal_moves_at_most_a_quarter_of_keys_on_average(self):
+        # Consistent hashing moves ~1/N of the keyspace per removal;
+        # modulo placement would move ~3/4.  The per-removal shares sum
+        # to the whole keyspace, so the mean across victims is exactly
+        # 25% — and each single removal stays well under the modulo
+        # baseline.
+        movements = []
+        for victim in range(4):
+            ring = HashRing(range(4))
+            before = {k: ring.lookup(k) for k in KEYS}
+            ring.remove(victim)
+            movements.append(
+                sum(1 for k in KEYS if ring.lookup(k) != before[k])
+            )
+        assert sum(movements) / 4 <= 0.25 * len(KEYS)
+        assert max(movements) <= 0.30 * len(KEYS)
+
+
+class TestBalance:
+    def test_keyspace_share_ratio_is_bounded(self):
+        for shards in (3, 4):
+            placement = HashRing(range(shards)).assignments(KEYS)
+            sizes = [len(keys) for keys in placement.values()]
+            assert len(sizes) == shards
+            assert min(sizes) > 0
+            assert max(sizes) / min(sizes) <= 1.5, sizes
+
+    def test_every_shard_owns_dataset_databases(self, bird_benchmark):
+        # Over the generated dataset's actual db_ids, the default
+        # 3-shard cluster leaves no worker idle.
+        db_ids = sorted({e.db_id for e in bird_benchmark.dev})
+        placement = HashRing(range(3)).assignments(db_ids)
+        assert all(placement[shard] for shard in range(3)), {
+            shard: len(keys) for shard, keys in placement.items()
+        }
+
+    def test_dataset_load_ratio_is_bounded(self, bird_benchmark):
+        # Shard load weighted by dev-split question volume: with only
+        # ten physical databases the shares are lumpy, but no shard of
+        # three may own a grossly outsized fraction of the traffic.
+        ring = HashRing(range(3))
+        load = {shard: 0 for shard in range(3)}
+        for example in bird_benchmark.dev:
+            load[ring.lookup(example.db_id)] += 1
+        assert all(load.values()), load
+        assert max(load.values()) <= 0.75 * len(bird_benchmark.dev), load
+
+    def test_more_vnodes_default_is_sane(self):
+        assert DEFAULT_VNODES >= 64  # balance degrades sharply below this
+
+    def test_assignments_lists_empty_nodes(self):
+        ring = HashRing(range(4))
+        placement = ring.assignments(["healthcare"])
+        assert set(placement) == {0, 1, 2, 3}
+        assert sum(len(keys) for keys in placement.values()) == 1

@@ -280,6 +280,55 @@ class TestRecover:
         assert "no header" in text
 
 
+class TestServeBenchCluster:
+    def test_shards_require_a_journal_directory(self):
+        code, text = run_cli("serve-bench", "--shards", "2")
+        assert code == 2
+        assert "--journal" in text
+
+    def test_cluster_flags_reject_unsupported_modes(self, tmp_path):
+        code, text = run_cli(
+            "serve-bench", "--shards", "2", "--journal", str(tmp_path),
+            "--fault-rate", "0.2",
+        )
+        assert code == 2
+        assert "--fault-rate" in text
+
+    def test_kill_worker_run_recovers_to_single_process_report(self, tmp_path):
+        # The PR's acceptance criterion end to end, through the CLI: a
+        # 3-shard run with worker 1 SIGKILLed mid-run completes, and the
+        # directory-recovered merged report is byte-identical to the
+        # undisturbed single-process run of the same seed.
+        reference = tmp_path / "reference.json"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "8", "--distinct", "6",
+            "--pool", "spread",
+            "--journal", str(tmp_path / "single.jsonl"),
+            "--report-out", str(reference),
+        )
+        assert code == 0
+        shard_dir = tmp_path / "segments"
+        recovered = tmp_path / "recovered.json"
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--shards", "3", "--kill-worker", "1", "--restart-budget", "1",
+            "--requests", "8", "--distinct", "6", "--pool", "spread",
+            "--journal", str(shard_dir),
+        )
+        assert code == 0
+        assert "1 deaths, 1 restarts" in text
+        assert "14 dispatched" not in text  # sanity: 8-request workload
+        code, text = run_cli(
+            "recover", "--journal", str(shard_dir),
+            "--report-out", str(recovered),
+        )
+        assert code == 0
+        assert "segments : 3" in text
+        assert "recovered: 8/8" in text
+        assert reference.read_bytes() == recovered.read_bytes()
+
+
 class TestTrace:
     def test_renders_span_tree_and_stage_costs(self):
         code, text = run_cli("--candidates", "3", "trace")
