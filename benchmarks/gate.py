@@ -11,7 +11,11 @@ change regresses past tolerance:
   fault rate, as a fraction of the fault-free EX, must stay within 0.02
   of baseline;
 * **EX** — parallel-evaluation execution accuracy (points) must stay
-  within 1.0 of baseline.
+  within 1.0 of baseline;
+* **tokens per request** — the cost-tiered routing pipeline's average
+  tokens per request on the mixed-difficulty serving profile must not
+  grow more than 10% over baseline (a cost gate: a change that quietly
+  defeats the fast path fails the build).
 
 Usage::
 
@@ -33,11 +37,13 @@ from pathlib import Path
 BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
 
 #: metric -> (kind, tolerance); "ratio" guards a fractional drop,
-#: "absolute" a unit drop.  All gates are one-sided: improvements pass.
+#: "absolute" a unit drop, "ratio_max" a fractional *rise* (for metrics
+#: where lower is better).  All gates are one-sided: improvements pass.
 TOLERANCES = {
     "throughput_rps": ("ratio", 0.20),
     "ex_retention": ("absolute", 0.02),
     "ex": ("absolute", 1.0),
+    "tokens_per_request": ("ratio_max", 0.10),
 }
 
 
@@ -57,7 +63,15 @@ def compare(current: dict, baseline: dict, tolerances: dict = None) -> list[str]
             failures.append(f"{metric}: missing from current measurement")
             continue
         base, now = float(baseline[metric]), float(current[metric])
-        if kind == "ratio":
+        if kind == "ratio_max":
+            ceiling = base * (1.0 + tolerance)
+            if now > ceiling:
+                rise = now / base - 1.0 if base else 1.0
+                failures.append(
+                    f"{metric}: {now:.4g} is {rise:.1%} above baseline "
+                    f"{base:.4g} (max allowed rise {tolerance:.0%})"
+                )
+        elif kind == "ratio":
             floor = base * (1.0 - tolerance)
             if now < floor:
                 drop = 1.0 - now / base if base else 1.0
@@ -84,6 +98,7 @@ def measure(smoke: bool = True) -> dict:
     from repro.llm.simulated import SimulatedLLM
     from repro.llm.skills import GPT_4O
     from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
+    from repro.routing import TieredPipeline
     from repro.serving import ServingEngine, zipf_workload
 
     eval_size = 12 if smoke else 50
@@ -135,6 +150,23 @@ def measure(smoke: bool = True) -> dict:
     faulted = evaluate_pipeline(shared, examples, name="faulted")
     retention = (faulted.ex / clean.ex) if clean.ex else 1.0
 
+    # 4. Tokens per request through the cost-tiered router on the
+    # mixed-difficulty serving profile (same mix bench_routing certifies).
+    mix = (
+        {"simple": 13, "moderate": 4, "challenging": 3}
+        if smoke
+        else {"simple": 65, "moderate": 20, "challenging": 15}
+    )
+    by_difficulty: dict[str, list] = {}
+    for example in mini_dev(bird, size=200):
+        by_difficulty.setdefault(example.difficulty, []).append(example)
+    profile = []
+    for difficulty, count in mix.items():
+        profile.extend(by_difficulty[difficulty][:count])
+    tiered = TieredPipeline(pipeline())
+    routed = evaluate_pipeline(tiered, profile, name="routed").deterministic_dict()
+    tokens_per_request = routed["total_tokens"] / routed["count"]
+
     return {
         "smoke": smoke,
         "eval_size": eval_size,
@@ -144,6 +176,8 @@ def measure(smoke: bool = True) -> dict:
         "clean_ex": clean.ex,
         "faulted_ex": faulted.ex,
         "ex_retention": round(retention, 4),
+        "routed_ex": routed["ex"],
+        "tokens_per_request": round(tokens_per_request, 1),
     }
 
 

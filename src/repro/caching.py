@@ -21,7 +21,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional
 
-__all__ = ["CacheStats", "LRUCache", "GoldResultCache", "normalize_question"]
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "GoldResultCache",
+    "normalize_question",
+    "result_cache_key",
+]
 
 
 def normalize_question(question: str) -> str:
@@ -32,6 +38,23 @@ def normalize_question(question: str) -> str:
     "how many heads") share one result-cache entry.
     """
     return " ".join(question.split()).rstrip(" ?.!").lower()
+
+
+def result_cache_key(example, pipeline=None) -> tuple:
+    """Result-tier cache key for one request.
+
+    The base key is ``(db_id, normalized question)``.  When ``pipeline``
+    routes requests into cost tiers (duck-typed on ``route_tier``), the
+    routed tier joins the key: after a router config/seed change, an old
+    FAST answer can never mask the FULL answer the new routing would
+    produce — the keys differ, so the request recomputes.  ``db_id``
+    stays first, keeping :meth:`LRUCache.invalidate_db` effective.
+    """
+    key: tuple = (example.db_id, normalize_question(example.question))
+    route_tier = getattr(pipeline, "route_tier", None)
+    if route_tier is not None:
+        key = key + (route_tier(example),)
+    return key
 
 
 @dataclass

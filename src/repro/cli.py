@@ -8,9 +8,11 @@ Subcommands::
     python -m repro ablate                     # quick Table-4-style sweep
     python -m repro baselines                  # Table-2-style leaderboard
     python -m repro serve-bench --workers 4    # serving engine under Zipf load
+    python -m repro serve-bench --routing      # cost-tiered routing fast path
     python -m repro serve-bench --shards 3 --journal DIR  # multi-process cluster
     python -m repro recover --journal j.jsonl  # finish a killed serve-bench run
     python -m repro recover --journal DIR      # merge + replay shard segments
+    python -m repro route-bench --size 100     # difficulty router tier mix
     python -m repro trace --question-id <id>   # serve one question, print spans
     python -m repro metrics --requests 24      # unified metrics export
 
@@ -119,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "when the queue is full (default: closed)")
     sb.add_argument("--no-cache", action="store_true",
                     help="disable all three cache tiers")
+    sb.add_argument("--routing", action="store_true",
+                    help="adaptive cost-tiered routing: serve each request "
+                         "on a FAST (no-CoT mini) / FULL / HEAVY tier with "
+                         "confidence-based escalation")
     sb.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
                     help="inject LLM and database faults at rate R each "
                          "(chaos mode; default: 0 = off)")
@@ -198,6 +204,23 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
                     help="inject LLM and database faults at rate R; "
                          "injections and retries appear as span events")
+
+    rb = sub.add_parser(
+        "route-bench",
+        help="score the difficulty router over a workload: tier mix, "
+             "per-difficulty routing and (optionally) the tiered-vs-full "
+             "token comparison",
+    )
+    rb.add_argument("--size", type=int, default=100, metavar="N",
+                    help="mini-dev sample size (default: 100)")
+    rb.add_argument("--answer", action="store_true",
+                    help="also answer every request through the tiers and "
+                         "report EX + tokens/request against an always-FULL "
+                         "run (slow)")
+    rb.add_argument("--decisions-out", metavar="PATH",
+                    help="write one JSON line per request (question_id, "
+                         "tier, score, features) — two runs with the same "
+                         "seed must produce byte-identical files")
 
     mt = sub.add_parser(
         "metrics",
@@ -453,6 +476,11 @@ def _cmd_serve_bench_cluster(args, out) -> int:
     workload = zipf_workload(
         pool, requests=args.requests, skew=args.zipf, seed=args.seed
     )
+    routing_config: dict = {}
+    if args.routing:
+        from repro.routing import RoutingConfig
+
+        routing_config = RoutingConfig().to_dict()
     config = ClusterConfig(
         shards=args.shards,
         benchmark=args.benchmark,
@@ -463,6 +491,8 @@ def _cmd_serve_bench_cluster(args, out) -> int:
         queue_capacity=args.queue_capacity,
         deadline_seconds=(args.deadline_ms / 1000.0) or None,
         restart_budget=args.restart_budget,
+        routing=args.routing,
+        routing_config=routing_config,
         header={
             "requests": args.requests,
             "distinct": args.distinct,
@@ -512,6 +542,12 @@ def _cmd_serve_bench_cluster(args, out) -> int:
         # the single-process bench uses, so the two are byte-comparable.
         view = ShardedJournalView(args.journal)
         clean = _build_pipeline(benchmark, args)
+        if args.routing:
+            from repro.routing import RoutingConfig, TieredPipeline
+
+            clean = TieredPipeline(
+                clean, RoutingConfig.from_dict(routing_config)
+            )
         outcomes = recover_run(
             view, clean, workload, result_cache_size=config.result_cache_size
         )
@@ -543,6 +579,13 @@ def _cmd_serve_bench(args, out) -> int:
         pool, requests=args.requests, skew=args.zipf, seed=args.seed
     )
     pipeline = _build_pipeline(benchmark, args)
+    tiered = None
+    if args.routing:
+        from repro.routing import TieredPipeline
+
+        # Chaos/backends rebind the *base* LLM below, which is exactly the
+        # FULL tier; the FAST/HEAVY tiers keep their own clean clients.
+        tiered = TieredPipeline(pipeline)
 
     llm_injector = db_stats = backends = None
     if args.backends > 0:
@@ -573,19 +616,27 @@ def _cmd_serve_bench(args, out) -> int:
     cache_size = 0 if args.no_cache else 512
     if args.journal:
         journal = ServingJournal(args.journal)
-        journal.write_header(
-            {
-                "benchmark": args.benchmark,
-                "model": args.model,
-                "candidates": args.candidates,
-                "seed": args.seed,
-                "requests": args.requests,
-                "distinct": args.distinct,
-                "pool": args.pool,
-                "zipf": args.zipf,
-                "result_cache_size": cache_size,
-            }
-        )
+        # The header pins the active skill profile and — for routed runs —
+        # the routing config plus the workload's routed tier mix, so
+        # 'repro recover' can refuse to replay under a different model
+        # tier instead of silently producing a divergent report.
+        header = {
+            "benchmark": args.benchmark,
+            "model": args.model,
+            "skill_profile": args.model,
+            "candidates": args.candidates,
+            "seed": args.seed,
+            "requests": args.requests,
+            "distinct": args.distinct,
+            "pool": args.pool,
+            "zipf": args.zipf,
+            "result_cache_size": cache_size,
+        }
+        if tiered is not None:
+            header["routing"] = True
+            header["routing_config"] = tiered.routing_config.to_dict()
+            header["tier_mix"] = tiered.tier_mix(workload)
+        journal.write_header(header)
         if args.kill_after > 0:
             kill_after = args.kill_after
 
@@ -605,7 +656,7 @@ def _cmd_serve_bench(args, out) -> int:
     if args.fault_rate > 0 and not hedge_ms:
         hedge_ms = 2000.0
     engine = ServingEngine(
-        pipeline,
+        tiered if tiered is not None else pipeline,
         workers=args.workers,
         queue_capacity=args.queue_capacity,
         result_cache_size=cache_size,
@@ -629,6 +680,8 @@ def _cmd_serve_bench(args, out) -> int:
     )
     out.write(f"served   : {served}/{len(workload)}\n")
     out.write(stats.format() + "\n")
+    if tiered is not None:
+        out.write(f"routing  : {tiered.routing_stats()}\n")
     if llm_injector is not None:
         out.write(f"llm faults : {llm_injector.stats.fault_counts()}\n")
     if db_stats is not None:
@@ -645,6 +698,12 @@ def _cmd_serve_bench(args, out) -> int:
         # re-running anything; scoring goes through a clean pipeline (no
         # chaos wrappers) so the report reflects what was served.
         clean = _build_pipeline(benchmark, args)
+        if tiered is not None:
+            from repro.routing import RoutingConfig, TieredPipeline
+
+            clean = TieredPipeline(
+                clean, RoutingConfig.from_dict(tiered.routing_config.to_dict())
+            )
         outcomes = recover_run(
             journal, clean, workload, result_cache_size=cache_size
         )
@@ -706,7 +765,31 @@ def _cmd_recover(args, out) -> int:
         skew=config.get("zipf", 1.2),
         seed=args.seed,
     )
+    recorded_profile = config.get("skill_profile")
+    if recorded_profile is not None and recorded_profile != args.model:
+        out.write(
+            f"error: journal header is inconsistent — skill_profile "
+            f"{recorded_profile!r} != model {args.model!r}; refusing to "
+            f"replay under a different model tier\n"
+        )
+        return 2
     pipeline = _build_pipeline(benchmark, args)
+    if config.get("routing"):
+        from repro.routing import RoutingConfig, TieredPipeline
+
+        pipeline = TieredPipeline(
+            pipeline, RoutingConfig.from_dict(config.get("routing_config", {}))
+        )
+        recorded_mix = config.get("tier_mix")
+        if recorded_mix is not None:
+            recomputed = pipeline.tier_mix(workload)
+            if recomputed != recorded_mix:
+                out.write(
+                    f"error: routed tier mix diverged — journal recorded "
+                    f"{recorded_mix}, this process routes {recomputed}; "
+                    f"refusing to replay under a different tier mix\n"
+                )
+                return 2
     pending_before = len(journal.pending())
     committed_before = len(journal)
     outcomes = recover_run(
@@ -727,6 +810,8 @@ def _cmd_recover(args, out) -> int:
         f"{len(workload) - committed_before} to finish\n"
     )
     out.write(f"recovered: {len(outcomes)}/{len(workload)} requests\n")
+    if report.meta.get("tier_mix"):
+        out.write(f"tier mix : {report.meta['tier_mix']}\n")
     out.write(f"EX       : {report.ex:.1f}\n")
     out.write(f"EX_G     : {report.ex_g:.1f}\n")
     out.write(f"EX_R     : {report.ex_r:.1f}\n")
@@ -789,6 +874,84 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_route_bench(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.routing import TieredPipeline
+
+    benchmark = _build_benchmark(args.benchmark)
+    examples = (
+        mini_dev(benchmark, size=args.size)
+        if args.benchmark == "bird"
+        else benchmark.dev[: args.size]
+    )
+    tiered = TieredPipeline(_build_pipeline(benchmark, args))
+    decisions = [(example, tiered.route(example)) for example in examples]
+
+    mix: dict = {}
+    by_difficulty: dict = {}
+    for example, decision in decisions:
+        tier = decision.tier.value
+        mix[tier] = mix.get(tier, 0) + 1
+        row = by_difficulty.setdefault(example.difficulty, {})
+        row[tier] = row.get(tier, 0) + 1
+    out.write(f"examples : {len(examples)}\n")
+    out.write(
+        "tier mix : "
+        + ", ".join(f"{tier}={count}" for tier, count in sorted(mix.items()))
+        + "\n"
+    )
+    tiers = sorted(mix)
+    rows = [
+        [difficulty] + [by_difficulty[difficulty].get(tier, 0) for tier in tiers]
+        for difficulty in sorted(by_difficulty)
+    ]
+    out.write(format_table(["Difficulty"] + tiers, rows) + "\n")
+
+    if args.decisions_out:
+        target = Path(args.decisions_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for example, decision in decisions:
+                handle.write(
+                    json.dumps(
+                        {
+                            "question_id": example.question_id,
+                            "tier": decision.tier.value,
+                            "score": decision.score,
+                            "features": decision.features.to_dict(),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        out.write(f"decisions: wrote {args.decisions_out}\n")
+
+    if args.answer:
+        full = evaluate_pipeline(
+            _build_pipeline(benchmark, args), examples, name="always-full"
+        )
+        tiered_report = evaluate_pipeline(tiered, examples, name="tiered")
+        full_tpr = full.cost.total_tokens / max(1, full.count)
+        tiered_tpr = tiered_report.cost.total_tokens / max(1, tiered_report.count)
+        reduction = (full_tpr - tiered_tpr) / full_tpr * 100 if full_tpr else 0.0
+        out.write(
+            format_table(
+                ["System", "EX", "tokens/request"],
+                [
+                    ["always-full", full.ex, round(full_tpr, 1)],
+                    ["tiered", tiered_report.ex, round(tiered_tpr, 1)],
+                ],
+            )
+            + "\n"
+        )
+        out.write(f"reduction: {reduction:.1f}% tokens/request "
+                  f"(EX delta {tiered_report.ex - full.ex:+.1f})\n")
+        out.write(f"routing  : {tiered.routing_stats()}\n")
+    return 0
+
+
 def _cmd_metrics(args, out) -> int:
     from repro.observability import MetricsRegistry
     from repro.serving import ServingEngine
@@ -825,6 +988,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "recover": _cmd_recover,
     "trace": _cmd_trace,
+    "route-bench": _cmd_route_bench,
     "metrics": _cmd_metrics,
 }
 

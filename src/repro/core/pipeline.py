@@ -52,6 +52,9 @@ class PipelineResult:
     cost: CostTracker = field(default_factory=CostTracker)
     #: every containment decision taken while answering (empty = clean run)
     degradations: list[DegradationEvent] = field(default_factory=list)
+    #: tier decision + escalation record when a routing layer answered
+    #: this request (a ``repro.routing.RoutingInfo``; None = unrouted)
+    routing: Optional[object] = None
 
     @property
     def degraded(self) -> bool:

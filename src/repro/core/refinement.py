@@ -31,7 +31,7 @@ from repro.sqlkit.parser import ParseError, parse_select
 from repro.sqlkit.render import render
 from repro.sqlkit.tokenizer import TokenizeError
 
-__all__ = ["RefinedCandidate", "RefinementResult", "Refiner", "vote"]
+__all__ = ["RefinedCandidate", "RefinementResult", "Refiner", "vote", "vote_share"]
 
 #: error statuses caused by the database substrate, not the SQL text;
 #: correction prompting is skipped for these (no few-shot can fix them)
@@ -107,6 +107,27 @@ def vote(candidates: list[RefinedCandidate]) -> Optional[RefinedCandidate]:
     best_key = max(order, key=lambda key: len(groups[key]))
     bucket = groups[best_key]
     return min(bucket, key=lambda c: c.outcome.elapsed_seconds)
+
+
+def vote_share(candidates: list[RefinedCandidate]) -> Optional[float]:
+    """Share of valid candidates held by the winning result group.
+
+    The self-consistency confidence signal the routing layer reads: a
+    thin winning group means the vote barely agreed on the answer.
+    Returns ``None`` when no candidate executed to a valid (OK) result.
+    """
+    valid = [
+        c
+        for c in candidates
+        if c.outcome is not None and c.outcome.status is ExecutionStatus.OK
+    ]
+    if not valid:
+        return None
+    groups: dict[tuple, int] = {}
+    for candidate in valid:
+        key = _result_key(candidate.outcome)
+        groups[key] = groups.get(key, 0) + 1
+    return max(groups.values()) / len(valid)
 
 
 class Refiner:

@@ -72,6 +72,10 @@ class EvalReport:
     latencies: list[float] = field(default_factory=list)
     #: question_id → Trace for runs with ``tracing=True`` (else empty)
     traces: dict = field(default_factory=dict)
+    #: run-level annotations (e.g. a routed run's tier mix); only
+    #: non-empty metas serialize, so unannotated reports keep their
+    #: historical byte layout
+    meta: dict = field(default_factory=dict)
 
     @property
     def ex(self) -> float:
@@ -195,7 +199,7 @@ class EvalReport:
         same workload with the same seeds serialize *byte-identically*.
         Crash-recovery certification diffs exactly this document.
         """
-        return {
+        document = {
             "system": self.system,
             "count": self.count,
             "ex": self.ex,
@@ -221,6 +225,9 @@ class EvalReport:
                 for score in self.scores
             ],
         }
+        if self.meta:
+            document["meta"] = dict(sorted(self.meta.items()))
+        return document
 
     def save_json(self, path) -> None:
         """Write the report summary to ``path`` as JSON, creating missing

@@ -1,0 +1,44 @@
+"""Adaptive cost-tiered routing: a no-CoT fast path with
+confidence-based escalation.
+
+This package turns the skill profiles from eval subjects into a serving
+feature: a :class:`DifficultyRouter` scores each request from cheap
+heuristic features into FAST / FULL / HEAVY tiers, a
+:class:`FastPathPipeline` answers FAST requests with a single no-CoT
+call on the mini profile, and an :class:`EscalationPolicy` promotes
+unconfident answers up the ladder — re-entering the full OpenSearch-SQL
+pipeline and finally the HEAVY skill model — with every promotion
+recorded as a typed :class:`EscalationEvent` and charged against the
+request's existing ``Deadline``.
+
+:class:`TieredPipeline` packages the three as a drop-in replacement for
+``OpenSearchSQL`` in the serving engine, evaluation runner and journal
+replay; its :class:`RoutingInfo` rides on each ``PipelineResult`` so
+kill/recover replay is tier-faithful.
+"""
+
+from repro.routing.escalation import EscalationEvent, EscalationPolicy
+from repro.routing.fastpath import FastAttempt, FastPathPipeline
+from repro.routing.router import (
+    DifficultyRouter,
+    RouteDecision,
+    RouteFeatures,
+    RoutingConfig,
+    Tier,
+)
+from repro.routing.tiered import RoutingInfo, TierAttempt, TieredPipeline
+
+__all__ = [
+    "DifficultyRouter",
+    "EscalationEvent",
+    "EscalationPolicy",
+    "FastAttempt",
+    "FastPathPipeline",
+    "RouteDecision",
+    "RouteFeatures",
+    "RoutingConfig",
+    "RoutingInfo",
+    "Tier",
+    "TierAttempt",
+    "TieredPipeline",
+]

@@ -1,0 +1,204 @@
+"""Escalation policy: promoting a request up the tier ladder on low
+execution confidence.
+
+A FAST-tier answer escalates to FULL when any of its cheap confidence
+probes fails; a FULL-tier answer escalates to HEAVY when its
+self-consistency vote is too thin.  Every promotion is recorded as a
+typed :class:`EscalationEvent` (journaled, traced, counted in metrics)
+and its cost is charged against the request's existing ``Deadline`` —
+escalation never buys time the request does not have.
+
+Signals, cheapest first:
+
+* ``empty_result``       — the fast answer executed to zero rows;
+* ``error_status``       — the fast answer errored even after correction;
+* ``probe_disagreement`` — the no-CoT probe candidates disagree on SQL;
+* ``value_probe``        — a retrieved value literal is missing from the
+  final SQL (the signature of a dropped filter);
+* ``comparison_probe``   — the SQL negates or inverts a comparison the
+  question never asked for (``<>`` without a negation cue, ``<`` on a
+  "more than" question — the signature of a flipped operator);
+* ``fast_failed``        — the fast path itself raised;
+* ``low_vote_share``     — the FULL tier's winning result group holds
+  less than ``vote_floor`` of the valid candidates;
+* ``no_valid_candidate`` — every FULL-tier candidate errored or came
+  back empty.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.refinement import vote_share
+from repro.execution.executor import ExecutionStatus
+
+__all__ = ["EscalationEvent", "EscalationPolicy"]
+
+
+@dataclass(frozen=True)
+class EscalationEvent:
+    """One typed tier promotion."""
+
+    from_tier: str
+    to_tier: str
+    reason: str
+    detail: str = ""
+    #: cost already sunk into the abandoned attempt when escalation fired
+    tokens_spent: int = 0
+    model_seconds_spent: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (journal records, reports)."""
+        return {
+            "from_tier": self.from_tier,
+            "to_tier": self.to_tier,
+            "reason": self.reason,
+            "detail": self.detail,
+            "tokens_spent": self.tokens_spent,
+            "model_seconds_spent": round(self.model_seconds_spent, 6),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EscalationEvent":
+        """Inverse of :meth:`to_dict`."""
+        names = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+#: question phrasings that justify a negated comparison in the SQL
+_NEGATION_CUES = (
+    "not ", "n't", "other than", "excluding", "except", "without",
+    "never", "no longer", "non-", "outside", "differ",
+)
+#: question phrasings implying a lower / upper bound
+_MORE_CUES = (
+    "more than", "greater than", "above", "over ", "exceed", "at least",
+    "higher than", "older than", "longer than", "taller than", "after",
+)
+_LESS_CUES = (
+    "less than", "fewer than", "below", "under ", "at most", "within",
+    "lower than", "younger than", "shorter than", "no more than", "before",
+)
+
+_COMPARISON_RE = re.compile(r"<>|!=|<=|>=|<|>")
+
+
+class EscalationPolicy:
+    """Decides whether an answered attempt is confident enough to serve.
+
+    The assess methods return ``None`` (serve the answer) or a
+    ``(reason, detail)`` pair (promote to the next tier).  They inspect
+    only the attempt's observables — execution outcome, probe candidates,
+    provided values, vote composition — never the gold answer.
+    """
+
+    def __init__(
+        self,
+        vote_floor: float = 0.34,
+        value_probe: bool = True,
+        comparison_probe: bool = True,
+    ):
+        self.vote_floor = vote_floor
+        self.value_probe = value_probe
+        self.comparison_probe = comparison_probe
+
+    # ------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _normalize_sql(sql: str) -> str:
+        return " ".join(sql.split()).rstrip(";").lower()
+
+    def dropped_values(self, extraction, final_sql: str) -> list[str]:
+        """Retrieved value literals when *none* of them made the SQL.
+
+        One absent literal among several present ones is normal (retrieval
+        over-fetches); every literal absent is the signature of a dropped
+        filter.  Returns the missing literals, or [] when confident.
+        """
+        if extraction is None:
+            return []
+        literals = [
+            str(value.value)
+            for value in getattr(extraction, "values", ())  # RetrievedValue
+            if str(value.value)
+        ]
+        if not literals:
+            return []
+        lowered = final_sql.lower()
+        if any(literal.lower() in lowered for literal in literals):
+            return []
+        return literals
+
+    def flipped_comparison(self, question: str, sql: str) -> Optional[str]:
+        """A comparison operator the question's phrasing cannot justify.
+
+        The hard-fail channel's signature mutations keep the value literal
+        but invert the operator (``=`` → ``<>``, ``>`` → ``<``); the
+        question text still says what direction was asked for.
+        """
+        q = question.lower()
+        ops = set(_COMPARISON_RE.findall(sql))
+        if ("<>" in ops or "!=" in ops) and not any(c in q for c in _NEGATION_CUES):
+            return "negated equality with no negation cue in the question"
+        asks_more = any(c in q for c in _MORE_CUES)
+        asks_less = any(c in q for c in _LESS_CUES)
+        if ("<" in ops or "<=" in ops) and asks_more and not asks_less:
+            return "'<' comparison on a lower-bound question"
+        if (">" in ops or ">=" in ops) and asks_less and not asks_more:
+            return "'>' comparison on an upper-bound question"
+        return None
+
+    # -------------------------------------------------------------- assess
+
+    def assess_fast(self, attempt) -> Optional[tuple[str, str]]:
+        """Confidence check for a FAST-tier attempt.
+
+        ``attempt`` is a :class:`~repro.routing.fastpath.FastAttempt`
+        (duck-typed: ``result``, ``probe_sqls``, ``outcome``).
+        """
+        outcome = attempt.outcome
+        if outcome is None:
+            return ("error_status", "fast path produced no execution outcome")
+        if outcome.status is ExecutionStatus.EMPTY:
+            return ("empty_result", "fast answer returned zero rows")
+        if outcome.status is not ExecutionStatus.OK:
+            return ("error_status", f"fast answer status {outcome.status.value}")
+        probes = [self._normalize_sql(sql) for sql in attempt.probe_sqls if sql]
+        if len(set(probes)) > 1:
+            return (
+                "probe_disagreement",
+                f"{len(set(probes))} distinct SQLs across {len(probes)} probes",
+            )
+        if self.value_probe:
+            missing = self.dropped_values(
+                attempt.result.extraction, attempt.result.final_sql
+            )
+            if missing:
+                return (
+                    "value_probe",
+                    f"no retrieved value made the SQL: {missing[:3]}",
+                )
+        if self.comparison_probe and attempt.question:
+            flipped = self.flipped_comparison(
+                attempt.question, attempt.result.final_sql
+            )
+            if flipped is not None:
+                return ("comparison_probe", flipped)
+        return None
+
+    def assess_full(self, result) -> Optional[tuple[str, str]]:
+        """Confidence check for a FULL-tier attempt (vote thinness)."""
+        refinement = getattr(result, "refinement", None)
+        if refinement is None or not refinement.candidates:
+            return None  # refinement skipped (deadline) — nothing to judge
+        share = vote_share(refinement.candidates)
+        if share is None:
+            return ("no_valid_candidate", "every candidate errored or was empty")
+        if share < self.vote_floor:
+            return (
+                "low_vote_share",
+                f"winning group holds {share:.2f} < floor {self.vote_floor:.2f}",
+            )
+        return None

@@ -1,0 +1,230 @@
+"""The FAST tier: one no-CoT call on the mini skill profile.
+
+:class:`FastPathPipeline` reuses the existing prompt/extraction
+machinery and the base pipeline's few-shot library, but strips the
+request to its cheapest viable form:
+
+* **zero-LLM extraction** — stored values are retrieved on the
+  preprocessed vector indexes straight from the request's value-mention
+  surfaces, and the schema prompt is cut to the top vector-scored
+  tables (no entity-extraction / column-selection / info-alignment
+  calls);
+* **one batched generation call** — no structured CoT, a small few-shot
+  window, ``fast_candidates`` completions in a single call (the prompt
+  is charged once);
+* **single-candidate refinement** — no alignment pass, no
+  multi-sample voting; one execution plus at most one correction round.
+
+The candidates beyond the first are *agreement probes*: they cost only
+completion tokens and give the escalation policy a disagreement signal
+without any extra LLM round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cost import CostTracker
+from repro.core.extraction import ExtractionResult, Extractor
+from repro.core.generation import Generator
+from repro.core.pipeline import FALLBACK_SQL, PipelineResult
+from repro.core.refinement import RefinementResult, Refiner
+from repro.datasets.types import Example
+from repro.execution.executor import ExecutionOutcome
+from repro.llm.base import LLMClient
+from repro.reliability.deadline import Deadline
+from repro.reliability.degradation import DegradationEvent, DegradationKind
+from repro.schema.serialize import schema_to_prompt
+
+__all__ = ["FastAttempt", "FastPathPipeline"]
+
+
+@dataclass
+class FastAttempt:
+    """A FAST-tier answer plus the observables the escalation policy reads."""
+
+    result: PipelineResult
+    #: the raw candidate SQLs of the single batched call (answer + probes)
+    probe_sqls: list[str] = field(default_factory=list)
+    #: execution outcome of the (refined) answer candidate
+    outcome: Optional[ExecutionOutcome] = None
+    #: the question text (read by the comparison probe)
+    question: str = ""
+
+
+class FastPathPipeline:
+    """Single-call no-CoT answering over the base pipeline's artifacts."""
+
+    def __init__(self, base, llm: LLMClient, n_candidates: int = 2):
+        self.base = base
+        self.llm = llm
+        #: the fast profile: tiny candidate pool, no CoT, a short few-shot
+        #: window, no alignment, no self-consistency vote — the paper
+        #: pipeline stripped to one generation call plus one execution
+        self.config = base.config.with_(
+            n_candidates=max(1, n_candidates),
+            n_few_shot=min(base.config.n_few_shot, 1),
+            cot_mode="none",
+            use_alignments=False,
+            use_self_consistency=False,
+        )
+        self.generator = Generator(llm, self.config)
+        self.refiner = Refiner(llm, self.config, base.vectorizer)
+        #: vector-only value retrieval (never calls the LLM)
+        self._retriever = Extractor(llm, self.config, base.vectorizer)
+
+    #: how many top-scoring tables the vector filter keeps in the prompt
+    TABLE_BUDGET = 2
+
+    def extract(self, example: Example, pre) -> ExtractionResult:
+        """Zero-LLM extraction: vector value retrieval over the request's
+        own value-mention surfaces plus a vector-only table filter.
+
+        The table filter scores every table by column-index similarity to
+        the question's words and value mentions (retrieved values count
+        double — a stored value pins its table) and keeps the top
+        ``TABLE_BUDGET`` tables with *all* their columns.  Keeping whole
+        tables avoids the over-pruned-column cliff; when the filter still
+        guesses wrong, the broken query it provokes fails execution and
+        the escalation policy promotes the request to FULL.
+        """
+        surfaces = [m.surface for m in example.value_mentions]
+        values = (
+            self._retriever.retrieve_values(surfaces, pre) if surfaces else []
+        )
+        scores: dict[str, float] = {}
+        for query in surfaces + example.question.split():
+            vector = self.base.vectorizer.embed(query)
+            for hit in pre.column_index.search(vector, k=3):
+                table, _column = hit.payload
+                scores[table] = scores.get(table, 0.0) + hit.score
+        for value in values:
+            scores[value.table] = scores.get(value.table, 0.0) + value.score + 0.5
+        keep_tables = [
+            table
+            for table, _score in sorted(
+                scores.items(), key=lambda kv: (-kv[1], kv[0])
+            )[: self.TABLE_BUDGET]
+        ]
+        schema, schema_prompt, filtered = pre.schema, pre.schema_prompt, False
+        if keep_tables:
+            subset = pre.schema.subset(
+                {
+                    table.name: {c.name for c in table.columns}
+                    for table in pre.schema.tables
+                    if table.name in keep_tables
+                }
+            )
+            if subset.tables:
+                schema, filtered = subset, True
+                schema_prompt = schema_to_prompt(subset)
+        return ExtractionResult(
+            entities=surfaces,
+            values=values,
+            schema=schema,
+            schema_prompt=schema_prompt,
+            schema_filtered=filtered,
+        )
+
+    def answer(self, example: Example, deadline: Optional[Deadline] = None) -> FastAttempt:
+        """Answer one question on the fast profile.
+
+        Containment mirrors the base pipeline: extraction failure falls
+        back to full-schema prompting, generation failure falls back to
+        ``FALLBACK_SQL`` — both recorded as typed degradations so the
+        escalation policy (and the report) can see them.
+        """
+        base = self.base
+        cost = CostTracker()
+        degradations: list[DegradationEvent] = []
+        pre = base.preprocessed(example.db_id)
+        executor = base.executor(example.db_id)
+        if deadline is not None:
+            deadline.attach_meter(lambda: cost.total_model_seconds)
+
+        with cost.timed("extraction"):
+            try:
+                extraction = self.extract(example, pre)
+            except Exception as exc:
+                degradations.append(
+                    DegradationEvent(
+                        kind=DegradationKind.EXTRACTION_FALLBACK,
+                        stage="extraction",
+                        cause=type(exc).__name__,
+                        detail=str(exc),
+                    )
+                )
+                extraction = ExtractionResult(
+                    schema=pre.schema, schema_prompt=pre.schema_prompt
+                )
+
+        sqls: list[str] = []
+        with cost.timed("generation"):
+            if not (deadline is not None and deadline.expired):
+                try:
+                    sqls = self.generator.run(
+                        example,
+                        extraction,
+                        base.library,
+                        cost,
+                        n_candidates=self.config.n_candidates,
+                    ).sqls
+                except Exception as exc:
+                    degradations.append(
+                        DegradationEvent(
+                            kind=DegradationKind.ANSWER_FAILED,
+                            stage="generation",
+                            cause=type(exc).__name__,
+                            detail=str(exc),
+                        )
+                    )
+        if not sqls:
+            degradations.append(
+                DegradationEvent(
+                    kind=DegradationKind.EMPTY_GENERATION,
+                    stage="generation",
+                    cause="no_parseable_sql",
+                    detail=f"fast path falling back to {FALLBACK_SQL!r}",
+                )
+            )
+            sqls = [FALLBACK_SQL]
+
+        with cost.timed("refinement"):
+            try:
+                # Only the answer candidate is refined/executed; the probe
+                # candidates exist purely for the disagreement signal.
+                refinement = self.refiner.run(
+                    example, sqls[:1], pre, extraction, executor, cost,
+                    deadline=deadline,
+                )
+            except Exception as exc:
+                degradations.append(
+                    DegradationEvent(
+                        kind=DegradationKind.REFINEMENT_SKIPPED,
+                        stage="refinement",
+                        cause=type(exc).__name__,
+                        detail=str(exc),
+                    )
+                )
+                refinement = RefinementResult(final_sql=sqls[0], candidates=[])
+
+        outcome = (
+            refinement.candidates[0].outcome if refinement.candidates else None
+        )
+        result = PipelineResult(
+            question_id=example.question_id,
+            final_sql=refinement.final_sql,
+            generation_sql=sqls[0],
+            refined_sql=refinement.first_refined_sql or sqls[0],
+            extraction=extraction,
+            refinement=refinement,
+            cost=cost,
+            degradations=degradations,
+        )
+        return FastAttempt(
+            result=result,
+            probe_sqls=list(sqls),
+            outcome=outcome,
+            question=example.question,
+        )

@@ -77,6 +77,12 @@ class ClusterConfig:
     #: wall-clock ceiling for one request end to end (safety net so a
     #: supervision bug degrades to a typed failure, never a hang)
     request_timeout: float = 120.0
+    #: route requests through FAST/FULL/HEAVY cost tiers inside every
+    #: worker; the router is deterministic by seed, so each shard routes
+    #: its partition exactly as a single process would
+    routing: bool = False
+    #: RoutingConfig overrides as a plain dict (JSON wire format)
+    routing_config: dict = field(default_factory=dict)
     #: extra header fields journaled per segment (the CLI records the
     #: workload parameters here so ``repro recover`` can rebuild the run)
     header: dict = field(default_factory=dict)
@@ -94,17 +100,22 @@ class ClusterConfig:
 
     def header_config(self, shard: int) -> dict:
         """The header record shard ``shard`` writes to its segment."""
-        return {
+        header = {
             "benchmark": self.benchmark,
             "model": self.model,
+            "skill_profile": self.model,
             "candidates": self.candidates,
             "seed": self.seed,
             "result_cache_size": self.result_cache_size,
             "shards": self.shards,
             "ring_vnodes": self.ring_vnodes,
             "shard": shard,
-            **self.header,
         }
+        if self.routing:
+            header["routing"] = True
+            header["routing_config"] = dict(self.routing_config)
+        header.update(self.header)
+        return header
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -162,6 +173,16 @@ def build_worker_pipeline(config: ClusterConfig):
         llm,
         PipelineConfig(n_candidates=config.candidates, seed=config.seed),
     )
+    if config.routing:
+        from repro.routing import RoutingConfig, TieredPipeline
+
+        # Router state is per-shard but deterministic by seed: every
+        # worker (and a recovery process) routes any given request to the
+        # same tier, so a rebalanced or recovered cluster stays
+        # tier-faithful.
+        pipeline = TieredPipeline(
+            pipeline, RoutingConfig.from_dict(config.routing_config)
+        )
     return benchmark, pipeline
 
 

@@ -6,8 +6,10 @@ queue (:class:`~repro.serving.admission.AdmissionController`, wired to the
 reliability layer's circuit breaker and a request budget), executed on a
 thread pool, and answered through three cache tiers:
 
-1. **result** — exact-match on normalized ``(db_id, question)``; a hit
-   skips the pipeline entirely;
+1. **result** — exact-match on normalized ``(db_id, question)`` (plus the
+   routed tier when the pipeline is a
+   :class:`~repro.routing.TieredPipeline`); a hit skips the pipeline
+   entirely;
 2. **extraction** — the Extraction stage's output per question, shared by
    repeat requests that miss the result tier (e.g. after invalidation);
 3. **fewshot** — Masked-Question retrieval results from the few-shot
@@ -45,7 +47,7 @@ from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.deadline import Deadline
 from repro.reliability.faults import BudgetExceededError, CircuitOpenError
 from repro.serving.admission import AdmissionController, AdmissionError
-from repro.caching import LRUCache, normalize_question
+from repro.caching import LRUCache, normalize_question, result_cache_key
 from repro.serving.backends import BackendPool
 from repro.serving.bulkhead import (
     BulkheadFullError,
@@ -101,9 +103,12 @@ class CachingFewShotLibrary:
     """Few-shot-tier cache: wraps a FewShotLibrary, memoizing ``search``.
 
     MQs retrieval re-embeds and re-searches the masked question on every
-    generation call; the key ``(question, surfaces, k, db_id)`` captures
-    every argument that shapes the result.  ``add`` invalidates the whole
-    tier (new entries can change any ranking).
+    generation call; the key ``(normalized question, surfaces, k, db_id)``
+    captures every argument that shapes the result.  The question is
+    normalized like the result tier's key — retrieval embeds case-folded
+    masked text, so variants differing only in trailing ``?`` spacing or
+    case retrieve identically and must share one entry.  ``add``
+    invalidates the whole tier (new entries can change any ranking).
     """
 
     def __init__(self, inner, cache: LRUCache):
@@ -111,7 +116,7 @@ class CachingFewShotLibrary:
         self.cache = cache
 
     def search(self, question, surfaces=(), k=5, db_id=None):
-        key = (question, tuple(surfaces), k, db_id)
+        key = (normalize_question(question), tuple(surfaces), k, db_id)
         hit = self.cache.get(key)
         if hit is not None:
             # Generation's stage span is ambient here; the event lands on it.
@@ -272,6 +277,23 @@ class ServingEngine:
             )
             # The free-floating stats objects surface in the unified export
             # via collectors — their accounting is untouched.
+            self._m_tier = metrics.counter(
+                "repro_routing_tier_total",
+                "freshly answered requests by final routing tier",
+                labelnames=("tier",),
+            )
+            self._m_escalations = metrics.counter(
+                "repro_routing_escalations_total",
+                "tier promotions by escalation reason",
+                labelnames=("reason",),
+            )
+            self._m_tier_tokens = metrics.counter(
+                "repro_routing_tokens_total",
+                "tokens spent per routing tier (escalated attempts included)",
+                labelnames=("tier",),
+            )
+            if hasattr(pipeline, "routing_stats"):
+                metrics.register_collector("routing", pipeline.routing_stats)
             metrics.register_collector("serving", lambda: self.stats().to_dict())
             metrics.register_collector("health", self.health.snapshot)
             metrics.register_collector("bulkheads", self.bulkheads.to_dict)
@@ -386,7 +408,7 @@ class ServingEngine:
         budget = (
             deadline_seconds if deadline_seconds is not None else self.deadline_seconds
         )
-        key = (example.db_id, normalize_question(example.question))
+        key = result_cache_key(example, self.pipeline)
         trace = (
             Trace(question_id=example.question_id, db_id=example.db_id)
             if self.tracing
@@ -452,6 +474,15 @@ class ServingEngine:
                 self.result_cache.put(key, result)
             if self.journal is not None and seq is not None:
                 self.journal.commit(seq, "ok", result=result)
+            routing = getattr(result, "routing", None)
+            if self.metrics is not None and routing is not None:
+                self._m_tier.labels(tier=routing.final_tier).inc()
+                for event in routing.escalations:
+                    self._m_escalations.labels(reason=event.reason).inc()
+                for attempt in routing.attempts:
+                    self._m_tier_tokens.labels(tier=attempt.tier).inc(
+                        attempt.tokens
+                    )
             self._record(
                 example,
                 "ok",
@@ -537,8 +568,7 @@ class ServingEngine:
         for example, result in records:
             if result is None or result.deadline_exceeded:
                 continue
-            key = (example.db_id, normalize_question(example.question))
-            self.result_cache.put(key, result)
+            self.result_cache.put(result_cache_key(example, self.pipeline), result)
             warmed += 1
         return warmed
 

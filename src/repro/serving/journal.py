@@ -14,8 +14,15 @@ Record grammar (one JSON object per line, append-only)::
     {"type": "header", "version": 1, "config": {...workload parameters...}}
     {"type": "accepted",  "seq": 7, "question_id": ..., "db_id": ...}
     {"type": "committed", "seq": 7, "status": "ok"|"cached"|"failed",
-     "result": {final_sql, generation_sql, refined_sql, degradations},
+     "result": {final_sql, generation_sql, refined_sql, degradations,
+                routing?},
      "cost": {stage: {...}}, "error": null}
+
+The optional ``routing`` payload (present only when a
+:class:`~repro.routing.TieredPipeline` answered the request) stores the
+tier decision, attempts and escalation events, so a kill/recover replay
+is *tier-faithful*: replayed requests keep their original tier
+accounting and re-run requests route identically by seed.
 
 Durability properties:
 
@@ -46,7 +53,7 @@ import threading
 from pathlib import Path
 from typing import Callable, Optional, Union
 
-from repro.caching import LRUCache, normalize_question
+from repro.caching import LRUCache, result_cache_key
 from repro.core.cost import CostTracker
 from repro.core.pipeline import OpenSearchSQL, PipelineResult
 from repro.datasets.types import Example
@@ -176,6 +183,9 @@ class ServingJournal:
                 "refined_sql": result.refined_sql,
                 "degradations": [e.to_dict() for e in result.degradations],
             }
+            routing = getattr(result, "routing", None)
+            if routing is not None:
+                record["result"]["routing"] = routing.to_dict()
             record["cost"] = encode_cost(result.cost)
         with self._lock:
             self._committed[seq] = record
@@ -231,6 +241,13 @@ class ServingJournal:
         if payload is None:
             return None, CostTracker()
         cost = decode_cost(record.get("cost") or {})
+        routing = None
+        if payload.get("routing") is not None:
+            # Local import: repro.serving stays importable without the
+            # routing package (which pulls in the LLM skill profiles).
+            from repro.routing.tiered import RoutingInfo
+
+            routing = RoutingInfo.from_dict(payload["routing"])
         result = PipelineResult(
             question_id=payload["question_id"],
             final_sql=payload["final_sql"],
@@ -241,6 +258,7 @@ class ServingJournal:
                 DegradationEvent.from_dict(d)
                 for d in payload.get("degradations", [])
             ],
+            routing=routing,
         )
         return result, cost
 
@@ -270,7 +288,9 @@ def recover_run(
     cache = LRUCache(result_cache_size)
     outcomes: list[tuple[str, Optional[PipelineResult], CostTracker, Optional[str]]] = []
     for seq, example in enumerate(workload):
-        key = (example.db_id, normalize_question(example.question))
+        # Tier-aware like the engine's key: a routed run recovers with the
+        # same per-tier hit pattern the uninterrupted run had.
+        key = result_cache_key(example, pipeline)
         record = journal.committed(seq)
         if record is not None:
             status = record.get("status", "ok")
@@ -339,7 +359,16 @@ def assemble_report(
 
     report = EvalReport(system=name)
     gold = gold_cache if gold_cache is not None else GoldResultCache()
+    tier_mix: dict[str, int] = {}
+    escalation_mix: dict[str, int] = {}
     for example, (status, result, cost, error) in zip(workload, outcomes):
+        routing = getattr(result, "routing", None)
+        if routing is not None:
+            tier_mix[routing.final_tier] = tier_mix.get(routing.final_tier, 0) + 1
+            for event in routing.escalations:
+                escalation_mix[event.reason] = (
+                    escalation_mix.get(event.reason, 0) + 1
+                )
         if status == "failed" or result is None:
             score = _error_score(example, error or "request failed")
             report.scores.append(score)
@@ -364,4 +393,10 @@ def assemble_report(
             report.degradations.append(
                 {"question_id": example.question_id, **event.to_dict()}
             )
+    if tier_mix:
+        # Routed runs annotate the report; the annotation replays from
+        # journal records, so kill/recover keeps it byte-identical.
+        report.meta["tier_mix"] = dict(sorted(tier_mix.items()))
+        if escalation_mix:
+            report.meta["escalations"] = dict(sorted(escalation_mix.items()))
     return report

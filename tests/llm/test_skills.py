@@ -15,6 +15,21 @@ class TestLookup:
         with pytest.raises(KeyError):
             skill_by_name("gpt-99")
 
+    def test_unknown_error_lists_available_profiles(self):
+        """The router's fast/heavy tiers resolve skills by name at
+        construction; a typo must fail with the full menu, not a bare
+        KeyError."""
+        with pytest.raises(KeyError, match=r"unknown skill profile 'gpt-99'"):
+            skill_by_name("gpt-99")
+        with pytest.raises(KeyError, match=r"gpt-4o-mini"):
+            skill_by_name("gpt-99")
+
+    def test_lookup_is_case_and_whitespace_sensitive(self):
+        # Names are exact identifiers, not fuzzy matches.
+        for variant in ("GPT-4O", " gpt-4o", "gpt-4o ", ""):
+            with pytest.raises(KeyError):
+                skill_by_name(variant)
+
 
 class TestFactors:
     def test_difficulty_scale_order(self):
@@ -27,6 +42,19 @@ class TestFactors:
 
     def test_unknown_difficulty_defaults_to_one(self):
         assert GPT_4O.difficulty_scale("weird") == 1.0
+
+    def test_edge_difficulty_labels_default_to_one(self):
+        """Examples with a blank or foreign difficulty label (e.g. from a
+        hand-built benchmark) must behave as moderate-strength neutral,
+        never crash or zero out the channel."""
+        for profile in (GPT_4O, GPT_4, GPT_4O_MINI):
+            for label in ("", "SIMPLE", "unknown", "extra hard"):
+                assert profile.difficulty_scale(label) == 1.0
+
+    def test_known_difficulty_scales_are_positive(self):
+        for profile in (GPT_4O, GPT_4, GPT_4O_MINI):
+            for label in ("simple", "moderate", "challenging"):
+                assert profile.difficulty_scale(label) > 0.0
 
     def test_fewshot_factor_ordering(self):
         # CoT-form few-shot suppresses errors more than plain pairs.

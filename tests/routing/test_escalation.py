@@ -1,0 +1,204 @@
+"""EscalationPolicy: probe semantics, signal ordering, event round-trip."""
+
+from types import SimpleNamespace
+
+from repro.execution.executor import ExecutionOutcome, ExecutionStatus
+from repro.routing import EscalationEvent, EscalationPolicy
+
+
+def _attempt(
+    status=ExecutionStatus.OK,
+    rows=((1,),),
+    probe_sqls=("SELECT a FROM t", "SELECT a FROM t"),
+    final_sql="SELECT a FROM t",
+    values=(),
+    question="list the names",
+    outcome="auto",
+):
+    extraction = SimpleNamespace(
+        values=tuple(SimpleNamespace(value=v) for v in values)
+    )
+    if outcome == "auto":
+        outcome = ExecutionOutcome(status=status, rows=rows)
+    return SimpleNamespace(
+        result=SimpleNamespace(final_sql=final_sql, extraction=extraction),
+        probe_sqls=tuple(probe_sqls),
+        outcome=outcome,
+        question=question,
+    )
+
+
+class TestDroppedValues:
+    def test_all_literals_absent_fires(self):
+        policy = EscalationPolicy()
+        attempt = _attempt(values=("Alice", "Bob"), final_sql="SELECT * FROM t")
+        missing = policy.dropped_values(attempt.result.extraction, "SELECT * FROM t")
+        assert missing == ["Alice", "Bob"]
+
+    def test_one_literal_present_is_confident(self):
+        """Retrieval over-fetches; a single matched literal is normal and
+        must not escalate."""
+        policy = EscalationPolicy()
+        extraction = SimpleNamespace(
+            values=(SimpleNamespace(value="Alice"), SimpleNamespace(value="Bob"))
+        )
+        sql = "SELECT * FROM t WHERE name = 'alice'"
+        assert policy.dropped_values(extraction, sql) == []
+
+    def test_no_extraction_or_no_values_is_confident(self):
+        policy = EscalationPolicy()
+        assert policy.dropped_values(None, "SELECT 1") == []
+        empty = SimpleNamespace(values=())
+        assert policy.dropped_values(empty, "SELECT 1") == []
+
+
+class TestFlippedComparison:
+    def test_negated_equality_without_cue(self):
+        policy = EscalationPolicy()
+        detail = policy.flipped_comparison(
+            "Which city has the stadium?", "SELECT c FROM t WHERE city <> 'x'"
+        )
+        assert detail is not None and "negation" in detail
+
+    def test_negation_cue_justifies_inequality(self):
+        policy = EscalationPolicy()
+        for question in (
+            "Which cities are not in Texas?",
+            "List players other than goalies",
+            "Which homes are outside the city limits?",
+        ):
+            sql = "SELECT c FROM t WHERE a <> 'x'"
+            assert policy.flipped_comparison(question, sql) is None, question
+
+    def test_less_than_on_a_lower_bound_question(self):
+        policy = EscalationPolicy()
+        detail = policy.flipped_comparison(
+            "How many players scored more than 30 goals?",
+            "SELECT COUNT(*) FROM t WHERE goals < 30",
+        )
+        assert detail is not None and "<" in detail
+
+    def test_greater_than_on_an_upper_bound_question(self):
+        policy = EscalationPolicy()
+        detail = policy.flipped_comparison(
+            "List accounts with at most 5 loans",
+            "SELECT a FROM t WHERE loans > 5",
+        )
+        assert detail is not None and ">" in detail
+
+    def test_matching_direction_is_confident(self):
+        policy = EscalationPolicy()
+        assert policy.flipped_comparison(
+            "more than 30 goals", "SELECT * FROM t WHERE goals > 30"
+        ) is None
+        assert policy.flipped_comparison(
+            "plain lookup", "SELECT name FROM t"
+        ) is None
+
+
+class TestAssessFast:
+    def test_confident_attempt_serves(self):
+        assert EscalationPolicy().assess_fast(_attempt()) is None
+
+    def test_missing_outcome_is_error_status(self):
+        reason, _ = EscalationPolicy().assess_fast(_attempt(outcome=None))
+        assert reason == "error_status"
+
+    def test_empty_result_escalates(self):
+        attempt = _attempt(status=ExecutionStatus.EMPTY, rows=())
+        reason, _ = EscalationPolicy().assess_fast(attempt)
+        assert reason == "empty_result"
+
+    def test_error_status_escalates(self):
+        attempt = _attempt(status=ExecutionStatus.SYNTAX_ERROR, rows=())
+        reason, _ = EscalationPolicy().assess_fast(attempt)
+        assert reason == "error_status"
+
+    def test_probe_disagreement_escalates(self):
+        attempt = _attempt(probe_sqls=("SELECT a FROM t", "SELECT b FROM t"))
+        reason, detail = EscalationPolicy().assess_fast(attempt)
+        assert reason == "probe_disagreement"
+        assert "2 distinct" in detail
+
+    def test_probe_normalization_tolerates_formatting(self):
+        attempt = _attempt(probe_sqls=("SELECT a  FROM t;", "select a from t"))
+        assert EscalationPolicy().assess_fast(attempt) is None
+
+    def test_value_probe_fires_before_comparison_probe(self):
+        attempt = _attempt(
+            values=("Alice",),
+            final_sql="SELECT * FROM t WHERE x <> 1",
+            question="plain lookup",
+        )
+        reason, _ = EscalationPolicy().assess_fast(attempt)
+        assert reason == "value_probe"
+
+    def test_comparison_probe_fires_last(self):
+        attempt = _attempt(
+            final_sql="SELECT * FROM t WHERE x <> 1", question="plain lookup"
+        )
+        reason, _ = EscalationPolicy().assess_fast(attempt)
+        assert reason == "comparison_probe"
+
+    def test_probes_can_be_disabled(self):
+        policy = EscalationPolicy(value_probe=False, comparison_probe=False)
+        attempt = _attempt(
+            values=("Alice",),
+            final_sql="SELECT * FROM t WHERE x <> 1",
+            question="plain lookup",
+        )
+        assert policy.assess_fast(attempt) is None
+
+
+def _candidate(status=ExecutionStatus.OK, rows=((1,),)):
+    from repro.core.refinement import RefinedCandidate
+
+    return RefinedCandidate(
+        raw_sql="s",
+        aligned_sql="s",
+        final_sql="s",
+        outcome=ExecutionOutcome(status=status, rows=rows),
+    )
+
+
+class TestAssessFull:
+    def test_unanimous_vote_serves(self):
+        result = SimpleNamespace(
+            refinement=SimpleNamespace(candidates=[_candidate(), _candidate()])
+        )
+        assert EscalationPolicy().assess_full(result) is None
+
+    def test_thin_vote_escalates(self):
+        candidates = [
+            _candidate(rows=((1,),)),
+            _candidate(rows=((2,),)),
+            _candidate(rows=((3,),)),
+        ]
+        result = SimpleNamespace(refinement=SimpleNamespace(candidates=candidates))
+        reason, _ = EscalationPolicy(vote_floor=0.5).assess_full(result)
+        assert reason == "low_vote_share"
+
+    def test_no_valid_candidate_escalates(self):
+        candidates = [_candidate(status=ExecutionStatus.SYNTAX_ERROR, rows=())]
+        result = SimpleNamespace(refinement=SimpleNamespace(candidates=candidates))
+        reason, _ = EscalationPolicy().assess_full(result)
+        assert reason == "no_valid_candidate"
+
+    def test_skipped_refinement_is_not_judged(self):
+        # Deadline-truncated results have no refinement; serving beats a
+        # speculative escalation that would spend more budget.
+        result = SimpleNamespace(refinement=None)
+        assert EscalationPolicy().assess_full(result) is None
+
+
+class TestEscalationEvent:
+    def test_dict_round_trip(self):
+        event = EscalationEvent(
+            from_tier="fast",
+            to_tier="full",
+            reason="value_probe",
+            detail="no retrieved value made the SQL",
+            tokens_spent=412,
+            model_seconds_spent=0.25,
+        )
+        assert EscalationEvent.from_dict(event.to_dict()) == event

@@ -1,0 +1,124 @@
+"""DifficultyRouter: deterministic scoring, tier thresholds, memoization."""
+
+import pytest
+
+from repro.routing import (
+    DifficultyRouter,
+    RouteDecision,
+    RouteFeatures,
+    RoutingConfig,
+    Tier,
+)
+
+
+class TestTierLadder:
+    def test_values_are_the_wire_names(self):
+        assert Tier.FAST.value == "fast"
+        assert Tier.FULL.value == "full"
+        assert Tier.HEAVY.value == "heavy"
+
+    def test_next_tier_climbs_and_tops_out(self):
+        assert Tier.FAST.next_tier is Tier.FULL
+        assert Tier.FULL.next_tier is Tier.HEAVY
+        assert Tier.HEAVY.next_tier is None
+
+
+class TestRoutingConfig:
+    def test_dict_round_trip(self):
+        config = RoutingConfig(fast_max=0.25, seed=7)
+        assert RoutingConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = RoutingConfig().to_dict()
+        payload["future_knob"] = True
+        assert RoutingConfig.from_dict(payload) == RoutingConfig()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RoutingConfig().fast_max = 0.5
+
+
+class TestRouteFeatures:
+    def test_dict_round_trip(self):
+        features = RouteFeatures(
+            question_words=9,
+            cue_hits=2,
+            table_count=3,
+            column_count=24,
+            neighbor_difficulty=0.75,
+            has_evidence=True,
+            dirty_values=1,
+        )
+        assert RouteFeatures.from_dict(features.to_dict()) == features
+
+
+@pytest.fixture(scope="module")
+def router(tiny_pipeline):
+    return DifficultyRouter(
+        lambda: tiny_pipeline.library, RoutingConfig(), seed=0
+    )
+
+
+def _pre(pipeline, example):
+    return pipeline.preprocessed(example.db_id)
+
+
+class TestRouting:
+    def test_decision_shape(self, router, tiny_pipeline, tiny_benchmark):
+        example = tiny_benchmark.dev[0]
+        decision = router.route(example, _pre(tiny_pipeline, example))
+        assert isinstance(decision, RouteDecision)
+        assert decision.tier in Tier
+        assert 0.0 <= decision.score <= 1.1
+        assert decision.features.question_words > 0
+        assert decision.features.table_count > 0
+
+    def test_same_seed_routers_agree_everywhere(self, tiny_pipeline, tiny_benchmark):
+        """Two independently-built routers (same seed) make identical
+        decisions — the property cluster shards and journal replay rely on."""
+        a = DifficultyRouter(lambda: tiny_pipeline.library, RoutingConfig(), seed=0)
+        b = DifficultyRouter(lambda: tiny_pipeline.library, RoutingConfig(), seed=0)
+        for example in tiny_benchmark.dev:
+            pre = _pre(tiny_pipeline, example)
+            da, db = a.route(example, pre), b.route(example, pre)
+            assert (da.tier, da.score) == (db.tier, db.score), example.question_id
+
+    def test_route_is_pure_and_memoized(self, router, tiny_pipeline, tiny_benchmark):
+        example = tiny_benchmark.dev[0]
+        pre = _pre(tiny_pipeline, example)
+        first = router.route(example, pre)
+        again = router.route(example, pre)
+        assert again is first  # memo hit returns the cached decision
+
+    def test_thresholds_partition_the_score_line(self, tiny_pipeline, tiny_benchmark):
+        example = tiny_benchmark.dev[0]
+        pre = _pre(tiny_pipeline, example)
+        all_fast = DifficultyRouter(
+            lambda: tiny_pipeline.library, RoutingConfig(fast_max=2.0), seed=0
+        )
+        assert all_fast.route(example, pre).tier is Tier.FAST
+        all_heavy = DifficultyRouter(
+            lambda: tiny_pipeline.library,
+            RoutingConfig(fast_max=-1.0, heavy_min=0.0),
+            seed=0,
+        )
+        assert all_heavy.route(example, pre).tier is Tier.HEAVY
+        all_full = DifficultyRouter(
+            lambda: tiny_pipeline.library,
+            RoutingConfig(fast_max=-1.0, heavy_min=2.0),
+            seed=0,
+        )
+        assert all_full.route(example, pre).tier is Tier.FULL
+
+    def test_config_seed_overrides_constructor_seed(self, tiny_pipeline):
+        router = DifficultyRouter(
+            lambda: tiny_pipeline.library, RoutingConfig(seed=9), seed=0
+        )
+        assert router.seed == 9
+
+    def test_missing_library_defaults_to_neutral(self, tiny_benchmark):
+        router = DifficultyRouter(lambda: None, RoutingConfig(), seed=0)
+        example = tiny_benchmark.dev[0]
+        features = router.features(example, pre=None)
+        assert features.neighbor_difficulty == 0.5
+        assert features.table_count == 0 and features.column_count == 0

@@ -1,0 +1,178 @@
+"""TieredPipeline: route → answer → escalate, determinism, cache keys."""
+
+import pytest
+
+from repro.caching import result_cache_key
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+from repro.reliability.deadline import Deadline
+from repro.routing import RoutingConfig, RoutingInfo, TierAttempt, TieredPipeline
+from repro.routing.router import Tier
+
+
+def _base(tiny_benchmark, n_candidates=5):
+    llm = SimulatedLLM(GPT_4O, seed=0)
+    return OpenSearchSQL(tiny_benchmark, llm, PipelineConfig(n_candidates=n_candidates))
+
+
+@pytest.fixture(scope="module")
+def tiered(tiny_benchmark):
+    return TieredPipeline(_base(tiny_benchmark))
+
+
+class TestPipelineSurface:
+    def test_delegates_the_opensearchsql_surface(self, tiered):
+        base = tiered.base
+        assert tiered.benchmark is base.benchmark
+        assert tiered.llm is base.llm
+        assert tiered.config is base.config
+        assert tiered.databases is base.databases
+        assert tiered.executor("healthcare") is base.executor("healthcare")
+
+    def test_stage_assignment_lands_on_the_base(self, tiered):
+        # The serving engine installs cache wrappers by assignment; every
+        # tier must see them through the base.
+        original_extractor = tiered.extractor
+        original_library = tiered.library
+        sentinel_extractor, sentinel_library = object(), object()
+        tiered.extractor = sentinel_extractor
+        tiered.library = sentinel_library
+        try:
+            assert tiered.base.extractor is sentinel_extractor
+            # The fast path and the heavy sibling read the library through
+            # the base dynamically, so the wrapper reaches every tier.
+            assert tiered.base.library is sentinel_library
+            assert tiered.heavy_pipeline.library is sentinel_library
+        finally:
+            tiered.extractor = original_extractor
+            tiered.library = original_library
+
+
+class TestRoutingSurface:
+    def test_tier_mix_covers_the_workload(self, tiered, tiny_benchmark):
+        mix = tiered.tier_mix(tiny_benchmark.dev)
+        assert sum(mix.values()) == len(tiny_benchmark.dev)
+        assert set(mix) == {"fast", "full", "heavy"}
+
+    def test_route_tier_is_stable(self, tiered, tiny_benchmark):
+        example = tiny_benchmark.dev[0]
+        assert tiered.route_tier(example) == tiered.route_tier(example)
+
+
+class TestAnswer:
+    def test_result_carries_routing_info(self, tiered, tiny_benchmark):
+        example = tiny_benchmark.dev[0]
+        result = tiered.answer(example)
+        routing = result.routing
+        assert isinstance(routing, RoutingInfo)
+        assert routing.initial_tier == tiered.route_tier(example)
+        assert routing.attempts, "every answer records at least one attempt"
+        assert routing.attempts[0].tier == routing.initial_tier
+        assert result.final_sql
+
+    def test_escalation_chain_is_recorded(self, tiny_benchmark):
+        """Forcing every request FAST exercises the ladder: any answer the
+        policy distrusts must climb exactly one recorded step at a time."""
+        tiered = TieredPipeline(
+            _base(tiny_benchmark), RoutingConfig(fast_max=2.0)
+        )
+        events = 0
+        for example in tiny_benchmark.dev:
+            result = tiered.answer(example)
+            routing = result.routing
+            assert routing.initial_tier == "fast"
+            for index, event in enumerate(routing.escalations):
+                assert event.from_tier == routing.attempts[index].tier
+                assert routing.attempts[index].escalated
+                assert event.tokens_spent == routing.attempts[index].tokens
+            if routing.escalations:
+                assert len(routing.attempts) == len(routing.escalations) + 1
+            events += len(routing.escalations)
+        stats = tiered.routing_stats()
+        assert stats["requests"] == len(tiny_benchmark.dev)
+        assert stats["decisions"] == {"fast": len(tiny_benchmark.dev)}
+        assert sum(stats["escalations"].values()) == events
+
+    def test_identical_twins_answer_identically(self, tiny_benchmark):
+        """Two independently-built tiered pipelines replay to the same
+        SQLs, tiers and escalations — the journal-replay property."""
+        a = TieredPipeline(_base(tiny_benchmark))
+        b = TieredPipeline(_base(tiny_benchmark))
+        for example in tiny_benchmark.dev[:6]:
+            ra, rb = a.answer(example), b.answer(example)
+            assert ra.final_sql == rb.final_sql
+            assert ra.routing.to_dict() == rb.routing.to_dict()
+            assert ra.cost.total_tokens == rb.cost.total_tokens
+
+    def test_expired_deadline_suppresses_escalation(self, tiny_benchmark):
+        tiered = TieredPipeline(
+            _base(tiny_benchmark), RoutingConfig(fast_max=2.0)
+        )
+        for example in tiny_benchmark.dev[:4]:
+            deadline = Deadline(1e-9)
+            result = tiered.answer(example, deadline=deadline)
+            # The ladder may not climb on a spent budget: one attempt only.
+            assert result.routing.escalations == []
+            assert len(result.routing.attempts) == 1
+            assert result.final_sql
+
+    def test_traced_answer_carries_tier_spans(self, tiered, tiny_benchmark):
+        from repro.observability.trace import Trace
+
+        example = tiny_benchmark.dev[0]
+        trace = Trace(question_id=example.question_id, db_id=example.db_id)
+        result = tiered.answer(example, trace=trace)
+        names = [span.name for span in trace.spans()]
+        assert f"tier:{result.routing.attempts[0].tier}" in names
+        route_span = trace.find("routing")
+        assert route_span is not None
+        assert route_span.attributes["tier"] == result.routing.initial_tier
+
+
+class TestCacheKeys:
+    def test_unrouted_key_is_the_two_tuple(self, tiny_benchmark):
+        example = tiny_benchmark.dev[0]
+        base = _base(tiny_benchmark)
+        key = result_cache_key(example, base)
+        assert key == (example.db_id, " ".join(example.question.split()).rstrip(" ?.!").lower())
+
+    def test_routed_key_appends_the_tier(self, tiered, tiny_benchmark):
+        example = tiny_benchmark.dev[0]
+        key = result_cache_key(example, tiered)
+        assert len(key) == 3
+        assert key[0] == example.db_id
+        assert key[2] in {"fast", "full", "heavy"}
+        assert key[2] == tiered.route_tier(example)
+        # db_id stays the key prefix so invalidate_db keeps matching.
+        assert key[:2] == result_cache_key(example, tiered.base)
+
+
+class TestRoundTrips:
+    def test_tier_attempt_dict_round_trip(self):
+        attempt = TierAttempt(tier="fast", tokens=812, model_seconds=0.41,
+                              escalated=True)
+        assert TierAttempt.from_dict(attempt.to_dict()) == attempt
+
+    def test_routing_info_dict_round_trip(self, tiered, tiny_benchmark):
+        routing = tiered.answer(tiny_benchmark.dev[1]).routing
+        restored = RoutingInfo.from_dict(routing.to_dict())
+        assert restored.to_dict() == routing.to_dict()
+        assert restored.escalated == routing.escalated
+
+    def test_unused_heavy_tier_stays_unbuilt(self, tiny_benchmark):
+        tiered = TieredPipeline(
+            _base(tiny_benchmark), RoutingConfig(fast_max=-1.0, heavy_min=2.0)
+        )
+        tiered.answer(tiny_benchmark.dev[0])
+        assert tiered._heavy is None
+
+    def test_forced_heavy_prefers_the_stronger_vote(self, tiny_benchmark):
+        tiered = TieredPipeline(
+            _base(tiny_benchmark), RoutingConfig(fast_max=-1.0, heavy_min=0.0)
+        )
+        result = tiered.answer(tiny_benchmark.dev[0])
+        assert result.routing.initial_tier == "heavy"
+        assert result.routing.final_tier == "heavy"
+        assert Tier(result.routing.final_tier) is Tier.HEAVY

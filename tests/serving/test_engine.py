@@ -284,3 +284,43 @@ class TestServingEngine:
     def test_rejects_zero_workers(self, fresh_pipeline):
         with pytest.raises(ValueError):
             ServingEngine(fresh_pipeline, workers=0)
+
+
+class TestCachingFewShotLibrary:
+    """The few-shot tier's key must normalize the question exactly like
+    the result tier: retrieval embeds case-folded masked text, so retyped
+    variants must share one cache entry."""
+
+    class _CountingLibrary:
+        def __init__(self):
+            self.calls = 0
+
+        def search(self, question, surfaces=(), k=5, db_id=None):
+            self.calls += 1
+            return [f"shot-for:{question}"]
+
+        def add(self, entry):
+            pass
+
+    def test_retyped_question_hits_the_same_entry(self):
+        from repro.caching import LRUCache
+        from repro.serving import CachingFewShotLibrary
+
+        inner = self._CountingLibrary()
+        library = CachingFewShotLibrary(inner, LRUCache(16))
+        first = library.search("How many  heads are there?", k=3)
+        second = library.search("how many heads are there", k=3)
+        assert second is first
+        assert inner.calls == 1
+
+    def test_different_k_surfaces_or_db_stay_distinct(self):
+        from repro.caching import LRUCache
+        from repro.serving import CachingFewShotLibrary
+
+        inner = self._CountingLibrary()
+        library = CachingFewShotLibrary(inner, LRUCache(16))
+        library.search("q", k=3)
+        library.search("q", k=5)
+        library.search("q", k=3, surfaces=("x",))
+        library.search("q", k=3, db_id="other")
+        assert inner.calls == 4

@@ -86,6 +86,7 @@ class TestPublicApi:
             "repro.evaluation",
             "repro.reliability",
             "repro.serving",
+            "repro.routing",
             "repro.caching",
         ):
             module = importlib.import_module(module_name)

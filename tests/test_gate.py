@@ -12,7 +12,12 @@ _spec = importlib.util.spec_from_file_location("gate", _GATE_PATH)
 gate = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(gate)
 
-BASELINE = {"throughput_rps": 0.24, "ex_retention": 0.98, "ex": 50.0}
+BASELINE = {
+    "throughput_rps": 0.24,
+    "ex_retention": 0.98,
+    "ex": 50.0,
+    "tokens_per_request": 1870.0,
+}
 
 
 class TestCompare:
@@ -20,7 +25,12 @@ class TestCompare:
         assert gate.compare(dict(BASELINE), BASELINE) == []
 
     def test_improvements_pass(self):
-        current = {"throughput_rps": 0.5, "ex_retention": 1.0, "ex": 60.0}
+        current = {
+            "throughput_rps": 0.5,
+            "ex_retention": 1.0,
+            "ex": 60.0,
+            "tokens_per_request": 1500.0,
+        }
         assert gate.compare(current, BASELINE) == []
 
     def test_25_percent_throughput_regression_fails(self):
@@ -52,6 +62,29 @@ class TestCompare:
         assert len(failures) == 1
         assert "ex" in failures[0]
 
+    def test_token_cost_rise_beyond_10_percent_fails(self):
+        """The routing cost gate: a change that quietly defeats the fast
+        path (tokens/request up 15%) must trip the 10% ratio_max gate."""
+        current = dict(
+            BASELINE, tokens_per_request=BASELINE["tokens_per_request"] * 1.15
+        )
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "tokens_per_request" in failures[0]
+        assert "above baseline" in failures[0]
+
+    def test_9_percent_token_cost_rise_tolerated(self):
+        current = dict(
+            BASELINE, tokens_per_request=BASELINE["tokens_per_request"] * 1.09
+        )
+        assert gate.compare(current, BASELINE) == []
+
+    def test_token_cost_drop_passes(self):
+        current = dict(
+            BASELINE, tokens_per_request=BASELINE["tokens_per_request"] * 0.5
+        )
+        assert gate.compare(current, BASELINE) == []
+
     def test_missing_metric_fails_loudly(self):
         current = {k: v for k, v in BASELINE.items() if k != "ex"}
         failures = gate.compare(current, BASELINE)
@@ -60,8 +93,13 @@ class TestCompare:
         assert any("missing from baseline" in f for f in failures)
 
     def test_multiple_regressions_all_reported(self):
-        current = {"throughput_rps": 0.1, "ex_retention": 0.5, "ex": 10.0}
-        assert len(gate.compare(current, BASELINE)) == 3
+        current = {
+            "throughput_rps": 0.1,
+            "ex_retention": 0.5,
+            "ex": 10.0,
+            "tokens_per_request": 5000.0,
+        }
+        assert len(gate.compare(current, BASELINE)) == 4
 
     def test_custom_tolerances(self):
         current = dict(BASELINE, throughput_rps=BASELINE["throughput_rps"] * 0.9)
