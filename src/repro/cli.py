@@ -176,6 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--report-out", metavar="PATH",
                     help="with --journal: score the journaled run and "
                          "write the deterministic report JSON to PATH")
+    sb.add_argument("--storage-enospc-after", type=int, default=0,
+                    metavar="N",
+                    help="with --journal: the disk returns ENOSPC after N "
+                         "journal appends (brownout testing — the run "
+                         "must complete un-journaled with the "
+                         "journal_disabled counter set); with --shards "
+                         "each worker's segment fails independently")
 
     rc = sub.add_parser(
         "recover",
@@ -188,6 +195,52 @@ def build_parser() -> argparse.ArgumentParser:
     rc.add_argument("--report-out", metavar="PATH",
                     help="write the recovered run's deterministic report "
                          "JSON to PATH")
+    rc.add_argument("--dry-run", action="store_true",
+                    help="inspect only: print committed / pending / "
+                         "corrupt counts per segment without rebuilding "
+                         "the pipeline or replaying anything")
+
+    fs = sub.add_parser(
+        "fsck",
+        help="validate a journal file or segment directory: checksums, "
+             "record sequence, seals, cross-segment double-serves",
+    )
+    fs.add_argument("--journal", required=True, metavar="PATH",
+                    help="journal file, or a cluster segment directory")
+    fs.add_argument("--repair", action="store_true",
+                    help="truncate torn tails in place and quarantine "
+                         "interior damage to a .quarantine sidecar, "
+                         "rewriting the good records")
+
+    cf = sub.add_parser(
+        "crash-fuzz",
+        help="crash-consistency fuzzer: enumerate simulated power cuts "
+             "at every journal append boundary of a sharded routed run "
+             "and certify recovery at each one",
+    )
+    cf.add_argument("--shards", type=int, default=3, metavar="N",
+                    help="journal segments in the reference run "
+                         "(default: 3)")
+    cf.add_argument("--requests", type=int, default=12, metavar="N",
+                    help="workload size of the reference run (default: 12)")
+    cf.add_argument("--distinct", type=int, default=6, metavar="N",
+                    help="distinct questions, spread across databases "
+                         "(default: 6)")
+    cf.add_argument("--limit", type=int, default=0, metavar="N",
+                    help="fuzz only the first N clean and N torn cut "
+                         "points (0 = every append boundary)")
+    cf.add_argument("--bitflips", type=int, default=3, metavar="N",
+                    help="seeded single-bit corruption trials on the "
+                         "completed run (default: 3)")
+    cf.add_argument("--no-torn", action="store_true",
+                    help="skip torn (mid-append) cut variants")
+    cf.add_argument("--no-routing", action="store_true",
+                    help="fuzz an unrouted pipeline (default routes "
+                         "through FAST/FULL/HEAVY tiers)")
+    cf.add_argument("--out", metavar="PATH",
+                    help="write one JSON line per cut outcome to PATH; "
+                         "two runs with the same seed must produce "
+                         "byte-identical files")
 
     tr = sub.add_parser(
         "trace",
@@ -499,6 +552,11 @@ def _cmd_serve_bench_cluster(args, out) -> int:
             "pool": args.pool,
             "zipf": args.zipf,
         },
+        storage=(
+            {"enospc_after": args.storage_enospc_after}
+            if args.storage_enospc_after > 0
+            else {}
+        ),
     )
 
     on_result = None
@@ -615,7 +673,15 @@ def _cmd_serve_bench(args, out) -> int:
     journal = None
     cache_size = 0 if args.no_cache else 512
     if args.journal:
-        journal = ServingJournal(args.journal)
+        opener = None
+        if args.storage_enospc_after > 0:
+            from repro.storage import FaultyStorage, StorageFaultPlan
+
+            opener = FaultyStorage(
+                StorageFaultPlan(enospc_after=args.storage_enospc_after),
+                seed=args.seed,
+            ).opener
+        journal = ServingJournal(args.journal, opener=opener)
         # The header pins the active skill profile and — for routed runs —
         # the routing config plus the workload's routed tier mix, so
         # 'repro recover' can refuse to replay under a different model
@@ -680,6 +746,11 @@ def _cmd_serve_bench(args, out) -> int:
     )
     out.write(f"served   : {served}/{len(workload)}\n")
     out.write(stats.format() + "\n")
+    if journal is not None and journal.disabled:
+        out.write(
+            f"journal  : DISABLED after write error "
+            f"({journal.disable_reason}); run completed un-journaled\n"
+        )
     if tiered is not None:
         out.write(f"routing  : {tiered.routing_stats()}\n")
     if llm_injector is not None:
@@ -728,6 +799,9 @@ def _cmd_recover(args, out) -> int:
     from pathlib import Path
 
     from repro.serving import (
+        DoubleServeError,
+        JournalCorruptionError,
+        JournalVersionError,
         ServingJournal,
         ShardedJournalView,
         assemble_report,
@@ -735,17 +809,29 @@ def _cmd_recover(args, out) -> int:
     )
     from repro.serving.workload import zipf_workload
 
+    if args.dry_run:
+        return _recover_dry_run(args.journal, out)
+
     # A directory is a sharded cluster run: discover every
     # journal-shard-K.jsonl segment and replay them as one merged run.
+    # Damage surfaces here as a typed one-line error, never a traceback:
+    # interior corruption says which segment and points at fsck, a
+    # version from the future refuses cleanly, a double-serve names the
+    # seq served twice.
     sharded = Path(args.journal).is_dir()
-    if sharded:
-        try:
+    try:
+        if sharded:
             journal = ShardedJournalView(args.journal)
-        except FileNotFoundError as exc:
-            out.write(f"error: {exc}\n")
-            return 2
-    else:
-        journal = ServingJournal(args.journal)
+        else:
+            journal = ServingJournal(args.journal)
+    except (
+        FileNotFoundError,
+        JournalCorruptionError,
+        JournalVersionError,
+        DoubleServeError,
+    ) as exc:
+        out.write(f"error: {exc}\n")
+        return 2
     config = journal.config
     if not config:
         out.write(f"error: {args.journal} has no header record\n")
@@ -820,6 +906,141 @@ def _cmd_recover(args, out) -> int:
         _write_deterministic_report(report, args.report_out)
         out.write(f"report   : wrote {args.report_out}\n")
     return 0
+
+
+def _recover_dry_run(journal_path, out) -> int:
+    """recover --dry-run: tolerant scan, counts only, no replay."""
+    from repro.storage import find_double_serves, scan_path
+
+    try:
+        scans = scan_path(journal_path)
+    except FileNotFoundError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    committed: set = set()
+    accepted: set = set()
+    corrupt = 0
+    for name, scan in sorted(scans.items()):
+        committed |= scan.committed
+        accepted |= scan.accepted
+        corrupt += len(scan.issues)
+        state = "sealed" if scan.sealed else "unsealed"
+        damage = (
+            "clean"
+            if not scan.issues
+            else ("torn tail" if scan.torn_tail and not scan.interior_issues
+                  else f"{len(scan.interior_issues)} corrupt")
+        )
+        out.write(
+            f"{name}: v{scan.header_version or 1} {state}, "
+            f"{len(scan.committed)} committed, "
+            f"{len(scan.accepted - scan.committed)} pending, {damage}\n"
+        )
+    doubles = find_double_serves(scans)
+    out.write(
+        f"total: {len(committed)} committed, "
+        f"{len(accepted - committed)} pending, {corrupt} corrupt lines, "
+        f"{len(doubles)} double-serves\n"
+    )
+    return 0
+
+
+def _cmd_fsck(args, out) -> int:
+    """Validate (and optionally repair) a journal file or directory."""
+    from repro.storage import find_double_serves, repair_file, scan_path
+
+    try:
+        scans = scan_path(args.journal)
+    except FileNotFoundError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    issues = 0
+    for name, scan in sorted(scans.items()):
+        if not scan.issues:
+            status = "ok"
+        elif scan.torn_tail and not scan.interior_issues:
+            status = "torn tail (safe to truncate)"
+        else:
+            reasons = sorted({i.reason for i in scan.interior_issues})
+            status = f"CORRUPT ({', '.join(reasons)})"
+        issues += len(scan.issues)
+        out.write(
+            f"{name}: v{scan.header_version or 1}, "
+            f"{scan.records} records, "
+            f"{len(scan.committed)} committed, "
+            f"{'sealed' if scan.sealed else 'unsealed'} — {status}\n"
+        )
+    doubles = find_double_serves(scans)
+    for seq, names in sorted(doubles.items()):
+        out.write(f"DOUBLE-SERVE: seq {seq} committed by {', '.join(names)}\n")
+    if not issues and not doubles:
+        out.write("fsck: clean\n")
+        return 0
+    if not args.repair:
+        out.write(
+            f"fsck: {issues} damaged lines, {len(doubles)} double-serves "
+            f"(run with --repair to truncate tears and quarantine damage)\n"
+        )
+        return 1
+    from pathlib import Path
+
+    base = Path(args.journal)
+    for name, scan in sorted(scans.items()):
+        if not scan.issues:
+            continue
+        target = base / name if base.is_dir() else base
+        result = repair_file(target)
+        actions = []
+        if result.tail_truncated:
+            actions.append("truncated torn tail")
+        if result.quarantined:
+            actions.append(
+                f"quarantined {result.quarantined} lines to "
+                f"{Path(result.quarantine_path).name}"
+            )
+        if result.rewritten:
+            actions.append(f"rewrote {result.records_kept} records")
+        out.write(f"repaired {name}: {'; '.join(actions) or 'no-op'}\n")
+    # double-serves are not repairable: both records are well-formed, so
+    # dropping either would forge history — recovery refuses instead
+    return 1 if doubles else 0
+
+
+def _cmd_crash_fuzz(args, out) -> int:
+    """Enumerate power cuts over a reference run and certify recovery."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.storage.crashfuzz import CrashFuzzConfig, run_crash_fuzz
+
+    config = CrashFuzzConfig(
+        shards=args.shards,
+        requests=args.requests,
+        distinct=args.distinct,
+        seed=args.seed,
+        candidates=args.candidates,
+        routing=not args.no_routing,
+        torn=not args.no_torn,
+        bitflips=args.bitflips,
+        limit=args.limit or None,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-crashfuzz-") as workdir:
+        result = run_crash_fuzz(config, workdir)
+    out.write(result.format() + "\n")
+    for outcome in result.outcomes:
+        if not outcome.ok:
+            out.write(f"FAIL {json.dumps(outcome.to_dict(), sort_keys=True)}\n")
+    if args.out:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for outcome in result.outcomes:
+                handle.write(
+                    json.dumps(outcome.to_dict(), sort_keys=True) + "\n"
+                )
+        out.write(f"outcomes : wrote {args.out}\n")
+    return 0 if result.ok else 1
 
 
 def _cmd_trace(args, out) -> int:
@@ -987,6 +1208,8 @@ _COMMANDS = {
     "baselines": _cmd_baselines,
     "serve-bench": _cmd_serve_bench,
     "recover": _cmd_recover,
+    "fsck": _cmd_fsck,
+    "crash-fuzz": _cmd_crash_fuzz,
     "trace": _cmd_trace,
     "route-bench": _cmd_route_bench,
     "metrics": _cmd_metrics,

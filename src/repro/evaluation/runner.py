@@ -354,6 +354,8 @@ def evaluate_pipeline(
             max_workers=workers, thread_name_prefix="eval"
         ) as pool:
             outcomes = list(pool.map(run_one, examples))
+    if checkpoint is not None:
+        checkpoint.close()  # fsync the final partial batch
 
     for example, outcome in zip(examples, outcomes):
         score, generation_score, refined_score, cost, degradations, trace = outcome
@@ -432,4 +434,6 @@ def evaluate_system(
         report.scores.append(score)
         if checkpoint is not None:
             checkpoint.record_example(example.question_id, score=score, error=error)
+    if checkpoint is not None:
+        checkpoint.close()  # fsync the final partial batch
     return report

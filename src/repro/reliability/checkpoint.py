@@ -86,14 +86,25 @@ def decode_cost(payload: dict) -> CostTracker:
 class EvalCheckpoint:
     """Append-only JSONL store of per-example evaluation records."""
 
-    def __init__(self, path: Union[str, Path], fsync_every_n: int = 0):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync_every_n: int = 0,
+        opener=None,
+    ):
         if fsync_every_n < 0:
             raise ValueError("fsync_every_n must be >= 0")
         self.path = Path(path)
         #: 0 (default) flushes to the OS only — kill-resilient; n > 0 also
         #: fsyncs every n appends — power-loss-resilient at write cost
         self.fsync_every_n = fsync_every_n
+        #: ``opener(path, "a")`` returns the append handle — the storage
+        #: fault-injection seam (:class:`repro.storage.FaultyStorage`)
+        self._opener = opener or (
+            lambda target, mode: open(target, mode, encoding="utf-8")
+        )
         self._appends = 0
+        self._unsynced = 0
         self._records: dict[str, dict] = {}
         # Parallel evaluation workers append concurrently; the lock keeps
         # each JSONL line intact (no interleaved partial writes).
@@ -150,13 +161,38 @@ class EvalCheckpoint:
         with self._lock:
             self._records[question_id] = record
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a", encoding="utf-8") as handle:
+            with self._opener(self.path, "a") as handle:
                 handle.write(json.dumps(record) + "\n")
                 handle.flush()
                 self._appends += 1
+                self._unsynced += 1
                 if self.fsync_every_n and self._appends % self.fsync_every_n == 0:
-                    os.fsync(handle.fileno())
+                    self._fsync(handle)
         return record
+
+    def _fsync(self, handle) -> None:
+        sync = getattr(handle, "sync", None)
+        if callable(sync):
+            sync()
+        else:
+            os.fsync(handle.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """fsync the final partial batch (idempotent, crash-safe to skip).
+
+        ``fsync_every_n`` syncs every n appends; without this, the last
+        ``appends % n`` records are droppable on power cut even after a
+        *clean* run.  Call when the evaluation finishes.
+        """
+        with self._lock:
+            if self._unsynced == 0 or not self.path.exists():
+                return
+            try:
+                with self._opener(self.path, "a") as handle:
+                    self._fsync(handle)
+            except OSError:
+                pass  # best-effort: close() must not fail a finished run
 
     @staticmethod
     def decode(record: dict) -> tuple[

@@ -84,7 +84,13 @@ from repro.serving.engine import (
     CachingFewShotLibrary,
     ServingEngine,
 )
-from repro.serving.journal import ServingJournal, assemble_report, recover_run
+from repro.serving.journal import (
+    JournalCorruptionError,
+    JournalVersionError,
+    ServingJournal,
+    assemble_report,
+    recover_run,
+)
 from repro.serving.health import HealthMonitor
 from repro.serving.hedging import HedgedExecutor, HedgeStats
 from repro.serving.latency import LatencySummary, percentile
@@ -105,6 +111,8 @@ __all__ = [
     "ClusterConfig",
     "ClusterStats",
     "DoubleServeError",
+    "JournalCorruptionError",
+    "JournalVersionError",
     "HashRing",
     "DEFAULT_HEALTH_SHED",
     "DbCircuitOpenError",

@@ -86,6 +86,10 @@ class ClusterConfig:
     #: extra header fields journaled per segment (the CLI records the
     #: workload parameters here so ``repro recover`` can rebuild the run)
     header: dict = field(default_factory=dict)
+    #: storage fault-injection plan for each worker's journal segment
+    #: (:class:`repro.storage.StorageFaultPlan` fields, plus an optional
+    #: ``seed``); empty dict = real, fault-free filesystem
+    storage: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if self.shards < 1:

@@ -48,7 +48,7 @@ from repro.observability.metrics import MetricsRegistry
 from repro.serving.cluster.config import ClusterConfig, example_to_wire
 from repro.serving.cluster.ring import HashRing
 from repro.serving.health import HealthMonitor
-from repro.serving.journal import ServingJournal
+from repro.serving.journal import JournalCorruptionError, ServingJournal
 
 __all__ = ["ShardCoordinator", "ShardUnavailableError", "ClusterStats"]
 
@@ -110,6 +110,10 @@ class _WorkerHandle:
         self.results = 0
         self.send_lock = threading.Lock()
         self.final_stats: Optional[dict] = None
+        #: the worker's segment browned out or was quarantined: it keeps
+        #: serving (degraded), it is NOT a death
+        self.storage_degraded = False
+        self.storage_reason = ""
 
 
 class ClusterStats:
@@ -134,7 +138,8 @@ class ClusterStats:
             f"{p['shed_unavailable']} shard-unavailable",
             f"supervision : {p['deaths']} deaths, {p['restarts']} restarts, "
             f"{p['rebalances']} rebalances, {p['reroutes']} reroutes, "
-            f"{p['resolved_from_journal']} resolved-from-journal",
+            f"{p['resolved_from_journal']} resolved-from-journal, "
+            f"{p.get('storage_degraded', 0)} storage-degraded",
             "per-shard   : "
             + ", ".join(
                 f"shard{k}={n}" for k, n in sorted(p["results_by_shard"].items())
@@ -179,6 +184,7 @@ class ShardCoordinator:
             "rebalances": 0,
             "reroutes": 0,
             "resolved_from_journal": 0,
+            "storage_degraded": 0,
         }
         if metrics is not None:
             self._m_requests = metrics.counter(
@@ -390,6 +396,20 @@ class ShardCoordinator:
                     RuntimeError(message.get("error", "worker error"))
                 )
             return
+        if kind == "storage":
+            # Degraded-not-dead: the shard's segment went read-only (or
+            # was quarantined corrupt) but the worker still serves from
+            # memory.  No death, no restart — routing stays put; the
+            # degradation is surfaced in stats/metrics.
+            with self._lock:
+                first = not handle.storage_degraded
+                handle.storage_degraded = True
+                handle.storage_reason = message.get("reason", "")
+                if first:
+                    self._counters["storage_degraded"] += 1
+            if first and self.metrics is not None:
+                self._m_events.labels(event="storage_degraded").inc()
+            return
         if kind == "stats":
             with self._lock:
                 handle.final_stats = message
@@ -453,7 +473,10 @@ class ShardCoordinator:
         # exactly once elsewhere.
         try:
             segment = ServingJournal(handle.segment_path)
-        except OSError:
+        except (OSError, JournalCorruptionError):
+            # unreadable or corrupt segment: everything outstanding
+            # re-runs elsewhere (safe — nothing outstanding was ever
+            # answered to a caller, so re-serving cannot double-serve)
             segment = None
         orphans: list[_Request] = []
         outstanding, handle.outstanding = handle.outstanding, {}
@@ -526,6 +549,7 @@ class ShardCoordinator:
                     "restarts_used": handle.restarts_used,
                     "results": handle.results,
                     "outstanding": len(handle.outstanding),
+                    "storage_degraded": handle.storage_degraded,
                 }
                 for handle in self._workers.values()
             }

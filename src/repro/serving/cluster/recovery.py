@@ -69,15 +69,19 @@ class ShardedJournalView:
     is known (keeps a request's whole history in one segment).
     """
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(self, directory: Union[str, Path], opener=None):
         self.directory = Path(directory)
         found = discover_segments(self.directory)
         if not found:
             raise FileNotFoundError(
                 f"no {SEGMENT_PREFIX}*.jsonl segments in {self.directory}"
             )
+        # A corrupt segment raises the journal's typed
+        # JournalCorruptionError here — merged recovery must report the
+        # damaged shard, not silently replay around it.
         self.segments: dict[int, ServingJournal] = {
-            shard: ServingJournal(path) for shard, path in sorted(found.items())
+            shard: ServingJournal(path, opener=opener)
+            for shard, path in sorted(found.items())
         }
         #: seq → shard holding its commit
         self._commit_owner: dict[int, int] = {}
@@ -147,6 +151,11 @@ class ShardedJournalView:
 
     def __len__(self) -> int:
         return len(self._commit_owner)
+
+    def seal(self) -> None:
+        """Seal every segment — recovery's clean-completion mark."""
+        for journal in self.segments.values():
+            journal.seal()
 
     # ----------------------------------------------------------- accounting
 

@@ -23,6 +23,10 @@ worker → coordinator
     ``{"type": "result", "worker", "seq", "record"}`` — the journal's
     committed record verbatim (status/result/cost), never a pickled
     live object
+    ``{"type": "storage", "worker": k, "event", "reason"}`` — the
+    shard's segment browned out (``journal_disabled``) or was
+    quarantined corrupt on startup; the coordinator marks the worker
+    degraded-not-dead and keeps routing to it
     ``{"type": "stats", ...}``               — final shard-labelled
     serving/health/metrics/journal snapshots, sent during shutdown
 
@@ -40,7 +44,8 @@ from typing import Optional
 from repro.observability.metrics import MetricsRegistry
 from repro.serving.cluster.config import ClusterConfig, build_worker_pipeline
 from repro.serving.engine import ServingEngine
-from repro.serving.journal import ServingJournal
+from repro.serving.journal import JournalCorruptionError, ServingJournal
+from repro.storage.faults import FaultyStorage, StorageFaultPlan
 
 __all__ = ["worker_main", "warm_engine_from_segment"]
 
@@ -105,7 +110,46 @@ def worker_main(worker_id: int, config_payload: dict, conn) -> None:
         for split in ("train", "dev", "test")
         for example in benchmark.split(split)
     }
-    journal = ServingJournal(config.segment_path(worker_id))
+    opener = None
+    if config.storage:
+        plan = StorageFaultPlan.from_dict(config.storage)
+        seed = config.storage.get("seed", config.seed)
+        opener = FaultyStorage(plan, seed=seed).opener
+
+    def on_storage_error(exc: OSError) -> None:
+        # Brownout is degraded-not-dead: tell the coordinator and keep
+        # serving from memory.
+        send(
+            {
+                "type": "storage",
+                "worker": worker_id,
+                "event": "journal_disabled",
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
+        )
+
+    segment_path = config.segment_path(worker_id)
+    try:
+        journal = ServingJournal(
+            segment_path, opener=opener, on_storage_error=on_storage_error
+        )
+    except JournalCorruptionError as exc:
+        # A restarted worker must not die on a segment its previous life
+        # corrupted: quarantine the damaged file (evidence preserved)
+        # and start a fresh segment — recovery re-runs what it lost.
+        quarantined = segment_path.with_name(segment_path.name + ".corrupt")
+        segment_path.replace(quarantined)
+        send(
+            {
+                "type": "storage",
+                "worker": worker_id,
+                "event": "segment_quarantined",
+                "reason": str(exc),
+            }
+        )
+        journal = ServingJournal(
+            segment_path, opener=opener, on_storage_error=on_storage_error
+        )
     journal.write_header(config.header_config(worker_id))
     metrics = MetricsRegistry()
     engine = ServingEngine(
@@ -192,8 +236,15 @@ def worker_main(worker_id: int, config_payload: dict, conn) -> None:
                     continue
                 future.add_done_callback(_respond(message["seq"]))
             elif kind == "adopt":
-                adopted = ServingJournal(message["segment"])
-                count = warm_engine_from_segment(engine, adopted, example_index)
+                try:
+                    adopted = ServingJournal(message["segment"])
+                    count = warm_engine_from_segment(
+                        engine, adopted, example_index
+                    )
+                except (JournalCorruptionError, OSError):
+                    # a dead peer's segment may be damaged — adopting
+                    # zero records is degraded, dying over it is worse
+                    count = 0
                 send(
                     {
                         "type": "adopted",

@@ -303,6 +303,20 @@ class ServingEngine:
                 metrics.register_collector("backends", self.backends.snapshot)
             if self.journal is not None:
                 metrics.register_collector("journal", self.journal.stats_dict)
+                self._m_storage_disabled = metrics.counter(
+                    "repro_storage_journal_disabled_total",
+                    "journal write-path brownouts (serve continued un-journaled)",
+                )
+                self._m_storage_errors = metrics.counter(
+                    "repro_storage_write_errors_total",
+                    "storage write errors on the journal append path",
+                    labelnames=("kind",),
+                )
+        if self.journal is not None:
+            # Brownout wiring: an ENOSPC/EIO on the append path degrades
+            # health and fires counters/trace events instead of killing
+            # the worker.
+            self.journal.add_storage_listener(self._on_journal_disabled)
 
     # ------------------------------------------------------------ requests
 
@@ -662,9 +676,24 @@ class ServingEngine:
             # closed admission gate and get the typed DrainingError.
             self.admission.close()
             self._pool.shutdown(wait=True)
+            if self.journal is not None:
+                self.journal.seal()
             return
         self._closed = True
         self._pool.shutdown(wait=wait)
+        if wait and self.journal is not None:
+            # Clean shutdown: epoch-stamped seal + fsync, so the next
+            # load can tell a finished run from an interrupted one.
+            self.journal.seal()
+
+    def _on_journal_disabled(self, exc: OSError) -> None:
+        """Journal brownout listener: degrade, count, trace — keep serving."""
+        self.health.record("storage", False, detail=f"journal disabled: {exc}")
+        add_event("journal_disabled", error=str(exc))
+        if self.metrics is not None:
+            self._m_storage_disabled.inc()
+            for kind, count in self.journal.write_errors.items():
+                self._m_storage_errors.labels(kind=kind).inc(count)
 
     def __enter__(self) -> "ServingEngine":
         return self

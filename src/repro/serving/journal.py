@@ -9,14 +9,22 @@ replay committed results from disk and re-run exactly the uncommitted
 requests — and, because every pipeline draw derives from per-call hashed
 seeds, the recovered run is *bit-identical* to an uninterrupted one.
 
-Record grammar (one JSON object per line, append-only)::
+Record grammar v2 (one JSON object per line, append-only; every line
+additionally carries the :mod:`repro.storage.format` integrity frame —
+a ``crc`` CRC32 over the canonical body and a monotone ``rec`` record
+sequence — and a clean shutdown appends an epoch-stamped ``seal``)::
 
-    {"type": "header", "version": 1, "config": {...workload parameters...}}
+    {"type": "header", "version": 2, "config": {...workload parameters...}}
     {"type": "accepted",  "seq": 7, "question_id": ..., "db_id": ...}
     {"type": "committed", "seq": 7, "status": "ok"|"cached"|"failed",
      "result": {final_sql, generation_sql, refined_sql, degradations,
                 routing?},
      "cost": {stage: {...}}, "error": null}
+    {"type": "seal", "epoch": 1, "committed": 12}
+
+v1 journals (no ``crc`` fields, ``version: 1`` header) load unchanged:
+lines without a CRC are accepted unverified, and strict interior-damage
+detection only applies to files whose header declares v2.
 
 The optional ``routing`` payload (present only when a
 :class:`~repro.routing.TieredPipeline` answered the request) stores the
@@ -26,9 +34,18 @@ accounting and re-run requests route identically by seed.
 
 Durability properties:
 
-* **torn-line tolerance** — a line truncated by a kill mid-write (at the
-  tail *or*, after filesystem reordering, mid-file) is skipped on load;
-  its request simply counts as uncommitted and re-runs;
+* **torn-tail tolerance, interior strictness** — a line truncated by a
+  kill mid-write at the *tail* is truncated away on load and its request
+  re-runs; damage in the *interior* of a v2 journal (bit flip, lost
+  line) raises a typed
+  :class:`~repro.storage.format.JournalCorruptionError` with scoped
+  loss accounting instead of silently skipping — ``repro fsck --repair``
+  quarantines it offline (v1 journals keep the old skip semantics);
+* **write-error brownout** — an ``ENOSPC``/``EIO`` on the append path
+  disables disk writes (``journal_disabled``) but keeps the in-memory
+  bookkeeping, so serving continues un-journaled instead of crashing;
+  storage listeners (engine health/metrics, cluster worker) are told
+  once;
 * **exactly-once replay** — a committed seq is never re-run, an
   uncommitted seq is re-run exactly once per recovery (and committing it
   makes later recoveries no-ops), so repeated ``repro recover`` calls are
@@ -40,14 +57,17 @@ Durability properties:
   recovery, which warms its result cache from committed records so the
   hit pattern matches).
 
-``fsync_every_n`` forces an ``os.fsync`` every n appends for power-loss
+``fsync_every_n`` forces an fsync every n appends for power-loss
 semantics (0 = flush only, the default — kill-resilient, not
-power-loss-resilient).
+power-loss-resilient); :meth:`ServingJournal.seal` / ``close()`` always
+fsync, so the final partial batch of a clean shutdown is never
+droppable.  The ``opener`` hook swaps the filesystem out from under the
+journal — :class:`repro.storage.FaultyStorage` plugs in there.
 """
 
 from __future__ import annotations
 
-import json
+import errno
 import os
 import threading
 from pathlib import Path
@@ -60,10 +80,35 @@ from repro.datasets.types import Example
 from repro.reliability.checkpoint import decode_cost, encode_cost
 from repro.reliability.deadline import Deadline
 from repro.reliability.degradation import DegradationEvent
+from repro.storage.format import (
+    JournalCorruptionError,
+    JournalVersionError,
+    encode_record,
+    scan_file,
+)
 
-__all__ = ["JOURNAL_VERSION", "ServingJournal", "recover_run", "assemble_report"]
+__all__ = [
+    "JOURNAL_VERSION",
+    "ServingJournal",
+    "recover_run",
+    "assemble_report",
+    "JournalCorruptionError",
+    "JournalVersionError",
+]
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+
+
+def _default_opener(path: Path, mode: str):
+    return open(path, mode, encoding="utf-8")
+
+
+def _classify_errno(exc: OSError) -> str:
+    if exc.errno == errno.ENOSPC:
+        return "enospc"
+    if exc.errno == errno.EIO:
+        return "eio"
+    return "other"
 
 
 class ServingJournal:
@@ -74,6 +119,8 @@ class ServingJournal:
         path: Union[str, Path],
         fsync_every_n: int = 0,
         on_commit: Optional[Callable[[int], None]] = None,
+        opener: Optional[Callable] = None,
+        on_storage_error: Optional[Callable[[OSError], None]] = None,
     ):
         if fsync_every_n < 0:
             raise ValueError("fsync_every_n must be >= 0")
@@ -83,10 +130,29 @@ class ServingJournal:
         #: reaches the OS — the hook the kill-after harness uses to
         #: SIGKILL the process at a deterministic journal position
         self.on_commit = on_commit
+        #: ``opener(path, "a")`` must return a writable text-file-shaped
+        #: handle (write/flush/fileno/close, optionally ``sync()``) —
+        #: the storage fault-injection seam
+        self._opener = opener or _default_opener
+        self._storage_listeners: list[Callable[[OSError], None]] = []
+        if on_storage_error is not None:
+            self._storage_listeners.append(on_storage_error)
         self._lock = threading.Lock()
         self._appends = 0
+        self._unsynced = 0
         self._commits = 0
         self._next_seq = 0
+        self._next_rec = 0
+        #: brownout flag: a write-path OSError permanently disables disk
+        #: appends for this journal instance (memory bookkeeping continues)
+        self.disabled = False
+        self.disable_reason: Optional[str] = None
+        self.write_errors: dict[str, int] = {}
+        #: this session's seal epoch (1 + highest epoch already on disk)
+        self.epoch = 1
+        #: the loaded file ended with a seal (clean shutdown last time)
+        self.sealed = False
+        self._sealed_now = False
         self.config: dict = {}
         self._accepted: dict[int, dict] = {}
         self._committed: dict[int, dict] = {}
@@ -96,36 +162,89 @@ class ServingJournal:
     # -------------------------------------------------------------- loading
 
     def _load(self) -> None:
-        with self.path.open(encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write from a killed run
-                kind = record.get("type")
-                if kind == "header":
-                    self.config = record.get("config", {})
-                elif kind == "accepted":
-                    self._accepted[record["seq"]] = record
-                elif kind == "committed":
-                    self._committed[record["seq"]] = record
+        scan = scan_file(self.path)
+        version = scan.header_version
+        if version is not None and version > JOURNAL_VERSION:
+            raise JournalVersionError(self.path, version, JOURNAL_VERSION)
+        strict = (version or 1) >= 2
+        if strict and scan.interior_issues:
+            raise JournalCorruptionError(self.path, scan)
+        if scan.torn_tail:
+            # Drop the tear now: appending after a partial line would
+            # concatenate the next record onto the garbage.
+            try:
+                os.truncate(self.path, scan.good_bytes)
+            except OSError:
+                pass  # read-only segment: loads fine, appends will brown out
+        for record in scan.parsed:
+            kind = record.get("type")
+            if kind == "header":
+                if not self.config:
+                    self.config = record.get("config", {}) or {}
+            elif kind == "accepted":
+                self._accepted[record["seq"]] = record
+            elif kind == "committed":
+                self._committed[record["seq"]] = record
         if self._accepted or self._committed:
             self._next_seq = 1 + max([*self._accepted, *self._committed])
+        self._next_rec = scan.next_rec
+        self.epoch = scan.epoch + 1
+        self.sealed = scan.sealed
 
     # ------------------------------------------------------------ appending
 
-    def _append(self, record: dict) -> None:
-        """Write one line; must be called with the lock held."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
-            handle.flush()
-            self._appends += 1
-            if self.fsync_every_n and self._appends % self.fsync_every_n == 0:
-                os.fsync(handle.fileno())
+    def _fsync(self, handle) -> None:
+        sync = getattr(handle, "sync", None)
+        if callable(sync):
+            sync()
+        else:
+            os.fsync(handle.fileno())
+        self._unsynced = 0
+
+    def _disable(self, exc: OSError) -> None:
+        """Brown out: stop touching the disk, keep serving from memory."""
+        kind = _classify_errno(exc)
+        self.write_errors[kind] = self.write_errors.get(kind, 0) + 1
+        if self.disabled:
+            return
+        self.disabled = True
+        self.disable_reason = f"{kind}: {exc}"
+        for listener in list(self._storage_listeners):
+            listener(exc)
+
+    def add_storage_listener(self, listener: Callable[[OSError], None]) -> None:
+        """Subscribe to the (one-shot) journal_disabled brownout event."""
+        self._storage_listeners.append(listener)
+
+    def _append(self, record: dict, force_sync: bool = False) -> None:
+        """Write one CRC-framed line; must be called with the lock held.
+
+        A storage ``OSError`` trips the brownout instead of propagating:
+        the caller's in-memory state is already updated and serving must
+        outlive a full disk.
+        """
+        if self.disabled:
+            return
+        line = encode_record(record, self._next_rec)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self._opener(self.path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                self._appends += 1
+                self._unsynced += 1
+                if force_sync or (
+                    self.fsync_every_n
+                    and self._appends % self.fsync_every_n == 0
+                ):
+                    self._fsync(handle)
+        except OSError as exc:
+            self._disable(exc)
+            return
+        self._next_rec += 1
+        if record.get("type") != "seal":
+            # any new record past a seal re-opens the file's history
+            self.sealed = False
 
     def write_header(self, config: dict) -> None:
         """Record the run's workload parameters (idempotent per journal)."""
@@ -195,6 +314,35 @@ class ServingJournal:
         if self.on_commit is not None:
             self.on_commit(commits)
 
+    # -------------------------------------------------------------- sealing
+
+    def seal(self) -> None:
+        """Append an epoch-stamped seal and fsync — the clean-shutdown mark.
+
+        Always syncs, even when the append count isn't a multiple of
+        ``fsync_every_n``: a sealed journal's final batch must never be
+        droppable on power cut.  Idempotent per journal instance; a
+        browned-out journal skips sealing (the disk already rejected us).
+        """
+        with self._lock:
+            if self._sealed_now or self.disabled:
+                return
+            self._sealed_now = True
+            self._append(
+                {
+                    "type": "seal",
+                    "epoch": self.epoch,
+                    "committed": len(self._committed),
+                },
+                force_sync=True,
+            )
+            if not self.disabled:
+                self.sealed = True
+
+    def close(self) -> None:
+        """Alias for :meth:`seal` — journals close by sealing."""
+        self.seal()
+
     # ------------------------------------------------------------ reporting
 
     def __len__(self) -> int:
@@ -227,6 +375,12 @@ class ServingJournal:
             "committed": committed,
             "pending": pending,
             "fsync_every_n": self.fsync_every_n,
+            "version": JOURNAL_VERSION,
+            "epoch": self.epoch,
+            "sealed": self.sealed,
+            "disabled": self.disabled,
+            "disable_reason": self.disable_reason,
+            "write_errors": dict(self.write_errors),
         }
 
     def pending(self) -> list[int]:

@@ -1,0 +1,49 @@
+"""Storage robustness layer: fault injection, journal v2, fsck.
+
+Submodules:
+
+* :mod:`repro.storage.format` — the CRC-framed journal v2 record
+  grammar and the damage-classifying :func:`scan_file` reader.
+* :mod:`repro.storage.faults` — :class:`FaultyStorage`, the seeded
+  filesystem chaos harness pluggable under every journal/checkpoint
+  through their ``opener`` injection point.
+* :mod:`repro.storage.fsck` — offline validation/repair behind
+  ``repro fsck --journal``.
+* :mod:`repro.storage.crashfuzz` — the power-cut recovery fuzzer
+  (imported lazily by the CLI and benchmarks: it pulls in the serving
+  stack, which itself depends on :mod:`repro.storage.format`).
+"""
+
+from repro.storage.faults import FaultyFile, FaultyStorage, StorageFaultPlan
+from repro.storage.format import (
+    JournalCorruptionError,
+    JournalScan,
+    JournalVersionError,
+    LineIssue,
+    decode_line,
+    encode_record,
+    scan_file,
+)
+from repro.storage.fsck import (
+    RepairResult,
+    find_double_serves,
+    repair_file,
+    scan_path,
+)
+
+__all__ = [
+    "FaultyFile",
+    "FaultyStorage",
+    "StorageFaultPlan",
+    "JournalCorruptionError",
+    "JournalScan",
+    "JournalVersionError",
+    "LineIssue",
+    "decode_line",
+    "encode_record",
+    "scan_file",
+    "RepairResult",
+    "find_double_serves",
+    "repair_file",
+    "scan_path",
+]

@@ -1,0 +1,136 @@
+"""Offline journal validation and repair (``repro fsck --journal``).
+
+``scan_path`` accepts either a single journal file or a cluster segment
+directory and returns one :class:`~repro.storage.format.JournalScan`
+per file, plus the cross-segment double-serve check a merged view would
+perform.  ``repair_file`` rewrites a damaged journal from its
+well-formed records: the torn tail is truncated, interior-damaged lines
+are quarantined to a ``<name>.quarantine`` sidecar (never deleted), the
+surviving records are re-framed as v2 with fresh contiguous ``rec``
+numbers, and stale ``seal`` records are dropped — the repaired file is
+deliberately *unsealed* so recovery knows the run was interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.storage.format import JournalScan, encode_record, scan_file
+
+__all__ = ["scan_path", "repair_file", "RepairResult", "find_double_serves"]
+
+
+@dataclass
+class RepairResult:
+    """What one :func:`repair_file` call changed."""
+
+    path: str
+    records_kept: int = 0
+    quarantined: int = 0
+    tail_truncated: bool = False
+    seals_dropped: int = 0
+    rewritten: bool = False
+    quarantine_path: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "records_kept": self.records_kept,
+            "quarantined": self.quarantined,
+            "tail_truncated": self.tail_truncated,
+            "seals_dropped": self.seals_dropped,
+            "rewritten": self.rewritten,
+        }
+
+
+def scan_path(path: Union[str, Path]) -> dict[str, JournalScan]:
+    """Scan one journal file, or every segment in a directory.
+
+    Keys are file names (segment names for a directory), values the
+    per-file scans; callers aggregate.
+    """
+    path = Path(path)
+    if path.is_dir():
+        # Local import: fsck stays usable on bare files without pulling
+        # the cluster package in.
+        from repro.serving.cluster.recovery import discover_segments
+
+        segments = discover_segments(path)
+        if not segments:
+            raise FileNotFoundError(f"no journal segments in {path}")
+        return {
+            found.name: scan_file(found)
+            for _shard, found in sorted(segments.items())
+        }
+    if not path.exists():
+        raise FileNotFoundError(f"no journal at {path}")
+    return {path.name: scan_file(path)}
+
+
+def find_double_serves(scans: dict[str, JournalScan]) -> dict[int, list[str]]:
+    """seqs committed by more than one segment → the offending files."""
+    owners: dict[int, list[str]] = {}
+    for name, scan in scans.items():
+        for seq in scan.committed:
+            owners.setdefault(seq, []).append(name)
+    return {seq: names for seq, names in sorted(owners.items()) if len(names) > 1}
+
+
+def repair_file(path: Union[str, Path]) -> RepairResult:
+    """Rewrite a journal keeping only its verifiably-good records.
+
+    A clean, contiguous file is left byte-for-byte untouched.  Damaged
+    raw lines are appended to ``<name>.quarantine`` as JSON wrappers
+    (``{"line": n, "reason": ..., "raw": ...}``) before the rewrite, so
+    repair never destroys evidence.
+    """
+    path = Path(path)
+    scan = scan_file(path)
+    result = RepairResult(path=str(path))
+    if not scan.issues:
+        result.records_kept = scan.records
+        return result
+
+    quarantine = path.with_name(path.name + ".quarantine")
+    damaged = [issue for issue in scan.issues if issue.raw]
+    if damaged:
+        with quarantine.open("a", encoding="utf-8") as sidecar:
+            for issue in damaged:
+                sidecar.write(
+                    json.dumps(
+                        {"line": issue.line, "reason": issue.reason,
+                         "raw": issue.raw},
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        result.quarantine_path = str(quarantine)
+    result.quarantined = len(damaged)
+
+    if scan.torn_tail and not scan.interior_issues:
+        # Pure tear: truncation is the whole repair — no rewrite, the
+        # surviving bytes (and any v1 framing) stay untouched.
+        with open(path, "r+b") as handle:
+            handle.truncate(scan.good_bytes)
+        result.tail_truncated = True
+        result.records_kept = scan.records
+        return result
+
+    # Interior damage: rewrite from the parsed records, re-framed v2
+    # with fresh contiguous recs.  Seals describe a history that is no
+    # longer intact — drop them.
+    keep = [record for record in scan.parsed if record.get("type") != "seal"]
+    result.seals_dropped = scan.seals
+    tmp = path.with_name(path.name + ".repair-tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        for rec, record in enumerate(keep):
+            body = {key: value for key, value in record.items() if key != "rec"}
+            handle.write(encode_record(body, rec) + "\n")
+    tmp.replace(path)
+    result.tail_truncated = scan.torn_tail
+    result.records_kept = len(keep)
+    result.rewritten = True
+    return result

@@ -251,6 +251,26 @@ class TestClusterServing:
             tmp_path, smoke_workload
         )
 
+    def test_storage_brownout_degrades_worker_without_killing_it(
+        self, tmp_path, smoke_workload
+    ):
+        # Every worker's journal segment hits ENOSPC on its third append.
+        # The cluster must treat that as a brownout — serve the full
+        # workload un-journaled and report the workers storage-degraded —
+        # not as a death: no restarts, no rebalances, no shed requests.
+        config = cluster_config(tmp_path, storage={"enospc_after": 2})
+        with ShardCoordinator(config) as coordinator:
+            results = coordinator.run(smoke_workload)
+            stats = coordinator.stats()
+        assert all(r is not None for r in results)
+        assert stats["completed"] == len(smoke_workload)
+        assert stats["deaths"] == 0
+        assert stats["restarts"] == 0
+        assert stats["storage_degraded"] >= 1
+        assert "storage-degraded" in stats.format()
+        workers = stats["workers"]
+        assert any(w["storage_degraded"] for w in workers.values())
+
     def test_deadline_propagates_across_process_boundary(
         self, tmp_path, smoke_benchmark
     ):

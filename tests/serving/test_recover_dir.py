@@ -113,6 +113,90 @@ class TestMergedView:
             view.commit(9, "failed", error="never accepted")
 
 
+class TestDamagedSegments:
+    """Storage damage surfaces through discovery with v2 semantics:
+    torn tails heal silently, interior damage raises typed."""
+
+    def test_torn_segment_tail_is_pending_again(
+        self, tmp_path, tiny_benchmark
+    ):
+        examples = tiny_benchmark.dev[:2]
+        left = segment(tmp_path, 0)
+        left.accept(examples[0], seq=0)
+        left.commit(0, "failed", error="x")
+        segment(tmp_path, 1).accept(examples[1], seq=1)
+        path = tmp_path / segment_name(0)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:20])
+        view = ShardedJournalView(tmp_path)
+        assert view.pending() == [0, 1]  # the torn commit re-runs
+        # and the tear was truncated: a reload sees a clean segment
+        from repro.storage import scan_file
+
+        assert scan_file(path).issues == []
+
+    def test_corrupt_segment_middle_raises_typed_with_segment_name(
+        self, tmp_path, tiny_benchmark
+    ):
+        from repro.serving import JournalCorruptionError
+
+        examples = tiny_benchmark.dev[:2]
+        left = segment(tmp_path, 0)
+        left.accept(examples[0], seq=0)
+        left.commit(0, "failed", error="x")
+        segment(tmp_path, 1)
+        path = tmp_path / segment_name(0)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:15] + "##" + lines[1][17:]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError) as info:
+            ShardedJournalView(tmp_path)
+        assert segment_name(0) in str(info.value)
+        assert "fsck" in str(info.value)
+
+    def test_corrupt_middle_of_one_segment_spares_no_merge(
+        self, tmp_path, tiny_benchmark
+    ):
+        # even when the OTHER segments are pristine, the merged view must
+        # refuse: a silently-skipped interior commit could double-serve
+        # that seq on a healthy shard later
+        from repro.serving import JournalCorruptionError
+
+        examples = tiny_benchmark.dev[:3]
+        for shard in (0, 1, 2):
+            journal = segment(tmp_path, shard)
+            journal.accept(examples[shard], seq=shard)
+            journal.commit(shard, "failed", error=str(shard))
+            journal.accept(examples[shard], seq=shard + 10)
+        path = tmp_path / segment_name(1)
+        lines = path.read_text().splitlines()
+        lines[2] = "garbage-not-json"  # the commit — interior, not tail
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError):
+            ShardedJournalView(tmp_path)
+
+    def test_view_seal_seals_every_segment(self, tmp_path, tiny_benchmark):
+        from repro.storage import scan_file
+
+        segment(tmp_path, 0)
+        segment(tmp_path, 1)
+        view = ShardedJournalView(tmp_path)
+        view.seal()
+        for shard in (0, 1):
+            assert scan_file(tmp_path / segment_name(shard)).sealed
+
+    def test_view_forwards_opener_to_segments(self, tmp_path, tiny_benchmark):
+        from repro.storage import FaultyStorage, StorageFaultPlan
+
+        example = tiny_benchmark.dev[0]
+        left = segment(tmp_path, 0)
+        left.accept(example, seq=0)
+        storage = FaultyStorage(StorageFaultPlan.none())
+        view = ShardedJournalView(tmp_path, opener=storage.opener)
+        view.commit(0, "failed", error="through-the-opener")
+        assert storage.stats_dict()["writes"] == 1
+
+
 class TestMergedRecovery:
     def test_sharded_recovery_matches_single_journal_recovery(
         self, tmp_path, tiny_benchmark, tiny_pipeline

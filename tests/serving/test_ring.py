@@ -56,6 +56,34 @@ class TestMinimalMovement:
             assert len(moved) == owned
             assert all(before[k] == victim for k in moved)
 
+    def test_two_successive_permanent_deaths_move_minimally(self):
+        # a cluster that loses two shards one after the other (each past
+        # its restart budget) must only ever move the dead shards' keys:
+        # survivors' journal segments and caches stay valid through BOTH
+        # rebalances, and no key bounces through a third owner
+        ring = HashRing(range(4))
+        before = {k: ring.lookup(k) for k in KEYS}
+        ring.remove(1)
+        after_first = {k: ring.lookup(k) for k in KEYS}
+        moved_first = {k for k in KEYS if after_first[k] != before[k]}
+        assert all(before[k] == 1 for k in moved_first)
+
+        ring.remove(3)
+        after_second = {k: ring.lookup(k) for k in KEYS}
+        moved_second = {k for k in KEYS if after_second[k] != after_first[k]}
+        # only keys owned by shard 3 at the time of ITS death move now —
+        # including shard-1 orphans it had adopted, which must not return
+        # to a surviving shard they never belonged to mid-epoch
+        assert all(after_first[k] == 3 for k in moved_second)
+        # keys that never touched a dead shard never moved at all
+        stable = [k for k in KEYS if before[k] not in (1, 3)]
+        assert all(after_second[k] == before[k] for k in stable)
+        # the two survivors own the whole keyspace, both non-empty
+        owners = set(after_second.values())
+        assert owners == {0, 2}
+        shares = [sum(1 for k in KEYS if after_second[k] == o) for o in (0, 2)]
+        assert min(shares) > 0
+
     def test_removal_moves_at_most_a_quarter_of_keys_on_average(self):
         # Consistent hashing moves ~1/N of the keyspace per removal;
         # modulo placement would move ~3/4.  The per-removal shares sum

@@ -1,0 +1,134 @@
+"""fsck: scan, double-serve detection, truncate/quarantine repair."""
+
+import json
+
+import pytest
+
+from repro.storage import (
+    encode_record,
+    find_double_serves,
+    repair_file,
+    scan_file,
+    scan_path,
+)
+
+
+def write_journal(path, records):
+    path.write_text(
+        "\n".join(encode_record(r, i) for i, r in enumerate(records)) + "\n"
+    )
+
+
+RECORDS = [
+    {"type": "header", "version": 2, "config": {}},
+    {"type": "accepted", "seq": 0, "question_id": "q1", "db_id": "db"},
+    {"type": "committed", "seq": 0, "status": "ok"},
+    {"type": "accepted", "seq": 1, "question_id": "q2", "db_id": "db"},
+    {"type": "committed", "seq": 1, "status": "ok"},
+]
+
+
+class TestScanPath:
+    def test_single_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, RECORDS)
+        scans = scan_path(path)
+        assert list(scans) == ["j.jsonl"]
+        assert scans["j.jsonl"].committed == {0, 1}
+
+    def test_directory_uses_segment_discovery(self, tmp_path):
+        for shard in range(2):
+            write_journal(tmp_path / f"journal-shard-{shard}.jsonl", RECORDS[:3])
+        (tmp_path / "notes.txt").write_text("not a segment")
+        scans = scan_path(tmp_path)
+        assert sorted(scans) == [
+            "journal-shard-0.jsonl", "journal-shard-1.jsonl",
+        ]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            scan_path(tmp_path / "absent.jsonl")
+        with pytest.raises(FileNotFoundError):
+            scan_path(tmp_path)  # dir with no segments
+
+
+class TestDoubleServes:
+    def test_cross_segment_duplicate_commit_found(self, tmp_path):
+        write_journal(tmp_path / "journal-shard-0.jsonl", RECORDS)
+        write_journal(
+            tmp_path / "journal-shard-1.jsonl",
+            [RECORDS[0], {"type": "accepted", "seq": 1, "question_id": "q2",
+                          "db_id": "db"},
+             {"type": "committed", "seq": 1, "status": "ok"}],
+        )
+        doubles = find_double_serves(scan_path(tmp_path))
+        assert list(doubles) == [1]
+        assert sorted(doubles[1]) == [
+            "journal-shard-0.jsonl", "journal-shard-1.jsonl",
+        ]
+
+    def test_disjoint_segments_are_clean(self, tmp_path):
+        write_journal(tmp_path / "journal-shard-0.jsonl", RECORDS[:3])
+        write_journal(
+            tmp_path / "journal-shard-1.jsonl",
+            [RECORDS[0], RECORDS[3],
+             {"type": "committed", "seq": 1, "status": "ok"}],
+        )
+        assert find_double_serves(scan_path(tmp_path)) == {}
+
+
+class TestRepair:
+    def test_clean_file_untouched(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, RECORDS)
+        before = path.read_bytes()
+        result = repair_file(path)
+        assert path.read_bytes() == before
+        assert not result.rewritten
+        assert result.quarantined == 0
+
+    def test_torn_tail_truncated_in_place(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, RECORDS)
+        data = path.read_text().splitlines()
+        path.write_text("\n".join(data[:-1]) + "\n" + data[-1][:20])
+        result = repair_file(path)
+        assert result.tail_truncated
+        assert not result.rewritten  # pure tear: no rewrite needed
+        scan = scan_file(path)
+        assert not scan.issues
+        assert scan.committed == {0}  # seq 1's commit was the torn line
+
+    def test_interior_damage_quarantined_and_rewritten(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(path, RECORDS)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:12] + "XX" + lines[2][14:]  # corrupt commit 0
+        path.write_text("\n".join(lines) + "\n")
+        result = repair_file(path)
+        assert result.rewritten
+        assert result.quarantined == 1
+        assert result.records_kept == 4
+        # the damaged raw line is preserved as evidence
+        sidecar = json.loads(
+            (tmp_path / "j.jsonl.quarantine").read_text().splitlines()[0]
+        )
+        assert sidecar["reason"] in ("crc-mismatch", "unparseable")
+        # the repaired file is strictly clean and re-framed contiguously
+        scan = scan_file(path)
+        assert not scan.issues
+        assert scan.committed == {1}  # commit 0 is gone, scoped loss
+        assert scan.accepted == {0, 1}
+
+    def test_repaired_file_drops_seals(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        write_journal(
+            path, RECORDS + [{"type": "seal", "epoch": 1, "committed": 2}]
+        )
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage"
+        path.write_text("\n".join(lines) + "\n")
+        result = repair_file(path)
+        assert result.seals_dropped == 1
+        scan = scan_file(path)
+        assert not scan.sealed  # a repaired journal is not a clean one

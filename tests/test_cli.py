@@ -228,6 +228,24 @@ class TestServeBenchRobustness:
         assert code == 0
         assert "served   : 4/4" in text  # healthy run sheds nothing
 
+    def test_storage_enospc_browns_out_but_serves_everything(self, tmp_path):
+        journal_path = tmp_path / "serve.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "5", "--distinct", "3",
+            "--journal", str(journal_path),
+            "--storage-enospc-after", "2",
+            "--metrics-out", str(metrics_path),
+        )
+        assert code == 0  # the disk filled up; the run did not fail
+        assert "served   : 5/5" in text
+        assert "DISABLED" in text
+        assert "un-journaled" in text
+        snapshot = metrics_path.read_text()
+        assert "repro_storage_journal_disabled_total" in snapshot
+        assert "repro_storage_write_errors_total" in snapshot
+
 
 class TestRecover:
     def test_recover_matches_uninterrupted_report(self, tmp_path):
@@ -278,6 +296,128 @@ class TestRecover:
         code, text = run_cli("recover", "--journal", str(journal_path))
         assert code == 2
         assert "no header" in text
+
+    def test_recover_dry_run_prints_counts_without_replaying(self, tmp_path):
+        journal_path = tmp_path / "serve.jsonl"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "4", "--distinct", "2",
+            "--journal", str(journal_path),
+        )
+        assert code == 0
+        # chop from the last commit onward (also dropping the seal) so
+        # there is something pending
+        lines = journal_path.read_text().splitlines()
+        last_commit = max(
+            i for i, line in enumerate(lines)
+            if '"type": "committed"' in line
+        )
+        journal_path.write_text("\n".join(lines[:last_commit]) + "\n")
+        code, text = run_cli(
+            "recover", "--journal", str(journal_path), "--dry-run",
+        )
+        assert code == 0
+        assert "total: 3 committed, 1 pending, 0 corrupt lines" in text
+        assert "recovered:" not in text  # counts only, nothing replayed
+
+    def test_recover_corrupt_journal_fails_with_one_typed_line(
+        self, tmp_path
+    ):
+        journal_path = tmp_path / "serve.jsonl"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "4", "--distinct", "2",
+            "--journal", str(journal_path),
+        )
+        assert code == 0
+        lines = journal_path.read_text().splitlines()
+        lines[2] = lines[2][:12] + "##" + lines[2][14:]  # interior damage
+        journal_path.write_text("\n".join(lines) + "\n")
+        code, text = run_cli("recover", "--journal", str(journal_path))
+        assert code == 2
+        assert text.startswith("error: ")
+        assert "fsck" in text  # points the operator at the repair tool
+        assert len(text.strip().splitlines()) == 1  # no traceback
+
+
+class TestFsck:
+    def seeded_journal(self, tmp_path):
+        journal_path = tmp_path / "serve.jsonl"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench",
+            "--workers", "1", "--requests", "4", "--distinct", "2",
+            "--journal", str(journal_path),
+        )
+        assert code == 0
+        return journal_path
+
+    def test_clean_journal_passes(self, tmp_path):
+        journal_path = self.seeded_journal(tmp_path)
+        code, text = run_cli("fsck", "--journal", str(journal_path))
+        assert code == 0
+        assert "fsck: clean" in text
+        assert "4 committed" in text
+
+    def test_torn_tail_flagged_as_safe(self, tmp_path):
+        journal_path = self.seeded_journal(tmp_path)
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        code, text = run_cli("fsck", "--journal", str(journal_path))
+        assert code == 1
+        assert "torn tail (safe to truncate)" in text
+
+    def test_detect_repair_then_clean(self, tmp_path):
+        journal_path = self.seeded_journal(tmp_path)
+        lines = journal_path.read_text().splitlines()
+        lines[2] = lines[2][:12] + "##" + lines[2][14:]
+        journal_path.write_text("\n".join(lines) + "\n")
+
+        code, text = run_cli("fsck", "--journal", str(journal_path))
+        assert code == 1
+        assert "CORRUPT" in text
+        assert "--repair" in text
+
+        code, text = run_cli(
+            "fsck", "--journal", str(journal_path), "--repair",
+        )
+        assert code == 0
+        assert "repaired" in text
+        assert "quarantined" in text
+
+        code, text = run_cli("fsck", "--journal", str(journal_path))
+        assert code == 0
+        assert "fsck: clean" in text
+        # and the repaired journal still recovers (the damaged record is
+        # simply pending again)
+        code, text = run_cli("recover", "--journal", str(journal_path))
+        assert code == 0
+        assert "recovered: 4/4" in text
+
+    def test_missing_journal_is_a_typed_error(self, tmp_path):
+        code, text = run_cli(
+            "fsck", "--journal", str(tmp_path / "missing.jsonl"),
+        )
+        assert code == 2
+        assert text.startswith("error: ")
+
+
+class TestCrashFuzz:
+    def test_tiny_campaign_certifies_and_is_deterministic(self, tmp_path):
+        argv = (
+            "--candidates", "3", "crash-fuzz",
+            "--shards", "2", "--requests", "4", "--distinct", "2",
+            "--limit", "2", "--bitflips", "1", "--no-torn", "--no-routing",
+        )
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        code, text = run_cli(*argv, "--out", str(first))
+        assert code == 0
+        assert "CERTIFIED" in text
+        assert "FAIL" not in text
+        code, _ = run_cli(*argv, "--out", str(second))
+        assert code == 0
+        assert first.read_bytes() == second.read_bytes()
 
 
 class TestServeBenchCluster:
