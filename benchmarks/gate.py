@@ -15,7 +15,13 @@ change regresses past tolerance:
 * **tokens per request** — the cost-tiered routing pipeline's average
   tokens per request on the mixed-difficulty serving profile must not
   grow more than 10% over baseline (a cost gate: a change that quietly
-  defeats the fast path fails the build).
+  defeats the fast path fails the build);
+* **async throughput** — the async engine's virtual throughput (requests
+  per backend-busy second) on the same Zipf load must stay at or above
+  80% of baseline (a change that degrades micro-batching fails);
+* **coalesced fraction** — the fraction of requests served as single-
+  flight followers must stay within 0.05 of baseline (a change that
+  quietly defeats in-flight dedup fails).
 
 Usage::
 
@@ -44,6 +50,8 @@ TOLERANCES = {
     "ex_retention": ("absolute", 0.02),
     "ex": ("absolute", 1.0),
     "tokens_per_request": ("ratio_max", 0.10),
+    "throughput_async": ("ratio", 0.20),
+    "coalesced_fraction": ("absolute", 0.05),
 }
 
 
@@ -99,7 +107,7 @@ def measure(smoke: bool = True) -> dict:
     from repro.llm.skills import GPT_4O
     from repro.reliability import FaultInjectingLLM, FaultPlan, ResilientLLM
     from repro.routing import TieredPipeline
-    from repro.serving import ServingEngine, zipf_workload
+    from repro.serving import AsyncServingEngine, ServingEngine, zipf_workload
 
     eval_size = 12 if smoke else 50
     requests, distinct = (16, 8) if smoke else (40, 12)
@@ -167,6 +175,18 @@ def measure(smoke: bool = True) -> dict:
     routed = evaluate_pipeline(tiered, profile, name="routed").deterministic_dict()
     tokens_per_request = routed["total_tokens"] / routed["count"]
 
+    # 5. Async engine on the same Zipf load: coalesced fraction (single-
+    # flight efficiency) and virtual throughput over the backend-busy
+    # makespan (micro-batching efficiency).  Both are deterministic —
+    # leader/follower assignment is a pure function of the workload, and
+    # the batcher's wave composition is barrier-aligned, so a change that
+    # quietly defeats coalescing or batching trips the gate exactly.
+    with AsyncServingEngine(
+        pipeline(), workers=workers, queue_capacity=len(load)
+    ) as engine:
+        engine.run(load)
+        astats = engine.stats()
+
     return {
         "smoke": smoke,
         "eval_size": eval_size,
@@ -178,6 +198,9 @@ def measure(smoke: bool = True) -> dict:
         "ex_retention": round(retention, 4),
         "routed_ex": routed["ex"],
         "tokens_per_request": round(tokens_per_request, 1),
+        "throughput_async": round(astats.throughput_rps, 4),
+        "coalesced_fraction": round(astats.coalesced_fraction, 4),
+        "async_batched_calls": astats.batched_calls,
     }
 
 

@@ -121,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "when the queue is full (default: closed)")
     sb.add_argument("--no-cache", action="store_true",
                     help="disable all three cache tiers")
+    sb.add_argument("--async", dest="use_async", action="store_true",
+                    help="serve on the asyncio engine: single-flight "
+                         "coalescing of identical in-flight requests plus "
+                         "micro-batched LLM calls (queue capacity is "
+                         "auto-raised to the request count — admission "
+                         "never blocks the event loop)")
     sb.add_argument("--routing", action="store_true",
                     help="adaptive cost-tiered routing: serve each request "
                          "on a FAST (no-CoT mini) / FULL / HEAVY tier with "
@@ -511,6 +517,7 @@ def _cmd_serve_bench_cluster(args, out) -> int:
                   "per worker is written inside it)\n")
         return 2
     unsupported = [
+        ("--async", args.use_async),
         ("--mode open", args.mode == "open"),
         ("--no-cache", args.no_cache),
         ("--fault-rate", args.fault_rate > 0),
@@ -624,6 +631,7 @@ def _cmd_serve_bench(args, out) -> int:
 
     from repro.serving import (
         DEFAULT_HEALTH_SHED,
+        AsyncServingEngine,
         ServingEngine,
         ServingJournal,
         assemble_report,
@@ -698,6 +706,8 @@ def _cmd_serve_bench(args, out) -> int:
             "zipf": args.zipf,
             "result_cache_size": cache_size,
         }
+        if args.use_async:
+            header["async"] = True
         if tiered is not None:
             header["routing"] = True
             header["routing_config"] = tiered.routing_config.to_dict()
@@ -721,10 +731,16 @@ def _cmd_serve_bench(args, out) -> int:
     hedge_ms = args.hedge_ms
     if args.fault_rate > 0 and not hedge_ms:
         hedge_ms = 2000.0
-    engine = ServingEngine(
+    engine_cls = AsyncServingEngine if args.use_async else ServingEngine
+    queue_capacity = args.queue_capacity
+    if args.use_async:
+        # The async engine admits non-blocking (a blocking admit would
+        # stall the event loop), so the queue must cover the workload.
+        queue_capacity = max(queue_capacity, args.requests)
+    engine = engine_cls(
         tiered if tiered is not None else pipeline,
         workers=args.workers,
-        queue_capacity=args.queue_capacity,
+        queue_capacity=queue_capacity,
         result_cache_size=cache_size,
         extraction_cache_size=0 if args.no_cache else 1024,
         fewshot_cache_size=0 if args.no_cache else 1024,
@@ -740,9 +756,10 @@ def _cmd_serve_bench(args, out) -> int:
         results = engine.run(workload, block=(args.mode == "closed"))
         stats = engine.stats()
     served = sum(1 for r in results if r is not None)
+    mode_label = "async" if args.use_async else f"{args.mode}-loop"
     out.write(
         f"workload : {args.requests} requests over {len(pool)} distinct "
-        f"questions (zipf skew {args.zipf}, {args.mode}-loop)\n"
+        f"questions (zipf skew {args.zipf}, {mode_label})\n"
     )
     out.write(f"served   : {served}/{len(workload)}\n")
     out.write(stats.format() + "\n")

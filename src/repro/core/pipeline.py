@@ -150,6 +150,17 @@ class OpenSearchSQL:
         self.refiner.llm = llm
         return self
 
+    def wrap_llms(self, wrap: Callable[[LLMClient], LLMClient]) -> "OpenSearchSQL":
+        """Route every LLM transport this pipeline holds through ``wrap``.
+
+        The seam the async engine uses to install its micro-batching
+        shim around whatever client (clean, fault-injected, resilient)
+        is already bound.  Single-transport pipelines have exactly one;
+        :class:`~repro.routing.TieredPipeline` overrides this to cover
+        its per-tier clients as well.
+        """
+        return self.rebind_llm(wrap(self.llm))
+
     # ----------------------------------------------------------------- run
 
     def answer(

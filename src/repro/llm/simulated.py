@@ -55,7 +55,13 @@ from repro.sqlkit.sql_like import SQLLike, render_sql_like, select_to_sql_like
 from repro.sqlkit.tokenizer import TokenizeError
 from repro.sqlkit.transform import collect_column_refs
 
-__all__ = ["SimulatedLLM", "hard_fail_scale"]
+__all__ = ["SimulatedLLM", "hard_fail_scale", "CALL_OVERHEAD_SECONDS"]
+
+#: Fixed per-invocation API overhead in the simulated latency model.  A
+#: micro-batched invocation pays this once for the whole batch while the
+#: per-token decode cost of its members overlaps (continuous batching),
+#: which is what makes batching a throughput lever at all.
+CALL_OVERHEAD_SECONDS = 0.4
 
 def hard_fail_scale(example: Example, gold_like: SQLLike) -> float:
     """Structural complexity multiplier for the hard-fail channel.
@@ -147,7 +153,9 @@ class SimulatedLLM:
     def _latency(prompt_tokens: int, completion_tokens: int) -> float:
         # Simulated wall-clock cost of an API call: fixed overhead plus
         # per-token decode time (reported, never slept).
-        return 0.4 + prompt_tokens * 4e-4 + completion_tokens * 0.02
+        return (
+            CALL_OVERHEAD_SECONDS + prompt_tokens * 4e-4 + completion_tokens * 0.02
+        )
 
     def _respond(self, prompt: str, texts: list[str]) -> list[LLMResponse]:
         prompt_tokens = count_tokens(prompt)
@@ -196,6 +204,32 @@ class SimulatedLLM:
             "SimulatedLLM requires a structured task payload; got "
             f"{type(task).__name__}"
         )
+
+    def complete_batch(
+        self, calls: "list[dict]"
+    ) -> "list[list[LLMResponse]]":
+        """Answer several calls in one simulated backend invocation.
+
+        Each element of ``calls`` is the keyword form of one
+        :meth:`complete` call: ``{"prompt", "temperature", "n", "task"}``.
+        Because every draw is keyed by (seed, question, channel,
+        candidate) — never by call order — each member's responses are
+        byte-identical to what a lone ``complete()`` would return, so
+        per-request costs and answers are independent of how the micro-
+        batcher happened to group concurrent traffic.  The batching win
+        is purely temporal and is accounted by the caller: one
+        :data:`CALL_OVERHEAD_SECONDS` for the invocation plus the
+        *slowest* member's decode time (members decode in parallel).
+        """
+        return [
+            self.complete(
+                call["prompt"],
+                temperature=call.get("temperature", 0.0),
+                n=call.get("n", 1),
+                task=call.get("task"),
+            )
+            for call in calls
+        ]
 
     # ------------------------------------------------------ generation core
 

@@ -77,6 +77,14 @@ class FastPathPipeline:
     #: how many top-scoring tables the vector filter keeps in the prompt
     TABLE_BUDGET = 2
 
+    def rebind_llm(self, llm: LLMClient) -> "FastPathPipeline":
+        """Swap the fast-tier transport on every stage that holds it."""
+        self.llm = llm
+        self.generator.llm = llm
+        self.refiner.llm = llm
+        self._retriever.llm = llm
+        return self
+
     def extract(self, example: Example, pre) -> ExtractionResult:
         """Zero-LLM extraction: vector value retrieval over the request's
         own value-mention surfaces plus a vector-only table filter.

@@ -248,6 +248,21 @@ class TieredPipeline:
             self._heavy = _SiblingPipeline(self.base, self.heavy_llm)
         return self._heavy
 
+    def wrap_llms(self, wrap) -> "TieredPipeline":
+        """Route every tier's transport through ``wrap``.
+
+        Covers the base (FULL) client plus the fast and heavy siblings —
+        each tier keeps its own skill profile/seed, only the transport
+        seam changes.  The heavy sibling is rebuilt eagerly so a lazily
+        built ``_heavy`` cannot resurrect the unwrapped client later.
+        """
+        self.base.wrap_llms(wrap)
+        self.fast_llm = wrap(self.fast_llm)
+        self.fastpath.rebind_llm(self.fast_llm)
+        self.heavy_llm = wrap(self.heavy_llm)
+        self._heavy = _SiblingPipeline(self.base, self.heavy_llm)
+        return self
+
     def route(self, example: Example) -> RouteDecision:
         """The pure, deterministic tier decision for one request."""
         return self.router.route(example, self.base.preprocessed(example.db_id))

@@ -8,6 +8,11 @@ package is the subsystem where requests share state.  It provides
   ``OpenSearchSQL.answer`` behind an :class:`AdmissionController`
   (shed / circuit-open / budget rejections) and three cache tiers
   (exact-match result, extraction, few-shot retrieval);
+* :class:`AsyncServingEngine` — the asyncio hot path over the same
+  layers: single-flight dedup of identical in-flight requests (followers
+  are journaled ``"coalesced"`` and charged zero LLM cost) and a
+  :class:`MicroBatcher` merging same-stage LLM calls across concurrent
+  requests into one batched backend invocation;
 * :class:`LRUCache` — the thread-safe LRU + TTL primitive every bounded
   map in the codebase shares, with hit/miss/eviction stats and
   per-database invalidation;
@@ -49,6 +54,13 @@ from repro.caching import (
     GoldResultCache,
     LRUCache,
     normalize_question,
+)
+from repro.serving.aio import (
+    AsyncServingEngine,
+    AsyncServingStats,
+    BatchingLLM,
+    MicroBatcher,
+    SingleFlight,
 )
 from repro.serving.admission import (
     DEFAULT_HEALTH_SHED,
@@ -101,8 +113,13 @@ __all__ = [
     "AdmissionController",
     "AdmissionError",
     "AllBackendsFailedError",
+    "AsyncServingEngine",
+    "AsyncServingStats",
     "BackendPool",
     "BackendPoolStats",
+    "BatchingLLM",
+    "MicroBatcher",
+    "SingleFlight",
     "BulkheadFullError",
     "BulkheadRegistry",
     "CacheStats",

@@ -1,0 +1,22 @@
+"""Async serving core: single-flight coalescing + micro-batched LLM calls.
+
+See :mod:`repro.serving.aio.engine` for the architecture notes and
+``DESIGN.md`` ("Async core & coalescing") for the dedup key, batching
+window, and replay semantics.
+"""
+
+from repro.serving.aio.batcher import BatchingLLM, MicroBatcher, stage_of
+from repro.serving.aio.engine import AsyncServingEngine
+from repro.serving.aio.singleflight import RUN_SELF, Flight, SingleFlight
+from repro.serving.aio.stats import AsyncServingStats
+
+__all__ = [
+    "AsyncServingEngine",
+    "AsyncServingStats",
+    "BatchingLLM",
+    "Flight",
+    "MicroBatcher",
+    "RUN_SELF",
+    "SingleFlight",
+    "stage_of",
+]

@@ -1,0 +1,468 @@
+"""The async serving engine: single-flight coalescing + micro-batching.
+
+``AsyncServingEngine`` keeps every layer of the threaded
+:class:`~repro.serving.engine.ServingEngine` — admission, bulkheads,
+cache tiers, deadlines, hedging, journal, traces, metrics — and rebuilds
+the hot path on asyncio:
+
+1. **Registration phase** (event-loop thread, workload order): every
+   request runs its synchronous prologue — bulkhead acquire, admission,
+   journal ``accept``, result-cache probe, single-flight ``begin`` —
+   before any pipeline work completes.  This makes leader/follower
+   assignment a pure function of the workload: on a cold run exactly one
+   leader per distinct key, every repeat a follower.  Deterministic
+   coalescing is what lets CI diff two runs byte-for-byte.
+2. **Leaders** run the pipeline on a thread pool (the event loop stays
+   free); their LLM calls park at the :class:`MicroBatcher`, which
+   batches same-stage calls across all concurrent leaders into single
+   backend invocations.  Extraction/retrieval compute of one request
+   overlaps the (virtual) decode waits of the others at those
+   rendezvous points.
+3. **Followers** await the leader's future (shielded, so one follower's
+   cancellation cannot poison the flight), then commit ``"coalesced"``
+   to the journal — zero payload, zero cost — which ``recover_run``
+   replays exactly like a result-tier hit.
+
+Replay semantics: a follower's seq is always greater than its leader's
+(registration order), so serial recovery commits the leader's ``"ok"``
+— warming the recovery cache — before any of its followers replay.
+Edge rules mirror the cache tiers: a **deadline-truncated** leader
+answer is never shared (followers each run the pipeline themselves and
+commit their own outcome); a **failed** leader fails its followers with
+the same error string, which a fresh recovery re-derives identically.
+
+Virtual accounting: the async makespan is the backend-busy clock — the
+sum of charged seconds over all batched invocations — because one
+continuously-batching backend serves every concurrent request.  The
+threaded engine's makespan is its busiest worker's virtual clock; the
+two are directly comparable and ``bench_async`` certifies the ratio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from repro.core.pipeline import PipelineResult
+from repro.datasets.types import Example
+from repro.observability.context import add_event
+from repro.observability.trace import Trace
+from repro.reliability.deadline import Deadline
+from repro.reliability.faults import BudgetExceededError, CircuitOpenError
+from repro.caching import normalize_question, result_cache_key
+from repro.serving.admission import AdmissionError
+from repro.serving.bulkhead import (
+    BulkheadFullError,
+    DbCircuitOpenError,
+    QuarantinedError,
+)
+from repro.serving.engine import ServingEngine
+from repro.serving.stats import ServingStats
+from repro.serving.aio.batcher import BatchingLLM, MicroBatcher
+from repro.serving.aio.singleflight import RUN_SELF, SingleFlight
+from repro.serving.aio.stats import AsyncServingStats
+
+__all__ = ["AsyncServingEngine"]
+
+
+class _Ctx:
+    """Per-request registration outcome carried into the async phase."""
+
+    __slots__ = (
+        "example", "seq", "start", "budget", "key", "trace",
+        "role", "flight", "result", "deadline",
+    )
+
+    def __init__(self, example):
+        self.example = example
+        self.seq = None
+        self.start = 0.0
+        self.budget = None
+        self.key = None
+        self.trace = None
+        self.role = None  # "lead" | "follow" | "cached"
+        self.flight = None
+        self.result = None
+        self.deadline = None
+
+
+class AsyncServingEngine(ServingEngine):
+    """Coalescing, micro-batching asyncio front end for a pipeline.
+
+    Accepts every :class:`ServingEngine` parameter plus the batching
+    knobs.  The wrapped pipeline's LLM transports are rerouted through
+    the micro-batcher at construction (before the cache tiers wrap the
+    stage objects), so a pipeline handed to this engine must not be
+    served by another engine concurrently — same contract as the
+    threaded engine's cache wiring.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        *args,
+        max_batch: int = 32,
+        batch_safety_window: float = 5.0,
+        run_slots: Optional[int] = None,
+        **kwargs,
+    ):
+        self.batcher = MicroBatcher(
+            max_batch=max_batch,
+            safety_timeout=batch_safety_window,
+            on_flush=self._on_flush,
+        )
+        # Install the batching shim while pipeline.extractor/generator/
+        # refiner are still the raw stage objects — the cache wrappers
+        # super() installs would otherwise shadow the rebind.
+        pipeline.wrap_llms(lambda llm: BatchingLLM(llm, self.batcher))
+        super().__init__(pipeline, *args, **kwargs)
+        self.singleflight = SingleFlight()
+        self._async_lock = threading.Lock()
+        # Pipeline runs need one thread each for the batcher's barrier to
+        # see the whole cohort; admission's queue_capacity bounds how many
+        # can be in flight, so size the pool to it.
+        slots = run_slots if run_slots is not None else max(
+            self.workers, self.admission.capacity
+        )
+        self._run_pool = ThreadPoolExecutor(
+            max_workers=slots, thread_name_prefix="aio-run"
+        )
+        if self.metrics is not None:
+            self._m_coalesced = self.metrics.counter(
+                "repro_async_coalesced_total",
+                "follower requests served from an in-flight leader",
+            )
+            self._m_batched = self.metrics.counter(
+                "repro_async_batched_calls_total",
+                "batched backend invocations (>= 2 member calls) by stage",
+                labelnames=("stage",),
+            )
+            self._m_batch_size = self.metrics.histogram(
+                "repro_async_batch_size",
+                "member calls per backend invocation",
+                buckets=(1, 2, 4, 8, 16, 32),
+            )
+
+    def _on_flush(self, size: int, seconds: float, stage: str) -> None:
+        if getattr(self, "metrics", None) is None:
+            return
+        self._m_batch_size.observe(size)
+        if size >= 2:
+            self._m_batched.labels(stage=stage).inc()
+
+    # -------------------------------------------------------- serving API
+
+    def run(
+        self, examples: Sequence[Example], block: bool = True
+    ) -> list[Optional[PipelineResult]]:
+        """Serve a whole workload on a fresh event loop.
+
+        Same contract as the threaded engine: results align with
+        ``examples``; rejected and failed requests yield ``None``.
+        ``block`` is accepted for signature compatibility — admission is
+        always non-blocking here (a blocking admit would stall the loop),
+        so the queue must be sized for the workload.
+        """
+        return asyncio.run(self.serve(examples))
+
+    async def serve(
+        self, examples: Sequence[Example]
+    ) -> list[Optional[PipelineResult]]:
+        """Serve a workload on the current event loop."""
+        ctxs: list[Optional[_Ctx]] = []
+        for example in examples:
+            try:
+                ctxs.append(self._register(example))
+            except (AdmissionError, BudgetExceededError, CircuitOpenError):
+                ctxs.append(None)
+        self.batcher.expect(sum(1 for c in ctxs if c is not None and c.role == "lead"))
+        tasks = [
+            asyncio.create_task(self._finish(ctx)) if ctx is not None else None
+            for ctx in ctxs
+        ]
+        results: list[Optional[PipelineResult]] = []
+        for task in tasks:
+            if task is None:
+                results.append(None)
+                continue
+            try:
+                results.append(await task)
+            except Exception:
+                results.append(None)
+        return results
+
+    async def submit_async(
+        self, example: Example, deadline_seconds: Optional[float] = None
+    ) -> PipelineResult:
+        """Register and serve one request on the current event loop.
+
+        Raises the same typed rejection errors as the threaded
+        ``submit``.  Concurrent ``submit_async`` tasks coalesce exactly
+        like a ``serve`` workload — registration runs in task order.
+        """
+        ctx = self._register(example, deadline_seconds)
+        if ctx.role == "lead":
+            self.batcher.expect(1)
+        return await self._finish(ctx)
+
+    # ------------------------------------------------------- registration
+
+    def _register(
+        self, example: Example, deadline_seconds: Optional[float] = None
+    ) -> _Ctx:
+        """The synchronous prologue: gates, journal accept, dedup role."""
+        if self._closed:
+            raise RuntimeError("engine is shut down")
+        ctx = _Ctx(example)
+        bh_key = (example.db_id, normalize_question(example.question))
+        try:
+            self.bulkheads.acquire(example.db_id, bh_key, block=False)
+        except (BulkheadFullError, DbCircuitOpenError, QuarantinedError) as exc:
+            if self.metrics is not None:
+                channel = {
+                    BulkheadFullError: "full",
+                    DbCircuitOpenError: "open",
+                    QuarantinedError: "quarantined",
+                }[type(exc)]
+                self._m_bulkhead_rejections.labels(channel=channel).inc()
+            raise
+        try:
+            self.admission.admit(block=False)
+        except BaseException:
+            self.bulkheads.release(example.db_id)
+            raise
+        with self._stats_lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+        if self.journal is not None:
+            ctx.seq = self.journal.accept(example)
+        ctx.start = self._clock()
+        ctx.budget = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.deadline_seconds
+        )
+        ctx.key = result_cache_key(example, self.pipeline)
+        if self.tracing:
+            ctx.trace = Trace(question_id=example.question_id, db_id=example.db_id)
+        cached = self.result_cache.get(ctx.key)
+        if cached is not None:
+            ctx.role = "cached"
+            ctx.result = cached
+            if ctx.trace is not None:
+                ctx.trace.root.cache = "hit"
+                ctx.trace.root.event("result_cache", outcome="hit")
+                self._store_trace(ctx.trace.finish())
+            self.bulkheads.record_success(example.db_id, bh_key)
+            if self.journal is not None and ctx.seq is not None:
+                self.journal.commit(ctx.seq, "cached")
+            self._record(example, "cached", ctx.start, model_seconds=0.0)
+            self.bulkheads.release(example.db_id)
+            self.admission.release()
+            return ctx
+        if ctx.trace is not None:
+            ctx.trace.root.cache = "miss"
+            ctx.trace.root.event("result_cache", outcome="miss")
+        ctx.flight, leader = self.singleflight.begin(ctx.key)
+        ctx.role = "lead" if leader else "follow"
+        return ctx
+
+    # ---------------------------------------------------------- execution
+
+    async def _finish(self, ctx: _Ctx) -> PipelineResult:
+        if ctx.role == "cached":
+            return ctx.result
+        if ctx.role == "lead":
+            return await self._lead(ctx)
+        return await self._follow(ctx)
+
+    async def _lead(self, ctx: _Ctx) -> PipelineResult:
+        flight = ctx.flight
+        try:
+            result = await self._serve_fresh(ctx)
+        except Exception as exc:
+            self.singleflight.finish(flight)
+            flight.future.set_exception(exc)
+            # mark retrieved so a follower-less flight does not warn
+            _ = flight.future.exception()
+            raise
+        self.singleflight.finish(flight)
+        # A deadline-truncated answer is a degraded stand-in — never
+        # shared, mirroring the result-cache rule.  Followers run fresh.
+        flight.future.set_result(
+            RUN_SELF if result.deadline_exceeded else result
+        )
+        return result
+
+    async def _follow(self, ctx: _Ctx) -> PipelineResult:
+        example, flight = ctx.example, ctx.flight
+        bh_key = (example.db_id, normalize_question(example.question))
+        try:
+            try:
+                outcome = await asyncio.shield(flight.future)
+            except asyncio.CancelledError:
+                # Our task was cancelled (or the leader was): no commit —
+                # the seq stays pending and recovery completes it.
+                raise
+            except Exception as exc:
+                # The leader failed; this request fails identically, and
+                # a fresh recovery re-runs it to the same typed error.
+                error = f"{type(exc).__name__}: {exc}"
+                self.admission.record_failure()
+                self.health.record("pipeline", False, detail=error)
+                if self.bulkheads.record_crash(example.db_id, bh_key):
+                    add_event(
+                        "quarantine",
+                        db_id=example.db_id,
+                        question_id=example.question_id,
+                    )
+                    if self.metrics is not None:
+                        self._m_quarantine.inc()
+                if self.journal is not None and ctx.seq is not None:
+                    self.journal.commit(ctx.seq, "failed", error=error)
+                if ctx.trace is not None:
+                    ctx.trace.root.status = "failed"
+                    ctx.trace.root.event("request_failed", error=str(exc))
+                    self._store_trace(ctx.trace.finish())
+                self._record(example, "failed", ctx.start, error=str(exc))
+                raise
+            if outcome is RUN_SELF:
+                # Fail-open: the leader's answer was deadline-truncated.
+                self.batcher.expect(1)
+                return await self._serve_fresh(ctx)
+            if ctx.trace is not None:
+                ctx.trace.root.cache = "coalesced"
+                ctx.trace.root.event(
+                    "single_flight", outcome="coalesced", key=str(ctx.key)
+                )
+                self._store_trace(ctx.trace.finish())
+            self.bulkheads.record_success(example.db_id, bh_key)
+            if self.journal is not None and ctx.seq is not None:
+                self.journal.commit(ctx.seq, "coalesced")
+            self._record(example, "coalesced", ctx.start, model_seconds=0.0)
+            if self.metrics is not None:
+                self._m_coalesced.inc()
+            return outcome
+        finally:
+            self.bulkheads.release(example.db_id)
+            self.admission.release()
+
+    async def _serve_fresh(self, ctx: _Ctx) -> PipelineResult:
+        """Run the pipeline off-loop with full threaded-path bookkeeping."""
+        example = ctx.example
+        bh_key = (example.db_id, normalize_question(example.question))
+        release = ctx.role == "lead"  # fail-open followers release in _follow
+        try:
+            try:
+                result = await self._offload(ctx)
+            except Exception as exc:
+                self.admission.record_failure()
+                self.health.record("pipeline", False, detail=str(exc))
+                if self.bulkheads.record_crash(example.db_id, bh_key):
+                    add_event(
+                        "quarantine",
+                        db_id=example.db_id,
+                        question_id=example.question_id,
+                    )
+                    if self.metrics is not None:
+                        self._m_quarantine.inc()
+                if self.journal is not None and ctx.seq is not None:
+                    self.journal.commit(
+                        ctx.seq, "failed", error=f"{type(exc).__name__}: {exc}"
+                    )
+                if ctx.trace is not None:
+                    ctx.trace.root.status = "failed"
+                    ctx.trace.root.event("request_failed", error=str(exc))
+                    self._store_trace(ctx.trace.finish(deadline=ctx.deadline))
+                self._record(example, "failed", ctx.start, error=str(exc))
+                raise
+            if ctx.trace is not None:
+                # pipeline.answer already finished the root with totals
+                self._store_trace(ctx.trace)
+            self.admission.record_success()
+            self.health.record("pipeline", True)
+            self.bulkheads.record_success(example.db_id, bh_key)
+            exceeded = result.deadline_exceeded
+            self.health.record("deadline", not exceeded)
+            if not exceeded:
+                self.result_cache.put(ctx.key, result)
+            if self.journal is not None and ctx.seq is not None:
+                self.journal.commit(ctx.seq, "ok", result=result)
+            routing = getattr(result, "routing", None)
+            if self.metrics is not None and routing is not None:
+                self._m_tier.labels(tier=routing.final_tier).inc()
+                for event in routing.escalations:
+                    self._m_escalations.labels(reason=event.reason).inc()
+                for attempt in routing.attempts:
+                    self._m_tier_tokens.labels(tier=attempt.tier).inc(attempt.tokens)
+            self._record(
+                example,
+                "ok",
+                ctx.start,
+                model_seconds=result.cost.total_model_seconds,
+                deadline_exceeded=exceeded,
+            )
+            return result
+        finally:
+            if release:
+                self.bulkheads.release(example.db_id)
+                self.admission.release()
+
+    async def _offload(self, ctx: _Ctx) -> PipelineResult:
+        """Run ``pipeline.answer`` on the run pool as a batcher runner."""
+        loop = asyncio.get_running_loop()
+
+        def run() -> PipelineResult:
+            self.batcher.runner_begun()
+            try:
+                ctx.deadline = (
+                    Deadline(ctx.budget, clock=self._clock)
+                    if ctx.budget is not None
+                    else None
+                )
+                kwargs = {"trace": ctx.trace} if ctx.trace is not None else {}
+                return self.pipeline.answer(
+                    ctx.example, deadline=ctx.deadline, **kwargs
+                )
+            finally:
+                self.batcher.runner_finished()
+
+        return await loop.run_in_executor(self._run_pool, run)
+
+    # ----------------------------------------------------------- plumbing
+
+    def invalidate_db(self, db_id: str) -> dict[str, int]:
+        """Cache-tier invalidation plus in-flight single-flight dooming."""
+        dropped = super().invalidate_db(db_id)
+        dropped["singleflight"] = self.singleflight.invalidate(
+            lambda key: bool(key) and key[0] == db_id
+        )
+        return dropped
+
+    def stats(self) -> AsyncServingStats:
+        base = super().stats()
+        batcher = self.batcher.stats()
+        with self._stats_lock:
+            coalesced = sum(1 for r in self._records if r.status == "coalesced")
+        data = {
+            f.name: getattr(base, f.name) for f in dataclasses.fields(ServingStats)
+        }
+        data["makespan_seconds"] = batcher["backend_busy_seconds"]
+        return AsyncServingStats(
+            coalesced=coalesced,
+            llm_calls=batcher["calls"],
+            flushes=batcher["flushes"],
+            batched_calls=batcher["batched_calls"],
+            max_batch=batcher["max_batch"],
+            mean_batch=batcher["mean_batch"],
+            backend_busy_seconds=batcher["backend_busy_seconds"],
+            safety_timeouts=batcher["safety_timeouts"],
+            **data,
+        )
+
+    def shutdown(self, wait: bool = True, drain: bool = False) -> None:
+        super().shutdown(wait=wait, drain=drain)
+        self._run_pool.shutdown(wait=wait or drain)

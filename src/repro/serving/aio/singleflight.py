@@ -1,0 +1,107 @@
+"""Single-flight request coalescing for the async serving path.
+
+When several identical requests — same tier-aware result-cache key
+``(db_id, normalized question[, tier])`` — are in flight at once, only
+the first (the **leader**) runs the pipeline.  Every later arrival (a
+**follower**) parks on the leader's future and is served the same
+result at zero LLM cost.  Followers are still first-class requests:
+they get their own journal seq (committed ``"coalesced"``), their own
+trace, and their own stats record.
+
+The registry is event-loop-confined: ``begin``/``finish`` run on the
+loop thread with no awaits in between, so membership decisions are
+atomic without locks.  Resolution semantics live in the engine — the
+registry only tracks who leads and hands followers the future to await.
+
+Two deliberate asymmetries with the result cache:
+
+* a flight resolved by a **deadline-truncated** answer is not published
+  to followers (:data:`RUN_SELF` is set instead and each follower runs
+  the pipeline itself), mirroring the cache rule that degraded answers
+  are never served to later requests;
+* ``invalidate`` (db content changed mid-flight) only detaches the key —
+  already-parked followers still receive the in-flight result, exactly
+  like an already-returned cache hit, while *new* arrivals lead fresh.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Hashable, Optional
+
+__all__ = ["Flight", "SingleFlight", "RUN_SELF"]
+
+#: Sentinel a leader publishes instead of a result when its answer must
+#: not be shared (deadline-truncated): each follower, on seeing it,
+#: runs the pipeline itself.
+RUN_SELF = object()
+
+
+class Flight:
+    """One in-flight leader and the followers coalesced onto it."""
+
+    __slots__ = ("key", "future", "followers")
+
+    def __init__(self, key: Hashable, future: "asyncio.Future"):
+        self.key = key
+        self.future = future
+        self.followers = 0
+
+
+class SingleFlight:
+    """Loop-confined registry of in-flight requests by dedup key."""
+
+    def __init__(self, future_factory: Optional[Callable[[], "asyncio.Future"]] = None):
+        self._flights: dict[Hashable, Flight] = {}
+        self._future_factory = future_factory
+        self.coalesced_total = 0
+
+    def begin(self, key: Hashable) -> tuple[Flight, bool]:
+        """Join (or open) the flight for ``key``.
+
+        Returns ``(flight, is_leader)``.  The first caller for a key
+        leads; every subsequent caller is counted as a follower until
+        the leader calls :meth:`finish`.
+        """
+        flight = self._flights.get(key)
+        if flight is None:
+            factory = self._future_factory
+            future = (
+                factory() if factory is not None
+                else asyncio.get_running_loop().create_future()
+            )
+            flight = Flight(key, future)
+            self._flights[key] = flight
+            return flight, True
+        flight.followers += 1
+        self.coalesced_total += 1
+        return flight, False
+
+    def finish(self, flight: Flight) -> None:
+        """Detach a completed flight so new arrivals lead fresh.
+
+        Call *before* resolving ``flight.future`` (same loop step), so
+        there is no window where an arrival can join a resolved flight.
+        A flight displaced by :meth:`invalidate` is left alone.
+        """
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Detach every in-flight key matching ``predicate``.
+
+        The db-prefix counterpart of the cache tiers' ``invalidate_db``:
+        after a database changes, new arrivals for its questions must
+        not coalesce onto results computed against the old content.
+        Existing followers keep their future — they were admitted
+        against the old content, like an already-served cache hit.
+        Returns the number of flights detached.
+        """
+        doomed = [key for key in self._flights if predicate(key)]
+        for key in doomed:
+            del self._flights[key]
+        return len(doomed)
+
+    def inflight(self) -> int:
+        """Number of distinct keys currently in flight."""
+        return len(self._flights)

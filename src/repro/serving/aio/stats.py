@@ -1,0 +1,67 @@
+"""Async-engine accounting: ServingStats plus coalescing/batching counters.
+
+The async engine's makespan is the **backend-busy clock**: the sum of
+the charged virtual seconds of every batched backend invocation.  One
+shared backend serves all concurrent requests (the continuous-batching
+model), so throughput is ``completed / backend_busy`` — directly
+comparable to the threaded engine's busiest-worker makespan, and what
+``bench_async`` certifies against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.stats import ServingStats
+
+__all__ = ["AsyncServingStats"]
+
+
+@dataclass
+class AsyncServingStats(ServingStats):
+    """One async serving run's accounting."""
+
+    #: follower requests served from an in-flight leader (zero LLM cost)
+    coalesced: int = 0
+    #: LLM calls parked at the micro-batcher
+    llm_calls: int = 0
+    #: backend invocations issued (each covers one wave group)
+    flushes: int = 0
+    #: invocations that covered ≥ 2 member calls
+    batched_calls: int = 0
+    max_batch: int = 0
+    mean_batch: float = 0.0
+    #: Σ charged virtual seconds over all backend invocations — the
+    #: async makespan (``makespan_seconds`` is set to this)
+    backend_busy_seconds: float = 0.0
+    #: waves closed by the wall-clock liveness backstop instead of the
+    #: all-runners-parked barrier (should be 0 in a healthy run)
+    safety_timeouts: int = 0
+
+    @property
+    def coalesced_fraction(self) -> float:
+        """Coalesced followers / completed requests."""
+        return self.coalesced / self.completed if self.completed else 0.0
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        payload["async"] = {
+            "coalesced": self.coalesced,
+            "coalesced_fraction": round(self.coalesced_fraction, 4),
+            "llm_calls": self.llm_calls,
+            "flushes": self.flushes,
+            "batched_calls": self.batched_calls,
+            "max_batch": self.max_batch,
+            "mean_batch": self.mean_batch,
+            "backend_busy_seconds": round(self.backend_busy_seconds, 4),
+            "safety_timeouts": self.safety_timeouts,
+        }
+        return payload
+
+    def format(self) -> str:
+        return super().format() + (
+            f"\nasync       : {self.coalesced} coalesced"
+            f" / {self.batched_calls} batched calls"
+            f" / max batch {self.max_batch}"
+            f" / backend busy {self.backend_busy_seconds:.1f}s"
+        )

@@ -16,7 +16,7 @@ sequence — and a clean shutdown appends an epoch-stamped ``seal``)::
 
     {"type": "header", "version": 2, "config": {...workload parameters...}}
     {"type": "accepted",  "seq": 7, "question_id": ..., "db_id": ...}
-    {"type": "committed", "seq": 7, "status": "ok"|"cached"|"failed",
+    {"type": "committed", "seq": 7, "status": "ok"|"cached"|"coalesced"|"failed",
      "result": {final_sql, generation_sql, refined_sql, degradations,
                 routing?},
      "cost": {stage: {...}}, "error": null}
@@ -288,9 +288,11 @@ class ServingJournal:
         """Journal one request's terminal outcome.
 
         ``status="cached"`` commits with zero cost (a result-tier hit did
-        no model work); ``"ok"`` stores the SQL observables + the request's
-        cost; ``"failed"`` stores the error (the request will *not* be
-        re-run on recovery — its failure is part of the run's history).
+        no model work); ``"coalesced"`` likewise (the async engine served
+        the request from an in-flight leader's result); ``"ok"`` stores
+        the SQL observables + the request's cost; ``"failed"`` stores the
+        error (the request will *not* be re-run on recovery — its failure
+        is part of the run's history).
         """
         record: dict = {"type": "committed", "seq": seq, "status": status,
                         "error": error}
@@ -452,11 +454,16 @@ def recover_run(
                 outcomes.append(("failed", None, CostTracker(), record.get("error")))
                 continue
             result, cost = ServingJournal.decode_result(record)
-            if status == "cached":
+            if status in ("cached", "coalesced"):
+                # "coalesced" is the async engine's single-flight follower:
+                # served from an in-flight leader at zero cost.  Its seq is
+                # always greater than its leader's (registration order), so
+                # by the time it replays the leader's "ok" has warmed the
+                # recovery cache and the hit below serves the same result.
                 hit = cache.get(key)
                 # serve the warmed original when available; the SQL
                 # observables are identical either way
-                outcomes.append(("cached", hit if hit is not None else result,
+                outcomes.append((status, hit if hit is not None else result,
                                  CostTracker(), None))
                 continue
             if result is not None and not result.deadline_exceeded:

@@ -27,7 +27,8 @@ class RequestRecord:
 
     question_id: str
     db_id: str
-    #: "ok" (pipeline ran), "cached" (result-tier hit), "failed" (raised)
+    #: "ok" (pipeline ran), "cached" (result-tier hit), "coalesced"
+    #: (async single-flight follower), "failed" (raised)
     status: str
     wall_seconds: float = 0.0
     #: simulated model decode seconds summed over the request's LLM calls

@@ -1,7 +1,11 @@
 """Shared fixtures: session-scoped benchmarks so the expensive builds run
-once per test session."""
+once per test session.  Also hosts the dependency-free per-test timeout
+guard (``REPRO_TEST_TIMEOUT``)."""
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
@@ -14,6 +18,32 @@ from repro.datasets.domains.hockey import DOMAIN as HOCKEY
 from repro.datasets.spider import build_spider_like
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.skills import GPT_4O
+
+
+#: per-test wall-clock budget in seconds; 0 / unset disables the guard.
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or 0)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Fail any test whose call phase exceeds ``REPRO_TEST_TIMEOUT``.
+
+    Dependency-free (no pytest-timeout in the image): the test body is
+    timed, and a breach fails the test *after* it returns rather than
+    interrupting it mid-flight.  That still turns a runaway test into a
+    named failure with its duration instead of a silent slow suite, and
+    the CI job's own timeout remains the backstop for a true hang.
+    """
+    started = time.monotonic()
+    result = yield
+    elapsed = time.monotonic() - started
+    if _TEST_TIMEOUT and elapsed > _TEST_TIMEOUT:
+        pytest.fail(
+            f"{item.nodeid} took {elapsed:.1f}s, over the "
+            f"REPRO_TEST_TIMEOUT={_TEST_TIMEOUT:.0f}s per-test budget",
+            pytrace=False,
+        )
+    return result
 
 
 @pytest.fixture(scope="session")

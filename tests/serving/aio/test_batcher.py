@@ -1,0 +1,212 @@
+"""MicroBatcher: barrier rendezvous, grouping, accounting, fallbacks."""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.llm.simulated import CALL_OVERHEAD_SECONDS
+from repro.llm.tasks import (
+    ColumnSelectionTask,
+    CorrectionTask,
+    CoTAugmentTask,
+    EntityExtractionTask,
+    GenerationTask,
+    SelectAlignmentTask,
+)
+from repro.serving.aio import BatchingLLM, MicroBatcher, stage_of
+
+
+def response(latency):
+    return SimpleNamespace(latency_seconds=latency, text="r")
+
+
+class BatchClient:
+    """Fake backend with a batched entry point."""
+
+    def __init__(self, latency=1.0):
+        self.latency = latency
+        self.batches = []
+        self.skill = "fake-skill"  # for BatchingLLM fallthrough
+
+    def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+        return [response(self.latency)]
+
+    def complete_batch(self, calls):
+        self.batches.append(sorted(c["prompt"] for c in calls))
+        return [self.complete(c["prompt"]) for c in calls]
+
+
+class SerialClient:
+    """Fake backend without complete_batch: serial fallback path."""
+
+    def __init__(self, latency=1.0):
+        self.latency = latency
+
+    def complete(self, prompt, *, temperature=0.0, n=1, task=None):
+        return [response(self.latency)]
+
+
+class BoomClient:
+    def complete_batch(self, calls):
+        raise RuntimeError("backend down")
+
+
+def task_of(cls):
+    """A task payload of the right type without running its constructor
+    (stage_of dispatches on type alone)."""
+    return object.__new__(cls)
+
+
+class TestStageOf:
+    @pytest.mark.parametrize(
+        "cls,stage",
+        [
+            (EntityExtractionTask, "extraction"),
+            (ColumnSelectionTask, "extraction"),
+            (CoTAugmentTask, "generation"),
+            (GenerationTask, "generation"),
+            (SelectAlignmentTask, "alignment"),
+            (CorrectionTask, "refinement"),
+        ],
+    )
+    def test_known_tasks(self, cls, stage):
+        assert stage_of(task_of(cls)) == stage
+
+    def test_unknown_task_is_other(self):
+        assert stage_of(object()) == "other"
+        assert stage_of(None) == "other"
+
+
+def rendezvous(batcher, client, n, prompts=None):
+    """Run n concurrent runners each submitting one call; return results."""
+    prompts = prompts or [f"p{i}" for i in range(n)]
+    results = [None] * n
+    errors = [None] * n
+    batcher.expect(n)
+
+    def runner(i):
+        batcher.runner_begun()
+        try:
+            results[i] = batcher.submit(client, prompts[i], 0.0, 1, None)
+        except BaseException as exc:  # noqa: BLE001 — surfaced to the test
+            errors[i] = exc
+        finally:
+            batcher.runner_finished()
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+class TestRendezvous:
+    def test_lone_call_flushes_immediately(self):
+        batcher = MicroBatcher()
+        client = BatchClient()
+        responses = batcher.submit(client, "p", 0.0, 1, None)
+        assert len(responses) == 1
+        stats = batcher.stats()
+        assert stats["calls"] == 1
+        assert stats["flushes"] == 1
+        assert stats["batched_calls"] == 0  # size-1 invocations don't count
+        assert stats["safety_timeouts"] == 0
+
+    def test_concurrent_calls_share_one_invocation(self):
+        batcher = MicroBatcher()
+        client = BatchClient(latency=1.0)
+        results, errors = rendezvous(batcher, client, 3)
+        assert errors == [None] * 3
+        assert all(len(r) == 1 for r in results)
+        assert client.batches == [["p0", "p1", "p2"]]  # one backend call
+        stats = batcher.stats()
+        assert stats["flushes"] == 1
+        assert stats["batched_calls"] == 1
+        assert stats["max_batch"] == 3
+        # one API overhead + the slowest member's decode
+        expected = CALL_OVERHEAD_SECONDS + (1.0 - CALL_OVERHEAD_SECONDS)
+        assert stats["backend_busy_seconds"] == pytest.approx(expected)
+
+    def test_serial_fallback_charged_serial_time(self):
+        batcher = MicroBatcher()
+        results, errors = rendezvous(batcher, SerialClient(latency=1.0), 2)
+        assert errors == [None] * 2
+        stats = batcher.stats()
+        assert stats["backend_busy_seconds"] == pytest.approx(2.0)
+
+    def test_distinct_clients_never_share_an_invocation(self):
+        """Routing tiers (distinct clients) stay separate backend calls."""
+        batcher = MicroBatcher()
+        fast, heavy = BatchClient(), BatchClient()
+        results = [None, None]
+        batcher.expect(2)
+
+        def runner(i, client):
+            batcher.runner_begun()
+            try:
+                results[i] = batcher.submit(client, f"p{i}", 0.0, 1, None)
+            finally:
+                batcher.runner_finished()
+
+        threads = [
+            threading.Thread(target=runner, args=(0, fast)),
+            threading.Thread(target=runner, args=(1, heavy)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert fast.batches == [["p0"]]
+        assert heavy.batches == [["p1"]]
+        assert batcher.stats()["batched_calls"] == 0
+
+    def test_backend_error_fails_every_member(self):
+        batcher = MicroBatcher()
+        _, errors = rendezvous(batcher, BoomClient(), 2)
+        assert all(isinstance(exc, RuntimeError) for exc in errors)
+        assert all("backend down" in str(exc) for exc in errors)
+
+    def test_safety_timeout_flushes_a_stalled_wave(self):
+        """A runner that never parks (census says 2 active, only 1 call
+        pending) must not deadlock the wave: the wall backstop fires."""
+        batcher = MicroBatcher(safety_timeout=0.05)
+        client = BatchClient()
+        batcher.expect(2)  # the second announced run never starts
+        batcher.runner_begun()
+        responses = batcher.submit(client, "p", 0.0, 1, None)
+        assert len(responses) == 1
+        assert batcher.stats()["safety_timeouts"] == 1
+
+    def test_abandon_retracts_announced_runs(self):
+        """Cancelled-before-start runs are retracted so the barrier does
+        not wait for calls that will never arrive."""
+        batcher = MicroBatcher(safety_timeout=5.0)
+        client = BatchClient()
+        batcher.expect(2)
+        batcher.abandon(1)
+        batcher.runner_begun()
+        # active is 1 now: the lone call flushes without the backstop
+        batcher.submit(client, "p", 0.0, 1, None)
+        assert batcher.stats()["safety_timeouts"] == 0
+
+    def test_max_batch_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+
+
+class TestBatchingLLM:
+    def test_complete_routes_through_the_batcher(self):
+        batcher = MicroBatcher()
+        client = BatchClient()
+        shim = BatchingLLM(client, batcher)
+        responses = shim.complete("p")
+        assert len(responses) == 1
+        assert batcher.stats()["calls"] == 1
+
+    def test_attribute_fallthrough(self):
+        shim = BatchingLLM(BatchClient(), MicroBatcher())
+        assert shim.skill == "fake-skill"
+        with pytest.raises(AttributeError):
+            _ = shim.nonexistent_attribute

@@ -1,0 +1,96 @@
+"""SingleFlight registry: leader election, coalescing, invalidation."""
+
+from repro.serving.aio import SingleFlight
+
+
+def make(counter=[0]):
+    """A registry with a loop-free future factory (unit tests only)."""
+
+    def factory():
+        counter[0] += 1
+        return object()
+
+    return SingleFlight(future_factory=factory)
+
+
+class TestLeaderElection:
+    def test_first_caller_leads(self):
+        sf = make()
+        flight, leader = sf.begin(("db", "q"))
+        assert leader
+        assert flight.key == ("db", "q")
+        assert flight.followers == 0
+        assert sf.inflight() == 1
+
+    def test_repeat_key_follows_same_flight(self):
+        sf = make()
+        flight, _ = sf.begin(("db", "q"))
+        again, leader = sf.begin(("db", "q"))
+        assert not leader
+        assert again is flight
+        assert flight.followers == 1
+        assert sf.coalesced_total == 1
+
+    def test_distinct_keys_lead_independently(self):
+        sf = make()
+        _, lead_a = sf.begin(("db", "a"))
+        _, lead_b = sf.begin(("db", "b"))
+        assert lead_a and lead_b
+        assert sf.inflight() == 2
+        assert sf.coalesced_total == 0
+
+    def test_tier_joins_the_key(self):
+        """Same question on different routing tiers must never coalesce."""
+        sf = make()
+        _, lead_fast = sf.begin(("db", "q", "fast"))
+        _, lead_full = sf.begin(("db", "q", "full"))
+        assert lead_fast and lead_full
+
+
+class TestFinish:
+    def test_finish_detaches_so_new_arrivals_lead(self):
+        sf = make()
+        flight, _ = sf.begin(("db", "q"))
+        sf.finish(flight)
+        assert sf.inflight() == 0
+        fresh, leader = sf.begin(("db", "q"))
+        assert leader
+        assert fresh is not flight
+
+    def test_finish_of_displaced_flight_is_a_noop(self):
+        """A flight detached by invalidate must not remove its successor."""
+        sf = make()
+        old, _ = sf.begin(("db", "q"))
+        sf.invalidate(lambda key: True)
+        new, leader = sf.begin(("db", "q"))
+        assert leader
+        sf.finish(old)  # stale handle: the new flight stays registered
+        assert sf.inflight() == 1
+        again, still_leader = sf.begin(("db", "q"))
+        assert not still_leader
+        assert again is new
+
+
+class TestInvalidate:
+    def test_db_prefix_invalidation(self):
+        sf = make()
+        sf.begin(("db_a", "q1"))
+        sf.begin(("db_a", "q2"))
+        sf.begin(("db_b", "q1"))
+        dropped = sf.invalidate(lambda key: key[0] == "db_a")
+        assert dropped == 2
+        assert sf.inflight() == 1
+        # db_a arrivals now lead fresh; db_b still coalesces
+        _, leader_a = sf.begin(("db_a", "q1"))
+        _, leader_b = sf.begin(("db_b", "q1"))
+        assert leader_a
+        assert not leader_b
+
+    def test_existing_followers_keep_their_future(self):
+        """Invalidation detaches the key; parked followers still resolve
+        off the old flight (like an already-served cache hit)."""
+        sf = make()
+        flight, _ = sf.begin(("db", "q"))
+        sf.begin(("db", "q"))  # follower parked pre-invalidation
+        sf.invalidate(lambda key: True)
+        assert flight.followers == 1  # untouched — they await flight.future

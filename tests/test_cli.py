@@ -130,6 +130,37 @@ class TestServeBench:
         assert code == 0
         assert "0 hits" in text
 
+    def test_async_engine_reports_coalescing(self):
+        code, text = run_cli(
+            "--candidates", "3", "serve-bench", "--async",
+            "--workers", "2", "--requests", "12", "--distinct", "4",
+        )
+        assert code == 0
+        assert "served   : 12/12" in text
+        assert "async" in text
+        assert "coalesced" in text
+
+    def test_async_report_is_deterministic(self, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        argv = (
+            "--candidates", "3", "serve-bench", "--async",
+            "--workers", "2", "--requests", "10", "--distinct", "4",
+        )
+        code, _ = run_cli(
+            *argv, "--journal", str(tmp_path / "a.jsonl"),
+            "--report-out", str(first),
+        )
+        assert code == 0
+        code, _ = run_cli(
+            *argv, "--journal", str(tmp_path / "b.jsonl"),
+            "--report-out", str(second),
+        )
+        assert code == 0
+        # deterministic reports are byte-equal; raw journals are not
+        # compared (commit payloads carry real wall-clock stage times)
+        assert first.read_bytes() == second.read_bytes()
+        assert '"coalesced"' in (tmp_path / "a.jsonl").read_text()
+
     def test_open_loop_can_shed(self):
         code, text = run_cli(
             "--candidates", "3", "serve-bench",
@@ -264,6 +295,28 @@ class TestRecover:
         )
         assert code == 0
         assert "recovered: 6/6" in text
+        assert full_report.read_bytes() == recovered_report.read_bytes()
+
+    def test_recover_replays_an_async_journal(self, tmp_path):
+        """Coalesced follower commits replay to the same report a full
+        async run wrote — the crash-consistency contract extends to the
+        async engine's journal grammar."""
+        journal_path = tmp_path / "async.jsonl"
+        full_report = tmp_path / "full.json"
+        recovered_report = tmp_path / "recovered.json"
+        code, _ = run_cli(
+            "--candidates", "3", "serve-bench", "--async",
+            "--workers", "2", "--requests", "8", "--distinct", "3",
+            "--journal", str(journal_path), "--report-out", str(full_report),
+        )
+        assert code == 0
+        assert '"coalesced"' in journal_path.read_text()
+        code, text = run_cli(
+            "recover", "--journal", str(journal_path),
+            "--report-out", str(recovered_report),
+        )
+        assert code == 0
+        assert "recovered: 8/8" in text
         assert full_report.read_bytes() == recovered_report.read_bytes()
 
     def test_recover_resumes_a_truncated_journal(self, tmp_path):
@@ -433,6 +486,14 @@ class TestServeBenchCluster:
         )
         assert code == 2
         assert "--fault-rate" in text
+
+    def test_cluster_refuses_async(self, tmp_path):
+        code, text = run_cli(
+            "serve-bench", "--shards", "2", "--journal", str(tmp_path),
+            "--async",
+        )
+        assert code == 2
+        assert "--async" in text
 
     def test_kill_worker_run_recovers_to_single_process_report(self, tmp_path):
         # The PR's acceptance criterion end to end, through the CLI: a

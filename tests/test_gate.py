@@ -17,6 +17,8 @@ BASELINE = {
     "ex_retention": 0.98,
     "ex": 50.0,
     "tokens_per_request": 1870.0,
+    "throughput_async": 0.90,
+    "coalesced_fraction": 0.69,
 }
 
 
@@ -30,6 +32,8 @@ class TestCompare:
             "ex_retention": 1.0,
             "ex": 60.0,
             "tokens_per_request": 1500.0,
+            "throughput_async": 1.5,
+            "coalesced_fraction": 0.8,
         }
         assert gate.compare(current, BASELINE) == []
 
@@ -79,6 +83,32 @@ class TestCompare:
         )
         assert gate.compare(current, BASELINE) == []
 
+    def test_async_throughput_regression_fails(self):
+        """A change that degrades micro-batching (async virtual throughput
+        down 25%) must trip the 20% gate."""
+        current = dict(
+            BASELINE, throughput_async=BASELINE["throughput_async"] * 0.75
+        )
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "throughput_async" in failures[0]
+
+    def test_coalesced_fraction_drop_fails(self):
+        """A change that quietly defeats single-flight dedup must trip
+        the 0.05-absolute coalesced-fraction gate."""
+        current = dict(
+            BASELINE, coalesced_fraction=BASELINE["coalesced_fraction"] - 0.10
+        )
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "coalesced_fraction" in failures[0]
+
+    def test_small_coalesced_fraction_wobble_tolerated(self):
+        current = dict(
+            BASELINE, coalesced_fraction=BASELINE["coalesced_fraction"] - 0.03
+        )
+        assert gate.compare(current, BASELINE) == []
+
     def test_token_cost_drop_passes(self):
         current = dict(
             BASELINE, tokens_per_request=BASELINE["tokens_per_request"] * 0.5
@@ -98,8 +128,10 @@ class TestCompare:
             "ex_retention": 0.5,
             "ex": 10.0,
             "tokens_per_request": 5000.0,
+            "throughput_async": 0.1,
+            "coalesced_fraction": 0.1,
         }
-        assert len(gate.compare(current, BASELINE)) == 4
+        assert len(gate.compare(current, BASELINE)) == 6
 
     def test_custom_tolerances(self):
         current = dict(BASELINE, throughput_rps=BASELINE["throughput_rps"] * 0.9)
