@@ -21,7 +21,15 @@ change regresses past tolerance:
   80% of baseline (a change that degrades micro-batching fails);
 * **coalesced fraction** — the fraction of requests served as single-
   flight followers must stay within 0.05 of baseline (a change that
-  quietly defeats in-flight dedup fails).
+  quietly defeats in-flight dedup fails);
+* **stale serves** — a serial serve-with-drift run (live mutations at
+  request boundaries, caches invalidated and reindexed per epoch bump)
+  must finish with exactly zero answers served against a dead catalog
+  (hard ceiling 0 — one stale serve fails the build);
+* **reindex catch-up** — the same run's virtual reindex catch-up cost
+  (vectors re-embedded x seconds-per-vector) must not grow more than
+  20% over baseline (a change that makes the reindexer re-embed more
+  than the mutated database's share fails).
 
 Usage::
 
@@ -44,7 +52,9 @@ BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
 
 #: metric -> (kind, tolerance); "ratio" guards a fractional drop,
 #: "absolute" a unit drop, "ratio_max" a fractional *rise* (for metrics
-#: where lower is better).  All gates are one-sided: improvements pass.
+#: where lower is better), "absolute_max" a hard unit ceiling above
+#: baseline (tolerance 0 = the metric may never rise at all).  All
+#: gates are one-sided: improvements pass.
 TOLERANCES = {
     "throughput_rps": ("ratio", 0.20),
     "ex_retention": ("absolute", 0.02),
@@ -52,6 +62,8 @@ TOLERANCES = {
     "tokens_per_request": ("ratio_max", 0.10),
     "throughput_async": ("ratio", 0.20),
     "coalesced_fraction": ("absolute", 0.05),
+    "stale_serve_total": ("absolute_max", 0.0),
+    "reindex_catchup_seconds": ("ratio_max", 0.20),
 }
 
 
@@ -71,7 +83,14 @@ def compare(current: dict, baseline: dict, tolerances: dict = None) -> list[str]
             failures.append(f"{metric}: missing from current measurement")
             continue
         base, now = float(baseline[metric]), float(current[metric])
-        if kind == "ratio_max":
+        if kind == "absolute_max":
+            if now > base + tolerance:
+                failures.append(
+                    f"{metric}: {now:.4g} exceeds the hard ceiling "
+                    f"{base + tolerance:.4g} (baseline {base:.4g} + "
+                    f"tolerance {tolerance})"
+                )
+        elif kind == "ratio_max":
             ceiling = base * (1.0 + tolerance)
             if now > ceiling:
                 rise = now / base - 1.0 if base else 1.0
@@ -187,6 +206,43 @@ def measure(smoke: bool = True) -> dict:
         engine.run(load)
         astats = engine.stats()
 
+    # 6. Live-mutation robustness: a serial drifted run (mutation +
+    # invalidate + reindex every other request) must end with zero
+    # answers served against a dead catalog, and the reindexer's
+    # virtual catch-up cost (vectors re-embedded x seconds-per-vector)
+    # is a cost ceiling — both are exact, virtual-clock numbers.
+    import tempfile
+
+    from repro.livedata import EpochRegistry, MutationDriver, ReindexWorker
+
+    drift_requests = 6 if smoke else 12
+    drift_load = zipf_workload(
+        bird.dev[:distinct], drift_requests, skew=1.2, seed=0
+    )
+    registry = EpochRegistry()
+    drift_pipeline = pipeline()
+    with tempfile.TemporaryDirectory(prefix="repro-gate-reindex-") as tmp:
+        with ServingEngine(
+            drift_pipeline, workers=1, queue_capacity=len(drift_load)
+        ) as engine:
+            engine.attach_livedata(registry)
+            driver = MutationDriver(bird, registry, seed=0)
+            reindexer = ReindexWorker(
+                drift_pipeline,
+                Path(tmp) / "reindex.jsonl",
+                registry=registry,
+            )
+            for position, example in enumerate(drift_load):
+                engine.answer(example)
+                if (position + 1) % 2 == 0 and position + 1 < len(drift_load):
+                    event = driver.mutate()
+                    engine.invalidate_db(event.db_id)
+                    reindexer.reindex(event.db_id, epoch=event.epoch)
+            stale_serve_total = engine.livedata_stats["stale_served"]
+            reindex_catchup = reindexer.total_catchup_seconds
+            drift_mutations = len(driver.events)
+            reindexer.close()
+
     return {
         "smoke": smoke,
         "eval_size": eval_size,
@@ -201,6 +257,9 @@ def measure(smoke: bool = True) -> dict:
         "throughput_async": round(astats.throughput_rps, 4),
         "coalesced_fraction": round(astats.coalesced_fraction, 4),
         "async_batched_calls": astats.batched_calls,
+        "stale_serve_total": int(stale_serve_total),
+        "reindex_catchup_seconds": round(reindex_catchup, 4),
+        "drift_mutations": drift_mutations,
     }
 
 

@@ -47,13 +47,21 @@ def result_cache_key(example, pipeline=None) -> tuple:
     routes requests into cost tiers (duck-typed on ``route_tier``), the
     routed tier joins the key: after a router config/seed change, an old
     FAST answer can never mask the FULL answer the new routing would
-    produce — the keys differ, so the request recomputes.  ``db_id``
-    stays first, keeping :meth:`LRUCache.invalidate_db` effective.
+    produce — the keys differ, so the request recomputes.  When the
+    pipeline carries an epoch-versioned catalog (duck-typed on
+    ``epochs``, an :class:`repro.livedata.EpochRegistry`), the
+    database's current ``schema_epoch`` joins the key too: an answer
+    derived from a pre-mutation catalog can never be served once the
+    database moves on.  ``db_id`` stays first in every shape, keeping
+    :meth:`LRUCache.invalidate_db` effective.
     """
     key: tuple = (example.db_id, normalize_question(example.question))
     route_tier = getattr(pipeline, "route_tier", None)
     if route_tier is not None:
         key = key + (route_tier(example),)
+    epochs = getattr(pipeline, "epochs", None)
+    if epochs is not None:
+        key = key + (epochs.epoch(example.db_id),)
     return key
 
 

@@ -189,6 +189,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "must complete un-journaled with the "
                          "journal_disabled counter set); with --shards "
                          "each worker's segment fails independently")
+    sb.add_argument("--mutate-every", type=int, default=0, metavar="N",
+                    help="live-mutation mode: after every N served "
+                         "requests apply one seeded schema/value mutation "
+                         "(epoch bump), invalidate the engine's caches "
+                         "and reindex the mutated database; requests are "
+                         "served serially so mutations land at request "
+                         "boundaries (0 = off; not supported with "
+                         "--shards or --async)")
 
     rc = sub.add_parser(
         "recover",
@@ -247,6 +255,35 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write one JSON line per cut outcome to PATH; "
                          "two runs with the same seed must produce "
                          "byte-identical files")
+
+    df = sub.add_parser(
+        "drift-fuzz",
+        help="drift-chaos certifier: interleave seeded live mutations at "
+             "the request boundaries of a routed serving run, then "
+             "enumerate simulated SIGKILLs at every reindex-checkpoint "
+             "append boundary and certify zero stale serves, zero "
+             "double-reindexes and byte-identical kill/resume",
+    )
+    df.add_argument("--requests", type=int, default=10, metavar="N",
+                    help="workload size of the serve phase (default: 10)")
+    df.add_argument("--distinct", type=int, default=5, metavar="N",
+                    help="distinct questions, spread across databases "
+                         "(default: 5)")
+    df.add_argument("--mutate-every", type=int, default=1, metavar="N",
+                    help="apply one mutation after every N served "
+                         "requests (default: 1)")
+    df.add_argument("--limit", type=int, default=0, metavar="N",
+                    help="fuzz only the first N clean and N torn cut "
+                         "points (0 = every checkpoint append boundary)")
+    df.add_argument("--no-torn", action="store_true",
+                    help="skip torn (mid-append) cut variants")
+    df.add_argument("--no-routing", action="store_true",
+                    help="serve an unrouted pipeline (default routes "
+                         "through FAST/FULL/HEAVY tiers)")
+    df.add_argument("--out", metavar="PATH",
+                    help="write the full campaign outcome document to "
+                         "PATH as JSON; two runs with the same seed must "
+                         "produce byte-identical files")
 
     tr = sub.add_parser(
         "trace",
@@ -626,6 +663,10 @@ def _cmd_serve_bench(args, out) -> int:
     import os
     import signal
 
+    if args.mutate_every > 0 and (args.shards > 0 or args.use_async):
+        out.write("error: --mutate-every serves serially on the in-process "
+                  "sync engine; not supported with --shards or --async\n")
+        return 2
     if args.shards > 0:
         return _cmd_serve_bench_cluster(args, out)
 
@@ -752,8 +793,40 @@ def _cmd_serve_bench(args, out) -> int:
         health_shed=DEFAULT_HEALTH_SHED if args.health_shed else None,
         metrics=metrics,
     )
+    driver = reindexer = None
+    if args.mutate_every > 0:
+        import tempfile
+        from pathlib import Path
+
+        from repro.livedata import EpochRegistry, MutationDriver, ReindexWorker
+
+        registry = EpochRegistry()
+        engine.attach_livedata(registry)
+        driver = MutationDriver(benchmark, registry, seed=args.seed)
+        if args.journal:
+            checkpoint_path = Path(str(args.journal) + ".reindex")
+        else:
+            _reindex_dir = tempfile.TemporaryDirectory(prefix="repro-reindex-")
+            checkpoint_path = Path(_reindex_dir.name) / "reindex.jsonl"
+        reindexer = ReindexWorker(
+            pipeline, checkpoint_path, registry=registry, health=engine.health
+        )
+
     with engine:
-        results = engine.run(workload, block=(args.mode == "closed"))
+        if driver is not None:
+            # Live-mutation mode serves serially so every mutation lands
+            # on a request boundary; the reindexer catches the mutated
+            # database up before the next request is admitted.
+            results = []
+            for position, example in enumerate(workload):
+                results.append(engine.answer(example))
+                if (position + 1) % args.mutate_every == 0 \
+                        and position + 1 < len(workload):
+                    event = driver.mutate()
+                    engine.invalidate_db(event.db_id)
+                    reindexer.reindex(event.db_id, epoch=event.epoch)
+        else:
+            results = engine.run(workload, block=(args.mode == "closed"))
         stats = engine.stats()
     served = sum(1 for r in results if r is not None)
     mode_label = "async" if args.use_async else f"{args.mode}-loop"
@@ -768,6 +841,25 @@ def _cmd_serve_bench(args, out) -> int:
             f"journal  : DISABLED after write error "
             f"({journal.disable_reason}); run completed un-journaled\n"
         )
+    if driver is not None:
+        kinds: dict = {}
+        for event in driver.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        mix = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        live = engine.livedata_stats
+        out.write(f"mutations: {len(driver.events)} applied ({mix})\n")
+        out.write(
+            f"livedata : stale_detected={live['stale_detected']} "
+            f"stale_retried={live['stale_retried']} "
+            f"stale_served={live['stale_served']} "
+            f"invalidations={live['invalidations']}\n"
+        )
+        out.write(
+            f"reindex  : {len(reindexer.reports)} reindexes, "
+            f"{sum(r.vectors for r in reindexer.reports)} vectors, "
+            f"catchup {reindexer.total_catchup_seconds:.3f}s (virtual)\n"
+        )
+        reindexer.close()
     if tiered is not None:
         out.write(f"routing  : {tiered.routing_stats()}\n")
     if llm_injector is not None:
@@ -815,6 +907,7 @@ def _write_deterministic_report(report, path) -> None:
 def _cmd_recover(args, out) -> int:
     from pathlib import Path
 
+    from repro.livedata.errors import CrossEpochReplayError
     from repro.serving import (
         DoubleServeError,
         JournalCorruptionError,
@@ -895,12 +988,20 @@ def _cmd_recover(args, out) -> int:
                 return 2
     pending_before = len(journal.pending())
     committed_before = len(journal)
-    outcomes = recover_run(
-        journal,
-        pipeline,
-        workload,
-        result_cache_size=config.get("result_cache_size", 512),
-    )
+    try:
+        outcomes = recover_run(
+            journal,
+            pipeline,
+            workload,
+            result_cache_size=config.get("result_cache_size", 512),
+        )
+    except CrossEpochReplayError as exc:
+        # Committed records carry schema_epoch stamps this catalog can't
+        # honour (the run spanned live mutations; a rebuilt pipeline is
+        # at epoch 0): replay would re-serve answers computed against a
+        # world that no longer exists.  --dry-run shows the stamps.
+        out.write(f"error: cross-epoch replay refused — {exc}\n")
+        return 2
     report = assemble_report(outcomes, workload, pipeline)
     if sharded:
         shares = ", ".join(
@@ -959,6 +1060,35 @@ def _recover_dry_run(journal_path, out) -> int:
         f"{len(accepted - committed)} pending, {corrupt} corrupt lines, "
         f"{len(doubles)} double-serves\n"
     )
+    # schema_epoch stamps: a database whose committed records span more
+    # than one epoch — or any epoch other than 0 — cannot be replayed by
+    # a freshly rebuilt catalog; full 'recover' will refuse with a typed
+    # CrossEpochReplayError, and this is the inspection view of why.
+    stamps: dict = {}
+    for _name, scan in sorted(scans.items()):
+        db_by_seq = {
+            record["seq"]: record.get("db_id", "?")
+            for record in scan.parsed
+            if record.get("type") == "accepted"
+        }
+        for record in scan.parsed:
+            if record.get("type") == "committed" and "schema_epoch" in record:
+                db_id = db_by_seq.get(record.get("seq"), "?")
+                stamps.setdefault(db_id, set()).add(record["schema_epoch"])
+    mismatched = 0
+    for db_id, epochs in sorted(stamps.items()):
+        if sorted(epochs) != [0]:
+            mismatched += 1
+            out.write(
+                f"epochs: {db_id} committed at schema_epoch "
+                f"{sorted(epochs)} != replay catalog [0] — "
+                f"CROSS-EPOCH (recover will refuse)\n"
+            )
+    if stamps and not mismatched:
+        out.write(
+            f"epochs: {len(stamps)} stamped databases, all at "
+            f"schema_epoch 0 (replayable)\n"
+        )
     return 0
 
 
@@ -1056,6 +1186,40 @@ def _cmd_crash_fuzz(args, out) -> int:
                 handle.write(
                     json.dumps(outcome.to_dict(), sort_keys=True) + "\n"
                 )
+        out.write(f"outcomes : wrote {args.out}\n")
+    return 0 if result.ok else 1
+
+
+def _cmd_drift_fuzz(args, out) -> int:
+    """Certify live-mutation robustness: serve-with-drift + kill/resume."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.livedata.driftfuzz import DriftFuzzConfig, run_drift_fuzz
+
+    config = DriftFuzzConfig(
+        requests=args.requests,
+        distinct=args.distinct,
+        seed=args.seed,
+        candidates=args.candidates,
+        routing=not args.no_routing,
+        mutate_every=args.mutate_every,
+        limit=args.limit or None,
+        torn=not args.no_torn,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-driftfuzz-") as workdir:
+        result = run_drift_fuzz(config, workdir)
+    out.write(result.format() + "\n")
+    for outcome in result.outcomes:
+        if not outcome.ok:
+            out.write(f"FAIL {json.dumps(outcome.to_dict(), sort_keys=True)}\n")
+    if args.out:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
         out.write(f"outcomes : wrote {args.out}\n")
     return 0 if result.ok else 1
 
@@ -1227,6 +1391,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "fsck": _cmd_fsck,
     "crash-fuzz": _cmd_crash_fuzz,
+    "drift-fuzz": _cmd_drift_fuzz,
     "trace": _cmd_trace,
     "route-bench": _cmd_route_bench,
     "metrics": _cmd_metrics,

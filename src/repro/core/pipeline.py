@@ -25,6 +25,7 @@ from repro.datasets.build import Benchmark
 from repro.datasets.types import Example
 from repro.embedding.vectorizer import HashingVectorizer
 from repro.execution.executor import SQLExecutor
+from repro.livedata.errors import StaleCatalogError
 from repro.llm.base import LLMClient
 from repro.observability.trace import Trace
 from repro.reliability.deadline import Deadline
@@ -302,6 +303,12 @@ class OpenSearchSQL:
                         example, sqls, pre, extraction, executor, cost,
                         deadline=deadline, **span_kw,
                     )
+                except StaleCatalogError:
+                    # The pre-execute epoch guard fired: the catalog moved
+                    # under this request.  That is not a degradation to
+                    # absorb — the serving engine owns the bounded retry
+                    # and must see the typed error.
+                    raise
                 except Exception as exc:
                     degradations.append(
                         DegradationEvent(

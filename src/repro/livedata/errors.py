@@ -1,0 +1,57 @@
+"""Typed errors of the live-mutation layer.
+
+Kept dependency-free (stdlib only) so the serving engine, the journal
+and the CLI can all import them without touching the rest of
+:mod:`repro.livedata` (which imports serving pieces in turn).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LiveDataError", "StaleCatalogError", "CrossEpochReplayError"]
+
+
+class LiveDataError(RuntimeError):
+    """Base class for live-mutation failures."""
+
+
+class StaleCatalogError(LiveDataError):
+    """A request is about to execute SQL derived from an outdated catalog.
+
+    Raised by the pre-execute epoch check when the database's
+    ``schema_epoch`` moved past the epoch the request's extraction and
+    prompts were built against.  The serving engine absorbs exactly one
+    occurrence per request with a re-extract-and-retry at the new epoch;
+    a second occurrence (the catalog moved again mid-retry) escapes as a
+    typed request failure.
+    """
+
+    def __init__(self, db_id: str, pinned_epoch: int, current_epoch: int):
+        super().__init__(
+            f"catalog for {db_id!r} moved from schema_epoch "
+            f"{pinned_epoch} to {current_epoch} mid-request"
+        )
+        self.db_id = db_id
+        self.pinned_epoch = pinned_epoch
+        self.current_epoch = current_epoch
+
+
+class CrossEpochReplayError(LiveDataError):
+    """A journal's committed records span a different catalog epoch than
+    the databases the replay would run against.
+
+    Replaying a record that was served at ``schema_epoch`` N against a
+    database now at epoch M would silently re-serve answers derived from
+    a catalog that no longer exists — ``recover`` refuses instead, the
+    same way it refuses a skill-profile or tier-mix mismatch.
+    """
+
+    def __init__(self, db_id: str, recorded_epochs: tuple[int, ...], current_epoch: int):
+        recorded = ", ".join(str(e) for e in recorded_epochs)
+        super().__init__(
+            f"journal records for {db_id!r} were committed at "
+            f"schema_epoch {{{recorded}}} but the replay catalog is at "
+            f"epoch {current_epoch}"
+        )
+        self.db_id = db_id
+        self.recorded_epochs = tuple(recorded_epochs)
+        self.current_epoch = current_epoch

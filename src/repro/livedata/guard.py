@@ -1,0 +1,68 @@
+"""The pre-execute epoch check.
+
+:class:`EpochGuardExecutor` composes onto the pipeline's per-database
+executor chain (the same ``executor_wrapper`` seam hedging uses).  The
+serving engine pins the catalog epoch a request started from in a
+per-thread slot just before running the pipeline; every SQL execution
+then compares the pin against the registry's *current* epoch and raises
+a typed :class:`~repro.livedata.errors.StaleCatalogError` when the
+catalog moved mid-request — before the stale SQL touches the database.
+
+Threads without a pin (scoring, recovery, hedge helpers) execute
+unchecked: the guard protects the serving hot path, not offline reads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.livedata.epoch import EpochRegistry
+from repro.livedata.errors import StaleCatalogError
+
+__all__ = ["EpochPins", "EpochGuardExecutor"]
+
+
+class EpochPins(threading.local):
+    """Per-thread ``{db_id: pinned_epoch}`` slot (None = unchecked)."""
+
+    def __init__(self):
+        self.epochs: Optional[dict[str, int]] = None
+
+    def pin(self, db_id: str, epoch: int) -> None:
+        self.epochs = {db_id: epoch}
+
+    def clear(self) -> None:
+        self.epochs = None
+
+
+class EpochGuardExecutor:
+    """Executor wrapper enforcing the pre-execute epoch check."""
+
+    def __init__(self, inner, db_id: str, registry: EpochRegistry, pins: EpochPins):
+        self.inner = inner
+        self.db_id = db_id
+        self.registry = registry
+        self._pins = pins
+
+    def _check(self) -> None:
+        pinned = self._pins.epochs
+        if pinned is None:
+            return
+        epoch = pinned.get(self.db_id)
+        if epoch is None:
+            return
+        current = self.registry.epoch(self.db_id)
+        if current != epoch:
+            raise StaleCatalogError(self.db_id, epoch, current)
+
+    def execute(self, sql, *args, **kwargs):
+        self._check()
+        return self.inner.execute(sql, *args, **kwargs)
+
+    def execute_or_raise(self, sql, *args, **kwargs):
+        self._check()
+        return self.inner.execute_or_raise(sql, *args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

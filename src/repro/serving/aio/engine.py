@@ -291,9 +291,12 @@ class AsyncServingEngine(ServingEngine):
             raise
         self.singleflight.finish(flight)
         # A deadline-truncated answer is a degraded stand-in — never
-        # shared, mirroring the result-cache rule.  Followers run fresh.
+        # shared, mirroring the result-cache rule.  A doomed flight
+        # (invalidate_db landed mid-flight) must not share either: the
+        # answer was computed against pre-invalidation content.  In both
+        # cases followers run fresh.
         flight.future.set_result(
-            RUN_SELF if result.deadline_exceeded else result
+            RUN_SELF if result.deadline_exceeded or flight.doomed else result
         )
         return result
 
@@ -388,6 +391,11 @@ class AsyncServingEngine(ServingEngine):
             exceeded = result.deadline_exceeded
             self.health.record("deadline", not exceeded)
             if not exceeded:
+                if self.epochs is not None:
+                    # a stale retry (or doomed re-run) may have crossed an
+                    # epoch bump; re-derive the key so the entry lands
+                    # under the catalog that produced it
+                    ctx.key = result_cache_key(example, self.pipeline)
                 self.result_cache.put(ctx.key, result)
             if self.journal is not None and ctx.seq is not None:
                 self.journal.commit(ctx.seq, "ok", result=result)
@@ -423,10 +431,10 @@ class AsyncServingEngine(ServingEngine):
                     if ctx.budget is not None
                     else None
                 )
-                kwargs = {"trace": ctx.trace} if ctx.trace is not None else {}
-                return self.pipeline.answer(
-                    ctx.example, deadline=ctx.deadline, **kwargs
-                )
+                # _answer_guarded pins the catalog epoch on this pool
+                # thread and handles the one bounded stale retry; with no
+                # live-data registry attached it is a plain answer().
+                return self._answer_guarded(ctx.example, ctx.deadline, ctx.trace)
             finally:
                 self.batcher.runner_finished()
 

@@ -19,9 +19,13 @@ Two deliberate asymmetries with the result cache:
   to followers (:data:`RUN_SELF` is set instead and each follower runs
   the pipeline itself), mirroring the cache rule that degraded answers
   are never served to later requests;
-* ``invalidate`` (db content changed mid-flight) only detaches the key —
-  already-parked followers still receive the in-flight result, exactly
-  like an already-returned cache hit, while *new* arrivals lead fresh.
+* ``invalidate`` (db content changed mid-flight) detaches the key *and*
+  **dooms** the flight: new arrivals lead fresh, and already-parked
+  followers must not receive the leader's pre-invalidation answer — the
+  leader publishes :data:`RUN_SELF` to a doomed flight, so each
+  follower re-runs against the mutated content.  (A cache hit returned
+  *before* the invalidation stays returned; a parked follower has not
+  been answered yet, so it must see the new world.)
 """
 
 from __future__ import annotations
@@ -40,12 +44,16 @@ RUN_SELF = object()
 class Flight:
     """One in-flight leader and the followers coalesced onto it."""
 
-    __slots__ = ("key", "future", "followers")
+    __slots__ = ("key", "future", "followers", "doomed")
 
     def __init__(self, key: Hashable, future: "asyncio.Future"):
         self.key = key
         self.future = future
         self.followers = 0
+        #: set by :meth:`SingleFlight.invalidate` — the content this
+        #: flight computed against changed mid-flight, so its answer
+        #: must not be shared (leader publishes RUN_SELF instead)
+        self.doomed = False
 
 
 class SingleFlight:
@@ -88,19 +96,21 @@ class SingleFlight:
             del self._flights[flight.key]
 
     def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
-        """Detach every in-flight key matching ``predicate``.
+        """Detach and doom every in-flight key matching ``predicate``.
 
         The db-prefix counterpart of the cache tiers' ``invalidate_db``:
         after a database changes, new arrivals for its questions must
-        not coalesce onto results computed against the old content.
-        Existing followers keep their future — they were admitted
-        against the old content, like an already-served cache hit.
-        Returns the number of flights detached.
+        not coalesce onto results computed against the old content, and
+        parked followers must not be *served* that content either — the
+        flight is marked ``doomed``, which makes its leader publish
+        :data:`RUN_SELF` so every follower re-runs the pipeline against
+        the new content.  Returns the number of flights detached.
         """
-        doomed = [key for key in self._flights if predicate(key)]
-        for key in doomed:
+        victims = [key for key in self._flights if predicate(key)]
+        for key in victims:
+            self._flights[key].doomed = True
             del self._flights[key]
-        return len(doomed)
+        return len(victims)
 
     def inflight(self) -> int:
         """Number of distinct keys currently in flight."""

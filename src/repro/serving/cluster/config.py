@@ -90,6 +90,17 @@ class ClusterConfig:
     #: (:class:`repro.storage.StorageFaultPlan` fields, plus an optional
     #: ``seed``); empty dict = real, fault-free filesystem
     storage: dict = field(default_factory=dict)
+    #: live-mutation support: each worker attaches an epoch-versioned
+    #: catalog (:class:`~repro.livedata.epoch.EpochRegistry`) so commit
+    #: records carry ``schema_epoch`` stamps and ``invalidate``
+    #: broadcasts from the coordinator drop + re-pin cached state
+    livedata: bool = False
+    #: starting ``{db_id: schema_epoch}`` snapshot workers adopt on
+    #: spawn (a cluster resumed after mutations must not restart its
+    #: epoch counters at 0 — commit stamps would lie); journaled in
+    #: every segment header so ``repro recover`` sees the catalog
+    #: generation the run was serving
+    schema_epochs: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if self.shards < 1:
@@ -118,6 +129,9 @@ class ClusterConfig:
         if self.routing:
             header["routing"] = True
             header["routing_config"] = dict(self.routing_config)
+        if self.livedata:
+            header["livedata"] = True
+            header["schema_epochs"] = dict(self.schema_epochs)
         header.update(self.header)
         return header
 

@@ -185,6 +185,8 @@ class ShardCoordinator:
             "reroutes": 0,
             "resolved_from_journal": 0,
             "storage_degraded": 0,
+            "invalidations_broadcast": 0,
+            "invalidations_acked": 0,
         }
         if metrics is not None:
             self._m_requests = metrics.counter(
@@ -414,6 +416,12 @@ class ShardCoordinator:
             with self._lock:
                 handle.final_stats = message
             return
+        if kind == "invalidated":
+            # a worker finished dropping its caches for a broadcast
+            # invalidation; counted so tests can await full propagation
+            with self._lock:
+                self._counters["invalidations_acked"] += 1
+            return
         # "adopted" and anything unknown: informational only
 
     # ---------------------------------------------------------- supervision
@@ -536,6 +544,41 @@ class ShardCoordinator:
         with self._lock:
             handle = self._workers[worker_id]
         self._kill_process(handle)
+
+    def broadcast_invalidate(self, db_id: str, epoch: Optional[int] = None) -> int:
+        """Tell every live worker ``db_id``'s catalog moved to ``epoch``.
+
+        The cluster half of live-mutation robustness: a mutation observed
+        at the coordinator (or by an external DDL watcher) fans out to
+        all shards — not just ``db_id``'s ring owner, because adopted
+        segments and rebalances mean any shard may hold cached state for
+        any database.  Each worker advances its epoch registry (monotone,
+        so replayed or reordered broadcasts are no-ops), drops every
+        cache tier keyed by the db, and acks with ``invalidated``.
+        Returns the number of workers the broadcast reached.
+        """
+        sent = 0
+        with self._lock:
+            self._counters["invalidations_broadcast"] += 1
+            for handle in self._workers.values():
+                if handle.state in (DEAD, REMOVED):
+                    continue
+                try:
+                    with handle.send_lock:
+                        handle.conn.send(
+                            {"type": "invalidate", "db_id": db_id, "epoch": epoch}
+                        )
+                    sent += 1
+                except (OSError, ValueError):
+                    handle.conn_closed = True
+        if self.metrics is not None:
+            self._m_events.labels(event="invalidate_broadcast").inc()
+        return sent
+
+    def invalidations_acked(self) -> int:
+        """Workers that have acked an ``invalidate`` broadcast so far."""
+        with self._lock:
+            return self._counters["invalidations_acked"]
 
     # ------------------------------------------------------------ reporting
 

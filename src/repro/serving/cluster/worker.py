@@ -15,6 +15,9 @@ coordinator → worker
     ``{"type": "request", "seq", "example", "deadline_seconds"}``
     ``{"type": "adopt", "segment": path}``   — warm cache from a dead
     peer's segment after a ring rebalance handed this worker its keys
+    ``{"type": "invalidate", "db_id", "epoch"}`` — the database mutated:
+    adopt the new ``schema_epoch`` (monotone) and drop every cache tier
+    keyed by it
     ``{"type": "shutdown"}``                 — drain, report, exit
 
 worker → coordinator
@@ -27,6 +30,9 @@ worker → coordinator
     shard's segment browned out (``journal_disabled``) or was
     quarantined corrupt on startup; the coordinator marks the worker
     degraded-not-dead and keeps routing to it
+    ``{"type": "invalidated", "worker", "db_id", "epoch", "dropped"}`` —
+    ack that the broadcast invalidation finished, with per-tier drop
+    counts
     ``{"type": "stats", ...}``               — final shard-labelled
     serving/health/metrics/journal snapshots, sent during shutdown
 
@@ -162,6 +168,19 @@ def worker_main(worker_id: int, config_payload: dict, conn) -> None:
         journal=journal,
         metrics=metrics,
     )
+    registry = None
+    if config.livedata:
+        from repro.livedata.epoch import EpochRegistry
+
+        # The epoch-versioned catalog: commit records get schema_epoch
+        # stamps, cache keys become epoch-scoped, and the pre-execute
+        # guard turns catalog races into typed retries.  A resumed
+        # cluster adopts the coordinator's epoch snapshot — a worker
+        # restarting its counters at 0 would stamp lies.
+        registry = EpochRegistry()
+        for db_id, epoch in sorted(config.schema_epochs.items()):
+            registry.advance(db_id, int(epoch))
+        engine.attach_livedata(registry)
     warmed = warm_engine_from_segment(engine, journal, example_index)
     send({"type": "ready", "worker": worker_id, "warmed": warmed})
 
@@ -235,6 +254,26 @@ def worker_main(worker_id: int, config_payload: dict, conn) -> None:
                     )
                     continue
                 future.add_done_callback(_respond(message["seq"]))
+            elif kind == "invalidate":
+                # Cluster-wide invalidation: the coordinator observed a
+                # database mutation and broadcasts the new epoch.  The
+                # local registry adopts it (monotone — replays no-op),
+                # then every cache tier keyed by the db is dropped; the
+                # next request re-derives against the new catalog.
+                db_id = message["db_id"]
+                epoch = message.get("epoch")
+                if registry is not None and epoch is not None:
+                    registry.advance(db_id, int(epoch))
+                dropped = engine.invalidate_db(db_id)
+                send(
+                    {
+                        "type": "invalidated",
+                        "worker": worker_id,
+                        "db_id": db_id,
+                        "epoch": epoch,
+                        "dropped": dropped,
+                    }
+                )
             elif kind == "adopt":
                 try:
                     adopted = ServingJournal(message["segment"])

@@ -55,6 +55,9 @@ from repro.serving.bulkhead import (
     DbCircuitOpenError,
     QuarantinedError,
 )
+from repro.livedata.epoch import EpochRegistry
+from repro.livedata.errors import StaleCatalogError
+from repro.livedata.guard import EpochGuardExecutor, EpochPins
 from repro.serving.health import HealthMonitor
 from repro.serving.hedging import HedgedExecutor, HedgeStats
 from repro.serving.journal import ServingJournal
@@ -69,17 +72,23 @@ class CachingExtractor:
 
     Keyed on ``(db_id, question_id)`` — extraction is deterministic per
     example, so repeats reuse the stage output without paying its LLM
-    calls.  Attribute access falls through to the wrapped extractor so the
-    pipeline's other touch points (``config``, ``vectorizer``) keep
-    working.
+    calls.  When an :class:`~repro.livedata.epoch.EpochRegistry` is
+    attached (``epochs``), the database's current ``schema_epoch`` joins
+    the key, so a mutation self-invalidates every cached extraction
+    derived from the old catalog.  Attribute access falls through to the
+    wrapped extractor so the pipeline's other touch points (``config``,
+    ``vectorizer``) keep working.
     """
 
     def __init__(self, inner, cache: LRUCache):
         self.inner = inner
         self.cache = cache
+        self.epochs: Optional[EpochRegistry] = None
 
     def run(self, example, pre, cost=None, span=None):
-        key = (example.db_id, example.question_id)
+        key: tuple = (example.db_id, example.question_id)
+        if self.epochs is not None:
+            key = key + (self.epochs.epoch(example.db_id),)
         hit = self.cache.get(key)
         if hit is not None:
             if span is not None:
@@ -109,14 +118,28 @@ class CachingFewShotLibrary:
     masked text, so variants differing only in trailing ``?`` spacing or
     case retrieve identically and must share one entry.  ``add``
     invalidates the whole tier (new entries can change any ranking).
+
+    The keys carry the *requesting* database, not the databases the
+    retrieved shots came from, so per-database invalidation keeps a
+    **db→keys side index**: every cached result is indexed under the
+    db of each shot it contains (plus the requester), and
+    :meth:`invalidate_db` drops exactly those keys — a mutated database
+    cannot keep serving as a stale neighbor while unrelated entries
+    survive.  When an :class:`~repro.livedata.epoch.EpochRegistry` is
+    attached, the requesting db's ``schema_epoch`` joins the key too.
     """
 
     def __init__(self, inner, cache: LRUCache):
         self.inner = inner
         self.cache = cache
+        self.epochs: Optional[EpochRegistry] = None
+        self._db_keys: dict[str, set] = {}
+        self._keys_lock = threading.Lock()
 
     def search(self, question, surfaces=(), k=5, db_id=None):
-        key = (normalize_question(question), tuple(surfaces), k, db_id)
+        key: tuple = (normalize_question(question), tuple(surfaces), k, db_id)
+        if self.epochs is not None and db_id is not None:
+            key = key + (self.epochs.epoch(db_id),)
         hit = self.cache.get(key)
         if hit is not None:
             # Generation's stage span is ambient here; the event lands on it.
@@ -125,11 +148,37 @@ class CachingFewShotLibrary:
         add_event("fewshot_cache", outcome="miss")
         result = self.inner.search(question, surfaces=surfaces, k=k, db_id=db_id)
         self.cache.put(key, result)
+        self._index_key(key, result, db_id)
         return result
+
+    def _index_key(self, key, result, db_id) -> None:
+        """Record ``key`` under every database its result touches."""
+        dbs = set()
+        for entry in result:
+            example = getattr(entry, "example", None)
+            if example is not None and getattr(example, "db_id", None):
+                dbs.add(example.db_id)
+        if db_id is not None:
+            dbs.add(db_id)
+        with self._keys_lock:
+            for db in dbs:
+                self._db_keys.setdefault(db, set()).add(key)
+
+    def invalidate_db(self, db_id: str) -> int:
+        """Drop every cached result containing (or requested by) ``db_id``."""
+        with self._keys_lock:
+            victims = self._db_keys.pop(db_id, set())
+            for keys in self._db_keys.values():
+                keys -= victims
+        if not victims:
+            return 0
+        return self.cache.invalidate(lambda key: key in victims)
 
     def add(self, entry):
         self.inner.add(entry)
         self.cache.clear()
+        with self._keys_lock:
+            self._db_keys.clear()
 
     def __len__(self):
         return len(self.inner)
@@ -252,6 +301,17 @@ class ServingEngine:
         self._traces: dict[str, Trace] = {}
         self._traces_lock = threading.Lock()
         self._latest_trace: Optional[Trace] = None
+        # Live-data wiring (attach_livedata): epoch registry, per-thread
+        # pins for the pre-execute staleness check, and the stale counters.
+        self.epochs: Optional[EpochRegistry] = None
+        self._epoch_pins: Optional[EpochPins] = None
+        self._m_stale = None
+        self.livedata_stats = {
+            "stale_detected": 0,
+            "stale_retried": 0,
+            "stale_served": 0,
+            "invalidations": 0,
+        }
         if metrics is not None:
             self._m_requests = metrics.counter(
                 "repro_serving_requests_total",
@@ -317,6 +377,69 @@ class ServingEngine:
             # health and fires counters/trace events instead of killing
             # the worker.
             self.journal.add_storage_listener(self._on_journal_disabled)
+
+    # ------------------------------------------------------------ live data
+
+    def attach_livedata(self, registry: EpochRegistry) -> None:
+        """Wire an epoch-versioned catalog into the serving path.
+
+        After this call:
+
+        * every cache tier's key carries the database's current
+          ``schema_epoch`` (mutations self-invalidate stale entries);
+        * journal commit records are stamped with the epoch the answer
+          was produced under, so ``recover`` can refuse cross-epoch
+          replay;
+        * SQL execution runs behind the pre-execute epoch check
+          (:class:`~repro.livedata.guard.EpochGuardExecutor`): a catalog
+          that moved mid-request raises a typed
+          :class:`~repro.livedata.errors.StaleCatalogError`, and the
+          handler re-extracts and retries exactly once against the new
+          epoch before failing the request.
+
+        Stale events surface in ``repro_livedata_stale_total`` (labeled
+        ``detected`` / ``retried`` / ``served``) and in
+        ``livedata_stats``; ``served`` counting a completed answer whose
+        catalog moved after its last SQL execution — the certifier's
+        zero-stale-serve gate reads that slot.
+        """
+        self.epochs = registry
+        # result_cache_key duck-types on pipeline.epochs for the result
+        # tier's epoch suffix.
+        self.pipeline.epochs = registry
+        extractor = self.pipeline.extractor
+        if isinstance(extractor, CachingExtractor):
+            extractor.epochs = registry
+        library = self.pipeline.library
+        if isinstance(library, CachingFewShotLibrary):
+            library.epochs = registry
+        if self.journal is not None:
+            self.journal.epoch_provider = registry.epoch
+        self._epoch_pins = pins = EpochPins()
+        # TieredPipeline delegates set_executor_wrapper to its base but
+        # does not re-export the attribute; read it off the base.
+        previous = getattr(self.pipeline, "base", self.pipeline).executor_wrapper
+
+        def _guarded(executor, db_id):
+            inner = previous(executor, db_id) if previous else executor
+            return EpochGuardExecutor(inner, db_id, registry, pins)
+
+        self.pipeline.set_executor_wrapper(_guarded)
+        if self.metrics is not None:
+            self._m_stale = self.metrics.counter(
+                "repro_livedata_stale_total",
+                "stale-catalog events on the serving path",
+                labelnames=("event",),
+            )
+            self.metrics.register_collector(
+                "livedata", lambda: dict(self.livedata_stats)
+            )
+
+    def _count_stale(self, event: str) -> None:
+        with self._stats_lock:
+            self.livedata_stats[f"stale_{event}"] += 1
+        if self._m_stale is not None:
+            self._m_stale.labels(event=event).inc()
 
     # ------------------------------------------------------------ requests
 
@@ -447,11 +570,7 @@ class ServingEngine:
                 Deadline(budget, clock=self._clock) if budget is not None else None
             )
             try:
-                result = self.pipeline.answer(
-                    example,
-                    deadline=deadline,
-                    **({"trace": trace} if trace is not None else {}),
-                )
+                result = self._answer_guarded(example, deadline, trace)
             except Exception as exc:
                 self.admission.record_failure()
                 self.health.record("pipeline", False, detail=str(exc))
@@ -485,6 +604,11 @@ class ServingEngine:
                 # a deadline-truncated answer is a degraded stand-in;
                 # caching it would keep serving the degradation after
                 # load subsides
+                if self.epochs is not None:
+                    # a stale retry moved the epoch mid-request; re-derive
+                    # the key so the entry lands under the catalog that
+                    # actually produced it
+                    key = result_cache_key(example, self.pipeline)
                 self.result_cache.put(key, result)
             if self.journal is not None and seq is not None:
                 self.journal.commit(seq, "ok", result=result)
@@ -508,6 +632,60 @@ class ServingEngine:
         finally:
             self.bulkheads.release(example.db_id)
             self.admission.release()
+
+    def _answer_guarded(
+        self,
+        example: Example,
+        deadline: Optional[Deadline],
+        trace: Optional[Trace],
+    ) -> PipelineResult:
+        """Run the pipeline under the stale-catalog guard.
+
+        With no live-data registry attached this is a plain
+        ``pipeline.answer``.  Otherwise the request pins the database's
+        current epoch for the worker thread; a mutation landing before
+        any of the request's SQL executions raises
+        :class:`StaleCatalogError` from the executor guard, and the
+        request re-extracts and retries exactly once against the new
+        epoch (the epoch-suffixed cache keys make the retry recompute
+        instead of rehitting stale entries).  A second staleness hit
+        propagates into the normal failure path.
+        """
+        kwargs = {"trace": trace} if trace is not None else {}
+        pins = self._epoch_pins
+        if pins is None:
+            return self.pipeline.answer(example, deadline=deadline, **kwargs)
+        db_id = example.db_id
+        for attempt in (0, 1):
+            pinned = self.epochs.epoch(db_id)
+            pins.pin(db_id, pinned)
+            try:
+                result = self.pipeline.answer(example, deadline=deadline, **kwargs)
+            except StaleCatalogError as exc:
+                self._count_stale("detected")
+                if trace is not None:
+                    trace.root.event(
+                        "stale_catalog",
+                        db_id=db_id,
+                        pinned_epoch=exc.pinned_epoch,
+                        current_epoch=exc.current_epoch,
+                        retrying=attempt == 0,
+                    )
+                if attempt == 0:
+                    self._count_stale("retried")
+                    continue
+                raise
+            finally:
+                pins.clear()
+            if self.epochs.epoch(db_id) != pinned:
+                # The catalog moved after this request's last execution:
+                # the answer it computed is already stale on arrival.
+                # This is the slot the certifier requires to stay zero.
+                self._count_stale("served")
+                if trace is not None:
+                    trace.root.event("stale_serve", db_id=db_id, pinned_epoch=pinned)
+            return result
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _record(
         self,
@@ -589,15 +767,26 @@ class ServingEngine:
     def invalidate_db(self, db_id: str) -> dict[str, int]:
         """Drop every cached entry derived from ``db_id`` in all tiers.
 
-        The few-shot tier keys on ``(question, surfaces, k, db_id)`` where
-        ``db_id`` is usually None (cross-database retrieval), so it is
-        cleared wholesale — a changed database may alter its train shots.
+        The result and extraction tiers key on ``(db_id, …)`` and
+        invalidate positionally.  The few-shot tier's keys carry the
+        question rather than the source databases, so the caching wrapper
+        maintains a db→keys side index and drops exactly the cached
+        retrievals that contain (or were requested by) the mutated
+        database — stale neighbors go, unrelated entries survive.  When
+        the pipeline's library is not the caching wrapper (side index
+        unavailable) the tier falls back to a wholesale clear.
         """
         dropped = {
             "result": self.result_cache.invalidate_db(db_id),
             "extraction": self.extraction_cache.invalidate_db(db_id),
         }
-        dropped["fewshot"] = self.fewshot_cache.invalidate(lambda _key: True)
+        library = self.pipeline.library
+        if isinstance(library, CachingFewShotLibrary):
+            dropped["fewshot"] = library.invalidate_db(db_id)
+        else:
+            dropped["fewshot"] = self.fewshot_cache.invalidate(lambda _key: True)
+        with self._stats_lock:
+            self.livedata_stats["invalidations"] += 1
         return dropped
 
     def reset_stats(self) -> None:

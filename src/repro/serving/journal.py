@@ -19,8 +19,16 @@ sequence — and a clean shutdown appends an epoch-stamped ``seal``)::
     {"type": "committed", "seq": 7, "status": "ok"|"cached"|"coalesced"|"failed",
      "result": {final_sql, generation_sql, refined_sql, degradations,
                 routing?},
-     "cost": {stage: {...}}, "error": null}
+     "cost": {stage: {...}}, "error": null, "schema_epoch": 0}
     {"type": "seal", "epoch": 1, "committed": 12}
+
+(``schema_epoch`` appears only on runs with a live-mutation catalog
+attached — see ``epoch_provider`` — and records the database's
+catalog epoch at commit time.  It is unrelated to the seal ``epoch``,
+which counts journal *sessions*.  :func:`recover_run` refuses to replay
+records whose ``schema_epoch`` differs from the replay catalog's
+current epoch: the world those answers were computed against no longer
+exists.)
 
 v1 journals (no ``crc`` fields, ``version: 1`` header) load unchanged:
 lines without a CRC are accepted unverified, and strict interior-damage
@@ -92,6 +100,8 @@ __all__ = [
     "ServingJournal",
     "recover_run",
     "assemble_report",
+    "epoch_stamps",
+    "check_epoch_stamps",
     "JournalCorruptionError",
     "JournalVersionError",
 ]
@@ -121,11 +131,17 @@ class ServingJournal:
         on_commit: Optional[Callable[[int], None]] = None,
         opener: Optional[Callable] = None,
         on_storage_error: Optional[Callable[[OSError], None]] = None,
+        epoch_provider: Optional[Callable[[str], int]] = None,
     ):
         if fsync_every_n < 0:
             raise ValueError("fsync_every_n must be >= 0")
         self.path = Path(path)
         self.fsync_every_n = fsync_every_n
+        #: ``epoch_provider(db_id)`` → current catalog ``schema_epoch``;
+        #: when set, every committed record is stamped with the epoch of
+        #: its request's database (the live-mutation harness wires the
+        #: EpochRegistry here)
+        self.epoch_provider = epoch_provider
         #: called with the cumulative commit count after each commit line
         #: reaches the OS — the hook the kill-after harness uses to
         #: SIGKILL the process at a deterministic journal position
@@ -309,6 +325,11 @@ class ServingJournal:
                 record["result"]["routing"] = routing.to_dict()
             record["cost"] = encode_cost(result.cost)
         with self._lock:
+            if self.epoch_provider is not None:
+                accepted = self._accepted.get(seq)
+                db_id = accepted.get("db_id") if accepted else None
+                if db_id is not None:
+                    record["schema_epoch"] = self.epoch_provider(db_id)
             self._committed[seq] = record
             self._append(record)
             self._commits += 1
@@ -419,6 +440,36 @@ class ServingJournal:
         return result, cost
 
 
+def epoch_stamps(journal: ServingJournal, workload: list[Example]) -> dict[str, list[int]]:
+    """Per-database ``schema_epoch`` stamps found in committed records.
+
+    Returns ``{db_id: sorted distinct epochs}`` for every database whose
+    committed records carry a stamp (empty for pre-livedata journals).
+    """
+    recorded: dict[str, set[int]] = {}
+    for seq, example in enumerate(workload):
+        record = journal.committed(seq)
+        if record is not None and "schema_epoch" in record:
+            recorded.setdefault(example.db_id, set()).add(record["schema_epoch"])
+    return {db_id: sorted(epochs) for db_id, epochs in sorted(recorded.items())}
+
+
+def check_epoch_stamps(
+    journal: ServingJournal, pipeline: OpenSearchSQL, workload: list[Example]
+) -> None:
+    """Refuse cross-epoch replay (see :func:`recover_run`)."""
+    stamps = epoch_stamps(journal, workload)
+    if not stamps:
+        return
+    from repro.livedata.errors import CrossEpochReplayError
+
+    registry = getattr(pipeline, "epochs", None)
+    for db_id, epochs in stamps.items():
+        current = registry.epoch(db_id) if registry is not None else 0
+        if epochs != [current]:
+            raise CrossEpochReplayError(db_id, tuple(epochs), current)
+
+
 def recover_run(
     journal: ServingJournal,
     pipeline: OpenSearchSQL,
@@ -438,7 +489,14 @@ def recover_run(
     position — the deterministic inputs a report builder needs.  Crashed
     requests (committed ``"failed"`` or a fresh raise) carry ``None``
     results, mirroring ``ServingEngine.run``.
+
+    Raises :class:`~repro.livedata.errors.CrossEpochReplayError` when any
+    committed record carries a ``schema_epoch`` stamp that differs from
+    the replay catalog's current epoch for that database (a freshly
+    rebuilt pipeline is at epoch 0 everywhere): replaying it would
+    re-serve answers computed against a catalog that no longer exists.
     """
+    check_epoch_stamps(journal, pipeline, workload)
     # size 0 disables the tier (every get misses), matching the engine's
     # --no-cache semantics so recovery mirrors the original hit pattern
     cache = LRUCache(result_cache_size)

@@ -108,3 +108,64 @@ class TestRecall:
             index.add(w, vec.embed(w))
         hits = index.search(vec.embed("Category Number 57"), k=3)
         assert hits[0].key == "category number 57"
+
+
+class TestTombstoneRemove:
+    def test_remove_returns_count_and_len_counts_live(self):
+        index = HNSWIndex(8, seed=1)
+        for i, v in enumerate(random_vectors(10, 8)):
+            index.add(str(i), v)
+        assert index.remove("3") == 1
+        assert len(index) == 9
+        assert index.remove("3") == 0  # already tombstoned
+
+    def test_search_filters_tombstones(self):
+        d = 16
+        vectors = random_vectors(100, d, seed=4)
+        index = HNSWIndex(d, seed=5)
+        for i, v in enumerate(vectors):
+            index.add(str(i), v)
+        target = vectors[42]
+        assert index.search(target, k=1)[0].key == "42"
+        index.remove("42")
+        hits = index.search(target, k=10)
+        assert "42" not in {h.key for h in hits}
+        assert len(hits) == 10  # ef widening still fills k past the dead
+
+    def test_graph_stays_navigable_after_mass_removal(self):
+        """Tombstoned nodes keep routing: recall against a flat rebuild
+        of the survivors stays high even after a third of the index
+        dies."""
+        d = 16
+        vectors = random_vectors(150, d, seed=6)
+        index = HNSWIndex(d, m=12, ef_construction=100, ef_search=64, seed=7)
+        flat = FlatIndex(d)
+        for i, v in enumerate(vectors):
+            index.add(str(i), v)
+        removed = {str(i) for i in range(0, 150, 3)}
+        for key in removed:
+            assert index.remove(key) == 1
+        for i, v in enumerate(vectors):
+            if str(i) not in removed:
+                flat.add(str(i), v)
+        queries = random_vectors(10, d, seed=8)
+        total = agree = 0
+        for q in queries:
+            exact = {h.key for h in flat.search(q, k=5)}
+            approx = {h.key for h in index.search(q, k=5)}
+            assert not (approx & removed)
+            agree += len(exact & approx)
+            total += len(exact)
+        assert agree / total >= 0.8
+
+    def test_readd_after_remove_serves_the_new_vector(self):
+        index = HNSWIndex(8, seed=2)
+        for i, v in enumerate(random_vectors(6, 8)):
+            index.add(str(i), v)
+        replacement = random_vectors(1, 8, seed=11)[0]
+        index.remove("2")
+        index.add("2", replacement, payload="fresh")
+        hit = index.search(replacement, k=1)[0]
+        assert hit.key == "2"
+        assert hit.payload == "fresh"
+        assert len(index) == 6

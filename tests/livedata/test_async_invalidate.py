@@ -1,0 +1,142 @@
+"""invalidate_db racing an in-flight single-flight leader.
+
+The hazard: a follower parks on a leader's future, the database
+mutates mid-flight, and the leader then publishes an answer computed
+against pre-mutation content.  ``invalidate_db`` must doom the flight
+so the parked follower re-runs against the new catalog instead of
+being served the stale answer.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import OpenSearchSQL
+from repro.datasets.build import build_benchmark
+from repro.datasets.domains.healthcare import DOMAIN as HEALTHCARE
+from repro.datasets.domains.hockey import DOMAIN as HOCKEY
+from repro.livedata.epoch import EpochRegistry
+from repro.llm.simulated import SimulatedLLM
+from repro.llm.skills import GPT_4O
+from repro.serving import AsyncServingEngine
+
+
+@pytest.fixture
+def world():
+    benchmark = build_benchmark(
+        name="tiny",
+        domains=[HEALTHCARE, HOCKEY],
+        per_template_train=2,
+        per_template_dev=1,
+        per_template_test=1,
+        seed=3,
+    )
+    pipeline = OpenSearchSQL(
+        benchmark, SimulatedLLM(GPT_4O, seed=0), PipelineConfig(n_candidates=3)
+    )
+    return benchmark, pipeline
+
+
+async def _wait_until(condition, timeout=10.0):
+    for _ in range(int(timeout / 0.01)):
+        if condition():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError("condition never became true")
+
+
+class TestAsyncInvalidateRace:
+    def test_parked_follower_is_not_served_the_doomed_answer(self, world):
+        benchmark, pipeline = world
+        engine = AsyncServingEngine(pipeline, workers=2, queue_capacity=8)
+        registry = EpochRegistry()
+        engine.attach_livedata(registry)
+        example = benchmark.dev[0]
+
+        entered = threading.Event()
+        gate = threading.Event()
+        calls = []
+        guarded = engine._answer_guarded
+
+        def gated(ex, deadline, trace):
+            calls.append(ex.question_id)
+            entered.set()
+            assert gate.wait(timeout=30), "leader never released"
+            return guarded(ex, deadline, trace)
+
+        engine._answer_guarded = gated
+
+        async def scenario():
+            leader = asyncio.create_task(engine.submit_async(example))
+            # the leader is now pinned inside the run pool, pre-answer
+            await _wait_until(entered.is_set)
+            follower = asyncio.create_task(engine.submit_async(example))
+            await _wait_until(lambda: engine.singleflight.coalesced_total == 1)
+            # the database mutates while both requests are in flight
+            registry.bump(example.db_id)
+            dropped = engine.invalidate_db(example.db_id)
+            gate.set()
+            results = await asyncio.gather(leader, follower)
+            return dropped, results
+
+        with engine:
+            dropped, results = asyncio.run(scenario())
+            stats = engine.stats()
+
+        # exactly the one in-flight key was doomed
+        assert dropped["singleflight"] == 1
+        # the follower re-ran the pipeline instead of coalescing onto the
+        # leader's pre-invalidation answer: two pipeline runs, zero
+        # requests recorded as coalesced
+        assert len(calls) == 2
+        assert stats.coalesced == 0
+        assert stats.completed == 2
+        # both answers exist and agree — both were computed at the new
+        # epoch (the leader was gated until after the bump, so its pin
+        # already saw the mutated catalog; the follower re-derived)
+        assert all(r is not None and r.final_sql for r in results)
+        assert results[0].final_sql == results[1].final_sql
+
+    def test_untouched_db_flights_survive_the_invalidation(self, world):
+        """Dooming is db-scoped: an in-flight request for another
+        database keeps its flight and still coalesces."""
+        benchmark, pipeline = world
+        engine = AsyncServingEngine(pipeline, workers=2, queue_capacity=8)
+        registry = EpochRegistry()
+        engine.attach_livedata(registry)
+        by_db = {}
+        for example in benchmark.dev:
+            by_db.setdefault(example.db_id, example)
+        (db_a, ex_a), (db_b, ex_b) = sorted(by_db.items())[:2]
+
+        entered = threading.Event()
+        gate = threading.Event()
+        guarded = engine._answer_guarded
+
+        def gated(ex, deadline, trace):
+            entered.set()
+            assert gate.wait(timeout=30), "leader never released"
+            return guarded(ex, deadline, trace)
+
+        engine._answer_guarded = gated
+
+        async def scenario():
+            lead_b = asyncio.create_task(engine.submit_async(ex_b))
+            await _wait_until(entered.is_set)
+            follow_b = asyncio.create_task(engine.submit_async(ex_b))
+            await _wait_until(lambda: engine.singleflight.coalesced_total == 1)
+            registry.bump(db_a)
+            dropped = engine.invalidate_db(db_a)
+            gate.set()
+            results = await asyncio.gather(lead_b, follow_b)
+            return dropped, results
+
+        with engine:
+            dropped, results = asyncio.run(scenario())
+            stats = engine.stats()
+
+        assert dropped["singleflight"] == 0
+        assert stats.coalesced == 1
+        assert results[0].final_sql == results[1].final_sql

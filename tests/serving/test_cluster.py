@@ -290,3 +290,63 @@ class TestClusterServing:
         ]
         assert degraded, "expected deadline degradation events"
         assert any("DEADLINE" in e["kind"].upper() for e in degraded)
+
+
+class TestLivedataCluster:
+    def test_invalidate_broadcast_reaches_every_shard(
+        self, tmp_path, smoke_benchmark
+    ):
+        """A coordinator-observed mutation fans out: every live worker
+        adopts the broadcast epoch (monotone), drops its caches, acks —
+        and stamps every later commit for that database with the new
+        ``schema_epoch``.  Spawn-time epochs come from the config
+        snapshot, so a resumed cluster never restarts its stamps at 0."""
+        import time
+
+        config = cluster_config(
+            tmp_path, shards=2, livedata=True, schema_epochs={"hockey": 2}
+        )
+        by_db = {}
+        for example in smoke_benchmark.split("dev"):
+            by_db.setdefault(example.db_id, []).append(example)
+        workload = by_db["healthcare"][:2] + by_db["hockey"][:2]
+        with ShardCoordinator(config) as coordinator:
+            first = [f.result(timeout=60) for f in map(coordinator.submit, workload)]
+            assert all(r is not None for r in first)
+            sent = coordinator.broadcast_invalidate("hockey", epoch=3)
+            assert sent == 2
+            deadline = time.time() + 10
+            while coordinator.invalidations_acked() < sent:
+                assert time.time() < deadline, "invalidation acks never arrived"
+                time.sleep(0.02)
+            second = [f.result(timeout=60) for f in map(coordinator.submit, workload)]
+            assert all(r is not None for r in second)
+            stats = coordinator.stats()
+        assert stats["invalidations_broadcast"] == 1
+        assert stats["invalidations_acked"] == 2
+        assert stats["completed"] == 2 * len(workload)
+        # per-shard journals: headers carry the livedata snapshot; hockey
+        # commits moved from the spawn epoch to the broadcast epoch while
+        # healthcare never left 0
+        stamps = {}
+        headers = []
+        segments = sorted((tmp_path / "segments").glob("journal-shard-*.jsonl"))
+        assert len(segments) == 2
+        for segment in segments:
+            seq_to_db = {}
+            for line in segment.read_text().splitlines():
+                record = json.loads(line)
+                if record.get("type") == "header":
+                    headers.append(record.get("config", {}))
+                elif record.get("type") == "accepted":
+                    seq_to_db[record["seq"]] = record.get("db_id")
+                elif record.get("type") == "committed":
+                    db_id = seq_to_db.get(record["seq"])
+                    stamps.setdefault(db_id, set()).add(
+                        record.get("schema_epoch")
+                    )
+        for header in headers:
+            assert header.get("livedata") is True
+            assert header.get("schema_epochs") == {"hockey": 2}
+        assert stamps.get("healthcare") == {0}
+        assert stamps.get("hockey") == {2, 3}

@@ -19,6 +19,8 @@ BASELINE = {
     "tokens_per_request": 1870.0,
     "throughput_async": 0.90,
     "coalesced_fraction": 0.69,
+    "stale_serve_total": 0,
+    "reindex_catchup_seconds": 0.56,
 }
 
 
@@ -34,6 +36,8 @@ class TestCompare:
             "tokens_per_request": 1500.0,
             "throughput_async": 1.5,
             "coalesced_fraction": 0.8,
+            "stale_serve_total": 0,
+            "reindex_catchup_seconds": 0.3,
         }
         assert gate.compare(current, BASELINE) == []
 
@@ -130,8 +134,46 @@ class TestCompare:
             "tokens_per_request": 5000.0,
             "throughput_async": 0.1,
             "coalesced_fraction": 0.1,
+            "stale_serve_total": 3,
+            "reindex_catchup_seconds": 2.0,
         }
-        assert len(gate.compare(current, BASELINE)) == 6
+        assert len(gate.compare(current, BASELINE)) == 8
+
+    def test_one_stale_serve_fails_the_hard_ceiling(self):
+        """The live-mutation gate: stale_serve_total is an absolute_max
+        with tolerance 0 — a single answer served against a dead catalog
+        fails the build, regardless of every other metric."""
+        current = dict(BASELINE, stale_serve_total=1)
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "stale_serve_total" in failures[0]
+        assert "hard ceiling" in failures[0]
+
+    def test_zero_stale_serves_pass(self):
+        assert gate.compare(dict(BASELINE), BASELINE) == []
+
+    def test_reindex_catchup_rise_beyond_20_percent_fails(self):
+        current = dict(
+            BASELINE,
+            reindex_catchup_seconds=BASELINE["reindex_catchup_seconds"] * 1.25,
+        )
+        failures = gate.compare(current, BASELINE)
+        assert len(failures) == 1
+        assert "reindex_catchup_seconds" in failures[0]
+
+    def test_reindex_catchup_small_rise_tolerated(self):
+        current = dict(
+            BASELINE,
+            reindex_catchup_seconds=BASELINE["reindex_catchup_seconds"] * 1.15,
+        )
+        assert gate.compare(current, BASELINE) == []
+
+    def test_reindex_catchup_drop_passes(self):
+        current = dict(
+            BASELINE,
+            reindex_catchup_seconds=BASELINE["reindex_catchup_seconds"] * 0.5,
+        )
+        assert gate.compare(current, BASELINE) == []
 
     def test_custom_tolerances(self):
         current = dict(BASELINE, throughput_rps=BASELINE["throughput_rps"] * 0.9)
